@@ -1,0 +1,87 @@
+"""Ablation — sensitivity of Table I to the alpha/beta thresholds.
+
+Section V-B: "Out of the 1,800 test runs, 7.4% were considered outliers
+for our configuration of alpha, beta, and the Varity parameters.  Changes
+to these parameters may produce more or less outliers."  This bench
+quantifies that: the campaign's raw records are re-analyzed under sweeps
+of alpha (comparability) and beta (outlier distance), asserting the
+monotonicity the definitions imply.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.outliers import OutlierKind, analyze_test
+from repro.config import OutlierConfig
+
+
+def _reanalyze(campaign_result, cfg: OutlierConfig) -> int:
+    n = 0
+    for v in campaign_result.verdicts:
+        verdict = analyze_test(v.records, cfg)
+        n += sum(o.kind in (OutlierKind.SLOW, OutlierKind.FAST)
+                 for o in verdict.outliers)
+    return n
+
+
+def test_beta_sweep_monotone_decreasing(benchmark, campaign_result):
+    betas = (1.2, 1.35, 1.5, 1.75, 2.0, 3.0)
+
+    def sweep():
+        return [_reanalyze(campaign_result, OutlierConfig(beta=b))
+                for b in betas]
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("beta sweep (alpha=0.2): performance outliers per threshold")
+    for b, n in zip(betas, counts):
+        print(f"  beta={b:<5} outliers={n}")
+
+    # raising beta can only shrink the outlier set
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    # the paper's operating point sits strictly inside the range
+    assert counts[betas.index(1.5)] > 0
+    assert counts[0] > counts[-1]
+
+
+def test_alpha_sweep(benchmark, campaign_result):
+    alphas = (0.05, 0.1, 0.2, 0.4, 0.8)
+
+    def sweep():
+        return [_reanalyze(campaign_result, OutlierConfig(alpha=a))
+                for a in alphas]
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("alpha sweep (beta=1.5): performance outliers per threshold")
+    for a, n in zip(alphas, counts):
+        print(f"  alpha={a:<5} outliers={n}")
+
+    # widening alpha admits more comparable witness pairs, so the
+    # flaggable population grows (weak monotonicity: never fewer by much)
+    assert counts[-1] >= counts[0]
+    assert max(counts) > 0
+
+
+def test_min_time_filter_sweep(benchmark, campaign_result):
+    thresholds = (0.0, 500.0, 1000.0, 5000.0, 20000.0)
+
+    def sweep():
+        out = []
+        for t in thresholds:
+            cfg = OutlierConfig(min_time_us=t)
+            analyzed = sum(analyze_test(v.records, cfg).analyzed
+                           for v in campaign_result.verdicts)
+            out.append(analyzed)
+        return out
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("min-time filter sweep: analyzed tests per threshold")
+    for t, n in zip(thresholds, counts):
+        print(f"  >={t:>7.0f}us analyzed={n}")
+
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    # the paper's 1ms filter keeps a substantial majority-but-not-all
+    idx = thresholds.index(1000.0)
+    total = len(campaign_result.verdicts)
+    assert 0.4 * total <= counts[idx] < total

@@ -1,0 +1,90 @@
+"""Figures 2-4 / Listing 2 — grammar coverage and generation parameters.
+
+Fig. 2 shows how MAX_EXPRESSION_SIZE / MAX_NESTING_LEVELS /
+MAX_LINES_IN_BLOCK bound the generated code; Figs. 3-4 show if-block and
+OpenMP-block expansions.  This bench measures generation throughput and
+verifies the generator exercises every production the paper illustrates:
+if-blocks, nested loops, OpenMP blocks with private/firstprivate/
+reduction clauses, critical sections, and thread-id array writes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.config import GeneratorConfig
+from repro.core.features import extract_features
+from repro.core.generator import ProgramGenerator
+from repro.core.grammar import check_conformance
+from repro.core.nodes import (
+    IfBlock,
+    MathCall,
+    OmpCritical,
+    OmpParallel,
+    walk,
+)
+
+CFG = GeneratorConfig()  # the paper's Section V-A parameters
+N = 60
+
+
+def test_generation_throughput_and_coverage(benchmark):
+    gen = ProgramGenerator(CFG, seed=20240915)
+    counter = iter(range(10**9))
+    benchmark(lambda: gen.generate(next(counter)))
+
+    # coverage sweep over a fixed window
+    sweep = ProgramGenerator(CFG, seed=20240915)
+    hits: Counter[str] = Counter()
+    for i in range(N):
+        p = sweep.generate(i)
+        check_conformance(p)  # 100% grammar conformance
+        f = extract_features(p)
+        hits["if"] += f.n_if_blocks > 0
+        hits["loop"] += f.n_loops > 0
+        hits["omp"] += f.n_parallel_regions > 0
+        hits["omp_for"] += f.n_omp_for > 0
+        hits["critical"] += f.n_critical > 0
+        hits["reduction"] += f.n_reductions > 0
+        hits["tid_write"] += f.writes_tid_arrays
+        hits["math"] += f.n_math_calls > 0
+        hits["pisl"] += f.parallel_in_serial_loop > 0
+        hits["double"] += f.uses_double
+        hits["float"] += not f.uses_double
+
+    print()
+    print(f"feature coverage over {N} programs (Section V-A config):")
+    for key in sorted(hits):
+        print(f"  {key:<10} {hits[key]:>3}/{N}")
+
+    # every production the paper's figures show is exercised
+    assert hits["if"] >= N * 0.8
+    assert hits["loop"] == N
+    assert hits["omp"] >= N * 0.8
+    assert hits["omp_for"] >= N * 0.6
+    assert hits["critical"] >= N * 0.25
+    assert hits["reduction"] >= N * 0.15
+    assert hits["tid_write"] >= N * 0.3
+    assert hits["double"] > 0 and hits["float"] > 0
+    # the Listing-1 / Case-Study-2 pattern occurs but is rare
+    assert 0 < hits["pisl"] <= N * 0.25
+
+
+def test_parameter_limits_visible_in_output(benchmark):
+    """Fig. 2's annotations: expression size, nesting, and block length
+    are bounded by the configured limits."""
+    small = GeneratorConfig(max_expression_size=2, max_nesting_levels=2,
+                            max_lines_in_block=3, max_total_iterations=3000,
+                            loop_trip_max=40, num_threads=8)
+    gen = ProgramGenerator(small, seed=7)
+    counter = iter(range(10**9))
+    benchmark(lambda: gen.generate(next(counter)))
+
+    from repro.core.nodes import BinOp, Block
+
+    for i in range(20):
+        p = gen.generate(i)
+        for node in walk(p):
+            if isinstance(node, BinOp):
+                ops = sum(1 for n in walk(node) if isinstance(n, BinOp))
+                assert ops <= small.max_expression_size + 1

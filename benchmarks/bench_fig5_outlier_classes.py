@@ -1,0 +1,73 @@
+"""Figure 5 — slow and fast outlier classes against the midpoint.
+
+The figure shows three execution times where r1 ~ r2 (comparable, with
+midpoint M) and r3 is either far above M (slow outlier) or far below
+(fast outlier).  This bench sweeps a synthetic r3 across the whole range
+and verifies the classifier transitions exactly at the beta boundaries,
+then benchmarks classification throughput.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.outliers import (
+    OutlierKind,
+    analyze_test,
+    detect_performance_outliers,
+)
+from repro.config import OutlierConfig
+from repro.driver.records import RunRecord, RunStatus
+
+CFG = OutlierConfig()  # alpha=0.2, beta=1.5
+
+
+def _triple(r1: float, r2: float, r3: float):
+    return [RunRecord("p", v, 0, RunStatus.OK, 1.0, t)
+            for v, t in (("impl1", r1), ("impl2", r2), ("impl3", r3))]
+
+
+def test_fig5_outlier_classes(benchmark):
+    r1, r2 = 10_000.0, 11_000.0  # comparable; midpoint M = 10,500
+    m = (r1 + r2) / 2
+
+    rows = []
+    for factor in (0.25, 0.5, 1 / 1.5, 0.9, 1.0, 1.2, 1.49, 1.5, 2.0, 4.0):
+        r3 = m * factor
+        out = detect_performance_outliers(_triple(r1, r2, r3), CFG)
+        kind = out[0].kind.value if out else "-"
+        rows.append((factor, r3, kind))
+
+    print()
+    print("Fig. 5 sweep: r3 as a multiple of the midpoint of (r1, r2)")
+    print(f"{'r3/M':>6}  {'r3 (us)':>10}  class")
+    for factor, r3, kind in rows:
+        print(f"{factor:>6.2f}  {r3:>10.0f}  {kind}")
+
+    classes = {f: k for f, _, k in rows}
+    assert classes[4.0] == "slow" and classes[2.0] == "slow"
+    assert classes[1.5] == "slow"          # boundary is inclusive (Eq. 2)
+    assert classes[1.49] == "-"
+    assert classes[1.2] == "-" and classes[1.0] == "-"
+    assert classes[0.9] == "-"
+    assert classes[1 / 1.5] == "fast"      # M / r3 == beta
+    assert classes[0.5] == "fast" and classes[0.25] == "fast"
+
+    # throughput of full verdict construction
+    records = _triple(10_000.0, 11_000.0, 40_000.0)
+    verdict = benchmark(lambda: analyze_test(records, CFG))
+    assert verdict.outliers[0].kind is OutlierKind.SLOW
+
+
+def test_fig5_comparability_gate(benchmark):
+    """No outlier verdict is possible when the witnesses disagree — the
+    'midpoint' only exists between comparable times (Eq. 1)."""
+    def sweep():
+        flagged = 0
+        for gap in (1.05, 1.1, 1.2, 1.3, 1.5, 2.0):
+            r1, r2 = 10_000.0, 10_000.0 * gap
+            out = detect_performance_outliers(_triple(r1, r2, 100_000.0), CFG)
+            flagged += bool(out)
+        return flagged
+
+    flagged = benchmark(sweep)
+    # only the gaps within alpha (1.05, 1.1, 1.2) admit a midpoint
+    assert flagged == 3

@@ -1,0 +1,52 @@
+"""Figure 7 — children-mode call-stack overhead for Case Study 2.
+
+Paper (perf --children, so parents accumulate callees and the column can
+exceed 100 % in total): both binaries spend ~90 % under
+``start_thread`` -> ``__kmp_invoke_microtask``; the Clang binary
+additionally shows ~48 % under ``__calloc`` / ``_int_malloc`` /
+``sysmalloc`` / ``mprotect`` — the allocator churn of re-spawning team
+resources inside the serial loop.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.profiles import (
+    children_report,
+    render_children,
+    symbol_fraction,
+)
+from repro.vendors import CLANG, INTEL
+
+
+def test_fig7_children_profiles(benchmark, case2):
+    clang = case2.record_for("clang")
+    intel = case2.record_for("intel")
+
+    benchmark(lambda: children_report(clang.profile, CLANG))
+
+    print()
+    print(render_children(intel.profile, INTEL,
+                          title="[Intel binary — Fig. 7 top]"))
+    print()
+    print(render_children(clang.profile, CLANG,
+                          title="[Clang binary — Fig. 7 bottom]"))
+
+    # parents accumulate: start_thread approaches the whole parallel share
+    crows = {r.symbol: r for r in children_report(clang.profile, CLANG)}
+    irows = {r.symbol: r for r in children_report(intel.profile, INTEL)}
+    assert crows["start_thread"].children > 0.5
+    assert irows["start_thread"].children > 0.5
+
+    # the paper's headline: clang's allocator share is large, intel's small
+    clang_alloc = symbol_fraction(clang.profile, CLANG.symbols.alloc)
+    intel_alloc = symbol_fraction(intel.profile, INTEL.symbols.alloc)
+    assert clang_alloc > 0.08, \
+        f"clang calloc/mprotect share {clang_alloc:.1%} (paper: ~48%)"
+    assert clang_alloc > 3 * max(intel_alloc, 1e-9)
+
+    # both runtimes funnel through the invoke-microtask frame
+    assert crows[CLANG.symbols.invoke].children > 0.1
+    assert irows[INTEL.symbols.invoke].children > 0.1
+
+    # children-mode totals exceed 100% ("the sum ... exceeds 100%")
+    assert sum(r.children for r in crows.values()) > 1.0

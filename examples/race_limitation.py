@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Section III-E limitation — and its mitigation.
+
+"First, while the generator considers several scenarios and constraints
+to generate correct OpenMP programs, we found that in some cases it can
+generate data races, where the comp variable is written and read by
+multiple threads without synchronization.  We mitigated this by manually
+filtering out data race cases in the evaluation."
+
+This example runs the generator in the limitation-reproducing mode
+(``allow_data_races=True``), shows the static race checker catching the
+racy programs (the automated version of the paper's manual filter), and
+confirms the default safe mode generates zero races.
+
+Run:  python examples/race_limitation.py
+"""
+
+import sys
+
+from repro.config import GeneratorConfig
+from repro.core.generator import ProgramGenerator
+from repro.core.races import find_races
+
+N = 60
+
+
+def main() -> int:
+    base = dict(max_total_iterations=6_000, loop_trip_max=60, num_threads=8)
+
+    print(f"== limitation mode (allow_data_races=True), {N} programs ==")
+    racy_cfg = GeneratorConfig(allow_data_races=True, **base)
+    gen = ProgramGenerator(racy_cfg, seed=20240915)
+    racy = 0
+    for i in range(N):
+        program = gen.generate(i)
+        races = find_races(program)
+        if races:
+            racy += 1
+            if racy <= 3:
+                print(f"  {program.name}:")
+                for r in races[:2]:
+                    print(f"    RACE: {r}")
+    print(f"  -> {racy}/{N} programs contain data races "
+          f"(filtered out of campaigns, as the paper did manually)")
+    print()
+
+    print(f"== default safe mode (Section III-G rules), {N} programs ==")
+    safe_cfg = GeneratorConfig(allow_data_races=False, **base)
+    gen = ProgramGenerator(safe_cfg, seed=20240915)
+    safe_races = sum(bool(find_races(gen.generate(i))) for i in range(N))
+    print(f"  -> {safe_races}/{N} programs contain data races")
+
+    if safe_races:
+        print("BUG: safe mode must be race-free")
+        return 1
+    print()
+    print("the static checker automates the paper's manual filtering step;")
+    print("the default generator achieves the 'data-race-free 100% of the")
+    print("time' goal the paper lists as future work.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists only so that
+``pip install -e .`` works on offline hosts without the ``wheel`` package
+(pip's legacy editable path requires a setup.py).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""repro — randomized differential testing of OpenMP implementations.
+
+A faithful, laptop-scale reproduction of *"Testing the Unknown: A Framework
+for OpenMP Testing via Random Program Generation"* (SC 2024): a Varity-style
+random generator of OpenMP C++ test programs, floating-point input
+generation, a differential execution pipeline over multiple (simulated or
+native) OpenMP implementations, and slow/fast/correctness outlier detection.
+
+Quickstart::
+
+    from repro import quick_differential_test
+
+    result = quick_differential_test(seed=42)
+    print(result.table())
+
+See :mod:`repro.harness.campaign` for the full Figure-1 pipeline.
+"""
+
+from .config import (
+    CampaignConfig,
+    GeneratorConfig,
+    MachineConfig,
+    OutlierConfig,
+    load_campaign,
+    save_campaign,
+)
+from .core import (
+    FPCategory,
+    FPType,
+    InputGenerator,
+    Program,
+    ProgramGenerator,
+    TestInput,
+    check_conformance,
+    extract_features,
+    find_races,
+    is_race_free,
+)
+from .errors import (
+    AnalysisError,
+    BackendUnavailable,
+    CompilationError,
+    ConfigError,
+    ExecutionError,
+    GenerationError,
+    GrammarError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "BackendUnavailable",
+    "CampaignConfig",
+    "CompilationError",
+    "ConfigError",
+    "ExecutionError",
+    "FPCategory",
+    "FPType",
+    "GenerationError",
+    "GeneratorConfig",
+    "GrammarError",
+    "InputGenerator",
+    "MachineConfig",
+    "OutlierConfig",
+    "Program",
+    "ProgramGenerator",
+    "ReproError",
+    "TestInput",
+    "check_conformance",
+    "extract_features",
+    "find_races",
+    "is_race_free",
+    "load_campaign",
+    "save_campaign",
+    "quick_differential_test",
+    "__version__",
+]
+
+
+def quick_differential_test(seed: int = 42, program_index: int = 0):
+    """Generate one program + input and run it through all three simulated
+    OpenMP implementations; returns the differential comparison.
+
+    Convenience entry point used by the quickstart example and docs.
+    """
+    from .harness.campaign import differential_test_single
+
+    return differential_test_single(seed=seed, program_index=program_index)

@@ -1,0 +1,65 @@
+"""Differential analysis: outliers, perf counters, profiles, thread states."""
+
+from .perfstats import (
+    CounterComparison,
+    TABLE2_DIRECTIONS,
+    TABLE3_DIRECTIONS,
+    check_directions,
+    compare_counters,
+)
+from .profiles import (
+    ProfileRow,
+    children_report,
+    flat_report,
+    render_children,
+    render_flat,
+    symbol_fraction,
+)
+from .threadstate import (
+    ThreadGroup,
+    render_backtrace,
+    render_thread_groups,
+    thread_groups,
+)
+from .outliers import (
+    Outlier,
+    OutlierKind,
+    OutlierTable,
+    TestVerdict,
+    analyze_test,
+    build_outlier_table,
+    comparable,
+    detect_correctness_outliers,
+    detect_performance_outliers,
+    midpoint,
+    mutually_comparable,
+)
+
+__all__ = [
+    "CounterComparison",
+    "Outlier",
+    "OutlierKind",
+    "OutlierTable",
+    "ProfileRow",
+    "TABLE2_DIRECTIONS",
+    "TABLE3_DIRECTIONS",
+    "TestVerdict",
+    "ThreadGroup",
+    "analyze_test",
+    "build_outlier_table",
+    "check_directions",
+    "children_report",
+    "comparable",
+    "compare_counters",
+    "detect_correctness_outliers",
+    "detect_performance_outliers",
+    "flat_report",
+    "midpoint",
+    "mutually_comparable",
+    "render_backtrace",
+    "render_children",
+    "render_flat",
+    "render_thread_groups",
+    "symbol_fraction",
+    "thread_groups",
+]

@@ -1,0 +1,107 @@
+"""Performance-counter comparison: the paper's Tables II and III.
+
+Case study methodology (Sections V-C/D): take one outlier test, run the
+suspect implementation and the baseline (Intel) under ``perf stat``-like
+counting, and compare the seven counters side by side.  Here the counters
+come from the simulated runtime, collected during a normal driver run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..driver.records import RunRecord
+from ..errors import AnalysisError
+from ..sim.counters import PerfCounters
+
+
+@dataclass(frozen=True)
+class CounterComparison:
+    """Side-by-side counters for two implementations on one test."""
+
+    program_name: str
+    input_index: int
+    left_vendor: str
+    right_vendor: str
+    left: PerfCounters
+    right: PerfCounters
+
+    def ratio(self, field: str) -> float:
+        """right/left ratio for one counter (inf when left is zero)."""
+        lv = getattr(self.left, field)
+        rv = getattr(self.right, field)
+        if lv == 0:
+            return float("inf") if rv else 1.0
+        return rv / lv
+
+    def rows(self) -> list[tuple[str, int, int]]:
+        out = []
+        for key in PerfCounters.PERF_FIELDS:
+            out.append((key.replace("_", "-"),
+                        getattr(self.left, key), getattr(self.right, key)))
+        return out
+
+    def render(self, title: str = "") -> str:
+        head = title or (f"Performance counters for {self.program_name} "
+                         f"(input {self.input_index})")
+        lines = [head,
+                 f"{'Counters':<18} {self.left_vendor:>14} {self.right_vendor:>14}"]
+        for label, lv, rv in self.rows():
+            lines.append(f"{label:<18} {lv:>14,} {rv:>14,}")
+        return "\n".join(lines)
+
+
+def compare_counters(records: list[RunRecord], left_vendor: str,
+                     right_vendor: str) -> CounterComparison:
+    """Build a Table II/III-style comparison from one test's records."""
+    by_vendor = {r.vendor: r for r in records}
+    try:
+        left, right = by_vendor[left_vendor], by_vendor[right_vendor]
+    except KeyError as exc:
+        raise AnalysisError(
+            f"no record for vendor {exc} among {sorted(by_vendor)}") from exc
+    return CounterComparison(
+        program_name=left.program_name,
+        input_index=left.input_index,
+        left_vendor=left_vendor,
+        right_vendor=right_vendor,
+        left=left.counters,
+        right=right.counters,
+    )
+
+
+#: the directional claims of Table II — (field, expected ratio intel/gcc > 1?)
+TABLE2_DIRECTIONS: tuple[tuple[str, bool], ...] = (
+    ("context_switches", True),   # 232 vs 10
+    ("cpu_migrations", True),     # 96 vs 0
+    ("page_faults", True),        # 627 vs 226
+    ("cycles", False),            # 110.5 M vs 154.8 M  (GCC slower in cycles)
+    ("instructions", True),       # 85.4 M vs 60.1 M
+    ("branch_misses", True),      # 182 K vs 67 K
+)
+
+#: the directional claims of Table III — clang/intel > 1?
+TABLE3_DIRECTIONS: tuple[tuple[str, bool], ...] = (
+    ("context_switches", True),   # 40,483 vs 300
+    ("page_faults", True),        # 70,990 vs 684
+    ("cycles", True),             # 10.2 G vs 1.2 G
+    ("instructions", True),       # 8.2 G vs 0.9 G
+    ("branches", True),           # 2.2 G vs 0.25 G
+    ("branch_misses", True),      # 3.8 M vs 0.46 M
+)
+
+
+def check_directions(cmp: CounterComparison,
+                     directions: tuple[tuple[str, bool], ...]
+                     ) -> dict[str, bool]:
+    """Does each counter move in the direction the paper's table reports?
+
+    ``cmp`` must be oriented with the *baseline* on the left (the paper
+    compares the suspect against Intel; for Table II the suspect is GCC on
+    the left/right flip handled by the caller).
+    """
+    out: dict[str, bool] = {}
+    for field, expect_gt in directions:
+        r = cmp.ratio(field)
+        out[field] = (r > 1.0) == expect_gt
+    return out

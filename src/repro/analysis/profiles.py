@@ -1,0 +1,104 @@
+"""Call-stack overhead listings: the paper's Figures 6 and 7.
+
+``perf report`` shows per-symbol overhead percentages; Fig. 6 uses flat
+(self) overhead, Fig. 7 uses ``--children`` mode where parent frames
+accumulate their callees ("the sum of all the children's overhead values
+exceeds 100%").  The simulated runtime charges flat self-time per symbol;
+this module renders both views, using per-vendor static call-chain
+parentage to synthesize the children mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.events import ProfileRecorder
+from ..vendors.base import VendorModel
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    overhead: float           # fraction of total samples
+    children: float | None    # cumulative fraction (children mode only)
+    shared_object: str
+    symbol: str
+
+
+def flat_report(profile: ProfileRecorder, *, top: int = 12) -> list[ProfileRow]:
+    """Fig. 6 style: self-overhead per symbol, descending."""
+    return [ProfileRow(frac, None, so, sym)
+            for frac, so, sym in profile.rows()[:top]]
+
+
+def _call_chains(vendor: VendorModel, binary_name: str) -> list[list[tuple[str, str]]]:
+    """Static (shared object, symbol) chains root->leaf per activity."""
+    s = vendor.symbols
+    so = s.shared_object
+    root = [("libc-2.28.so", "__GI___clone (inlined)"),
+            ("libpthread-2.28.so", "start_thread")]
+    worker = root + [(so, s.spawn), (so, s.invoke)]
+    return [
+        worker + [(binary_name, s.compute)],
+        worker + [(so, s.barrier)],
+        worker + [(so, s.wait_primary)],
+        worker + [(so, s.wait_secondary)],
+        worker + [(so, s.lock)],
+        worker + [("libc-2.28.so", s.alloc)],
+        worker + [("[kernel]", s.yield_)],
+        [(binary_name, s.serial_compute)],
+    ]
+
+
+def children_report(profile: ProfileRecorder, vendor: VendorModel,
+                    *, top: int = 15) -> list[ProfileRow]:
+    """Fig. 7 style: every frame accumulates the self-time of the leaves
+    below it, so parents like ``start_thread`` approach 100 %."""
+    total = profile.total()
+    if total <= 0:
+        return []
+    self_time = dict(profile.samples)
+    cumulative: dict[tuple[str, str], float] = {}
+    for chain in _call_chains(vendor, profile.binary_name):
+        leaf = chain[-1]
+        t = self_time.get(leaf, 0.0)
+        if t <= 0:
+            continue
+        for frame in chain:
+            cumulative[frame] = cumulative.get(frame, 0.0) + t
+    rows = [ProfileRow(self_time.get(frame, 0.0) / total, cum / total, so, sym)
+            for (so, sym), cum in cumulative.items()
+            for frame in [(so, sym)]]
+    rows.sort(key=lambda r: r.children or 0.0, reverse=True)
+    return rows[:top]
+
+
+def render_flat(profile: ProfileRecorder, *, top: int = 12,
+                title: str = "") -> str:
+    lines = [title or "Overhead  Shared Object        Symbol"]
+    if title:
+        lines.append("Overhead  Shared Object        Symbol")
+    for row in flat_report(profile, top=top):
+        lines.append(f"{row.overhead:>7.2%}  {row.shared_object:<20} "
+                     f"[.] {row.symbol}")
+    return "\n".join(lines)
+
+
+def render_children(profile: ProfileRecorder, vendor: VendorModel,
+                    *, top: int = 15, title: str = "") -> str:
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("Children   Self  Shared Object        Symbol")
+    for row in children_report(profile, vendor, top=top):
+        lines.append(f"{row.children:>7.2%} {row.overhead:>6.2%}  "
+                     f"{row.shared_object:<20} [.] {row.symbol}")
+    return "\n".join(lines)
+
+
+def symbol_fraction(profile: ProfileRecorder, symbol: str) -> float:
+    """Self-time fraction of one symbol (0 when absent)."""
+    total = profile.total()
+    if total <= 0:
+        return 0.0
+    return sum(cy for (so, sym), cy in profile.samples.items()
+               if sym == symbol) / total

@@ -1,0 +1,72 @@
+"""Hang diagnosis: thread-state snapshots (the paper's Figures 8 and 9).
+
+Case Study 3 attaches GDB to the hung Intel binary and groups the 32
+threads by where they are stuck: all inside
+``__kmpc_critical_with_hint`` → ``__kmp_acquire_queuing_lock...``, split
+between ``__kmp_wait_4``, ``__kmp_eq_4`` and ``sched_yield``.  The
+simulated livelock carries the same snapshot; this module renders the
+grouping and a synthetic GDB-style backtrace for the first thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..driver.records import RunRecord, RunStatus
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ThreadGroup:
+    """One group of threads stuck at the same innermost frame."""
+
+    state: str
+    thread_ids: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.thread_ids)
+
+
+def thread_groups(record: RunRecord) -> list[ThreadGroup]:
+    """Group a hang record's threads by state, largest group first."""
+    if record.status is not RunStatus.HANG:
+        raise AnalysisError(
+            f"thread states only exist for HANG records, got {record.status}")
+    if not record.thread_states:
+        raise AnalysisError("hang record carries no thread-state snapshot")
+    groups = [ThreadGroup(state, tuple(tids))
+              for state, tids in record.thread_states.items() if tids]
+    groups.sort(key=lambda g: g.size, reverse=True)
+    return groups
+
+
+def render_thread_groups(record: RunRecord) -> str:
+    """Fig. 9 analogue: the team partitioned into stuck states."""
+    groups = thread_groups(record)
+    total = sum(g.size for g in groups)
+    lines = [f"{total} threads stuck acquiring the critical lock "
+             f"({record.vendor} binary, {record.program_name}):"]
+    for i, g in enumerate(groups, 1):
+        ids = ", ".join(str(t) for t in g.thread_ids[:8])
+        if g.size > 8:
+            ids += ", ..."
+        lines.append(f"  Group {i}: {g.size:>2} threads in {g.state}  [{ids}]")
+    return "\n".join(lines)
+
+
+def render_backtrace(record: RunRecord) -> str:
+    """Fig. 8 analogue: a GDB-style backtrace for thread 1."""
+    groups = thread_groups(record)
+    inner = groups[0].state
+    return "\n".join([
+        f'Thread 1 "{record.program_name}" received signal SIGINT, Interrupt.',
+        "(gdb) bt",
+        f"#0  {inner} () at kmp_dispatch.cpp:3118",
+        "#1  __kmp_acquire_queuing_lock_timed_template<false> () "
+        "at kmp_lock.cpp:1208",
+        "#2  __kmp_acquire_queuing_lock (lck=0x1, gtid=0) at kmp_lock.cpp:1254",
+        "#3  __kmpc_critical_with_hint () at kmp_csupport.cpp:1610",
+        f"#4  .omp_outlined._debug__ () at {record.program_name}.cpp:103",
+        f"#5  .omp_outlined. (void) const () at {record.program_name}.cpp:36",
+    ])

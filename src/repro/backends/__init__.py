@@ -1,0 +1,19 @@
+"""Optional execution backends beyond the simulated vendors."""
+
+from .gcc_native import (
+    NativeBinary,
+    available,
+    compile_and_run,
+    compile_native,
+    gxx_path,
+    run_native,
+)
+
+__all__ = [
+    "NativeBinary",
+    "available",
+    "compile_and_run",
+    "compile_native",
+    "gxx_path",
+    "run_native",
+]

@@ -1,0 +1,150 @@
+"""Native execution backend: real ``g++ -fopenmp`` when present.
+
+The simulated vendors carry the differential-testing campaign, but the
+generator's output is genuine OpenMP C++ — and on hosts with a real GCC
+toolchain this backend proves it: it compiles the emitted translation
+unit with ``g++ <opt> -fopenmp`` and runs the binary with the same argv
+the :class:`~repro.core.inputs.TestInput` serializes, returning a
+:class:`~repro.driver.records.RunRecord` of the same shape the simulated
+driver produces (status, printed ``comp``, measured microseconds).
+
+This is the piece of the paper's pipeline that *can* run for real here;
+tests use it to assert that every generated program compiles cleanly and
+that simulated and native executions agree on the printed value for
+FMA-free programs.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..codegen.emit_main import emit_translation_unit
+from ..core.inputs import TestInput
+from ..core.nodes import Program
+from ..driver.records import RunRecord, RunStatus
+from ..errors import BackendUnavailable, CompilationError, ExecutionError
+
+_COMP_RE = re.compile(r"comp=([^\s]+)")
+_TIME_RE = re.compile(r"time_us=(-?\d+)")
+
+
+def gxx_path() -> str | None:
+    """Path of the host g++, or None when unavailable."""
+    return shutil.which("g++")
+
+
+def available() -> bool:
+    return gxx_path() is not None
+
+
+@dataclass
+class NativeBinary:
+    """A really-compiled test binary on disk."""
+
+    program: Program
+    path: Path
+    opt_level: str
+    compiler: str
+
+
+def compile_native(program: Program, *, opt_level: str = "-O3",
+                   workdir: str | Path | None = None,
+                   extra_flags: tuple[str, ...] = (),
+                   fp_contract: str | None = None,
+                   num_threads_override: int | None = None) -> NativeBinary:
+    """Compile ``program`` with the host g++ (+OpenMP).
+
+    ``fp_contract`` may be ``"off"``/``"fast"`` to pin ``-ffp-contract``
+    (used when cross-checking against the simulated backend, whose
+    contraction behaviour is vendor-specific).  ``num_threads_override``
+    rewrites the program's team size — useful because the paper's 32
+    threads oversubscribe small CI hosts.
+    """
+    gxx = gxx_path()
+    if gxx is None:
+        raise BackendUnavailable("no g++ on PATH")
+    if num_threads_override is not None:
+        program = _with_threads(program, num_threads_override)
+    src = emit_translation_unit(program)
+    wd = Path(workdir) if workdir is not None else Path(tempfile.mkdtemp(
+        prefix="repro-native-"))
+    wd.mkdir(parents=True, exist_ok=True)
+    cpp = wd / f"{program.name}.cpp"
+    exe = wd / program.name
+    cpp.write_text(src)
+    cmd = [gxx, opt_level, "-fopenmp", "-o", str(exe), str(cpp), "-lm"]
+    if fp_contract is not None:
+        cmd.insert(2, f"-ffp-contract={fp_contract}")
+    cmd.extend(extra_flags)
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    if proc.returncode != 0:
+        raise CompilationError(
+            f"g++ failed on {program.name}:\n{proc.stderr[:4000]}")
+    return NativeBinary(program=program, path=exe, opt_level=opt_level,
+                        compiler=gxx)
+
+
+def _with_threads(program: Program, n: int) -> Program:
+    """Deep-rewrite num_threads clauses (shared AST stays untouched)."""
+    import copy
+
+    clone = copy.deepcopy(program)
+    clone.num_threads = n
+    from ..core.nodes import OmpParallel, walk
+
+    for node in walk(clone):
+        if isinstance(node, OmpParallel):
+            node.clauses.num_threads = n
+    return clone
+
+
+def run_native(binary: NativeBinary, test_input: TestInput, *,
+               timeout_s: float = 60.0) -> RunRecord:
+    """Run a native binary; classify OK / CRASH / HANG like the paper."""
+    argv = [str(binary.path), *test_input.argv(binary.program)]
+    try:
+        proc = subprocess.run(argv, capture_output=True, text=True,
+                              timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        return RunRecord(binary.program.name, "gcc-native",
+                         test_input.index, RunStatus.HANG, None,
+                         timeout_s * 1e6,
+                         detail=f"killed after {timeout_s}s wall time")
+    if proc.returncode != 0:
+        sig = -proc.returncode if proc.returncode < 0 else proc.returncode
+        return RunRecord(binary.program.name, "gcc-native",
+                         test_input.index, RunStatus.CRASH, None, 0.0,
+                         detail=f"exit status {proc.returncode} (sig/code {sig})")
+    m_comp = _COMP_RE.search(proc.stdout)
+    m_time = _TIME_RE.search(proc.stdout)
+    if not m_comp or not m_time:
+        raise ExecutionError(
+            f"unparsable native output for {binary.program.name}: "
+            f"{proc.stdout[:200]!r}")
+    comp_text = m_comp.group(1)
+    try:
+        comp = float(comp_text.replace("-nan", "nan"))
+    except ValueError:
+        comp = math.nan
+    return RunRecord(binary.program.name, "gcc-native", test_input.index,
+                     RunStatus.OK, comp, float(m_time.group(1)))
+
+
+def compile_and_run(program: Program, test_input: TestInput, *,
+                    opt_level: str = "-O3", num_threads: int | None = 4,
+                    fp_contract: str | None = None,
+                    timeout_s: float = 60.0) -> RunRecord:
+    """Convenience one-shot: compile with g++ and run once."""
+    binary = compile_native(program, opt_level=opt_level,
+                            fp_contract=fp_contract,
+                            num_threads_override=num_threads)
+    try:
+        return run_native(binary, test_input, timeout_s=timeout_s)
+    finally:
+        shutil.rmtree(binary.path.parent, ignore_errors=True)

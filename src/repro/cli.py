@@ -1,0 +1,190 @@
+"""Command-line interface: ``repro-omp``.
+
+Subcommands mirror the pipeline stages of Fig. 1:
+
+* ``generate``  — emit N random OpenMP C++ test programs (+ inputs),
+* ``run``       — one differential test (generate, compile x3, run, compare),
+* ``campaign``  — the full grid with the Table-I report,
+* ``casestudy`` — reproduce case study 1, 2, or 3,
+* ``grammar``   — print the paper's grammar (Listing 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .config import CampaignConfig, GeneratorConfig, load_campaign
+from .core.generator import ProgramGenerator
+from .core.grammar import GRAMMAR
+from .core.inputs import InputGenerator
+from .codegen.emit_main import emit_translation_unit
+
+
+def _add_seed(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=20240915,
+                   help="base RNG seed (default: the campaign seed)")
+
+
+def _load_config(args) -> CampaignConfig:
+    if getattr(args, "config", None):
+        return load_campaign(args.config)
+    kwargs = {}
+    if getattr(args, "programs", None):
+        kwargs["n_programs"] = args.programs
+    if getattr(args, "inputs", None):
+        kwargs["inputs_per_program"] = args.inputs
+    return CampaignConfig(seed=args.seed, **kwargs)
+
+
+def cmd_generate(args) -> int:
+    cfg = GeneratorConfig()
+    gen = ProgramGenerator(cfg, seed=args.seed)
+    inputs = InputGenerator(cfg, seed=args.seed + 1)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for i in range(args.count):
+        program = gen.generate(i)
+        (out / f"{program.name}.cpp").write_text(
+            emit_translation_unit(program))
+        batch = inputs.batch(program, args.inputs)
+        rows = [{"index": t.index, "argv": t.argv(program)} for t in batch]
+        (out / f"{program.name}.inputs.json").write_text(
+            json.dumps(rows, indent=2))
+    print(f"wrote {args.count} programs (+inputs) to {out}/")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .harness.campaign import differential_test_single
+
+    result = differential_test_single(seed=args.seed,
+                                      program_index=args.index)
+    print(result.table())
+    if args.source:
+        print("\n--- generated C++ ---")
+        print(result.cpp_source)
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from .harness.campaign import CampaignRunner
+    from .harness.report import render_campaign_summary, render_table1
+    from .harness.results import dump_campaign_artifacts
+
+    cfg = _load_config(args)
+    runner = CampaignRunner(cfg)
+
+    def progress(done: int, total: int) -> None:
+        if done % 10 == 0 or done == total:
+            print(f"\r  programs {done}/{total}", end="", flush=True,
+                  file=sys.stderr)
+
+    result = runner.run(progress=progress if not args.quiet else None)
+    if not args.quiet:
+        print(file=sys.stderr)
+    print(render_table1(result.table, cfg.compilers))
+    print()
+    print(render_campaign_summary(result.table))
+    if result.race_filtered:
+        print(f"race-filtered programs:       {len(result.race_filtered)}")
+    if args.out:
+        path = dump_campaign_artifacts(result, args.out)
+        print(f"artifacts written to {path}/")
+    return 0
+
+
+def cmd_casestudy(args) -> int:
+    from .harness import casestudies
+    from .analysis.profiles import render_children, render_flat
+    from .analysis.threadstate import render_backtrace, render_thread_groups
+    from .vendors import VENDORS
+
+    cfg = CampaignConfig(seed=args.seed)
+    if args.number == 1:
+        cs = casestudies.case_study_1(cfg)
+        print(f"# {cs.name}: {cs.note}\n")
+        print(cs.comparison.render("Table II analogue (Intel vs GCC)"))
+        print()
+        for vendor in ("intel", "gcc"):
+            rec = cs.record_for(vendor)
+            print(render_flat(rec.profile, title=f"[{vendor} stack profile]"))
+            print()
+    elif args.number == 2:
+        cs = casestudies.case_study_2(cfg)
+        print(f"# {cs.name}: {cs.note}\n")
+        print(cs.comparison.render("Table III analogue (Intel vs Clang)"))
+        print()
+        for vendor in ("intel", "clang"):
+            rec = cs.record_for(vendor)
+            print(render_children(rec.profile, VENDORS[vendor],
+                                  title=f"[{vendor} stack profile, children mode]"))
+            print()
+    else:
+        cs = casestudies.case_study_3(cfg)
+        print(f"# {cs.name}: {cs.note}\n")
+        rec = cs.record_for("intel")
+        print(render_backtrace(rec))
+        print()
+        print(render_thread_groups(rec))
+    return 0
+
+
+def cmd_grammar(_args) -> int:
+    for prod in GRAMMAR.values():
+        print(prod)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-omp",
+        description="Randomized differential testing of OpenMP implementations "
+                    "(SC'24 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="emit random OpenMP C++ tests")
+    _add_seed(p)
+    p.add_argument("--count", type=int, default=10)
+    p.add_argument("--inputs", type=int, default=3)
+    p.add_argument("--out", default="generated-tests")
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("run", help="one differential test")
+    _add_seed(p)
+    p.add_argument("--index", type=int, default=0,
+                   help="program index in the generator stream")
+    p.add_argument("--source", action="store_true",
+                   help="also print the generated C++")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("campaign", help="full differential campaign")
+    _add_seed(p)
+    p.add_argument("--config", help="campaign config JSON file")
+    p.add_argument("--programs", type=int,
+                   help="number of programs (default 200, the paper's)")
+    p.add_argument("--inputs", type=int,
+                   help="inputs per program (default 3, the paper's)")
+    p.add_argument("--out", help="directory for dataset-style artifacts")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("casestudy", help="reproduce a paper case study")
+    _add_seed(p)
+    p.add_argument("number", type=int, choices=(1, 2, 3))
+    p.set_defaults(fn=cmd_casestudy)
+
+    p = sub.add_parser("grammar", help="print the Listing-2 grammar")
+    p.set_defaults(fn=cmd_grammar)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""C++ source emission for generated OpenMP test programs."""
+
+from .cpp import CppEmitter, fp_literal
+from .emit_main import emit_translation_unit, source_fingerprint
+from .writer import SourceWriter
+
+__all__ = [
+    "CppEmitter",
+    "SourceWriter",
+    "emit_translation_unit",
+    "fp_literal",
+    "source_fingerprint",
+]

@@ -1,0 +1,216 @@
+"""C++ emission of generated programs (kernel side).
+
+Emits the ``compute`` kernel exactly in the paper's shape (Listings 1/2,
+Fig. 4): OpenMP pragmas, chrono microsecond timers at kernel entry/exit
+(Section III-H), and the final ``printf`` of ``comp`` (Section III-B).
+
+Precision discipline
+--------------------
+The printed expression text must parse back (under C precedence) to the
+same evaluation tree the interpreter executes, otherwise the native and
+simulated backends would round differently:
+
+* binary operands are parenthesized precedence-aware, including the
+  right operand of same-precedence ``-``/``/`` chains (FP arithmetic is
+  not associative);
+* loop variables and other ``int`` identifiers used as arithmetic *terms*
+  are explicitly cast to the program's fp type, so no integer arithmetic
+  (with C's truncating division) ever occurs inside expressions — ints
+  appear bare only in index/bound positions;
+* ``float`` programs suffix literals with ``f`` and call ``sinf``-style
+  math functions, so every intermediate stays binary32, matching the
+  interpreter's per-operation rounding.
+"""
+
+from __future__ import annotations
+
+from ..core.nodes import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Block,
+    BoolExpr,
+    DeclAssign,
+    Expr,
+    ForLoop,
+    FPNumeral,
+    IfBlock,
+    IntNumeral,
+    MathCall,
+    ModIdx,
+    OmpCritical,
+    OmpParallel,
+    Paren,
+    Program,
+    ThreadIdx,
+    UnaryOp,
+    VarRef,
+)
+from ..core.types import BinOpKind, FPType, OmpClauses
+from .writer import SourceWriter
+
+_PREC = {BinOpKind.ADD: 1, BinOpKind.SUB: 1, BinOpKind.MUL: 2, BinOpKind.DIV: 2}
+#: operators whose right operand must keep explicit grouping at equal
+#: precedence: a - (b + c) != a - b + c, a / (b * c) != a / b * c
+_RIGHT_STRICT = {BinOpKind.SUB, BinOpKind.ADD, BinOpKind.MUL, BinOpKind.DIV}
+
+
+def fp_literal(value: float, fp_type: FPType) -> str:
+    """Emit a C++ literal for ``value`` in the given precision."""
+    if value != value:  # NaN never appears in generated literals
+        raise ValueError("cannot emit NaN literal")
+    text = repr(float(value))
+    if text in ("inf", "-inf"):
+        raise ValueError("cannot emit infinite literal")
+    # ensure the token is lexically a floating literal, not an integer
+    if "e" not in text and "." not in text:
+        text += ".0"
+    return text + ("f" if fp_type is FPType.FLOAT else "")
+
+
+class CppEmitter:
+    """Emits the kernel (``compute``) of one program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.fp = program.fp_type
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def expr(self, e: Expr) -> str:
+        if isinstance(e, FPNumeral):
+            return fp_literal(e.value, self.fp)
+        if isinstance(e, IntNumeral):
+            return str(e.value)
+        if isinstance(e, VarRef):
+            if e.var.is_int:
+                # int identifier in an arithmetic term: force fp semantics
+                return f"({self.fp.cpp_name}){e.var.name}"
+            return e.var.name
+        if isinstance(e, ArrayRef):
+            return f"{e.var.name}[{self.index(e.index)}]"
+        if isinstance(e, ThreadIdx):
+            return "omp_get_thread_num()"
+        if isinstance(e, UnaryOp):
+            inner = self.expr(e.operand)
+            if isinstance(e.operand, (BinOp, UnaryOp)) or inner.startswith(("-", "+")):
+                inner = f"({inner})"
+            return f"{e.op}{inner}"
+        if isinstance(e, Paren):
+            return f"({self.expr(e.inner)})"
+        if isinstance(e, BinOp):
+            return self._binop(e)
+        if isinstance(e, MathCall):
+            fname = e.func + ("f" if self.fp is FPType.FLOAT else "")
+            return f"{fname}({self.expr(e.arg)})"
+        raise TypeError(f"cannot emit expression {type(e).__name__}")
+
+    def _binop(self, e: BinOp) -> str:
+        prec = _PREC[e.op]
+        lhs = self.expr(e.lhs)
+        if isinstance(e.lhs, BinOp) and _PREC[e.lhs.op] < prec:
+            lhs = f"({lhs})"
+        rhs = self.expr(e.rhs)
+        if isinstance(e.rhs, BinOp):
+            rp = _PREC[e.rhs.op]
+            if rp < prec or (rp == prec and e.op in _RIGHT_STRICT):
+                rhs = f"({rhs})"
+        elif isinstance(e.rhs, UnaryOp):
+            rhs = f"({rhs})"  # avoid 'a - -1.0' mis-lexing as decrement
+        return f"{lhs} {e.op.value} {rhs}"
+
+    def index(self, idx) -> str:
+        if isinstance(idx, IntNumeral):
+            return str(idx.value)
+        if isinstance(idx, VarRef):
+            return idx.var.name
+        if isinstance(idx, ThreadIdx):
+            return "omp_get_thread_num()"
+        if isinstance(idx, ModIdx):
+            return f"{self.index(idx.base)} % {idx.modulus}"
+        raise TypeError(f"cannot emit index {type(idx).__name__}")
+
+    def bool_expr(self, b: BoolExpr) -> str:
+        lhs = (b.lhs.var.name if isinstance(b.lhs, VarRef)
+               else f"{b.lhs.var.name}[{self.index(b.lhs.index)}]")
+        return f"{lhs} {b.op.value} {self.expr(b.rhs)}"
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _pragma_parallel(self, clauses: OmpClauses) -> str:
+        parts = ["#pragma omp parallel default(shared)"]
+        if clauses.private:
+            parts.append(f"private({', '.join(v.name for v in clauses.private)})")
+        if clauses.firstprivate:
+            parts.append(
+                f"firstprivate({', '.join(v.name for v in clauses.firstprivate)})")
+        if clauses.reduction is not None:
+            parts.append(f"reduction({clauses.reduction.value} : comp)")
+        parts.append(f"num_threads({clauses.num_threads})")
+        return " ".join(parts)
+
+    def stmt(self, s, w: SourceWriter) -> None:
+        if isinstance(s, Assignment):
+            target = (s.target.var.name if isinstance(s.target, VarRef)
+                      else f"{s.target.var.name}[{self.index(s.target.index)}]")
+            w.line(f"{target} {s.op.value} {self.expr(s.expr)};")
+            return
+        if isinstance(s, DeclAssign):
+            w.line(f"{self.fp.cpp_name} {s.var.name} = {self.expr(s.expr)};")
+            return
+        if isinstance(s, IfBlock):
+            w.open(f"if ({self.bool_expr(s.cond)})")
+            self.block(s.body, w)
+            w.close()
+            return
+        if isinstance(s, ForLoop):
+            if s.omp_for:
+                w.line("#pragma omp for")
+            bound = (str(s.bound.value) if isinstance(s.bound, IntNumeral)
+                     else s.bound.var.name)
+            lv = s.loop_var.name
+            w.open(f"for (int {lv} = 0; {lv} < {bound}; ++{lv})")
+            self.block(s.body, w)
+            w.close()
+            return
+        if isinstance(s, OmpCritical):
+            w.line("#pragma omp critical")
+            w.open("")
+            self.block(s.body, w)
+            w.close()
+            return
+        if isinstance(s, OmpParallel):
+            w.line(self._pragma_parallel(s.clauses))
+            w.open("")
+            self.block(s.body, w)
+            w.close()
+            return
+        raise TypeError(f"cannot emit statement {type(s).__name__}")
+
+    def block(self, b: Block, w: SourceWriter) -> None:
+        for s in b.stmts:
+            self.stmt(s, w)
+
+    # ------------------------------------------------------------------
+    # kernel
+    # ------------------------------------------------------------------
+    def signature(self) -> str:
+        params = ", ".join(f"{p.cpp_decl_type()} {p.name}"
+                           for p in self.program.params)
+        return f"void compute({params})"
+
+    def kernel(self, w: SourceWriter) -> None:
+        """The compute kernel with entry/exit timers (Section III-H)."""
+        w.open(self.signature())
+        w.line("auto t_start_ = std::chrono::high_resolution_clock::now();")
+        w.line()
+        self.block(self.program.body, w)
+        w.line()
+        w.line("auto t_end_ = std::chrono::high_resolution_clock::now();")
+        w.line("long long elapsed_us_ = std::chrono::duration_cast<"
+               "std::chrono::microseconds>(t_end_ - t_start_).count();")
+        w.line('printf("comp=%.17g\\n", (double)comp);')
+        w.line('printf("time_us=%lld\\n", elapsed_us_);')
+        w.close()

@@ -1,0 +1,80 @@
+"""Full translation-unit emission: headers, kernel, and ``main()``.
+
+Section III-B: "the generator produces a main() function and code to
+allocate and initialize arrays (if arrays are used in the test program).
+The main() function reads the program inputs and copies them to the comp
+kernel function parameters before calling the kernel function."
+
+Input contract (shared with :class:`repro.core.inputs.TestInput`): one
+argv token per kernel parameter, in signature order; array parameters
+receive a fill value applied to every element.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..core.nodes import Program
+from ..core.types import FPType
+from .cpp import CppEmitter
+from .writer import SourceWriter
+
+_HEADERS = (
+    "#include <cstdio>",
+    "#include <cstdlib>",
+    "#include <cmath>",
+    "#include <chrono>",
+    "#include <omp.h>",
+)
+
+
+def emit_main(program: Program, w: SourceWriter) -> None:
+    """Emit ``main()``: parse argv, allocate/init arrays, call the kernel."""
+    fp = program.fp_type
+    parse = "strtof" if fp is FPType.FLOAT else "strtod"
+    n = len(program.params)
+    w.open("int main(int argc, char* argv[])")
+    w.open(f"if (argc != {n + 1})")
+    w.line(f'fprintf(stderr, "usage: %s <{n} kernel inputs>\\n", argv[0]);')
+    w.line("return 2;")
+    w.close()
+    args: list[str] = []
+    for i, p in enumerate(program.params, start=1):
+        if p.is_int:
+            w.line(f"int {p.name} = atoi(argv[{i}]);")
+        elif p.is_array:
+            t = fp.cpp_name
+            w.line(f"{t} fill_{p.name} = {parse}(argv[{i}], 0);")
+            w.line(f"{t}* {p.name} = ({t}*)malloc(sizeof({t}) * {p.array_size});")
+            w.line(f"for (int i_ = 0; i_ < {p.array_size}; ++i_) "
+                   f"{p.name}[i_] = fill_{p.name};")
+        else:
+            w.line(f"{fp.cpp_name} {p.name} = {parse}(argv[{i}], 0);")
+        args.append(p.name)
+    w.line(f"compute({', '.join(args)});")
+    for p in program.array_params:
+        w.line(f"free({p.name});")
+    w.line("return 0;")
+    w.close()
+
+
+def emit_translation_unit(program: Program) -> str:
+    """Emit the complete C++ source of a generated test program."""
+    w = SourceWriter()
+    w.raw(f"// {program.name} — generated OpenMP differential test")
+    w.raw(f"// fp type: {program.fp_type.cpp_name}; "
+          f"num_threads: {program.num_threads}")
+    for h in _HEADERS:
+        w.raw(h)
+    w.line()
+    CppEmitter(program).kernel(w)
+    w.line()
+    emit_main(program, w)
+    return w.text()
+
+
+def source_fingerprint(program: Program) -> str:
+    """Content hash of the canonical source — the identity a *compiler*
+    sees.  Deterministic vendor fault triggers key off this, mirroring how
+    a real miscompilation is a function of the program text."""
+    return hashlib.sha256(emit_translation_unit(program).encode()).hexdigest()

@@ -1,0 +1,43 @@
+"""Small indented-source writer used by the C++ emitter."""
+
+from __future__ import annotations
+
+
+class SourceWriter:
+    """Accumulates source lines with block indentation."""
+
+    def __init__(self, indent_unit: str = "  "):
+        self._lines: list[str] = []
+        self._depth = 0
+        self._indent_unit = indent_unit
+
+    def line(self, text: str = "") -> None:
+        if text:
+            self._lines.append(self._indent_unit * self._depth + text)
+        else:
+            self._lines.append("")
+
+    def raw(self, text: str) -> None:
+        """Append a line without indentation (e.g. preprocessor directives)."""
+        self._lines.append(text)
+
+    def open(self, header: str) -> None:
+        """Emit ``header {`` (or a bare ``{``) and indent."""
+        self.line(f"{header} {{" if header else "{")
+        self._depth += 1
+
+    def close(self, suffix: str = "") -> None:
+        """Dedent and emit ``}``."""
+        if self._depth <= 0:
+            raise ValueError("unbalanced close()")
+        self._depth -= 1
+        self.line("}" + suffix)
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def text(self) -> str:
+        if self._depth != 0:
+            raise ValueError(f"unbalanced writer: depth={self._depth}")
+        return "\n".join(self._lines) + "\n"

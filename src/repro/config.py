@@ -1,0 +1,249 @@
+"""Configuration dataclasses for generation, execution, and analysis.
+
+The paper drives the whole pipeline from a single configuration file
+(Fig. 1, step (a)).  We mirror that: :class:`CampaignConfig` aggregates the
+generator parameters (Section III-C / V-A), the machine model, the outlier
+thresholds (Section IV), and campaign sizing (Section V-A: 200 programs x
+3 inputs x 3 implementations).
+
+Defaults reproduce the paper's evaluation configuration:
+
+========================  ======= =====================================
+Parameter                 Paper   Field
+========================  ======= =====================================
+MAX_EXPRESSION_SIZE       5       ``max_expression_size``
+MAX_NESTING_LEVELS        3       ``max_nesting_levels``
+MAX_LINES_IN_BLOCK        10      ``max_lines_in_block``
+ARRAY_SIZE                1000    ``array_size``
+MAX_SAME_LEVEL_BLOCKS     3       ``max_same_level_blocks``
+MATH_FUNC_ALLOWED         True    ``math_func_allowed``
+MATH_FUNC_PROBABILITY     0.01    ``math_func_probability``
+INPUT_SAMPLES_PER_RUN     3       ``inputs_per_program``
+num_threads               32      ``num_threads``
+alpha                     0.2     ``alpha``
+beta                      1.5     ``beta``
+optimization level        -O3     ``opt_level``
+min analyzed time         1000us  ``min_time_us``
+========================  ======= =====================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters bounding random program generation (Section III-C).
+
+    Besides the paper's documented knobs this adds explicit bounds the
+    paper leaves implicit (how many kernel parameters, loop trip-count
+    ranges, probability of choosing each block class) plus a simulation
+    budget ``max_total_iterations`` that caps the product of nested loop
+    trip counts so a pure-Python interpreter can execute the programs.
+    """
+
+    # --- the paper's documented parameters (Section III-C, V-A) ---
+    max_expression_size: int = 5
+    max_nesting_levels: int = 3
+    max_lines_in_block: int = 10
+    array_size: int = 1000
+    max_same_level_blocks: int = 3
+    math_func_allowed: bool = True
+    math_func_probability: float = 0.01
+
+    # --- structure of the kernel signature ---
+    min_fp_scalar_params: int = 3
+    max_fp_scalar_params: int = 8
+    min_array_params: int = 1
+    max_array_params: int = 4
+    min_int_params: int = 1
+    max_int_params: int = 3
+
+    # --- loop sizing (implicit in the paper; explicit here) ---
+    loop_trip_min: int = 2
+    loop_trip_max: int = 400
+    max_total_iterations: int = 60_000
+
+    # --- block class weights (uniform choice over block kinds, but the
+    #     OpenMP block is rarer than plain assignments in real Varity
+    #     output; weights keep feature frequencies realistic) ---
+    weight_assignments: float = 4.0
+    weight_if_block: float = 2.0
+    weight_for_block: float = 3.0
+    weight_omp_block: float = 2.0
+
+    # --- OpenMP shape probabilities (Section III-E/F) ---
+    reduction_probability: float = 0.35
+    critical_probability: float = 0.45
+    omp_for_probability: float = 0.85
+    # probability that an eligible referenced variable is made private /
+    # firstprivate rather than left shared (remainder stays shared)
+    private_probability: float = 0.3
+    firstprivate_probability: float = 0.3
+
+    # --- correctness (Section III-G / III-E limitation) ---
+    allow_data_races: bool = False
+
+    # --- misc ---
+    fp_double_probability: float = 0.7  # P(test uses double rather than float)
+    num_threads: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_expression_size < 1:
+            raise ConfigError("max_expression_size must be >= 1")
+        if self.max_nesting_levels < 1:
+            raise ConfigError("max_nesting_levels must be >= 1")
+        if self.max_lines_in_block < 1:
+            raise ConfigError("max_lines_in_block must be >= 1")
+        if self.array_size < 1:
+            raise ConfigError("array_size must be >= 1")
+        if self.max_same_level_blocks < 1:
+            raise ConfigError("max_same_level_blocks must be >= 1")
+        if not 0.0 <= self.math_func_probability <= 1.0:
+            raise ConfigError("math_func_probability must be in [0, 1]")
+        if self.loop_trip_min < 1 or self.loop_trip_max < self.loop_trip_min:
+            raise ConfigError("invalid loop trip-count range")
+        if self.max_total_iterations < self.loop_trip_min:
+            raise ConfigError("max_total_iterations too small for one loop")
+        for name in ("reduction_probability", "critical_probability",
+                     "omp_for_probability", "private_probability",
+                     "firstprivate_probability", "fp_double_probability"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {v}")
+        if self.private_probability + self.firstprivate_probability > 1.0:
+            raise ConfigError(
+                "private_probability + firstprivate_probability must be <= 1")
+        if self.num_threads < 1:
+            raise ConfigError("num_threads must be >= 1")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Simulated host: the paper's 2x18-core Xeon E5-2695 node @ 2.1 GHz."""
+
+    cores: int = 36
+    ghz: float = 2.1
+    # Virtual timeout for HANG classification (the paper waits ~3 minutes
+    # before SIGINT-ing a stuck binary; we scale down to virtual time).
+    timeout_us: float = 5_000_000.0
+
+    @property
+    def cycles_per_us(self) -> float:
+        return self.ghz * 1_000.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigError("cores must be >= 1")
+        if self.ghz <= 0:
+            raise ConfigError("ghz must be positive")
+        if self.timeout_us <= 0:
+            raise ConfigError("timeout_us must be positive")
+
+
+@dataclass(frozen=True)
+class OutlierConfig:
+    """Thresholds of the outlier detector (Section IV-B)."""
+
+    alpha: float = 0.2
+    beta: float = 1.5
+    min_time_us: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ConfigError("alpha must be positive")
+        if self.beta <= 1.0:
+            raise ConfigError("beta must be > 1 (Eq. 2 compares to midpoint)")
+        if self.min_time_us < 0:
+            raise ConfigError("min_time_us must be >= 0")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Full Figure-1 pipeline configuration."""
+
+    n_programs: int = 200
+    inputs_per_program: int = 3
+    seed: int = 20240915
+    opt_level: str = "-O3"
+    compilers: tuple[str, ...] = ("gcc", "clang", "intel")
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    outliers: OutlierConfig = field(default_factory=OutlierConfig)
+    # Where to save generated tests (None = keep in memory only).
+    output_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_programs < 1:
+            raise ConfigError("n_programs must be >= 1")
+        if self.inputs_per_program < 1:
+            raise ConfigError("inputs_per_program must be >= 1")
+        if len(self.compilers) < 2:
+            raise ConfigError("differential testing needs >= 2 compilers")
+        if len(set(self.compilers)) != len(self.compilers):
+            raise ConfigError("duplicate compiler names")
+        if self.opt_level not in ("-O0", "-O1", "-O2", "-O3"):
+            raise ConfigError(f"unsupported opt level {self.opt_level!r}")
+
+    @property
+    def total_runs(self) -> int:
+        return self.n_programs * self.inputs_per_program * len(self.compilers)
+
+
+# ----------------------------------------------------------------------
+# (de)serialization — the "config file" of Fig. 1 step (a)
+# ----------------------------------------------------------------------
+
+def _to_dict(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _to_dict(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, tuple):
+        return list(obj)
+    return obj
+
+
+def campaign_to_json(cfg: CampaignConfig) -> str:
+    """Serialize a campaign configuration to a JSON document."""
+    return json.dumps(_to_dict(cfg), indent=2, sort_keys=True)
+
+
+def campaign_from_dict(data: dict[str, Any]) -> CampaignConfig:
+    """Build a :class:`CampaignConfig` from a plain dict (parsed JSON)."""
+    try:
+        gen = GeneratorConfig(**data.get("generator", {}))
+        mach = MachineConfig(**data.get("machine", {}))
+        out = OutlierConfig(**data.get("outliers", {}))
+        top = {k: v for k, v in data.items()
+               if k not in ("generator", "machine", "outliers")}
+        if "compilers" in top:
+            top["compilers"] = tuple(top["compilers"])
+        return CampaignConfig(generator=gen, machine=mach, outliers=out, **top)
+    except TypeError as exc:  # unknown key
+        raise ConfigError(f"bad campaign config: {exc}") from exc
+
+
+def load_campaign(path: str | Path) -> CampaignConfig:
+    """Load a campaign configuration from a JSON file."""
+    p = Path(path)
+    if not p.exists():
+        raise ConfigError(f"config file not found: {p}")
+    try:
+        data = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"config file {p} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigError(f"config file {p} must contain a JSON object")
+    return campaign_from_dict(data)
+
+
+def save_campaign(cfg: CampaignConfig, path: str | Path) -> None:
+    """Write a campaign configuration to a JSON file."""
+    Path(path).write_text(campaign_to_json(cfg))

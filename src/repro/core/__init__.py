@@ -1,0 +1,57 @@
+"""Core of the paper's contribution: random OpenMP program generation.
+
+Public surface:
+
+* :class:`~repro.core.generator.ProgramGenerator` — reproducible stream of
+  random OpenMP test programs (the Varity extension of Section III),
+* :class:`~repro.core.inputs.InputGenerator` — the five-category
+  floating-point input generator (Section III-D),
+* :func:`~repro.core.grammar.check_conformance` — validates programs
+  against the paper's grammar (Listing 2),
+* :func:`~repro.core.races.find_races` — the static stand-in for the
+  paper's manual data-race filtering,
+* :func:`~repro.core.features.extract_features` — structural features
+  consumed by vendor models and campaign reports.
+"""
+
+from .features import ProgramFeatures, extract_features
+from .generator import ProgramGenerator, generate_program
+from .grammar import GRAMMAR, check_conformance, conforms
+from .inputs import (
+    CATEGORY_WEIGHTS,
+    FPCategory,
+    InputGenerator,
+    LIMITS,
+    TestInput,
+    classify,
+    sample_category,
+)
+from .nodes import Program, walk
+from .races import RaceReport, find_races, is_race_free
+from .types import FPType, ReductionOp, Sharing, Variable
+
+__all__ = [
+    "CATEGORY_WEIGHTS",
+    "FPCategory",
+    "FPType",
+    "GRAMMAR",
+    "InputGenerator",
+    "LIMITS",
+    "Program",
+    "ProgramFeatures",
+    "ProgramGenerator",
+    "RaceReport",
+    "ReductionOp",
+    "Sharing",
+    "TestInput",
+    "Variable",
+    "check_conformance",
+    "classify",
+    "conforms",
+    "extract_features",
+    "find_races",
+    "generate_program",
+    "is_race_free",
+    "sample_category",
+    "walk",
+]

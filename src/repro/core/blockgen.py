@@ -1,0 +1,285 @@
+"""Random block / statement generation (``<block>`` and friends).
+
+Implements the block-level productions of Listing 2: assignment sequences,
+if-blocks, (nested) for-loop blocks, and — via a factory callback wired up
+by :class:`~repro.core.generator.ProgramGenerator` to avoid a circular
+import — OpenMP blocks.
+
+Structural limits follow Fig. 2 / Section III-C:
+
+* ``MAX_LINES_IN_BLOCK`` bounds statements per block,
+* ``MAX_NESTING_LEVELS`` bounds block nesting,
+* ``MAX_SAME_LEVEL_BLOCKS`` bounds sibling sub-blocks,
+* the iteration budget bounds the product of nested trip counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .exprgen import ExprGen
+from .genctx import GenContext
+from .nodes import (
+    ArrayRef,
+    Assignment,
+    Block,
+    DeclAssign,
+    Expr,
+    ForLoop,
+    IfBlock,
+    IntNumeral,
+    ModIdx,
+    OmpCritical,
+    Stmt,
+    ThreadIdx,
+    VarRef,
+)
+from .types import AssignOpKind, ReductionOp, Variable
+
+#: assignment operators compatible with each reduction operator: inside a
+#: ``reduction(+ : comp)`` region, comp updates must be additive, etc.
+_REDUCTION_COMPATIBLE = {
+    ReductionOp.SUM: (AssignOpKind.ADD_ASSIGN, AssignOpKind.SUB_ASSIGN),
+    ReductionOp.PROD: (AssignOpKind.MUL_ASSIGN, AssignOpKind.DIV_ASSIGN),
+}
+
+OmpFactory = Callable[[], Optional[Stmt]]
+
+
+class BlockGen:
+    """Generates statement blocks under the context's constraints."""
+
+    def __init__(self, ctx: GenContext, exprs: ExprGen,
+                 omp_factory: OmpFactory | None = None):
+        self.ctx = ctx
+        self.rng = ctx.rng
+        self.cfg = ctx.cfg
+        self.exprs = exprs
+        self.omp_factory = omp_factory
+
+    # ------------------------------------------------------------------
+    # assignments
+    # ------------------------------------------------------------------
+    def _writable_scalars(self) -> list[Variable]:
+        ctx = self.ctx
+        pool = [v for v in ctx.fp_scalar_params if ctx.can_write_scalar(v)]
+        pool += [v for v in ctx.scope.visible_temps() if ctx.can_write_scalar(v)]
+        if ctx.comp is not None and ctx.can_write_scalar(ctx.comp):
+            # bias toward comp so the output value depends on most blocks
+            pool.extend([ctx.comp, ctx.comp])
+        if (self.cfg.allow_data_races and ctx.region is not None
+                and not ctx.in_critical and ctx.comp is not None
+                and self.rng.coin(0.15)):
+            # Reproduces the paper's Section III-E limitation: "in some
+            # cases it can generate data races, where the comp variable is
+            # written and read by multiple threads without synchronization".
+            pool.append(ctx.comp)
+        return pool
+
+    def _writable_array_target(self) -> ArrayRef | None:
+        ctx, rng = self.ctx, self.rng
+        arrays = ctx.array_params
+        if not arrays:
+            return None
+        arr = rng.choice(arrays)
+        if ctx.region is not None:
+            if not ctx.can_write_array_at(arr, thread_idx=True):
+                return None
+            return ArrayRef(arr, ThreadIdx())
+        loop_vars = ctx.scope.visible_loop_vars()
+        if loop_vars and rng.coin(0.7):
+            return ArrayRef(arr, ModIdx(VarRef(rng.choice(loop_vars)),
+                                        arr.array_size))
+        return ArrayRef(arr, self.exprs.small_int(arr.array_size))
+
+    def _pick_assign_op(self, target_is_comp: bool) -> AssignOpKind:
+        ctx, rng = self.ctx, self.rng
+        if (target_is_comp and ctx.region is not None
+                and ctx.region.reduction is not None):
+            return rng.choice(_REDUCTION_COMPATIBLE[ctx.region.reduction])
+        return rng.choice(list(AssignOpKind))
+
+    def assignment(self) -> Stmt | None:
+        """One ``<assignment>`` (or a temp declaration) at this point."""
+        ctx, rng = self.ctx, self.rng
+        # a fresh temporary declaration, as in the paper's Fig. 3 example;
+        # the initializer is generated *before* the temp enters scope so it
+        # can never reference the variable it declares
+        if rng.coin(0.25):
+            expr = self.exprs.expression()
+            return DeclAssign(ctx.fresh_tmp(), expr)
+        if rng.coin(0.3):
+            target = self._writable_array_target()
+            if target is not None:
+                op = rng.choice(list(AssignOpKind))
+                return Assignment(target, op, self.exprs.expression())
+        scalars = self._writable_scalars()
+        if not scalars:
+            expr = self.exprs.expression()
+            return DeclAssign(ctx.fresh_tmp(), expr)
+        v = rng.choice(scalars)
+        is_comp = ctx.comp is not None and v is ctx.comp
+        op = self._pick_assign_op(is_comp)
+        return Assignment(VarRef(v), op, self.exprs.expression())
+
+    # ------------------------------------------------------------------
+    # structured statements
+    # ------------------------------------------------------------------
+    def if_block(self) -> IfBlock | None:
+        cond = self.exprs.bool_expression()
+        if cond is None:
+            return None
+        ctx = self.ctx
+        ctx.depth += 1
+        ctx.push_scope()
+        try:
+            body = self.block(allow_omp=False)
+        finally:
+            ctx.pop_scope()
+            ctx.depth -= 1
+        if body is None:
+            return None
+        return IfBlock(cond, body)
+
+    def _choose_bound(self, *, omp_for: bool) -> IntNumeral | VarRef | None:
+        """Pick a loop bound within the iteration budget (or None if no
+        loop fits).  Int-parameter bounds are only used when the budget
+        covers their worst-case value, since the actual input value is
+        unknown at generation time.
+
+        The budget tracks *simulated* work.  An ``omp for`` splits its
+        iterations across the team, so its per-thread share — not its full
+        trip count — is what multiplies the enclosing budget product.
+        """
+        ctx, cfg, rng = self.ctx, self.cfg, self.rng
+        headroom = ctx.loop_bound_headroom()
+        threads = cfg.num_threads if omp_for else 1
+        if headroom < 1 or headroom * threads < cfg.loop_trip_min:
+            return None
+        hi = min(cfg.loop_trip_max, headroom * threads)
+        if ctx.int_params and hi >= cfg.loop_trip_max and rng.coin(0.5):
+            return VarRef(rng.choice(ctx.int_params))
+        return IntNumeral(rng.log_randint(cfg.loop_trip_min, hi))
+
+    def _bound_worst_case(self, bound: IntNumeral | VarRef) -> int:
+        return bound.value if isinstance(bound, IntNumeral) else self.cfg.loop_trip_max
+
+    def for_loop(self, *, omp_for: bool = False,
+                 allow_critical: bool = False) -> ForLoop | None:
+        """``<for-loop-block>``; optionally the ``#pragma omp for`` variant,
+        optionally allowed to contain ``<openmp-critical>`` sub-blocks."""
+        ctx = self.ctx
+        bound = self._choose_bound(omp_for=omp_for)
+        if bound is None:
+            return None
+        loop_var = ctx.fresh_loop_var()
+
+        worst = self._bound_worst_case(bound)
+        if omp_for:  # budget the per-thread chunk, not the full trip count
+            worst = -(-worst // self.cfg.num_threads)
+        ctx.iter_product *= max(1, worst)
+        ctx.depth += 1
+        scope = ctx.push_scope()
+        scope.loop_vars.append(loop_var)
+        prev_omp_var = ctx.omp_for_var
+        if omp_for:
+            ctx.omp_for_var = loop_var
+        try:
+            body = self.block(allow_omp=not omp_for and ctx.region is None,
+                              allow_critical=allow_critical)
+        finally:
+            ctx.pop_scope()
+            ctx.depth -= 1
+            ctx.iter_product //= max(1, worst)
+            ctx.omp_for_var = prev_omp_var
+        if body is None:
+            return None
+        return ForLoop(loop_var, bound, body, omp_for=omp_for)
+
+    def critical(self) -> OmpCritical | None:
+        """``<openmp-critical>`` — serialized updates to comp / shared
+        scalars (Section III-G, third bullet)."""
+        ctx = self.ctx
+        if ctx.region is None or ctx.in_critical:
+            return None
+        ctx.in_critical = True
+        ctx.push_scope()
+        try:
+            stmts: list[Stmt] = []
+            # keep the whole critical body within the block-line limit,
+            # reserving one slot for the canonical comp update (Fig. 4)
+            budget = max(1, min(self.cfg.max_lines_in_block,
+                                self.cfg.max_lines_in_block // 3 + 1))
+            for _ in range(self.rng.randint(0, budget - 1)):
+                s = self.assignment()
+                if s is not None:
+                    stmts.append(s)
+            if ctx.comp is not None and ctx.can_write_scalar(ctx.comp):
+                op = self._pick_assign_op(True)
+                stmts.append(Assignment(VarRef(ctx.comp), op,
+                                        self.exprs.expression()))
+        finally:
+            ctx.pop_scope()
+            ctx.in_critical = False
+        if not stmts:
+            return None
+        return OmpCritical(Block(stmts))
+
+    # ------------------------------------------------------------------
+    # blocks
+    # ------------------------------------------------------------------
+    def block(self, *, allow_omp: bool, allow_critical: bool = False) -> Block | None:
+        """One ``<block>``: a statement mix respecting all limits."""
+        cfg, ctx, rng = self.cfg, self.ctx, self.rng
+        n_lines = rng.randint(1, cfg.max_lines_in_block)
+        can_nest = ctx.depth < cfg.max_nesting_levels
+        stmts: list[Stmt] = []
+        sub_blocks = 0
+
+        for _ in range(n_lines):
+            choices: list[tuple[str, float]] = [("assign", cfg.weight_assignments)]
+            if can_nest and sub_blocks < cfg.max_same_level_blocks:
+                choices.append(("if", cfg.weight_if_block))
+                if ctx.loop_bound_headroom() >= cfg.loop_trip_min:
+                    choices.append(("for", cfg.weight_for_block))
+                if (allow_omp and self.omp_factory is not None
+                        and ctx.region is None
+                        # an OpenMP block nests a loop inside it: need 2 levels
+                        and ctx.depth + 1 < cfg.max_nesting_levels):
+                    w = cfg.weight_omp_block
+                    if ctx.iter_product > 1:
+                        # a region inside a serial loop is re-entered on every
+                        # iteration — a legitimate pattern (it *is* Listing 1
+                        # and Case Study 2) but one that real code hits rarely;
+                        # damp it so campaign feature frequencies stay realistic
+                        w *= 0.12
+                    choices.append(("omp", w))
+            if allow_critical and ctx.region is not None and not ctx.in_critical:
+                choices.append(("critical", cfg.weight_if_block))
+
+            kind = rng.weighted_choice(choices)
+            stmt: Stmt | None
+            if kind == "assign":
+                stmt = self.assignment()
+            elif kind == "if":
+                stmt = self.if_block()
+                sub_blocks += stmt is not None
+            elif kind == "for":
+                stmt = self.for_loop(allow_critical=allow_critical)
+                sub_blocks += stmt is not None
+            elif kind == "critical":
+                stmt = self.critical()
+                sub_blocks += stmt is not None
+            else:  # omp
+                assert self.omp_factory is not None
+                stmt = self.omp_factory()
+                sub_blocks += stmt is not None
+            if stmt is not None:
+                stmts.append(stmt)
+
+        if not stmts:
+            s = self.assignment()
+            if s is None:
+                return None
+            stmts.append(s)
+        return Block(stmts)

@@ -1,0 +1,186 @@
+"""Static feature extraction over generated programs.
+
+Features serve three consumers:
+
+* the **vendor models** — cost and fault triggers key off structural
+  features (e.g. "a parallel region inside a serial loop" drives the
+  Clang slow-outlier mechanism of Case Study 2),
+* the **campaign reports** — feature frequencies describe what the fuzzer
+  actually explored,
+* the **tests** — property tests assert generation limits are respected.
+
+All estimates are *worst-case static* numbers: loop bounds that come from
+int parameters are assumed to take the configured maximum trip count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from .nodes import (
+    Assignment,
+    BinOp,
+    Block,
+    BoolExpr,
+    DeclAssign,
+    ForLoop,
+    IfBlock,
+    IntNumeral,
+    MathCall,
+    OmpCritical,
+    OmpParallel,
+    Program,
+    Stmt,
+    walk,
+)
+
+
+@dataclass
+class ProgramFeatures:
+    """Structural summary of one generated program."""
+
+    # --- directive counts ---
+    n_parallel_regions: int = 0
+    n_omp_for: int = 0
+    n_critical: int = 0
+    n_reductions: int = 0
+
+    # --- the patterns the paper's case studies hinge on ---
+    #: parallel regions whose enclosing chain includes a serial loop;
+    #: the region is re-entered on every iteration (Case Study 2 / Listing 1)
+    parallel_in_serial_loop: int = 0
+    #: critical sections nested inside an ``omp for`` loop (Case Studies 1, 3)
+    critical_in_omp_for: int = 0
+    #: estimated number of parallel-region entries at run time
+    est_region_entries: int = 0
+    #: estimated critical-section acquisitions across all threads
+    est_critical_acquires: int = 0
+
+    # --- general structure ---
+    n_loops: int = 0
+    n_if_blocks: int = 0
+    n_assignments: int = 0
+    n_math_calls: int = 0
+    n_binops: int = 0
+    max_loop_depth: int = 0
+    est_total_iters: int = 0
+    writes_tid_arrays: bool = False
+    uses_double: bool = True
+
+    def as_dict(self) -> dict[str, int | bool]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def fingerprint(self) -> str:
+        """Stable textual digest used by deterministic fault triggers."""
+        return ";".join(f"{k}={v}" for k, v in sorted(self.as_dict().items()))
+
+
+def _bound_of(loop: ForLoop, param_bound_guess: int) -> int:
+    if isinstance(loop.bound, IntNumeral):
+        return max(0, loop.bound.value)
+    return param_bound_guess
+
+
+def extract_features(program: Program, *, param_bound_guess: int = 400,
+                     num_threads: int | None = None) -> ProgramFeatures:
+    """Compute :class:`ProgramFeatures` for ``program``.
+
+    ``param_bound_guess`` substitutes for loop bounds supplied by int
+    parameters; ``num_threads`` defaults to the program's own setting and
+    scales the critical-acquisition estimate for ``omp for`` loops (each
+    thread acquires for its share of iterations; a critical in a *serial*
+    loop inside a region is acquired by every thread for every iteration).
+    """
+    feats = ProgramFeatures(uses_double=program.fp_type.name == "DOUBLE")
+    threads = num_threads if num_threads is not None else program.num_threads
+
+    def visit_stmt(s: Stmt, *, iters: int, depth: int, in_region: bool,
+                   in_omp_for: bool, serial_loop_above: bool) -> None:
+        if isinstance(s, (Assignment, DeclAssign)):
+            feats.n_assignments += 1
+            return
+        if isinstance(s, IfBlock):
+            feats.n_if_blocks += 1
+            visit_block(s.body, iters=iters, depth=depth, in_region=in_region,
+                        in_omp_for=in_omp_for,
+                        serial_loop_above=serial_loop_above)
+            return
+        if isinstance(s, ForLoop):
+            feats.n_loops += 1
+            if s.omp_for:
+                feats.n_omp_for += 1
+            bound = _bound_of(s, param_bound_guess)
+            new_depth = depth + 1
+            feats.max_loop_depth = max(feats.max_loop_depth, new_depth)
+            visit_block(s.body, iters=iters * max(1, bound), depth=new_depth,
+                        in_region=in_region,
+                        in_omp_for=in_omp_for or s.omp_for,
+                        serial_loop_above=serial_loop_above or not s.omp_for)
+            return
+        if isinstance(s, OmpCritical):
+            feats.n_critical += 1
+            if in_omp_for:
+                feats.critical_in_omp_for += 1
+                # iterations are split across the team: total acquisitions
+                # equal the loop's total trip count
+                feats.est_critical_acquires += iters
+            else:
+                # every thread executes the enclosing serial iterations
+                feats.est_critical_acquires += iters * threads
+            visit_block(s.body, iters=iters, depth=depth, in_region=in_region,
+                        in_omp_for=in_omp_for,
+                        serial_loop_above=serial_loop_above)
+            return
+        if isinstance(s, OmpParallel):
+            feats.n_parallel_regions += 1
+            if s.clauses.reduction is not None:
+                feats.n_reductions += 1
+            if serial_loop_above:
+                feats.parallel_in_serial_loop += 1
+            feats.est_region_entries += max(1, iters)
+            visit_block(s.body, iters=iters, depth=depth + 1, in_region=True,
+                        in_omp_for=False, serial_loop_above=False)
+            return
+        raise TypeError(f"unexpected statement {type(s).__name__}")
+
+    def visit_block(b: Block, **kw) -> None:
+        for s in b.stmts:
+            visit_stmt(s, **kw)
+
+    visit_block(program.body, iters=1, depth=0, in_region=False,
+                in_omp_for=False, serial_loop_above=False)
+
+    # expression-level counts and whole-program iteration estimate
+    for n in walk(program):
+        if isinstance(n, BinOp):
+            feats.n_binops += 1
+        elif isinstance(n, MathCall):
+            feats.n_math_calls += 1
+
+    feats.est_total_iters = _est_iters(program.body, param_bound_guess)
+    feats.writes_tid_arrays = _writes_tid_arrays(program)
+    return feats
+
+
+def _est_iters(block: Block, guess: int) -> int:
+    total = 0
+    for s in block.stmts:
+        if isinstance(s, ForLoop):
+            total += max(1, _bound_of(s, guess)) * max(1, _est_iters(s.body, guess))
+        elif isinstance(s, (IfBlock, OmpCritical)):
+            total += _est_iters(s.body, guess)
+        elif isinstance(s, OmpParallel):
+            total += _est_iters(s.body, guess)
+        else:
+            total += 1
+    return total
+
+
+def _writes_tid_arrays(program: Program) -> bool:
+    from .nodes import ArrayRef, ThreadIdx  # local to avoid wide import
+
+    for n in walk(program):
+        if isinstance(n, Assignment) and isinstance(n.target, ArrayRef) \
+                and isinstance(n.target.index, ThreadIdx):
+            return True
+    return False

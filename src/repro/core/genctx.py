@@ -1,0 +1,220 @@
+"""Generation context: scoping, budgets, and OpenMP data-sharing state.
+
+The program generator is split across three modules (expressions, blocks,
+OpenMP regions); this module holds the state they share while building one
+program:
+
+* lexical scopes (which temporaries / loop variables are visible),
+* the iteration budget (product of enclosing loop trip counts, capped by
+  ``GeneratorConfig.max_total_iterations`` so the simulated backend can
+  execute every generated program),
+* the *region state* while generating inside an ``omp parallel``: the
+  data-sharing map and the race-avoidance access rules of Section III-G.
+
+The access-legality predicates here are the single source of truth: the
+generator only emits accesses these predicates allow, and the static race
+checker (:mod:`repro.core.races`) re-validates finished programs against
+the same rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import GeneratorConfig
+from ..rng import Rng
+from .types import FPType, OmpClauses, ReductionOp, Sharing, Variable, VarKind
+
+
+@dataclass
+class RegionState:
+    """Data-sharing and race-avoidance state of one parallel region."""
+
+    clauses: OmpClauses
+    #: variable identity -> sharing attribute for this region
+    sharing: dict[int, Sharing] = field(default_factory=dict)
+    #: arrays that this region writes; writes (and reads, conservatively)
+    #: must use the thread-id index (Section III-G)
+    write_arrays: set[int] = field(default_factory=set)
+    #: shared scalars written in this region; *every* access to them must
+    #: sit inside a critical section
+    critical_scalars: set[int] = field(default_factory=set)
+    #: reduction operator over comp, if any (Section III-F)
+    reduction: ReductionOp | None = None
+    #: temporaries declared inside the region body (thread-local)
+    region_temps: set[int] = field(default_factory=set)
+
+    def sharing_of(self, v: Variable) -> Sharing:
+        if id(v) in self.region_temps:
+            return Sharing.PRIVATE
+        return self.sharing.get(id(v), Sharing.SHARED)
+
+
+class Scope:
+    """One lexical scope level (function body, block, loop body)."""
+
+    __slots__ = ("parent", "temps", "loop_vars")
+
+    def __init__(self, parent: "Scope | None" = None):
+        self.parent = parent
+        self.temps: list[Variable] = []
+        self.loop_vars: list[Variable] = []
+
+    def visible_temps(self) -> list[Variable]:
+        out: list[Variable] = []
+        s: Scope | None = self
+        while s is not None:
+            out.extend(s.temps)
+            s = s.parent
+        return out
+
+    def visible_loop_vars(self) -> list[Variable]:
+        out: list[Variable] = []
+        s: Scope | None = self
+        while s is not None:
+            out.extend(s.loop_vars)
+            s = s.parent
+        return out
+
+
+class GenContext:
+    """Mutable state threaded through one program generation."""
+
+    def __init__(self, cfg: GeneratorConfig, rng: Rng, fp_type: FPType):
+        self.cfg = cfg
+        self.rng = rng
+        self.fp_type = fp_type
+
+        self.comp: Variable | None = None
+        self.params: list[Variable] = []
+
+        self.scope = Scope()
+        self.region: RegionState | None = None
+        self.in_critical = False
+        #: induction variable of the innermost enclosing ``omp for``
+        self.omp_for_var: Variable | None = None
+
+        #: product of trip counts of all enclosing loops
+        self.iter_product = 1
+        #: loop nesting depth (if/for/omp blocks all count — Fig. 2)
+        self.depth = 0
+
+        self._name_counter = 0
+        self._tmp_counter = 0
+        self._loop_counter = 0
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+    def fresh_param_name(self) -> str:
+        self._name_counter += 1
+        return f"var_{self._name_counter}"
+
+    def fresh_tmp(self) -> Variable:
+        self._tmp_counter += 1
+        v = Variable(f"tmp_{self._tmp_counter}", self.fp_type, VarKind.TEMP)
+        self.scope.temps.append(v)
+        if self.region is not None:
+            self.region.region_temps.add(id(v))
+        return v
+
+    def fresh_loop_var(self) -> Variable:
+        self._loop_counter += 1
+        return Variable(f"i_{self._loop_counter}", None, VarKind.LOOP)
+
+    # ------------------------------------------------------------------
+    # scope / loop management
+    # ------------------------------------------------------------------
+    def push_scope(self) -> Scope:
+        self.scope = Scope(self.scope)
+        return self.scope
+
+    def pop_scope(self) -> None:
+        assert self.scope.parent is not None, "cannot pop the root scope"
+        self.scope = self.scope.parent
+
+    # ------------------------------------------------------------------
+    # budget
+    # ------------------------------------------------------------------
+    def loop_bound_headroom(self) -> int:
+        """Largest trip count a new nested loop may use without exceeding
+        the whole-program iteration budget."""
+        return max(0, self.cfg.max_total_iterations // max(1, self.iter_product))
+
+    # ------------------------------------------------------------------
+    # variable pools
+    # ------------------------------------------------------------------
+    @property
+    def fp_scalar_params(self) -> list[Variable]:
+        """Ordinary fp scalar parameters — excludes ``comp``, which has its
+        own sharing rules (Section III-E: variables are assigned to
+        data-sharing clauses randomly *except for the comp variable*)."""
+        return [p for p in self.params
+                if p.is_fp and not p.is_array and p.kind is not VarKind.COMP]
+
+    @property
+    def array_params(self) -> list[Variable]:
+        return [p for p in self.params if p.is_array]
+
+    @property
+    def int_params(self) -> list[Variable]:
+        return [p for p in self.params if p.is_int]
+
+    # ------------------------------------------------------------------
+    # race-avoidance access rules (Section III-G)
+    # ------------------------------------------------------------------
+    def can_read_scalar(self, v: Variable) -> bool:
+        """May the current context *read* scalar ``v``?"""
+        if self.region is None:
+            return True
+        sh = self.region.sharing_of(v)
+        if sh in (Sharing.PRIVATE, Sharing.FIRSTPRIVATE):
+            return True
+        if v.kind is VarKind.COMP and self.region.reduction is not None:
+            return True  # reads the thread-private reduction copy
+        if id(v) in self.region.critical_scalars:
+            return self.in_critical
+        # shared scalar never written in the region: read-only is race-free
+        return True
+
+    def can_write_scalar(self, v: Variable) -> bool:
+        """May the current context *write* scalar ``v``?"""
+        if v.kind is VarKind.LOOP:
+            return False  # never reassign induction variables
+        if self.region is None:
+            return v.kind is not VarKind.LOOP
+        sh = self.region.sharing_of(v)
+        if sh in (Sharing.PRIVATE, Sharing.FIRSTPRIVATE):
+            return True
+        if v.kind is VarKind.COMP:
+            if self.region.reduction is not None:
+                return True  # reduction private copy
+            # comp must be pre-registered as critical-only so that no
+            # unprotected read elsewhere in the region can race with the
+            # critical-section write
+            return self.in_critical and id(v) in self.region.critical_scalars
+        # shared scalar: only inside critical, and only if pre-registered
+        # as critical-only so concurrent unprotected reads are impossible
+        return self.in_critical and id(v) in self.region.critical_scalars
+
+    def can_read_array_at(self, arr: Variable, *, thread_idx: bool) -> bool:
+        """May the current context read ``arr`` (at a thread-id slot or any)?
+
+        A critical section does **not** widen array access: critical only
+        excludes other critical sections, so a critical-section read of an
+        arbitrary slot would still race with another thread's unprotected
+        write to its own slot.
+        """
+        if self.region is None:
+            return True
+        if id(arr) in self.region.write_arrays:
+            # other threads write their own slots concurrently: only the
+            # caller's own slot is guaranteed race-free
+            return thread_idx
+        return True  # read-only array in this region
+
+    def can_write_array_at(self, arr: Variable, *, thread_idx: bool) -> bool:
+        """May the current context write one element of ``arr``?"""
+        if self.region is None:
+            return True
+        return thread_idx and id(arr) in self.region.write_arrays

@@ -1,0 +1,140 @@
+"""Top-level random program generation — the Varity OpenMP extension.
+
+:class:`ProgramGenerator` assembles the sub-generators (expressions, blocks,
+OpenMP regions) and produces whole :class:`~repro.core.nodes.Program` trees:
+
+* a kernel signature (``comp`` + fp scalars + arrays + int loop bounds),
+* a top-level block that may contain nested serial loops, conditionals,
+  and OpenMP parallel regions,
+* a closing accumulation into ``comp`` so array-side work is observable in
+  the single printed output (Section III-B).
+
+Every program is generated from an explicit seed; the same
+(config, seed) pair always yields a structurally identical program.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..config import GeneratorConfig
+from ..errors import GenerationError
+from ..rng import Rng
+from .blockgen import BlockGen
+from .exprgen import ExprGen
+from .genctx import GenContext
+from .grammar import check_conformance
+from .nodes import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Block,
+    Expr,
+    OmpParallel,
+    Program,
+    VarRef,
+    walk,
+)
+from .ompgen import OmpGen
+from .types import AssignOpKind, BinOpKind, FPType, Variable, VarKind
+
+
+class ProgramGenerator:
+    """Generates a reproducible stream of random OpenMP test programs."""
+
+    def __init__(self, cfg: GeneratorConfig | None = None, seed: int = 0):
+        self.cfg = cfg if cfg is not None else GeneratorConfig()
+        self.seed = seed
+        self._root = Rng(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self, index: int = 0) -> Program:
+        """Generate the ``index``-th program of this generator's stream."""
+        rng = self._root.child(f"program:{index}")
+        return generate_program(self.cfg, rng, name=f"test_{self.seed}_{index}",
+                                seed=self.seed)
+
+    def stream(self, n: int, start: int = 0) -> Iterator[Program]:
+        """Yield ``n`` programs starting at stream position ``start``."""
+        for i in range(start, start + n):
+            yield self.generate(i)
+
+
+def _make_signature(ctx: GenContext, rng: Rng) -> None:
+    """Create the kernel parameter list: comp first (Section III-B), then
+    fp scalars, arrays, and int loop-bound parameters."""
+    cfg = ctx.cfg
+    comp = Variable("comp", ctx.fp_type, VarKind.COMP)
+    ctx.comp = comp
+    ctx.params.append(comp)
+    for _ in range(rng.randint(cfg.min_fp_scalar_params, cfg.max_fp_scalar_params)):
+        ctx.params.append(Variable(ctx.fresh_param_name(), ctx.fp_type,
+                                   VarKind.PARAM))
+    for _ in range(rng.randint(cfg.min_array_params, cfg.max_array_params)):
+        ctx.params.append(Variable(ctx.fresh_param_name(), ctx.fp_type,
+                                   VarKind.PARAM, is_array=True,
+                                   array_size=cfg.array_size))
+    for _ in range(rng.randint(cfg.min_int_params, cfg.max_int_params)):
+        ctx.params.append(Variable(ctx.fresh_param_name(), None, VarKind.PARAM))
+
+
+def _closing_accumulation(ctx: GenContext, exprs: ExprGen) -> Assignment:
+    """``comp += <arrays and scalars>`` — ties array-side work into the
+    printed output so parallel-region stores are not dead."""
+    rng = ctx.rng
+    terms: list[Expr] = []
+    for arr in ctx.array_params[:2]:
+        terms.append(ArrayRef(arr, exprs.small_int(arr.array_size)))
+    if ctx.fp_scalar_params:
+        terms.append(VarRef(rng.choice(ctx.fp_scalar_params)))
+    if not terms:
+        terms.append(exprs.fp_numeral())
+    expr: Expr = terms[0]
+    for t in terms[1:]:
+        expr = BinOp(BinOpKind.ADD, expr, t)
+    assert ctx.comp is not None
+    return Assignment(VarRef(ctx.comp), AssignOpKind.ADD_ASSIGN, expr)
+
+
+def generate_program(cfg: GeneratorConfig, rng: Rng, *, name: str,
+                     seed: int) -> Program:
+    """Generate one program under ``cfg`` from the given random stream.
+
+    The result is guaranteed to conform to the grammar (Listing 2); with
+    ``allow_data_races=False`` it additionally satisfies the Section III-G
+    race-avoidance rules (validated separately by :mod:`repro.core.races`).
+    """
+    fp_type = (FPType.DOUBLE if rng.coin(cfg.fp_double_probability)
+               else FPType.FLOAT)
+    ctx = GenContext(cfg, rng, fp_type)
+    _make_signature(ctx, rng)
+
+    exprs = ExprGen(ctx)
+    blocks = BlockGen(ctx, exprs)
+    ompg = OmpGen(ctx, exprs, blocks)
+    blocks.omp_factory = ompg.parallel_region
+
+    body = blocks.block(allow_omp=True)
+    if body is None:
+        raise GenerationError(f"{name}: could not generate a top-level block")
+
+    # Most tests should exercise OpenMP; if the random walk produced a
+    # purely serial program, append a region when the budget still allows.
+    if not any(isinstance(n, OmpParallel) for n in walk(body)):
+        region = ompg.parallel_region()
+        if region is not None:
+            body.stmts.append(region)
+
+    body.stmts.append(_closing_accumulation(ctx, exprs))
+
+    program = Program(
+        name=name,
+        seed=seed,
+        fp_type=fp_type,
+        comp=ctx.comp,  # type: ignore[arg-type]
+        params=ctx.params,
+        body=body,
+        num_threads=cfg.num_threads,
+    )
+    check_conformance(program)
+    return program

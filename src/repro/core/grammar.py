@@ -1,0 +1,307 @@
+"""The paper's grammar (Listing 2) as data, plus an AST conformance checker.
+
+Two artifacts live here:
+
+* :data:`GRAMMAR` — the production rules of Listing 2, transcribed as data
+  so tests and documentation can refer to the exact language the generator
+  is supposed to cover.
+* :func:`check_conformance` — a structural validator that walks a generated
+  :class:`~repro.core.nodes.Program` and verifies every construct is
+  derivable from the grammar (and from the prose constraints of
+  Sections III-E/F/G that restrict it).  The generator property tests
+  assert that **every** generated program passes this check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GrammarError
+from .nodes import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Block,
+    BoolExpr,
+    DeclAssign,
+    Expr,
+    ForLoop,
+    FPNumeral,
+    IfBlock,
+    IntNumeral,
+    MathCall,
+    ModIdx,
+    OmpCritical,
+    OmpParallel,
+    Paren,
+    Program,
+    ThreadIdx,
+    UnaryOp,
+    VarRef,
+)
+from .types import MATH_FUNCS, VarKind
+
+# ----------------------------------------------------------------------
+# Grammar-as-data (Listing 2)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Production:
+    """One production rule: ``lhs ::= alternatives``."""
+
+    lhs: str
+    alternatives: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"<{self.lhs}> ::= " + " | ".join(self.alternatives)
+
+
+GRAMMAR: dict[str, Production] = {
+    p.lhs: p
+    for p in (
+        Production("function",
+                   ('"void" "compute" "(" <param-list> ")" "{" <block> "}"',)),
+        Production("param-list",
+                   ("<param-declaration>",
+                    '<param-list> "," <param-declaration>')),
+        Production("param-declaration",
+                   ('"int" <id>', "<fp-type> <id>", '<fp-type> "*" <id>')),
+        Production("assignment",
+                   ('"comp" <assign-op> <expression> ";"',
+                    '<fp-type> <id> <assign-op> <expression> ";"')),
+        Production("expression",
+                   ("<term>", '"(" <expression> ")"',
+                    "<expression> <op> <expression>")),
+        Production("term", ("<identifier>", "<fp-numeral>")),
+        Production("block",
+                   ("{<assignment>}+", "<if-block> <block>",
+                    "<for-loop-block> <block>", "<openmp-block>")),
+        Production("openmp-head",
+                   ('"#pragma omp parallel default(shared) private(" '
+                    '<private-vars> ")" " firstprivate(" <first-private-vars> '
+                    '")" {" reduction(" <reduction-op> ": comp)"}?',)),
+        Production("openmp-block",
+                   ('<openmp-head> "\\n{" {<assignment>}+ <for-loop-block> "}"',)),
+        Production("openmp-critical",
+                   ('"#pragma omp critical {\\n" <block> "}"',)),
+        Production("if-block",
+                   ('"if" "(" <bool-expression> ")" "{" <block> "}"',)),
+        Production("for-loop-head", ('"#pragma omp for \\n for"', '"for"')),
+        Production("for-loop-block",
+                   ('<for-loop-head> "(" <loop-header> ")" "{" '
+                    '{<block>|<openmp-critical>}+ "}"',)),
+        Production("loop-header",
+                   ('"int" <id> ";" <id> "<" <int-numeral> ";" "++" <id>',)),
+        Production("bool-expression", ("<id> <bool-op> <expression>",)),
+        Production("fp-type", ('"float"', '"double"')),
+        Production("assign-op", ('"="', '"+="', '"-="', '"*="', '"/="')),
+        Production("op", ('"+"', '"-"', '"*"', '"/"')),
+        Production("bool-op", ('"<"', '">"', '"=="', '"!="', '">="', '"<="')),
+        Production("reduction-op", ('"+"', '"*"')),
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Conformance checking
+# ----------------------------------------------------------------------
+
+
+def _fail(msg: str) -> None:
+    raise GrammarError(msg)
+
+
+def _check_index(idx: object) -> None:
+    """Index sub-language: loop var | thread id | constant | those % size."""
+    if isinstance(idx, ModIdx):
+        if idx.modulus <= 0:
+            _fail(f"array index modulus must be positive, got {idx.modulus}")
+        _check_index(idx.base)
+        if isinstance(idx.base, ModIdx):
+            _fail("nested modulo index expressions are not in the grammar")
+        return
+    if isinstance(idx, VarRef):
+        if not idx.var.is_int:
+            _fail(f"array index variable {idx.var.name} is not an int")
+        return
+    if isinstance(idx, (ThreadIdx, IntNumeral)):
+        return
+    _fail(f"illegal array index expression: {type(idx).__name__}")
+
+
+def _check_expr(e: Expr, *, depth: int = 0) -> int:
+    """Validate an ``<expression>`` tree; returns the number of terms."""
+    if depth > 200:
+        _fail("expression nesting too deep to be generator output")
+    if isinstance(e, FPNumeral):
+        return 1
+    if isinstance(e, IntNumeral):
+        return 1
+    if isinstance(e, VarRef):
+        return 1
+    if isinstance(e, ArrayRef):
+        _check_index(e.index)
+        return 1
+    if isinstance(e, UnaryOp):
+        if e.op not in ("+", "-"):
+            _fail(f"illegal unary operator {e.op!r}")
+        return _check_expr(e.operand, depth=depth + 1)
+    if isinstance(e, Paren):
+        return _check_expr(e.inner, depth=depth + 1)
+    if isinstance(e, BinOp):
+        return (_check_expr(e.lhs, depth=depth + 1)
+                + _check_expr(e.rhs, depth=depth + 1))
+    if isinstance(e, MathCall):
+        if e.func not in MATH_FUNCS:
+            _fail(f"math function {e.func!r} not in the allowed set")
+        _check_expr(e.arg, depth=depth + 1)
+        return 1
+    _fail(f"illegal expression node {type(e).__name__}")
+    raise AssertionError  # unreachable
+
+
+def _check_bool(b: BoolExpr) -> None:
+    if not isinstance(b.lhs, (VarRef, ArrayRef)):
+        _fail("<bool-expression> must start with an identifier")
+    if isinstance(b.lhs, ArrayRef):
+        _check_index(b.lhs.index)
+    _check_expr(b.rhs)
+
+
+def _is_assignment_like(s: object) -> bool:
+    return isinstance(s, (Assignment, DeclAssign))
+
+
+class _Ctx:
+    """Traversal context tracking where OpenMP constructs are legal."""
+
+    __slots__ = ("in_parallel", "in_omp_for", "in_critical")
+
+    def __init__(self, in_parallel: bool = False, in_omp_for: bool = False,
+                 in_critical: bool = False):
+        self.in_parallel = in_parallel
+        self.in_omp_for = in_omp_for
+        self.in_critical = in_critical
+
+
+def _check_block(block: Block, ctx: _Ctx) -> None:
+    if not isinstance(block, Block):
+        _fail(f"expected Block, got {type(block).__name__}")
+    if not block.stmts:
+        _fail("<block> must contain at least one statement")
+    for s in block.stmts:
+        _check_stmt(s, ctx)
+
+
+def _check_stmt(s: object, ctx: _Ctx) -> None:
+    if isinstance(s, Assignment):
+        if not isinstance(s.target, (VarRef, ArrayRef)):
+            _fail("assignment target must be a variable or array element")
+        if isinstance(s.target, ArrayRef):
+            _check_index(s.target.index)
+        _check_expr(s.expr)
+        return
+    if isinstance(s, DeclAssign):
+        if s.var.kind is not VarKind.TEMP:
+            _fail(f"DeclAssign may only introduce temporaries, got {s.var.kind}")
+        _check_expr(s.expr)
+        # C++ allows `double t = t * x;` but it reads indeterminate memory;
+        # the generator must never produce a self-referential initializer
+        from .nodes import walk as _walk
+        for n in _walk(s.expr):
+            if isinstance(n, VarRef) and n.var is s.var:
+                _fail(f"initializer of {s.var.name} references itself")
+        return
+    if isinstance(s, IfBlock):
+        _check_bool(s.cond)
+        _check_block(s.body, ctx)
+        return
+    if isinstance(s, ForLoop):
+        if s.omp_for and not ctx.in_parallel:
+            _fail("#pragma omp for outside a parallel region")
+        if s.omp_for and ctx.in_critical:
+            _fail("#pragma omp for inside a critical section")
+        if not isinstance(s.bound, (IntNumeral, VarRef)):
+            _fail("loop bound must be an int numeral or int parameter")
+        if isinstance(s.bound, VarRef) and not s.bound.var.is_int:
+            _fail("loop bound variable must be an int")
+        if isinstance(s.bound, IntNumeral) and s.bound.value < 0:
+            _fail("loop bound must be non-negative")
+        if not s.loop_var.is_int or s.loop_var.kind is not VarKind.LOOP:
+            _fail("loop induction variable must be an int LOOP variable")
+        inner = _Ctx(ctx.in_parallel, ctx.in_omp_for or s.omp_for,
+                     ctx.in_critical)
+        _check_block(s.body, inner)
+        return
+    if isinstance(s, OmpCritical):
+        if not ctx.in_parallel:
+            _fail("#pragma omp critical outside a parallel region")
+        if ctx.in_critical:
+            _fail("nested critical sections would self-deadlock")
+        _check_block(s.body, _Ctx(ctx.in_parallel, ctx.in_omp_for, True))
+        return
+    if isinstance(s, OmpParallel):
+        if ctx.in_parallel:
+            _fail("nested parallel regions are not generated (Section III-E)")
+        _check_parallel(s)
+        return
+    _fail(f"illegal statement node {type(s).__name__}")
+
+
+def _check_parallel(p: OmpParallel) -> None:
+    stmts = p.body.stmts
+    if not stmts:
+        _fail("<openmp-block> body is empty")
+    # Grammar line 18: {<assignment>}+ <for-loop-block>
+    if not isinstance(stmts[-1], ForLoop):
+        _fail("<openmp-block> must end with a for-loop block")
+    lead = stmts[:-1]
+    if not lead:
+        _fail("<openmp-block> needs at least one leading assignment")
+    for s in lead:
+        if not _is_assignment_like(s):
+            _fail("only assignments may precede the loop in an OpenMP block")
+        _check_stmt(s, _Ctx(in_parallel=True))
+    # Private copies must be initialized by the leading assignments before
+    # any use (Section III-G; also keeps the native backend deterministic).
+    assigned = {s.target.var.name for s in lead
+                if isinstance(s, Assignment) and isinstance(s.target, VarRef)}
+    assigned |= {s.var.name for s in lead if isinstance(s, DeclAssign)}
+    for v in p.clauses.private:
+        if v.name not in assigned:
+            _fail(f"private variable {v.name} is not initialized at region start")
+    # Clause sanity.
+    names = [v.name for v in p.clauses.all_listed()]
+    if len(names) != len(set(names)):
+        _fail("a variable appears in two data-sharing clauses")
+    if p.clauses.num_threads < 1:
+        _fail("num_threads must be >= 1")
+    _check_stmt(stmts[-1], _Ctx(in_parallel=True))
+
+
+def check_conformance(program: Program) -> None:
+    """Raise :class:`GrammarError` unless ``program`` conforms to Listing 2
+    plus the prose constraints of Sections III-E/F/G."""
+    if program.comp.kind is not VarKind.COMP:
+        _fail("program.comp must be the designated COMP variable")
+    if program.comp.is_array or not program.comp.is_fp:
+        _fail("comp must be a floating-point scalar (Section III-B)")
+    names = [v.name for v in program.params]
+    if len(names) != len(set(names)):
+        _fail("duplicate kernel parameter names")
+    if program.comp.name not in names:
+        _fail("comp must be a kernel parameter (inputs initialize it)")
+    for p in program.params:
+        if p.is_array and p.array_size <= 0:
+            _fail(f"array parameter {p.name} lacks a positive size")
+    _check_block(program.body, _Ctx())
+
+
+def conforms(program: Program) -> bool:
+    """Boolean convenience wrapper over :func:`check_conformance`."""
+    try:
+        check_conformance(program)
+    except GrammarError:
+        return False
+    return True

@@ -1,0 +1,182 @@
+"""OpenMP parallel-region generation (Sections III-E/F/G).
+
+Builds ``<openmp-block>`` subtrees:
+
+* the directive head with ``default(shared)``, randomized ``private`` /
+  ``firstprivate`` lists, ``num_threads``, and an optional
+  ``reduction(+|* : comp)`` clause (the reduction variable is always
+  ``comp`` — Section III-F),
+* one or more leading assignments that initialize every private copy
+  (Listing 1, line 9),
+* the mandatory trailing for-loop block, usually an ``#pragma omp for``,
+  whose body may contain critical sections,
+* the race-avoidance bookkeeping: which arrays may be written (only at
+  ``omp_get_thread_num()``), and which shared scalars become
+  "critical-only".
+"""
+
+from __future__ import annotations
+
+from .blockgen import BlockGen
+from .exprgen import ExprGen
+from .genctx import GenContext, RegionState
+from .nodes import (
+    Assignment,
+    Block,
+    DeclAssign,
+    Expr,
+    ForLoop,
+    FPNumeral,
+    OmpCritical,
+    OmpParallel,
+    Stmt,
+    VarRef,
+    walk,
+)
+from .types import AssignOpKind, OmpClauses, ReductionOp, Sharing, Variable
+
+
+class OmpGen:
+    """Generates parallel regions for one program."""
+
+    def __init__(self, ctx: GenContext, exprs: ExprGen, blocks: BlockGen):
+        self.ctx = ctx
+        self.rng = ctx.rng
+        self.cfg = ctx.cfg
+        self.exprs = exprs
+        self.blocks = blocks
+
+    # ------------------------------------------------------------------
+    def _assign_sharing(self, region: RegionState) -> None:
+        """Randomly partition the kernel's variables into data-sharing
+        classes (Section III-E: "Program variables are assigned to
+        data-sharing clauses randomly except for the comp variable and any
+        parallel loop-binding variable")."""
+        cfg, rng, ctx = self.cfg, self.rng, self.ctx
+        for v in ctx.fp_scalar_params:
+            roll = rng.random()
+            if roll < cfg.private_probability:
+                region.sharing[id(v)] = Sharing.PRIVATE
+                region.clauses.private.append(v)
+            elif roll < cfg.private_probability + cfg.firstprivate_probability:
+                region.sharing[id(v)] = Sharing.FIRSTPRIVATE
+                region.clauses.firstprivate.append(v)
+            else:
+                region.sharing[id(v)] = Sharing.SHARED
+        # arrays and int loop-bound parameters stay shared (default(shared));
+        # privatizing a pointer would not privatize the storage anyway
+        for v in ctx.array_params + ctx.int_params:
+            region.sharing[id(v)] = Sharing.SHARED
+        comp = ctx.comp
+        assert comp is not None
+        region.sharing[id(comp)] = (
+            Sharing.REDUCTION if region.reduction is not None else Sharing.SHARED)
+
+    def _init_expr_for_private(self, region: RegionState,
+                               inited: list[Variable]) -> Expr:
+        """An initializer legal *at region start*: only firstprivate vars,
+        safely-readable shared scalars, already-initialized privates, or a
+        numeral may appear."""
+        rng, ctx = self.rng, self.ctx
+        pool: list[Variable] = list(region.clauses.firstprivate)
+        pool += [v for v in ctx.fp_scalar_params
+                 if region.sharing_of(v) is Sharing.SHARED
+                 and id(v) not in region.critical_scalars]
+        pool += inited
+        if pool and rng.coin(0.5):
+            return VarRef(rng.choice(pool))
+        return FPNumeral(float(rng.randint(0, 3)))
+
+    # ------------------------------------------------------------------
+    def parallel_region(self) -> OmpParallel | None:
+        """Generate one ``<openmp-block>``, or None if no loop fits the
+        remaining iteration budget (the grammar requires a trailing loop)."""
+        ctx, cfg, rng = self.ctx, self.cfg, self.rng
+        assert ctx.region is None, "nested parallel regions are not generated"
+        if ctx.loop_bound_headroom() < cfg.loop_trip_min:
+            return None
+        # an OpenMP block consumes two nesting levels: the region itself and
+        # its mandatory trailing for-loop (Fig. 2 counts both)
+        if ctx.depth + 2 > cfg.max_nesting_levels:
+            return None
+
+        reduction = (rng.choice(list(ReductionOp))
+                     if rng.coin(cfg.reduction_probability) else None)
+        clauses = OmpClauses(num_threads=cfg.num_threads, reduction=reduction)
+        region = RegionState(clauses=clauses, reduction=reduction)
+        self._assign_sharing(region)
+
+        plan_critical = rng.coin(cfg.critical_probability)
+        comp = ctx.comp
+        assert comp is not None
+        if plan_critical:
+            if reduction is None:
+                region.critical_scalars.add(id(comp))
+            # occasionally a plain shared scalar becomes critical-only too
+            shared_scalars = [v for v in ctx.fp_scalar_params
+                              if region.sharing_of(v) is Sharing.SHARED]
+            if shared_scalars and rng.coin(0.4):
+                region.critical_scalars.add(id(rng.choice(shared_scalars)))
+
+        # choose which shared arrays the region writes (at [thread_id] only)
+        if ctx.array_params:
+            for arr in ctx.array_params:
+                if rng.coin(0.5):
+                    region.write_arrays.add(id(arr))
+        # keep the region observable: without a reduction, a critical comp
+        # update, or a written array, the region could be dead code
+        if reduction is None and not plan_critical and ctx.array_params \
+                and not region.write_arrays:
+            region.write_arrays.add(id(rng.choice(ctx.array_params)))
+
+        ctx.region = region
+        ctx.depth += 1  # the region block itself is one nesting level (Fig. 2)
+        # every statement in the region body runs once per team member; the
+        # per-thread chunking discount for omp-for loops is applied where
+        # the loop bound is chosen (BlockGen.for_loop)
+        ctx.iter_product *= cfg.num_threads
+        ctx.push_scope()
+        try:
+            lead: list[Stmt] = []
+            inited: list[Variable] = []
+            for v in clauses.private:
+                lead.append(Assignment(VarRef(v), AssignOpKind.ASSIGN,
+                                       self._init_expr_for_private(region, inited)))
+                inited.append(v)
+            # a few extra leading assignments, as the grammar's
+            # {<assignment>}+ allows (Listing 1 shows exactly this shape);
+            # bounded so the region body stays within the line limit plus
+            # the mandatory private initializations
+            extras = min(rng.randint(0, 2),
+                         max(0, cfg.max_lines_in_block - 1))
+            for _ in range(extras):
+                s = self.blocks.assignment()
+                if isinstance(s, (Assignment, DeclAssign)):
+                    lead.append(s)
+            if not lead:
+                # grammar requires at least one leading assignment; fall
+                # back to a thread-local temporary declaration (initializer
+                # generated before the temp enters scope)
+                init = self.exprs.expression()
+                lead.append(DeclAssign(ctx.fresh_tmp(), init))
+
+            omp_for = rng.coin(cfg.omp_for_probability)
+            loop = self.blocks.for_loop(omp_for=omp_for,
+                                        allow_critical=plan_critical)
+            if loop is None:
+                return None
+            if plan_critical and not self._has_critical(loop):
+                crit = self.blocks.critical()
+                if crit is not None:
+                    loop.body.stmts.append(crit)
+            return OmpParallel(clauses, Block([*lead, loop]))
+        finally:
+            ctx.pop_scope()
+            ctx.depth -= 1
+            ctx.iter_product //= cfg.num_threads
+            ctx.region = None
+            ctx.in_critical = False
+
+    @staticmethod
+    def _has_critical(loop: ForLoop) -> bool:
+        return any(isinstance(n, OmpCritical) for n in walk(loop))

@@ -1,0 +1,193 @@
+"""Static data-race detection over generated programs.
+
+The paper (Section III-E, Limitations) admits the generator "in some cases
+can generate data races, where the comp variable is written and read by
+multiple threads without synchronization" and that the authors "mitigated
+this by manually filtering out data race cases in the evaluation".
+
+This module automates that manual filtering: it re-derives the
+Section III-G safety argument for every parallel region and reports every
+access pattern that violates it.  Programs generated with
+``allow_data_races=False`` must produce an empty report (a property test
+enforces this); programs generated with the limitation-reproducing
+``allow_data_races=True`` flag are filtered by the campaign harness using
+this checker, exactly where the paper filtered manually.
+
+The rules, per parallel region:
+
+* private / firstprivate scalars and region-local temporaries are safe;
+* ``comp`` under a ``reduction`` clause is safe (each thread updates its
+  private copy);
+* a shared scalar (including non-reduction ``comp``) that is **written**
+  anywhere in the region must have *every* access (read or write) inside a
+  critical section;
+* a shared array that is written must be accessed **only** at
+  ``omp_get_thread_num()`` — a critical section does *not* widen array
+  access, because unprotected sibling writes still race with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .nodes import (
+    ArrayRef,
+    Assignment,
+    Block,
+    BoolExpr,
+    DeclAssign,
+    Expr,
+    ForLoop,
+    IfBlock,
+    OmpCritical,
+    OmpParallel,
+    Program,
+    ThreadIdx,
+    VarRef,
+    walk,
+)
+from .types import Sharing, Variable, VarKind
+
+
+@dataclass(frozen=True)
+class Access:
+    """One scalar/array access inside a parallel region."""
+
+    var: Variable
+    is_write: bool
+    in_critical: bool
+    tid_index: bool  # for arrays: was the index omp_get_thread_num()?
+    is_array: bool
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One detected (potential) data race."""
+
+    region_index: int
+    var_name: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"region {self.region_index}: {self.var_name}: {self.reason}"
+
+
+def _region_sharing(region: OmpParallel) -> dict[int, Sharing]:
+    sharing: dict[int, Sharing] = {}
+    for v in region.clauses.private:
+        sharing[id(v)] = Sharing.PRIVATE
+    for v in region.clauses.firstprivate:
+        sharing[id(v)] = Sharing.FIRSTPRIVATE
+    return sharing
+
+
+def _collect_accesses(region: OmpParallel) -> tuple[list[Access], set[int]]:
+    """Walk the region body recording accesses and region-local temps."""
+    accesses: list[Access] = []
+    local_vars: set[int] = set()
+
+    def expr_reads(e: Expr | BoolExpr, in_critical: bool) -> None:
+        for n in walk(e):  # walk yields the node itself plus descendants
+            if isinstance(n, VarRef):
+                accesses.append(Access(n.var, False, in_critical, False, False))
+            elif isinstance(n, ArrayRef):
+                tid = isinstance(n.index, ThreadIdx)
+                accesses.append(Access(n.var, False, in_critical, tid, True))
+                if isinstance(n.index, VarRef):
+                    accesses.append(Access(n.index.var, False, in_critical,
+                                           False, False))
+
+    def visit(b: Block, in_critical: bool) -> None:
+        for s in b.stmts:
+            if isinstance(s, Assignment):
+                expr_reads(s.expr, in_critical)
+                if isinstance(s.target, VarRef):
+                    accesses.append(Access(s.target.var, True, in_critical,
+                                           False, False))
+                    if s.op.binop is not None:  # compound ops also read
+                        accesses.append(Access(s.target.var, False,
+                                               in_critical, False, False))
+                else:
+                    tid = isinstance(s.target.index, ThreadIdx)
+                    accesses.append(Access(s.target.var, True, in_critical,
+                                           tid, True))
+                    if s.op.binop is not None:
+                        accesses.append(Access(s.target.var, False,
+                                               in_critical, tid, True))
+            elif isinstance(s, DeclAssign):
+                local_vars.add(id(s.var))
+                expr_reads(s.expr, in_critical)
+            elif isinstance(s, IfBlock):
+                expr_reads(s.cond, in_critical)
+                visit(s.body, in_critical)
+            elif isinstance(s, ForLoop):
+                local_vars.add(id(s.loop_var))
+                if isinstance(s.bound, VarRef):
+                    accesses.append(Access(s.bound.var, False, in_critical,
+                                           False, False))
+                visit(s.body, in_critical)
+            elif isinstance(s, OmpCritical):
+                visit(s.body, True)
+            else:  # pragma: no cover - grammar forbids nested parallel
+                raise TypeError(f"unexpected node {type(s).__name__}")
+
+    visit(region.body, False)
+    return accesses, local_vars
+
+
+def check_region(region: OmpParallel, region_index: int) -> list[RaceReport]:
+    """Race reports for a single parallel region."""
+    reports: list[RaceReport] = []
+    sharing = _region_sharing(region)
+    has_reduction = region.clauses.reduction is not None
+    accesses, local_vars = _collect_accesses(region)
+
+    by_var: dict[int, list[Access]] = {}
+    names: dict[int, str] = {}
+    for a in accesses:
+        by_var.setdefault(id(a.var), []).append(a)
+        names[id(a.var)] = a.var.name
+
+    for vid, accs in by_var.items():
+        var = accs[0].var
+        if vid in local_vars:
+            continue  # region-local => thread-local
+        if sharing.get(vid) in (Sharing.PRIVATE, Sharing.FIRSTPRIVATE):
+            continue
+        if var.kind is VarKind.COMP and has_reduction:
+            continue  # private reduction copy
+        writes = [a for a in accs if a.is_write]
+        if not writes:
+            continue  # read-only shared data is race-free
+        if var.is_array:
+            bad = [a for a in accs if not a.tid_index]
+            if bad:
+                reports.append(RaceReport(
+                    region_index, var.name,
+                    "shared array is written in the region but accessed at "
+                    "an index other than omp_get_thread_num()"))
+            continue
+        unprotected = [a for a in accs if not a.in_critical]
+        if unprotected:
+            kind = "written" if any(a.is_write for a in unprotected) else "read"
+            reports.append(RaceReport(
+                region_index, var.name,
+                f"shared scalar is written in the region but {kind} outside "
+                f"a critical section"))
+    return reports
+
+
+def find_races(program: Program) -> list[RaceReport]:
+    """All race reports across every parallel region of ``program``."""
+    reports: list[RaceReport] = []
+    idx = 0
+    for n in walk(program):
+        if isinstance(n, OmpParallel):
+            reports.extend(check_region(n, idx))
+            idx += 1
+    return reports
+
+
+def is_race_free(program: Program) -> bool:
+    """True when the static checker finds no potential data race."""
+    return not find_races(program)

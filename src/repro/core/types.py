@@ -1,0 +1,166 @@
+"""Scalar types, operators, and variable descriptors for the generated language.
+
+The generated programs are C++ translation units restricted to the paper's
+grammar (Listing 2):
+
+* floating-point scalars and arrays of one precision per test
+  (``<fp-type>`` supports ``float`` and ``double``),
+* ``int`` parameters used as loop bounds,
+* arithmetic operators ``{+, -, *, /}``, assignment operators
+  ``{=, +=, -=, *=, /=}``, boolean operators ``{<, >, ==, !=, >=, <=}``,
+* C math-library calls,
+* OpenMP data-sharing attributes (shared / private / firstprivate /
+  reduction) on variables referenced inside parallel regions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FPType(enum.Enum):
+    """Floating-point precision of a test program (``<fp-type>``)."""
+
+    FLOAT = "float"
+    DOUBLE = "double"
+
+    @property
+    def cpp_name(self) -> str:
+        return self.value
+
+    @property
+    def bits(self) -> int:
+        return 32 if self is FPType.FLOAT else 64
+
+    @property
+    def suffix(self) -> str:
+        """Literal suffix used when emitting C++ numerals."""
+        return "f" if self is FPType.FLOAT else ""
+
+
+class BinOpKind(enum.Enum):
+    """Arithmetic operators allowed in ``<expression>``."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+
+
+class AssignOpKind(enum.Enum):
+    """Assignment operators allowed in ``<assignment>``."""
+
+    ASSIGN = "="
+    ADD_ASSIGN = "+="
+    SUB_ASSIGN = "-="
+    MUL_ASSIGN = "*="
+    DIV_ASSIGN = "/="
+
+    @property
+    def binop(self) -> BinOpKind | None:
+        """The arithmetic operator a compound assignment applies."""
+        return {
+            AssignOpKind.ADD_ASSIGN: BinOpKind.ADD,
+            AssignOpKind.SUB_ASSIGN: BinOpKind.SUB,
+            AssignOpKind.MUL_ASSIGN: BinOpKind.MUL,
+            AssignOpKind.DIV_ASSIGN: BinOpKind.DIV,
+        }.get(self)
+
+
+class BoolOpKind(enum.Enum):
+    """Comparison operators allowed in ``<bool-expression>``."""
+
+    LT = "<"
+    GT = ">"
+    EQ = "=="
+    NE = "!="
+    GE = ">="
+    LE = "<="
+
+
+class ReductionOp(enum.Enum):
+    """``<reduction-op>`` supports {+, *} (Section III-F)."""
+
+    SUM = "+"
+    PROD = "*"
+
+
+class Sharing(enum.Enum):
+    """OpenMP data-sharing attribute of a variable in a parallel region."""
+
+    SHARED = "shared"
+    PRIVATE = "private"
+    FIRSTPRIVATE = "firstprivate"
+    REDUCTION = "reduction"
+
+
+class VarKind(enum.Enum):
+    """Where a variable lives in the generated program."""
+
+    PARAM = "param"          # kernel parameter, value supplied by the input
+    TEMP = "temp"            # temporary declared inside the kernel body
+    LOOP = "loop"            # for-loop induction variable (int)
+    COMP = "comp"            # the single output accumulator
+
+
+#: Math functions eligible when MATH_FUNC_ALLOWED is set.  All are
+#: unary, total on the reals except where IEEE defines NaN results,
+#: and present both in <cmath> and in Python's math module.
+MATH_FUNCS: tuple[str, ...] = (
+    "sin", "cos", "tan", "exp", "log", "sqrt", "fabs", "tanh", "atan",
+)
+
+
+@dataclass(eq=False)
+class Variable:
+    """A named variable of the generated program.
+
+    Identity (not name) equality is intentional: the generator may scope
+    two distinct temporaries with the same name in disjoint blocks.
+    """
+
+    name: str
+    fp_type: FPType | None   # None => int variable
+    kind: VarKind
+    is_array: bool = False
+    array_size: int = 0
+    sharing: Sharing | None = None  # set when referenced in a parallel region
+
+    @property
+    def is_int(self) -> bool:
+        return self.fp_type is None
+
+    @property
+    def is_fp(self) -> bool:
+        return self.fp_type is not None
+
+    def cpp_decl_type(self) -> str:
+        """The C++ type of this variable as a kernel parameter."""
+        if self.is_int:
+            return "int"
+        assert self.fp_type is not None
+        return f"{self.fp_type.cpp_name}*" if self.is_array else self.fp_type.cpp_name
+
+    def __repr__(self) -> str:
+        t = "int" if self.is_int else self.cpp_decl_type()
+        return f"Variable({self.name}:{t}:{self.kind.value})"
+
+
+@dataclass
+class OmpClauses:
+    """Clause set of an ``omp parallel`` directive (``<openmp-head>``).
+
+    ``default(shared)`` is always emitted (grammar line 16); the variable
+    lists are populated by the data-sharing assignment pass, and
+    ``reduction`` is only ever over ``comp`` (Section III-F).
+    """
+
+    private: list[Variable] = field(default_factory=list)
+    firstprivate: list[Variable] = field(default_factory=list)
+    shared: list[Variable] = field(default_factory=list)
+    reduction: ReductionOp | None = None
+    num_threads: int = 32
+
+    def all_listed(self) -> list[Variable]:
+        return [*self.private, *self.firstprivate, *self.shared]

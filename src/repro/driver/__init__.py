@@ -1,0 +1,13 @@
+"""Test-execution driver (Fig. 1 step (c))."""
+
+from .execution import build_args, run_binary, run_differential
+from .records import RunRecord, RunStatus, values_equal
+
+__all__ = [
+    "RunRecord",
+    "RunStatus",
+    "build_args",
+    "run_binary",
+    "run_differential",
+    "values_equal",
+]

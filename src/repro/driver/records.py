@@ -1,0 +1,74 @@
+"""Run records: the observable outcome of one binary execution.
+
+Section IV-C labels each execution ``P_i^OK``, ``P_i^CRASH`` or
+``P_i^HANG``; a record also carries the numerical output, the virtual
+execution time (Section III-H measures microseconds around ``compute``),
+the simulated perf counters, and optionally the symbol profile.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..sim.counters import PerfCounters
+from ..sim.events import ProfileRecorder
+
+
+class RunStatus(enum.Enum):
+    OK = "OK"
+    CRASH = "CRASH"
+    HANG = "HANG"
+
+
+@dataclass
+class RunRecord:
+    """Outcome of running one binary with one input."""
+
+    program_name: str
+    vendor: str
+    input_index: int
+    status: RunStatus
+    comp: float | None
+    time_us: float
+    counters: PerfCounters = field(default_factory=PerfCounters)
+    profile: ProfileRecorder | None = None
+    detail: str = ""
+    thread_states: dict[str, list[int]] | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RunStatus.OK
+
+    def label(self) -> str:
+        """``P_i^OK`` notation from Section IV-C."""
+        return f"P_{self.vendor}^{self.status.value}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (profiles are summarized, not embedded)."""
+        return {
+            "program": self.program_name,
+            "vendor": self.vendor,
+            "input": self.input_index,
+            "status": self.status.value,
+            "comp": None if self.comp is None else repr(self.comp),
+            "time_us": round(self.time_us, 3),
+            "counters": self.counters.perf_row(),
+            "detail": self.detail,
+        }
+
+
+def values_equal(a: float | None, b: float | None) -> bool:
+    """Output equality for differential comparison.
+
+    Exact bit-for-bit agreement is required (differential testing compares
+    printed ``%.17g`` values), except that two NaNs — of any payload —
+    count as the same answer.
+    """
+    if a is None or b is None:
+        return a is b
+    if math.isnan(a) and math.isnan(b):
+        return True
+    return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)

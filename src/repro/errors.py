@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+downstream users can catch library failures with a single ``except`` clause
+while still distinguishing the phase that failed (generation, compilation,
+execution, analysis).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or out of range."""
+
+
+class GenerationError(ReproError):
+    """The random program generator could not satisfy its constraints."""
+
+
+class GrammarError(ReproError):
+    """An AST does not conform to the paper's grammar (Listing 2)."""
+
+
+class CompilationError(ReproError):
+    """A (simulated or native) compiler failed to produce a binary."""
+
+
+class ExecutionError(ReproError):
+    """The execution driver failed in a way that is *not* a test verdict.
+
+    CRASH/HANG of a generated test are *results*, reported via
+    :class:`repro.driver.records.RunRecord`; this exception signals harness
+    bugs such as an unparsable native-backend output.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """Raised inside the interpreter when a latent compiler fault fires.
+
+    The driver converts this into a ``CRASH`` run status, mirroring a
+    segmentation fault of a miscompiled native binary.
+    """
+
+    def __init__(self, signal_name: str = "SIGSEGV", detail: str = ""):
+        self.signal_name = signal_name
+        self.detail = detail
+        super().__init__(f"simulated crash ({signal_name}) {detail}".strip())
+
+
+class SimulatedHang(ReproError):
+    """Raised when a simulated runtime stops making progress.
+
+    Carries the thread-state snapshot used to reproduce the paper's
+    Figure 9 analysis of the Intel hang case study.
+    """
+
+    def __init__(self, elapsed_us: float, thread_states: dict[str, list[int]]):
+        self.elapsed_us = elapsed_us
+        self.thread_states = thread_states
+        super().__init__(f"simulated hang after {elapsed_us:.0f} virtual us")
+
+
+class AnalysisError(ReproError):
+    """Outlier/perf analysis was asked something ill-posed (e.g. no runs)."""
+
+
+class BackendUnavailable(ReproError):
+    """The requested execution backend (e.g. native g++) is not present."""

@@ -1,0 +1,160 @@
+"""Campaign orchestration: the complete Figure-1 pipeline.
+
+``config file -> generate programs+inputs -> compile with every OpenMP
+implementation -> run -> compare results & find anomalies``
+
+:class:`CampaignRunner` executes the whole grid (``n_programs x
+inputs_per_program x len(compilers)`` runs, the paper's 200 x 3 x 3 =
+1,800) and produces a :class:`CampaignResult` with per-test verdicts, the
+Table-I outlier table, and feature statistics.  The paper's manual
+data-race filtering step is automated: when the generator runs in its
+limitation-reproducing ``allow_data_races`` mode, racy programs are
+detected statically and excluded from analysis (and counted).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..config import CampaignConfig
+from ..core.features import ProgramFeatures, extract_features
+from ..core.generator import ProgramGenerator
+from ..core.inputs import InputGenerator, TestInput
+from ..core.nodes import Program
+from ..core.races import find_races
+from ..driver.execution import run_differential
+from ..driver.records import RunRecord
+from ..vendors.toolchain import compile_all
+from ..analysis.outliers import (
+    OutlierTable,
+    TestVerdict,
+    analyze_test,
+    build_outlier_table,
+)
+
+ProgressFn = Callable[[int, int], None]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    config: CampaignConfig
+    verdicts: list[TestVerdict] = field(default_factory=list)
+    features: dict[str, ProgramFeatures] = field(default_factory=dict)
+    race_filtered: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def table(self) -> OutlierTable:
+        return build_outlier_table(self.verdicts)
+
+    @property
+    def n_runs(self) -> int:
+        return sum(len(v.records) for v in self.verdicts)
+
+    def analyzed_verdicts(self) -> list[TestVerdict]:
+        return [v for v in self.verdicts if v.analyzed]
+
+    def outliers(self):
+        for v in self.verdicts:
+            yield from v.outliers
+
+    def verdicts_for(self, program_name: str) -> list[TestVerdict]:
+        return [v for v in self.verdicts if v.program_name == program_name]
+
+
+class CampaignRunner:
+    """Runs one differential-testing campaign under a configuration."""
+
+    def __init__(self, config: CampaignConfig | None = None):
+        self.config = config if config is not None else CampaignConfig()
+        self.programs = ProgramGenerator(self.config.generator,
+                                         seed=self.config.seed)
+        self.inputs = InputGenerator(self.config.generator,
+                                     seed=self.config.seed + 1)
+
+    # ------------------------------------------------------------------
+    def iter_tests(self) -> Iterator[tuple[Program, TestInput]]:
+        """Yield every (program, input) pair of the campaign grid."""
+        for i in range(self.config.n_programs):
+            program = self.programs.generate(i)
+            for j in range(self.config.inputs_per_program):
+                yield program, self.inputs.generate(program, j)
+
+    # ------------------------------------------------------------------
+    def run(self, *, progress: ProgressFn | None = None,
+            collect_profiles: bool = False) -> CampaignResult:
+        """Execute the full campaign grid and analyze every test."""
+        cfg = self.config
+        result = CampaignResult(config=cfg)
+        t0 = time.perf_counter()
+
+        for i in range(cfg.n_programs):
+            program = self.programs.generate(i)
+            if cfg.generator.allow_data_races and find_races(program):
+                # the paper "mitigated this by manually filtering out data
+                # race cases in the evaluation" — we filter statically
+                result.race_filtered.append(program.name)
+                continue
+            result.features[program.name] = extract_features(program)
+            binaries = compile_all(program, cfg.compilers, cfg.opt_level)
+            for j in range(cfg.inputs_per_program):
+                test_input = self.inputs.generate(program, j)
+                records = run_differential(binaries, test_input, cfg.machine,
+                                           collect_profile=collect_profiles)
+                result.verdicts.append(analyze_test(records, cfg.outliers))
+            if progress is not None:
+                progress(i + 1, cfg.n_programs)
+
+        result.elapsed_seconds = time.perf_counter() - t0
+        return result
+
+
+# ----------------------------------------------------------------------
+# convenience single-test entry point (used by the quickstart example)
+# ----------------------------------------------------------------------
+
+@dataclass
+class SingleTestResult:
+    """One generated test run through every implementation."""
+
+    program: Program
+    test_input: TestInput
+    records: list[RunRecord]
+    verdict: TestVerdict
+    cpp_source: str
+
+    def table(self) -> str:
+        lines = [f"test {self.program.name} "
+                 f"(fp={self.program.fp_type.cpp_name}, "
+                 f"threads={self.program.num_threads})"]
+        lines.append(f"{'impl':<8} {'status':<7} {'time (us)':>12} comp")
+        for r in self.records:
+            lines.append(f"{r.vendor:<8} {r.status.value:<7} "
+                         f"{r.time_us:>12.1f} {r.comp!r}")
+        if self.verdict.outliers:
+            for o in self.verdict.outliers:
+                lines.append(f"OUTLIER: {o}")
+        else:
+            lines.append("no outliers detected")
+        return "\n".join(lines)
+
+
+def differential_test_single(seed: int = 42, program_index: int = 0,
+                             config: CampaignConfig | None = None
+                             ) -> SingleTestResult:
+    """Generate one program + one input, run all implementations, compare."""
+    cfg = config if config is not None else CampaignConfig(seed=seed)
+    runner = CampaignRunner(cfg)
+    program = runner.programs.generate(program_index)
+    test_input = runner.inputs.generate(program, 0)
+    binaries = compile_all(program, cfg.compilers, cfg.opt_level)
+    records = run_differential(binaries, test_input, cfg.machine,
+                               collect_profile=True)
+    verdict = analyze_test(records, cfg.outliers)
+    return SingleTestResult(program=program, test_input=test_input,
+                            records=records, verdict=verdict,
+                            cpp_source=binaries[0].cpp_source)

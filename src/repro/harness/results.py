@@ -1,0 +1,93 @@
+"""Result persistence: JSONL stores for runs and verdicts.
+
+The paper releases its tests and results as a dataset
+(``quartz1247_532344/_tests/_group_7/_test_2.cpp`` and friends); this
+module provides the equivalent: every campaign can be dumped to a
+directory containing the generated C++ sources, the inputs, and one JSONL
+line per run / per verdict, so case studies can be re-examined offline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..analysis.outliers import TestVerdict
+
+
+@dataclass
+class TestResult:
+    """Lightweight (program, input) result row for persistence."""
+
+    program_name: str
+    input_index: int
+    runs: list[dict[str, Any]]
+    outliers: list[str]
+    analyzed: bool
+
+    @classmethod
+    def from_verdict(cls, v: TestVerdict) -> "TestResult":
+        return cls(
+            program_name=v.program_name,
+            input_index=v.input_index,
+            runs=[r.to_dict() for r in v.records],
+            outliers=[str(o) for o in v.outliers],
+            analyzed=v.analyzed,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "program": self.program_name,
+            "input": self.input_index,
+            "analyzed": self.analyzed,
+            "runs": self.runs,
+            "outliers": self.outliers,
+        }, sort_keys=True)
+
+
+def write_verdicts(verdicts: list[TestVerdict], path: str | Path) -> int:
+    """Write one JSONL line per verdict; returns the number written."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    n = 0
+    with p.open("w") as fh:
+        for v in verdicts:
+            fh.write(TestResult.from_verdict(v).to_json() + "\n")
+            n += 1
+    return n
+
+
+def read_verdict_rows(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield the raw dict rows of a verdicts JSONL file."""
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def dump_campaign_artifacts(result, out_dir: str | Path) -> Path:
+    """Persist a campaign like the paper's released dataset:
+
+    ``<out>/tests/<program>.cpp`` — generated sources (regenerated
+    deterministically from the campaign seed), ``<out>/verdicts.jsonl`` —
+    per-test outcomes, ``<out>/config.json`` — the exact configuration.
+    """
+    from ..codegen.emit_main import emit_translation_unit
+    from ..config import campaign_to_json
+    from ..core.generator import ProgramGenerator
+
+    out = Path(out_dir)
+    (out / "tests").mkdir(parents=True, exist_ok=True)
+    gen = ProgramGenerator(result.config.generator, seed=result.config.seed)
+    wanted = {v.program_name for v in result.verdicts}
+    for i in range(result.config.n_programs):
+        program = gen.generate(i)
+        if program.name in wanted:
+            (out / "tests" / f"{program.name}.cpp").write_text(
+                emit_translation_unit(program))
+    write_verdicts(result.verdicts, out / "verdicts.jsonl")
+    (out / "config.json").write_text(campaign_to_json(result.config))
+    return out

@@ -1,0 +1,135 @@
+"""Seeded randomness utilities.
+
+The paper (Section III-C) constructs random programs by drawing every
+feature from a uniform distribution.  All random choices in this library
+flow through :class:`Rng`, a thin wrapper over :class:`random.Random` that
+
+* is always explicitly seeded (no hidden global state, reproducible runs),
+* supports forking independent child streams (``child``) so that e.g. the
+  program generator and the input generator cannot perturb each other's
+  sequences when one of them changes, and
+* exposes the handful of draw shapes the generator needs (choice, weighted
+  choice, log-uniform integers) in one audited place.
+
+Deterministic *non-random* decisions (vendor fault triggers) use
+:func:`stable_hash` instead, so they depend only on program content and
+never on draw order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+_CHILD_SALT = 0x9E3779B97F4A7C15  # golden-ratio mixing constant
+
+
+class Rng:
+    """Explicitly seeded random stream with forkable children."""
+
+    __slots__ = ("seed", "_r")
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        self._r = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # stream management
+    # ------------------------------------------------------------------
+    def child(self, tag: str) -> "Rng":
+        """Return an independent stream derived from this seed and ``tag``.
+
+        Children with distinct tags are statistically independent; the same
+        (seed, tag) pair always yields the same stream.
+        """
+        h = hashlib.sha256(f"{self.seed}:{tag}".encode()).digest()
+        return Rng(int.from_bytes(h[:8], "little") ^ _CHILD_SALT)
+
+    # ------------------------------------------------------------------
+    # draws
+    # ------------------------------------------------------------------
+    def random(self) -> float:
+        return self._r.random()
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._r.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range [lo, hi]."""
+        if lo > hi:
+            raise ValueError(f"empty integer range [{lo}, {hi}]")
+        return self._r.randint(lo, hi)
+
+    def log_randint(self, lo: int, hi: int) -> int:
+        """Integer in [lo, hi] drawn log-uniformly (favors small values).
+
+        Used for loop trip counts so that deeply nested loops do not
+        systematically explode the total iteration product.
+        """
+        if lo > hi:
+            raise ValueError(f"empty integer range [{lo}, {hi}]")
+        if lo <= 0:
+            raise ValueError("log_randint requires a positive lower bound")
+        lg = self._r.uniform(math.log(lo), math.log(hi + 1))
+        return min(hi, max(lo, int(math.exp(lg))))
+
+    def choice(self, seq: Sequence[T]) -> T:
+        if not seq:
+            raise ValueError("choice from empty sequence")
+        return self._r.choice(seq)
+
+    def weighted_choice(self, pairs: Iterable[tuple[T, float]]) -> T:
+        """Choose among (item, weight) pairs; weights need not sum to 1."""
+        items, weights = [], []
+        for item, w in pairs:
+            if w < 0:
+                raise ValueError(f"negative weight {w!r} for {item!r}")
+            items.append(item)
+            weights.append(w)
+        total = sum(weights)
+        if not items or total <= 0:
+            raise ValueError("weighted_choice needs at least one positive weight")
+        x = self._r.uniform(0.0, total)
+        acc = 0.0
+        for item, w in zip(items, weights):
+            acc += w
+            if x <= acc:
+                return item
+        return items[-1]
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        return self._r.sample(list(seq), k)
+
+    def shuffle(self, seq: list[T]) -> None:
+        self._r.shuffle(seq)
+
+    def coin(self, p: float = 0.5) -> bool:
+        """Bernoulli draw with success probability ``p``."""
+        return self._r.random() < p
+
+    def getrandbits(self, k: int) -> int:
+        return self._r.getrandbits(k)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rng(seed={self.seed})"
+
+
+def stable_hash(*parts: object) -> int:
+    """A 64-bit hash stable across processes and Python versions.
+
+    Vendor fault models key their deterministic triggers off this so the
+    same program always trips (or never trips) the same latent bug,
+    independent of generation order — mirroring how a real miscompile is a
+    function of the program, not of the fuzzer's RNG state.
+    """
+    h = hashlib.sha256("\x1f".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(h[:8], "little")
+
+
+def hash_fraction(*parts: object) -> float:
+    """Map ``parts`` to a deterministic float uniform-ish in [0, 1)."""
+    return stable_hash(*parts) / 2**64

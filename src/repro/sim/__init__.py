@@ -1,0 +1,31 @@
+"""Deterministic execution substrate: interpreter, runtime, counters.
+
+The simulated backend executes generated programs with exact IEEE
+semantics on a virtual clock.  A vendor's "compiler" lowers the AST to
+Python (:mod:`repro.sim.lower`); its "runtime" is a
+:class:`~repro.sim.runtime.RegionExecutor` cost model driven by hooks in
+the lowered code.
+"""
+
+from .counters import PerfCounters
+from .events import ProfileRecorder
+from .lower import CostState, Lowerer, LoweredKernel, RegionMeta
+from .runtime import RegionExecutor
+from .values import MATH_IMPLS, f32, fdiv, fma_d, fma_f, ftz_d, ftz_f
+
+__all__ = [
+    "CostState",
+    "Lowerer",
+    "LoweredKernel",
+    "MATH_IMPLS",
+    "PerfCounters",
+    "ProfileRecorder",
+    "RegionExecutor",
+    "RegionMeta",
+    "f32",
+    "fdiv",
+    "fma_d",
+    "fma_f",
+    "ftz_d",
+    "ftz_f",
+]

@@ -1,0 +1,50 @@
+"""Simulated ``perf``-style hardware counters (Tables II and III).
+
+The paper compares vendors using ``perf_events`` counter statistics:
+context-switches, cpu-migrations, page-faults, cycles, instructions,
+branches, branch-misses.  The simulated runtime produces the same seven
+counters mechanistically:
+
+* instructions / branches accrue per executed block (static per-block
+  costs computed at lowering time),
+* cycles follow the virtual clock,
+* context-switches / migrations come from the vendor's wait policy
+  (sleeping waits reschedule; spinning ones do not),
+* page-faults come from memory events (array allocation, team spawn).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class PerfCounters:
+    """The seven counters the paper reports, plus lock statistics."""
+
+    context_switches: int = 0
+    cpu_migrations: int = 0
+    page_faults: int = 0
+    cycles: int = 0
+    instructions: int = 0
+    branches: int = 0
+    branch_misses: int = 0
+    # extra visibility into the lock model (not in perf, used by analyses)
+    critical_acquires: int = 0
+
+    PERF_FIELDS = ("context_switches", "cpu_migrations", "page_faults",
+                   "cycles", "instructions", "branches", "branch_misses")
+
+    def add(self, other: "PerfCounters") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: int(getattr(self, f.name)) for f in fields(self)}
+
+    def perf_row(self) -> dict[str, int]:
+        """Only the seven counters the paper's tables show."""
+        return {k: int(getattr(self, k)) for k in self.PERF_FIELDS}
+
+    def copy(self) -> "PerfCounters":
+        return PerfCounters(**self.as_dict())

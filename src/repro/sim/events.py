@@ -1,0 +1,40 @@
+"""Per-symbol time profile, the substrate for Fig. 6/7-style listings.
+
+The simulated runtime charges virtual cycles to runtime symbol names
+(``__kmp_wait_template``, ``do_wait``, ...) exactly where the mechanisms
+fire; :mod:`repro.analysis.profiles` renders them like ``perf report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProfileRecorder:
+    """Flat self-time per (shared object, symbol)."""
+
+    binary_name: str = "_test"
+    samples: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def charge(self, shared_object: str, symbol: str, cycles: float) -> None:
+        if cycles <= 0:
+            return
+        key = (shared_object, symbol)
+        self.samples[key] = self.samples.get(key, 0.0) + cycles
+
+    def total(self) -> float:
+        return sum(self.samples.values())
+
+    def rows(self) -> list[tuple[float, str, str]]:
+        """(overhead fraction, shared object, symbol), descending."""
+        tot = self.total()
+        if tot <= 0:
+            return []
+        return sorted(((cy / tot, so, sym)
+                       for (so, sym), cy in self.samples.items()),
+                      reverse=True)
+
+    def merge(self, other: "ProfileRecorder") -> None:
+        for (so, sym), cy in other.samples.items():
+            self.charge(so, sym, cy)

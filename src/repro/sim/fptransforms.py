@@ -1,0 +1,163 @@
+"""Compiler-half floating-point lowering (FMA contraction, -O3 effects).
+
+The three vendors lower the *same* source expression trees differently:
+
+* ``fma_mode="basic"`` (SimClang, SimIntel — both LLVM-based) contracts
+  only addition shapes ``a*b + c`` / ``c + a*b``,
+* ``fma_mode="aggressive"`` (SimGCC, whose ``-O3`` implies
+  ``-ffp-contract=fast``) additionally contracts subtraction shapes
+  ``a*b - c`` and ``c - a*b``,
+* ``fma_mode="none"`` (all vendors below ``-O2``) leaves trees untouched.
+
+A contracted multiply-add rounds once instead of twice; on extreme inputs
+the difference cascades into overflow/NaN divergence and branch flips —
+the numerical-exception control-flow mechanism of Section V-B.
+
+The transform is pure: it returns a **new** body tree, leaving the
+original program untouched (all vendors must compile identical source).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.nodes import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Block,
+    BoolExpr,
+    DeclAssign,
+    Expr,
+    ForLoop,
+    FPNumeral,
+    IfBlock,
+    IntNumeral,
+    MathCall,
+    OmpCritical,
+    OmpParallel,
+    Paren,
+    ThreadIdx,
+    UnaryOp,
+    VarRef,
+)
+from ..core.types import BinOpKind
+
+
+@dataclass(slots=True)
+class FusedMulAdd:
+    """Internal lowered node: ``round(a*b + c)`` with a single rounding.
+
+    Only ever appears in vendor-lowered trees, never in generated source
+    (the grammar checker runs before lowering).  ``negate_product`` covers
+    the ``c - a*b`` contraction.
+    """
+
+    a: Expr
+    b: Expr
+    c: Expr
+    negate_product: bool = False
+
+    def children(self) -> Iterator[Expr]:
+        yield self.a
+        yield self.b
+        yield self.c
+
+
+def _strip_paren(e: Expr) -> Expr:
+    """Contraction looks through parentheses, as real compilers do: parens
+    affect parse grouping, not whether a product feeds an add."""
+    while isinstance(e, Paren):
+        e = e.inner
+    return e
+
+
+def _as_product(e: Expr) -> BinOp | None:
+    inner = _strip_paren(e)
+    if isinstance(inner, BinOp) and inner.op is BinOpKind.MUL:
+        return inner
+    return None
+
+
+def lower_expr(e: Expr, fma_mode: str) -> Expr:
+    """Recursively lower one expression tree under the given fma mode."""
+    if isinstance(e, (FPNumeral, IntNumeral, VarRef, ThreadIdx)):
+        return e
+    if isinstance(e, ArrayRef):
+        return e  # index sub-language contains no fp arithmetic
+    if isinstance(e, Paren):
+        return Paren(lower_expr(e.inner, fma_mode))
+    if isinstance(e, UnaryOp):
+        return UnaryOp(e.op, lower_expr(e.operand, fma_mode))
+    if isinstance(e, MathCall):
+        return MathCall(e.func, lower_expr(e.arg, fma_mode))
+    if isinstance(e, FusedMulAdd):  # already lowered (idempotence)
+        return e
+    if isinstance(e, BinOp):
+        lhs = lower_expr(e.lhs, fma_mode)
+        rhs = lower_expr(e.rhs, fma_mode)
+        if fma_mode != "none":
+            fused = _try_contract(e.op, lhs, rhs, fma_mode)
+            if fused is not None:
+                return fused
+        return BinOp(e.op, lhs, rhs)
+    raise TypeError(f"cannot lower {type(e).__name__}")
+
+
+def _try_contract(op: BinOpKind, lhs: Expr, rhs: Expr,
+                  fma_mode: str) -> FusedMulAdd | None:
+    if op is BinOpKind.ADD:
+        prod = _as_product(lhs)
+        if prod is not None:
+            return FusedMulAdd(prod.lhs, prod.rhs, rhs)
+        prod = _as_product(rhs)
+        if prod is not None:
+            return FusedMulAdd(prod.lhs, prod.rhs, lhs)
+        return None
+    if op is BinOpKind.SUB and fma_mode == "aggressive":
+        prod = _as_product(lhs)
+        if prod is not None:
+            # a*b - c  ==  fma(a, b, -c)
+            return FusedMulAdd(prod.lhs, prod.rhs, UnaryOp("-", rhs))
+        prod = _as_product(rhs)
+        if prod is not None:
+            # c - a*b  ==  fma(-a, b, c)
+            return FusedMulAdd(prod.lhs, prod.rhs, lhs, negate_product=True)
+    return None
+
+
+def lower_stmt(s, fma_mode: str):
+    """Lower one statement, returning a new node (children rebuilt)."""
+    if isinstance(s, Assignment):
+        return Assignment(s.target, s.op, lower_expr(s.expr, fma_mode))
+    if isinstance(s, DeclAssign):
+        return DeclAssign(s.var, lower_expr(s.expr, fma_mode))
+    if isinstance(s, IfBlock):
+        cond = BoolExpr(s.cond.lhs, s.cond.op, lower_expr(s.cond.rhs, fma_mode))
+        return IfBlock(cond, lower_block(s.body, fma_mode))
+    if isinstance(s, ForLoop):
+        return ForLoop(s.loop_var, s.bound, lower_block(s.body, fma_mode),
+                       omp_for=s.omp_for)
+    if isinstance(s, OmpCritical):
+        return OmpCritical(lower_block(s.body, fma_mode))
+    if isinstance(s, OmpParallel):
+        return OmpParallel(s.clauses, lower_block(s.body, fma_mode))
+    raise TypeError(f"cannot lower statement {type(s).__name__}")
+
+
+def lower_block(b: Block, fma_mode: str) -> Block:
+    return Block([lower_stmt(s, fma_mode) for s in b.stmts])
+
+
+def effective_fma_mode(fma_mode: str, opt_level: str) -> str:
+    """FMA contraction only engages at -O2 and above."""
+    if opt_level in ("-O0", "-O1"):
+        return "none"
+    return fma_mode
+
+
+def opt_cycle_scale(opt_level: str) -> float:
+    """Compute-cycle multiplier for the optimization level (unoptimized
+    scalar code is ~3x slower; used by the opt-level ablation bench)."""
+    return {"-O0": 3.2, "-O1": 1.6, "-O2": 1.08, "-O3": 1.0}[opt_level]

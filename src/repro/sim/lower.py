@@ -1,0 +1,477 @@
+"""AST -> Python lowering: the execution half of a simulated compiler.
+
+A vendor "compiles" a generated program by (1) applying its FP transforms
+(:mod:`repro.vendors.optimizer`) and (2) lowering the result to a Python
+function via this module.  The lowered code:
+
+* evaluates with exact IEEE semantics (``float`` is binary64; binary32
+  programs wrap each operation in :func:`repro.sim.values.f32`; division
+  and math calls go through IEEE-behaved helpers; Intel's FTZ wraps every
+  result),
+* charges **statically pre-computed** cost constants per straight-line
+  segment to a :class:`CostState` (``_c.cy``/``_c.ins``/``_c.br``; blocks
+  inside critical sections charge the ``_c.ccy`` lane instead),
+* drives the simulated OpenMP runtime through ``_rt`` hooks
+  (:class:`repro.sim.runtime.RegionExecutor`): region enter/exit, static
+  chunking of ``omp for``, critical enter/exit, per-thread accounting.
+
+Per-thread semantics follow the sequential-serialization argument: for
+race-free programs (the generator's guarantee), executing team members
+one after another is a legal OpenMP schedule, so results are exact and
+deterministic; reduction partials are combined in thread order, the same
+for every vendor, so numeric divergence comes only from *compiler*
+transforms — as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.nodes import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Block,
+    BoolExpr,
+    DeclAssign,
+    Expr,
+    ForLoop,
+    FPNumeral,
+    IfBlock,
+    IntNumeral,
+    MathCall,
+    ModIdx,
+    OmpCritical,
+    OmpParallel,
+    Paren,
+    Program,
+    ThreadIdx,
+    UnaryOp,
+    VarRef,
+)
+from typing import TYPE_CHECKING
+
+from ..core.types import AssignOpKind, BinOpKind, FPType
+from .fptransforms import FusedMulAdd, opt_cycle_scale
+from .values import MATH_IMPLS, f32, fdiv, fma_d, fma_f, ftz_d, ftz_f
+from .writer_util import PyWriter
+
+if TYPE_CHECKING:  # typing-only: breaks the sim <-> vendors import cycle
+    from ..vendors.base import VendorModel
+
+
+class CostState:
+    """Mutable cost accumulator shared between lowered code and runtime.
+
+    ``cy``  — compute cycles on the current lane (serial or thread),
+    ``ccy`` — cycles spent inside critical sections,
+    ``ins`` — instructions, ``br`` — branches (both lane-independent).
+    """
+
+    __slots__ = ("cy", "ccy", "ins", "br")
+
+    def __init__(self) -> None:
+        self.cy = 0.0
+        self.ccy = 0.0
+        self.ins = 0.0
+        self.br = 0.0
+
+
+@dataclass
+class RegionMeta:
+    """Static facts about one parallel region, indexed by region id."""
+
+    has_omp_for: bool = False
+    has_critical: bool = False
+    reduction_op: str | None = None
+    n_threads: int = 32
+
+
+@dataclass
+class LoweredKernel:
+    """Output of lowering: source + compiled code + region metadata."""
+
+    source: str
+    code: object  # types.CodeType
+    regions: list[RegionMeta] = field(default_factory=list)
+    uses_math: tuple[str, ...] = ()
+
+    def bind(self) -> object:
+        """Exec the module code and return the ``_kernel`` callable."""
+        ns = dict(_HELPERS)
+        exec(self.code, ns)  # noqa: S102 - our own generated code
+        return ns["_kernel"]
+
+
+_HELPERS = {
+    "_div": fdiv,
+    "_f32": f32,
+    "_fma": fma_d,
+    "_fmaf": fma_f,
+    "_ftz": ftz_d,
+    "_ftzf": ftz_f,
+    "_MATH": MATH_IMPLS,
+}
+
+_OPSYM = {BinOpKind.ADD: "+", BinOpKind.SUB: "-", BinOpKind.MUL: "*",
+          BinOpKind.DIV: "/"}
+
+
+class Lowerer:
+    """Lowers one (vendor-transformed) program to Python source."""
+
+    def __init__(self, program: Program, vendor: VendorModel, opt_level: str,
+                 *, fast_armed: bool = False, slow_armed: bool = False):
+        self.program = program
+        self.vendor = vendor
+        self.fp32 = program.fp_type is FPType.FLOAT
+        self.ftz = vendor.traits.flush_subnormals
+        # bake all static scales into the per-block constants; the latent
+        # fast/slow paths are whole-binary codegen effects
+        self.cy_scale = (vendor.traits.cycle_scale * opt_cycle_scale(opt_level)
+                         * (vendor.faults.fast_factor if fast_armed else 1.0)
+                         * (vendor.faults.slow_factor if slow_armed else 1.0))
+        self.ins_scale = vendor.traits.instr_scale
+        self.w = PyWriter()
+        self.regions: list[RegionMeta] = []
+        self.math_used: set[str] = set()
+        #: name substitution (comp -> reduction private copy inside regions)
+        self._subst: dict[str, str] = {}
+        self._in_crit = False
+
+    # ==================================================================
+    # expression emission
+    # ==================================================================
+    def _wrap(self, text: str) -> str:
+        """Apply binary32 rounding and/or FTZ to one operation result."""
+        if self.fp32:
+            text = f"_f32({text})"
+            if self.ftz:
+                text = f"_ftzf({text})"
+        elif self.ftz:
+            text = f"_ftz({text})"
+        return text
+
+    def expr(self, e: Expr) -> str:
+        if isinstance(e, FPNumeral):
+            v = f32(e.value) if self.fp32 else e.value
+            return repr(v)
+        if isinstance(e, IntNumeral):
+            return repr(float(e.value))
+        if isinstance(e, VarRef):
+            name = self._subst.get(e.var.name, e.var.name)
+            return name if e.var.is_fp else f"float({name})"
+        if isinstance(e, ArrayRef):
+            return f"{e.var.name}[{self.index(e.index)}]"
+        if isinstance(e, ThreadIdx):
+            return "float(_tid)"
+        if isinstance(e, Paren):
+            return self.expr(e.inner)  # grouping is explicit in our output
+        if isinstance(e, UnaryOp):
+            inner = self.expr(e.operand)
+            return inner if e.op == "+" else f"(-({inner}))"
+        if isinstance(e, BinOp):
+            lhs, rhs = self.expr(e.lhs), self.expr(e.rhs)
+            if e.op is BinOpKind.DIV:
+                return self._wrap(f"_div({lhs}, {rhs})")
+            return self._wrap(f"({lhs} {_OPSYM[e.op]} {rhs})")
+        if isinstance(e, FusedMulAdd):
+            a = self.expr(e.a)
+            if e.negate_product:
+                a = f"(-({a}))"
+            fn = "_fmaf" if self.fp32 else "_fma"
+            text = f"{fn}({a}, {self.expr(e.b)}, {self.expr(e.c)})"
+            if self.ftz:
+                text = f"_ftzf({text})" if self.fp32 else f"_ftz({text})"
+            return text
+        if isinstance(e, MathCall):
+            self.math_used.add(e.func)
+            return self._wrap(f"_m_{e.func}({self.expr(e.arg)})")
+        raise TypeError(f"cannot lower expression {type(e).__name__}")
+
+    def index(self, idx) -> str:
+        if isinstance(idx, IntNumeral):
+            return str(idx.value)
+        if isinstance(idx, VarRef):
+            return self._subst.get(idx.var.name, idx.var.name)
+        if isinstance(idx, ThreadIdx):
+            return "_tid"
+        if isinstance(idx, ModIdx):
+            return f"({self.index(idx.base)}) % {idx.modulus}"
+        raise TypeError(f"cannot lower index {type(idx).__name__}")
+
+    def bool_expr(self, b: BoolExpr) -> str:
+        lhs = (self.expr(b.lhs) if isinstance(b.lhs, VarRef)
+               else f"{b.lhs.var.name}[{self.index(b.lhs.index)}]")
+        return f"({lhs}) {b.op.value} ({self.expr(b.rhs)})"
+
+    # ==================================================================
+    # static cost model
+    # ==================================================================
+    def _expr_cost(self, e: Expr) -> tuple[float, float]:
+        ops = self.vendor.ops
+        if isinstance(e, (FPNumeral, IntNumeral, ThreadIdx)):
+            return (0.0, 0.0)
+        if isinstance(e, VarRef):
+            return ops.load if e.var.is_fp else (ops.load[0] * 0.5, 1.0)
+        if isinstance(e, ArrayRef):
+            cy, ins = ops.load
+            return (cy * 1.4, ins + 1.0)  # index arithmetic + indirection
+        if isinstance(e, (Paren, UnaryOp)):
+            inner = e.inner if isinstance(e, Paren) else e.operand
+            cy, ins = self._expr_cost(inner)
+            return (cy + 0.5, ins + 0.5)
+        if isinstance(e, BinOp):
+            lc, li = self._expr_cost(e.lhs)
+            rc, ri = self._expr_cost(e.rhs)
+            oc, oi = ops.div if e.op is BinOpKind.DIV else ops.arith
+            return (lc + rc + oc, li + ri + oi)
+        if isinstance(e, FusedMulAdd):
+            ac, ai = self._expr_cost(e.a)
+            bc, bi = self._expr_cost(e.b)
+            cc, ci = self._expr_cost(e.c)
+            oc, oi = ops.arith
+            return (ac + bc + cc + oc * 1.3, ai + bi + ci + oi * 1.1)
+        if isinstance(e, MathCall):
+            ic, ii = self._expr_cost(e.arg)
+            mc, mi = ops.math_call
+            return (ic + mc, ii + mi)
+        raise TypeError(f"no cost for {type(e).__name__}")
+
+    def _stmt_cost(self, s) -> tuple[float, float]:
+        ops = self.vendor.ops
+        if isinstance(s, Assignment):
+            cy, ins = self._expr_cost(s.expr)
+            sc, si = ops.store
+            if isinstance(s.target, ArrayRef):
+                sc, si = sc * 1.4, si + 1.0
+            if s.op.binop is not None:  # compound: extra read + op
+                lc, li = ops.load
+                oc, oi = (ops.div if s.op is AssignOpKind.DIV_ASSIGN
+                          else ops.arith)
+                cy, ins = cy + lc + oc, ins + li + oi
+            return (cy + sc, ins + si)
+        if isinstance(s, DeclAssign):
+            cy, ins = self._expr_cost(s.expr)
+            sc, si = ops.store
+            return (cy + sc, ins + si)
+        raise TypeError(f"not a simple statement: {type(s).__name__}")
+
+    def _charge(self, cy: float, ins: float, br: float = 0.0) -> None:
+        """Emit one accumulator update (current lane)."""
+        cy *= self.cy_scale
+        ins *= self.ins_scale
+        lane = "ccy" if self._in_crit else "cy"
+        parts = []
+        if cy:
+            parts.append(f"_c.{lane} += {cy:.1f}")
+        if ins:
+            parts.append(f"_c.ins += {ins:.1f}")
+        if br:
+            parts.append(f"_c.br += {br:.0f}")
+        if parts:
+            self.w.line("; ".join(parts))
+
+    # ==================================================================
+    # statement emission
+    # ==================================================================
+    def _emit_assignment(self, s: Assignment) -> None:
+        rhs = self.expr(s.expr)
+        if isinstance(s.target, VarRef):
+            name = self._subst.get(s.target.var.name, s.target.var.name)
+        else:
+            name = f"{s.target.var.name}[{self.index(s.target.index)}]"
+        if s.op is AssignOpKind.ASSIGN:
+            self.w.line(f"{name} = {rhs}")
+            return
+        binop = s.op.binop
+        assert binop is not None
+        if binop is BinOpKind.DIV:
+            self.w.line(f"{name} = {self._wrap(f'_div({name}, {rhs})')}")
+        else:
+            self.w.line(
+                f"{name} = {self._wrap(f'({name} {_OPSYM[binop]} {rhs})')}")
+
+    def _emit_simple(self, s) -> None:
+        if isinstance(s, Assignment):
+            self._emit_assignment(s)
+        elif isinstance(s, DeclAssign):
+            self.w.line(f"{s.var.name} = {self.expr(s.expr)}")
+        else:  # pragma: no cover
+            raise TypeError(type(s).__name__)
+
+    def block(self, b: Block, *, extra: tuple[float, float, float] = (0, 0, 0),
+              tid_var: str | None = None) -> None:
+        """Emit a block: segments of simple statements get one fused charge."""
+        pending: list = []
+        extra_cy, extra_ins, extra_br = extra
+        first = True
+
+        def flush() -> None:
+            nonlocal first, extra_cy, extra_ins, extra_br
+            if not pending and not (first and (extra_cy or extra_br)):
+                return
+            cy = sum(self._stmt_cost(s)[0] for s in pending)
+            ins = sum(self._stmt_cost(s)[1] for s in pending)
+            br = 0.0
+            if first:
+                cy, ins, br = cy + extra_cy, ins + extra_ins, br + extra_br
+                first = False
+            self._charge(cy, ins, br)
+            for s in pending:
+                self._emit_simple(s)
+            pending.clear()
+
+        for s in b.stmts:
+            if isinstance(s, (Assignment, DeclAssign)):
+                pending.append(s)
+                continue
+            flush()
+            if first:  # control statement heads the block: standalone charge
+                self._charge(extra_cy, extra_ins, extra_br)
+                first = False
+            self.stmt(s, tid_var=tid_var)
+        flush()
+
+    def stmt(self, s, *, tid_var: str | None = None) -> None:
+        ops = self.vendor.ops
+        if isinstance(s, IfBlock):
+            cc, ci = self._expr_cost(s.cond.rhs)
+            bc, bi = ops.branch
+            self._charge(cc + bc + ops.load[0], ci + bi + 1.0, 1.0)
+            self.w.open(f"if {self.bool_expr(s.cond)}:")
+            self.block(s.body, tid_var=tid_var)
+            self.w.close()
+            return
+        if isinstance(s, ForLoop):
+            self._emit_for(s, tid_var=tid_var)
+            return
+        if isinstance(s, OmpCritical):
+            self.w.line("_rt.crit_enter()")
+            was = self._in_crit
+            self._in_crit = True
+            self.block(s.body, tid_var=tid_var)
+            self._in_crit = was
+            self.w.line("_rt.crit_exit()")
+            return
+        if isinstance(s, OmpParallel):
+            self._emit_region(s)
+            return
+        raise TypeError(f"cannot lower statement {type(s).__name__}")
+
+    def _bound_text(self, bound) -> str:
+        if isinstance(bound, IntNumeral):
+            return str(bound.value)
+        return f"max(0, {bound.var.name})"
+
+    def _emit_for(self, s: ForLoop, *, tid_var: str | None) -> None:
+        ops = self.vendor.ops
+        lv = s.loop_var.name
+        iter_cost = (ops.loop_iter[0], ops.loop_iter[1], 1.0)
+        if s.omp_for:
+            assert tid_var is not None, "omp for outside region"
+            n = self._bound_text(s.bound)
+            self.w.line(f"_lo_{lv}, _hi_{lv} = _rt.chunk({tid_var}, {n})")
+            self.w.open(f"for {lv} in range(_lo_{lv}, _hi_{lv}):")
+        else:
+            self.w.open(f"for {lv} in range({self._bound_text(s.bound)}):")
+        self.block(s.body, extra=iter_cost, tid_var=tid_var)
+        self.w.close()
+        if s.omp_for:
+            self.w.line(f"_rt.omp_for_done({tid_var})")
+
+    # ==================================================================
+    # parallel regions
+    # ==================================================================
+    def _region_meta(self, s: OmpParallel) -> RegionMeta:
+        from ..core.nodes import walk
+
+        meta = RegionMeta(n_threads=s.clauses.num_threads)
+        for n in walk(s):
+            if isinstance(n, ForLoop) and n.omp_for:
+                meta.has_omp_for = True
+            elif isinstance(n, OmpCritical):
+                meta.has_critical = True
+        if s.clauses.reduction is not None:
+            meta.reduction_op = s.clauses.reduction.value
+        return meta
+
+    def _emit_region(self, s: OmpParallel) -> None:
+        rid = len(self.regions)
+        meta = self._region_meta(s)
+        self.regions.append(meta)
+        w = self.w
+        privs = list(s.clauses.private)
+        fprivs = list(s.clauses.firstprivate)
+        reduction = s.clauses.reduction
+
+        w.line(f"_rt.region_enter({rid})")
+        for v in privs + fprivs:
+            w.line(f"_save_{v.name} = {v.name}")
+        if reduction is not None:
+            w.line("_partials = []")
+        w.open(f"for _tid in range({meta.n_threads}):")
+        w.line("_rt.thread_begin(_tid)")
+        for v in fprivs:
+            w.line(f"{v.name} = _save_{v.name}")
+        if reduction is not None:
+            ident = "0.0" if reduction.value == "+" else "1.0"
+            w.line(f"_rcomp = {ident}")
+            self._subst[self.program.comp.name] = "_rcomp"
+        try:
+            self.block(s.body, tid_var="_tid")
+        finally:
+            self._subst.pop(self.program.comp.name, None)
+        if reduction is not None:
+            w.line("_partials.append(_rcomp)")
+        w.line("_rt.thread_end(_tid)")
+        w.close()
+        comp = self.program.comp.name
+        if reduction is not None:
+            w.line(f"{comp} = _rt.region_exit({rid}, {comp}, _partials, "
+                   f"{reduction.value!r})")
+        else:
+            w.line(f"{comp} = _rt.region_exit({rid}, {comp}, None, None)")
+        for v in privs + fprivs:
+            w.line(f"{v.name} = _save_{v.name}")
+
+    # ==================================================================
+    # whole kernel
+    # ==================================================================
+    def lower(self) -> LoweredKernel:
+        w = self.w
+        w.open("def _kernel(_args, _rt, _c):")
+        w.line("_rt.prologue()")
+        for name in sorted(self._collect_math()):
+            w.line(f"_m_{name} = _MATH[{name!r}]")
+        for p in self.program.params:
+            if p.is_int:
+                w.line(f"{p.name} = _args[{p.name!r}]")
+            elif p.is_array:
+                if self.ftz:  # DAZ: inputs flushed on load; also copy
+                    fn = "_ftzf" if self.fp32 else "_ftz"
+                    w.line(f"{p.name} = [{fn}(_x) for _x in _args[{p.name!r}]]")
+                else:
+                    w.line(f"{p.name} = list(_args[{p.name!r}])")
+            else:
+                val = f"_args[{p.name!r}]"
+                if self.fp32:
+                    val = f"_f32({val})"
+                if self.ftz:
+                    val = (f"_ftzf({val})" if self.fp32 else f"_ftz({val})")
+                w.line(f"{p.name} = {val}")
+        self.block(self.program.body)
+        w.line(f"return {self.program.comp.name}")
+        w.close()
+        source = w.text()
+        code = compile(source, f"<lowered:{self.program.name}:{self.vendor.name}>",
+                       "exec")
+        return LoweredKernel(source=source, code=code, regions=self.regions,
+                             uses_math=tuple(sorted(self.math_used)))
+
+    def _collect_math(self) -> set[str]:
+        from ..core.nodes import walk
+
+        return {n.func for n in walk(self.program)
+                if isinstance(n, (MathCall, FusedMulAdd)) and
+                isinstance(n, MathCall)}

@@ -1,0 +1,308 @@
+"""The simulated OpenMP runtime: team, worksharing, locks, faults.
+
+One :class:`RegionExecutor` instance drives a single execution of a
+lowered binary.  The lowered code calls into it at every OpenMP event
+(region enter/exit, per-thread begin/end, ``omp for`` chunking, critical
+enter/exit); the executor converts those events into
+
+* **virtual time** — a region's elapsed cycles are
+  ``spawn + sched + max(per-thread compute) + serialized critical time +
+  lock overhead + barriers`` (threads run concurrently, critical sections
+  serialize),
+* **perf counters** — wait time generates context switches / migrations /
+  page faults / spin instructions at vendor-specific rates,
+* **profile samples** — cycles are charged to the vendor's runtime symbol
+  names so Fig. 6/7 listings can be rendered,
+* **fault behaviour** — deterministic crash (miscompile) and livelock
+  (queuing-lock hang, Fig. 9) triggers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from typing import TYPE_CHECKING
+
+from ..errors import SimulatedCrash, SimulatedHang
+from ..rng import stable_hash
+from .counters import PerfCounters
+from .events import ProfileRecorder
+from .lower import CostState, RegionMeta
+
+if TYPE_CHECKING:  # typing-only: breaks the sim <-> vendors import cycle
+    from ..vendors.base import VendorModel
+
+
+@dataclass
+class _RegionAccounting:
+    """Scratch state while executing one region entry."""
+
+    rid: int
+    snap_cy: float
+    snap_ccy: float
+    spawn_cycles: float = 0.0
+    sched_cycles: float = 0.0
+    omp_for_rounds: int = 0
+    acquires: int = 0
+    compute: list[float] = field(default_factory=list)
+    critical: list[float] = field(default_factory=list)
+    _t_cy: float = 0.0
+    _t_ccy: float = 0.0
+
+
+class RegionExecutor:
+    """Vendor runtime model bound to one run of one binary."""
+
+    def __init__(
+        self,
+        vendor: VendorModel,
+        regions: list[RegionMeta],
+        cost: CostState,
+        counters: PerfCounters,
+        profile: ProfileRecorder,
+        *,
+        wrap_fn: Callable[[float], float],
+        crash_active: bool = False,
+        hang_active: bool = False,
+        slow_armed: bool = False,
+        fingerprint: str = "",
+    ):
+        self.vendor = vendor
+        self.regions = regions
+        self.c = cost
+        self.counters = counters
+        self.profile = profile
+        self.wrap = wrap_fn
+        self.crash_active = crash_active
+        self.hang_active = hang_active
+        self.slow_armed = slow_armed
+        self.fingerprint = fingerprint
+
+        self._entries = 0
+        self._acq_total = 0
+        self._cur: _RegionAccounting | None = None
+        #: cycles attributed to parallel regions (driver derives serial time)
+        self.region_cycles_total = 0.0
+
+    # ------------------------------------------------------------------
+    # kernel prologue
+    # ------------------------------------------------------------------
+    def prologue(self) -> None:
+        """Called at kernel entry; hosts the no-region crash fallback."""
+        if self.crash_active and not self.regions:
+            self._crash()
+
+    def _crash(self) -> None:
+        # a miscompiled store: charge a little work, then "segfault"
+        self.c.cy += 5_000.0
+        raise SimulatedCrash("SIGSEGV", "latent miscompile store out of bounds")
+
+    # ------------------------------------------------------------------
+    # region lifecycle
+    # ------------------------------------------------------------------
+    def region_enter(self, rid: int) -> None:
+        if self._cur is not None:
+            raise RuntimeError("nested parallel regions are not supported")
+        if self.crash_active:
+            self._crash()
+        rt = self.vendor.runtime
+        sym = self.vendor.symbols
+        self._entries += 1
+
+        acc = _RegionAccounting(rid=rid, snap_cy=self.c.cy, snap_ccy=self.c.ccy)
+        if self._entries == 1:
+            acc.spawn_cycles = rt.spawn_cold_cycles
+            self.counters.page_faults += rt.spawn_cold_page_faults
+            spawn_instr = rt.spawn_cold_instr
+        elif self._entries > rt.spawn_thrash_threshold:
+            # repeated re-entry (region inside a serial loop): runtimes that
+            # do not reuse team resources cleanly pay per-entry allocation
+            acc.spawn_cycles = rt.spawn_thrash_cycles
+            self.counters.page_faults += rt.spawn_warm_page_faults
+            spawn_instr = rt.spawn_warm_instr
+        else:
+            acc.spawn_cycles = rt.spawn_warm_cycles
+            self.counters.page_faults += rt.spawn_warm_page_faults
+            spawn_instr = rt.spawn_warm_instr
+        self.c.ins += spawn_instr
+        # allocator/bookkeeping code is branch-heavy (Table III shows the
+        # clang binary's branches scaling with its instruction explosion)
+        self.c.br += spawn_instr * 0.25
+        self.counters.branch_misses += int(spawn_instr * 0.25 * 0.02)
+        self.counters.context_switches += rt.spawn_ctx_switches
+        alloc = acc.spawn_cycles * rt.spawn_alloc_fraction
+        self.profile.charge(sym.shared_object, sym.spawn,
+                            acc.spawn_cycles - alloc)
+        self.profile.charge("libc-2.28.so", sym.alloc, alloc)
+        self._cur = acc
+
+    def thread_begin(self, tid: int) -> None:
+        acc = self._require_region()
+        acc._t_cy = self.c.cy
+        acc._t_ccy = self.c.ccy
+
+    def thread_end(self, tid: int) -> None:
+        acc = self._require_region()
+        acc.compute.append(self.c.cy - acc._t_cy)
+        acc.critical.append(self.c.ccy - acc._t_ccy)
+
+    def chunk(self, tid: int, n: int) -> tuple[int, int]:
+        """Static contiguous chunking of an ``omp for`` (the paper uses no
+        schedule clause; static is every implementation's default)."""
+        acc = self._require_region()
+        acc.sched_cycles += self.vendor.runtime.omp_for_sched_cycles
+        meta = self.regions[acc.rid]
+        t = meta.n_threads
+        n = max(0, int(n))
+        base, rem = divmod(n, t)
+        lo = tid * base + min(tid, rem)
+        hi = lo + base + (1 if tid < rem else 0)
+        return lo, hi
+
+    def omp_for_done(self, tid: int) -> None:
+        """Implicit barrier bookkeeping at the end of an ``omp for``."""
+        acc = self._require_region()
+        acc.omp_for_rounds += 1
+
+    # ------------------------------------------------------------------
+    # critical sections
+    # ------------------------------------------------------------------
+    def crit_enter(self) -> None:
+        acc = self._require_region()
+        acc.acquires += 1
+        self._acq_total += 1
+        self.counters.critical_acquires += 1
+        if (self.hang_active
+                and self._acq_total >= self.vendor.faults.hang_min_acquires):
+            self._hang()
+
+    def crit_exit(self) -> None:
+        pass  # lane switching is static in the lowered code
+
+    def _hang(self) -> None:
+        """The Case-Study-3 livelock: every thread stuck acquiring the
+        queuing lock, split across the three states of the paper's Fig. 9."""
+        meta = self.regions[self._cur.rid] if self._cur else RegionMeta()
+        t = meta.n_threads
+        sym = self.vendor.symbols
+        h = stable_hash("hang-split", self.fingerprint)
+        g1 = max(1, t // 2 + (h % 3) - 1)
+        g2 = max(1, (t - g1) // 2)
+        g3 = max(0, t - g1 - g2)
+        states = {
+            sym.wait_secondary: list(range(g1)),
+            "__kmp_eq_4": list(range(g1, g1 + g2)),
+            sym.yield_: list(range(g1 + g2, g1 + g2 + g3)),
+        }
+        raise SimulatedHang(elapsed_us=float("inf"), thread_states=states)
+
+    # ------------------------------------------------------------------
+    # region exit: fold per-thread lanes into elapsed time + counters
+    # ------------------------------------------------------------------
+    def region_exit(self, rid: int, comp: float, partials: list[float] | None,
+                    op: str | None) -> float:
+        acc = self._require_region()
+        rt = self.vendor.runtime
+        sym = self.vendor.symbols
+        meta = self.regions[rid]
+        t = meta.n_threads
+
+        compute_max = max(acc.compute, default=0.0)
+        compute_sum = sum(acc.compute)
+        crit_total = sum(acc.critical)
+
+        lock_cost = acc.acquires * (rt.lock_base_cycles
+                                    + (t - 1) * rt.lock_contention_cycles)
+        barrier_events = 1 + acc.omp_for_rounds // max(1, t)
+        barrier_cost = barrier_events * rt.barrier_cycles_per_thread * t
+
+        # reduction combine — the combine *order* is implementation-defined
+        # (libgomp: linear in thread order; KMP: pairwise tree), and FP
+        # non-associativity makes the orders print different values
+        combine_cost = 0.0
+        if partials is not None and op is not None:
+            comp = self._combine_reduction(comp, partials, op,
+                                           tree=rt.reduction_tree)
+            combine_cost = rt.reduction_combine_cycles_per_thread * t
+
+        # waiting splits into two regimes:
+        #  - lock waiting: long queues make KMP sleep -> context switches,
+        #    migrations, page faults (the Table II mechanism)
+        #  - barrier/imbalance waiting: within the runtime's blocktime the
+        #    threads pure-spin -> instructions only
+        imbalance = sum(compute_max - x for x in acc.compute)
+        lock_wait = (t - 1) * crit_total + lock_cost
+        barrier_wait = imbalance + barrier_cost
+        self._apply_wait_side_effects(lock_wait, reschedules=True)
+        self._apply_wait_side_effects(barrier_wait, reschedules=False)
+        wait = lock_wait + barrier_wait
+
+        elapsed = (acc.spawn_cycles + acc.sched_cycles + compute_max
+                   + crit_total + lock_cost + barrier_cost + combine_cost)
+        if self.slow_armed:
+            # the pathological path also inflates the runtime-side costs
+            # (per-thread compute is already scaled at lowering time)
+            elapsed += (acc.spawn_cycles + lock_cost + barrier_cost) \
+                * (self.vendor.faults.slow_factor - 1.0)
+
+        # replace the summed per-thread cycles with the concurrent elapsed
+        self.c.cy = acc.snap_cy + elapsed
+        self.c.ccy = acc.snap_ccy
+        self.region_cycles_total += elapsed
+
+        # profile: thread-time view (sums, like perf across 32 threads)
+        self.profile.charge(self.profile.binary_name, sym.compute,
+                            compute_sum + crit_total)
+        self.profile.charge(sym.shared_object, sym.invoke,
+                            0.06 * (compute_sum + crit_total))
+        self.profile.charge(sym.shared_object, sym.lock, lock_cost)
+        self.profile.charge(sym.shared_object, sym.wait_primary,
+                            wait * rt.wait_primary_share)
+        self.profile.charge(sym.shared_object, sym.wait_secondary,
+                            wait * (1.0 - rt.wait_primary_share) * 0.8)
+        self.profile.charge("[kernel]", sym.yield_,
+                            wait * (1.0 - rt.wait_primary_share) * 0.2)
+        self.profile.charge(sym.shared_object, sym.barrier, barrier_cost)
+
+        self._cur = None
+        return comp
+
+    def _combine_reduction(self, comp: float, partials: list[float],
+                           op: str, *, tree: bool) -> float:
+        apply = ((lambda a, b: self.wrap(a + b)) if op == "+"
+                 else (lambda a, b: self.wrap(a * b)))
+        if not partials:
+            return comp
+        if not tree:
+            for p in partials:  # linear, thread order (libgomp)
+                comp = apply(comp, p)
+            return comp
+        level = list(partials)  # pairwise tree (KMP lineage)
+        while len(level) > 1:
+            nxt = [apply(level[i], level[i + 1])
+                   for i in range(0, len(level) - 1, 2)]
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return apply(comp, level[0])
+
+    def _apply_wait_side_effects(self, wait_cycles: float, *,
+                                 reschedules: bool) -> None:
+        rt = self.vendor.runtime
+        spin_instr = wait_cycles / 1_000.0 * rt.wait_spin_instr_per_kcycle
+        self.c.ins += spin_instr
+        # spin loops are branch-heavy and mispredict on their exit path
+        self.c.br += spin_instr * 0.4
+        self.counters.branch_misses += int(spin_instr * 0.02)
+        if reschedules:
+            m = wait_cycles / 1_000_000.0
+            self.counters.context_switches += int(m * rt.wait_ctx_per_mcycle)
+            self.counters.cpu_migrations += int(m * rt.wait_migration_per_mcycle)
+            self.counters.page_faults += int(m * rt.wait_pf_per_mcycle)
+
+    # ------------------------------------------------------------------
+    def _require_region(self) -> _RegionAccounting:
+        if self._cur is None:
+            raise RuntimeError("OpenMP event outside a parallel region")
+        return self._cur

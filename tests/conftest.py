@@ -1,0 +1,50 @@
+"""Shared fixtures: fast configurations and canned programs/binaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CampaignConfig, GeneratorConfig, MachineConfig, OutlierConfig
+from repro.core.generator import ProgramGenerator
+from repro.core.inputs import InputGenerator
+
+
+@pytest.fixture(scope="session")
+def fast_gen_cfg() -> GeneratorConfig:
+    """Small iteration budget so interpreter-backed tests stay quick."""
+    return GeneratorConfig(max_total_iterations=4_000, loop_trip_max=60,
+                           num_threads=8)
+
+
+@pytest.fixture(scope="session")
+def paper_gen_cfg() -> GeneratorConfig:
+    """The paper's Section V-A parameters (default config)."""
+    return GeneratorConfig()
+
+
+@pytest.fixture(scope="session")
+def fast_campaign_cfg(fast_gen_cfg) -> CampaignConfig:
+    return CampaignConfig(n_programs=8, inputs_per_program=2, seed=1234,
+                          generator=fast_gen_cfg)
+
+
+@pytest.fixture(scope="session")
+def machine() -> MachineConfig:
+    return MachineConfig()
+
+
+@pytest.fixture(scope="session")
+def outlier_cfg() -> OutlierConfig:
+    return OutlierConfig()
+
+
+@pytest.fixture(scope="session")
+def program_stream(fast_gen_cfg):
+    """Deterministic stream of small programs shared across test modules."""
+    gen = ProgramGenerator(fast_gen_cfg, seed=777)
+    return [gen.generate(i) for i in range(12)]
+
+
+@pytest.fixture(scope="session")
+def input_gen(fast_gen_cfg) -> InputGenerator:
+    return InputGenerator(fast_gen_cfg, seed=778)

@@ -1,0 +1,159 @@
+"""Tests for perf-counter comparisons, profiles, and thread-state views."""
+
+import pytest
+
+from repro.analysis.perfstats import (
+    CounterComparison,
+    TABLE2_DIRECTIONS,
+    TABLE3_DIRECTIONS,
+    check_directions,
+    compare_counters,
+)
+from repro.analysis.profiles import (
+    children_report,
+    flat_report,
+    render_children,
+    render_flat,
+    symbol_fraction,
+)
+from repro.analysis.threadstate import (
+    render_backtrace,
+    render_thread_groups,
+    thread_groups,
+)
+from repro.driver.records import RunRecord, RunStatus
+from repro.errors import AnalysisError
+from repro.sim.counters import PerfCounters
+from repro.sim.events import ProfileRecorder
+from repro.vendors import GCC, INTEL
+
+
+def _rec(vendor, status=RunStatus.OK, counters=None, states=None):
+    return RunRecord(program_name="p", vendor=vendor, input_index=0,
+                     status=status, comp=1.0, time_us=2000.0,
+                     counters=counters or PerfCounters(),
+                     thread_states=states)
+
+
+class TestCounterComparison:
+    def test_compare_and_ratio(self):
+        left = PerfCounters(context_switches=10, cycles=100)
+        right = PerfCounters(context_switches=230, cycles=150)
+        recs = [_rec("gcc", counters=left), _rec("intel", counters=right)]
+        cmp = compare_counters(recs, "gcc", "intel")
+        assert cmp.ratio("context_switches") == 23.0
+        assert cmp.ratio("cycles") == 1.5
+
+    def test_zero_left_ratio(self):
+        cmp = CounterComparison("p", 0, "a", "b", PerfCounters(),
+                                PerfCounters(cpu_migrations=5))
+        assert cmp.ratio("cpu_migrations") == float("inf")
+        assert cmp.ratio("page_faults") == 1.0
+
+    def test_missing_vendor_raises(self):
+        with pytest.raises(AnalysisError):
+            compare_counters([_rec("gcc")], "gcc", "intel")
+
+    def test_render_contains_all_rows(self):
+        cmp = CounterComparison("p", 0, "intel", "gcc",
+                                PerfCounters(cycles=5), PerfCounters(cycles=9))
+        text = cmp.render()
+        for label in ("context-switches", "cpu-migrations", "page-faults",
+                      "cycles", "instructions", "branches", "branch-misses"):
+            assert label in text
+
+    def test_check_directions(self):
+        left = PerfCounters(context_switches=10, cpu_migrations=0,
+                            page_faults=226, cycles=154_797_061,
+                            instructions=60_084_059, branch_misses=67_406)
+        right = PerfCounters(context_switches=232, cpu_migrations=96,
+                             page_faults=627, cycles=110_520_780,
+                             instructions=85_366_729, branch_misses=182_300)
+        # oriented as (gcc, intel): Table II directions ask intel/gcc
+        cmp = CounterComparison("p", 0, "gcc", "intel", left, right)
+        result = check_directions(cmp, TABLE2_DIRECTIONS)
+        assert all(result.values())
+
+
+class TestProfiles:
+    def _profile(self):
+        pr = ProfileRecorder(binary_name="bin")
+        pr.charge("libiomp5.so", INTEL.symbols.wait_primary, 3000.0)
+        pr.charge("libiomp5.so", INTEL.symbols.wait_secondary, 1200.0)
+        pr.charge("bin", INTEL.symbols.compute, 5000.0)
+        pr.charge("bin", INTEL.symbols.serial_compute, 800.0)
+        return pr
+
+    def test_flat_report_sorted_and_normalized(self):
+        rows = flat_report(self._profile())
+        assert rows[0].overhead >= rows[-1].overhead
+        assert sum(r.overhead for r in rows) == pytest.approx(1.0)
+
+    def test_flat_render(self):
+        text = render_flat(self._profile())
+        assert "__kmp_wait" in text and "%" in text
+
+    def test_children_mode_parents_accumulate(self):
+        rows = children_report(self._profile(), INTEL)
+        by_symbol = {r.symbol: r for r in rows}
+        # start_thread sits above every worker leaf
+        st = by_symbol["start_thread"]
+        leaf = by_symbol[INTEL.symbols.wait_primary]
+        assert st.children >= leaf.children
+        assert st.children > 0.5  # "the sum ... exceeds 100%" territory
+
+    def test_children_render(self):
+        text = render_children(self._profile(), INTEL)
+        assert "Children" in text and "start_thread" in text
+
+    def test_symbol_fraction(self):
+        pr = self._profile()
+        assert symbol_fraction(pr, INTEL.symbols.compute) == pytest.approx(
+            5000.0 / pr.total())
+        assert symbol_fraction(pr, "nonexistent") == 0.0
+
+    def test_empty_profile(self):
+        pr = ProfileRecorder()
+        assert flat_report(pr) == []
+        assert children_report(pr, GCC) == []
+        assert symbol_fraction(pr, "x") == 0.0
+
+    def test_merge(self):
+        a, b = self._profile(), self._profile()
+        total = a.total()
+        a.merge(b)
+        assert a.total() == pytest.approx(2 * total)
+
+
+class TestThreadState:
+    def _hang(self):
+        states = {"__kmp_wait_4": list(range(16)),
+                  "__kmp_eq_4": list(range(16, 25)),
+                  "sched_yield": list(range(25, 32))}
+        return _rec("intel", RunStatus.HANG, states=states)
+
+    def test_groups_sorted_by_size(self):
+        groups = thread_groups(self._hang())
+        assert [g.size for g in groups] == [16, 9, 7]
+        assert groups[0].state == "__kmp_wait_4"
+
+    def test_total_is_team_size(self):
+        assert sum(g.size for g in thread_groups(self._hang())) == 32
+
+    def test_render_groups(self):
+        text = render_thread_groups(self._hang())
+        assert "32 threads stuck" in text
+        assert "__kmp_eq_4" in text
+
+    def test_backtrace_mentions_critical_with_hint(self):
+        text = render_backtrace(self._hang())
+        assert "__kmpc_critical_with_hint" in text
+        assert "SIGINT" in text
+
+    def test_non_hang_rejected(self):
+        with pytest.raises(AnalysisError):
+            thread_groups(_rec("intel", RunStatus.OK))
+
+    def test_hang_without_snapshot_rejected(self):
+        with pytest.raises(AnalysisError):
+            thread_groups(_rec("intel", RunStatus.HANG, states=None))

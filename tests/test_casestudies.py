@@ -1,0 +1,124 @@
+"""Tests for the three reproduced case studies (Sections V-C/D/E)."""
+
+import pytest
+
+from repro.analysis.perfstats import (
+    TABLE2_DIRECTIONS,
+    TABLE3_DIRECTIONS,
+    check_directions,
+)
+from repro.analysis.profiles import symbol_fraction
+from repro.analysis.threadstate import thread_groups
+from repro.config import CampaignConfig
+from repro.driver.records import RunStatus
+from repro.harness.casestudies import (
+    case_study_1,
+    case_study_2,
+    case_study_3,
+)
+from repro.vendors import CLANG, GCC, INTEL
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return CampaignConfig(seed=20240915)
+
+
+@pytest.fixture(scope="module")
+def case1(cfg):
+    return case_study_1(cfg)
+
+
+@pytest.fixture(scope="module")
+def case2(cfg):
+    return case_study_2(cfg)
+
+
+@pytest.fixture(scope="module")
+def case3(cfg):
+    return case_study_3(cfg)
+
+
+class TestCase1GccFast:
+    def test_gcc_is_fast_outlier(self, case1):
+        gcc = case1.record_for("gcc")
+        intel = case1.record_for("intel")
+        clang = case1.record_for("clang")
+        assert gcc.time_us < intel.time_us / 1.5
+        # the witnesses are mutually comparable (Eq. 1)
+        assert abs(intel.time_us - clang.time_us) \
+            / min(intel.time_us, clang.time_us) <= 0.2
+
+    def test_counter_directions_match_table2(self, case1):
+        # comparison is oriented (intel left, gcc right); Table II asks
+        # about intel/gcc ratios, so flip
+        cmp = case1.comparison
+        flipped = type(cmp)(cmp.program_name, cmp.input_index,
+                            "gcc", "intel", cmp.right, cmp.left)
+        result = check_directions(flipped, TABLE2_DIRECTIONS)
+        # the load-bearing counters all move the paper's way
+        for key in ("context_switches", "cpu_migrations", "instructions"):
+            assert result[key], (key, flipped.rows())
+
+    def test_profiles_show_wait_symbols(self, case1):
+        intel = case1.record_for("intel")
+        gcc = case1.record_for("gcc")
+        # Fig. 6: Intel waits in __kmp_wait_template, GCC in do_wait
+        assert symbol_fraction(intel.profile,
+                               INTEL.symbols.wait_primary) > 0.05
+        assert symbol_fraction(gcc.profile, "do_wait") >= 0.0
+        assert ("libgomp.so.1.0.0", "do_wait") in gcc.profile.samples
+
+    def test_test_is_critical_heavy(self, case1):
+        assert case1.features.critical_in_omp_for > 0
+
+
+class TestCase2ClangSlow:
+    def test_clang_much_slower(self, case2):
+        clang = case2.record_for("clang")
+        intel = case2.record_for("intel")
+        assert clang.time_us > intel.time_us * 1.5
+
+    def test_pattern_is_region_in_serial_loop(self, case2):
+        assert case2.features.parallel_in_serial_loop > 0
+        assert case2.features.est_region_entries >= 40
+
+    def test_counter_directions_match_table3(self, case2):
+        result = check_directions(case2.comparison, TABLE3_DIRECTIONS)
+        for key in ("context_switches", "page_faults", "instructions",
+                    "cycles"):
+            assert result[key], (key, case2.comparison.rows())
+
+    def test_clang_page_fault_explosion(self, case2):
+        # Table III: 70,990 vs 684 — two orders of magnitude
+        assert case2.comparison.ratio("page_faults") > 10
+
+    def test_profile_shows_allocator_churn(self, case2):
+        clang = case2.record_for("clang")
+        # Fig. 7: calloc/malloc frames carry a large share under clang
+        assert symbol_fraction(clang.profile,
+                               CLANG.symbols.alloc) > 0.05
+
+
+class TestCase3IntelHang:
+    def test_intel_hangs_others_finish(self, case3):
+        intel = case3.record_for("intel")
+        assert intel.status is RunStatus.HANG
+        for vendor in ("gcc", "clang"):
+            assert case3.record_for(vendor).status is RunStatus.OK
+
+    def test_all_threads_stuck(self, case3):
+        intel = case3.record_for("intel")
+        groups = thread_groups(intel)
+        assert sum(g.size for g in groups) == case3.program.num_threads
+        assert len(groups) == 3  # Fig. 9: three states
+
+    def test_states_match_fig9(self, case3):
+        intel = case3.record_for("intel")
+        states = set(intel.thread_states)
+        assert "__kmp_eq_4" in states
+        assert INTEL.symbols.yield_ in states
+
+    def test_pattern_is_contended_critical(self, case3):
+        assert case3.features.critical_in_omp_for > 0
+        assert case3.features.est_critical_acquires >= 2000

@@ -1,0 +1,75 @@
+"""Tests for the repro-omp command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("generate", "run", "campaign", "casestudy", "grammar"):
+            args = parser.parse_args([cmd] if cmd != "casestudy"
+                                     else [cmd, "1"])
+            assert args.command == cmd
+
+    def test_casestudy_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["casestudy", "4"])
+
+
+class TestGenerate:
+    def test_writes_sources_and_inputs(self, tmp_path, capsys):
+        rc = main(["generate", "--count", "3", "--inputs", "2",
+                   "--out", str(tmp_path / "g"), "--seed", "5"])
+        assert rc == 0
+        cpps = sorted((tmp_path / "g").glob("*.cpp"))
+        assert len(cpps) == 3
+        inputs = json.loads(
+            (tmp_path / "g" / (cpps[0].stem + ".inputs.json")).read_text())
+        assert len(inputs) == 2
+        assert all(isinstance(row["argv"], list) for row in inputs)
+
+
+class TestRun:
+    def test_run_prints_table(self, capsys):
+        rc = main(["run", "--seed", "42"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "intel" in out and "time (us)" in out
+
+    def test_run_with_source(self, capsys):
+        rc = main(["run", "--seed", "42", "--source"])
+        assert rc == 0
+        assert "#include <omp.h>" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_small_campaign(self, capsys, tmp_path):
+        rc = main(["campaign", "--programs", "4", "--inputs", "1",
+                   "--seed", "9", "--quiet", "--out", str(tmp_path / "c")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table I shape" in out
+        assert "outlier rate" in out
+        assert (tmp_path / "c" / "verdicts.jsonl").exists()
+
+    def test_campaign_from_config_file(self, capsys, tmp_path):
+        from repro.config import CampaignConfig, save_campaign
+
+        cfg_path = tmp_path / "cfg.json"
+        save_campaign(CampaignConfig(n_programs=2, inputs_per_program=1,
+                                     seed=3), cfg_path)
+        rc = main(["campaign", "--config", str(cfg_path), "--quiet"])
+        assert rc == 0
+
+
+class TestGrammarCmd:
+    def test_prints_listing2(self, capsys):
+        rc = main(["grammar"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "<openmp-head> ::=" in out
+        assert "#pragma omp parallel default(shared)" in out

@@ -1,0 +1,177 @@
+"""Tests for the C++ emitter: precedence, literals, pragmas, main()."""
+
+import re
+
+import pytest
+
+from repro.codegen.cpp import CppEmitter, fp_literal
+from repro.codegen.emit_main import emit_translation_unit, source_fingerprint
+from repro.codegen.writer import SourceWriter
+from repro.core.nodes import (
+    ArrayRef,
+    BinOp,
+    FPNumeral,
+    IntNumeral,
+    ModIdx,
+    Paren,
+    Program,
+    ThreadIdx,
+    UnaryOp,
+    VarRef,
+    Block,
+    Assignment,
+)
+from repro.core.types import (
+    AssignOpKind,
+    BinOpKind,
+    FPType,
+    Variable,
+    VarKind,
+)
+
+
+def _emitter(fp=FPType.DOUBLE) -> CppEmitter:
+    comp = Variable("comp", fp, VarKind.COMP)
+    program = Program(name="t", seed=0, fp_type=fp, comp=comp, params=[comp],
+                      body=Block([Assignment(VarRef(comp),
+                                             AssignOpKind.ASSIGN,
+                                             FPNumeral(0.0))]))
+    return CppEmitter(program)
+
+
+def _v(name="x", fp=FPType.DOUBLE):
+    return Variable(name, fp, VarKind.PARAM)
+
+
+class TestExpressionPrecedence:
+    def test_mul_of_sum_is_parenthesized(self):
+        e = BinOp(BinOpKind.MUL,
+                  BinOp(BinOpKind.ADD, VarRef(_v("a")), VarRef(_v("b"))),
+                  VarRef(_v("c")))
+        assert _emitter().expr(e) == "(a + b) * c"
+
+    def test_right_sub_keeps_grouping(self):
+        # a - (b - c) must not print as a - b - c
+        e = BinOp(BinOpKind.SUB, VarRef(_v("a")),
+                  BinOp(BinOpKind.SUB, VarRef(_v("b")), VarRef(_v("c"))))
+        assert _emitter().expr(e) == "a - (b - c)"
+
+    def test_right_div_keeps_grouping(self):
+        e = BinOp(BinOpKind.DIV, VarRef(_v("a")),
+                  BinOp(BinOpKind.DIV, VarRef(_v("b")), VarRef(_v("c"))))
+        assert _emitter().expr(e) == "a / (b / c)"
+
+    def test_left_assoc_chain_needs_no_parens(self):
+        e = BinOp(BinOpKind.ADD,
+                  BinOp(BinOpKind.ADD, VarRef(_v("a")), VarRef(_v("b"))),
+                  VarRef(_v("c")))
+        assert _emitter().expr(e) == "a + b + c"
+
+    def test_unary_rhs_parenthesized(self):
+        e = BinOp(BinOpKind.SUB, VarRef(_v("a")),
+                  UnaryOp("-", VarRef(_v("b"))))
+        assert _emitter().expr(e) == "a - (-b)"
+
+    def test_int_identifiers_are_cast(self):
+        lv = Variable("i_1", None, VarKind.LOOP)
+        assert _emitter().expr(VarRef(lv)) == "(double)i_1"
+        assert _emitter(FPType.FLOAT).expr(VarRef(lv)) == "(float)i_1"
+
+    def test_thread_index(self):
+        arr = Variable("a", FPType.DOUBLE, VarKind.PARAM, is_array=True,
+                       array_size=8)
+        assert _emitter().expr(ArrayRef(arr, ThreadIdx())) == \
+            "a[omp_get_thread_num()]"
+
+    def test_mod_index(self):
+        arr = Variable("a", FPType.DOUBLE, VarKind.PARAM, is_array=True,
+                       array_size=1000)
+        lv = Variable("i_1", None, VarKind.LOOP)
+        assert _emitter().expr(ArrayRef(arr, ModIdx(VarRef(lv), 1000))) == \
+            "a[i_1 % 1000]"
+
+
+class TestLiterals:
+    def test_double_literal_plain(self):
+        assert fp_literal(1.5, FPType.DOUBLE) == "1.5"
+
+    def test_float_literal_suffixed(self):
+        assert fp_literal(1.5, FPType.FLOAT) == "1.5f"
+
+    def test_integral_value_gets_decimal_point(self):
+        assert fp_literal(3.0, FPType.DOUBLE) == "3.0"
+
+    def test_exponent_form_preserved(self):
+        lit = fp_literal(1.23e-10, FPType.DOUBLE)
+        assert "e" in lit and float(lit) == 1.23e-10
+
+    def test_nan_and_inf_rejected(self):
+        with pytest.raises(ValueError):
+            fp_literal(float("nan"), FPType.DOUBLE)
+        with pytest.raises(ValueError):
+            fp_literal(float("inf"), FPType.DOUBLE)
+
+
+class TestTranslationUnit:
+    def test_balanced_braces(self, program_stream):
+        for p in program_stream:
+            src = emit_translation_unit(p)
+            assert src.count("{") == src.count("}")
+
+    def test_headers_present(self, program_stream):
+        src = emit_translation_unit(program_stream[0])
+        for h in ("<cstdio>", "<cmath>", "<chrono>", "<omp.h>"):
+            assert h in src
+
+    def test_kernel_prints_comp_and_time(self, program_stream):
+        src = emit_translation_unit(program_stream[0])
+        assert 'printf("comp=%.17g\\n", (double)comp);' in src
+        assert "time_us" in src
+        assert "microseconds" in src
+
+    def test_main_parses_every_param(self, program_stream):
+        for p in program_stream:
+            src = emit_translation_unit(p)
+            assert f"argc != {len(p.params) + 1}" in src
+            for param in p.params:
+                if param.is_array:
+                    assert f"malloc(sizeof" in src
+                    assert f"free({param.name});" in src
+
+    def test_pragmas_match_grammar_shape(self, program_stream):
+        pat = re.compile(r"#pragma omp parallel default\(shared\)")
+        for p in program_stream:
+            src = emit_translation_unit(p)
+            n_parallel = src.count("#pragma omp parallel")
+            assert len(pat.findall(src)) == n_parallel
+
+    def test_num_threads_clause_emitted(self, program_stream):
+        for p in program_stream:
+            src = emit_translation_unit(p)
+            if "#pragma omp parallel" in src:
+                assert f"num_threads({p.num_threads})" in src
+
+    def test_fingerprint_stable_and_content_sensitive(self, program_stream):
+        a, b = program_stream[0], program_stream[1]
+        assert source_fingerprint(a) == source_fingerprint(a)
+        assert source_fingerprint(a) != source_fingerprint(b)
+
+
+class TestSourceWriter:
+    def test_unbalanced_close_raises(self):
+        w = SourceWriter()
+        with pytest.raises(ValueError):
+            w.close()
+
+    def test_unbalanced_text_raises(self):
+        w = SourceWriter()
+        w.open("if (x)")
+        with pytest.raises(ValueError):
+            w.text()
+
+    def test_indentation(self):
+        w = SourceWriter()
+        w.open("int main()")
+        w.line("return 0;")
+        w.close()
+        assert w.text() == "int main() {\n  return 0;\n}\n"

@@ -1,0 +1,139 @@
+"""Tests for configuration validation and (de)serialization."""
+
+import pytest
+
+from repro.config import (
+    CampaignConfig,
+    GeneratorConfig,
+    MachineConfig,
+    OutlierConfig,
+    campaign_from_dict,
+    campaign_to_json,
+    load_campaign,
+    save_campaign,
+)
+from repro.errors import ConfigError
+
+
+class TestGeneratorConfig:
+    def test_defaults_match_paper_section_va(self):
+        cfg = GeneratorConfig()
+        assert cfg.max_expression_size == 5
+        assert cfg.max_nesting_levels == 3
+        assert cfg.max_lines_in_block == 10
+        assert cfg.array_size == 1000
+        assert cfg.max_same_level_blocks == 3
+        assert cfg.math_func_allowed is True
+        assert cfg.math_func_probability == 0.01
+        assert cfg.num_threads == 32
+
+    @pytest.mark.parametrize("field,value", [
+        ("max_expression_size", 0),
+        ("max_nesting_levels", 0),
+        ("max_lines_in_block", 0),
+        ("array_size", 0),
+        ("max_same_level_blocks", 0),
+        ("math_func_probability", 1.5),
+        ("loop_trip_min", 0),
+        ("reduction_probability", -0.1),
+        ("critical_probability", 2.0),
+        ("num_threads", 0),
+    ])
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ConfigError):
+            GeneratorConfig(**{field: value})
+
+    def test_rejects_inverted_trip_range(self):
+        with pytest.raises(ConfigError):
+            GeneratorConfig(loop_trip_min=10, loop_trip_max=5)
+
+    def test_rejects_privatization_overflow(self):
+        with pytest.raises(ConfigError):
+            GeneratorConfig(private_probability=0.7,
+                            firstprivate_probability=0.7)
+
+
+class TestMachineConfig:
+    def test_paper_cluster_defaults(self):
+        m = MachineConfig()
+        assert m.cores == 36       # 2 x 18-core Xeon E5-2695
+        assert m.ghz == 2.1
+        assert m.cycles_per_us == pytest.approx(2100.0)
+
+    @pytest.mark.parametrize("kw", [dict(cores=0), dict(ghz=0.0),
+                                    dict(timeout_us=0.0)])
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(ConfigError):
+            MachineConfig(**kw)
+
+
+class TestOutlierConfig:
+    def test_paper_thresholds(self):
+        o = OutlierConfig()
+        assert o.alpha == 0.2 and o.beta == 1.5 and o.min_time_us == 1000.0
+
+    def test_beta_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            OutlierConfig(beta=1.0)
+
+    def test_alpha_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            OutlierConfig(alpha=0.0)
+
+
+class TestCampaignConfig:
+    def test_paper_grid(self):
+        c = CampaignConfig()
+        assert c.n_programs == 200
+        assert c.inputs_per_program == 3
+        assert c.compilers == ("gcc", "clang", "intel")
+        assert c.total_runs == 1800
+        assert c.opt_level == "-O3"
+
+    def test_needs_two_compilers(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(compilers=("gcc",))
+
+    def test_rejects_duplicate_compilers(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(compilers=("gcc", "gcc"))
+
+    def test_rejects_unknown_opt_level(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(opt_level="-Ofast")
+
+
+class TestSerialization:
+    def test_roundtrip_via_json(self, tmp_path):
+        cfg = CampaignConfig(n_programs=7, seed=99,
+                             generator=GeneratorConfig(array_size=128),
+                             outliers=OutlierConfig(alpha=0.3))
+        path = tmp_path / "c.json"
+        save_campaign(cfg, path)
+        loaded = load_campaign(path)
+        assert loaded == cfg
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError):
+            campaign_from_dict({"not_a_field": 1})
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_campaign(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{nope")
+        with pytest.raises(ConfigError):
+            load_campaign(p)
+
+    def test_load_non_object(self, tmp_path):
+        p = tmp_path / "arr.json"
+        p.write_text("[1, 2]")
+        with pytest.raises(ConfigError):
+            load_campaign(p)
+
+    def test_json_contains_paper_parameters(self):
+        text = campaign_to_json(CampaignConfig())
+        assert '"max_expression_size": 5' in text
+        assert '"alpha": 0.2' in text

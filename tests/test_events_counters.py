@@ -1,0 +1,67 @@
+"""Tests for ProfileRecorder and PerfCounters primitives."""
+
+import pytest
+
+from repro.sim.counters import PerfCounters
+from repro.sim.events import ProfileRecorder
+
+
+class TestPerfCounters:
+    def test_perf_row_has_exactly_the_paper_columns(self):
+        row = PerfCounters().perf_row()
+        assert tuple(row) == PerfCounters.PERF_FIELDS
+        assert len(row) == 7
+
+    def test_add(self):
+        a = PerfCounters(cycles=10, page_faults=3)
+        b = PerfCounters(cycles=5, context_switches=2)
+        a.add(b)
+        assert a.cycles == 15
+        assert a.page_faults == 3
+        assert a.context_switches == 2
+
+    def test_copy_is_independent(self):
+        a = PerfCounters(cycles=1)
+        b = a.copy()
+        b.cycles = 99
+        assert a.cycles == 1
+
+    def test_as_dict_includes_lock_stats(self):
+        d = PerfCounters(critical_acquires=4).as_dict()
+        assert d["critical_acquires"] == 4
+
+
+class TestProfileRecorder:
+    def test_charge_accumulates(self):
+        pr = ProfileRecorder()
+        pr.charge("so", "sym", 10.0)
+        pr.charge("so", "sym", 5.0)
+        assert pr.samples[("so", "sym")] == 15.0
+        assert pr.total() == 15.0
+
+    def test_nonpositive_charges_ignored(self):
+        pr = ProfileRecorder()
+        pr.charge("so", "sym", 0.0)
+        pr.charge("so", "sym", -3.0)
+        assert pr.samples == {}
+
+    def test_rows_are_fractions_descending(self):
+        pr = ProfileRecorder()
+        pr.charge("a", "x", 30.0)
+        pr.charge("b", "y", 70.0)
+        rows = pr.rows()
+        assert rows[0] == (0.7, "b", "y")
+        assert rows[1] == (0.3, "a", "x")
+
+    def test_rows_empty(self):
+        assert ProfileRecorder().rows() == []
+
+    def test_merge_disjoint_and_overlapping(self):
+        a = ProfileRecorder()
+        a.charge("so", "x", 1.0)
+        b = ProfileRecorder()
+        b.charge("so", "x", 2.0)
+        b.charge("so", "y", 5.0)
+        a.merge(b)
+        assert a.samples[("so", "x")] == 3.0
+        assert a.samples[("so", "y")] == 5.0

@@ -1,0 +1,104 @@
+"""Tests for vendor FP lowering (FMA contraction modes)."""
+
+from repro.core.nodes import (
+    BinOp,
+    Block,
+    FPNumeral,
+    Paren,
+    UnaryOp,
+    VarRef,
+    Assignment,
+)
+from repro.core.types import AssignOpKind, BinOpKind, FPType, Variable, VarKind
+from repro.sim.fptransforms import (
+    FusedMulAdd,
+    effective_fma_mode,
+    lower_block,
+    lower_expr,
+    opt_cycle_scale,
+)
+
+
+def _v(name="x"):
+    return Variable(name, FPType.DOUBLE, VarKind.PARAM)
+
+
+def _mul(a, b):
+    return BinOp(BinOpKind.MUL, VarRef(_v(a)), VarRef(_v(b)))
+
+
+class TestContraction:
+    def test_basic_contracts_mul_plus(self):
+        e = BinOp(BinOpKind.ADD, _mul("a", "b"), VarRef(_v("c")))
+        out = lower_expr(e, "basic")
+        assert isinstance(out, FusedMulAdd)
+        assert not out.negate_product
+
+    def test_basic_contracts_plus_mul(self):
+        e = BinOp(BinOpKind.ADD, VarRef(_v("c")), _mul("a", "b"))
+        assert isinstance(lower_expr(e, "basic"), FusedMulAdd)
+
+    def test_basic_does_not_contract_sub(self):
+        e = BinOp(BinOpKind.SUB, _mul("a", "b"), VarRef(_v("c")))
+        out = lower_expr(e, "basic")
+        assert isinstance(out, BinOp)
+
+    def test_aggressive_contracts_sub_left(self):
+        e = BinOp(BinOpKind.SUB, _mul("a", "b"), VarRef(_v("c")))
+        out = lower_expr(e, "aggressive")
+        assert isinstance(out, FusedMulAdd)
+        assert isinstance(out.c, UnaryOp) and out.c.op == "-"
+
+    def test_aggressive_contracts_sub_right(self):
+        e = BinOp(BinOpKind.SUB, VarRef(_v("c")), _mul("a", "b"))
+        out = lower_expr(e, "aggressive")
+        assert isinstance(out, FusedMulAdd)
+        assert out.negate_product
+
+    def test_none_mode_leaves_tree(self):
+        e = BinOp(BinOpKind.ADD, _mul("a", "b"), VarRef(_v("c")))
+        out = lower_expr(e, "none")
+        assert isinstance(out, BinOp)
+
+    def test_contraction_sees_through_parens(self):
+        e = BinOp(BinOpKind.ADD, Paren(_mul("a", "b")), VarRef(_v("c")))
+        assert isinstance(lower_expr(e, "basic"), FusedMulAdd)
+
+    def test_div_never_contracts(self):
+        e = BinOp(BinOpKind.DIV, _mul("a", "b"), VarRef(_v("c")))
+        assert isinstance(lower_expr(e, "aggressive"), BinOp)
+
+    def test_nested_contraction(self):
+        inner = BinOp(BinOpKind.ADD, _mul("a", "b"), VarRef(_v("c")))
+        outer = BinOp(BinOpKind.ADD, _mul("d", "e"), inner)
+        out = lower_expr(outer, "basic")
+        assert isinstance(out, FusedMulAdd)
+        assert isinstance(out.c, FusedMulAdd)
+
+    def test_original_tree_untouched(self):
+        e = BinOp(BinOpKind.ADD, _mul("a", "b"), VarRef(_v("c")))
+        lower_expr(e, "aggressive")
+        assert isinstance(e, BinOp) and isinstance(e.lhs, BinOp)
+
+    def test_lower_block_is_pure(self):
+        target = VarRef(_v("t"))
+        stmt = Assignment(target, AssignOpKind.ASSIGN,
+                          BinOp(BinOpKind.ADD, _mul("a", "b"), VarRef(_v("c"))))
+        block = Block([stmt])
+        out = lower_block(block, "basic")
+        assert out is not block
+        assert isinstance(out.stmts[0].expr, FusedMulAdd)
+        assert isinstance(block.stmts[0].expr, BinOp)
+
+
+class TestOptLevels:
+    def test_fma_disabled_below_o2(self):
+        assert effective_fma_mode("aggressive", "-O0") == "none"
+        assert effective_fma_mode("aggressive", "-O1") == "none"
+        assert effective_fma_mode("aggressive", "-O2") == "aggressive"
+        assert effective_fma_mode("basic", "-O3") == "basic"
+
+    def test_cycle_scale_monotonic(self):
+        scales = [opt_cycle_scale(o) for o in ("-O0", "-O1", "-O2", "-O3")]
+        assert scales == sorted(scales, reverse=True)
+        assert opt_cycle_scale("-O3") == 1.0

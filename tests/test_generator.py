@@ -1,0 +1,98 @@
+"""Unit tests for the top-level program generator."""
+
+from repro.config import GeneratorConfig
+from repro.core.features import extract_features
+from repro.core.generator import ProgramGenerator
+from repro.core.nodes import (
+    Assignment,
+    OmpParallel,
+    Program,
+    VarRef,
+    walk,
+)
+from repro.core.types import Sharing, VarKind
+
+
+class TestSignature:
+    def test_comp_is_first_param(self, program_stream):
+        for p in program_stream:
+            assert p.params[0] is p.comp
+            assert p.comp.kind is VarKind.COMP
+
+    def test_param_counts_within_config(self, fast_gen_cfg, program_stream):
+        cfg = fast_gen_cfg
+        for p in program_stream:
+            n_scalar = len(p.fp_scalar_params) - 0  # comp filtered below
+            scalars = [v for v in p.fp_scalar_params if v.kind is VarKind.PARAM]
+            assert cfg.min_fp_scalar_params <= len(scalars) \
+                <= cfg.max_fp_scalar_params
+            assert cfg.min_array_params <= len(p.array_params) \
+                <= cfg.max_array_params
+            assert cfg.min_int_params <= len(p.int_params) <= cfg.max_int_params
+
+    def test_array_sizes_match_config(self, fast_gen_cfg, program_stream):
+        for p in program_stream:
+            for a in p.array_params:
+                assert a.array_size == fast_gen_cfg.array_size
+
+    def test_unique_param_names(self, program_stream):
+        for p in program_stream:
+            names = [v.name for v in p.params]
+            assert len(names) == len(set(names))
+
+
+class TestStreamProperties:
+    def test_stream_yields_distinct_programs(self, fast_gen_cfg):
+        gen = ProgramGenerator(fast_gen_cfg, seed=5)
+        programs = list(gen.stream(5))
+        names = {p.name for p in programs}
+        assert len(names) == 5
+
+    def test_index_addressable(self, fast_gen_cfg):
+        gen = ProgramGenerator(fast_gen_cfg, seed=5)
+        from repro.codegen.emit_main import emit_translation_unit
+
+        direct = emit_translation_unit(gen.generate(3))
+        streamed = emit_translation_unit(list(gen.stream(4))[3])
+        assert direct == streamed
+
+    def test_most_programs_have_openmp(self, paper_gen_cfg):
+        gen = ProgramGenerator(paper_gen_cfg, seed=31)
+        with_region = 0
+        for i in range(20):
+            p = gen.generate(i)
+            if any(isinstance(n, OmpParallel) for n in walk(p)):
+                with_region += 1
+        assert with_region >= 16  # OpenMP tests are the point of the fuzzer
+
+    def test_closing_accumulation_writes_comp(self, program_stream):
+        for p in program_stream:
+            last = p.body.stmts[-1]
+            assert isinstance(last, Assignment)
+            assert isinstance(last.target, VarRef)
+            assert last.target.var is p.comp
+
+
+class TestDataSharing:
+    def test_comp_never_in_private_clauses(self, program_stream):
+        for p in program_stream:
+            for n in walk(p):
+                if isinstance(n, OmpParallel):
+                    listed = n.clauses.private + n.clauses.firstprivate
+                    assert all(v.kind is not VarKind.COMP for v in listed)
+
+    def test_reduction_regions_marked(self, paper_gen_cfg):
+        gen = ProgramGenerator(paper_gen_cfg, seed=99)
+        seen_reduction = False
+        for i in range(25):
+            p = gen.generate(i)
+            for n in walk(p):
+                if isinstance(n, OmpParallel) and n.clauses.reduction:
+                    seen_reduction = True
+        assert seen_reduction
+
+    def test_feature_extraction_consistent(self, program_stream):
+        for p in program_stream:
+            f = extract_features(p)
+            n_regions = sum(isinstance(n, OmpParallel) for n in walk(p))
+            assert f.n_parallel_regions == n_regions

@@ -1,0 +1,186 @@
+"""Property-based tests over the random program generator.
+
+These are the core guarantees the paper's methodology rests on:
+every generated program is grammar-conformant (Listing 2), respects the
+configured limits (Fig. 2), is data-race-free under the Section III-G
+rules (unless the limitation-reproducing flag is set), and generation is
+a pure function of (config, seed, index).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GeneratorConfig
+from repro.core.features import extract_features
+from repro.core.generator import ProgramGenerator
+from repro.core.grammar import check_conformance
+from repro.core.nodes import (
+    Block,
+    BinOp,
+    BoolExpr,
+    ForLoop,
+    IfBlock,
+    MathCall,
+    OmpCritical,
+    OmpParallel,
+    Program,
+    walk,
+)
+from repro.core.races import find_races
+
+_SETTINGS = dict(max_examples=30, deadline=None)
+
+
+def _cfg(**kw) -> GeneratorConfig:
+    base = dict(max_total_iterations=3_000, loop_trip_max=50, num_threads=8)
+    base.update(kw)
+    return GeneratorConfig(**base)
+
+
+@st.composite
+def gen_params(draw):
+    return _cfg(
+        max_expression_size=draw(st.integers(1, 8)),
+        max_nesting_levels=draw(st.integers(1, 4)),
+        max_lines_in_block=draw(st.integers(1, 12)),
+        max_same_level_blocks=draw(st.integers(1, 4)),
+        reduction_probability=draw(st.floats(0.0, 1.0)),
+        critical_probability=draw(st.floats(0.0, 1.0)),
+        omp_for_probability=draw(st.floats(0.0, 1.0)),
+        math_func_allowed=draw(st.booleans()),
+        fp_double_probability=draw(st.floats(0.0, 1.0)),
+    )
+
+
+@given(cfg=gen_params(), seed=st.integers(0, 2**32), index=st.integers(0, 50))
+@settings(**_SETTINGS)
+def test_every_program_conforms_to_grammar(cfg, seed, index):
+    program = ProgramGenerator(cfg, seed=seed).generate(index)
+    check_conformance(program)  # raises on violation
+
+
+@given(cfg=gen_params(), seed=st.integers(0, 2**32))
+@settings(**_SETTINGS)
+def test_safe_mode_programs_are_race_free(cfg, seed):
+    program = ProgramGenerator(cfg, seed=seed).generate(0)
+    assert find_races(program) == []
+
+
+@given(seed=st.integers(0, 2**32), index=st.integers(0, 30))
+@settings(**_SETTINGS)
+def test_generation_is_deterministic(seed, index):
+    cfg = _cfg()
+    a = ProgramGenerator(cfg, seed=seed).generate(index)
+    b = ProgramGenerator(cfg, seed=seed).generate(index)
+    from repro.codegen.emit_main import emit_translation_unit
+
+    assert emit_translation_unit(a) == emit_translation_unit(b)
+
+
+@given(cfg=gen_params(), seed=st.integers(0, 2**32))
+@settings(**_SETTINGS)
+def test_expression_size_limit(cfg, seed):
+    program = ProgramGenerator(cfg, seed=seed).generate(0)
+    # number of binary operators in any expression tree < MAX_EXPRESSION_SIZE
+    for node in walk(program):
+        if isinstance(node, (BoolExpr,)):
+            continue
+        if isinstance(node, BinOp):
+            # count the operator chain rooted here (each BinOp adds a term)
+            ops = sum(1 for n in walk(node) if isinstance(n, BinOp))
+            assert ops <= cfg.max_expression_size + 1
+
+
+@given(cfg=gen_params(), seed=st.integers(0, 2**32))
+@settings(**_SETTINGS)
+def test_nesting_level_limit(cfg, seed):
+    program = ProgramGenerator(cfg, seed=seed).generate(0)
+
+    def depth(block: Block, d: int) -> int:
+        worst = d
+        for s in block.stmts:
+            if isinstance(s, (IfBlock, ForLoop, OmpParallel)):
+                worst = max(worst, depth(s.body, d + 1))
+            elif isinstance(s, OmpCritical):
+                # Fig. 2 counts "if condition and for loop blocks" only;
+                # a critical wrapper is not a nesting level
+                worst = max(worst, depth(s.body, d))
+        return worst
+
+    assert depth(program.body, 0) <= cfg.max_nesting_levels
+
+
+@given(cfg=gen_params(), seed=st.integers(0, 2**32))
+@settings(**_SETTINGS)
+def test_lines_in_block_limit(cfg, seed):
+    program = ProgramGenerator(cfg, seed=seed).generate(0)
+    limit = cfg.max_lines_in_block
+
+    def check(block: Block, allowance: int) -> None:
+        assert len(block.stmts) <= limit + allowance, len(block.stmts)
+        for s in block.stmts:
+            if isinstance(s, OmpParallel):
+                # region bodies add one init per private variable, up to
+                # two extra leads, and the mandatory trailing loop
+                extra = len(s.clauses.private) + 3
+                check(s.body, extra)
+            elif isinstance(s, ForLoop):
+                # a planned-critical region may inject one critical block
+                check(s.body, 1)
+            elif isinstance(s, (IfBlock, OmpCritical)):
+                check(s.body, 0)
+
+    # +2 at top level: the closing comp accumulation, plus one forced
+    # OpenMP region when the random walk produced a purely serial body
+    check(program.body, 2)
+
+
+@given(cfg=gen_params(), seed=st.integers(0, 2**32))
+@settings(**_SETTINGS)
+def test_math_funcs_only_when_allowed(cfg, seed):
+    program = ProgramGenerator(cfg, seed=seed).generate(0)
+    has_math = any(isinstance(n, MathCall) for n in walk(program))
+    if not cfg.math_func_allowed:
+        assert not has_math
+
+
+@given(seed=st.integers(0, 2**32))
+@settings(**_SETTINGS)
+def test_iteration_budget_respected(seed):
+    """For every loop-nest path, the product of *simulated* trip counts —
+    per-thread chunks for omp-for loops, x num_threads inside regions —
+    stays within ``max_total_iterations``.  This is the invariant that
+    keeps the pure-Python backend able to execute every program."""
+    cfg = _cfg(max_total_iterations=2_000, num_threads=8)
+    program = ProgramGenerator(cfg, seed=seed).generate(0)
+
+    def worst_path(block: Block, mult: int) -> int:
+        worst = mult
+        for s in block.stmts:
+            if isinstance(s, ForLoop):
+                from repro.core.nodes import IntNumeral
+
+                bound = (s.bound.value if isinstance(s.bound, IntNumeral)
+                         else cfg.loop_trip_max)
+                if s.omp_for:
+                    bound = -(-bound // cfg.num_threads)
+                worst = max(worst, worst_path(s.body, mult * max(1, bound)))
+            elif isinstance(s, (IfBlock, OmpCritical)):
+                worst = max(worst, worst_path(s.body, mult))
+            elif isinstance(s, OmpParallel):
+                worst = max(worst,
+                            worst_path(s.body, mult * cfg.num_threads))
+        return worst
+
+    assert worst_path(program.body, 1) <= cfg.max_total_iterations
+
+
+@given(seed=st.integers(0, 2**32), index=st.integers(0, 10))
+@settings(**_SETTINGS)
+def test_num_threads_propagates(seed, index):
+    cfg = _cfg(num_threads=6)
+    program = ProgramGenerator(cfg, seed=seed).generate(index)
+    for node in walk(program):
+        if isinstance(node, OmpParallel):
+            assert node.clauses.num_threads == 6

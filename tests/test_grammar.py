@@ -1,0 +1,166 @@
+"""Tests for the grammar formalization and the conformance checker."""
+
+import pytest
+
+from repro.core.grammar import GRAMMAR, check_conformance, conforms
+from repro.core.nodes import (
+    Assignment,
+    Block,
+    BoolExpr,
+    DeclAssign,
+    ForLoop,
+    FPNumeral,
+    IfBlock,
+    IntNumeral,
+    ModIdx,
+    OmpCritical,
+    OmpParallel,
+    Program,
+    VarRef,
+)
+from repro.core.types import (
+    AssignOpKind,
+    BoolOpKind,
+    FPType,
+    OmpClauses,
+    Variable,
+    VarKind,
+)
+from repro.errors import GrammarError
+
+
+def _mk_var(name, kind=VarKind.PARAM, fp=FPType.DOUBLE, array=False):
+    return Variable(name, fp, kind, is_array=array,
+                    array_size=100 if array else 0)
+
+
+def _mk_program(body: Block) -> Program:
+    comp = _mk_var("comp", VarKind.COMP)
+    x = _mk_var("var_1")
+    return Program(name="t", seed=0, fp_type=FPType.DOUBLE, comp=comp,
+                   params=[comp, x], body=body)
+
+
+def _assign(var, value=1.0):
+    return Assignment(VarRef(var), AssignOpKind.ASSIGN, FPNumeral(value))
+
+
+class TestGrammarData:
+    def test_all_listing2_nonterminals_present(self):
+        for lhs in ("function", "assignment", "expression", "term", "block",
+                    "openmp-head", "openmp-block", "openmp-critical",
+                    "if-block", "for-loop-head", "for-loop-block",
+                    "loop-header", "bool-expression"):
+            assert lhs in GRAMMAR
+
+    def test_operator_terminals(self):
+        assert '"+="' in GRAMMAR["assign-op"].alternatives
+        assert '"*"' in GRAMMAR["reduction-op"].alternatives
+        assert len(GRAMMAR["bool-op"].alternatives) == 6
+
+    def test_str_rendering(self):
+        assert str(GRAMMAR["term"]).startswith("<term> ::=")
+
+
+class TestConformanceAccepts:
+    def test_minimal_program(self):
+        comp = _mk_var("comp", VarKind.COMP)
+        p = _mk_program(Block([_assign(comp)]))
+        p.comp = comp
+        p.params[0] = comp
+        check_conformance(p)
+
+    def test_generated_stream_conforms(self, program_stream):
+        for p in program_stream:
+            check_conformance(p)
+
+
+class TestConformanceRejects:
+    def test_empty_block(self):
+        p = _mk_program(Block([]))
+        with pytest.raises(GrammarError, match="at least one statement"):
+            check_conformance(p)
+
+    def test_omp_for_outside_parallel(self):
+        lv = Variable("i_1", None, VarKind.LOOP)
+        body = Block([ForLoop(lv, IntNumeral(4),
+                              Block([_assign(_mk_var("var_1"))]),
+                              omp_for=True)])
+        with pytest.raises(GrammarError, match="omp for outside"):
+            check_conformance(_mk_program(body))
+
+    def test_critical_outside_parallel(self):
+        body = Block([OmpCritical(Block([_assign(_mk_var("var_1"))]))])
+        with pytest.raises(GrammarError, match="critical outside"):
+            check_conformance(_mk_program(body))
+
+    def test_openmp_block_requires_trailing_loop(self):
+        clauses = OmpClauses(num_threads=4)
+        region = OmpParallel(clauses, Block([_assign(_mk_var("var_1"))]))
+        with pytest.raises(GrammarError, match="end with a for-loop"):
+            check_conformance(_mk_program(Block([region])))
+
+    def test_uninitialized_private_rejected(self):
+        v = _mk_var("var_1")
+        clauses = OmpClauses(private=[v], num_threads=4)
+        lv = Variable("i_1", None, VarKind.LOOP)
+        loop = ForLoop(lv, IntNumeral(4), Block([_assign(v)]))
+        tmp = Variable("tmp_1", FPType.DOUBLE, VarKind.TEMP)
+        region = OmpParallel(clauses,
+                             Block([DeclAssign(tmp, FPNumeral(0.0)), loop]))
+        with pytest.raises(GrammarError, match="not initialized"):
+            check_conformance(_mk_program(Block([region])))
+
+    def test_variable_in_two_clauses_rejected(self):
+        v = _mk_var("var_1")
+        clauses = OmpClauses(private=[v], firstprivate=[v], num_threads=4)
+        lv = Variable("i_1", None, VarKind.LOOP)
+        loop = ForLoop(lv, IntNumeral(4), Block([_assign(v)]))
+        region = OmpParallel(clauses, Block([_assign(v), loop]))
+        with pytest.raises(GrammarError, match="two data-sharing clauses"):
+            check_conformance(_mk_program(Block([region])))
+
+    def test_self_referential_declassign_rejected(self):
+        tmp = Variable("tmp_1", FPType.DOUBLE, VarKind.TEMP)
+        body = Block([DeclAssign(tmp, VarRef(tmp))])
+        with pytest.raises(GrammarError, match="references itself"):
+            check_conformance(_mk_program(body))
+
+    def test_negative_loop_bound_rejected(self):
+        lv = Variable("i_1", None, VarKind.LOOP)
+        body = Block([ForLoop(lv, IntNumeral(-3),
+                              Block([_assign(_mk_var("var_1"))]))])
+        with pytest.raises(GrammarError, match="non-negative"):
+            check_conformance(_mk_program(body))
+
+    def test_fp_loop_bound_rejected(self):
+        lv = Variable("i_1", None, VarKind.LOOP)
+        fp_bound = _mk_var("var_1")  # fp scalar, not int
+        body = Block([ForLoop(lv, VarRef(fp_bound),
+                              Block([_assign(_mk_var("var_2"))]))])
+        with pytest.raises(GrammarError, match="must be an int"):
+            check_conformance(_mk_program(body))
+
+    def test_bad_index_modulus(self):
+        arr = _mk_var("var_9", array=True)
+        lv = Variable("i_1", None, VarKind.LOOP)
+        target = Block([Assignment(
+            VarRef(_mk_var("var_1")), AssignOpKind.ASSIGN, FPNumeral(1.0))])
+        from repro.core.nodes import ArrayRef
+        bad = Assignment(ArrayRef(arr, ModIdx(VarRef(lv), 0)),
+                         AssignOpKind.ASSIGN, FPNumeral(1.0))
+        body = Block([ForLoop(lv, IntNumeral(3), Block([bad]))])
+        with pytest.raises(GrammarError, match="modulus"):
+            check_conformance(_mk_program(body))
+
+    def test_comp_must_be_scalar(self):
+        comp = Variable("comp", FPType.DOUBLE, VarKind.COMP, is_array=True,
+                        array_size=10)
+        p = Program(name="t", seed=0, fp_type=FPType.DOUBLE, comp=comp,
+                    params=[comp], body=Block([_assign(_mk_var("x"))]))
+        with pytest.raises(GrammarError, match="scalar"):
+            check_conformance(p)
+
+    def test_conforms_wrapper(self):
+        p = _mk_program(Block([]))
+        assert conforms(p) is False

@@ -1,0 +1,135 @@
+"""Tests for the five-category floating-point input generator (§III-D)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GeneratorConfig
+from repro.core.inputs import (
+    CATEGORY_WEIGHTS,
+    FPCategory,
+    InputGenerator,
+    LIMITS,
+    classify,
+    sample_category,
+)
+from repro.core.types import FPType
+from repro.rng import Rng
+
+_CATS = list(FPCategory)
+_TYPES = [FPType.FLOAT, FPType.DOUBLE]
+
+
+class TestSampling:
+    @pytest.mark.parametrize("fp", _TYPES)
+    @pytest.mark.parametrize("cat", _CATS)
+    def test_sample_classifies_back(self, cat, fp):
+        rng = Rng(17)
+        for _ in range(200):
+            v = sample_category(rng, cat, fp)
+            assert classify(v, fp) is cat, (cat, fp, v)
+
+    @pytest.mark.parametrize("fp", _TYPES)
+    def test_subnormal_is_ieee_subnormal(self, fp):
+        rng = Rng(3)
+        lim = LIMITS[fp]
+        for _ in range(100):
+            v = sample_category(rng, FPCategory.SUBNORMAL, fp)
+            assert 0 < abs(v) < lim.min_normal
+
+    @pytest.mark.parametrize("fp", _TYPES)
+    def test_almost_inf_is_still_finite_normal(self, fp):
+        rng = Rng(4)
+        lim = LIMITS[fp]
+        for _ in range(100):
+            v = sample_category(rng, FPCategory.ALMOST_INF, fp)
+            assert math.isfinite(v)
+            assert abs(v) <= lim.max_normal
+            assert abs(v) >= lim.min_normal  # "still a normal number"
+
+    @pytest.mark.parametrize("fp", _TYPES)
+    def test_almost_subnormal_is_normal(self, fp):
+        rng = Rng(5)
+        lim = LIMITS[fp]
+        for _ in range(100):
+            v = sample_category(rng, FPCategory.ALMOST_SUBNORMAL, fp)
+            assert abs(v) >= lim.min_normal
+
+    def test_zero_has_both_signs(self):
+        rng = Rng(6)
+        signs = {math.copysign(1.0, sample_category(rng, FPCategory.ZERO,
+                                                    FPType.DOUBLE))
+                 for _ in range(50)}
+        assert signs == {1.0, -1.0}
+
+    def test_float_values_survive_f32_rounding(self):
+        import ctypes
+        rng = Rng(7)
+        for cat in (FPCategory.SUBNORMAL, FPCategory.ALMOST_INF):
+            for _ in range(50):
+                v = sample_category(rng, cat, FPType.FLOAT)
+                assert classify(ctypes.c_float(v).value, FPType.FLOAT) is cat
+
+
+class TestClassify:
+    def test_classify_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            classify(math.inf, FPType.DOUBLE)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_classify_total_on_finite_doubles(self, v):
+        assert classify(v, FPType.DOUBLE) in FPCategory
+
+
+class TestInputGenerator:
+    def test_covers_every_param(self, program_stream, input_gen):
+        for p in program_stream:
+            inp = input_gen.generate(p, 0)
+            assert set(inp.values) == {v.name for v in p.params}
+
+    def test_int_params_within_trip_range(self, fast_gen_cfg, program_stream,
+                                          input_gen):
+        for p in program_stream:
+            inp = input_gen.generate(p, 0)
+            for v in p.int_params:
+                assert fast_gen_cfg.loop_trip_min <= inp.values[v.name] \
+                    <= fast_gen_cfg.loop_trip_max
+
+    def test_deterministic(self, fast_gen_cfg, program_stream):
+        a = InputGenerator(fast_gen_cfg, seed=42)
+        b = InputGenerator(fast_gen_cfg, seed=42)
+        p = program_stream[0]
+        assert a.generate(p, 1).values == b.generate(p, 1).values
+
+    def test_inputs_differ_across_indices(self, program_stream, input_gen):
+        p = program_stream[0]
+        assert input_gen.generate(p, 0).values != input_gen.generate(p, 1).values
+
+    def test_argv_roundtrip_precision(self, program_stream, input_gen):
+        p = program_stream[0]
+        inp = input_gen.generate(p, 0)
+        argv = inp.argv(p)
+        for param, token in zip(p.params, argv):
+            if param.is_int:
+                assert int(token) == inp.values[param.name]
+            else:
+                assert float(token) == float(inp.values[param.name])
+
+    def test_batch_matches_singles(self, program_stream, input_gen):
+        p = program_stream[1]
+        batch = input_gen.batch(p, 3)
+        assert [t.values for t in batch] == \
+            [input_gen.generate(p, i).values for i in range(3)]
+
+    def test_category_weights_sum_to_one(self):
+        assert sum(w for _, w in CATEGORY_WEIGHTS) == pytest.approx(1.0)
+
+    def test_extreme_count_counts_hard_categories(self, program_stream,
+                                                  input_gen):
+        p = program_stream[0]
+        inp = input_gen.generate(p, 0)
+        n = sum(c in (FPCategory.SUBNORMAL, FPCategory.ALMOST_INF)
+                for c in inp.categories.values())
+        assert inp.extreme_count() == n

@@ -1,0 +1,171 @@
+"""Tests for AST utilities (walk, referenced_variables) and feature
+extraction."""
+
+from repro.core.features import extract_features
+from repro.core.nodes import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Block,
+    BoolExpr,
+    DeclAssign,
+    ForLoop,
+    FPNumeral,
+    IfBlock,
+    IntNumeral,
+    OmpCritical,
+    OmpParallel,
+    Program,
+    ThreadIdx,
+    VarRef,
+    iter_statements,
+    referenced_variables,
+    walk,
+)
+from repro.core.types import (
+    AssignOpKind,
+    BinOpKind,
+    BoolOpKind,
+    FPType,
+    OmpClauses,
+    ReductionOp,
+    Variable,
+    VarKind,
+)
+
+
+def _v(name, kind=VarKind.PARAM, array=False):
+    return Variable(name, FPType.DOUBLE, kind, is_array=array,
+                    array_size=16 if array else 0)
+
+
+class TestWalk:
+    def test_depth_first_left_to_right(self):
+        a, b, c = (_v(n) for n in "abc")
+        e = BinOp(BinOpKind.ADD,
+                  BinOp(BinOpKind.MUL, VarRef(a), VarRef(b)), VarRef(c))
+        names = [n.var.name for n in walk(e) if isinstance(n, VarRef)]
+        assert names == ["a", "b", "c"]
+
+    def test_walk_program_yields_body_contents(self, program_stream):
+        p = program_stream[0]
+        nodes = list(walk(p))
+        assert nodes[0] is p.body
+
+    def test_iter_statements_counts(self):
+        x = _v("x")
+        s1 = Assignment(VarRef(x), AssignOpKind.ASSIGN, FPNumeral(1.0))
+        s2 = IfBlock(BoolExpr(VarRef(x), BoolOpKind.LT, FPNumeral(0.0)),
+                     Block([Assignment(VarRef(x), AssignOpKind.ASSIGN,
+                                       FPNumeral(2.0))]))
+        stmts = list(iter_statements(Block([s1, s2])))
+        # s1, s2, and the assignment inside s2
+        assert len(stmts) == 3
+
+    def test_referenced_variables_first_use_order(self):
+        a, b = _v("a"), _v("b")
+        arr = _v("arr", array=True)
+        block = Block([
+            Assignment(VarRef(b), AssignOpKind.ASSIGN, VarRef(a)),
+            Assignment(ArrayRef(arr, IntNumeral(0)), AssignOpKind.ASSIGN,
+                       VarRef(b)),
+        ])
+        names = [v.name for v in referenced_variables(block)]
+        assert names == ["b", "a", "arr"]
+
+    def test_referenced_variables_dedupes_by_identity(self):
+        a = _v("a")
+        block = Block([
+            Assignment(VarRef(a), AssignOpKind.ASSIGN, VarRef(a))])
+        assert len(referenced_variables(block)) == 1
+
+
+class TestFeatureExtraction:
+    def _program_with_region(self, *, reduction=None, serial_loop_above=False,
+                             critical=False, trip=10, threads=4):
+        comp = _v("comp", VarKind.COMP)
+        x = _v("x")
+        lv = Variable("i_1", None, VarKind.LOOP)
+        inner = [Assignment(VarRef(x), AssignOpKind.ADD_ASSIGN,
+                            FPNumeral(1.0))]
+        if critical:
+            inner.append(OmpCritical(Block([Assignment(
+                VarRef(comp), AssignOpKind.ADD_ASSIGN, FPNumeral(1.0))])))
+        loop = ForLoop(lv, IntNumeral(trip), Block(inner), omp_for=True)
+        clauses = OmpClauses(num_threads=threads, reduction=reduction,
+                             private=[x])
+        region = OmpParallel(clauses, Block([
+            Assignment(VarRef(x), AssignOpKind.ASSIGN, FPNumeral(0.0)), loop]))
+        if serial_loop_above:
+            outer_lv = Variable("i_0", None, VarKind.LOOP)
+            body = Block([ForLoop(outer_lv, IntNumeral(7), Block([region]))])
+        else:
+            body = Block([region])
+        return Program(name="t", seed=0, fp_type=FPType.DOUBLE, comp=comp,
+                       params=[comp, x], body=body, num_threads=threads)
+
+    def test_region_counts(self):
+        f = extract_features(self._program_with_region())
+        assert f.n_parallel_regions == 1
+        assert f.n_omp_for == 1
+        assert f.parallel_in_serial_loop == 0
+        assert f.est_region_entries == 1
+
+    def test_parallel_in_serial_loop_detected(self):
+        f = extract_features(self._program_with_region(serial_loop_above=True))
+        assert f.parallel_in_serial_loop == 1
+        assert f.est_region_entries == 7
+
+    def test_reduction_counted(self):
+        f = extract_features(self._program_with_region(
+            reduction=ReductionOp.SUM))
+        assert f.n_reductions == 1
+
+    def test_critical_in_omp_for_acquisitions(self):
+        f = extract_features(self._program_with_region(critical=True,
+                                                       trip=10))
+        assert f.critical_in_omp_for == 1
+        # omp-for splits iterations: total acquisitions = trip count
+        assert f.est_critical_acquires == 10
+
+    def test_critical_in_serial_region_loop_multiplies_by_threads(self):
+        comp = _v("comp", VarKind.COMP)
+        x = _v("x")
+        lv = Variable("i_1", None, VarKind.LOOP)
+        crit = OmpCritical(Block([Assignment(VarRef(comp),
+                                             AssignOpKind.ADD_ASSIGN,
+                                             FPNumeral(1.0))]))
+        loop = ForLoop(lv, IntNumeral(10), Block([crit]), omp_for=False)
+        region = OmpParallel(OmpClauses(num_threads=4, private=[x]), Block([
+            Assignment(VarRef(x), AssignOpKind.ASSIGN, FPNumeral(0.0)), loop]))
+        p = Program(name="t", seed=0, fp_type=FPType.DOUBLE, comp=comp,
+                    params=[comp, x], body=Block([region]), num_threads=4)
+        f = extract_features(p)
+        # every thread executes all 10 serial iterations
+        assert f.est_critical_acquires == 40
+
+    def test_fingerprint_stable_and_distinct(self):
+        a = extract_features(self._program_with_region())
+        b = extract_features(self._program_with_region(critical=True))
+        assert a.fingerprint() == a.fingerprint()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_tid_write_detection(self):
+        comp = _v("comp", VarKind.COMP)
+        arr = _v("arr", array=True)
+        x = _v("x")
+        lv = Variable("i_1", None, VarKind.LOOP)
+        w = Assignment(ArrayRef(arr, ThreadIdx()), AssignOpKind.ASSIGN,
+                       FPNumeral(1.0))
+        loop = ForLoop(lv, IntNumeral(4), Block([w]), omp_for=True)
+        region = OmpParallel(OmpClauses(num_threads=4, private=[x]), Block([
+            Assignment(VarRef(x), AssignOpKind.ASSIGN, FPNumeral(0.0)), loop]))
+        p = Program(name="t", seed=0, fp_type=FPType.DOUBLE, comp=comp,
+                    params=[comp, arr, x], body=Block([region]), num_threads=4)
+        assert extract_features(p).writes_tid_arrays
+
+    def test_as_dict_round(self):
+        f = extract_features(self._program_with_region())
+        d = f.as_dict()
+        assert d["n_parallel_regions"] == 1
+        assert "est_total_iters" in d

@@ -1,0 +1,237 @@
+"""Tests for outlier detection — the paper's Section IV math."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.outliers import (
+    Outlier,
+    OutlierKind,
+    OutlierTable,
+    analyze_test,
+    build_outlier_table,
+    comparable,
+    detect_correctness_outliers,
+    detect_performance_outliers,
+    midpoint,
+    mutually_comparable,
+)
+from repro.config import OutlierConfig
+from repro.driver.records import RunRecord, RunStatus
+from repro.errors import AnalysisError
+
+times = st.floats(min_value=1e-3, max_value=1e9, allow_nan=False)
+
+
+def _rec(vendor, time_us, status=RunStatus.OK, comp=1.0, program="p", inp=0):
+    return RunRecord(program_name=program, vendor=vendor, input_index=inp,
+                     status=status, comp=comp if status is RunStatus.OK else None,
+                     time_us=time_us)
+
+
+def _triple(g, c, i, **kw):
+    return [_rec("gcc", g, **kw), _rec("clang", c, **kw), _rec("intel", i, **kw)]
+
+
+class TestComparable:
+    def test_paper_example(self):
+        # alpha=0.2: within 20% is comparable
+        assert comparable(100.0, 119.0, 0.2)
+        assert not comparable(100.0, 121.0, 0.2)
+
+    def test_zero_time_never_comparable(self):
+        assert not comparable(0.0, 5.0, 0.2)
+
+    @given(a=times, b=times)
+    @settings(max_examples=200, deadline=None)
+    def test_symmetry(self, a, b):
+        assert comparable(a, b, 0.2) == comparable(b, a, 0.2)
+
+    @given(a=times, b=times, c=st.floats(min_value=0.01, max_value=100))
+    @settings(max_examples=200, deadline=None)
+    def test_scale_invariance(self, a, b, c):
+        assert comparable(a, b, 0.2) == comparable(a * c, b * c, 0.2)
+
+    @given(a=times)
+    @settings(max_examples=50, deadline=None)
+    def test_reflexive(self, a):
+        assert comparable(a, a, 0.2)
+
+    @given(a=times, b=times, a1=st.floats(0.01, 1.0), a2=st.floats(0.01, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_alpha_monotonicity(self, a, b, a1, a2):
+        lo, hi = min(a1, a2), max(a1, a2)
+        if comparable(a, b, lo):
+            assert comparable(a, b, hi)
+
+    def test_midpoint_is_average(self):
+        assert midpoint([2.0, 4.0]) == 3.0
+
+    def test_midpoint_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            midpoint([])
+
+    def test_mutually_comparable_needs_all_pairs(self):
+        assert mutually_comparable([100.0, 110.0], 0.2)
+        assert not mutually_comparable([100.0, 110.0, 150.0], 0.2)
+        assert mutually_comparable([5.0], 0.2)
+
+
+class TestPerformanceOutliers:
+    def test_figure1_example_slow(self):
+        # 5min, 5min, 9min: compiler 3 is a slow outlier
+        cfg = OutlierConfig(min_time_us=0.0)
+        out = detect_performance_outliers(_triple(300.0, 300.0, 540.0), cfg)
+        assert len(out) == 1
+        assert out[0].vendor == "intel" and out[0].kind is OutlierKind.SLOW
+        assert out[0].ratio == pytest.approx(540.0 / 300.0)
+
+    def test_fast_outlier(self):
+        cfg = OutlierConfig()
+        out = detect_performance_outliers(_triple(100.0, 310.0, 300.0), cfg)
+        assert len(out) == 1
+        assert out[0].vendor == "gcc" and out[0].kind is OutlierKind.FAST
+
+    def test_no_outlier_when_others_incomparable(self):
+        # candidate far off, but witnesses disagree -> nothing is flagged
+        cfg = OutlierConfig()
+        out = detect_performance_outliers(_triple(1000.0, 100.0, 300.0), cfg)
+        assert out == []
+
+    def test_below_beta_not_flagged(self):
+        cfg = OutlierConfig()
+        out = detect_performance_outliers(_triple(100.0, 100.0, 140.0), cfg)
+        assert out == []
+
+    def test_beta_boundary_inclusive(self):
+        cfg = OutlierConfig()
+        out = detect_performance_outliers(_triple(100.0, 100.0, 150.0), cfg)
+        assert len(out) == 1  # Eq. 2 is >=
+
+    def test_needs_three_ok_runs(self):
+        cfg = OutlierConfig()
+        recs = [_rec("gcc", 100.0), _rec("clang", 500.0)]
+        assert detect_performance_outliers(recs, cfg) == []
+
+    @given(g=times, c=times, i=times,
+           scale=st.floats(min_value=0.01, max_value=100))
+    @settings(max_examples=150, deadline=None)
+    def test_verdict_scale_invariant(self, g, c, i, scale):
+        cfg = OutlierConfig(min_time_us=0.0)
+        base = {(o.vendor, o.kind)
+                for o in detect_performance_outliers(_triple(g, c, i), cfg)}
+        scaled = {(o.vendor, o.kind)
+                  for o in detect_performance_outliers(
+                      _triple(g * scale, c * scale, i * scale), cfg)}
+        assert base == scaled
+
+    @given(g=times, c=times, i=times)
+    @settings(max_examples=150, deadline=None)
+    def test_at_most_one_outlier_per_test_with_three_impls(self, g, c, i):
+        cfg = OutlierConfig(min_time_us=0.0)
+        out = detect_performance_outliers(_triple(g, c, i), cfg)
+        assert len(out) <= 1
+
+    @given(g=times, c=times, i=times)
+    @settings(max_examples=150, deadline=None)
+    def test_slow_and_fast_exclusive(self, g, c, i):
+        cfg = OutlierConfig(min_time_us=0.0)
+        for o in detect_performance_outliers(_triple(g, c, i), cfg):
+            assert o.kind in (OutlierKind.SLOW, OutlierKind.FAST)
+            assert o.ratio >= cfg.beta
+
+
+class TestCorrectnessOutliers:
+    def test_single_crash_flagged(self):
+        recs = _triple(100.0, 100.0, 100.0)
+        recs[1] = _rec("clang", 50.0, RunStatus.CRASH)
+        out = detect_correctness_outliers(recs)
+        assert len(out) == 1
+        assert out[0].vendor == "clang" and out[0].kind is OutlierKind.CRASH
+
+    def test_single_hang_flagged(self):
+        recs = _triple(100.0, 100.0, 100.0)
+        recs[2] = _rec("intel", 1e6, RunStatus.HANG)
+        out = detect_correctness_outliers(recs)
+        assert out[0].kind is OutlierKind.HANG
+
+    def test_two_failures_not_attributable(self):
+        recs = _triple(100.0, 100.0, 100.0)
+        recs[0] = _rec("gcc", 0.0, RunStatus.CRASH)
+        recs[1] = _rec("clang", 0.0, RunStatus.CRASH)
+        assert detect_correctness_outliers(recs) == []
+
+    def test_all_ok_nothing_flagged(self):
+        assert detect_correctness_outliers(_triple(1.0, 1.0, 1.0)) == []
+
+    def test_correctness_outlier_not_a_performance_outlier(self):
+        recs = _triple(2000.0, 2000.0, 2000.0)
+        recs[2] = _rec("intel", 5e6, RunStatus.HANG)
+        verdict = analyze_test(recs, OutlierConfig())
+        kinds = [o.kind for o in verdict.outliers]
+        assert kinds == [OutlierKind.HANG]
+
+
+class TestAnalyzeTest:
+    def test_min_time_filter(self):
+        verdict = analyze_test(_triple(500.0, 500.0, 900.0), OutlierConfig())
+        assert not verdict.analyzed
+        assert "below" in verdict.filtered_reason
+        assert verdict.outliers == []
+
+    def test_analyzed_above_threshold(self):
+        verdict = analyze_test(_triple(2000.0, 2000.0, 3500.0),
+                               OutlierConfig())
+        assert verdict.analyzed
+        assert len(verdict.outliers) == 1
+
+    def test_output_divergence_detected(self):
+        recs = _triple(2000.0, 2000.0, 2000.0)
+        recs[0] = _rec("gcc", 2000.0, comp=1.0 + 1e-12)
+        verdict = analyze_test(recs, OutlierConfig())
+        assert verdict.output_divergent
+
+    def test_nan_outputs_not_divergent(self):
+        recs = [_rec(v, 2000.0, comp=math.nan)
+                for v in ("gcc", "clang", "intel")]
+        verdict = analyze_test(recs, OutlierConfig())
+        assert not verdict.output_divergent
+
+    def test_mixed_tests_rejected(self):
+        recs = [_rec("gcc", 1.0, program="a"), _rec("clang", 1.0, program="b")]
+        with pytest.raises(AnalysisError):
+            analyze_test(recs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_test([])
+
+
+class TestOutlierTable:
+    def _verdicts(self):
+        v1 = analyze_test(_triple(2000.0, 2000.0, 3500.0), OutlierConfig())
+        recs = _triple(2000.0, 2000.0, 2000.0)
+        recs[0] = _rec("gcc", 100.0, RunStatus.CRASH)
+        v2 = analyze_test(recs, OutlierConfig())
+        v3 = analyze_test(_triple(100.0, 100.0, 100.0), OutlierConfig())
+        return [v1, v2, v3]
+
+    def test_counts(self):
+        table = build_outlier_table(self._verdicts())
+        assert table.count("intel", OutlierKind.SLOW) == 1
+        assert table.count("gcc", OutlierKind.CRASH) == 1
+        assert table.count("clang", OutlierKind.SLOW) == 0
+        assert table.n_tests == 3
+        assert table.n_runs == 9
+        # v1 analyzed; v2's surviving OK runs clear the threshold too
+        assert table.n_analyzed == 2
+
+    def test_rates(self):
+        table = build_outlier_table(self._verdicts())
+        assert table.outlier_run_rate() == pytest.approx(2 / 9)
+        assert table.correctness_run_rate() == pytest.approx(1 / 9)
+
+    def test_str_of_outlier(self):
+        o = Outlier("p", 0, "gcc", OutlierKind.FAST, 2.0)
+        assert "fast outlier" in str(o) and "x2.00" in str(o)

@@ -1,0 +1,106 @@
+"""Paper-fidelity regressions: the emitted artifacts match the paper's
+listings and configuration, line for line where the paper shows source.
+"""
+
+import re
+
+from repro.codegen import emit_translation_unit
+from repro.config import CampaignConfig, GeneratorConfig
+from repro.core.generator import ProgramGenerator
+from repro.core.grammar import GRAMMAR
+from repro.vendors import CLANG, GCC, INTEL
+
+
+class TestListing2Fidelity:
+    def test_openmp_head_production_text(self):
+        head = GRAMMAR["openmp-head"].alternatives[0]
+        assert "#pragma omp parallel default(shared) private(" in head
+        assert "firstprivate(" in head
+        assert 'reduction(" <reduction-op> ": comp)' in head
+
+    def test_fp_types_match(self):
+        assert GRAMMAR["fp-type"].alternatives == ('"float"', '"double"')
+
+    def test_operators_match_listing2_caption(self):
+        assert set(GRAMMAR["assign-op"].alternatives) == \
+            {'"="', '"+="', '"-="', '"*="', '"/="'}
+        assert set(GRAMMAR["op"].alternatives) == {'"+"', '"-"', '"*"', '"/"'}
+        assert set(GRAMMAR["bool-op"].alternatives) == \
+            {'"<"', '">"', '"=="', '"!="', '">="', '"<="'}
+        assert set(GRAMMAR["reduction-op"].alternatives) == {'"+"', '"*"'}
+
+
+class TestListing1Shape:
+    """Listing 1 shows the signature shapes the generator must produce."""
+
+    def _sources(self, n=25):
+        gen = ProgramGenerator(GeneratorConfig(), seed=20240915)
+        return [emit_translation_unit(gen.generate(i)) for i in range(n)]
+
+    def test_kernel_signature_shape(self):
+        src = self._sources(1)[0]
+        assert re.search(r"void compute\((float|double)", src)
+
+    def test_pragma_shapes_match_listing1(self):
+        srcs = self._sources()
+        joined = "\n".join(srcs)
+        # "#pragma omp parallel default(shared) private(...) firstprivate(...)
+        #  ... num_threads(32)" — Listing 1 line 7 / Section V-A
+        assert re.search(
+            r"#pragma omp parallel default\(shared\) private\([^)]*\) "
+            r"firstprivate\([^)]*\).*num_threads\(32\)", joined)
+        assert "#pragma omp for" in joined
+        assert "#pragma omp critical" in joined
+
+    def test_thread_id_write_shape(self):
+        # "var_16[omp_get_thread_num()] = ..." — Fig. 4 line 7
+        joined = "\n".join(self._sources())
+        assert re.search(r"var_\d+\[omp_get_thread_num\(\)\]\s*[-+*/]?=",
+                         joined)
+
+    def test_mod_index_shape(self):
+        # "comp[i % 1000] += ..." style bounded indexing — Listing 1 line 5
+        joined = "\n".join(self._sources())
+        assert re.search(r"var_\d+\[i_\d+ % 1000\]", joined)
+
+    def test_reduction_clause_shape(self):
+        joined = "\n".join(self._sources(40))
+        assert re.search(r"reduction\([+*] : comp\)", joined)
+
+
+class TestSectionVAConfig:
+    def test_campaign_defaults_are_the_paper_grid(self):
+        cfg = CampaignConfig()
+        assert cfg.n_programs == 200
+        assert cfg.inputs_per_program == 3
+        assert cfg.total_runs == 1800
+        assert cfg.outliers.alpha == 0.2 and cfg.outliers.beta == 1.5
+        assert cfg.outliers.min_time_us == 1000.0
+        assert cfg.generator.num_threads == 32
+        assert cfg.opt_level == "-O3"
+
+    def test_vendor_versions_table(self):
+        # Section V-A: versions released within months of each other
+        assert INTEL.compiler_binary == "icpx"
+        assert CLANG.compiler_binary == "clang++"
+        assert GCC.compiler_binary == "g++"
+
+    def test_machine_matches_cluster_node(self):
+        from repro.config import MachineConfig
+
+        m = MachineConfig()
+        assert m.cores == 36 and m.ghz == 2.1
+
+
+class TestFeatureFrequencyReport:
+    def test_render(self):
+        from repro.core.features import extract_features
+        from repro.harness.report import render_feature_frequencies
+
+        gen = ProgramGenerator(GeneratorConfig(max_total_iterations=3000,
+                                               loop_trip_max=40,
+                                               num_threads=8), seed=3)
+        feats = {f"p{i}": extract_features(gen.generate(i)) for i in range(6)}
+        text = render_feature_frequencies(feats)
+        assert "parallel regions" in text
+        assert "6 generated programs" in text

@@ -1,0 +1,159 @@
+"""Tests for the static data-race checker (the paper's manual filter)."""
+
+from repro.config import GeneratorConfig
+from repro.core.generator import ProgramGenerator
+from repro.core.nodes import (
+    ArrayRef,
+    Assignment,
+    Block,
+    ForLoop,
+    FPNumeral,
+    IntNumeral,
+    ModIdx,
+    OmpCritical,
+    OmpParallel,
+    Program,
+    ThreadIdx,
+    VarRef,
+)
+from repro.core.races import find_races, is_race_free
+from repro.core.types import (
+    AssignOpKind,
+    FPType,
+    OmpClauses,
+    ReductionOp,
+    Variable,
+    VarKind,
+)
+
+
+def _var(name, kind=VarKind.PARAM, array=False):
+    return Variable(name, FPType.DOUBLE, kind, is_array=array,
+                    array_size=64 if array else 0)
+
+
+def _program(region: OmpParallel, extra_params=()) -> Program:
+    comp = _var("comp", VarKind.COMP)
+    params = [comp, *extra_params]
+    return Program(name="t", seed=0, fp_type=FPType.DOUBLE, comp=comp,
+                   params=params, body=Block([region]))
+
+
+def _loop(stmts, omp_for=True):
+    lv = Variable("i_1", None, VarKind.LOOP)
+    return ForLoop(lv, IntNumeral(8), Block(stmts), omp_for=omp_for)
+
+
+def _region(stmts, *, clauses=None):
+    clauses = clauses or OmpClauses(num_threads=4)
+    x = _var("var_x")
+    clauses.private.append(x)  # the lead write must itself be race-free
+    lead = Assignment(VarRef(x), AssignOpKind.ASSIGN, FPNumeral(0.0))
+    return OmpParallel(clauses, Block([lead, _loop(stmts)]))
+
+
+class TestSafePatterns:
+    def test_thread_indexed_array_write_is_safe(self):
+        arr = _var("var_a", array=True)
+        w = Assignment(ArrayRef(arr, ThreadIdx()), AssignOpKind.ASSIGN,
+                       FPNumeral(1.0))
+        p = _program(_region([w]), extra_params=[arr])
+        assert is_race_free(p)
+
+    def test_reduction_comp_update_is_safe(self):
+        comp = _var("comp", VarKind.COMP)
+        x = _var("var_x")
+        clauses = OmpClauses(num_threads=4, reduction=ReductionOp.SUM,
+                             private=[x])
+        region = OmpParallel(clauses, Block([
+            Assignment(VarRef(x), AssignOpKind.ASSIGN, FPNumeral(0.0)),
+            _loop([Assignment(VarRef(comp), AssignOpKind.ADD_ASSIGN,
+                              FPNumeral(1.0))])]))
+        p = Program(name="t", seed=0, fp_type=FPType.DOUBLE, comp=comp,
+                    params=[comp, x], body=Block([region]))
+        assert is_race_free(p)
+
+    def test_critical_protected_shared_write_is_safe(self):
+        shared = _var("var_s")
+        upd = OmpCritical(Block([Assignment(VarRef(shared),
+                                            AssignOpKind.ADD_ASSIGN,
+                                            FPNumeral(1.0))]))
+        p = _program(_region([upd]), extra_params=[shared])
+        assert is_race_free(p)
+
+    def test_readonly_shared_scalar_is_safe(self):
+        shared = _var("var_s")
+        tmp = Variable("tmp_1", FPType.DOUBLE, VarKind.TEMP)
+        from repro.core.nodes import DeclAssign
+
+        read = DeclAssign(tmp, VarRef(shared))
+        p = _program(_region([read]), extra_params=[shared])
+        assert is_race_free(p)
+
+    def test_generated_safe_mode_is_race_free(self, program_stream):
+        for p in program_stream:
+            assert is_race_free(p)
+
+
+class TestRacyPatterns:
+    def test_unprotected_shared_scalar_write(self):
+        shared = _var("var_s")
+        w = Assignment(VarRef(shared), AssignOpKind.ADD_ASSIGN, FPNumeral(1.0))
+        p = _program(_region([w]), extra_params=[shared])
+        races = find_races(p)
+        assert races and races[0].var_name == "var_s"
+
+    def test_comp_written_without_reduction_or_critical(self):
+        comp = _var("comp", VarKind.COMP)
+        x = _var("var_x")
+        region = OmpParallel(OmpClauses(num_threads=4, private=[x]), Block([
+            Assignment(VarRef(x), AssignOpKind.ASSIGN, FPNumeral(0.0)),
+            _loop([Assignment(VarRef(comp), AssignOpKind.ADD_ASSIGN,
+                              FPNumeral(1.0))])]))
+        p = Program(name="t", seed=0, fp_type=FPType.DOUBLE, comp=comp,
+                    params=[comp, x], body=Block([region]))
+        races = find_races(p)
+        assert any(r.var_name == "comp" for r in races)
+
+    def test_critical_write_with_outside_read_is_racy(self):
+        shared = _var("var_s")
+        tmp = Variable("tmp_1", FPType.DOUBLE, VarKind.TEMP)
+        from repro.core.nodes import DeclAssign
+
+        crit = OmpCritical(Block([Assignment(VarRef(shared),
+                                             AssignOpKind.ADD_ASSIGN,
+                                             FPNumeral(1.0))]))
+        outside_read = DeclAssign(tmp, VarRef(shared))
+        p = _program(_region([crit, outside_read]), extra_params=[shared])
+        assert not is_race_free(p)
+
+    def test_array_written_at_loop_index_is_racy(self):
+        arr = _var("var_a", array=True)
+        lv = Variable("i_1", None, VarKind.LOOP)
+        w = Assignment(ArrayRef(arr, ModIdx(VarRef(lv), 64)),
+                       AssignOpKind.ASSIGN, FPNumeral(1.0))
+        loop = ForLoop(lv, IntNumeral(8), Block([w]), omp_for=True)
+        region = OmpParallel(OmpClauses(num_threads=4), Block([
+            Assignment(VarRef(_var("var_x")), AssignOpKind.ASSIGN,
+                       FPNumeral(0.0)), loop]))
+        p = _program(region, extra_params=[arr])
+        assert not is_race_free(p)
+
+    def test_written_array_read_at_other_index_is_racy(self):
+        arr = _var("var_a", array=True)
+        tmp = Variable("tmp_1", FPType.DOUBLE, VarKind.TEMP)
+        from repro.core.nodes import DeclAssign
+
+        w = Assignment(ArrayRef(arr, ThreadIdx()), AssignOpKind.ASSIGN,
+                       FPNumeral(1.0))
+        r = DeclAssign(tmp, ArrayRef(arr, IntNumeral(3)))
+        p = _program(_region([w, r]), extra_params=[arr])
+        assert not is_race_free(p)
+
+    def test_limitation_mode_eventually_generates_races(self):
+        cfg = GeneratorConfig(allow_data_races=True,
+                              max_total_iterations=3_000, loop_trip_max=50,
+                              num_threads=8)
+        gen = ProgramGenerator(cfg, seed=20240915)
+        racy = sum(1 for i in range(40) if not is_race_free(gen.generate(i)))
+        assert racy >= 1  # reproduces the Section III-E limitation

@@ -1,0 +1,105 @@
+"""Tests for the seeded randomness utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rng import Rng, hash_fraction, stable_hash
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a, b = Rng(42), Rng(42)
+        assert [a.randint(0, 100) for _ in range(20)] == \
+               [b.randint(0, 100) for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a, b = Rng(1), Rng(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != \
+               [b.randint(0, 10**9) for _ in range(5)]
+
+    def test_child_streams_independent_of_draw_order(self):
+        r1 = Rng(9)
+        r1.randint(0, 5)  # perturb the parent
+        c1 = r1.child("inputs")
+        c2 = Rng(9).child("inputs")
+        assert [c1.random() for _ in range(5)] == [c2.random() for _ in range(5)]
+
+    def test_child_tags_distinct(self):
+        r = Rng(3)
+        assert r.child("a").seed != r.child("b").seed
+
+    def test_randint_bounds(self):
+        r = Rng(0)
+        vals = [r.randint(3, 7) for _ in range(200)]
+        assert min(vals) >= 3 and max(vals) <= 7
+        assert set(vals) == {3, 4, 5, 6, 7}
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            Rng(0).randint(5, 4)
+
+    def test_log_randint_bounds_and_bias(self):
+        r = Rng(5)
+        vals = [r.log_randint(2, 400) for _ in range(2000)]
+        assert min(vals) >= 2 and max(vals) <= 400
+        # log-uniform: median far below the arithmetic midpoint
+        vals.sort()
+        assert vals[len(vals) // 2] < 100
+
+    def test_log_randint_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Rng(0).log_randint(0, 5)
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rng(0).choice([])
+
+    def test_weighted_choice_respects_zero_weight(self):
+        r = Rng(1)
+        picks = {r.weighted_choice([("a", 1.0), ("b", 0.0)])
+                 for _ in range(100)}
+        assert picks == {"a"}
+
+    def test_weighted_choice_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            Rng(0).weighted_choice([("a", -1.0)])
+
+    def test_weighted_choice_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            Rng(0).weighted_choice([("a", 0.0)])
+
+    def test_coin_probability(self):
+        r = Rng(11)
+        heads = sum(r.coin(0.25) for _ in range(4000))
+        assert 800 <= heads <= 1200  # ~1000 expected
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_any_seed_works(self, seed):
+        r = Rng(seed)
+        assert 0.0 <= r.random() < 1.0
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+    def test_sensitive_to_each_part(self):
+        base = stable_hash("x", "y")
+        assert stable_hash("x", "z") != base
+        assert stable_hash("z", "y") != base
+
+    def test_part_boundaries_matter(self):
+        # "ab"+"c" must hash differently from "a"+"bc"
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_hash_fraction_in_unit_interval(self):
+        for i in range(100):
+            f = hash_fraction("t", i)
+            assert 0.0 <= f < 1.0
+
+    def test_hash_fraction_spreads(self):
+        fs = [hash_fraction("spread", i) for i in range(500)]
+        assert 0.4 < sum(fs) / len(fs) < 0.6

