@@ -41,7 +41,7 @@ def main() -> int:
           f"= {cfg.total_runs} runs ...")
 
     def progress(done: int, total: int) -> None:
-        print(f"\r  {done}/{total} programs", end="", flush=True)
+        print(f"\r  {done}/{total} tests", end="", flush=True)
 
     result = CampaignRunner(cfg).run(progress=progress)
     print(f"\n  done in {result.elapsed_seconds:.1f}s\n")

@@ -1,25 +1,33 @@
 #!/usr/bin/env python3
-"""Quickstart: one differential OpenMP test in ~20 lines.
+"""Quickstart: the session API in ~40 lines.
 
-Generates a random OpenMP C++ test program and a random floating-point
-input (Fig. 1 step (a)), compiles it with the three simulated OpenMP
-implementations (step (b)), runs all binaries with the same input
-(step (c)), and compares execution times and outputs for outliers
-(step (d)).
+Part 1 — one differential test: generate a random OpenMP C++ program and
+a random floating-point input (Fig. 1 step (a)), compile it with the
+three simulated OpenMP implementations (step (b)), run all binaries with
+the same input (step (c)), and compare execution times and outputs for
+outliers (step (d)).
+
+Part 2 — a small campaign through :class:`repro.CampaignSession`:
+verdicts stream in as the engine completes them, a JSONL checkpoint is
+written mid-flight, and the campaign is resumed from it — the workflow
+that lets the paper's 200 x 3 x 3 grid (or a 100x larger one) survive
+interruption.
 
 Run:  python examples/quickstart.py [seed]
 """
 
 import sys
+import tempfile
+from pathlib import Path
 
-from repro import quick_differential_test
+from repro import CampaignConfig, CampaignSession, quick_differential_test
 
 
 def main() -> int:
     seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
 
+    # --- Part 1: one differential test -----------------------------------
     result = quick_differential_test(seed=seed)
-
     print("=== generated test (C++ head) ===")
     for line in result.cpp_source.splitlines()[:25]:
         print(line)
@@ -31,6 +39,31 @@ def main() -> int:
     if result.verdict.output_divergent:
         print("note: the implementations printed different values for comp —")
         print("the compiler halves disagree on FP lowering for this program.")
+        print()
+
+    # --- Part 2: a streaming, resumable campaign -------------------------
+    print("=== campaign session (stream, checkpoint, resume) ===")
+    cfg = CampaignConfig(n_programs=6, inputs_per_program=2, seed=seed)
+    session = CampaignSession(cfg, engine="serial")
+
+    stream = session.stream()
+    for _ in range(session.total_tests // 2):  # consume half, then "crash"
+        verdict = next(stream)
+        flag = " ".join(f"{o.vendor} {o.kind.value} outlier"
+                        for o in verdict.outliers) or "ok"
+        print(f"  {verdict.program_name}#in{verdict.input_index}: {flag}")
+    stream.close()
+
+    with tempfile.TemporaryDirectory(prefix="repro-quickstart-") as tmp:
+        ckpt = Path(tmp) / "ckpt.jsonl"
+        session.checkpoint(ckpt)
+        print(f"  -- interrupted; checkpointed {session.completed_tests}/"
+              f"{session.total_tests} tests --")
+
+        resumed = CampaignSession.resume(ckpt)  # engine="process" also ok
+        campaign = resumed.run()
+    print(f"  -- resumed and finished: {len(campaign.verdicts)} verdicts, "
+          f"{campaign.table.total_outlier_tests()} outlier tests --")
     return 0
 
 

@@ -99,6 +99,20 @@ class TestVerdict:
     def has_outlier(self) -> bool:
         return bool(self.outliers)
 
+    def identity(self) -> tuple:
+        """Hashable full-fidelity identity for equivalence comparisons.
+
+        Two verdicts with equal identities agree on everything
+        observable: test coordinates, analysis flags, outliers, and
+        every record's status/output/time.  Engines and checkpoints are
+        validated by comparing sorted identity sets.
+        """
+        return (self.program_name, self.input_index, self.analyzed,
+                self.output_divergent,
+                tuple(sorted(str(o) for o in self.outliers)),
+                tuple((r.vendor, r.status.value, repr(r.comp), r.time_us)
+                      for r in self.records))
+
 
 def detect_correctness_outliers(records: list[RunRecord]) -> list[Outlier]:
     """Section IV-C: exactly one failing execution among OK siblings."""

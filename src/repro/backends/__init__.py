@@ -1,4 +1,11 @@
-"""Optional execution backends beyond the simulated vendors."""
+"""Execution backends: the pluggable toolchains behind the campaign.
+
+Every OpenMP implementation — the three simulated vendors of the paper's
+evaluation and the native g++ toolchain — implements the
+:class:`~repro.backends.registry.Backend` protocol and lives in a
+process-wide registry keyed by name; campaigns reference backends by
+name in ``CampaignConfig.compilers``.
+"""
 
 from .gcc_native import (
     NativeBinary,
@@ -8,12 +15,30 @@ from .gcc_native import (
     gxx_path,
     run_native,
 )
+from .registry import (
+    Backend,
+    NativeGccBackend,
+    SimulatedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
 
 __all__ = [
+    "Backend",
     "NativeBinary",
+    "NativeGccBackend",
+    "SimulatedBackend",
     "available",
+    "available_backends",
     "compile_and_run",
     "compile_native",
+    "get_backend",
     "gxx_path",
+    "register_backend",
+    "registered_backends",
     "run_native",
+    "unregister_backend",
 ]

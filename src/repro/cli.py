@@ -16,11 +16,16 @@ import json
 import sys
 from pathlib import Path
 
-from .config import CampaignConfig, GeneratorConfig, load_campaign
+from .config import ENGINE_NAMES, CampaignConfig, GeneratorConfig, load_campaign
+from .errors import ReproError
 from .core.generator import ProgramGenerator
 from .core.grammar import GRAMMAR
 from .core.inputs import InputGenerator
 from .codegen.emit_main import emit_translation_unit
+
+
+#: with --checkpoint, also snapshot every N completed differential tests
+_CHECKPOINT_EVERY = 30
 
 
 def _add_seed(p: argparse.ArgumentParser) -> None:
@@ -32,9 +37,9 @@ def _load_config(args) -> CampaignConfig:
     if getattr(args, "config", None):
         return load_campaign(args.config)
     kwargs = {}
-    if getattr(args, "programs", None):
+    if getattr(args, "programs", None) is not None:
         kwargs["n_programs"] = args.programs
-    if getattr(args, "inputs", None):
+    if getattr(args, "inputs", None) is not None:
         kwargs["inputs_per_program"] = args.inputs
     return CampaignConfig(seed=args.seed, **kwargs)
 
@@ -70,19 +75,64 @@ def cmd_run(args) -> int:
 
 
 def cmd_campaign(args) -> int:
-    from .harness.campaign import CampaignRunner
     from .harness.report import render_campaign_summary, render_table1
     from .harness.results import dump_campaign_artifacts
+    from .harness.session import CampaignSession
 
-    cfg = _load_config(args)
-    runner = CampaignRunner(cfg)
+    # interrupts re-checkpoint to --checkpoint, or back onto the file a
+    # resumed campaign came from, so a resume is never less safe than the
+    # run that produced its checkpoint.  CampaignSession itself applies
+    # the "--jobs alone means go parallel" upgrade for both paths.
+    checkpoint_path = args.checkpoint or args.resume
+    if args.resume:
+        session = CampaignSession.resume(args.resume, engine=args.engine,
+                                         jobs=args.jobs)
+        cfg = session.config
+        if not args.quiet and session.completed_tests:
+            print(f"  resuming: {session.completed_tests}/"
+                  f"{session.total_tests} tests already done",
+                  file=sys.stderr)
+    else:
+        cfg = _load_config(args)
+        session = CampaignSession(cfg, engine=args.engine, jobs=args.jobs)
 
     def progress(done: int, total: int) -> None:
         if done % 10 == 0 or done == total:
-            print(f"\r  programs {done}/{total}", end="", flush=True,
+            print(f"\r  tests {done}/{total}", end="", flush=True,
                   file=sys.stderr)
 
-    result = runner.run(progress=progress if not args.quiet else None)
+    writer = session.open_checkpoint(checkpoint_path) if checkpoint_path \
+        else None
+    stream = session.stream(progress=progress if not args.quiet else None)
+    try:
+        seen = 0
+        for _ in stream:
+            seen += 1
+            # periodic appends: a SIGTERM/OOM/crash loses at most one
+            # slice of the grid, not the whole campaign
+            if writer is not None and seen % _CHECKPOINT_EVERY == 0:
+                writer.update()
+        result = session.result()
+    except KeyboardInterrupt:
+        if checkpoint_path:
+            # tear the engine down first: pooled engines wait for
+            # in-flight units and salvage their outcomes into the
+            # session, which the snapshot must include.  Then an atomic
+            # full rewrite, not an append — the interrupt may have
+            # landed mid-append and a torn non-trailing line would make
+            # the file unreadable
+            stream.close()
+            session.checkpoint(checkpoint_path)
+            n = session.completed_tests
+            print(f"\ninterrupted; {n} completed tests checkpointed to "
+                  f"{checkpoint_path}", file=sys.stderr)
+            print(f"resume with: repro-omp campaign --resume "
+                  f"{checkpoint_path}", file=sys.stderr)
+            return 130
+        raise
+    if checkpoint_path:
+        # final full rewrite: compacts the appends and refreshes the header
+        session.checkpoint(checkpoint_path)
     if not args.quiet:
         print(file=sys.stderr)
     print(render_table1(result.table, cfg.compilers))
@@ -167,6 +217,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of programs (default 200, the paper's)")
     p.add_argument("--inputs", type=int,
                    help="inputs per program (default 3, the paper's)")
+    p.add_argument("--engine", choices=ENGINE_NAMES,
+                   help="execution engine (default: config's, i.e. serial)")
+    p.add_argument("--jobs", type=int,
+                   help="worker count for pooled engines (default: CPUs); "
+                        "implies --engine process unless --engine is given")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="write a resumable JSONL checkpoint (also on Ctrl-C)")
+    p.add_argument("--resume", metavar="PATH",
+                   help="resume a checkpointed campaign (config comes from "
+                        "the checkpoint; other sizing flags are ignored)")
     p.add_argument("--out", help="directory for dataset-style artifacts")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(fn=cmd_campaign)
@@ -183,7 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

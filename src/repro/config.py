@@ -37,6 +37,10 @@ from typing import Any
 
 from .errors import ConfigError
 
+#: the execution engines of :mod:`repro.driver.engine` — the single
+#: source of truth for config validation, the engine factory, and the CLI
+ENGINE_NAMES = ("serial", "thread", "process")
+
 
 @dataclass(frozen=True)
 class GeneratorConfig:
@@ -177,6 +181,11 @@ class CampaignConfig:
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
     machine: MachineConfig = field(default_factory=MachineConfig)
     outliers: OutlierConfig = field(default_factory=OutlierConfig)
+    # Execution engine for the campaign grid: "serial", "thread", or
+    # "process" (see repro.driver.engine); jobs = worker count for the
+    # pooled engines (None = one per CPU).
+    engine: str = "serial"
+    jobs: int | None = None
     # Where to save generated tests (None = keep in memory only).
     output_dir: str | None = None
 
@@ -191,6 +200,12 @@ class CampaignConfig:
             raise ConfigError("duplicate compiler names")
         if self.opt_level not in ("-O0", "-O1", "-O2", "-O3"):
             raise ConfigError(f"unsupported opt level {self.opt_level!r}")
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; "
+                f"choose from {', '.join(ENGINE_NAMES)}")
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigError("jobs must be >= 1 (or None for auto)")
 
     @property
     def total_runs(self) -> int:

@@ -1,12 +1,36 @@
-"""Test-execution driver (Fig. 1 step (c))."""
+"""Test-execution driver (Fig. 1 step (c)) and the execution engines."""
 
+from .engine import (
+    ENGINE_NAMES,
+    ExecutionEngine,
+    ExecutionPlan,
+    ProcessPoolEngine,
+    SerialEngine,
+    ThreadPoolEngine,
+    UnitOutcome,
+    WorkUnit,
+    create_engine,
+    execute_unit,
+    plan_units,
+)
 from .execution import build_args, run_binary, run_differential
 from .records import RunRecord, RunStatus, values_equal
 
 __all__ = [
+    "ENGINE_NAMES",
+    "ExecutionEngine",
+    "ExecutionPlan",
+    "ProcessPoolEngine",
     "RunRecord",
     "RunStatus",
+    "SerialEngine",
+    "ThreadPoolEngine",
+    "UnitOutcome",
+    "WorkUnit",
     "build_args",
+    "create_engine",
+    "execute_unit",
+    "plan_units",
     "run_binary",
     "run_differential",
     "values_equal",

@@ -1,0 +1,302 @@
+"""Execution engines: schedule the campaign grid serially or in parallel.
+
+The campaign grid (``n_programs x inputs_per_program x len(compilers)``)
+decomposes into independent *work units*.  A unit is one program with its
+batch of inputs: the program is generated, race-filtered, compiled once
+per backend (batched compilation — the expensive step is shared by every
+input), then each input is executed on every backend and analyzed into a
+:class:`~repro.analysis.outliers.TestVerdict`.
+
+Units are described by **indices, not objects**: program generation is a
+pure function of ``(config, index)`` (see
+:class:`~repro.core.generator.ProgramGenerator`), so a
+:class:`WorkUnit` pickles as two integers and a worker process rebuilds
+everything it needs from the :class:`ExecutionPlan`.  That is what lets
+the same unit run unchanged on all three engines:
+
+* :class:`SerialEngine`       — in-order, zero overhead, the reference;
+* :class:`ThreadPoolEngine`   — concurrent futures over threads (wins
+  when backends release the GIL, e.g. the native g++ backend's
+  subprocess calls; simulated backends are pure Python and gain little);
+* :class:`ProcessPoolEngine`  — one interpreter per worker, true
+  parallelism for the pure-Python simulated pipeline.
+
+All engines yield :class:`UnitOutcome`\\ s as they complete (completion
+order for the pooled engines) and fire the progress callback once per
+differential test — per ``(program, input)``, not per program — so
+parallel runs report smoothly.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import Future, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from ..analysis.outliers import TestVerdict, analyze_test
+from ..config import ENGINE_NAMES, CampaignConfig, ConfigError
+from ..core.features import ProgramFeatures, extract_features
+from ..core.generator import ProgramGenerator
+from ..core.inputs import InputGenerator
+from ..core.races import find_races
+
+#: progress callback: (differential tests completed, tests scheduled)
+ProgressFn = Callable[[int, int], None]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable slice of the grid: a program and its input batch."""
+
+    program_index: int
+    input_indices: tuple[int, ...]
+
+    @property
+    def n_tests(self) -> int:
+        return len(self.input_indices)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Everything a worker needs to execute any unit of one campaign.
+
+    Backends are the config's ``compilers``, resolved by name from the
+    registry inside whichever worker executes the unit.
+    """
+
+    config: CampaignConfig
+    collect_profiles: bool = False
+
+
+@dataclass
+class UnitOutcome:
+    """Everything one work unit produced."""
+
+    program_index: int
+    program_name: str
+    race_filtered: bool = False
+    features: ProgramFeatures | None = None
+    verdicts: list[TestVerdict] = field(default_factory=list)
+
+
+def plan_units(config: CampaignConfig) -> list[WorkUnit]:
+    """The full campaign grid as an ordered list of work units."""
+    inputs = tuple(range(config.inputs_per_program))
+    return [WorkUnit(i, inputs) for i in range(config.n_programs)]
+
+
+def execute_unit(plan: ExecutionPlan, unit: WorkUnit) -> UnitOutcome:
+    """Run one work unit start to finish (generate, filter, compile, run).
+
+    Pure function of ``(plan, unit)``: generators are re-derived from the
+    campaign seed, so any worker — same thread, pool thread, or forked
+    process — produces bit-identical outcomes for the same unit.
+    """
+    from ..backends.registry import get_backend
+
+    cfg = plan.config
+    programs = ProgramGenerator(cfg.generator, seed=cfg.seed)
+    inputs = InputGenerator(cfg.generator, seed=cfg.seed + 1)
+
+    program = programs.generate(unit.program_index)
+    outcome = UnitOutcome(program_index=unit.program_index,
+                          program_name=program.name)
+    if cfg.generator.allow_data_races and find_races(program):
+        # the paper "mitigated this by manually filtering out data race
+        # cases in the evaluation" — we filter statically
+        outcome.race_filtered = True
+        return outcome
+
+    outcome.features = extract_features(program)
+    backends = [get_backend(name) for name in cfg.compilers]
+    executables = [(b, b.compile(program, cfg.opt_level)) for b in backends]
+    for j in unit.input_indices:
+        test_input = inputs.generate(program, j)
+        records = [b.execute(exe, test_input, cfg.machine,
+                             collect_profile=plan.collect_profiles)
+                   for b, exe in executables]
+        outcome.verdicts.append(analyze_test(records, cfg.outliers))
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# engines
+# ----------------------------------------------------------------------
+
+#: called for outcomes that completed but could not be yielded (the
+#: consumer abandoned the stream while units were in flight)
+SalvageFn = Callable[[UnitOutcome], None]
+
+
+class ExecutionEngine(ABC):
+    """Schedules work units and streams their outcomes."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(self, plan: ExecutionPlan, units: Sequence[WorkUnit], *,
+            progress: ProgressFn | None = None,
+            salvage: SalvageFn | None = None) -> Iterator[UnitOutcome]:
+        """Yield one :class:`UnitOutcome` per unit as each completes.
+
+        ``salvage`` receives outcomes that finished while the iterator
+        was being torn down — pooled engines wait for in-flight units on
+        interrupt, and without a salvage hook that completed work would
+        be silently discarded.
+        """
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _progress_stepper(units: Sequence[WorkUnit],
+                          progress: ProgressFn | None):
+        """Per-test progress: fires once per (program, input) pair.
+
+        Race-filtered units still advance the counter by their input
+        count so the bar always reaches ``total``.
+        """
+        total = sum(u.n_tests for u in units)
+        done = 0
+
+        def step(unit: WorkUnit) -> None:
+            nonlocal done
+            if progress is None:
+                return
+            for _ in range(unit.n_tests):
+                done += 1
+                progress(done, total)
+
+        return step
+
+
+class SerialEngine(ExecutionEngine):
+    """In-order execution on the calling thread — the reference engine."""
+
+    name = "serial"
+
+    def run(self, plan: ExecutionPlan, units: Sequence[WorkUnit], *,
+            progress: ProgressFn | None = None,
+            salvage: SalvageFn | None = None) -> Iterator[UnitOutcome]:
+        # nothing runs between yields, so there is never anything to salvage
+        step = self._progress_stepper(units, progress)
+        for unit in units:
+            outcome = execute_unit(plan, unit)
+            step(unit)
+            yield outcome
+
+
+class _PoolEngine(ExecutionEngine):
+    """Shared machinery for the two concurrent.futures engines."""
+
+    def __init__(self, jobs: int | None = None):
+        if jobs is not None and jobs < 1:
+            raise ConfigError("jobs must be >= 1 (or None for auto)")
+        #: what was asked for (None = auto); checkpoints persist this so
+        #: resuming on a different host re-resolves to *its* CPU count
+        self.requested_jobs = jobs
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+
+    def _make_executor(self, plan: ExecutionPlan):
+        raise NotImplementedError
+
+    def _submit(self, executor, plan: ExecutionPlan, unit: WorkUnit) -> Future:
+        raise NotImplementedError
+
+    def run(self, plan: ExecutionPlan, units: Sequence[WorkUnit], *,
+            progress: ProgressFn | None = None,
+            salvage: SalvageFn | None = None) -> Iterator[UnitOutcome]:
+        step = self._progress_stepper(units, progress)
+        executor = self._make_executor(plan)
+        pending = {self._submit(executor, plan, u): u for u in units}
+        try:
+            for fut in as_completed(list(pending)):
+                outcome = fut.result()
+                step(pending.pop(fut))
+                yield outcome
+        finally:
+            # also reached via generator .close(): cancel what never
+            # started so an interrupted stream() doesn't keep burning CPU,
+            # then hand back the units that finished while we waited —
+            # they are done work and must not be lost to the interrupt
+            executor.shutdown(wait=True, cancel_futures=True)
+            if salvage is not None:
+                for fut in pending:
+                    if (fut.done() and not fut.cancelled()
+                            and fut.exception() is None):
+                        salvage(fut.result())
+
+
+class ThreadPoolEngine(_PoolEngine):
+    """Thread-pooled execution (``jobs`` worker threads)."""
+
+    name = "thread"
+
+    def _make_executor(self, plan: ExecutionPlan):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from ..sim.values import silence_fp_warnings
+
+        return ThreadPoolExecutor(max_workers=self.jobs,
+                                  thread_name_prefix="repro-engine",
+                                  initializer=silence_fp_warnings)
+
+    def _submit(self, executor, plan: ExecutionPlan, unit: WorkUnit) -> Future:
+        return executor.submit(execute_unit, plan, unit)
+
+
+# -- process-pool plumbing ---------------------------------------------
+# the plan is shipped once per worker via the initializer instead of
+# once per unit; workers then receive only (program_index, input_indices)
+
+_WORKER_PLAN: ExecutionPlan | None = None
+
+
+def _process_worker_init(plan: ExecutionPlan) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = plan
+
+
+def _process_worker_run(unit: WorkUnit) -> UnitOutcome:
+    assert _WORKER_PLAN is not None, "worker used before initialization"
+    return execute_unit(_WORKER_PLAN, unit)
+
+
+class ProcessPoolEngine(_PoolEngine):
+    """Process-pooled execution: real parallelism for the Python pipeline.
+
+    Outcomes (verdicts, records, features) cross the process boundary by
+    pickling; profiles survive too, but custom backends must be defined
+    at module import time so worker processes can resolve their names
+    from the registry.
+    """
+
+    name = "process"
+
+    def _make_executor(self, plan: ExecutionPlan):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=self.jobs,
+                                   initializer=_process_worker_init,
+                                   initargs=(plan,))
+
+    def _submit(self, executor, plan: ExecutionPlan, unit: WorkUnit) -> Future:
+        return executor.submit(_process_worker_run, unit)
+
+
+def create_engine(name: str, jobs: int | None = None) -> ExecutionEngine:
+    """Engine factory: ``"serial"``, ``"thread"``, or ``"process"``."""
+    if name == "serial":
+        if jobs is not None:
+            # an explicit worker count is a parallelism request; dropping
+            # it silently would mis-size the run with no signal
+            raise ConfigError(
+                "jobs requires a pooled engine (thread or process); "
+                "the serial engine always runs one worker")
+        return SerialEngine()
+    if name == "thread":
+        return ThreadPoolEngine(jobs)
+    if name == "process":
+        return ProcessPoolEngine(jobs)
+    raise ConfigError(
+        f"unknown execution engine {name!r}; choose from {ENGINE_NAMES}")

@@ -59,6 +59,44 @@ class RunRecord:
             "detail": self.detail,
         }
 
+    def to_row(self) -> dict[str, Any]:
+        """Full-fidelity JSON row for checkpoint/resume round-trips.
+
+        Unlike :meth:`to_dict` (a human-facing dataset row), this keeps
+        every bit: ``comp`` as its ``repr`` (floats round-trip exactly
+        through ``repr``/``float``), ``time_us`` unrounded, all counters,
+        and the thread-state snapshot.  Profiles are not serialized — a
+        resumed campaign re-runs nothing, so completed tests lose their
+        (optional) profiles.
+        """
+        return {
+            "program": self.program_name,
+            "vendor": self.vendor,
+            "input": self.input_index,
+            "status": self.status.value,
+            "comp": None if self.comp is None else repr(self.comp),
+            "time_us": self.time_us,
+            "counters": self.counters.as_dict(),
+            "detail": self.detail,
+            "thread_states": self.thread_states,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict[str, Any]) -> "RunRecord":
+        """Rebuild a record written by :meth:`to_row`."""
+        comp = row.get("comp")
+        return cls(
+            program_name=row["program"],
+            vendor=row["vendor"],
+            input_index=int(row["input"]),
+            status=RunStatus(row["status"]),
+            comp=None if comp is None else float(comp),
+            time_us=float(row["time_us"]),
+            counters=PerfCounters(**row.get("counters", {})),
+            detail=row.get("detail", ""),
+            thread_states=row.get("thread_states"),
+        )
+
 
 def values_equal(a: float | None, b: float | None) -> bool:
     """Output equality for differential comparison.

@@ -70,3 +70,7 @@ class AnalysisError(ReproError):
 
 class BackendUnavailable(ReproError):
     """The requested execution backend (e.g. native g++) is not present."""
+
+
+class UnknownBackendError(ReproError):
+    """A backend name was looked up that is not in the registry."""

@@ -6,6 +6,7 @@ from .campaign import (
     SingleTestResult,
     differential_test_single,
 )
+from .session import CampaignSession
 from .report import (
     render_campaign_summary,
     render_counters_table,
@@ -18,6 +19,7 @@ from .results import dump_campaign_artifacts, read_verdict_rows, write_verdicts
 __all__ = [
     "CampaignResult",
     "CampaignRunner",
+    "CampaignSession",
     "SingleTestResult",
     "differential_test_single",
     "dump_campaign_artifacts",

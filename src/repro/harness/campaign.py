@@ -14,12 +14,11 @@ detected statically and excluded from analysis (and counted).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from ..config import CampaignConfig
-from ..core.features import ProgramFeatures, extract_features
+from ..core.features import ProgramFeatures
 from ..core.generator import ProgramGenerator
 from ..core.inputs import InputGenerator, TestInput
 from ..core.nodes import Program
@@ -78,39 +77,38 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
     def iter_tests(self) -> Iterator[tuple[Program, TestInput]]:
-        """Yield every (program, input) pair of the campaign grid."""
+        """Yield every (program, input) pair of the campaign grid.
+
+        Applies the same static race filtering as :meth:`run`: in the
+        limitation-reproducing ``allow_data_races`` mode, racy programs
+        are excluded here exactly as they are from the executed grid, so
+        the two views of the campaign always agree.
+        """
         for i in range(self.config.n_programs):
             program = self.programs.generate(i)
+            if self.config.generator.allow_data_races and find_races(program):
+                continue
             for j in range(self.config.inputs_per_program):
                 yield program, self.inputs.generate(program, j)
 
     # ------------------------------------------------------------------
     def run(self, *, progress: ProgressFn | None = None,
             collect_profiles: bool = False) -> CampaignResult:
-        """Execute the full campaign grid and analyze every test."""
-        cfg = self.config
-        result = CampaignResult(config=cfg)
-        t0 = time.perf_counter()
+        """Execute the full campaign grid and analyze every test.
 
-        for i in range(cfg.n_programs):
-            program = self.programs.generate(i)
-            if cfg.generator.allow_data_races and find_races(program):
-                # the paper "mitigated this by manually filtering out data
-                # race cases in the evaluation" — we filter statically
-                result.race_filtered.append(program.name)
-                continue
-            result.features[program.name] = extract_features(program)
-            binaries = compile_all(program, cfg.compilers, cfg.opt_level)
-            for j in range(cfg.inputs_per_program):
-                test_input = self.inputs.generate(program, j)
-                records = run_differential(binaries, test_input, cfg.machine,
-                                           collect_profile=collect_profiles)
-                result.verdicts.append(analyze_test(records, cfg.outliers))
-            if progress is not None:
-                progress(i + 1, cfg.n_programs)
+        Thin shim over :class:`~repro.harness.session.CampaignSession` —
+        kept for backwards compatibility; new code should drive a
+        session directly (it adds verdict streaming and
+        checkpoint/resume).  The engine comes from
+        ``config.engine``/``config.jobs`` (default serial, matching the
+        seed behavior); ``progress`` fires once per differential test
+        (program x input pair).
+        """
+        from .session import CampaignSession
 
-        result.elapsed_seconds = time.perf_counter() - t0
-        return result
+        session = CampaignSession(self.config,
+                                  collect_profiles=collect_profiles)
+        return session.run(progress=progress)
 
 
 # ----------------------------------------------------------------------

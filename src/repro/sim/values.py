@@ -30,7 +30,19 @@ _longdouble = _np.longdouble
 
 # inf/nan propagate through longdouble FMA exactly as IEEE wants; numpy's
 # invalid-operation warnings are just noise for us
-_np.seterr(invalid="ignore", over="ignore")
+
+
+def silence_fp_warnings() -> None:
+    """Apply the simulator's FP error state to the calling thread.
+
+    ``numpy.seterr`` is thread-local: the module-level call below covers
+    the importing thread only, so every worker thread that executes
+    lowered kernels (e.g. the thread-pool engine's) must call this.
+    """
+    _np.seterr(invalid="ignore", over="ignore")
+
+
+silence_fp_warnings()
 
 
 def f32(x: float) -> float:

@@ -26,7 +26,11 @@ from .gcc import GCC
 from .intel import INTEL
 from .optimizer import effective_fma_mode, lower_block
 
-#: the three implementations of the paper's evaluation (Section V-A)
+#: the three implementations of the paper's evaluation (Section V-A).
+#: Kept for backwards compatibility; the campaign pipeline now resolves
+#: implementations through :mod:`repro.backends.registry`, which wraps
+#: these same vendor models (plus the native toolchain) behind one
+#: compile/execute contract.
 VENDORS: dict[str, VendorModel] = {v.name: v for v in (GCC, CLANG, INTEL)}
 
 

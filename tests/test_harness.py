@@ -55,12 +55,14 @@ class TestCampaignRunner:
              for v in again.verdicts]
         assert a == b
 
-    def test_progress_callback(self, fast_campaign_cfg):
+    def test_progress_callback_per_test(self, fast_campaign_cfg):
         seen = []
         CampaignRunner(fast_campaign_cfg).run(
             progress=lambda done, total: seen.append((done, total)))
-        assert seen[-1] == (fast_campaign_cfg.n_programs,
-                            fast_campaign_cfg.n_programs)
+        n_tests = (fast_campaign_cfg.n_programs *
+                   fast_campaign_cfg.inputs_per_program)
+        # fires once per differential test (program x input), monotonically
+        assert seen == [(i + 1, n_tests) for i in range(n_tests)]
 
     def test_race_filtering_in_limitation_mode(self):
         gen = GeneratorConfig(allow_data_races=True,
