@@ -41,10 +41,12 @@ The pipeline is organized in three pluggable layers:
 """
 
 from .config import (
+    DIRECTIVE_MIXES,
     CampaignConfig,
     GeneratorConfig,
     MachineConfig,
     OutlierConfig,
+    apply_directive_mix,
     load_campaign,
     save_campaign,
 )
@@ -78,6 +80,7 @@ __all__ = [
     "AnalysisError",
     "BackendUnavailable",
     "CampaignConfig",
+    "DIRECTIVE_MIXES",
     "CampaignSession",
     "CompilationError",
     "ConfigError",
@@ -86,6 +89,7 @@ __all__ = [
     "FPType",
     "GenerationError",
     "GeneratorConfig",
+    "apply_directive_mix",
     "GrammarError",
     "InputGenerator",
     "MachineConfig",

@@ -16,7 +16,14 @@ import json
 import sys
 from pathlib import Path
 
-from .config import ENGINE_NAMES, CampaignConfig, GeneratorConfig, load_campaign
+from .config import (
+    DIRECTIVE_MIXES,
+    ENGINE_NAMES,
+    CampaignConfig,
+    GeneratorConfig,
+    apply_directive_mix,
+    load_campaign,
+)
 from .errors import ReproError
 from .core.generator import ProgramGenerator
 from .core.grammar import GRAMMAR
@@ -41,11 +48,15 @@ def _load_config(args) -> CampaignConfig:
         kwargs["n_programs"] = args.programs
     if getattr(args, "inputs", None) is not None:
         kwargs["inputs_per_program"] = args.inputs
+    if getattr(args, "mix", None) is not None:
+        kwargs["directive_mix"] = args.mix
     return CampaignConfig(seed=args.seed, **kwargs)
 
 
 def cmd_generate(args) -> int:
     cfg = GeneratorConfig()
+    if getattr(args, "mix", None) is not None:
+        cfg = apply_directive_mix(cfg, args.mix)
     gen = ProgramGenerator(cfg, seed=args.seed)
     inputs = InputGenerator(cfg, seed=args.seed + 1)
     out = Path(args.out)
@@ -200,6 +211,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", type=int, default=10)
     p.add_argument("--inputs", type=int, default=3)
     p.add_argument("--out", default="generated-tests")
+    p.add_argument("--mix", choices=sorted(DIRECTIVE_MIXES),
+                   help="directive mix preset (default: all families on)")
     p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("run", help="one differential test")
@@ -227,6 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", metavar="PATH",
                    help="resume a checkpointed campaign (config comes from "
                         "the checkpoint; other sizing flags are ignored)")
+    p.add_argument("--mix", choices=sorted(DIRECTIVE_MIXES),
+                   help="directive mix preset applied to the generator "
+                        "(paper, worksharing, sync, reductions, full)")
     p.add_argument("--out", help="directory for dataset-style artifacts")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(fn=cmd_campaign)

@@ -38,8 +38,11 @@ from ..core.nodes import (
     IntNumeral,
     MathCall,
     ModIdx,
+    OmpAtomic,
+    OmpBarrier,
     OmpCritical,
     OmpParallel,
+    OmpSingle,
     Paren,
     Program,
     ThreadIdx,
@@ -139,9 +142,10 @@ class CppEmitter:
     # ------------------------------------------------------------------
     # statements
     # ------------------------------------------------------------------
-    def _pragma_parallel(self, clauses: OmpClauses) -> str:
-        parts = ["#pragma omp parallel default(shared)"]
-        if clauses.private:
+    def _clauses_text(self, clauses: OmpClauses, *,
+                      with_private: bool = True) -> list[str]:
+        parts = ["default(shared)"]
+        if with_private and clauses.private:
             parts.append(f"private({', '.join(v.name for v in clauses.private)})")
         if clauses.firstprivate:
             parts.append(
@@ -149,13 +153,41 @@ class CppEmitter:
         if clauses.reduction is not None:
             parts.append(f"reduction({clauses.reduction.value} : comp)")
         parts.append(f"num_threads({clauses.num_threads})")
-        return " ".join(parts)
+        return parts
+
+    @staticmethod
+    def _loop_clauses(loop: ForLoop) -> list[str]:
+        """``schedule``/``collapse`` clause text of a worksharing loop."""
+        parts: list[str] = []
+        if loop.schedule is not None:
+            if loop.schedule_chunk:
+                parts.append(
+                    f"schedule({loop.schedule.value}, {loop.schedule_chunk})")
+            else:
+                parts.append(f"schedule({loop.schedule.value})")
+        if loop.collapse > 1:
+            parts.append(f"collapse({loop.collapse})")
+        return parts
+
+    def _assignment_text(self, s: Assignment) -> str:
+        target = (s.target.var.name if isinstance(s.target, VarRef)
+                  else f"{s.target.var.name}[{self.index(s.target.index)}]")
+        return f"{target} {s.op.value} {self.expr(s.expr)};"
+
+    def _emit_for(self, s: ForLoop, w: SourceWriter, *,
+                  suppress_pragma: bool = False) -> None:
+        if s.omp_for and not suppress_pragma:
+            w.pragma("omp for", *self._loop_clauses(s))
+        bound = (str(s.bound.value) if isinstance(s.bound, IntNumeral)
+                 else s.bound.var.name)
+        lv = s.loop_var.name
+        w.open(f"for (int {lv} = 0; {lv} < {bound}; ++{lv})")
+        self.block(s.body, w)
+        w.close()
 
     def stmt(self, s, w: SourceWriter) -> None:
         if isinstance(s, Assignment):
-            target = (s.target.var.name if isinstance(s.target, VarRef)
-                      else f"{s.target.var.name}[{self.index(s.target.index)}]")
-            w.line(f"{target} {s.op.value} {self.expr(s.expr)};")
+            w.line(self._assignment_text(s))
             return
         if isinstance(s, DeclAssign):
             w.line(f"{self.fp.cpp_name} {s.var.name} = {self.expr(s.expr)};")
@@ -166,23 +198,37 @@ class CppEmitter:
             w.close()
             return
         if isinstance(s, ForLoop):
-            if s.omp_for:
-                w.line("#pragma omp for")
-            bound = (str(s.bound.value) if isinstance(s.bound, IntNumeral)
-                     else s.bound.var.name)
-            lv = s.loop_var.name
-            w.open(f"for (int {lv} = 0; {lv} < {bound}; ++{lv})")
-            self.block(s.body, w)
-            w.close()
+            self._emit_for(s, w)
             return
         if isinstance(s, OmpCritical):
-            w.line("#pragma omp critical")
+            w.pragma("omp critical")
             w.open("")
             self.block(s.body, w)
             w.close()
             return
+        if isinstance(s, OmpAtomic):
+            w.pragma("omp atomic")
+            w.line(self._assignment_text(s.update))
+            return
+        if isinstance(s, OmpSingle):
+            w.pragma("omp single")
+            w.open("")
+            self.block(s.body, w)
+            w.close()
+            return
+        if isinstance(s, OmpBarrier):
+            w.pragma("omp barrier")
+            return
         if isinstance(s, OmpParallel):
-            w.line(self._pragma_parallel(s.clauses))
+            if s.combined_for:
+                loop = s.body.stmts[0]
+                assert isinstance(loop, ForLoop)
+                w.pragma("omp parallel for",
+                         *self._clauses_text(s.clauses, with_private=False),
+                         *self._loop_clauses(loop))
+                self._emit_for(loop, w, suppress_pragma=True)
+                return
+            w.pragma("omp parallel", *self._clauses_text(s.clauses))
             w.open("")
             self.block(s.body, w)
             w.close()

@@ -21,6 +21,18 @@ class SourceWriter:
         """Append a line without indentation (e.g. preprocessor directives)."""
         self._lines.append(text)
 
+    def pragma(self, directive: str, *clauses: str) -> None:
+        """Emit ``#pragma <directive> <clauses...>`` at block indentation.
+
+        OpenMP pragmas attach to the following statement, so unlike
+        classic preprocessor directives they read best indented with the
+        code they govern; empty clause strings are skipped, letting
+        callers pass optional clauses unconditionally.
+        """
+        parts = [f"#pragma {directive}"]
+        parts.extend(c for c in clauses if c)
+        self.line(" ".join(parts))
+
     def open(self, header: str) -> None:
         """Emit ``header {`` (or a bare ``{``) and indent."""
         self.line(f"{header} {{" if header else "{")

@@ -92,6 +92,25 @@ class GeneratorConfig:
     private_probability: float = 0.3
     firstprivate_probability: float = 0.3
 
+    # --- directive-diversity feature flags ---
+    # Each flag opens one directive family beyond the paper's Listing-2
+    # grammar; the companion probability sets how often an eligible site
+    # uses it.  ``CampaignConfig.directive_mix`` flips these in presets.
+    enable_parallel_for: bool = True      # combined `omp parallel for`
+    enable_schedules: bool = True         # schedule(static|dynamic|guided)
+    enable_collapse: bool = True          # collapse(2)
+    enable_atomic: bool = True            # `omp atomic` updates
+    enable_single: bool = True            # `omp single` blocks
+    enable_barrier: bool = True           # explicit `omp barrier`
+    enable_minmax_reduction: bool = True  # reduction(min|max : comp)
+
+    parallel_for_probability: float = 0.30
+    schedule_probability: float = 0.50
+    collapse_probability: float = 0.15
+    atomic_probability: float = 0.30
+    single_probability: float = 0.25
+    barrier_probability: float = 0.15
+
     # --- correctness (Section III-G / III-E limitation) ---
     allow_data_races: bool = False
 
@@ -118,7 +137,10 @@ class GeneratorConfig:
             raise ConfigError("max_total_iterations too small for one loop")
         for name in ("reduction_probability", "critical_probability",
                      "omp_for_probability", "private_probability",
-                     "firstprivate_probability", "fp_double_probability"):
+                     "firstprivate_probability", "fp_double_probability",
+                     "parallel_for_probability", "schedule_probability",
+                     "collapse_probability", "atomic_probability",
+                     "single_probability", "barrier_probability"):
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
                 raise ConfigError(f"{name} must be in [0, 1], got {v}")
@@ -127,6 +149,55 @@ class GeneratorConfig:
                 "private_probability + firstprivate_probability must be <= 1")
         if self.num_threads < 1:
             raise ConfigError("num_threads must be >= 1")
+
+
+#: Named directive mixes a campaign can select (``CampaignConfig.
+#: directive_mix``).  Each preset pins the generator's directive-family
+#: feature flags; every other generator knob is left untouched, so a mix
+#: composes with hand-tuned probabilities.
+DIRECTIVE_MIXES: dict[str, dict[str, bool]] = {
+    # the paper's exact Listing-2 language: parallel + for + critical +
+    # {+,*} reductions, nothing from the diversity expansion
+    "paper": dict(enable_parallel_for=False, enable_schedules=False,
+                  enable_collapse=False, enable_atomic=False,
+                  enable_single=False, enable_barrier=False,
+                  enable_minmax_reduction=False),
+    # worksharing stressor: combined parallel-for, explicit schedules,
+    # collapsed nests — where compiler/runtime chunking logic diverges
+    "worksharing": dict(enable_parallel_for=True, enable_schedules=True,
+                        enable_collapse=True, enable_atomic=False,
+                        enable_single=False, enable_barrier=False,
+                        enable_minmax_reduction=False),
+    # synchronization stressor: atomics, singles, barriers on top of the
+    # paper's criticals
+    "sync": dict(enable_parallel_for=False, enable_schedules=False,
+                 enable_collapse=False, enable_atomic=True,
+                 enable_single=True, enable_barrier=True,
+                 enable_minmax_reduction=False),
+    # reduction stressor: all four reduction operators over both plain
+    # and combined regions
+    "reductions": dict(enable_parallel_for=True, enable_schedules=False,
+                       enable_collapse=False, enable_atomic=False,
+                       enable_single=False, enable_barrier=False,
+                       enable_minmax_reduction=True),
+    # everything at once (the GeneratorConfig defaults)
+    "full": dict(enable_parallel_for=True, enable_schedules=True,
+                 enable_collapse=True, enable_atomic=True,
+                 enable_single=True, enable_barrier=True,
+                 enable_minmax_reduction=True),
+}
+
+
+def apply_directive_mix(generator: GeneratorConfig,
+                        mix: str) -> GeneratorConfig:
+    """Return ``generator`` with the named mix's feature flags applied."""
+    try:
+        flags = DIRECTIVE_MIXES[mix]
+    except KeyError:
+        raise ConfigError(
+            f"unknown directive mix {mix!r}; "
+            f"choose from {', '.join(sorted(DIRECTIVE_MIXES))}") from None
+    return dataclasses.replace(generator, **flags)
 
 
 @dataclass(frozen=True)
@@ -188,8 +259,19 @@ class CampaignConfig:
     jobs: int | None = None
     # Where to save generated tests (None = keep in memory only).
     output_dir: str | None = None
+    # Named directive mix applied to the generator's feature flags
+    # ("paper", "worksharing", "sync", "reductions", "full"); None keeps
+    # the generator config exactly as given.  Applied at construction, so
+    # every consumer of ``config.generator`` sees the mixed flags.
+    directive_mix: str | None = None
 
     def __post_init__(self) -> None:
+        if self.directive_mix is not None:
+            # frozen dataclass: resolve the mix in place so engines,
+            # sessions, and checkpoints all see the effective generator
+            object.__setattr__(self, "generator",
+                               apply_directive_mix(self.generator,
+                                                   self.directive_mix))
         if self.n_programs < 1:
             raise ConfigError("n_programs must be >= 1")
         if self.inputs_per_program < 1:

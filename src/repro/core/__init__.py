@@ -28,7 +28,7 @@ from .inputs import (
 )
 from .nodes import Program, walk
 from .races import RaceReport, find_races, is_race_free
-from .types import FPType, ReductionOp, Sharing, Variable
+from .types import FPType, ReductionOp, ScheduleKind, Sharing, Variable
 
 __all__ = [
     "CATEGORY_WEIGHTS",
@@ -38,6 +38,7 @@ __all__ = [
     "InputGenerator",
     "LIMITS",
     "Program",
+    "ScheduleKind",
     "ProgramFeatures",
     "ProgramGenerator",
     "RaceReport",

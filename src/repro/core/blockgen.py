@@ -29,19 +29,31 @@ from .nodes import (
     IfBlock,
     IntNumeral,
     ModIdx,
+    OmpAtomic,
+    OmpBarrier,
     OmpCritical,
+    OmpSingle,
     Stmt,
     ThreadIdx,
     VarRef,
 )
-from .types import AssignOpKind, ReductionOp, Variable
+from .types import AssignOpKind, ReductionOp, ScheduleKind, Variable
 
 #: assignment operators compatible with each reduction operator: inside a
-#: ``reduction(+ : comp)`` region, comp updates must be additive, etc.
+#: ``reduction(+ : comp)`` region, comp updates must be additive, etc.;
+#: under ``min``/``max`` each thread's partial is the value it last
+#: assigned (the clause combines partials, the body need not compare)
 _REDUCTION_COMPATIBLE = {
     ReductionOp.SUM: (AssignOpKind.ADD_ASSIGN, AssignOpKind.SUB_ASSIGN),
     ReductionOp.PROD: (AssignOpKind.MUL_ASSIGN, AssignOpKind.DIV_ASSIGN),
+    ReductionOp.MIN: (AssignOpKind.ASSIGN,),
+    ReductionOp.MAX: (AssignOpKind.ASSIGN,),
 }
+
+#: schedule-kind weights when an explicit clause is drawn: static
+#: dominates real code; dynamic and guided are the divergence hunters
+_SCHEDULE_WEIGHTS = ((ScheduleKind.STATIC, 2.0), (ScheduleKind.DYNAMIC, 1.5),
+                     (ScheduleKind.GUIDED, 1.0))
 
 OmpFactory = Callable[[], Optional[Stmt]]
 
@@ -132,11 +144,14 @@ class BlockGen:
         ctx = self.ctx
         ctx.depth += 1
         ctx.push_scope()
+        prev_uniform = ctx.uniform
+        ctx.uniform = False  # branch may diverge across the team
         try:
             body = self.block(allow_omp=False)
         finally:
             ctx.pop_scope()
             ctx.depth -= 1
+            ctx.uniform = prev_uniform
         if body is None:
             return None
         return IfBlock(cond, body)
@@ -164,15 +179,33 @@ class BlockGen:
     def _bound_worst_case(self, bound: IntNumeral | VarRef) -> int:
         return bound.value if isinstance(bound, IntNumeral) else self.cfg.loop_trip_max
 
+    def _choose_schedule(self) -> tuple[ScheduleKind | None, int]:
+        """An explicit ``schedule(...)`` clause for a worksharing loop."""
+        cfg, rng = self.cfg, self.rng
+        if not cfg.enable_schedules or not rng.coin(cfg.schedule_probability):
+            return None, 0
+        kind = rng.weighted_choice(_SCHEDULE_WEIGHTS)
+        chunk = rng.randint(1, 8) if rng.coin(0.4) else 0
+        return kind, chunk
+
     def for_loop(self, *, omp_for: bool = False,
                  allow_critical: bool = False) -> ForLoop | None:
-        """``<for-loop-block>``; optionally the ``#pragma omp for`` variant,
-        optionally allowed to contain ``<openmp-critical>`` sub-blocks."""
-        ctx = self.ctx
+        """``<for-loop-block>``; optionally the ``#pragma omp for`` variant
+        (with optional ``schedule``/``collapse`` clauses), optionally
+        allowed to contain ``<openmp-critical>`` sub-blocks."""
+        ctx, cfg, rng = self.ctx, self.cfg, self.rng
         bound = self._choose_bound(omp_for=omp_for)
         if bound is None:
             return None
         loop_var = ctx.fresh_loop_var()
+
+        schedule, schedule_chunk = (self._choose_schedule() if omp_for
+                                    else (None, 0))
+        # collapse(2) needs a perfectly nested serial inner loop: decide
+        # up front so the body is generated as exactly that shape
+        want_collapse = (omp_for and cfg.enable_collapse
+                         and ctx.depth + 2 <= cfg.max_nesting_levels
+                         and rng.coin(cfg.collapse_probability))
 
         worst = self._bound_worst_case(bound)
         if omp_for:  # budget the per-thread chunk, not the full trip count
@@ -182,19 +215,33 @@ class BlockGen:
         scope = ctx.push_scope()
         scope.loop_vars.append(loop_var)
         prev_omp_var = ctx.omp_for_var
+        prev_uniform = ctx.uniform
         if omp_for:
             ctx.omp_for_var = loop_var
+            ctx.uniform = False  # the team splits the iteration space
         try:
-            body = self.block(allow_omp=not omp_for and ctx.region is None,
-                              allow_critical=allow_critical)
+            body: Block | None = None
+            collapse = 1
+            if want_collapse:
+                inner = self.for_loop(omp_for=False,
+                                      allow_critical=allow_critical)
+                if inner is not None:
+                    body = Block([inner])
+                    collapse = 2
+            if body is None:
+                body = self.block(allow_omp=not omp_for and ctx.region is None,
+                                  allow_critical=allow_critical)
         finally:
             ctx.pop_scope()
             ctx.depth -= 1
             ctx.iter_product //= max(1, worst)
             ctx.omp_for_var = prev_omp_var
+            ctx.uniform = prev_uniform
         if body is None:
             return None
-        return ForLoop(loop_var, bound, body, omp_for=omp_for)
+        return ForLoop(loop_var, bound, body, omp_for=omp_for,
+                       schedule=schedule, schedule_chunk=schedule_chunk,
+                       collapse=collapse)
 
     def critical(self) -> OmpCritical | None:
         """``<openmp-critical>`` — serialized updates to comp / shared
@@ -224,6 +271,62 @@ class BlockGen:
         if not stmts:
             return None
         return OmpCritical(Block(stmts))
+
+    def atomic(self) -> OmpAtomic | None:
+        """``#pragma omp atomic`` update of a designated atomic scalar.
+
+        The update expression cannot read the target (the region marks
+        atomic scalars unreadable, so the expression generator can never
+        produce one) — the OpenMP atomic-update restriction.
+        """
+        ctx, rng = self.ctx, self.rng
+        region = ctx.region
+        if region is None or ctx.in_critical or ctx.in_single:
+            return None
+        pool = [v for v in [ctx.comp, *ctx.fp_scalar_params]
+                if v is not None and id(v) in region.atomic_scalars]
+        if not pool:
+            return None
+        target = rng.choice(pool)
+        op = rng.choice((AssignOpKind.ADD_ASSIGN, AssignOpKind.SUB_ASSIGN,
+                         AssignOpKind.MUL_ASSIGN, AssignOpKind.DIV_ASSIGN))
+        return OmpAtomic(Assignment(VarRef(target), op,
+                                    self.exprs.expression()))
+
+    def single(self) -> OmpSingle | None:
+        """``#pragma omp single``: one thread updates the region's
+        single-only scalars from team-uniform values."""
+        ctx, rng = self.ctx, self.rng
+        region = ctx.region
+        if (region is None or not ctx.uniform or ctx.in_critical
+                or ctx.in_single):
+            return None
+        pool = [v for v in ctx.fp_scalar_params
+                if id(v) in region.single_scalars]
+        if not pool:
+            return None
+        ctx.in_single = True
+        prev_uniform = ctx.uniform
+        ctx.uniform = False
+        try:
+            stmts: list[Stmt] = []
+            for _ in range(rng.randint(1, 2)):
+                v = rng.choice(pool)
+                op = rng.choice(list(AssignOpKind))
+                stmts.append(Assignment(VarRef(v), op,
+                                        self.exprs.expression()))
+        finally:
+            ctx.in_single = False
+            ctx.uniform = prev_uniform
+        return OmpSingle(Block(stmts))
+
+    def barrier(self) -> OmpBarrier | None:
+        """``#pragma omp barrier`` — only at team-uniform positions."""
+        ctx = self.ctx
+        if (ctx.region is None or not ctx.uniform or ctx.in_critical
+                or ctx.in_single):
+            return None
+        return OmpBarrier()
 
     # ------------------------------------------------------------------
     # blocks
@@ -256,6 +359,18 @@ class BlockGen:
                     choices.append(("omp", w))
             if allow_critical and ctx.region is not None and not ctx.in_critical:
                 choices.append(("critical", cfg.weight_if_block))
+            in_region = ctx.region is not None and not ctx.in_critical \
+                and not ctx.in_single
+            if in_region and ctx.region.atomic_scalars:
+                choices.append(("atomic", cfg.weight_assignments
+                                * cfg.atomic_probability))
+            if in_region and ctx.uniform:
+                if cfg.enable_single and ctx.region.single_scalars:
+                    choices.append(("single", cfg.weight_if_block
+                                    * cfg.single_probability))
+                if cfg.enable_barrier:
+                    choices.append(("barrier", cfg.weight_if_block
+                                    * cfg.barrier_probability))
 
             kind = rng.weighted_choice(choices)
             stmt: Stmt | None
@@ -270,6 +385,13 @@ class BlockGen:
             elif kind == "critical":
                 stmt = self.critical()
                 sub_blocks += stmt is not None
+            elif kind == "atomic":
+                stmt = self.atomic()
+            elif kind == "single":
+                stmt = self.single()
+                sub_blocks += stmt is not None
+            elif kind == "barrier":
+                stmt = self.barrier()
             else:  # omp
                 assert self.omp_factory is not None
                 stmt = self.omp_factory()

@@ -116,7 +116,9 @@ class ExprGen:
         loop_vars = ctx.scope.visible_loop_vars()
         if loop_vars:
             choices.append("loop")
-        if ctx.region is not None:
+        if ctx.region is not None and not ctx.in_single:
+            # inside a single the executing thread is unspecified, so the
+            # thread id is not a meaningful (deterministic) index
             choices.append("tid")
         kind = self.rng.choice(choices)
         if kind == "loop":

@@ -27,8 +27,11 @@ from .nodes import (
     IfBlock,
     IntNumeral,
     MathCall,
+    OmpAtomic,
+    OmpBarrier,
     OmpCritical,
     OmpParallel,
+    OmpSingle,
     Program,
     Stmt,
     walk,
@@ -44,6 +47,18 @@ class ProgramFeatures:
     n_omp_for: int = 0
     n_critical: int = 0
     n_reductions: int = 0
+    # --- directive-diversity counts ---
+    n_parallel_for: int = 0       # combined `omp parallel for` regions
+    n_atomic: int = 0             # `omp atomic` updates
+    n_single: int = 0             # `omp single` blocks
+    n_barrier: int = 0            # explicit `omp barrier`s
+    n_collapse: int = 0           # collapse(2) worksharing loops
+    n_scheduled: int = 0          # explicit schedule(...) clauses
+    n_minmax_reductions: int = 0  # reduction(min|max : comp) clauses
+    #: dynamic/guided schedules: a real runtime assigns their iterations
+    #: nondeterministically, so tid-indexed stores and FP accumulation
+    #: orders vary run-to-run even in race-free programs
+    n_nondet_schedules: int = 0
 
     # --- the patterns the paper's case studies hinge on ---
     #: parallel regions whose enclosing chain includes a serial loop;
@@ -109,6 +124,12 @@ def extract_features(program: Program, *, param_bound_guess: int = 400,
             feats.n_loops += 1
             if s.omp_for:
                 feats.n_omp_for += 1
+                if s.collapse > 1:
+                    feats.n_collapse += 1
+                if s.schedule is not None:
+                    feats.n_scheduled += 1
+                    if not s.schedule.deterministic_native:
+                        feats.n_nondet_schedules += 1
             bound = _bound_of(s, param_bound_guess)
             new_depth = depth + 1
             feats.max_loop_depth = max(feats.max_loop_depth, new_depth)
@@ -131,10 +152,27 @@ def extract_features(program: Program, *, param_bound_guess: int = 400,
                         in_omp_for=in_omp_for,
                         serial_loop_above=serial_loop_above)
             return
+        if isinstance(s, OmpAtomic):
+            feats.n_atomic += 1
+            feats.n_assignments += 1
+            return
+        if isinstance(s, OmpSingle):
+            feats.n_single += 1
+            visit_block(s.body, iters=iters, depth=depth, in_region=in_region,
+                        in_omp_for=in_omp_for,
+                        serial_loop_above=serial_loop_above)
+            return
+        if isinstance(s, OmpBarrier):
+            feats.n_barrier += 1
+            return
         if isinstance(s, OmpParallel):
             feats.n_parallel_regions += 1
+            if s.combined_for:
+                feats.n_parallel_for += 1
             if s.clauses.reduction is not None:
                 feats.n_reductions += 1
+                if s.clauses.reduction.is_minmax:
+                    feats.n_minmax_reductions += 1
             if serial_loop_above:
                 feats.parallel_in_serial_loop += 1
             feats.est_region_entries += max(1, iters)
@@ -167,7 +205,7 @@ def _est_iters(block: Block, guess: int) -> int:
     for s in block.stmts:
         if isinstance(s, ForLoop):
             total += max(1, _bound_of(s, guess)) * max(1, _est_iters(s.body, guess))
-        elif isinstance(s, (IfBlock, OmpCritical)):
+        elif isinstance(s, (IfBlock, OmpCritical, OmpSingle)):
             total += _est_iters(s.body, guess)
         elif isinstance(s, OmpParallel):
             total += _est_iters(s.body, guess)

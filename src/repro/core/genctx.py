@@ -39,6 +39,14 @@ class RegionState:
     #: shared scalars written in this region; *every* access to them must
     #: sit inside a critical section
     critical_scalars: set[int] = field(default_factory=set)
+    #: shared scalars updated only via ``#pragma omp atomic``; every
+    #: access to them must be such an atomic update (an unprotected read
+    #: would race with another thread's atomic RMW)
+    atomic_scalars: set[int] = field(default_factory=set)
+    #: shared scalars touched only inside ``single`` blocks; singles in
+    #: one region are serialized by their implicit barriers, so
+    #: confining every access to singles is race-free
+    single_scalars: set[int] = field(default_factory=set)
     #: reduction operator over comp, if any (Section III-F)
     reduction: ReductionOp | None = None
     #: temporaries declared inside the region body (thread-local)
@@ -91,6 +99,11 @@ class GenContext:
         self.scope = Scope()
         self.region: RegionState | None = None
         self.in_critical = False
+        self.in_single = False
+        #: True while control flow inside the region is uniform across
+        #: the team (not under an if / worksharing loop / critical /
+        #: single) — the only positions where barrier/single are legal
+        self.uniform = False
         #: induction variable of the innermost enclosing ``omp for``
         self.omp_for_var: Variable | None = None
 
@@ -168,24 +181,51 @@ class GenContext:
         if self.region is None:
             return True
         sh = self.region.sharing_of(v)
+        if self.in_single:
+            # which thread executes a single is unspecified: only values
+            # that are identical across the team may be read, i.e. shared
+            # scalars the region never writes outside singles
+            if sh in (Sharing.PRIVATE, Sharing.FIRSTPRIVATE):
+                return False
+            if v.kind is VarKind.COMP and self.region.reduction is not None:
+                return False  # thread-private partial: thread-dependent
+            if id(v) in self.region.critical_scalars \
+                    or id(v) in self.region.atomic_scalars:
+                return False
+            return True  # read-only shared, or a single-only scalar
         if sh in (Sharing.PRIVATE, Sharing.FIRSTPRIVATE):
             return True
         if v.kind is VarKind.COMP and self.region.reduction is not None:
             return True  # reads the thread-private reduction copy
+        if id(v) in self.region.atomic_scalars:
+            # an unprotected read would race with another thread's atomic
+            # RMW; the RMW's own read is implicit, never via an expression
+            return False
+        if id(v) in self.region.single_scalars:
+            return self.in_single
         if id(v) in self.region.critical_scalars:
             return self.in_critical
         # shared scalar never written in the region: read-only is race-free
         return True
 
     def can_write_scalar(self, v: Variable) -> bool:
-        """May the current context *write* scalar ``v``?"""
+        """May the current context *write* scalar ``v`` with a plain
+        (non-atomic) assignment?"""
         if v.kind is VarKind.LOOP:
             return False  # never reassign induction variables
         if self.region is None:
             return v.kind is not VarKind.LOOP
+        if self.in_single:
+            # one thread runs the block, serialized against other singles
+            # by the implicit barrier: only single-only scalars are safe
+            return id(v) in self.region.single_scalars
         sh = self.region.sharing_of(v)
         if sh in (Sharing.PRIVATE, Sharing.FIRSTPRIVATE):
             return True
+        if id(v) in self.region.atomic_scalars:
+            return False  # updated only via `#pragma omp atomic`
+        if id(v) in self.region.single_scalars:
+            return False  # updated only inside single blocks
         if v.kind is VarKind.COMP:
             if self.region.reduction is not None:
                 return True  # reduction private copy
@@ -207,6 +247,10 @@ class GenContext:
         """
         if self.region is None:
             return True
+        if self.in_single:
+            # a[tid] is thread-dependent, and written arrays may be
+            # concurrently touched by threads still before the single
+            return id(arr) not in self.region.write_arrays and not thread_idx
         if id(arr) in self.region.write_arrays:
             # other threads write their own slots concurrently: only the
             # caller's own slot is guaranteed race-free
@@ -217,4 +261,6 @@ class GenContext:
         """May the current context write one element of ``arr``?"""
         if self.region is None:
             return True
+        if self.in_single:
+            return False  # single bodies update scalars only
         return thread_idx and id(arr) in self.region.write_arrays

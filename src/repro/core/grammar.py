@@ -1,19 +1,28 @@
-"""The paper's grammar (Listing 2) as data, plus an AST conformance checker.
+"""The generation grammar as data, plus a path-reporting conformance checker.
 
 Two artifacts live here:
 
-* :data:`GRAMMAR` — the production rules of Listing 2, transcribed as data
-  so tests and documentation can refer to the exact language the generator
+* :data:`GRAMMAR` — the production rules of the paper's Listing 2,
+  transcribed as data, extended with the directive-diversity productions
+  (combined ``parallel for``, ``schedule``/``collapse`` clauses,
+  ``min``/``max`` reductions, ``atomic``, ``single``, ``barrier``) so
+  tests and documentation can refer to the exact language the generator
   is supposed to cover.
 * :func:`check_conformance` — a structural validator that walks a generated
   :class:`~repro.core.nodes.Program` and verifies every construct is
   derivable from the grammar (and from the prose constraints of
   Sections III-E/F/G that restrict it).  The generator property tests
   assert that **every** generated program passes this check.
+
+Failures raise :class:`~repro.errors.GrammarError` carrying the *full
+path* of the offending node from the program root (``.path``), e.g.
+``program.body.stmts[2].body.stmts[0].expr`` — so a conformance failure
+in a thousand-program campaign pinpoints the node, not just the rule.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..errors import GrammarError
@@ -31,8 +40,11 @@ from .nodes import (
     IntNumeral,
     MathCall,
     ModIdx,
+    OmpAtomic,
+    OmpBarrier,
     OmpCritical,
     OmpParallel,
+    OmpSingle,
     Paren,
     Program,
     ThreadIdx,
@@ -42,7 +54,7 @@ from .nodes import (
 from .types import MATH_FUNCS, VarKind
 
 # ----------------------------------------------------------------------
-# Grammar-as-data (Listing 2)
+# Grammar-as-data (Listing 2 + directive-diversity extensions)
 # ----------------------------------------------------------------------
 
 
@@ -82,23 +94,44 @@ GRAMMAR: dict[str, Production] = {
                     '<private-vars> ")" " firstprivate(" <first-private-vars> '
                     '")" {" reduction(" <reduction-op> ": comp)"}?',)),
         Production("openmp-block",
-                   ('<openmp-head> "\\n{" {<assignment>}+ <for-loop-block> "}"',)),
+                   ('<openmp-head> "\\n{" {<assignment>|<omp-single>|'
+                    '<omp-barrier>}+ <for-loop-block> "}"',
+                    "<openmp-parallel-for>")),
+        Production("openmp-parallel-for",
+                   ('"#pragma omp parallel for default(shared)" '
+                    '{" firstprivate(" <first-private-vars> ")"}? '
+                    '{" reduction(" <reduction-op> ": comp)"}? '
+                    '{<schedule-clause>}? {" collapse(2)"}? '
+                    '"\\n" <for-loop-block>',)),
         Production("openmp-critical",
                    ('"#pragma omp critical {\\n" <block> "}"',)),
+        Production("omp-atomic",
+                   ('"#pragma omp atomic\\n" <id> <compound-assign-op> '
+                    '<expression> ";"',)),
+        Production("omp-single",
+                   ('"#pragma omp single\\n{" {<assignment>}+ "}"',)),
+        Production("omp-barrier", ('"#pragma omp barrier"',)),
         Production("if-block",
                    ('"if" "(" <bool-expression> ")" "{" <block> "}"',)),
-        Production("for-loop-head", ('"#pragma omp for \\n for"', '"for"')),
+        Production("for-loop-head",
+                   ('"#pragma omp for" {<schedule-clause>}? '
+                    '{" collapse(2)"}? "\\n for"',
+                    '"for"')),
         Production("for-loop-block",
                    ('<for-loop-head> "(" <loop-header> ")" "{" '
-                    '{<block>|<openmp-critical>}+ "}"',)),
+                    '{<block>|<openmp-critical>|<omp-atomic>}+ "}"',)),
+        Production("schedule-clause",
+                   ('" schedule(" <schedule-kind> {"," <int-numeral>}? ")"',)),
+        Production("schedule-kind", ('"static"', '"dynamic"', '"guided"')),
         Production("loop-header",
                    ('"int" <id> ";" <id> "<" <int-numeral> ";" "++" <id>',)),
         Production("bool-expression", ("<id> <bool-op> <expression>",)),
         Production("fp-type", ('"float"', '"double"')),
         Production("assign-op", ('"="', '"+="', '"-="', '"*="', '"/="')),
+        Production("compound-assign-op", ('"+="', '"-="', '"*="', '"/="')),
         Production("op", ('"+"', '"-"', '"*"', '"/"')),
         Production("bool-op", ('"<"', '">"', '"=="', '"!="', '">="', '"<="')),
-        Production("reduction-op", ('"+"', '"*"')),
+        Production("reduction-op", ('"+"', '"*"', '"min"', '"max"')),
     )
 }
 
@@ -108,194 +141,357 @@ GRAMMAR: dict[str, Production] = {
 # ----------------------------------------------------------------------
 
 
-def _fail(msg: str) -> None:
-    raise GrammarError(msg)
-
-
-def _check_index(idx: object) -> None:
-    """Index sub-language: loop var | thread id | constant | those % size."""
-    if isinstance(idx, ModIdx):
-        if idx.modulus <= 0:
-            _fail(f"array index modulus must be positive, got {idx.modulus}")
-        _check_index(idx.base)
-        if isinstance(idx.base, ModIdx):
-            _fail("nested modulo index expressions are not in the grammar")
-        return
-    if isinstance(idx, VarRef):
-        if not idx.var.is_int:
-            _fail(f"array index variable {idx.var.name} is not an int")
-        return
-    if isinstance(idx, (ThreadIdx, IntNumeral)):
-        return
-    _fail(f"illegal array index expression: {type(idx).__name__}")
-
-
-def _check_expr(e: Expr, *, depth: int = 0) -> int:
-    """Validate an ``<expression>`` tree; returns the number of terms."""
-    if depth > 200:
-        _fail("expression nesting too deep to be generator output")
-    if isinstance(e, FPNumeral):
-        return 1
-    if isinstance(e, IntNumeral):
-        return 1
-    if isinstance(e, VarRef):
-        return 1
-    if isinstance(e, ArrayRef):
-        _check_index(e.index)
-        return 1
-    if isinstance(e, UnaryOp):
-        if e.op not in ("+", "-"):
-            _fail(f"illegal unary operator {e.op!r}")
-        return _check_expr(e.operand, depth=depth + 1)
-    if isinstance(e, Paren):
-        return _check_expr(e.inner, depth=depth + 1)
-    if isinstance(e, BinOp):
-        return (_check_expr(e.lhs, depth=depth + 1)
-                + _check_expr(e.rhs, depth=depth + 1))
-    if isinstance(e, MathCall):
-        if e.func not in MATH_FUNCS:
-            _fail(f"math function {e.func!r} not in the allowed set")
-        _check_expr(e.arg, depth=depth + 1)
-        return 1
-    _fail(f"illegal expression node {type(e).__name__}")
-    raise AssertionError  # unreachable
-
-
-def _check_bool(b: BoolExpr) -> None:
-    if not isinstance(b.lhs, (VarRef, ArrayRef)):
-        _fail("<bool-expression> must start with an identifier")
-    if isinstance(b.lhs, ArrayRef):
-        _check_index(b.lhs.index)
-    _check_expr(b.rhs)
-
-
-def _is_assignment_like(s: object) -> bool:
-    return isinstance(s, (Assignment, DeclAssign))
-
-
 class _Ctx:
-    """Traversal context tracking where OpenMP constructs are legal."""
+    """Traversal context tracking where OpenMP constructs are legal.
 
-    __slots__ = ("in_parallel", "in_omp_for", "in_critical")
+    ``uniform`` is True while control flow is guaranteed identical across
+    the team (not inside an if-block, worksharing loop, critical, or
+    single) — the positions where ``barrier``/``single`` may appear.
+    """
+
+    __slots__ = ("in_parallel", "in_omp_for", "in_critical", "in_single",
+                 "uniform")
 
     def __init__(self, in_parallel: bool = False, in_omp_for: bool = False,
-                 in_critical: bool = False):
+                 in_critical: bool = False, in_single: bool = False,
+                 uniform: bool = False):
         self.in_parallel = in_parallel
         self.in_omp_for = in_omp_for
         self.in_critical = in_critical
+        self.in_single = in_single
+        self.uniform = uniform
 
 
-def _check_block(block: Block, ctx: _Ctx) -> None:
-    if not isinstance(block, Block):
-        _fail(f"expected Block, got {type(block).__name__}")
-    if not block.stmts:
-        _fail("<block> must contain at least one statement")
-    for s in block.stmts:
-        _check_stmt(s, ctx)
+class _Checker:
+    """Stateful walk that tracks the path from the program root."""
 
+    def __init__(self) -> None:
+        self._path: list[str] = ["program"]
 
-def _check_stmt(s: object, ctx: _Ctx) -> None:
-    if isinstance(s, Assignment):
+    # -- path plumbing -------------------------------------------------
+    @contextmanager
+    def at(self, segment: str):
+        self._path.append(segment)
+        try:
+            yield
+        finally:
+            self._path.pop()
+
+    @property
+    def path(self) -> str:
+        head, *rest = self._path
+        out = head
+        for seg in rest:
+            out += seg if seg.startswith("[") else f".{seg}"
+        return out
+
+    def fail(self, msg: str) -> None:
+        raise GrammarError(msg, path=self.path)
+
+    # -- expressions ---------------------------------------------------
+    def check_index(self, idx: object) -> None:
+        """Index sub-language: loop var | thread id | constant | those % size."""
+        if isinstance(idx, ModIdx):
+            if idx.modulus <= 0:
+                self.fail(f"array index modulus must be positive, "
+                          f"got {idx.modulus}")
+            with self.at("base"):
+                self.check_index(idx.base)
+            if isinstance(idx.base, ModIdx):
+                self.fail("nested modulo index expressions are not in the "
+                          "grammar")
+            return
+        if isinstance(idx, VarRef):
+            if not idx.var.is_int:
+                self.fail(f"array index variable {idx.var.name} is not an int")
+            return
+        if isinstance(idx, (ThreadIdx, IntNumeral)):
+            return
+        self.fail(f"illegal array index expression: {type(idx).__name__}")
+
+    def check_expr(self, e: Expr, *, depth: int = 0) -> int:
+        """Validate an ``<expression>`` tree; returns the number of terms."""
+        if depth > 200:
+            self.fail("expression nesting too deep to be generator output")
+        if isinstance(e, (FPNumeral, IntNumeral, VarRef)):
+            return 1
+        if isinstance(e, ArrayRef):
+            with self.at("index"):
+                self.check_index(e.index)
+            return 1
+        if isinstance(e, UnaryOp):
+            if e.op not in ("+", "-"):
+                self.fail(f"illegal unary operator {e.op!r}")
+            with self.at("operand"):
+                return self.check_expr(e.operand, depth=depth + 1)
+        if isinstance(e, Paren):
+            with self.at("inner"):
+                return self.check_expr(e.inner, depth=depth + 1)
+        if isinstance(e, BinOp):
+            with self.at("lhs"):
+                n = self.check_expr(e.lhs, depth=depth + 1)
+            with self.at("rhs"):
+                return n + self.check_expr(e.rhs, depth=depth + 1)
+        if isinstance(e, MathCall):
+            if e.func not in MATH_FUNCS:
+                self.fail(f"math function {e.func!r} not in the allowed set")
+            with self.at("arg"):
+                self.check_expr(e.arg, depth=depth + 1)
+            return 1
+        self.fail(f"illegal expression node {type(e).__name__}")
+        raise AssertionError  # unreachable
+
+    def check_bool(self, b: BoolExpr) -> None:
+        if not isinstance(b.lhs, (VarRef, ArrayRef)):
+            self.fail("<bool-expression> must start with an identifier")
+        if isinstance(b.lhs, ArrayRef):
+            with self.at("lhs.index"):
+                self.check_index(b.lhs.index)
+        with self.at("rhs"):
+            self.check_expr(b.rhs)
+
+    # -- statements ----------------------------------------------------
+    def check_block(self, block: Block, ctx: _Ctx) -> None:
+        if not isinstance(block, Block):
+            self.fail(f"expected Block, got {type(block).__name__}")
+        if not block.stmts:
+            self.fail("<block> must contain at least one statement")
+        for i, s in enumerate(block.stmts):
+            with self.at(f"stmts[{i}]"):
+                self.check_stmt(s, ctx)
+
+    def _check_assignment(self, s: Assignment) -> None:
         if not isinstance(s.target, (VarRef, ArrayRef)):
-            _fail("assignment target must be a variable or array element")
+            self.fail("assignment target must be a variable or array element")
         if isinstance(s.target, ArrayRef):
-            _check_index(s.target.index)
-        _check_expr(s.expr)
-        return
-    if isinstance(s, DeclAssign):
-        if s.var.kind is not VarKind.TEMP:
-            _fail(f"DeclAssign may only introduce temporaries, got {s.var.kind}")
-        _check_expr(s.expr)
-        # C++ allows `double t = t * x;` but it reads indeterminate memory;
-        # the generator must never produce a self-referential initializer
-        from .nodes import walk as _walk
-        for n in _walk(s.expr):
-            if isinstance(n, VarRef) and n.var is s.var:
-                _fail(f"initializer of {s.var.name} references itself")
-        return
-    if isinstance(s, IfBlock):
-        _check_bool(s.cond)
-        _check_block(s.body, ctx)
-        return
-    if isinstance(s, ForLoop):
+            with self.at("target.index"):
+                self.check_index(s.target.index)
+        with self.at("expr"):
+            self.check_expr(s.expr)
+
+    def check_stmt(self, s: object, ctx: _Ctx) -> None:
+        if isinstance(s, Assignment):
+            self._check_assignment(s)
+            return
+        if isinstance(s, DeclAssign):
+            if s.var.kind is not VarKind.TEMP:
+                self.fail(f"DeclAssign may only introduce temporaries, "
+                          f"got {s.var.kind}")
+            with self.at("expr"):
+                self.check_expr(s.expr)
+            # C++ allows `double t = t * x;` but it reads indeterminate
+            # memory; the generator must never produce a self-referential
+            # initializer
+            from .nodes import walk as _walk
+            for n in _walk(s.expr):
+                if isinstance(n, VarRef) and n.var is s.var:
+                    self.fail(f"initializer of {s.var.name} references itself")
+            return
+        if isinstance(s, IfBlock):
+            with self.at("cond"):
+                self.check_bool(s.cond)
+            inner = _Ctx(ctx.in_parallel, ctx.in_omp_for, ctx.in_critical,
+                         ctx.in_single, uniform=False)
+            with self.at("body"):
+                self.check_block(s.body, inner)
+            return
+        if isinstance(s, ForLoop):
+            self._check_for(s, ctx)
+            return
+        if isinstance(s, OmpCritical):
+            if not ctx.in_parallel:
+                self.fail("#pragma omp critical outside a parallel region")
+            if ctx.in_critical:
+                self.fail("nested critical sections would self-deadlock")
+            if ctx.in_single:
+                self.fail("critical inside single is not generated")
+            inner = _Ctx(ctx.in_parallel, ctx.in_omp_for, True,
+                         ctx.in_single, uniform=False)
+            with self.at("body"):
+                self.check_block(s.body, inner)
+            return
+        if isinstance(s, OmpAtomic):
+            self._check_atomic(s, ctx)
+            return
+        if isinstance(s, OmpSingle):
+            self._check_single(s, ctx)
+            return
+        if isinstance(s, OmpBarrier):
+            if not ctx.in_parallel:
+                self.fail("#pragma omp barrier outside a parallel region")
+            if not ctx.uniform:
+                self.fail("barrier in non-uniform context (worksharing loop, "
+                          "critical, single, or conditional) may deadlock")
+            return
+        if isinstance(s, OmpParallel):
+            if ctx.in_parallel:
+                self.fail("nested parallel regions are not generated "
+                          "(Section III-E)")
+            self.check_parallel(s)
+            return
+        self.fail(f"illegal statement node {type(s).__name__}")
+
+    def _check_for(self, s: ForLoop, ctx: _Ctx) -> None:
         if s.omp_for and not ctx.in_parallel:
-            _fail("#pragma omp for outside a parallel region")
+            self.fail("#pragma omp for outside a parallel region")
         if s.omp_for and ctx.in_critical:
-            _fail("#pragma omp for inside a critical section")
+            self.fail("#pragma omp for inside a critical section")
+        if s.omp_for and ctx.in_single:
+            self.fail("#pragma omp for inside a single block")
+        if s.omp_for and ctx.in_omp_for:
+            self.fail("worksharing loops may not be closely nested")
         if not isinstance(s.bound, (IntNumeral, VarRef)):
-            _fail("loop bound must be an int numeral or int parameter")
+            self.fail("loop bound must be an int numeral or int parameter")
         if isinstance(s.bound, VarRef) and not s.bound.var.is_int:
-            _fail("loop bound variable must be an int")
+            self.fail("loop bound variable must be an int")
         if isinstance(s.bound, IntNumeral) and s.bound.value < 0:
-            _fail("loop bound must be non-negative")
+            self.fail("loop bound must be non-negative")
         if not s.loop_var.is_int or s.loop_var.kind is not VarKind.LOOP:
-            _fail("loop induction variable must be an int LOOP variable")
+            self.fail("loop induction variable must be an int LOOP variable")
+        if s.schedule is not None and not s.omp_for:
+            self.fail("schedule clause on a serial for loop")
+        if s.schedule_chunk < 0:
+            self.fail("schedule chunk size must be non-negative")
+        if s.schedule_chunk and s.schedule is None:
+            self.fail("schedule chunk without a schedule kind")
+        if s.collapse not in (1, 2):
+            self.fail(f"collapse depth must be 1 or 2, got {s.collapse}")
+        if s.collapse == 2:
+            if not s.omp_for:
+                self.fail("collapse clause on a serial for loop")
+            inner_ok = (len(s.body.stmts) == 1
+                        and isinstance(s.body.stmts[0], ForLoop)
+                        and not s.body.stmts[0].omp_for)
+            if not inner_ok:
+                self.fail("collapse(2) requires a perfectly nested serial "
+                          "inner loop and nothing else in the outer body")
         inner = _Ctx(ctx.in_parallel, ctx.in_omp_for or s.omp_for,
-                     ctx.in_critical)
-        _check_block(s.body, inner)
-        return
-    if isinstance(s, OmpCritical):
+                     ctx.in_critical, ctx.in_single,
+                     # a serial loop executed by the whole team preserves
+                     # uniformity; a worksharing loop splits the team
+                     uniform=ctx.uniform and not s.omp_for)
+        with self.at("body"):
+            self.check_block(s.body, inner)
+
+    def _check_atomic(self, s: OmpAtomic, ctx: _Ctx) -> None:
         if not ctx.in_parallel:
-            _fail("#pragma omp critical outside a parallel region")
+            self.fail("#pragma omp atomic outside a parallel region")
         if ctx.in_critical:
-            _fail("nested critical sections would self-deadlock")
-        _check_block(s.body, _Ctx(ctx.in_parallel, ctx.in_omp_for, True))
-        return
-    if isinstance(s, OmpParallel):
-        if ctx.in_parallel:
-            _fail("nested parallel regions are not generated (Section III-E)")
-        _check_parallel(s)
-        return
-    _fail(f"illegal statement node {type(s).__name__}")
+            self.fail("atomic inside critical is not generated")
+        u = s.update
+        if not isinstance(u, Assignment):
+            self.fail("atomic must guard an assignment")
+        if u.op.binop is None:
+            self.fail("atomic update must use a compound operator "
+                      "(+=, -=, *=, /=)")
+        if not isinstance(u.target, VarRef):
+            self.fail("atomic update target must be a scalar variable")
+        from .nodes import walk as _walk
+        for n in _walk(u.expr):
+            if isinstance(n, VarRef) and n.var is u.target.var:
+                self.fail("atomic update expression may not read the target "
+                          "(OpenMP atomic-update restriction)")
+        with self.at("update"):
+            self._check_assignment(u)
 
+    def _check_single(self, s: OmpSingle, ctx: _Ctx) -> None:
+        if not ctx.in_parallel:
+            self.fail("#pragma omp single outside a parallel region")
+        if not ctx.uniform:
+            self.fail("single in non-uniform context (worksharing loop, "
+                      "critical, or conditional) may deadlock at its "
+                      "implicit barrier")
+        for i, st in enumerate(s.body.stmts):
+            if not isinstance(st, (Assignment, DeclAssign)):
+                with self.at(f"body.stmts[{i}]"):
+                    self.fail("single bodies contain only assignments")
+        inner = _Ctx(ctx.in_parallel, ctx.in_omp_for, ctx.in_critical,
+                     in_single=True, uniform=False)
+        with self.at("body"):
+            self.check_block(s.body, inner)
 
-def _check_parallel(p: OmpParallel) -> None:
-    stmts = p.body.stmts
-    if not stmts:
-        _fail("<openmp-block> body is empty")
-    # Grammar line 18: {<assignment>}+ <for-loop-block>
-    if not isinstance(stmts[-1], ForLoop):
-        _fail("<openmp-block> must end with a for-loop block")
-    lead = stmts[:-1]
-    if not lead:
-        _fail("<openmp-block> needs at least one leading assignment")
-    for s in lead:
-        if not _is_assignment_like(s):
-            _fail("only assignments may precede the loop in an OpenMP block")
-        _check_stmt(s, _Ctx(in_parallel=True))
-    # Private copies must be initialized by the leading assignments before
-    # any use (Section III-G; also keeps the native backend deterministic).
-    assigned = {s.target.var.name for s in lead
-                if isinstance(s, Assignment) and isinstance(s.target, VarRef)}
-    assigned |= {s.var.name for s in lead if isinstance(s, DeclAssign)}
-    for v in p.clauses.private:
-        if v.name not in assigned:
-            _fail(f"private variable {v.name} is not initialized at region start")
-    # Clause sanity.
-    names = [v.name for v in p.clauses.all_listed()]
-    if len(names) != len(set(names)):
-        _fail("a variable appears in two data-sharing clauses")
-    if p.clauses.num_threads < 1:
-        _fail("num_threads must be >= 1")
-    _check_stmt(stmts[-1], _Ctx(in_parallel=True))
+    # -- parallel regions ----------------------------------------------
+    def check_parallel(self, p: OmpParallel) -> None:
+        if p.clauses.num_threads < 1:
+            self.fail("num_threads must be >= 1")
+        names = [v.name for v in p.clauses.all_listed()]
+        if len(names) != len(set(names)):
+            self.fail("a variable appears in two data-sharing clauses")
+        if p.combined_for:
+            self._check_combined_for(p)
+            return
+        stmts = p.body.stmts
+        if not stmts:
+            self.fail("<openmp-block> body is empty")
+        # Grammar: {<assignment>|<omp-single>|<omp-barrier>}+ <for-loop-block>
+        if not isinstance(stmts[-1], ForLoop):
+            self.fail("<openmp-block> must end with a for-loop block")
+        lead = stmts[:-1]
+        if not any(isinstance(s, (Assignment, DeclAssign)) for s in lead):
+            self.fail("<openmp-block> needs at least one leading assignment")
+        region_ctx = _Ctx(in_parallel=True, uniform=True)
+        for i, s in enumerate(lead):
+            if not isinstance(s, (Assignment, DeclAssign, OmpSingle,
+                                  OmpBarrier)):
+                with self.at(f"body.stmts[{i}]"):
+                    self.fail("only assignments, singles, and barriers may "
+                              "precede the loop in an OpenMP block")
+            with self.at(f"body.stmts[{i}]"):
+                self.check_stmt(s, region_ctx)
+        # Private copies must be initialized by the leading assignments
+        # before any use (Section III-G; also keeps the native backend
+        # deterministic).
+        assigned = {s.target.var.name for s in lead
+                    if isinstance(s, Assignment)
+                    and isinstance(s.target, VarRef)}
+        assigned |= {s.var.name for s in lead if isinstance(s, DeclAssign)}
+        for v in p.clauses.private:
+            if v.name not in assigned:
+                self.fail(f"private variable {v.name} is not initialized at "
+                          f"region start")
+        with self.at(f"body.stmts[{len(stmts) - 1}]"):
+            self.check_stmt(stmts[-1], region_ctx)
+
+    def _check_combined_for(self, p: OmpParallel) -> None:
+        if p.clauses.private:
+            self.fail("combined parallel for cannot carry a private clause "
+                      "(privates have no initializing assignments)")
+        stmts = p.body.stmts
+        if len(stmts) != 1 or not isinstance(stmts[0], ForLoop):
+            self.fail("combined parallel for must contain exactly one "
+                      "worksharing loop")
+        loop = stmts[0]
+        if not loop.omp_for:
+            self.fail("combined parallel for requires an omp_for loop")
+        with self.at("body.stmts[0]"):
+            self.check_stmt(loop, _Ctx(in_parallel=True, uniform=True))
+
+    # -- whole program -------------------------------------------------
+    def check_program(self, program: Program) -> None:
+        if program.comp.kind is not VarKind.COMP:
+            self.fail("program.comp must be the designated COMP variable")
+        if program.comp.is_array or not program.comp.is_fp:
+            self.fail("comp must be a floating-point scalar (Section III-B)")
+        names = [v.name for v in program.params]
+        if len(names) != len(set(names)):
+            self.fail("duplicate kernel parameter names")
+        if program.comp.name not in names:
+            self.fail("comp must be a kernel parameter (inputs initialize it)")
+        for i, param in enumerate(program.params):
+            if param.is_array and param.array_size <= 0:
+                with self.at(f"params[{i}]"):
+                    self.fail(f"array parameter {param.name} lacks a positive "
+                              f"size")
+        with self.at("body"):
+            self.check_block(program.body, _Ctx())
 
 
 def check_conformance(program: Program) -> None:
-    """Raise :class:`GrammarError` unless ``program`` conforms to Listing 2
-    plus the prose constraints of Sections III-E/F/G."""
-    if program.comp.kind is not VarKind.COMP:
-        _fail("program.comp must be the designated COMP variable")
-    if program.comp.is_array or not program.comp.is_fp:
-        _fail("comp must be a floating-point scalar (Section III-B)")
-    names = [v.name for v in program.params]
-    if len(names) != len(set(names)):
-        _fail("duplicate kernel parameter names")
-    if program.comp.name not in names:
-        _fail("comp must be a kernel parameter (inputs initialize it)")
-    for p in program.params:
-        if p.is_array and p.array_size <= 0:
-            _fail(f"array parameter {p.name} lacks a positive size")
-    _check_block(program.body, _Ctx())
+    """Raise :class:`GrammarError` unless ``program`` conforms to the
+    grammar plus the prose constraints of Sections III-E/F/G.  The raised
+    error's ``path`` attribute locates the offending node from the
+    program root."""
+    _Checker().check_program(program)
 
 
 def conforms(program: Program) -> bool:

@@ -28,6 +28,7 @@ from .types import (
     BoolOpKind,
     FPType,
     OmpClauses,
+    ScheduleKind,
     Variable,
 )
 
@@ -234,12 +235,22 @@ class ForLoop:
     emitted C++ and the interpreter apply the same clamp so backends agree).
     ``omp_for`` marks the ``#pragma omp for`` variant, legal only inside a
     parallel region (``<for-loop-head>``).
+
+    Worksharing loops additionally carry the directive-diversity clauses:
+
+    * ``schedule`` / ``schedule_chunk`` — an explicit ``schedule(...)``
+      clause (``None`` = unspecified, 0 = no chunk size given),
+    * ``collapse`` — ``collapse(2)`` over a perfectly nested inner loop
+      (the inner loop is then ``body.stmts[0]`` and nothing else).
     """
 
     loop_var: Variable
     bound: IntNumeral | VarRef
     body: Block
     omp_for: bool = False
+    schedule: ScheduleKind | None = None
+    schedule_chunk: int = 0
+    collapse: int = 1
 
     def children(self) -> Iterator["Node"]:
         yield self.bound  # type: ignore[misc]
@@ -257,22 +268,65 @@ class OmpCritical:
 
 
 @dataclass(slots=True)
-class OmpParallel:
-    """``<openmp-block>``: directive head plus the structured block.
+class OmpAtomic:
+    """``#pragma omp atomic`` guarding one compound update statement.
 
-    Per the grammar the body is one or more leading assignments (used to
-    initialize private copies — see Listing 1 line 9) followed by a
-    for-loop block, which may itself be an ``omp for``.
+    The guarded statement is an ``x op= expr`` update of a shared scalar;
+    per the OpenMP atomic-update rules the expression must not read the
+    target variable (the read-modify-write of the target itself is the
+    atomic operation).
     """
 
-    clauses: OmpClauses
+    update: Assignment
+
+    def children(self) -> Iterator["Node"]:
+        yield self.update
+
+
+@dataclass(slots=True)
+class OmpSingle:
+    """``#pragma omp single { <block> }`` — one thread executes the block,
+    the team synchronizes at the implicit barrier at its end."""
+
     body: Block
 
     def children(self) -> Iterator["Node"]:
         yield self.body
 
 
-Stmt = Union[Assignment, DeclAssign, IfBlock, ForLoop, OmpParallel, OmpCritical]
+@dataclass(slots=True)
+class OmpBarrier:
+    """``#pragma omp barrier`` — explicit team-wide synchronization."""
+
+    def children(self) -> Iterator["Node"]:
+        return iter(())
+
+
+@dataclass(slots=True)
+class OmpParallel:
+    """``<openmp-block>``: directive head plus the structured block.
+
+    Per the grammar the body is one or more leading assignments (used to
+    initialize private copies — see Listing 1 line 9) followed by a
+    for-loop block, which may itself be an ``omp for``.
+
+    ``combined_for`` marks the combined ``#pragma omp parallel for``
+    construct: the body is then exactly one worksharing loop (no leading
+    assignments — the combined directive applies to the loop alone), and
+    the clauses carry no ``private`` list (privates cannot be initialized
+    before the loop starts).
+    """
+
+    clauses: OmpClauses
+    body: Block
+    combined_for: bool = False
+
+    def children(self) -> Iterator["Node"]:
+        yield self.body
+
+
+Stmt = Union[Assignment, DeclAssign, IfBlock, ForLoop, OmpParallel, OmpCritical,
+             OmpAtomic, OmpSingle, OmpBarrier]
 
 Node = Union[Expr, BoolExpr, Stmt, Block]
 
@@ -340,7 +394,8 @@ def iter_statements(node: Node | Program) -> Iterator[Stmt]:
     """Yield every statement in the (sub)tree."""
     for n in walk(node):
         if isinstance(n, (Assignment, DeclAssign, IfBlock, ForLoop,
-                          OmpParallel, OmpCritical)):
+                          OmpParallel, OmpCritical, OmpAtomic, OmpSingle,
+                          OmpBarrier)):
             yield n
 
 

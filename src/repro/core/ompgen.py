@@ -1,18 +1,23 @@
-"""OpenMP parallel-region generation (Sections III-E/F/G).
+"""OpenMP parallel-region generation (Sections III-E/F/G + diversity).
 
 Builds ``<openmp-block>`` subtrees:
 
 * the directive head with ``default(shared)``, randomized ``private`` /
   ``firstprivate`` lists, ``num_threads``, and an optional
-  ``reduction(+|* : comp)`` clause (the reduction variable is always
-  ``comp`` — Section III-F),
+  ``reduction(+|*|min|max : comp)`` clause (the reduction variable is
+  always ``comp`` — Section III-F),
 * one or more leading assignments that initialize every private copy
-  (Listing 1, line 9),
-* the mandatory trailing for-loop block, usually an ``#pragma omp for``,
-  whose body may contain critical sections,
+  (Listing 1, line 9), optionally interleaved with ``single`` blocks and
+  explicit ``barrier``\\ s at team-uniform positions,
+* the mandatory trailing for-loop block, usually an ``#pragma omp for``
+  (optionally with ``schedule``/``collapse`` clauses), whose body may
+  contain critical sections and atomic updates,
+* the **combined** ``#pragma omp parallel for`` variant: one worksharing
+  loop under a single directive (no leading assignments, so no
+  ``private`` clause — privatized scalars become ``firstprivate``),
 * the race-avoidance bookkeeping: which arrays may be written (only at
   ``omp_get_thread_num()``), and which shared scalars become
-  "critical-only".
+  critical-only, atomic-only, or single-only.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from .nodes import (
     Expr,
     ForLoop,
     FPNumeral,
+    OmpAtomic,
     OmpCritical,
     OmpParallel,
     Stmt,
@@ -47,15 +53,21 @@ class OmpGen:
         self.blocks = blocks
 
     # ------------------------------------------------------------------
-    def _assign_sharing(self, region: RegionState) -> None:
+    def _assign_sharing(self, region: RegionState, *,
+                        combined: bool) -> None:
         """Randomly partition the kernel's variables into data-sharing
         classes (Section III-E: "Program variables are assigned to
         data-sharing clauses randomly except for the comp variable and any
-        parallel loop-binding variable")."""
+        parallel loop-binding variable").
+
+        A combined ``parallel for`` has no leading assignments to
+        initialize private copies, so its would-be privates are made
+        ``firstprivate`` instead.
+        """
         cfg, rng, ctx = self.cfg, self.rng, self.ctx
         for v in ctx.fp_scalar_params:
             roll = rng.random()
-            if roll < cfg.private_probability:
+            if roll < cfg.private_probability and not combined:
                 region.sharing[id(v)] = Sharing.PRIVATE
                 region.clauses.private.append(v)
             elif roll < cfg.private_probability + cfg.firstprivate_probability:
@@ -72,6 +84,57 @@ class OmpGen:
         region.sharing[id(comp)] = (
             Sharing.REDUCTION if region.reduction is not None else Sharing.SHARED)
 
+    def _choose_reduction(self) -> ReductionOp | None:
+        cfg, rng = self.cfg, self.rng
+        if not rng.coin(cfg.reduction_probability):
+            return None
+        ops = [ReductionOp.SUM, ReductionOp.PROD]
+        if cfg.enable_minmax_reduction:
+            ops += [ReductionOp.MIN, ReductionOp.MAX]
+        return rng.choice(ops)
+
+    def _plan_protection(self, region: RegionState, *,
+                         plan_critical: bool, plan_atomic: bool,
+                         plan_single: bool) -> None:
+        """Partition comp and the shared scalars into protection classes.
+
+        Every scalar lands in at most one class: critical-only,
+        atomic-only, or single-only (the classes pairwise race against
+        each other, so mixing protections on one variable is never safe).
+
+        RNG discipline: with the diversity families disabled (the "paper"
+        mix) this draws exactly the seed generator's sequence, so paper-mix
+        streams are byte-identical to the original reproduction's.
+        """
+        ctx, rng = self.ctx, self.rng
+        comp = ctx.comp
+        assert comp is not None
+
+        def shared_pool() -> list[Variable]:
+            return [v for v in ctx.fp_scalar_params
+                    if region.sharing_of(v) is Sharing.SHARED
+                    and id(v) not in region.critical_scalars
+                    and id(v) not in region.atomic_scalars
+                    and id(v) not in region.single_scalars]
+
+        if plan_critical:
+            if region.reduction is None:
+                region.critical_scalars.add(id(comp))
+            # occasionally a plain shared scalar becomes critical-only too
+            pool = shared_pool()
+            if pool and rng.coin(0.4):
+                region.critical_scalars.add(id(rng.choice(pool)))
+        if plan_atomic:
+            if region.reduction is None and not plan_critical:
+                region.atomic_scalars.add(id(comp))
+            pool = shared_pool()
+            if pool and rng.coin(0.5):
+                region.atomic_scalars.add(id(rng.choice(pool)))
+        if plan_single:
+            pool = shared_pool()
+            if pool:
+                region.single_scalars.add(id(rng.choice(pool)))
+
     def _init_expr_for_private(self, region: RegionState,
                                inited: list[Variable]) -> Expr:
         """An initializer legal *at region start*: only firstprivate vars,
@@ -81,7 +144,9 @@ class OmpGen:
         pool: list[Variable] = list(region.clauses.firstprivate)
         pool += [v for v in ctx.fp_scalar_params
                  if region.sharing_of(v) is Sharing.SHARED
-                 and id(v) not in region.critical_scalars]
+                 and id(v) not in region.critical_scalars
+                 and id(v) not in region.atomic_scalars
+                 and id(v) not in region.single_scalars]
         pool += inited
         if pool and rng.coin(0.5):
             return VarRef(rng.choice(pool))
@@ -89,8 +154,9 @@ class OmpGen:
 
     # ------------------------------------------------------------------
     def parallel_region(self) -> OmpParallel | None:
-        """Generate one ``<openmp-block>``, or None if no loop fits the
-        remaining iteration budget (the grammar requires a trailing loop)."""
+        """Generate one ``<openmp-block>`` (plain or combined parallel
+        for), or None if no loop fits the remaining iteration budget (the
+        grammar requires a trailing loop)."""
         ctx, cfg, rng = self.ctx, self.cfg, self.rng
         assert ctx.region is None, "nested parallel regions are not generated"
         if ctx.loop_bound_headroom() < cfg.loop_trip_min:
@@ -100,83 +166,130 @@ class OmpGen:
         if ctx.depth + 2 > cfg.max_nesting_levels:
             return None
 
-        reduction = (rng.choice(list(ReductionOp))
-                     if rng.coin(cfg.reduction_probability) else None)
+        combined = (cfg.enable_parallel_for
+                    and rng.coin(cfg.parallel_for_probability))
+        reduction = self._choose_reduction()
         clauses = OmpClauses(num_threads=cfg.num_threads, reduction=reduction)
         region = RegionState(clauses=clauses, reduction=reduction)
-        self._assign_sharing(region)
+        self._assign_sharing(region, combined=combined)
 
         plan_critical = rng.coin(cfg.critical_probability)
-        comp = ctx.comp
-        assert comp is not None
-        if plan_critical:
-            if reduction is None:
-                region.critical_scalars.add(id(comp))
-            # occasionally a plain shared scalar becomes critical-only too
-            shared_scalars = [v for v in ctx.fp_scalar_params
-                              if region.sharing_of(v) is Sharing.SHARED]
-            if shared_scalars and rng.coin(0.4):
-                region.critical_scalars.add(id(rng.choice(shared_scalars)))
+        plan_atomic = cfg.enable_atomic and rng.coin(cfg.atomic_probability)
+        plan_single = (not combined and cfg.enable_single
+                       and rng.coin(cfg.single_probability))
+        self._plan_protection(region, plan_critical=plan_critical,
+                              plan_atomic=plan_atomic,
+                              plan_single=plan_single)
 
         # choose which shared arrays the region writes (at [thread_id] only)
         if ctx.array_params:
             for arr in ctx.array_params:
                 if rng.coin(0.5):
                     region.write_arrays.add(id(arr))
-        # keep the region observable: without a reduction, a critical comp
+        # keep the region observable: without a reduction, a protected comp
         # update, or a written array, the region could be dead code
-        if reduction is None and not plan_critical and ctx.array_params \
-                and not region.write_arrays:
+        if reduction is None and not plan_critical and not plan_atomic \
+                and ctx.array_params and not region.write_arrays:
             region.write_arrays.add(id(rng.choice(ctx.array_params)))
 
         ctx.region = region
         ctx.depth += 1  # the region block itself is one nesting level (Fig. 2)
+        ctx.uniform = True  # control flow is uniform until the team splits
         # every statement in the region body runs once per team member; the
         # per-thread chunking discount for omp-for loops is applied where
         # the loop bound is chosen (BlockGen.for_loop)
         ctx.iter_product *= cfg.num_threads
         ctx.push_scope()
         try:
-            lead: list[Stmt] = []
-            inited: list[Variable] = []
-            for v in clauses.private:
-                lead.append(Assignment(VarRef(v), AssignOpKind.ASSIGN,
-                                       self._init_expr_for_private(region, inited)))
-                inited.append(v)
-            # a few extra leading assignments, as the grammar's
-            # {<assignment>}+ allows (Listing 1 shows exactly this shape);
-            # bounded so the region body stays within the line limit plus
-            # the mandatory private initializations
-            extras = min(rng.randint(0, 2),
-                         max(0, cfg.max_lines_in_block - 1))
-            for _ in range(extras):
-                s = self.blocks.assignment()
-                if isinstance(s, (Assignment, DeclAssign)):
-                    lead.append(s)
-            if not lead:
-                # grammar requires at least one leading assignment; fall
-                # back to a thread-local temporary declaration (initializer
-                # generated before the temp enters scope)
-                init = self.exprs.expression()
-                lead.append(DeclAssign(ctx.fresh_tmp(), init))
-
-            omp_for = rng.coin(cfg.omp_for_probability)
-            loop = self.blocks.for_loop(omp_for=omp_for,
-                                        allow_critical=plan_critical)
-            if loop is None:
-                return None
-            if plan_critical and not self._has_critical(loop):
-                crit = self.blocks.critical()
-                if crit is not None:
-                    loop.body.stmts.append(crit)
-            return OmpParallel(clauses, Block([*lead, loop]))
+            if combined:
+                return self._combined_parallel_for(clauses, plan_critical,
+                                                   plan_atomic)
+            return self._classic_region(clauses, region, plan_critical,
+                                        plan_atomic)
         finally:
             ctx.pop_scope()
             ctx.depth -= 1
             ctx.iter_product //= cfg.num_threads
             ctx.region = None
             ctx.in_critical = False
+            ctx.in_single = False
+            ctx.uniform = False
+
+    # ------------------------------------------------------------------
+    def _classic_region(self, clauses: OmpClauses, region: RegionState,
+                        plan_critical: bool,
+                        plan_atomic: bool) -> OmpParallel | None:
+        ctx, cfg, rng = self.ctx, self.cfg, self.rng
+        lead: list[Stmt] = []
+        inited: list[Variable] = []
+        for v in clauses.private:
+            lead.append(Assignment(VarRef(v), AssignOpKind.ASSIGN,
+                                   self._init_expr_for_private(region, inited)))
+            inited.append(v)
+        # a few extra leading assignments, as the grammar's
+        # {<assignment>}+ allows (Listing 1 shows exactly this shape);
+        # bounded so the region body stays within the line limit plus
+        # the mandatory private initializations
+        extras = min(rng.randint(0, 2),
+                     max(0, cfg.max_lines_in_block - 1))
+        for _ in range(extras):
+            s = self.blocks.assignment()
+            if isinstance(s, (Assignment, DeclAssign)):
+                lead.append(s)
+        if not lead:
+            # grammar requires at least one leading assignment; fall
+            # back to a thread-local temporary declaration (initializer
+            # generated before the temp enters scope)
+            init = self.exprs.expression()
+            lead.append(DeclAssign(ctx.fresh_tmp(), init))
+        # singles and barriers are legal at these team-uniform positions
+        if region.single_scalars and rng.coin(0.6):
+            single = self.blocks.single()
+            if single is not None:
+                lead.append(single)
+        if cfg.enable_barrier and rng.coin(cfg.barrier_probability):
+            barrier = self.blocks.barrier()
+            if barrier is not None:
+                lead.append(barrier)
+
+        omp_for = rng.coin(cfg.omp_for_probability)
+        loop = self.blocks.for_loop(omp_for=omp_for,
+                                    allow_critical=plan_critical)
+        if loop is None:
+            return None
+        self._ensure_protected_updates(loop, plan_critical, plan_atomic)
+        return OmpParallel(clauses, Block([*lead, loop]))
+
+    def _combined_parallel_for(self, clauses: OmpClauses, plan_critical: bool,
+                               plan_atomic: bool) -> OmpParallel | None:
+        loop = self.blocks.for_loop(omp_for=True,
+                                    allow_critical=plan_critical)
+        if loop is None:
+            return None
+        self._ensure_protected_updates(loop, plan_critical, plan_atomic)
+        return OmpParallel(clauses, Block([loop]), combined_for=True)
+
+    def _ensure_protected_updates(self, loop: ForLoop, plan_critical: bool,
+                                  plan_atomic: bool) -> None:
+        """A planned critical/atomic comp channel must actually appear —
+        otherwise the region's only observable effect may be dead."""
+        # a collapse(2) outer body must stay perfectly nested: extend the
+        # inner loop's body instead
+        target = loop.body.stmts[0].body if loop.collapse == 2 else loop.body
+        assert isinstance(target, Block)
+        if plan_critical and not self._has_critical(loop):
+            crit = self.blocks.critical()
+            if crit is not None:
+                target.stmts.append(crit)
+        if plan_atomic and not self._has_atomic(loop):
+            atom = self.blocks.atomic()
+            if atom is not None:
+                target.stmts.append(atom)
 
     @staticmethod
     def _has_critical(loop: ForLoop) -> bool:
         return any(isinstance(n, OmpCritical) for n in walk(loop))
+
+    @staticmethod
+    def _has_atomic(loop: ForLoop) -> bool:
+        return any(isinstance(n, OmpAtomic) for n in walk(loop))

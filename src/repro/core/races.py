@@ -13,17 +13,25 @@ enforces this); programs generated with the limitation-reproducing
 ``allow_data_races=True`` flag are filtered by the campaign harness using
 this checker, exactly where the paper filtered manually.
 
-The rules, per parallel region:
+The rules, per parallel region (plain or combined ``parallel for``):
 
 * private / firstprivate scalars and region-local temporaries are safe;
-* ``comp`` under a ``reduction`` clause is safe (each thread updates its
-  private copy);
+* ``comp`` under a ``reduction`` clause (``+ * min max``) is safe (each
+  thread updates its private copy);
 * a shared scalar (including non-reduction ``comp``) that is **written**
-  anywhere in the region must have *every* access (read or write) inside a
-  critical section;
+  anywhere in the region must have *every* access protected the **same
+  way**: all inside critical sections, or all via ``#pragma omp atomic``
+  updates, or all inside ``single`` blocks.  Mixing protections is a
+  race — a critical section does not exclude an atomic RMW, and neither
+  excludes a ``single`` executor;
 * a shared array that is written must be accessed **only** at
   ``omp_get_thread_num()`` — a critical section does *not* widen array
-  access, because unprotected sibling writes still race with it.
+  access, because unprotected sibling writes still race with it —
+  and never from inside a ``single`` (the executing thread is
+  unspecified, and sibling threads may still be before the single);
+* explicit ``barrier``\\ s are *not* credited with ordering accesses:
+  the oracle stays conservative and classifies against the
+  whole-region access set.
 """
 
 from __future__ import annotations
@@ -39,8 +47,11 @@ from .nodes import (
     Expr,
     ForLoop,
     IfBlock,
+    OmpAtomic,
+    OmpBarrier,
     OmpCritical,
     OmpParallel,
+    OmpSingle,
     Program,
     ThreadIdx,
     VarRef,
@@ -58,6 +69,8 @@ class Access:
     in_critical: bool
     tid_index: bool  # for arrays: was the index omp_get_thread_num()?
     is_array: bool
+    atomic: bool = False      # part of a `#pragma omp atomic` update
+    in_single: bool = False   # inside a `single` block
 
 
 @dataclass(frozen=True)
@@ -86,52 +99,68 @@ def _collect_accesses(region: OmpParallel) -> tuple[list[Access], set[int]]:
     accesses: list[Access] = []
     local_vars: set[int] = set()
 
-    def expr_reads(e: Expr | BoolExpr, in_critical: bool) -> None:
+    def expr_reads(e: Expr | BoolExpr, in_critical: bool,
+                   in_single: bool) -> None:
         for n in walk(e):  # walk yields the node itself plus descendants
             if isinstance(n, VarRef):
-                accesses.append(Access(n.var, False, in_critical, False, False))
+                accesses.append(Access(n.var, False, in_critical, False,
+                                       False, in_single=in_single))
             elif isinstance(n, ArrayRef):
                 tid = isinstance(n.index, ThreadIdx)
-                accesses.append(Access(n.var, False, in_critical, tid, True))
+                accesses.append(Access(n.var, False, in_critical, tid, True,
+                                       in_single=in_single))
                 if isinstance(n.index, VarRef):
                     accesses.append(Access(n.index.var, False, in_critical,
-                                           False, False))
+                                           False, False, in_single=in_single))
 
-    def visit(b: Block, in_critical: bool) -> None:
+    def record_assignment(s: Assignment, in_critical: bool, in_single: bool,
+                          atomic: bool = False) -> None:
+        expr_reads(s.expr, in_critical, in_single)
+        if isinstance(s.target, VarRef):
+            accesses.append(Access(s.target.var, True, in_critical, False,
+                                   False, atomic=atomic, in_single=in_single))
+            if s.op.binop is not None:  # compound ops also read
+                accesses.append(Access(s.target.var, False, in_critical,
+                                       False, False, atomic=atomic,
+                                       in_single=in_single))
+        else:
+            tid = isinstance(s.target.index, ThreadIdx)
+            accesses.append(Access(s.target.var, True, in_critical, tid,
+                                   True, atomic=atomic, in_single=in_single))
+            if s.op.binop is not None:
+                accesses.append(Access(s.target.var, False, in_critical, tid,
+                                       True, atomic=atomic,
+                                       in_single=in_single))
+
+    def visit(b: Block, in_critical: bool, in_single: bool) -> None:
         for s in b.stmts:
             if isinstance(s, Assignment):
-                expr_reads(s.expr, in_critical)
-                if isinstance(s.target, VarRef):
-                    accesses.append(Access(s.target.var, True, in_critical,
-                                           False, False))
-                    if s.op.binop is not None:  # compound ops also read
-                        accesses.append(Access(s.target.var, False,
-                                               in_critical, False, False))
-                else:
-                    tid = isinstance(s.target.index, ThreadIdx)
-                    accesses.append(Access(s.target.var, True, in_critical,
-                                           tid, True))
-                    if s.op.binop is not None:
-                        accesses.append(Access(s.target.var, False,
-                                               in_critical, tid, True))
+                record_assignment(s, in_critical, in_single)
             elif isinstance(s, DeclAssign):
                 local_vars.add(id(s.var))
-                expr_reads(s.expr, in_critical)
+                expr_reads(s.expr, in_critical, in_single)
+            elif isinstance(s, OmpAtomic):
+                record_assignment(s.update, in_critical, in_single,
+                                  atomic=True)
             elif isinstance(s, IfBlock):
-                expr_reads(s.cond, in_critical)
-                visit(s.body, in_critical)
+                expr_reads(s.cond, in_critical, in_single)
+                visit(s.body, in_critical, in_single)
             elif isinstance(s, ForLoop):
                 local_vars.add(id(s.loop_var))
                 if isinstance(s.bound, VarRef):
                     accesses.append(Access(s.bound.var, False, in_critical,
-                                           False, False))
-                visit(s.body, in_critical)
+                                           False, False, in_single=in_single))
+                visit(s.body, in_critical, in_single)
             elif isinstance(s, OmpCritical):
-                visit(s.body, True)
+                visit(s.body, True, in_single)
+            elif isinstance(s, OmpSingle):
+                visit(s.body, in_critical, True)
+            elif isinstance(s, OmpBarrier):
+                pass  # no data access; ordering is not credited
             else:  # pragma: no cover - grammar forbids nested parallel
                 raise TypeError(f"unexpected node {type(s).__name__}")
 
-    visit(region.body, False)
+    visit(region.body, False, False)
     return accesses, local_vars
 
 
@@ -143,10 +172,8 @@ def check_region(region: OmpParallel, region_index: int) -> list[RaceReport]:
     accesses, local_vars = _collect_accesses(region)
 
     by_var: dict[int, list[Access]] = {}
-    names: dict[int, str] = {}
     for a in accesses:
         by_var.setdefault(id(a.var), []).append(a)
-        names[id(a.var)] = a.var.name
 
     for vid, accs in by_var.items():
         var = accs[0].var
@@ -166,14 +193,32 @@ def check_region(region: OmpParallel, region_index: int) -> list[RaceReport]:
                     region_index, var.name,
                     "shared array is written in the region but accessed at "
                     "an index other than omp_get_thread_num()"))
+            elif any(a.in_single for a in accs):
+                reports.append(RaceReport(
+                    region_index, var.name,
+                    "shared array accessed from inside a single block "
+                    "(unspecified executing thread)"))
             continue
-        unprotected = [a for a in accs if not a.in_critical]
+        # a written shared scalar needs one uniform protection class
+        if all(a.in_critical for a in accs):
+            continue
+        if all(a.atomic for a in accs):
+            continue
+        if all(a.in_single for a in accs):
+            continue
+        unprotected = [a for a in accs
+                       if not (a.in_critical or a.atomic or a.in_single)]
         if unprotected:
             kind = "written" if any(a.is_write for a in unprotected) else "read"
             reports.append(RaceReport(
                 region_index, var.name,
-                f"shared scalar is written in the region but {kind} outside "
-                f"a critical section"))
+                f"shared scalar is written in the region but {kind} without "
+                f"protection (outside critical/atomic/single)"))
+        else:
+            reports.append(RaceReport(
+                region_index, var.name,
+                "shared scalar is protected inconsistently (critical, "
+                "atomic, and single do not exclude one another)"))
     return reports
 
 

@@ -80,10 +80,52 @@ class BoolOpKind(enum.Enum):
 
 
 class ReductionOp(enum.Enum):
-    """``<reduction-op>`` supports {+, *} (Section III-F)."""
+    """``<reduction-op>``: the paper's {+, *} (Section III-F) plus the
+    OpenMP 3.1 ``min``/``max`` operators (directive-diversity expansion)."""
 
     SUM = "+"
     PROD = "*"
+    MIN = "min"
+    MAX = "max"
+
+    @property
+    def is_minmax(self) -> bool:
+        return self in (ReductionOp.MIN, ReductionOp.MAX)
+
+    def identity(self, fp_type: "FPType") -> float:
+        """The OpenMP-specified initializer of the private reduction copy.
+
+        ``min``/``max`` initialize to the largest/smallest representable
+        value of the variable's type (OpenMP 5.x Table 5.10) — *not*
+        infinity — so the simulator matches what libgomp/libomp binaries
+        actually compute.
+        """
+        if self is ReductionOp.SUM:
+            return 0.0
+        if self is ReductionOp.PROD:
+            return 1.0
+        largest = 3.4028234663852886e38 if fp_type is FPType.FLOAT \
+            else 1.7976931348623157e308
+        return largest if self is ReductionOp.MIN else -largest
+
+
+class ScheduleKind(enum.Enum):
+    """``schedule(...)`` clause kinds supported on worksharing loops."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+    @property
+    def deterministic_native(self) -> bool:
+        """Does a real runtime assign iterations deterministically?
+
+        ``static`` (with or without a chunk size) has a specified
+        iteration-to-thread mapping; ``dynamic``/``guided`` hand out
+        chunks first-come-first-served, so the mapping — and with it any
+        tid-indexed store or FP accumulation order — varies run to run.
+        """
+        return self is ScheduleKind.STATIC
 
 
 class Sharing(enum.Enum):

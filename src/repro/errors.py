@@ -22,7 +22,17 @@ class GenerationError(ReproError):
 
 
 class GrammarError(ReproError):
-    """An AST does not conform to the paper's grammar (Listing 2)."""
+    """An AST does not conform to the generation grammar.
+
+    ``path`` locates the offending node as a dotted attribute path from
+    the program root (e.g. ``program.body.stmts[2].body.stmts[0]``);
+    ``reason`` is the bare failure message without the location suffix.
+    """
+
+    def __init__(self, reason: str, path: str | None = None):
+        self.reason = reason
+        self.path = path
+        super().__init__(f"{reason} (at {path})" if path else reason)
 
 
 class CompilationError(ReproError):

@@ -31,6 +31,8 @@ class PerfCounters:
     branch_misses: int = 0
     # extra visibility into the lock model (not in perf, used by analyses)
     critical_acquires: int = 0
+    # atomic RMW updates executed (`#pragma omp atomic`)
+    atomic_updates: int = 0
 
     PERF_FIELDS = ("context_switches", "cpu_migrations", "page_faults",
                    "cycles", "instructions", "branches", "branch_misses")

@@ -35,8 +35,11 @@ from ..core.nodes import (
     IfBlock,
     IntNumeral,
     MathCall,
+    OmpAtomic,
+    OmpBarrier,
     OmpCritical,
     OmpParallel,
+    OmpSingle,
     Paren,
     ThreadIdx,
     UnaryOp,
@@ -138,11 +141,22 @@ def lower_stmt(s, fma_mode: str):
         return IfBlock(cond, lower_block(s.body, fma_mode))
     if isinstance(s, ForLoop):
         return ForLoop(s.loop_var, s.bound, lower_block(s.body, fma_mode),
-                       omp_for=s.omp_for)
+                       omp_for=s.omp_for, schedule=s.schedule,
+                       schedule_chunk=s.schedule_chunk, collapse=s.collapse)
     if isinstance(s, OmpCritical):
         return OmpCritical(lower_block(s.body, fma_mode))
+    if isinstance(s, OmpAtomic):
+        # the RMW applies the compound op itself; only the expression side
+        # is eligible for contraction
+        return OmpAtomic(Assignment(s.update.target, s.update.op,
+                                    lower_expr(s.update.expr, fma_mode)))
+    if isinstance(s, OmpSingle):
+        return OmpSingle(lower_block(s.body, fma_mode))
+    if isinstance(s, OmpBarrier):
+        return OmpBarrier()
     if isinstance(s, OmpParallel):
-        return OmpParallel(s.clauses, lower_block(s.body, fma_mode))
+        return OmpParallel(s.clauses, lower_block(s.body, fma_mode),
+                           combined_for=s.combined_for)
     raise TypeError(f"cannot lower statement {type(s).__name__}")
 
 

@@ -41,8 +41,11 @@ from ..core.nodes import (
     IntNumeral,
     MathCall,
     ModIdx,
+    OmpAtomic,
+    OmpBarrier,
     OmpCritical,
     OmpParallel,
+    OmpSingle,
     Paren,
     Program,
     ThreadIdx,
@@ -85,6 +88,13 @@ class RegionMeta:
     has_critical: bool = False
     reduction_op: str | None = None
     n_threads: int = 32
+    combined_for: bool = False
+    has_atomic: bool = False
+    has_single: bool = False
+    has_barrier: bool = False
+    has_collapse: bool = False
+    #: explicit schedule kinds appearing on the region's worksharing loops
+    schedules: tuple[str, ...] = ()
 
 
 @dataclass
@@ -354,6 +364,31 @@ class Lowerer:
             self._in_crit = was
             self.w.line("_rt.crit_exit()")
             return
+        if isinstance(s, OmpAtomic):
+            assert tid_var is not None, "atomic outside a parallel region"
+            # the update itself costs like the plain statement; the RMW
+            # premium and the counter bump live in the runtime hook
+            self._charge(*self._stmt_cost(s.update))
+            self.w.line("_rt.atomic_update()")
+            self._emit_assignment(s.update)
+            return
+        if isinstance(s, OmpSingle):
+            assert tid_var is not None, "single outside a parallel region"
+            # the simulator serializes threads, so "the first thread to
+            # arrive" is deterministically thread 0; the body's effects
+            # are restricted to team-uniform values, making any choice of
+            # executor equivalent (and the native run deterministic)
+            bc, bi = self.vendor.ops.branch
+            self._charge(bc, bi, 1.0)
+            self.w.open(f"if {tid_var} == 0:")
+            self.block(s.body, tid_var=tid_var)
+            self.w.close()
+            self.w.line(f"_rt.single_done({tid_var})")
+            return
+        if isinstance(s, OmpBarrier):
+            assert tid_var is not None, "barrier outside a parallel region"
+            self.w.line(f"_rt.barrier({tid_var})")
+            return
         if isinstance(s, OmpParallel):
             self._emit_region(s)
             return
@@ -364,15 +399,31 @@ class Lowerer:
             return str(bound.value)
         return f"max(0, {bound.var.name})"
 
+    def _iter_source(self, s: ForLoop, tid_var: str, n_text: str,
+                     lv: str) -> str:
+        """Python iterable expression assigning ``n_text`` iterations of a
+        worksharing loop to ``tid_var`` under the loop's schedule clause."""
+        if s.schedule is None or (s.schedule.value == "static"
+                                  and not s.schedule_chunk):
+            # the default schedule: static contiguous blocks — keep the
+            # cheap two-endpoint form on this hot path
+            self.w.line(f"_lo_{lv}, _hi_{lv} = _rt.chunk({tid_var}, {n_text})")
+            return f"range(_lo_{lv}, _hi_{lv})"
+        return (f"_rt.assign({tid_var}, {n_text}, "
+                f"{s.schedule.value!r}, {s.schedule_chunk})")
+
     def _emit_for(self, s: ForLoop, *, tid_var: str | None) -> None:
         ops = self.vendor.ops
         lv = s.loop_var.name
         iter_cost = (ops.loop_iter[0], ops.loop_iter[1], 1.0)
+        if s.omp_for and s.collapse == 2:
+            self._emit_collapsed_for(s, tid_var=tid_var)
+            return
         if s.omp_for:
             assert tid_var is not None, "omp for outside region"
             n = self._bound_text(s.bound)
-            self.w.line(f"_lo_{lv}, _hi_{lv} = _rt.chunk({tid_var}, {n})")
-            self.w.open(f"for {lv} in range(_lo_{lv}, _hi_{lv}):")
+            src = self._iter_source(s, tid_var, n, lv)
+            self.w.open(f"for {lv} in {src}:")
         else:
             self.w.open(f"for {lv} in range({self._bound_text(s.bound)}):")
         self.block(s.body, extra=iter_cost, tid_var=tid_var)
@@ -380,18 +431,54 @@ class Lowerer:
         if s.omp_for:
             self.w.line(f"_rt.omp_for_done({tid_var})")
 
+    def _emit_collapsed_for(self, s: ForLoop, *, tid_var: str | None) -> None:
+        """``collapse(2)``: iterate the flattened n1*n2 space and derive
+        both induction variables — exactly how a conforming runtime
+        schedules a collapsed nest (row-major logical iteration space)."""
+        assert tid_var is not None, "omp for outside region"
+        ops = self.vendor.ops
+        inner = s.body.stmts[0]
+        assert isinstance(inner, ForLoop) and not inner.omp_for
+        lv, ilv = s.loop_var.name, inner.loop_var.name
+        n1 = self._bound_text(s.bound)
+        n2 = self._bound_text(inner.bound)
+        self.w.line(f"_n2_{lv} = {n2}")
+        self.w.line(f"_n_{lv} = ({n1}) * _n2_{lv}")
+        src = self._iter_source(s, tid_var, f"_n_{lv}", lv)
+        self.w.open(f"for _k_{lv} in {src}:")
+        # two loop heads' worth of bookkeeping per flattened iteration
+        iter_cost = (ops.loop_iter[0] * 2, ops.loop_iter[1] * 2, 2.0)
+        self.w.line(f"{lv} = _k_{lv} // _n2_{lv}")
+        self.w.line(f"{ilv} = _k_{lv} % _n2_{lv}")
+        self.block(inner.body, extra=iter_cost, tid_var=tid_var)
+        self.w.close()
+        self.w.line(f"_rt.omp_for_done({tid_var})")
+
     # ==================================================================
     # parallel regions
     # ==================================================================
     def _region_meta(self, s: OmpParallel) -> RegionMeta:
         from ..core.nodes import walk
 
-        meta = RegionMeta(n_threads=s.clauses.num_threads)
+        meta = RegionMeta(n_threads=s.clauses.num_threads,
+                          combined_for=s.combined_for)
+        schedules: list[str] = []
         for n in walk(s):
             if isinstance(n, ForLoop) and n.omp_for:
                 meta.has_omp_for = True
+                if n.schedule is not None:
+                    schedules.append(n.schedule.value)
+                if n.collapse > 1:
+                    meta.has_collapse = True
             elif isinstance(n, OmpCritical):
                 meta.has_critical = True
+            elif isinstance(n, OmpAtomic):
+                meta.has_atomic = True
+            elif isinstance(n, OmpSingle):
+                meta.has_single = True
+            elif isinstance(n, OmpBarrier):
+                meta.has_barrier = True
+        meta.schedules = tuple(schedules)
         if s.clauses.reduction is not None:
             meta.reduction_op = s.clauses.reduction.value
         return meta
@@ -415,8 +502,9 @@ class Lowerer:
         for v in fprivs:
             w.line(f"{v.name} = _save_{v.name}")
         if reduction is not None:
-            ident = "0.0" if reduction.value == "+" else "1.0"
-            w.line(f"_rcomp = {ident}")
+            # the OpenMP-specified initializer: 0 / 1 / largest / smallest
+            # representable value of the program's fp type
+            w.line(f"_rcomp = {reduction.identity(self.program.fp_type)!r}")
             self._subst[self.program.comp.name] = "_rcomp"
         try:
             self.block(s.body, tid_var="_tid")

@@ -44,6 +44,9 @@ class _RegionAccounting:
     spawn_cycles: float = 0.0
     sched_cycles: float = 0.0
     omp_for_rounds: int = 0
+    single_rounds: int = 0
+    barrier_rounds: int = 0
+    atomics: int = 0
     acquires: int = 0
     compute: list[float] = field(default_factory=list)
     critical: list[float] = field(default_factory=list)
@@ -147,23 +150,102 @@ class RegionExecutor:
         acc.compute.append(self.c.cy - acc._t_cy)
         acc.critical.append(self.c.ccy - acc._t_ccy)
 
-    def chunk(self, tid: int, n: int) -> tuple[int, int]:
-        """Static contiguous chunking of an ``omp for`` (the paper uses no
-        schedule clause; static is every implementation's default)."""
-        acc = self._require_region()
-        acc.sched_cycles += self.vendor.runtime.omp_for_sched_cycles
-        meta = self.regions[acc.rid]
-        t = meta.n_threads
-        n = max(0, int(n))
+    @staticmethod
+    def _static_span(tid: int, n: int, t: int) -> tuple[int, int]:
+        """The default-schedule contiguous block of thread ``tid`` —
+        the same split every major runtime uses (first ``n % t`` threads
+        take one extra iteration)."""
         base, rem = divmod(n, t)
         lo = tid * base + min(tid, rem)
         hi = lo + base + (1 if tid < rem else 0)
         return lo, hi
 
+    def chunk(self, tid: int, n: int) -> tuple[int, int]:
+        """Static contiguous chunking of an ``omp for`` with no explicit
+        schedule clause (static is every implementation's default)."""
+        acc = self._require_region()
+        acc.sched_cycles += self.vendor.runtime.omp_for_sched_cycles
+        meta = self.regions[acc.rid]
+        n = max(0, int(n))
+        return self._static_span(tid, n, meta.n_threads)
+
+    def assign(self, tid: int, n: int, kind: str, chunk: int):
+        """Iterations of an explicitly scheduled ``omp for`` executed by
+        thread ``tid``.
+
+        ``schedule(static, c)`` follows the specified round-robin chunk
+        mapping exactly, so the simulation matches a real runtime
+        bit-for-bit.  ``dynamic``/``guided`` hand chunks out
+        first-come-first-served in reality; the simulator models them
+        with a deterministic round-robin over the same chunk sequence —
+        every simulated vendor uses the identical model, so verdicts
+        stay reproducible while the *costs* (per-chunk dispatch on a
+        contended counter) remain schedule-specific.
+        """
+        acc = self._require_region()
+        rt = self.vendor.runtime
+        meta = self.regions[acc.rid]
+        t = meta.n_threads
+        n = max(0, int(n))
+        if kind == "static":
+            acc.sched_cycles += rt.omp_for_sched_cycles
+            if chunk <= 0:
+                lo, hi = self._static_span(tid, n, t)
+                return range(lo, hi)
+            out: list[int] = []
+            for start in range(tid * chunk, n, chunk * t):
+                out.extend(range(start, min(start + chunk, n)))
+            return out
+        if kind == "dynamic":
+            c = chunk if chunk > 0 else 1
+            sizes = [min(c, n - s) for s in range(0, n, c)]
+        elif kind == "guided":
+            c_min = chunk if chunk > 0 else 1
+            sizes = []
+            remaining = n
+            while remaining > 0:
+                size = min(remaining, max(c_min, -(-remaining // (2 * t))))
+                sizes.append(size)
+                remaining -= size
+        else:
+            raise ValueError(f"unknown schedule kind {kind!r}")
+        out = []
+        start = 0
+        for i, size in enumerate(sizes):
+            if i % t == tid:
+                out.extend(range(start, start + size))
+                acc.sched_cycles += rt.omp_for_dispatch_cycles
+            start += size
+        return out
+
     def omp_for_done(self, tid: int) -> None:
         """Implicit barrier bookkeeping at the end of an ``omp for``."""
         acc = self._require_region()
         acc.omp_for_rounds += 1
+
+    # ------------------------------------------------------------------
+    # atomics / single / explicit barriers
+    # ------------------------------------------------------------------
+    def atomic_update(self) -> None:
+        """One ``#pragma omp atomic`` RMW: charge the uncontended cost on
+        the executing thread's lane; contention is folded in at region
+        exit where the team size is known."""
+        acc = self._require_region()
+        acc.atomics += 1
+        self.counters.atomic_updates += 1
+        self.c.cy += self.vendor.runtime.atomic_rmw_cycles
+
+    def single_done(self, tid: int) -> None:
+        """Implicit barrier bookkeeping at the end of a ``single``; every
+        thread calls this once per encounter."""
+        acc = self._require_region()
+        acc.single_rounds += 1
+        self.c.cy += self.vendor.runtime.single_arrival_cycles
+
+    def barrier(self, tid: int) -> None:
+        """Explicit ``#pragma omp barrier``; called once per thread."""
+        acc = self._require_region()
+        acc.barrier_rounds += 1
 
     # ------------------------------------------------------------------
     # critical sections
@@ -214,7 +296,14 @@ class RegionExecutor:
 
         lock_cost = acc.acquires * (rt.lock_base_cycles
                                     + (t - 1) * rt.lock_contention_cycles)
-        barrier_events = 1 + acc.omp_for_rounds // max(1, t)
+        # cache-line ping-pong of contended atomic RMWs, serialized like
+        # lock traffic (each update invalidates every other core's copy)
+        atomic_cost = acc.atomics * (t - 1) * rt.atomic_contention_cycles
+        # implicit barriers: region end, each omp-for end, each single end,
+        # plus the explicit `#pragma omp barrier` rounds
+        sync_rounds = (acc.omp_for_rounds + acc.single_rounds
+                       + acc.barrier_rounds)
+        barrier_events = 1 + sync_rounds // max(1, t)
         barrier_cost = barrier_events * rt.barrier_cycles_per_thread * t
 
         # reduction combine — the combine *order* is implementation-defined
@@ -232,14 +321,15 @@ class RegionExecutor:
         #  - barrier/imbalance waiting: within the runtime's blocktime the
         #    threads pure-spin -> instructions only
         imbalance = sum(compute_max - x for x in acc.compute)
-        lock_wait = (t - 1) * crit_total + lock_cost
+        lock_wait = (t - 1) * crit_total + lock_cost + atomic_cost
         barrier_wait = imbalance + barrier_cost
         self._apply_wait_side_effects(lock_wait, reschedules=True)
         self._apply_wait_side_effects(barrier_wait, reschedules=False)
         wait = lock_wait + barrier_wait
 
         elapsed = (acc.spawn_cycles + acc.sched_cycles + compute_max
-                   + crit_total + lock_cost + barrier_cost + combine_cost)
+                   + crit_total + lock_cost + atomic_cost + barrier_cost
+                   + combine_cost)
         if self.slow_armed:
             # the pathological path also inflates the runtime-side costs
             # (per-thread compute is already scaled at lowering time)
@@ -270,10 +360,18 @@ class RegionExecutor:
 
     def _combine_reduction(self, comp: float, partials: list[float],
                            op: str, *, tree: bool) -> float:
-        apply = ((lambda a, b: self.wrap(a + b)) if op == "+"
-                 else (lambda a, b: self.wrap(a * b)))
         if not partials:
             return comp
+        if op in ("min", "max"):
+            # min/max select one of their operands: no rounding, and the
+            # combine order cannot change the value (unlike +/*), so the
+            # linear and tree strategies coincide
+            pick = min if op == "min" else max
+            for p in partials:
+                comp = pick(comp, p)
+            return comp
+        apply = ((lambda a, b: self.wrap(a + b)) if op == "+"
+                 else (lambda a, b: self.wrap(a * b)))
         if not tree:
             for p in partials:  # linear, thread order (libgomp)
                 comp = apply(comp, p)

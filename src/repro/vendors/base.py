@@ -77,6 +77,20 @@ class RuntimeParams:
 
     # --- worksharing ---
     omp_for_sched_cycles: float = 400.0
+    #: extra cycles per chunk grab under dynamic/guided schedules (the
+    #: shared iteration counter is a contended atomic in every runtime)
+    omp_for_dispatch_cycles: float = 90.0
+
+    # --- atomics ---
+    #: one hardware RMW (lock-prefixed op / LL-SC loop), uncontended
+    atomic_rmw_cycles: float = 55.0
+    #: extra cycles per waiting thread per atomic update (cache-line
+    #: ping-pong on the updated location)
+    atomic_contention_cycles: float = 9.0
+
+    # --- single ---
+    #: cycles to win/lose the single's "first arrival" election
+    single_arrival_cycles: float = 120.0
 
     # --- critical sections ---
     #: uncontended lock acquire+release

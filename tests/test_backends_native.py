@@ -54,8 +54,11 @@ class TestSimulatedNativeAgreement:
     def _agreement_candidates(self, count=3):
         """Programs whose printed value is schedule-independent: no
         reductions (combine order varies at runtime in libgomp), no
-        criticals (interleaving-dependent rounding), no math calls (libm
-        vs Python ulp differences), double precision."""
+        criticals or atomics (interleaving-dependent rounding), no
+        dynamic/guided schedules (nondeterministic iteration-to-thread
+        mapping), no math calls (libm vs Python ulp differences), double
+        precision.  static schedules, collapse, singles, and barriers are
+        all deterministic and stay eligible."""
         gen = ProgramGenerator(_CFG, seed=31337)
         out = []
         i = 0
@@ -64,6 +67,7 @@ class TestSimulatedNativeAgreement:
             i += 1
             f = extract_features(p)
             if (f.n_reductions == 0 and f.n_critical == 0
+                    and f.n_atomic == 0 and f.n_nondet_schedules == 0
                     and f.n_math_calls == 0 and f.uses_double):
                 out.append(p)
         assert out, "no agreement candidates found"

@@ -139,7 +139,10 @@ class TestTranslationUnit:
                     assert f"free({param.name});" in src
 
     def test_pragmas_match_grammar_shape(self, program_stream):
-        pat = re.compile(r"#pragma omp parallel default\(shared\)")
+        # every parallel directive is either the plain region head or the
+        # combined parallel-for head, always with default(shared)
+        pat = re.compile(
+            r"#pragma omp parallel (?:for )?default\(shared\)")
         for p in program_stream:
             src = emit_translation_unit(p)
             n_parallel = src.count("#pragma omp parallel")

@@ -137,3 +137,49 @@ class TestSerialization:
         text = campaign_to_json(CampaignConfig())
         assert '"max_expression_size": 5' in text
         assert '"alpha": 0.2' in text
+
+
+class TestDirectiveMixes:
+    def test_every_preset_resolves(self):
+        import json
+
+        from repro.config import (
+            DIRECTIVE_MIXES,
+            CampaignConfig,
+            apply_directive_mix,
+            campaign_from_dict,
+            campaign_to_json,
+        )
+        for name in DIRECTIVE_MIXES:
+            cfg = CampaignConfig(directive_mix=name)
+            for flag, value in DIRECTIVE_MIXES[name].items():
+                assert getattr(cfg.generator, flag) is value, (name, flag)
+            # serialization round-trips the resolved generator + mix name
+            again = campaign_from_dict(json.loads(campaign_to_json(cfg)))
+            assert again == cfg
+            # applying a mix is idempotent
+            assert apply_directive_mix(cfg.generator, name) == cfg.generator
+
+    def test_unknown_mix_rejected(self):
+        import pytest
+
+        from repro.config import CampaignConfig
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError, match="unknown directive mix"):
+            CampaignConfig(directive_mix="bogus")
+
+    def test_paper_mix_generates_only_listing2_constructs(self):
+        from repro.config import GeneratorConfig, apply_directive_mix
+        from repro.core.features import extract_features
+        from repro.core.generator import ProgramGenerator
+
+        cfg = apply_directive_mix(
+            GeneratorConfig(max_total_iterations=4_000, loop_trip_max=60,
+                            num_threads=8), "paper")
+        gen = ProgramGenerator(cfg, seed=4242)
+        for i in range(25):
+            f = extract_features(gen.generate(i))
+            assert f.n_parallel_for == 0
+            assert f.n_atomic == f.n_single == f.n_barrier == 0
+            assert f.n_collapse == f.n_scheduled == 0
+            assert f.n_minmax_reductions == 0

@@ -24,6 +24,7 @@ from repro.core.nodes import (
     MathCall,
     OmpCritical,
     OmpParallel,
+    OmpSingle,
     Program,
     walk,
 )
@@ -122,12 +123,18 @@ def test_lines_in_block_limit(cfg, seed):
         for s in block.stmts:
             if isinstance(s, OmpParallel):
                 # region bodies add one init per private variable, up to
-                # two extra leads, and the mandatory trailing loop
-                extra = len(s.clauses.private) + 3
+                # two extra leads, an optional single and barrier, and
+                # the mandatory trailing loop
+                extra = len(s.clauses.private) + 5
                 check(s.body, extra)
             elif isinstance(s, ForLoop):
-                # a planned-critical region may inject one critical block
-                check(s.body, 1)
+                # a planned-critical/planned-atomic region may inject one
+                # critical block and one atomic update into the loop
+                check(s.body, 2)
+            elif isinstance(s, OmpSingle):
+                # single bodies hold one or two assignments regardless of
+                # the block line limit
+                check(s.body, 2)
             elif isinstance(s, (IfBlock, OmpCritical)):
                 check(s.body, 0)
 

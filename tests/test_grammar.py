@@ -164,3 +164,171 @@ class TestConformanceRejects:
     def test_conforms_wrapper(self):
         p = _mk_program(Block([]))
         assert conforms(p) is False
+
+
+class TestErrorPaths:
+    """Satellite regression: GrammarError carries the full node path."""
+
+    def test_path_points_into_nested_block(self):
+        lv = Variable("i_1", None, VarKind.LOOP)
+        good = _assign(_mk_var("var_1"))
+        bad = ForLoop(lv, IntNumeral(-3),
+                      Block([_assign(_mk_var("var_1"))]))
+        body = Block([good, IfBlock(
+            BoolExpr(VarRef(_mk_var("var_1")), BoolOpKind.LT, FPNumeral(1.0)),
+            Block([bad]))])
+        with pytest.raises(GrammarError) as exc:
+            check_conformance(_mk_program(body))
+        err = exc.value
+        assert err.path == "program.body.stmts[1].body.stmts[0]"
+        assert err.reason == "loop bound must be non-negative"
+        assert "(at program.body.stmts[1].body.stmts[0])" in str(err)
+
+    def test_path_reaches_expression_positions(self):
+        tmp = Variable("tmp_1", FPType.DOUBLE, VarKind.TEMP)
+        from repro.core.nodes import BinOp
+        from repro.core.types import BinOpKind
+        bad_expr = BinOp(BinOpKind.ADD, FPNumeral(1.0), object())
+        body = Block([DeclAssign(tmp, bad_expr)])
+        with pytest.raises(GrammarError) as exc:
+            check_conformance(_mk_program(body))
+        assert exc.value.path == "program.body.stmts[0].expr.rhs"
+
+    def test_path_into_region_lead_statements(self):
+        v = _mk_var("var_1")
+        clauses = OmpClauses(num_threads=4)
+        lv = Variable("i_1", None, VarKind.LOOP)
+        loop = ForLoop(lv, IntNumeral(4), Block([_assign(v)]))
+        # a critical may not appear among the leading statements
+        region = OmpParallel(clauses, Block([
+            _assign(v), OmpCritical(Block([_assign(v)])), loop]))
+        with pytest.raises(GrammarError) as exc:
+            check_conformance(_mk_program(Block([region])))
+        assert exc.value.path == "program.body.stmts[0].body.stmts[1]"
+
+    def test_error_without_path_has_plain_message(self):
+        err = GrammarError("boom")
+        assert err.path is None
+        assert str(err) == "boom"
+
+
+class TestDirectiveConformance:
+    """Conformance rules of the directive-diversity constructs."""
+
+    def _region(self, stmts):
+        clauses = OmpClauses(num_threads=4)
+        return _mk_program(Block([OmpParallel(clauses, Block(stmts))]))
+
+    def _loop(self, body_stmts, **kw):
+        lv = Variable(f"i_{id(body_stmts) % 97}", None, VarKind.LOOP)
+        return ForLoop(lv, IntNumeral(4), Block(body_stmts), **kw)
+
+    def test_atomic_outside_region_rejected(self):
+        from repro.core.nodes import OmpAtomic
+        upd = Assignment(VarRef(_mk_var("var_1")), AssignOpKind.ADD_ASSIGN,
+                         FPNumeral(1.0))
+        body = Block([OmpAtomic(upd)])
+        with pytest.raises(GrammarError, match="atomic outside"):
+            check_conformance(_mk_program(body))
+
+    def test_atomic_must_use_compound_op(self):
+        from repro.core.nodes import OmpAtomic
+        v = _mk_var("var_1")
+        upd = Assignment(VarRef(v), AssignOpKind.ASSIGN, FPNumeral(1.0))
+        loop = self._loop([OmpAtomic(upd)], omp_for=True)
+        p = self._region([_assign(v), loop])
+        with pytest.raises(GrammarError, match="compound operator"):
+            check_conformance(p)
+
+    def test_atomic_expression_may_not_read_target(self):
+        from repro.core.nodes import OmpAtomic
+        v = _mk_var("var_1")
+        upd = Assignment(VarRef(v), AssignOpKind.ADD_ASSIGN, VarRef(v))
+        loop = self._loop([OmpAtomic(upd)], omp_for=True)
+        p = self._region([_assign(v), loop])
+        with pytest.raises(GrammarError, match="may not read the target"):
+            check_conformance(p)
+
+    def test_barrier_inside_worksharing_loop_rejected(self):
+        from repro.core.nodes import OmpBarrier
+        v = _mk_var("var_1")
+        loop = self._loop([_assign(v), OmpBarrier()], omp_for=True)
+        p = self._region([_assign(v), loop])
+        with pytest.raises(GrammarError, match="non-uniform"):
+            check_conformance(p)
+
+    def test_single_inside_worksharing_loop_rejected(self):
+        from repro.core.nodes import OmpSingle
+        v = _mk_var("var_1")
+        single = OmpSingle(Block([_assign(v)]))
+        loop = self._loop([_assign(v), single], omp_for=True)
+        p = self._region([_assign(v), loop])
+        with pytest.raises(GrammarError, match="non-uniform"):
+            check_conformance(p)
+
+    def test_single_and_barrier_legal_in_region_lead(self):
+        from repro.core.nodes import OmpBarrier, OmpSingle
+        v = _mk_var("var_1")
+        single = OmpSingle(Block([_assign(v)]))
+        loop = self._loop([_assign(v)], omp_for=True)
+        p = self._region([_assign(v), single, OmpBarrier(), loop])
+        check_conformance(p)
+
+    def test_collapse_requires_perfect_nesting(self):
+        v = _mk_var("var_1")
+        # outer body has an assignment next to the inner loop: not nested
+        inner = self._loop([_assign(v)])
+        outer = self._loop([_assign(v), inner], omp_for=True, collapse=2)
+        p = self._region([_assign(v), outer])
+        with pytest.raises(GrammarError, match="perfectly nested"):
+            check_conformance(p)
+
+    def test_collapse_with_perfect_nesting_accepted(self):
+        v = _mk_var("var_1")
+        inner = self._loop([_assign(v)])
+        outer = self._loop([inner], omp_for=True, collapse=2)
+        p = self._region([_assign(v), outer])
+        check_conformance(p)
+
+    def test_schedule_on_serial_loop_rejected(self):
+        from repro.core.types import ScheduleKind
+        v = _mk_var("var_1")
+        loop = self._loop([_assign(v)], schedule=ScheduleKind.DYNAMIC)
+        p = self._region([_assign(v), loop])
+        with pytest.raises(GrammarError, match="serial for loop"):
+            check_conformance(p)
+
+    def test_combined_parallel_for_shape(self):
+        v = _mk_var("var_1")
+        loop = self._loop([_assign(v)], omp_for=True)
+        clauses = OmpClauses(num_threads=4)
+        p = _mk_program(Block([OmpParallel(clauses, Block([loop]),
+                                           combined_for=True)]))
+        check_conformance(p)
+
+    def test_combined_parallel_for_rejects_private(self):
+        v = _mk_var("var_1")
+        loop = self._loop([_assign(v)], omp_for=True)
+        clauses = OmpClauses(private=[v], num_threads=4)
+        p = _mk_program(Block([OmpParallel(clauses, Block([loop]),
+                                           combined_for=True)]))
+        with pytest.raises(GrammarError, match="private clause"):
+            check_conformance(p)
+
+    def test_combined_parallel_for_requires_single_loop(self):
+        v = _mk_var("var_1")
+        loop = self._loop([_assign(v)], omp_for=True)
+        clauses = OmpClauses(num_threads=4)
+        p = _mk_program(Block([OmpParallel(clauses,
+                                           Block([_assign(v), loop]),
+                                           combined_for=True)]))
+        with pytest.raises(GrammarError, match="exactly one"):
+            check_conformance(p)
+
+    def test_nested_worksharing_rejected(self):
+        v = _mk_var("var_1")
+        inner = self._loop([_assign(v)], omp_for=True)
+        outer = self._loop([inner], omp_for=True)
+        p = self._region([_assign(v), outer])
+        with pytest.raises(GrammarError, match="closely nested"):
+            check_conformance(p)

@@ -27,7 +27,11 @@ class TestListing2Fidelity:
         assert set(GRAMMAR["op"].alternatives) == {'"+"', '"-"', '"*"', '"/"'}
         assert set(GRAMMAR["bool-op"].alternatives) == \
             {'"<"', '">"', '"=="', '"!="', '">="', '"<="'}
-        assert set(GRAMMAR["reduction-op"].alternatives) == {'"+"', '"*"'}
+        # the paper's {+, *} plus the directive-diversity expansion's
+        # OpenMP 3.1 min/max operators
+        assert {'"+"', '"*"'} <= set(GRAMMAR["reduction-op"].alternatives)
+        assert set(GRAMMAR["reduction-op"].alternatives) == \
+            {'"+"', '"*"', '"min"', '"max"'}
 
 
 class TestListing1Shape:

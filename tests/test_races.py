@@ -157,3 +157,159 @@ class TestRacyPatterns:
         gen = ProgramGenerator(cfg, seed=20240915)
         racy = sum(1 for i in range(40) if not is_race_free(gen.generate(i)))
         assert racy >= 1  # reproduces the Section III-E limitation
+
+
+# ----------------------------------------------------------------------
+# Directive-diversity classification: one table row per access pattern
+# ----------------------------------------------------------------------
+
+import pytest
+
+from repro.core.nodes import OmpAtomic, OmpBarrier, OmpSingle
+
+
+def _comp():
+    return _var("comp", VarKind.COMP)
+
+
+def _atomic(v, expr=None):
+    return OmpAtomic(Assignment(VarRef(v), AssignOpKind.ADD_ASSIGN,
+                                expr if expr is not None else FPNumeral(1.0)))
+
+
+def _plain_write(v):
+    return Assignment(VarRef(v), AssignOpKind.ADD_ASSIGN, FPNumeral(1.0))
+
+
+def _crit_write(v):
+    return OmpCritical(Block([_plain_write(v)]))
+
+
+def _lead_region(stmts):
+    """A plain region whose lead assignment writes a private scalar (so
+    the lead itself can never be the race under test)."""
+    clauses = OmpClauses(num_threads=4)
+    x = _var("var_x")
+    clauses.private.append(x)
+    lead = Assignment(VarRef(x), AssignOpKind.ASSIGN, FPNumeral(0.0))
+    return OmpParallel(clauses, Block([lead, *stmts]))
+
+
+def _crit_write_expr(v, expr):
+    return OmpCritical(Block([Assignment(VarRef(v), AssignOpKind.ASSIGN,
+                                         expr)]))
+
+
+def _combined_region(stmts):
+    """A combined `omp parallel for` region over the given loop body."""
+    return OmpParallel(OmpClauses(num_threads=4), Block([_loop(stmts)]),
+                       combined_for=True)
+
+
+def _case_reduction_free(op):
+    comp = _comp()
+    region = _region([_plain_write(comp)],
+                     clauses=OmpClauses(num_threads=4, reduction=op))
+    return _program_with(region, comp)
+
+
+def _program_with(region, comp, extra=()):
+    return Program(name="t", seed=0, fp_type=FPType.DOUBLE, comp=comp,
+                   params=[comp, *extra], body=Block([region]))
+
+
+#: (case id, program builder, expected race-free?)
+_DIRECTIVE_RACE_TABLE = [
+    # every reduction operator makes unprotected comp updates race-free
+    ("reduction_sum_free",
+     lambda: _case_reduction_free(ReductionOp.SUM), True),
+    ("reduction_prod_free",
+     lambda: _case_reduction_free(ReductionOp.PROD), True),
+    ("reduction_min_free",
+     lambda: _case_reduction_free(ReductionOp.MIN), True),
+    ("reduction_max_free",
+     lambda: _case_reduction_free(ReductionOp.MAX), True),
+    # an unguarded shared write under a combined parallel for is racy
+    ("parallel_for_unguarded_write_racy",
+     lambda: (lambda c: _program_with(_combined_region([_plain_write(c)]),
+                                      c))(_comp()), False),
+    # `omp atomic` suppresses the race verdict when every access is atomic
+    ("atomic_only_updates_free",
+     lambda: (lambda c: _program_with(_combined_region([_atomic(c)]),
+                                      c))(_comp()), True),
+    # ... but a plain write alongside atomic updates races
+    ("atomic_plus_plain_write_racy",
+     lambda: (lambda c: _program_with(
+         _combined_region([_atomic(c), _plain_write(c)]), c))(_comp()),
+     False),
+    # ... and mixing critical with atomic protection also races (the two
+    # exclusion mechanisms do not exclude each other)
+    ("atomic_plus_critical_racy",
+     lambda: (lambda c: _program_with(
+         _combined_region([_atomic(c), _crit_write(c)]), c))(_comp()),
+     False),
+    # critical-only protection stays race-free (the paper's pattern)
+    ("critical_only_free",
+     lambda: (lambda c: _program_with(_combined_region([_crit_write(c)]),
+                                      c))(_comp()), True),
+    # single-only accesses to a shared scalar are serialized by the
+    # implicit barriers: race-free
+    ("single_only_writes_free",
+     lambda: (lambda v, c: _program_with(
+         _lead_region([OmpSingle(Block([_plain_write(v)])),
+                       _loop([_crit_write(c)])]),
+         c, extra=[v]))(_var("var_s"), _comp()), True),
+    # a single write plus an unprotected read elsewhere races
+    ("single_write_outside_read_racy",
+     lambda: (lambda v, c: _program_with(
+         _lead_region([OmpSingle(Block([_plain_write(v)])),
+                       _loop([_crit_write_expr(c, VarRef(v))])]),
+         c, extra=[v]))(_var("var_s"), _comp()), False),
+    # barriers are not credited with ordering: write-barrier-read still
+    # classifies as a race (conservative by design)
+    ("barrier_does_not_legalize_racy",
+     lambda: (lambda v, c: _program_with(
+         _lead_region([OmpSingle(Block([_plain_write(v)])),
+                       OmpBarrier(),
+                       _loop([_crit_write_expr(c, VarRef(v))])]),
+         c, extra=[v]))(_var("var_s"), _comp()), False),
+    # a shared array touched from inside a single is flagged
+    ("array_in_single_racy",
+     lambda: (lambda a, c: _program_with(
+         _lead_region([OmpSingle(Block([Assignment(ArrayRef(a, ThreadIdx()),
+                                                   AssignOpKind.ASSIGN,
+                                                   FPNumeral(1.0))])),
+                       _loop([Assignment(ArrayRef(a, ThreadIdx()),
+                                         AssignOpKind.ASSIGN,
+                                         FPNumeral(2.0))])]),
+         c, extra=[a]))(_var("var_a", array=True), _comp()), False),
+    # thread-indexed array writes under an explicit schedule stay safe
+    # (the mapping changes, the exclusivity argument does not)
+    ("tid_array_write_free",
+     lambda: (lambda a, c: _program_with(
+         _combined_region([Assignment(ArrayRef(a, ThreadIdx()),
+                                      AssignOpKind.ASSIGN, FPNumeral(1.0))]),
+         c, extra=[a]))(_var("var_a", array=True), _comp()), True),
+]
+
+
+class TestDirectiveRaceTable:
+    @pytest.mark.parametrize(
+        "name,builder,expect_free",
+        _DIRECTIVE_RACE_TABLE,
+        ids=[row[0] for row in _DIRECTIVE_RACE_TABLE])
+    def test_pattern_classification(self, name, builder, expect_free):
+        program = builder()
+        reports = find_races(program)
+        if expect_free:
+            assert not reports, (name, [str(r) for r in reports])
+        else:
+            assert reports, name
+
+    def test_every_report_names_region_and_variable(self):
+        racy = [row for row in _DIRECTIVE_RACE_TABLE if not row[2]]
+        for name, builder, _ in racy:
+            for report in find_races(builder()):
+                assert report.var_name
+                assert report.region_index == 0
+                assert str(report)
