@@ -5,6 +5,12 @@ Runs the same 50-program campaign grid (50 x 3 inputs x 3 implementations
 identical verdict set, and records wall-clock plus speedups as a
 trajectory point in ``BENCH_engine.json`` at the repo root.
 
+Each engine entry records the worker count that *actually ran*
+(``jobs_resolved`` — the serial engine is always 1) next to what was
+requested, plus the resolved chunk size for the pooled engines, and the
+top level records the host's CPU count; a 1-CPU host can no longer
+masquerade as a parallel-scaling reference point.
+
 Interpretation guide: the simulated pipeline is pure Python, so the
 thread engine is GIL-bound and roughly matches serial (its win is on
 backends that release the GIL, like the native g++ toolchain); the
@@ -27,6 +33,7 @@ import time
 from pathlib import Path
 
 from repro.config import CampaignConfig
+from repro.driver.engine import resolve_chunk_size
 from repro.harness.session import CampaignSession
 
 N_PROGRAMS = int(os.environ.get("REPRO_BENCH_ENGINE_PROGRAMS", "50"))
@@ -53,7 +60,7 @@ def run_engine_comparison() -> dict:
             "total_runs": cfg.total_runs,
             "seed": cfg.seed,
         },
-        "jobs": JOBS,
+        "jobs_requested": JOBS,
         "cpu_count": os.cpu_count(),
         "engines": {},
     }
@@ -62,16 +69,23 @@ def run_engine_comparison() -> dict:
     for engine in ("serial", "thread", "process"):
         session = CampaignSession(cfg, engine=engine,
                                   jobs=None if engine == "serial" else JOBS)
+        resolved = getattr(session.engine, "jobs", 1)
         t0 = time.perf_counter()
         result = session.run()
         wall = time.perf_counter() - t0
         keys[engine] = _verdict_key(result)
-        point["engines"][engine] = {
+        entry = {
             "wall_s": round(wall, 3),
             "tests_per_s": round(len(result.verdicts) / wall, 2),
+            "jobs_resolved": resolved,
         }
+        if engine != "serial":
+            entry["chunk_size"] = resolve_chunk_size(cfg, cfg.n_programs,
+                                                     resolved)
+        point["engines"][engine] = entry
         print(f"  {engine:<8} {wall:7.2f}s  "
-              f"({len(result.verdicts)} verdicts)")
+              f"({len(result.verdicts)} verdicts, "
+              f"{resolved} worker{'s' if resolved != 1 else ''})")
 
     serial_wall = point["engines"]["serial"]["wall_s"]
     for engine in ("thread", "process"):

@@ -36,7 +36,7 @@ class OutlierKind(enum.Enum):
     HANG = "hang"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Outlier:
     """One flagged implementation on one test (program + input)."""
 
@@ -75,7 +75,7 @@ def mutually_comparable(times: list[float], alpha: float) -> bool:
                for a, b in itertools.combinations(times, 2))
 
 
-@dataclass
+@dataclass(slots=True)
 class TestVerdict:
     """Differential analysis result for one test (program + input)."""
 

@@ -28,6 +28,7 @@ from .errors import ReproError
 from .core.generator import ProgramGenerator
 from .core.grammar import GRAMMAR
 from .core.inputs import InputGenerator
+from .rng import RNG_MODES
 from .codegen.emit_main import emit_translation_unit
 
 
@@ -50,6 +51,10 @@ def _load_config(args) -> CampaignConfig:
         kwargs["inputs_per_program"] = args.inputs
     if getattr(args, "mix", None) is not None:
         kwargs["directive_mix"] = args.mix
+    if getattr(args, "chunk_size", None) is not None:
+        kwargs["chunk_size"] = args.chunk_size
+    if getattr(args, "rng_mode", None) is not None:
+        kwargs["generator"] = GeneratorConfig(rng_mode=args.rng_mode)
     return CampaignConfig(seed=args.seed, **kwargs)
 
 
@@ -108,13 +113,15 @@ def cmd_campaign(args) -> int:
         session = CampaignSession(cfg, engine=args.engine, jobs=args.jobs)
 
     def progress(done: int, total: int) -> None:
-        if done % 10 == 0 or done == total:
-            print(f"\r  tests {done}/{total}", end="", flush=True,
-                  file=sys.stderr)
+        print(f"\r  tests {done}/{total}", end="", flush=True,
+              file=sys.stderr)
 
     writer = session.open_checkpoint(checkpoint_path) if checkpoint_path \
         else None
-    stream = session.stream(progress=progress if not args.quiet else None)
+    # throttle the bar off the hot path: ~200 updates across the grid
+    every = max(1, session.total_tests // 200)
+    stream = session.stream(progress=progress if not args.quiet else None,
+                            progress_every=every)
     try:
         seen = 0
         for _ in stream:
@@ -243,6 +250,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mix", choices=sorted(DIRECTIVE_MIXES),
                    help="directive mix preset applied to the generator "
                         "(paper, worksharing, sync, reductions, full)")
+    p.add_argument("--chunk-size", type=int, dest="chunk_size",
+                   help="work units per pooled-engine dispatch (default: "
+                        "auto — about four chunks per worker)")
+    p.add_argument("--rng-mode", choices=RNG_MODES, dest="rng_mode",
+                   help="RNG stream derivation: compat (byte-identical "
+                        "to the paper reproduction, default) or fast "
+                        "(SplitMix64 mixer, a new program space)")
     p.add_argument("--out", help="directory for dataset-style artifacts")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(fn=cmd_campaign)

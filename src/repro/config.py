@@ -117,6 +117,12 @@ class GeneratorConfig:
     # --- misc ---
     fp_double_probability: float = 0.7  # P(test uses double rather than float)
     num_threads: int = 32
+    #: RNG stream-derivation mode (see :mod:`repro.rng`): ``"compat"``
+    #: draws the byte-identical program/input streams of the seed
+    #: reproduction (all pinned campaign numbers); ``"fast"`` derives
+    #: stream identities with a SplitMix64 mixer instead of SHA-256 —
+    #: a different but equally deterministic program space.
+    rng_mode: str = "compat"
 
     def __post_init__(self) -> None:
         if self.max_expression_size < 1:
@@ -149,6 +155,11 @@ class GeneratorConfig:
                 "private_probability + firstprivate_probability must be <= 1")
         if self.num_threads < 1:
             raise ConfigError("num_threads must be >= 1")
+        from .rng import RNG_MODES
+        if self.rng_mode not in RNG_MODES:
+            raise ConfigError(
+                f"unknown rng_mode {self.rng_mode!r}; "
+                f"choose from {', '.join(RNG_MODES)}")
 
 
 #: Named directive mixes a campaign can select (``CampaignConfig.
@@ -257,6 +268,14 @@ class CampaignConfig:
     # pooled engines (None = one per CPU).
     engine: str = "serial"
     jobs: int | None = None
+    #: Work units dispatched per pooled-engine submission.  Each unit is
+    #: one program with its input batch; batching ``chunk_size`` of them
+    #: amortizes future bookkeeping, pickling, and progress accounting
+    #: over the chunk.  ``None`` sizes chunks automatically from the grid
+    #: and worker count (about four chunks per worker, capped at 16);
+    #: the serial engine ignores chunking.  Verdicts are byte-identical
+    #: for every chunk size — units are pure functions of their indices.
+    chunk_size: int | None = None
     # Where to save generated tests (None = keep in memory only).
     output_dir: str | None = None
     # Named directive mix applied to the generator's feature flags
@@ -288,6 +307,8 @@ class CampaignConfig:
                 f"choose from {', '.join(ENGINE_NAMES)}")
         if self.jobs is not None and self.jobs < 1:
             raise ConfigError("jobs must be >= 1 (or None for auto)")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigError("chunk_size must be >= 1 (or None for auto)")
 
     @property
     def total_runs(self) -> int:

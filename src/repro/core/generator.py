@@ -45,7 +45,7 @@ class ProgramGenerator:
     def __init__(self, cfg: GeneratorConfig | None = None, seed: int = 0):
         self.cfg = cfg if cfg is not None else GeneratorConfig()
         self.seed = seed
-        self._root = Rng(seed)
+        self._root = Rng(seed, mode=self.cfg.rng_mode)
 
     # ------------------------------------------------------------------
     def generate(self, index: int = 0) -> Program:

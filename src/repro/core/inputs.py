@@ -156,7 +156,7 @@ class InputGenerator:
     def __init__(self, cfg: GeneratorConfig | None = None, seed: int = 0):
         self.cfg = cfg if cfg is not None else GeneratorConfig()
         self.seed = seed
-        self._root = Rng(seed)
+        self._root = Rng(seed, mode=self.cfg.rng_mode)
 
     def generate(self, program: Program, index: int = 0) -> TestInput:
         """The ``index``-th input vector for ``program``."""

@@ -21,10 +21,19 @@ the same unit run unchanged on all three engines:
 * :class:`ProcessPoolEngine`  — one interpreter per worker, true
   parallelism for the pure-Python simulated pipeline.
 
+The pooled engines dispatch units in **chunks**
+(:attr:`~repro.config.CampaignConfig.chunk_size`, auto-sized by
+default): one future per chunk amortizes executor bookkeeping, pickling,
+and progress accounting, and each worker's process-local
+:class:`~repro.sim.kcache.KernelCache` stays warm across a chunk's
+units.  Chunking never changes results — outcomes are yielded per unit
+and verdicts are byte-identical for every chunk size.
+
 All engines yield :class:`UnitOutcome`\\ s as they complete (completion
-order for the pooled engines) and fire the progress callback once per
-differential test — per ``(program, input)``, not per program — so
-parallel runs report smoothly.
+order for the pooled engines).  The progress callback fires once per
+differential test — per ``(program, input)``, not per program — unless a
+``progress_every`` stride throttles it off the hot path; passing
+``progress=None`` skips the accounting entirely.
 """
 
 from __future__ import annotations
@@ -45,8 +54,12 @@ from ..core.races import find_races
 #: progress callback: (differential tests completed, tests scheduled)
 ProgressFn = Callable[[int, int], None]
 
+#: hard ceiling for automatic chunk sizing — past this, batching no
+#: longer measurably amortizes overhead but does delay outcome streaming
+_MAX_AUTO_CHUNK = 16
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class WorkUnit:
     """One schedulable slice of the grid: a program and its input batch."""
 
@@ -58,7 +71,7 @@ class WorkUnit:
         return len(self.input_indices)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecutionPlan:
     """Everything a worker needs to execute any unit of one campaign.
 
@@ -70,7 +83,7 @@ class ExecutionPlan:
     collect_profiles: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class UnitOutcome:
     """Everything one work unit produced."""
 
@@ -85,6 +98,23 @@ def plan_units(config: CampaignConfig) -> list[WorkUnit]:
     """The full campaign grid as an ordered list of work units."""
     inputs = tuple(range(config.inputs_per_program))
     return [WorkUnit(i, inputs) for i in range(config.n_programs)]
+
+
+def resolve_chunk_size(config: CampaignConfig, n_units: int,
+                       jobs: int) -> int:
+    """Units per pooled-engine submission.
+
+    An explicit :attr:`~repro.config.CampaignConfig.chunk_size` wins;
+    otherwise aim for about four chunks per worker — enough batching to
+    amortize dispatch overhead, enough chunks that completion streaming
+    and work stealing stay responsive — capped so small grids still
+    spread across the pool.
+    """
+    if config.chunk_size is not None:
+        return config.chunk_size
+    if n_units <= jobs:
+        return 1
+    return max(1, min(_MAX_AUTO_CHUNK, -(-n_units // (jobs * 4))))
 
 
 def execute_unit(plan: ExecutionPlan, unit: WorkUnit) -> UnitOutcome:
@@ -121,6 +151,12 @@ def execute_unit(plan: ExecutionPlan, unit: WorkUnit) -> UnitOutcome:
     return outcome
 
 
+def execute_chunk(plan: ExecutionPlan,
+                  units: Sequence[WorkUnit]) -> list[UnitOutcome]:
+    """Run a batch of units in order (one pooled-engine submission)."""
+    return [execute_unit(plan, unit) for unit in units]
+
+
 # ----------------------------------------------------------------------
 # engines
 # ----------------------------------------------------------------------
@@ -138,33 +174,52 @@ class ExecutionEngine(ABC):
     @abstractmethod
     def run(self, plan: ExecutionPlan, units: Sequence[WorkUnit], *,
             progress: ProgressFn | None = None,
+            progress_every: int | None = None,
             salvage: SalvageFn | None = None) -> Iterator[UnitOutcome]:
         """Yield one :class:`UnitOutcome` per unit as each completes.
 
-        ``salvage`` receives outcomes that finished while the iterator
-        was being torn down — pooled engines wait for in-flight units on
-        interrupt, and without a salvage hook that completed work would
-        be silently discarded.
+        ``progress_every`` throttles the callback to at most one firing
+        per that many completed tests (the final total always fires);
+        ``None`` keeps the per-test cadence.  ``salvage`` receives
+        outcomes that finished while the iterator was being torn down —
+        pooled engines wait for in-flight units on interrupt, and
+        without a salvage hook that completed work would be silently
+        discarded.
         """
 
     # ------------------------------------------------------------------
     @staticmethod
     def _progress_stepper(units: Sequence[WorkUnit],
-                          progress: ProgressFn | None):
-        """Per-test progress: fires once per (program, input) pair.
+                          progress: ProgressFn | None,
+                          progress_every: int | None = None):
+        """Per-test progress accounting, throttleable.
 
+        With no throttle the callback fires once per (program, input)
+        pair, monotonically.  With ``progress_every=N`` it fires when at
+        least ``N`` tests accumulated since the last firing (and always
+        on the final test), cutting callback overhead on the hot path.
         Race-filtered units still advance the counter by their input
-        count so the bar always reaches ``total``.
+        count so the bar always reaches ``total``.  A ``None`` callback
+        costs nothing.
         """
+        if progress is None:
+            return lambda unit: None
         total = sum(u.n_tests for u in units)
+        every = progress_every if progress_every and progress_every > 1 else 1
         done = 0
+        unreported = 0
 
         def step(unit: WorkUnit) -> None:
-            nonlocal done
-            if progress is None:
+            nonlocal done, unreported
+            if every == 1:
+                for _ in range(unit.n_tests):
+                    done += 1
+                    progress(done, total)
                 return
-            for _ in range(unit.n_tests):
-                done += 1
+            done += unit.n_tests
+            unreported += unit.n_tests
+            if unreported >= every or done >= total:
+                unreported = 0
                 progress(done, total)
 
         return step
@@ -177,9 +232,11 @@ class SerialEngine(ExecutionEngine):
 
     def run(self, plan: ExecutionPlan, units: Sequence[WorkUnit], *,
             progress: ProgressFn | None = None,
+            progress_every: int | None = None,
             salvage: SalvageFn | None = None) -> Iterator[UnitOutcome]:
-        # nothing runs between yields, so there is never anything to salvage
-        step = self._progress_stepper(units, progress)
+        # nothing runs between yields, so there is never anything to
+        # salvage, and chunking would only delay outcome streaming
+        step = self._progress_stepper(units, progress, progress_every)
         for unit in units:
             outcome = execute_unit(plan, unit)
             step(unit)
@@ -200,20 +257,33 @@ class _PoolEngine(ExecutionEngine):
     def _make_executor(self, plan: ExecutionPlan):
         raise NotImplementedError
 
-    def _submit(self, executor, plan: ExecutionPlan, unit: WorkUnit) -> Future:
+    def _submit(self, executor, plan: ExecutionPlan,
+                chunk: tuple[WorkUnit, ...]) -> Future:
         raise NotImplementedError
 
     def run(self, plan: ExecutionPlan, units: Sequence[WorkUnit], *,
             progress: ProgressFn | None = None,
+            progress_every: int | None = None,
             salvage: SalvageFn | None = None) -> Iterator[UnitOutcome]:
-        step = self._progress_stepper(units, progress)
+        step = self._progress_stepper(units, progress, progress_every)
+        size = resolve_chunk_size(plan.config, len(units), self.jobs)
+        chunks = [tuple(units[i:i + size])
+                  for i in range(0, len(units), size)]
         executor = self._make_executor(plan)
-        pending = {self._submit(executor, plan, u): u for u in units}
+        pending = {self._submit(executor, plan, c): c for c in chunks}
+        #: completed outcomes of the chunk currently being yielded — an
+        #: interrupt can land between two yields of one chunk, and the
+        #: rest of that chunk is finished work the salvage hook must see
+        unyielded: list[UnitOutcome] = []
         try:
             for fut in as_completed(list(pending)):
-                outcome = fut.result()
-                step(pending.pop(fut))
-                yield outcome
+                outcomes = fut.result()
+                chunk = pending.pop(fut)
+                unyielded = list(outcomes)
+                for unit, outcome in zip(chunk, outcomes):
+                    step(unit)
+                    unyielded.pop(0)
+                    yield outcome
         finally:
             # also reached via generator .close(): cancel what never
             # started so an interrupted stream() doesn't keep burning CPU,
@@ -221,10 +291,13 @@ class _PoolEngine(ExecutionEngine):
             # they are done work and must not be lost to the interrupt
             executor.shutdown(wait=True, cancel_futures=True)
             if salvage is not None:
+                for outcome in unyielded:
+                    salvage(outcome)
                 for fut in pending:
                     if (fut.done() and not fut.cancelled()
                             and fut.exception() is None):
-                        salvage(fut.result())
+                        for outcome in fut.result():
+                            salvage(outcome)
 
 
 class ThreadPoolEngine(_PoolEngine):
@@ -241,13 +314,15 @@ class ThreadPoolEngine(_PoolEngine):
                                   thread_name_prefix="repro-engine",
                                   initializer=silence_fp_warnings)
 
-    def _submit(self, executor, plan: ExecutionPlan, unit: WorkUnit) -> Future:
-        return executor.submit(execute_unit, plan, unit)
+    def _submit(self, executor, plan: ExecutionPlan,
+                chunk: tuple[WorkUnit, ...]) -> Future:
+        return executor.submit(execute_chunk, plan, chunk)
 
 
 # -- process-pool plumbing ---------------------------------------------
 # the plan is shipped once per worker via the initializer instead of
-# once per unit; workers then receive only (program_index, input_indices)
+# once per chunk; workers then receive only tuples of
+# (program_index, input_indices) pairs
 
 _WORKER_PLAN: ExecutionPlan | None = None
 
@@ -260,6 +335,12 @@ def _process_worker_init(plan: ExecutionPlan) -> None:
 def _process_worker_run(unit: WorkUnit) -> UnitOutcome:
     assert _WORKER_PLAN is not None, "worker used before initialization"
     return execute_unit(_WORKER_PLAN, unit)
+
+
+def _process_worker_run_chunk(
+        chunk: tuple[WorkUnit, ...]) -> list[UnitOutcome]:
+    assert _WORKER_PLAN is not None, "worker used before initialization"
+    return execute_chunk(_WORKER_PLAN, chunk)
 
 
 class ProcessPoolEngine(_PoolEngine):
@@ -280,8 +361,9 @@ class ProcessPoolEngine(_PoolEngine):
                                    initializer=_process_worker_init,
                                    initargs=(plan,))
 
-    def _submit(self, executor, plan: ExecutionPlan, unit: WorkUnit) -> Future:
-        return executor.submit(_process_worker_run, unit)
+    def _submit(self, executor, plan: ExecutionPlan,
+                chunk: tuple[WorkUnit, ...]) -> Future:
+        return executor.submit(_process_worker_run_chunk, chunk)
 
 
 def create_engine(name: str, jobs: int | None = None) -> ExecutionEngine:

@@ -17,6 +17,9 @@ and classifies the outcome:
 
 from __future__ import annotations
 
+import gc
+import threading
+
 from ..config import MachineConfig
 from ..core.inputs import TestInput
 from ..errors import ExecutionError, SimulatedCrash, SimulatedHang
@@ -30,6 +33,40 @@ from .records import RunRecord, RunStatus
 
 #: baseline branch misprediction rate folded into the counters
 _BASE_MISS_RATE = 0.004
+
+
+class _GcPause:
+    """Reference-counted pause of the cyclic collector.
+
+    ``gc.disable()`` is process-global: with the thread-pool engine,
+    naive disable/enable pairs flap — the first kernel to finish would
+    re-enable collection under every sibling still executing.  Counting
+    overlapping pauses keeps the collector off until the *last* kernel
+    leaves, and only restores it if it was enabled when the first
+    entered.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._reenable = False
+
+    def __enter__(self) -> None:
+        with self._lock:
+            if self._depth == 0:
+                self._reenable = gc.isenabled()
+                if self._reenable:
+                    gc.disable()
+            self._depth += 1
+
+    def __exit__(self, *exc) -> None:
+        with self._lock:
+            self._depth -= 1
+            if self._depth == 0 and self._reenable:
+                gc.enable()
+
+
+_GC_PAUSE = _GcPause()
 
 
 def build_args(binary: Binary, test_input: TestInput) -> dict[str, object]:
@@ -86,7 +123,8 @@ def run_binary(binary: Binary, test_input: TestInput,
         # inputs and squeaks through on others (the paper observed exactly
         # one hanging run among the binary's executions)
         hang_active=binary.hang_armed and hash_fraction(
-            "hang-input", binary.fingerprint, test_input.index) < 0.4,
+            "hang-input", binary.fingerprint, test_input.index,
+            mode="compat") < 0.4,
         slow_armed=binary.slow_armed,
         fingerprint=binary.fingerprint,
     )
@@ -96,8 +134,12 @@ def run_binary(binary: Binary, test_input: TestInput,
     comp: float | None = None
     detail = ""
     thread_states: dict[str, list[int]] | None = None
+    # kernels allocate no reference cycles, only floats and flat lists:
+    # pausing the cyclic collector for the interpretation hot loop is
+    # observable-behaviour-neutral and saves its allocation-count sweeps
     try:
-        comp = binary.entry(args, executor, cost)
+        with _GC_PAUSE:
+            comp = binary.entry(args, executor, cost)
     except SimulatedCrash as exc:
         status = RunStatus.CRASH
         detail = str(exc)

@@ -23,7 +23,7 @@ class RunStatus(enum.Enum):
     HANG = "HANG"
 
 
-@dataclass
+@dataclass(slots=True)
 class RunRecord:
     """Outcome of running one binary with one input."""
 

@@ -121,8 +121,8 @@ class CampaignSession:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def stream(self, *, progress: ProgressFn | None = None
-               ) -> Iterator[TestVerdict]:
+    def stream(self, *, progress: ProgressFn | None = None,
+               progress_every: int | None = None) -> Iterator[TestVerdict]:
         """Yield verdicts as the engine completes them.
 
         Completion order is engine-dependent; every yielded verdict is
@@ -130,7 +130,11 @@ class CampaignSession:
         loses nothing that was yielded — :meth:`checkpoint` afterwards
         persists exactly the completed units.  Progress fires once per
         differential test against the *whole* grid, so a resumed session
-        picks up the bar where it left off.
+        picks up the bar where it left off; ``progress_every=N``
+        throttles the callback to roughly every ``N`` tests (the final
+        total always reports).  With ``progress=None`` the engine skips
+        progress accounting entirely — no per-test bookkeeping runs on
+        the hot path.
         """
         if self._stream_t0 is not None:
             raise ConfigError(
@@ -142,8 +146,9 @@ class CampaignSession:
         offset = self.completed_tests
         total = self.total_tests
 
-        def on_progress(done: int, _batch_total: int) -> None:
-            if progress is not None:
+        on_progress: ProgressFn | None = None
+        if progress is not None:
+            def on_progress(done: int, _batch_total: int) -> None:
                 progress(offset + done, total)
 
         def salvage(outcome: UnitOutcome) -> None:
@@ -155,6 +160,7 @@ class CampaignSession:
         try:
             for outcome in self.engine.run(self._plan, pending,
                                            progress=on_progress,
+                                           progress_every=progress_every,
                                            salvage=salvage):
                 self._outcomes[outcome.program_index] = outcome
                 yield from outcome.verdicts
@@ -162,14 +168,16 @@ class CampaignSession:
             self._elapsed += time.perf_counter() - t0
             self._stream_t0 = None
 
-    def run(self, *, progress: ProgressFn | None = None) -> CampaignResult:
+    def run(self, *, progress: ProgressFn | None = None,
+            progress_every: int | None = None) -> CampaignResult:
         """Execute everything still pending and assemble the result.
 
         The result is ordered by program index then input index — the
         same order the seed's sequential runner produced — no matter
         which engine ran the grid or how a resumed session was split.
         """
-        for _ in self.stream(progress=progress):
+        for _ in self.stream(progress=progress,
+                             progress_every=progress_every):
             pass
         return self.result()
 

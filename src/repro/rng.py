@@ -14,6 +14,32 @@ flow through :class:`Rng`, a thin wrapper over :class:`random.Random` that
 Deterministic *non-random* decisions (vendor fault triggers) use
 :func:`stable_hash` instead, so they depend only on program content and
 never on draw order.
+
+Derivation modes
+----------------
+
+Stream derivation (``child`` seeds, :func:`stable_hash`,
+:func:`hash_fraction`) runs in one of two modes:
+
+* ``"compat"`` (the default) — SHA-256 digests, byte-identical to every
+  stream the seed reproduction ever drew.  All pinned campaign numbers
+  (EXPERIMENTS, golden verdicts, the ``paper`` directive mix) live here.
+* ``"fast"`` — a SplitMix64-style integer mixer: the same API, the same
+  statistical quality for this purpose, no cryptographic digest on the
+  derivation path.  Fast-mode streams are *different* streams (they open
+  a new program space) but equally deterministic: the same (seed, mode)
+  always draws the same sequence, in-process or across process restarts
+  (``tests/test_rng.py`` pins golden values for both modes).
+
+The draw core itself is CPython's C-implemented Mersenne Twister in both
+modes — already the fastest deterministic generator available to us; the
+modes differ only in how stream *identities* are derived.  Pick the mode
+per :class:`Rng` (``Rng(seed, mode="fast")``), via
+``GeneratorConfig.rng_mode``, or process-wide with :func:`set_rng_mode`.
+
+Vendor fault triggers keep SHA-256 hashing in **both** modes: they model
+latent compiler bugs, which are functions of the *program text* — their
+identity must never depend on which fuzzer RNG found the program.
 """
 
 from __future__ import annotations
@@ -27,14 +53,75 @@ T = TypeVar("T")
 
 _CHILD_SALT = 0x9E3779B97F4A7C15  # golden-ratio mixing constant
 
+#: the two stream-derivation modes (see module docstring)
+RNG_MODES = ("compat", "fast")
+
+_GLOBAL_MODE = "compat"
+
+_MASK64 = (1 << 64) - 1
+#: large 64-bit prime used to fold arbitrary-length byte strings into the
+#: 64-bit mixer domain (a single C-speed big-int modulo)
+_FOLD_PRIME = 0xFFFFFFFFFFFFFFC5
+
+
+def set_rng_mode(mode: str) -> None:
+    """Set the process-wide default derivation mode for new streams."""
+    global _GLOBAL_MODE
+    _check_mode(mode)
+    _GLOBAL_MODE = mode
+
+
+def get_rng_mode() -> str:
+    """The process-wide default derivation mode."""
+    return _GLOBAL_MODE
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in RNG_MODES:
+        raise ValueError(
+            f"unknown rng mode {mode!r}; choose from {RNG_MODES}")
+
+
+def _splitmix64(x: int) -> int:
+    """One SplitMix64 output step (Steele/Lea/Flood finalizer)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _fold_bytes(data: bytes) -> int:
+    """Fold arbitrary bytes into 64 bits, stable across processes."""
+    if not data:
+        return 0x27D4EB2F165667C5
+    return (int.from_bytes(data, "little") % _FOLD_PRIME) ^ len(data)
+
+
+def _mix_parts(parts: tuple[object, ...]) -> int:
+    """SplitMix64 combination of heterogeneous parts (fast mode)."""
+    h = 0x9E3779B97F4A7C15
+    for p in parts:
+        if isinstance(p, int) and not isinstance(p, bool):
+            v = p & _MASK64
+        else:
+            v = _fold_bytes(str(p).encode())
+        h = _splitmix64(h ^ v)
+    return h
+
 
 class Rng:
     """Explicitly seeded random stream with forkable children."""
 
-    __slots__ = ("seed", "_r")
+    __slots__ = ("seed", "mode", "_r")
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int, mode: str | None = None):
+        if mode is None:
+            mode = _GLOBAL_MODE
+        _check_mode(mode)
         self.seed = int(seed)
+        self.mode = mode
         self._r = random.Random(self.seed)
 
     # ------------------------------------------------------------------
@@ -44,10 +131,14 @@ class Rng:
         """Return an independent stream derived from this seed and ``tag``.
 
         Children with distinct tags are statistically independent; the same
-        (seed, tag) pair always yields the same stream.
+        (seed, tag, mode) triple always yields the same stream.
         """
-        h = hashlib.sha256(f"{self.seed}:{tag}".encode()).digest()
-        return Rng(int.from_bytes(h[:8], "little") ^ _CHILD_SALT)
+        if self.mode == "fast":
+            child_seed = _mix_parts((self.seed, tag)) ^ _CHILD_SALT
+        else:
+            h = hashlib.sha256(f"{self.seed}:{tag}".encode()).digest()
+            child_seed = int.from_bytes(h[:8], "little") ^ _CHILD_SALT
+        return Rng(child_seed, mode=self.mode)
 
     # ------------------------------------------------------------------
     # draws
@@ -115,21 +206,28 @@ class Rng:
         return self._r.getrandbits(k)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Rng(seed={self.seed})"
+        return f"Rng(seed={self.seed}, mode={self.mode!r})"
 
 
-def stable_hash(*parts: object) -> int:
+def stable_hash(*parts: object, mode: str | None = None) -> int:
     """A 64-bit hash stable across processes and Python versions.
 
     Vendor fault models key their deterministic triggers off this so the
     same program always trips (or never trips) the same latent bug,
     independent of generation order — mirroring how a real miscompile is a
-    function of the program, not of the fuzzer's RNG state.
+    function of the program, not of the fuzzer's RNG state.  Fault call
+    sites therefore pass ``mode="compat"`` explicitly; ``mode=None``
+    follows the process-wide default.
     """
+    if mode is None:
+        mode = _GLOBAL_MODE
+    _check_mode(mode)
+    if mode == "fast":
+        return _mix_parts(parts)
     h = hashlib.sha256("\x1f".join(str(p) for p in parts).encode()).digest()
     return int.from_bytes(h[:8], "little")
 
 
-def hash_fraction(*parts: object) -> float:
+def hash_fraction(*parts: object, mode: str | None = None) -> float:
     """Map ``parts`` to a deterministic float uniform-ish in [0, 1)."""
-    return stable_hash(*parts) / 2**64
+    return stable_hash(*parts, mode=mode) / 2**64

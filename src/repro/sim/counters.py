@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class PerfCounters:
     """The seven counters the paper reports, plus lock statistics."""
 

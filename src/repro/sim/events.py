@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class ProfileRecorder:
     """Flat self-time per (shared object, symbol)."""
 

@@ -9,8 +9,10 @@ function via this module.  The lowered code:
   and math calls go through IEEE-behaved helpers; Intel's FTZ wraps every
   result),
 * charges **statically pre-computed** cost constants per straight-line
-  segment to a :class:`CostState` (``_c.cy``/``_c.ins``/``_c.br``; blocks
-  inside critical sections charge the ``_c.ccy`` lane instead),
+  segment into local accumulators (``_cy``/``_ins``/``_br``; blocks
+  inside critical sections charge the ``_ccy`` lane instead) that are
+  synchronized with the shared :class:`CostState` around every runtime
+  hook that observes or mutates it,
 * drives the simulated OpenMP runtime through ``_rt`` hooks
   (:class:`repro.sim.runtime.RegionExecutor`): region enter/exit, static
   chunking of ``omp for``, critical enter/exit, per-thread accounting.
@@ -21,11 +23,35 @@ one after another is a legal OpenMP schedule, so results are exact and
 deterministic; reduction partials are combined in thread order, the same
 for every vendor, so numeric divergence comes only from *compiler*
 transforms — as in the paper.
+
+Two-phase lowering
+------------------
+
+Lowering is split into two passes so the three simulated vendors stop
+re-walking identical trees:
+
+1. a **structural pass** (:class:`StructuralLowerer`) — expression and
+   statement emission, region metadata, charge-site discovery — runs once
+   per *kernel shape* ``(program, ftz, fma_mode)`` and produces a
+   :class:`StructuralKernel`: compiled template code whose cost constants
+   are a tuple parameter ``_K``;
+2. a **cost pass** (:func:`bind_costs`) — pure arithmetic over the
+   vendor's :class:`~repro.vendors.base.OpCosts` and scale factors —
+   fills in the per-vendor ``_K`` values without touching the AST or the
+   compiler, yielding a :class:`LoweredKernel`.
+
+The cost pass reproduces the exact floating-point evaluation order of the
+classic single-pass lowerer (including its ``%.1f`` constant rounding),
+so two-phase kernels are byte-identical in behaviour to the seed
+reproduction.  :class:`Lowerer` remains as the one-shot facade running
+both passes; campaign compiles go through
+:class:`repro.sim.kcache.KernelCache` instead, which caches both phases.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import isfinite
 
 from ..core.nodes import (
     ArrayRef,
@@ -56,7 +82,7 @@ from typing import TYPE_CHECKING
 
 from ..core.types import AssignOpKind, BinOpKind, FPType
 from .fptransforms import FusedMulAdd, opt_cycle_scale
-from .values import MATH_IMPLS, f32, fdiv, fma_d, fma_f, ftz_d, ftz_f
+from .values import MATH_IMPLS, f32, f32z, fdiv, fma_d, fma_f, ftz_d, ftz_f
 from .writer_util import PyWriter
 
 if TYPE_CHECKING:  # typing-only: breaks the sim <-> vendors import cycle
@@ -97,25 +123,10 @@ class RegionMeta:
     schedules: tuple[str, ...] = ()
 
 
-@dataclass
-class LoweredKernel:
-    """Output of lowering: source + compiled code + region metadata."""
-
-    source: str
-    code: object  # types.CodeType
-    regions: list[RegionMeta] = field(default_factory=list)
-    uses_math: tuple[str, ...] = ()
-
-    def bind(self) -> object:
-        """Exec the module code and return the ``_kernel`` callable."""
-        ns = dict(_HELPERS)
-        exec(self.code, ns)  # noqa: S102 - our own generated code
-        return ns["_kernel"]
-
-
 _HELPERS = {
     "_div": fdiv,
     "_f32": f32,
+    "_f32z": f32z,
     "_fma": fma_d,
     "_fmaf": fma_f,
     "_ftz": ftz_d,
@@ -123,28 +134,233 @@ _HELPERS = {
     "_MATH": MATH_IMPLS,
 }
 
+#: helper parameter defaults appended to the kernel signature so every
+#: hot-loop helper reference is a LOAD_FAST instead of a LOAD_GLOBAL
+_HELPER_PARAMS = ("_f32", "_f32z", "_ftz", "_ftzf", "_div", "_fma",
+                  "_fmaf", "_MATH")
+
 _OPSYM = {BinOpKind.ADD: "+", BinOpKind.SUB: "-", BinOpKind.MUL: "*",
           BinOpKind.DIV: "/"}
 
+#: accumulator synchronization snippets: lowered code mirrors the four
+#: CostState lanes in fast locals and exchanges them with the shared
+#: object only around runtime hooks that read, mutate, or may abort with
+#: a partial cost (see RegionExecutor's hook classification)
+_FLUSH = "_c.cy = _cy; _c.ccy = _ccy; _c.ins = _ins; _c.br = _br"
+_RELOAD = "_cy = _c.cy; _ccy = _c.ccy; _ins = _c.ins; _br = _c.br"
 
-class Lowerer:
-    """Lowers one (vendor-transformed) program to Python source."""
 
-    def __init__(self, program: Program, vendor: VendorModel, opt_level: str,
-                 *, fast_armed: bool = False, slow_armed: bool = False):
+# ======================================================================
+# cost model (phase 2 arithmetic, also used structurally in phase 1)
+# ======================================================================
+
+class _RefOps:
+    """Positivity reference mirroring the OpCosts defaults.
+
+    The structural pass only needs to know whether a charge site has
+    *any* cost contribution (all vendor per-op costs are strictly
+    positive, so zero cost is a structural property, not a vendor one);
+    using a local mirror avoids importing :mod:`repro.vendors.base` at
+    module scope, which would recreate the sim <-> vendors import cycle.
+    """
+
+    arith = (14.0, 4.0)
+    div = (40.0, 5.0)
+    math_call = (110.0, 40.0)
+    load = (10.0, 1.0)
+    store = (12.0, 1.0)
+    branch = (6.0, 2.0)
+    loop_iter = (8.0, 3.0)
+
+
+class CostModel:
+    """Vendor-parameterized static cost functions.
+
+    The bodies replicate the classic lowerer's recursion *exactly* —
+    including association order of the floating-point sums — so the
+    two-phase pipeline produces bit-identical cost constants.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops) -> None:
+        self.ops = ops
+
+    def expr_cost(self, e: Expr) -> tuple[float, float]:
+        ops = self.ops
+        if isinstance(e, (FPNumeral, IntNumeral, ThreadIdx)):
+            return (0.0, 0.0)
+        if isinstance(e, VarRef):
+            return ops.load if e.var.is_fp else (ops.load[0] * 0.5, 1.0)
+        if isinstance(e, ArrayRef):
+            cy, ins = ops.load
+            return (cy * 1.4, ins + 1.0)  # index arithmetic + indirection
+        if isinstance(e, (Paren, UnaryOp)):
+            inner = e.inner if isinstance(e, Paren) else e.operand
+            cy, ins = self.expr_cost(inner)
+            return (cy + 0.5, ins + 0.5)
+        if isinstance(e, BinOp):
+            lc, li = self.expr_cost(e.lhs)
+            rc, ri = self.expr_cost(e.rhs)
+            oc, oi = ops.div if e.op is BinOpKind.DIV else ops.arith
+            return (lc + rc + oc, li + ri + oi)
+        if isinstance(e, FusedMulAdd):
+            ac, ai = self.expr_cost(e.a)
+            bc, bi = self.expr_cost(e.b)
+            cc, ci = self.expr_cost(e.c)
+            oc, oi = ops.arith
+            return (ac + bc + cc + oc * 1.3, ai + bi + ci + oi * 1.1)
+        if isinstance(e, MathCall):
+            ic, ii = self.expr_cost(e.arg)
+            mc, mi = ops.math_call
+            return (ic + mc, ii + mi)
+        raise TypeError(f"no cost for {type(e).__name__}")
+
+    def stmt_cost(self, s) -> tuple[float, float]:
+        ops = self.ops
+        if isinstance(s, Assignment):
+            cy, ins = self.expr_cost(s.expr)
+            sc, si = ops.store
+            if isinstance(s.target, ArrayRef):
+                sc, si = sc * 1.4, si + 1.0
+            if s.op.binop is not None:  # compound: extra read + op
+                lc, li = ops.load
+                oc, oi = (ops.div if s.op is AssignOpKind.DIV_ASSIGN
+                          else ops.arith)
+                cy, ins = cy + lc + oc, ins + li + oi
+            return (cy + sc, ins + si)
+        if isinstance(s, DeclAssign):
+            cy, ins = self.expr_cost(s.expr)
+            sc, si = ops.store
+            return (cy + sc, ins + si)
+        raise TypeError(f"not a simple statement: {type(s).__name__}")
+
+    def extra_cost(self, extra: tuple) -> tuple[float, float]:
+        """Cost of a charge site's non-statement contribution."""
+        kind = extra[0]
+        if kind == "loop":  # one (or, collapsed, two) loop-head iterations
+            mult = extra[1]
+            cy, ins = self.ops.loop_iter
+            return (cy, ins) if mult == 1 else (cy * mult, ins * mult)
+        if kind == "if":  # condition eval + compare + branch
+            cc, ci = self.expr_cost(extra[1])
+            bc, bi = self.ops.branch
+            return (cc + bc + self.ops.load[0], ci + bi + 1.0)
+        if kind == "branch":  # bare branch (single's arrival election)
+            return self.ops.branch
+        raise ValueError(f"unknown extra kind {kind!r}")  # pragma: no cover
+
+    def site_cost(self, site: "ChargeSite") -> tuple[float, float]:
+        """Raw (cycles, instructions) of one charge site, pre-scaling."""
+        cy = sum(self.stmt_cost(s)[0] for s in site.stmts)
+        ins = sum(self.stmt_cost(s)[1] for s in site.stmts)
+        if site.extra is not None:
+            ecy, eins = self.extra_cost(site.extra)
+            cy, ins = cy + ecy, ins + eins
+        return cy, ins
+
+
+_REF_MODEL = CostModel(_RefOps)
+
+
+# ======================================================================
+# charge sites: what the cost pass fills in per vendor
+# ======================================================================
+
+class ChargeSite:
+    """One fused cost charge: statements plus an optional head term.
+
+    ``k_cy``/``k_ins`` are indices into the kernel's ``_K`` constants
+    tuple (``None`` when that component is structurally zero); ``br`` is
+    vendor-independent and baked into the template as a literal.
+    """
+
+    __slots__ = ("stmts", "extra", "br", "in_crit", "k_cy", "k_ins")
+
+    def __init__(self, stmts: tuple, extra: tuple | None, br: float,
+                 in_crit: bool):
+        self.stmts = stmts
+        self.extra = extra
+        self.br = br
+        self.in_crit = in_crit
+        self.k_cy: int | None = None
+        self.k_ins: int | None = None
+
+
+class RuntimeConstSite:
+    """An unscaled runtime-parameter constant (e.g. one atomic RMW).
+
+    The classic lowerer charged these from inside the runtime hook; the
+    two-phase kernel charges them inline (same accumulator, same order)
+    so the hook stays cost-transparent and needs no local/shared
+    synchronization.
+    """
+
+    __slots__ = ("param", "k")
+
+    def __init__(self, param: str, k: int):
+        self.param = param
+        self.k = k
+
+
+@dataclass
+class StructuralKernel:
+    """Phase-1 output: vendor-shape template plus charge-site metadata."""
+
+    template: str
+    code: object  # types.CodeType, shared by every vendor of this shape
+    sites: tuple[object, ...]  # ChargeSite | RuntimeConstSite, in _K order
+    n_constants: int
+    regions: list[RegionMeta]
+    uses_math: tuple[str, ...]
+
+
+@dataclass
+class LoweredKernel:
+    """Output of lowering: template code bound to one vendor's constants."""
+
+    source: str
+    code: object  # types.CodeType (shared across same-shape kernels)
+    constants: tuple[float, ...] = ()
+    regions: list[RegionMeta] = field(default_factory=list)
+    uses_math: tuple[str, ...] = ()
+    _entry: object = field(default=None, repr=False, compare=False)
+
+    def bind(self) -> object:
+        """The ``_kernel`` callable; the exec'd module is memoized so
+        repeated binds (every execution site, every input) reuse one
+        function object instead of re-exec'ing the module code."""
+        if self._entry is None:
+            ns = dict(_HELPERS)
+            ns["_K"] = self.constants
+            exec(self.code, ns)  # noqa: S102 - our own generated code
+            self._entry = ns["_kernel"]
+        return self._entry
+
+
+# ======================================================================
+# phase 1: the structural pass
+# ======================================================================
+
+class StructuralLowerer:
+    """Lowers one (FP-transformed) program to a vendor-shape template.
+
+    ``ftz`` is the only vendor trait that changes emitted *code* (the
+    FMA mode changed the input tree before this pass); everything else a
+    vendor contributes — per-op costs, cycle/instruction scales, fault
+    scaling — lives in the ``_K`` constants tuple that
+    :func:`bind_costs` computes in phase 2.
+    """
+
+    def __init__(self, program: Program, *, ftz: bool):
         self.program = program
-        self.vendor = vendor
         self.fp32 = program.fp_type is FPType.FLOAT
-        self.ftz = vendor.traits.flush_subnormals
-        # bake all static scales into the per-block constants; the latent
-        # fast/slow paths are whole-binary codegen effects
-        self.cy_scale = (vendor.traits.cycle_scale * opt_cycle_scale(opt_level)
-                         * (vendor.faults.fast_factor if fast_armed else 1.0)
-                         * (vendor.faults.slow_factor if slow_armed else 1.0))
-        self.ins_scale = vendor.traits.instr_scale
+        self.ftz = ftz
         self.w = PyWriter()
         self.regions: list[RegionMeta] = []
         self.math_used: set[str] = set()
+        self.sites: list[object] = []
+        self._n_constants = 0
         #: name substitution (comp -> reduction private copy inside regions)
         self._subst: dict[str, str] = {}
         self._in_crit = False
@@ -155,48 +371,107 @@ class Lowerer:
     def _wrap(self, text: str) -> str:
         """Apply binary32 rounding and/or FTZ to one operation result."""
         if self.fp32:
-            text = f"_f32({text})"
             if self.ftz:
-                text = f"_ftzf({text})"
-        elif self.ftz:
-            text = f"_ftz({text})"
+                return f"_f32z({text})"  # fused f32 + binary32 FTZ
+            return f"_f32({text})"
+        if self.ftz:
+            return f"_ftz({text})"
         return text
 
+    def _wrap_value(self, v: float) -> float:
+        """The value :meth:`_wrap` would produce at runtime — same helper
+        functions, so folded constants are bit-identical to executing the
+        operation in the kernel."""
+        if self.fp32:
+            return f32z(v) if self.ftz else f32(v)
+        if self.ftz:
+            return ftz_d(v)
+        return v
+
     def expr(self, e: Expr) -> str:
+        return self._expr(e)[0]
+
+    def _expr(self, e: Expr) -> tuple[str, float | None]:
+        """(source text, folded constant value or None).
+
+        Subtrees whose leaves are all numerals are evaluated once at
+        lowering time — with the very helper functions the emitted code
+        would call — and emitted as a single ``repr`` literal (``repr``
+        round-trips floats exactly).  Folding changes only the executed
+        bytecode: the static cost model still charges the full tree, so
+        costs, counters, and results match unfolded execution exactly.
+        """
         if isinstance(e, FPNumeral):
             v = f32(e.value) if self.fp32 else e.value
-            return repr(v)
+            return repr(v), v
         if isinstance(e, IntNumeral):
-            return repr(float(e.value))
+            v = float(e.value)
+            return repr(v), v
         if isinstance(e, VarRef):
             name = self._subst.get(e.var.name, e.var.name)
-            return name if e.var.is_fp else f"float({name})"
+            return (name, None) if e.var.is_fp else (f"float({name})", None)
         if isinstance(e, ArrayRef):
-            return f"{e.var.name}[{self.index(e.index)}]"
+            return f"{e.var.name}[{self.index(e.index)}]", None
         if isinstance(e, ThreadIdx):
-            return "float(_tid)"
+            return "float(_tid)", None
         if isinstance(e, Paren):
-            return self.expr(e.inner)  # grouping is explicit in our output
+            return self._expr(e.inner)  # grouping is explicit in our output
         if isinstance(e, UnaryOp):
-            inner = self.expr(e.operand)
-            return inner if e.op == "+" else f"(-({inner}))"
+            inner, v = self._expr(e.operand)
+            if e.op == "+":
+                return inner, v
+            if v is not None:
+                folded = -v
+                return repr(folded), folded
+            return f"(-({inner}))", None
         if isinstance(e, BinOp):
-            lhs, rhs = self.expr(e.lhs), self.expr(e.rhs)
+            (lhs, lv), (rhs, rv) = self._expr(e.lhs), self._expr(e.rhs)
             if e.op is BinOpKind.DIV:
-                return self._wrap(f"_div({lhs}, {rhs})")
-            return self._wrap(f"({lhs} {_OPSYM[e.op]} {rhs})")
+                if lv is not None and rv is not None:
+                    folded = self._wrap_value(fdiv(lv, rv))
+                    if isfinite(folded):  # inf/nan have no source literal
+                        return repr(folded), folded
+                if rv is not None and rv != 0.0:
+                    # nonzero (or nan) constant divisor: Python's own `/`
+                    # is IEEE-identical and never raises — skip the
+                    # ZeroDivisionError-translating helper call
+                    return self._wrap(f"({lhs} / {rhs})"), None
+                return self._wrap(f"_div({lhs}, {rhs})"), None
+            if lv is not None and rv is not None:
+                op = e.op
+                raw = (lv + rv if op is BinOpKind.ADD else
+                       lv - rv if op is BinOpKind.SUB else lv * rv)
+                folded = self._wrap_value(raw)
+                if isfinite(folded):
+                    return repr(folded), folded
+            return self._wrap(f"({lhs} {_OPSYM[e.op]} {rhs})"), None
         if isinstance(e, FusedMulAdd):
-            a = self.expr(e.a)
-            if e.negate_product:
+            a, av = self._expr(e.a)
+            b, bv = self._expr(e.b)
+            c, cv = self._expr(e.c)
+            if av is not None and e.negate_product:
+                av, a = -av, repr(-av)
+            elif e.negate_product:
                 a = f"(-({a}))"
+            if av is not None and bv is not None and cv is not None:
+                folded = fma_f(av, bv, cv) if self.fp32 else fma_d(av, bv, cv)
+                if self.ftz:
+                    folded = ftz_f(folded) if self.fp32 else ftz_d(folded)
+                if isfinite(folded):
+                    return repr(folded), folded
             fn = "_fmaf" if self.fp32 else "_fma"
-            text = f"{fn}({a}, {self.expr(e.b)}, {self.expr(e.c)})"
+            text = f"{fn}({a}, {b}, {c})"
             if self.ftz:
                 text = f"_ftzf({text})" if self.fp32 else f"_ftz({text})"
-            return text
+            return text, None
         if isinstance(e, MathCall):
             self.math_used.add(e.func)
-            return self._wrap(f"_m_{e.func}({self.expr(e.arg)})")
+            arg, av = self._expr(e.arg)
+            if av is not None:
+                folded = self._wrap_value(MATH_IMPLS[e.func](av))
+                if isfinite(folded):
+                    return repr(folded), folded
+            return self._wrap(f"_m_{e.func}({arg})"), None
         raise TypeError(f"cannot lower expression {type(e).__name__}")
 
     def index(self, idx) -> str:
@@ -216,77 +491,52 @@ class Lowerer:
         return f"({lhs}) {b.op.value} ({self.expr(b.rhs)})"
 
     # ==================================================================
-    # static cost model
+    # charge-site emission
     # ==================================================================
-    def _expr_cost(self, e: Expr) -> tuple[float, float]:
-        ops = self.vendor.ops
-        if isinstance(e, (FPNumeral, IntNumeral, ThreadIdx)):
-            return (0.0, 0.0)
-        if isinstance(e, VarRef):
-            return ops.load if e.var.is_fp else (ops.load[0] * 0.5, 1.0)
-        if isinstance(e, ArrayRef):
-            cy, ins = ops.load
-            return (cy * 1.4, ins + 1.0)  # index arithmetic + indirection
-        if isinstance(e, (Paren, UnaryOp)):
-            inner = e.inner if isinstance(e, Paren) else e.operand
-            cy, ins = self._expr_cost(inner)
-            return (cy + 0.5, ins + 0.5)
-        if isinstance(e, BinOp):
-            lc, li = self._expr_cost(e.lhs)
-            rc, ri = self._expr_cost(e.rhs)
-            oc, oi = ops.div if e.op is BinOpKind.DIV else ops.arith
-            return (lc + rc + oc, li + ri + oi)
-        if isinstance(e, FusedMulAdd):
-            ac, ai = self._expr_cost(e.a)
-            bc, bi = self._expr_cost(e.b)
-            cc, ci = self._expr_cost(e.c)
-            oc, oi = ops.arith
-            return (ac + bc + cc + oc * 1.3, ai + bi + ci + oi * 1.1)
-        if isinstance(e, MathCall):
-            ic, ii = self._expr_cost(e.arg)
-            mc, mi = ops.math_call
-            return (ic + mc, ii + mi)
-        raise TypeError(f"no cost for {type(e).__name__}")
+    def _alloc(self) -> int:
+        k = self._n_constants
+        self._n_constants += 1
+        return k
 
-    def _stmt_cost(self, s) -> tuple[float, float]:
-        ops = self.vendor.ops
-        if isinstance(s, Assignment):
-            cy, ins = self._expr_cost(s.expr)
-            sc, si = ops.store
-            if isinstance(s.target, ArrayRef):
-                sc, si = sc * 1.4, si + 1.0
-            if s.op.binop is not None:  # compound: extra read + op
-                lc, li = ops.load
-                oc, oi = (ops.div if s.op is AssignOpKind.DIV_ASSIGN
-                          else ops.arith)
-                cy, ins = cy + lc + oc, ins + li + oi
-            return (cy + sc, ins + si)
-        if isinstance(s, DeclAssign):
-            cy, ins = self._expr_cost(s.expr)
-            sc, si = ops.store
-            return (cy + sc, ins + si)
-        raise TypeError(f"not a simple statement: {type(s).__name__}")
+    def _charge(self, stmts: tuple = (), extra: tuple | None = None,
+                br: float = 0.0) -> None:
+        """Emit one accumulator update for a fused segment.
 
-    def _charge(self, cy: float, ins: float, br: float = 0.0) -> None:
-        """Emit one accumulator update (current lane)."""
-        cy *= self.cy_scale
-        ins *= self.ins_scale
-        lane = "ccy" if self._in_crit else "cy"
+        Which components appear is decided structurally (every vendor
+        per-op cost is strictly positive, so a site's cost is zero for
+        one vendor exactly when it is zero for all); the *values* are
+        ``_K`` slots the cost pass fills per vendor.
+        """
+        site = ChargeSite(stmts, extra, br, self._in_crit)
+        ref_cy, ref_ins = _REF_MODEL.site_cost(site)
+        lane = "_ccy" if self._in_crit else "_cy"
         parts = []
-        if cy:
-            parts.append(f"_c.{lane} += {cy:.1f}")
-        if ins:
-            parts.append(f"_c.ins += {ins:.1f}")
+        if ref_cy:
+            site.k_cy = self._alloc()
+            parts.append(f"{lane} += _K{site.k_cy}")
+        if ref_ins:
+            site.k_ins = self._alloc()
+            parts.append(f"_ins += _K{site.k_ins}")
         if br:
-            parts.append(f"_c.br += {br:.0f}")
+            parts.append(f"_br += {br:.0f}")
+        if site.k_cy is not None or site.k_ins is not None:
+            self.sites.append(site)
         if parts:
             self.w.line("; ".join(parts))
+
+    def _runtime_const(self, param: str) -> None:
+        """Charge one unscaled runtime-parameter constant on the cycle
+        lane (always ``_cy`` — the classic runtime charged ``c.cy``
+        regardless of the critical lane)."""
+        k = self._alloc()
+        self.sites.append(RuntimeConstSite(param, k))
+        self.w.line(f"_cy += _K{k}")
 
     # ==================================================================
     # statement emission
     # ==================================================================
     def _emit_assignment(self, s: Assignment) -> None:
-        rhs = self.expr(s.expr)
+        rhs, rv = self._expr(s.expr)
         if isinstance(s.target, VarRef):
             name = self._subst.get(s.target.var.name, s.target.var.name)
         else:
@@ -297,7 +547,10 @@ class Lowerer:
         binop = s.op.binop
         assert binop is not None
         if binop is BinOpKind.DIV:
-            self.w.line(f"{name} = {self._wrap(f'_div({name}, {rhs})')}")
+            if rv is not None and rv != 0.0:  # see the BinOp DIV fast path
+                self.w.line(f"{name} = {self._wrap(f'({name} / {rhs})')}")
+            else:
+                self.w.line(f"{name} = {self._wrap(f'_div({name}, {rhs})')}")
         else:
             self.w.line(
                 f"{name} = {self._wrap(f'({name} {_OPSYM[binop]} {rhs})')}")
@@ -310,24 +563,22 @@ class Lowerer:
         else:  # pragma: no cover
             raise TypeError(type(s).__name__)
 
-    def block(self, b: Block, *, extra: tuple[float, float, float] = (0, 0, 0),
+    def block(self, b: Block, *, extra: tuple | None = None,
               tid_var: str | None = None) -> None:
         """Emit a block: segments of simple statements get one fused charge."""
         pending: list = []
-        extra_cy, extra_ins, extra_br = extra
         first = True
 
         def flush() -> None:
-            nonlocal first, extra_cy, extra_ins, extra_br
-            if not pending and not (first and (extra_cy or extra_br)):
+            nonlocal first
+            if not pending and not (first and extra is not None):
                 return
-            cy = sum(self._stmt_cost(s)[0] for s in pending)
-            ins = sum(self._stmt_cost(s)[1] for s in pending)
-            br = 0.0
             if first:
-                cy, ins, br = cy + extra_cy, ins + extra_ins, br + extra_br
+                self._charge(tuple(pending), extra,
+                             extra[2] if extra is not None else 0.0)
                 first = False
-            self._charge(cy, ins, br)
+            else:
+                self._charge(tuple(pending))
             for s in pending:
                 self._emit_simple(s)
             pending.clear()
@@ -338,17 +589,15 @@ class Lowerer:
                 continue
             flush()
             if first:  # control statement heads the block: standalone charge
-                self._charge(extra_cy, extra_ins, extra_br)
+                if extra is not None:
+                    self._charge((), extra, extra[2])
                 first = False
             self.stmt(s, tid_var=tid_var)
         flush()
 
     def stmt(self, s, *, tid_var: str | None = None) -> None:
-        ops = self.vendor.ops
         if isinstance(s, IfBlock):
-            cc, ci = self._expr_cost(s.cond.rhs)
-            bc, bi = ops.branch
-            self._charge(cc + bc + ops.load[0], ci + bi + 1.0, 1.0)
+            self._charge((), ("if", s.cond.rhs), 1.0)
             self.w.open(f"if {self.bool_expr(s.cond)}:")
             self.block(s.body, tid_var=tid_var)
             self.w.close()
@@ -357,6 +606,9 @@ class Lowerer:
             self._emit_for(s, tid_var=tid_var)
             return
         if isinstance(s, OmpCritical):
+            # crit_enter may abort with the livelock fault: the shared
+            # cost state must be current when the driver reads it
+            self.w.line(_FLUSH)
             self.w.line("_rt.crit_enter()")
             was = self._in_crit
             self._in_crit = True
@@ -367,8 +619,10 @@ class Lowerer:
         if isinstance(s, OmpAtomic):
             assert tid_var is not None, "atomic outside a parallel region"
             # the update itself costs like the plain statement; the RMW
-            # premium and the counter bump live in the runtime hook
-            self._charge(*self._stmt_cost(s.update))
+            # premium is the runtime's uncontended atomic cost, charged
+            # inline so the hook stays cost-transparent
+            self._charge((s.update,))
+            self._runtime_const("atomic_rmw_cycles")
             self.w.line("_rt.atomic_update()")
             self._emit_assignment(s.update)
             return
@@ -378,11 +632,11 @@ class Lowerer:
             # arrive" is deterministically thread 0; the body's effects
             # are restricted to team-uniform values, making any choice of
             # executor equivalent (and the native run deterministic)
-            bc, bi = self.vendor.ops.branch
-            self._charge(bc, bi, 1.0)
+            self._charge((), ("branch",), 1.0)
             self.w.open(f"if {tid_var} == 0:")
             self.block(s.body, tid_var=tid_var)
             self.w.close()
+            self._runtime_const("single_arrival_cycles")
             self.w.line(f"_rt.single_done({tid_var})")
             return
         if isinstance(s, OmpBarrier):
@@ -413,9 +667,7 @@ class Lowerer:
                 f"{s.schedule.value!r}, {s.schedule_chunk})")
 
     def _emit_for(self, s: ForLoop, *, tid_var: str | None) -> None:
-        ops = self.vendor.ops
         lv = s.loop_var.name
-        iter_cost = (ops.loop_iter[0], ops.loop_iter[1], 1.0)
         if s.omp_for and s.collapse == 2:
             self._emit_collapsed_for(s, tid_var=tid_var)
             return
@@ -426,7 +678,7 @@ class Lowerer:
             self.w.open(f"for {lv} in {src}:")
         else:
             self.w.open(f"for {lv} in range({self._bound_text(s.bound)}):")
-        self.block(s.body, extra=iter_cost, tid_var=tid_var)
+        self.block(s.body, extra=("loop", 1, 1.0), tid_var=tid_var)
         self.w.close()
         if s.omp_for:
             self.w.line(f"_rt.omp_for_done({tid_var})")
@@ -436,7 +688,6 @@ class Lowerer:
         both induction variables — exactly how a conforming runtime
         schedules a collapsed nest (row-major logical iteration space)."""
         assert tid_var is not None, "omp for outside region"
-        ops = self.vendor.ops
         inner = s.body.stmts[0]
         assert isinstance(inner, ForLoop) and not inner.omp_for
         lv, ilv = s.loop_var.name, inner.loop_var.name
@@ -446,11 +697,10 @@ class Lowerer:
         self.w.line(f"_n_{lv} = ({n1}) * _n2_{lv}")
         src = self._iter_source(s, tid_var, f"_n_{lv}", lv)
         self.w.open(f"for _k_{lv} in {src}:")
-        # two loop heads' worth of bookkeeping per flattened iteration
-        iter_cost = (ops.loop_iter[0] * 2, ops.loop_iter[1] * 2, 2.0)
         self.w.line(f"{lv} = _k_{lv} // _n2_{lv}")
         self.w.line(f"{ilv} = _k_{lv} % _n2_{lv}")
-        self.block(inner.body, extra=iter_cost, tid_var=tid_var)
+        # two loop heads' worth of bookkeeping per flattened iteration
+        self.block(inner.body, extra=("loop", 2, 2.0), tid_var=tid_var)
         self.w.close()
         self.w.line(f"_rt.omp_for_done({tid_var})")
 
@@ -492,12 +742,19 @@ class Lowerer:
         fprivs = list(s.clauses.firstprivate)
         reduction = s.clauses.reduction
 
+        # region_enter charges spawn instructions/branches and may abort
+        # with the miscompile fault: synchronize both directions
+        w.line(_FLUSH)
         w.line(f"_rt.region_enter({rid})")
+        w.line(_RELOAD)
         for v in privs + fprivs:
             w.line(f"_save_{v.name} = {v.name}")
         if reduction is not None:
             w.line("_partials = []")
         w.open(f"for _tid in range({meta.n_threads}):")
+        # thread_begin snapshots the shared lanes; they are current here
+        # because the previous thread's charges were flushed at its
+        # thread_end and nothing in between charges
         w.line("_rt.thread_begin(_tid)")
         for v in fprivs:
             w.line(f"{v.name} = _save_{v.name}")
@@ -512,6 +769,7 @@ class Lowerer:
             self._subst.pop(self.program.comp.name, None)
         if reduction is not None:
             w.line("_partials.append(_rcomp)")
+        w.line(_FLUSH)
         w.line("_rt.thread_end(_tid)")
         w.close()
         comp = self.program.comp.name
@@ -520,15 +778,17 @@ class Lowerer:
                    f"{reduction.value!r})")
         else:
             w.line(f"{comp} = _rt.region_exit({rid}, {comp}, None, None)")
+        w.line(_RELOAD)  # region_exit rewrote the shared lanes
         for v in privs + fprivs:
             w.line(f"{v.name} = _save_{v.name}")
 
     # ==================================================================
     # whole kernel
     # ==================================================================
-    def lower(self) -> LoweredKernel:
+    def lower(self) -> StructuralKernel:
         w = self.w
-        w.open("def _kernel(_args, _rt, _c):")
+        helpers = ", ".join(f"{h}={h}" for h in _HELPER_PARAMS)
+        w.open(f"def _kernel(_args, _rt, _c, _K=_K, {helpers}):")
         w.line("_rt.prologue()")
         for name in sorted(self._collect_math()):
             w.line(f"_m_{name} = _MATH[{name!r}]")
@@ -544,18 +804,33 @@ class Lowerer:
             else:
                 val = f"_args[{p.name!r}]"
                 if self.fp32:
-                    val = f"_f32({val})"
-                if self.ftz:
-                    val = (f"_ftzf({val})" if self.fp32 else f"_ftz({val})")
+                    val = f"_f32z({val})" if self.ftz else f"_f32({val})"
+                elif self.ftz:
+                    val = f"_ftz({val})"
                 w.line(f"{p.name} = {val}")
+        w.line(_RELOAD)  # seed the local accumulator mirror
         self.block(self.program.body)
+        w.line(_FLUSH)  # the driver reads the shared state after return
         w.line(f"return {self.program.comp.name}")
         w.close()
-        source = w.text()
-        code = compile(source, f"<lowered:{self.program.name}:{self.vendor.name}>",
-                       "exec")
-        return LoweredKernel(source=source, code=code, regions=self.regions,
-                             uses_math=tuple(sorted(self.math_used)))
+        body = w.text()
+        # unpack the constants tuple into fast locals once per invocation
+        if self._n_constants:
+            names = ", ".join(f"_K{i}" for i in range(self._n_constants))
+            unpack = f"    {names}{',' if self._n_constants == 1 else ''} = _K\n"
+            head, _, rest = body.partition("\n")
+            body = head + "\n" + unpack + rest
+        source = body
+        code = compile(
+            source,
+            f"<lowered:{self.program.name}:"
+            f"{'f32' if self.fp32 else 'f64'}{'+ftz' if self.ftz else ''}>",
+            "exec")
+        return StructuralKernel(template=source, code=code,
+                                sites=tuple(self.sites),
+                                n_constants=self._n_constants,
+                                regions=self.regions,
+                                uses_math=tuple(sorted(self.math_used)))
 
     def _collect_math(self) -> set[str]:
         from ..core.nodes import walk
@@ -563,3 +838,72 @@ class Lowerer:
         return {n.func for n in walk(self.program)
                 if isinstance(n, (MathCall, FusedMulAdd)) and
                 isinstance(n, MathCall)}
+
+
+# ======================================================================
+# phase 2: the vendor cost pass
+# ======================================================================
+
+def bind_costs(structural: StructuralKernel, vendor: "VendorModel",
+               opt_level: str, *, fast_armed: bool = False,
+               slow_armed: bool = False) -> LoweredKernel:
+    """Fill a structural kernel's ``_K`` slots with one vendor's costs.
+
+    Pure arithmetic — no AST walk, no string emission, no ``compile()``;
+    the constants reproduce the classic lowerer's values exactly,
+    including its ``%.1f`` source-literal rounding.
+    """
+    # bake all static scales into the per-site constants; the latent
+    # fast/slow paths are whole-binary codegen effects
+    cy_scale = (vendor.traits.cycle_scale * opt_cycle_scale(opt_level)
+                * (vendor.faults.fast_factor if fast_armed else 1.0)
+                * (vendor.faults.slow_factor if slow_armed else 1.0))
+    ins_scale = vendor.traits.instr_scale
+    model = CostModel(vendor.ops)
+    constants = [0.0] * structural.n_constants
+    for site in structural.sites:
+        if isinstance(site, RuntimeConstSite):
+            constants[site.k] = float(getattr(vendor.runtime, site.param))
+            continue
+        cy, ins = model.site_cost(site)
+        if site.k_cy is not None:
+            constants[site.k_cy] = float(f"{cy * cy_scale:.1f}")
+        if site.k_ins is not None:
+            constants[site.k_ins] = float(f"{ins * ins_scale:.1f}")
+    ktuple = tuple(constants)
+    source = (f"# {vendor.name} {opt_level} constants: _K = {ktuple!r}\n"
+              + structural.template)
+    return LoweredKernel(source=source, code=structural.code,
+                         constants=ktuple, regions=structural.regions,
+                         uses_math=structural.uses_math)
+
+
+# ======================================================================
+# one-shot facade
+# ======================================================================
+
+class Lowerer:
+    """Classic single-call interface: both phases, no caching.
+
+    Campaign compiles go through :class:`repro.sim.kcache.KernelCache`
+    (see :func:`repro.vendors.toolchain.compile_binary`), which shares
+    the structural pass across vendors and the bound kernel across
+    repeated compiles; this facade exists for direct/diagnostic use and
+    keeps the seed API (``Lowerer(program, vendor, opt).lower()``).
+    """
+
+    def __init__(self, program: Program, vendor: "VendorModel",
+                 opt_level: str, *, fast_armed: bool = False,
+                 slow_armed: bool = False):
+        self.program = program
+        self.vendor = vendor
+        self.opt_level = opt_level
+        self.fast_armed = fast_armed
+        self.slow_armed = slow_armed
+
+    def lower(self) -> LoweredKernel:
+        structural = StructuralLowerer(
+            self.program, ftz=self.vendor.traits.flush_subnormals).lower()
+        return bind_costs(structural, self.vendor, self.opt_level,
+                          fast_armed=self.fast_armed,
+                          slow_armed=self.slow_armed)

@@ -15,10 +15,24 @@ enter/exit); the executor converts those events into
   names so Fig. 6/7 listings can be rendered,
 * **fault behaviour** — deterministic crash (miscompile) and livelock
   (queuing-lock hang, Fig. 9) triggers.
+
+Hook classification (the lowered code mirrors the :class:`CostState`
+lanes in fast locals and synchronizes them only where required):
+
+* **cost-observing/mutating** — ``prologue``, ``region_enter``,
+  ``thread_begin``/``thread_end``, ``region_exit``, and ``crit_enter``
+  (it can abort with a partial cost): lowered code flushes its local
+  accumulators before the call and reloads after the ones that mutate;
+* **cost-transparent** — ``chunk``, ``assign``, ``omp_for_done``,
+  ``barrier``, ``crit_exit``, ``atomic_update``, ``single_done``: these
+  must never read or write ``CostState`` (their per-event cycle charges
+  are baked into the kernel's ``_K`` constants by the cost pass).
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -34,7 +48,57 @@ if TYPE_CHECKING:  # typing-only: breaks the sim <-> vendors import cycle
     from ..vendors.base import VendorModel
 
 
-@dataclass
+#: memo of worksharing assignments: (kind, chunk, n, t) -> (per-tid
+#: iteration tuples, per-tid owned-chunk counts).  Every thread of every
+#: run recomputed the identical chunk walk before this cache; the mapping
+#: is a pure function of its key, so entries never go stale — the LRU
+#: bound only caps memory (an entry holds at most ``n`` indices).
+_ASSIGN_CACHE: OrderedDict = OrderedDict()
+_ASSIGN_CACHE_CAP = 128
+_ASSIGN_LOCK = threading.Lock()
+
+
+def _assigned_iterations(kind: str, chunk: int, n: int, t: int):
+    key = (kind, chunk, n, t)
+    with _ASSIGN_LOCK:
+        hit = _ASSIGN_CACHE.get(key)
+        if hit is not None:
+            _ASSIGN_CACHE.move_to_end(key)
+            return hit
+    per: list[list[int]] = [[] for _ in range(t)]
+    owned = [0] * t
+    if kind == "static":  # schedule(static, chunk): round-robin chunks
+        for tid in range(t):
+            for start in range(tid * chunk, n, chunk * t):
+                per[tid].extend(range(start, min(start + chunk, n)))
+    else:
+        if kind == "dynamic":
+            c = chunk if chunk > 0 else 1
+            sizes = [min(c, n - s) for s in range(0, n, c)]
+        else:  # guided
+            c_min = chunk if chunk > 0 else 1
+            sizes = []
+            remaining = n
+            while remaining > 0:
+                size = min(remaining, max(c_min, -(-remaining // (2 * t))))
+                sizes.append(size)
+                remaining -= size
+        start = 0
+        for i, size in enumerate(sizes):
+            tid = i % t
+            per[tid].extend(range(start, start + size))
+            owned[tid] += 1
+            start += size
+    entry = (tuple(tuple(p) for p in per), tuple(owned))
+    with _ASSIGN_LOCK:
+        _ASSIGN_CACHE[key] = entry
+        _ASSIGN_CACHE.move_to_end(key)
+        while len(_ASSIGN_CACHE) > _ASSIGN_CACHE_CAP:
+            _ASSIGN_CACHE.popitem(last=False)
+    return entry
+
+
+@dataclass(slots=True)
 class _RegionAccounting:
     """Scratch state while executing one region entry."""
 
@@ -192,31 +256,18 @@ class RegionExecutor:
             if chunk <= 0:
                 lo, hi = self._static_span(tid, n, t)
                 return range(lo, hi)
-            out: list[int] = []
-            for start in range(tid * chunk, n, chunk * t):
-                out.extend(range(start, min(start + chunk, n)))
-            return out
-        if kind == "dynamic":
-            c = chunk if chunk > 0 else 1
-            sizes = [min(c, n - s) for s in range(0, n, c)]
-        elif kind == "guided":
-            c_min = chunk if chunk > 0 else 1
-            sizes = []
-            remaining = n
-            while remaining > 0:
-                size = min(remaining, max(c_min, -(-remaining // (2 * t))))
-                sizes.append(size)
-                remaining -= size
-        else:
+            per, _owned = _assigned_iterations(kind, chunk, n, t)
+            return per[tid]
+        if kind not in ("dynamic", "guided"):
             raise ValueError(f"unknown schedule kind {kind!r}")
-        out = []
-        start = 0
-        for i, size in enumerate(sizes):
-            if i % t == tid:
-                out.extend(range(start, start + size))
-                acc.sched_cycles += rt.omp_for_dispatch_cycles
-            start += size
-        return out
+        per, owned = _assigned_iterations(kind, chunk, n, t)
+        # one contended-counter dispatch per chunk this thread grabbed;
+        # repeated += (not a single multiply) keeps the exact FP
+        # accumulation the per-chunk loop performed
+        d = rt.omp_for_dispatch_cycles
+        for _ in range(owned[tid]):
+            acc.sched_cycles += d
+        return per[tid]
 
     def omp_for_done(self, tid: int) -> None:
         """Implicit barrier bookkeeping at the end of an ``omp for``."""
@@ -227,37 +278,48 @@ class RegionExecutor:
     # atomics / single / explicit barriers
     # ------------------------------------------------------------------
     def atomic_update(self) -> None:
-        """One ``#pragma omp atomic`` RMW: charge the uncontended cost on
-        the executing thread's lane; contention is folded in at region
-        exit where the team size is known."""
-        acc = self._require_region()
+        """One ``#pragma omp atomic`` RMW (cost-transparent hook).
+
+        The uncontended RMW cost (``atomic_rmw_cycles``) is charged by
+        the lowered code on the executing thread's lane; this hook only
+        counts the event — contention is folded in at region exit where
+        the team size is known."""
+        acc = self._cur  # hot hook: _require_region() inlined
+        if acc is None:
+            raise RuntimeError("OpenMP event outside a parallel region")
         acc.atomics += 1
         self.counters.atomic_updates += 1
-        self.c.cy += self.vendor.runtime.atomic_rmw_cycles
 
     def single_done(self, tid: int) -> None:
         """Implicit barrier bookkeeping at the end of a ``single``; every
-        thread calls this once per encounter."""
+        thread calls this once per encounter (cost-transparent hook —
+        the arrival-election cycles are charged by the lowered code)."""
         acc = self._require_region()
         acc.single_rounds += 1
-        self.c.cy += self.vendor.runtime.single_arrival_cycles
 
     def barrier(self, tid: int) -> None:
         """Explicit ``#pragma omp barrier``; called once per thread."""
-        acc = self._require_region()
+        acc = self._cur  # hot hook: _require_region() inlined
+        if acc is None:
+            raise RuntimeError("OpenMP event outside a parallel region")
         acc.barrier_rounds += 1
 
     # ------------------------------------------------------------------
     # critical sections
     # ------------------------------------------------------------------
     def crit_enter(self) -> None:
-        acc = self._require_region()
+        # the hottest hook (once per critical-section entry, inside
+        # loops): region-local counting only; the perf counter and the
+        # run-wide acquire total are derived at region exit / only when
+        # the livelock fault is armed
+        acc = self._cur
+        if acc is None:
+            raise RuntimeError("OpenMP event outside a parallel region")
         acc.acquires += 1
-        self._acq_total += 1
-        self.counters.critical_acquires += 1
-        if (self.hang_active
-                and self._acq_total >= self.vendor.faults.hang_min_acquires):
-            self._hang()
+        if self.hang_active:
+            self._acq_total += 1
+            if self._acq_total >= self.vendor.faults.hang_min_acquires:
+                self._hang()
 
     def crit_exit(self) -> None:
         pass  # lane switching is static in the lowered code
@@ -265,10 +327,15 @@ class RegionExecutor:
     def _hang(self) -> None:
         """The Case-Study-3 livelock: every thread stuck acquiring the
         queuing lock, split across the three states of the paper's Fig. 9."""
+        if self._cur is not None:
+            # the abort skips region_exit's derivation of this counter
+            self.counters.critical_acquires += self._cur.acquires
         meta = self.regions[self._cur.rid] if self._cur else RegionMeta()
         t = meta.n_threads
         sym = self.vendor.symbols
-        h = stable_hash("hang-split", self.fingerprint)
+        # faults are functions of the program text, never of the fuzzer's
+        # RNG mode: pin the compat derivation explicitly
+        h = stable_hash("hang-split", self.fingerprint, mode="compat")
         g1 = max(1, t // 2 + (h % 3) - 1)
         g2 = max(1, (t - g1) // 2)
         g3 = max(0, t - g1 - g2)
@@ -289,6 +356,7 @@ class RegionExecutor:
         sym = self.vendor.symbols
         meta = self.regions[rid]
         t = meta.n_threads
+        self.counters.critical_acquires += acc.acquires
 
         compute_max = max(acc.compute, default=0.0)
         compute_sum = sum(acc.compute)

@@ -11,10 +11,23 @@ exceptions this module papers over:
   (:data:`MATH_IMPLS`).
 
 Single-precision programs round every intermediate to binary32 via
-:func:`f32` (``ctypes.c_float`` round-trip — ~4x faster than
-``numpy.float32`` construction, measured on CPython 3.11), matching the
-all-``float`` arithmetic the C++ emitter guarantees (``f`` literal
-suffixes and ``sinf``-family calls).
+:func:`f32`; Intel's FTZ additionally flushes subnormal results
+(:func:`ftz_d` / :func:`ftz_f`), and :func:`f32z` fuses the two
+operations the binary32 Intel path chains on every expression.
+
+Two interchangeable implementations back these helpers:
+
+* the **pure-Python reference** (``_py_*`` names, always importable):
+  ``ctypes.c_float`` round-trips for rounding, ``numpy.longdouble`` for
+  the contracted FMA,
+* an optional **compiled accelerator** (:mod:`repro.sim._native`): the
+  same operations as single C calls, ~10-30x faster per call, verified
+  bit-identical at load time and silently absent when no toolchain is
+  available (or when ``REPRO_NATIVE_VALUES=0``).
+
+Campaign verdicts are byte-identical either way — the equivalence is
+enforced both by the loader's verification battery and by
+``tests/test_sim_values.py``.
 """
 
 from __future__ import annotations
@@ -45,12 +58,12 @@ def silence_fp_warnings() -> None:
 silence_fp_warnings()
 
 
-def f32(x: float) -> float:
+def _py_f32(x: float) -> float:
     """Round a binary64 value to binary32 (overflow becomes ±inf)."""
     return _c_float(x).value
 
 
-def fdiv(a: float, b: float) -> float:
+def _py_fdiv(a: float, b: float) -> float:
     """IEEE division: x/0 -> ±inf, 0/0 and nan operands -> nan."""
     if b != 0.0:
         return a / b
@@ -109,7 +122,7 @@ def is_finite(x: float) -> bool:
     return math.isfinite(x)
 
 
-def fma_d(a: float, b: float, c: float) -> float:
+def _py_fma_d(a: float, b: float, c: float) -> float:
     """Double-precision fused multiply-add: ``round(a*b + c)``.
 
     CPython 3.11 lacks ``math.fma``; x86-64 ``long double`` (80-bit, 64-bit
@@ -123,26 +136,71 @@ def fma_d(a: float, b: float, c: float) -> float:
     return float(_longdouble(a) * _longdouble(b) + _longdouble(c))
 
 
-def fma_f(a: float, b: float, c: float) -> float:
+def _py_fma_f(a: float, b: float, c: float) -> float:
     """Single-precision fused multiply-add — exact, because a binary32
     product and add fit losslessly inside binary64 before the final
     rounding to binary32."""
-    return f32(a * b + c)
+    return _py_f32(a * b + c)
 
 
 _MIN_NORMAL_D = 2.2250738585072014e-308
 _MIN_NORMAL_F = 1.1754943508222875e-38
 
 
-def ftz_d(x: float) -> float:
+def _py_ftz_d(x: float) -> float:
     """Flush a subnormal binary64 result to (signed) zero — Intel FTZ."""
     if x != 0.0 and -_MIN_NORMAL_D < x < _MIN_NORMAL_D:
         return math.copysign(0.0, x)
     return x
 
 
-def ftz_f(x: float) -> float:
+def _py_ftz_f(x: float) -> float:
     """Flush a subnormal binary32 result to (signed) zero — Intel FTZ."""
     if x != 0.0 and -_MIN_NORMAL_F < x < _MIN_NORMAL_F:
         return math.copysign(0.0, x)
     return x
+
+
+def _py_f32z(x: float) -> float:
+    """Fused :func:`f32` + :func:`ftz_f` — the Intel binary32 wrap."""
+    return _py_ftz_f(_py_f32(x))
+
+
+# ----------------------------------------------------------------------
+# public bindings: the compiled accelerator when available, else the
+# pure-Python reference.  Lowered kernels capture whichever is bound at
+# compile time; both produce bit-identical values.
+# ----------------------------------------------------------------------
+
+from . import _native as _native_loader  # noqa: E402  (needs _py_* above)
+
+_NATIVE = _native_loader.load()
+
+#: the pure-Python math table, always available for equivalence tests
+_PY_MATH_IMPLS = dict(MATH_IMPLS)
+
+if _NATIVE is not None:
+    f32 = _NATIVE.f32
+    fdiv = _NATIVE.fdiv
+    fma_d = _NATIVE.fma_d
+    fma_f = _NATIVE.fma_f
+    ftz_d = _NATIVE.ftz_d
+    ftz_f = _NATIVE.ftz_f
+    f32z = _NATIVE.f32z
+    # C libm *is* the library the math module wraps: same symbols, same
+    # bits, none of the exception-translation frames
+    MATH_IMPLS = {name: getattr(_NATIVE, f"m_{name}")
+                  for name in _PY_MATH_IMPLS}
+else:
+    f32 = _py_f32
+    fdiv = _py_fdiv
+    fma_d = _py_fma_d
+    fma_f = _py_fma_f
+    ftz_d = _py_ftz_d
+    ftz_f = _py_ftz_f
+    f32z = _py_f32z
+
+
+def native_values_active() -> bool:
+    """True when the compiled helper module is in use."""
+    return _NATIVE is not None

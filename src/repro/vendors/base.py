@@ -218,7 +218,11 @@ class VendorModel:
     # deterministic fault decisions (pure functions of binary identity)
     # ------------------------------------------------------------------
     def _roll(self, fingerprint: str, channel: str) -> float:
-        return hash_fraction("fault", self.name, channel, fingerprint)
+        # faults belong to the program text, not to the fuzzer's RNG
+        # stream: pin the compat derivation so enabling the fast RNG mode
+        # never re-rolls which binaries carry latent bugs
+        return hash_fraction("fault", self.name, channel, fingerprint,
+                             mode="compat")
 
     def decides_crash(self, fingerprint: str) -> bool:
         return self._roll(fingerprint, "crash") < self.faults.crash_rate

@@ -9,16 +9,27 @@ available OpenMP implementation.  For a simulated vendor that means:
 3. apply the vendor's FP lowering (FMA contraction per its
    ``-ffp-contract`` default at the requested ``-O`` level),
 4. lower the result to executable Python with the vendor's cost model
-   baked into per-block constants.
+   baked into per-site constants.
+
+Step (4) runs through the two-phase pipeline of :mod:`repro.sim.lower`
+behind the process-local :class:`~repro.sim.kcache.KernelCache`: the
+structural pass is shared by every vendor whose kernel shape coincides,
+and recompiling a program the cache has seen (same fingerprint, vendor,
+opt level) returns the previously bound kernel outright.  Step (1) now
+hashes the translation unit it just emitted instead of re-emitting it,
+so one compile performs one C++ emission, not two.
 """
 
 from __future__ import annotations
 
-from ..codegen.emit_main import emit_translation_unit, source_fingerprint
+import hashlib
+
+from ..codegen.emit_main import emit_translation_unit
 from ..core.features import extract_features
 from ..core.nodes import Program
 from ..errors import CompilationError
-from ..sim.lower import Lowerer
+from ..sim.kcache import KernelCache, get_kernel_cache
+from ..sim.lower import StructuralLowerer, bind_costs
 from .base import VendorModel
 from .binary import Binary
 from .clang import CLANG
@@ -43,31 +54,72 @@ def get_vendor(name: str) -> VendorModel:
             f"available: {sorted(VENDORS)}") from None
 
 
+#: fingerprint -> critical-in-omp-for count, for the hang-fault gate.
+#: Content-keyed (never stale); cleared wholesale when it outgrows the
+#: cap so the common three-vendor compile of one program walks the tree
+#: once instead of three times.
+_CRIT_MEMO: dict[str, int] = {}
+_CRIT_MEMO_CAP = 4096
+
+
+def _critical_in_omp_for(program: Program, fingerprint: str) -> int:
+    count = _CRIT_MEMO.get(fingerprint)
+    if count is None:
+        count = extract_features(program).critical_in_omp_for
+        if len(_CRIT_MEMO) >= _CRIT_MEMO_CAP:
+            _CRIT_MEMO.clear()
+        _CRIT_MEMO[fingerprint] = count
+    return count
+
+
 def compile_binary(program: Program, vendor: VendorModel | str,
-                   opt_level: str = "-O3") -> Binary:
-    """Compile ``program`` with one simulated OpenMP implementation."""
+                   opt_level: str = "-O3", *,
+                   cache: KernelCache | None = None) -> Binary:
+    """Compile ``program`` with one simulated OpenMP implementation.
+
+    ``cache`` overrides the process-default
+    :class:`~repro.sim.kcache.KernelCache` (tests pass fresh instances
+    to measure cold costs; ``None`` uses :func:`~repro.sim.kcache.
+    get_kernel_cache`).
+    """
     if isinstance(vendor, str):
         vendor = get_vendor(vendor)
     if opt_level not in ("-O0", "-O1", "-O2", "-O3"):
         raise CompilationError(f"unsupported optimization level {opt_level!r}")
+    if cache is None:
+        cache = get_kernel_cache()
 
     cpp = emit_translation_unit(program)
-    fingerprint = source_fingerprint(program)
+    # identical to codegen.emit_main.source_fingerprint, without paying
+    # for a second emission of the translation unit we already hold
+    fingerprint = hashlib.sha256(cpp.encode()).hexdigest()
 
     crash = vendor.decides_crash(fingerprint)
     # the livelock lives in the queuing lock: only programs that actually
     # contend a critical section can expose it (Case Study 3)
-    feats = extract_features(program)
-    hang = vendor.decides_hang(fingerprint) and feats.critical_in_omp_for > 0
+    hang = (vendor.decides_hang(fingerprint)
+            and _critical_in_omp_for(program, fingerprint) > 0)
     slow = vendor.decides_slow(fingerprint)
     fast = vendor.decides_fast(fingerprint)
 
     fma = effective_fma_mode(vendor.traits.fma_mode, opt_level)
-    lowered_body = lower_block(program.body, fma)
-    lowered_program = replace_body(program, lowered_body)
+    ftz = vendor.traits.flush_subnormals
 
-    kernel = Lowerer(lowered_program, vendor, opt_level,
-                     fast_armed=fast, slow_armed=slow).lower()
+    def build_structural():
+        lowered_body = lower_block(program.body, fma)
+        return StructuralLowerer(replace_body(program, lowered_body),
+                                 ftz=ftz).lower()
+
+    structural = cache.get_structural((fingerprint, ftz, fma),
+                                      build_structural)
+    # key the bound kernel by the vendor *value*, not its name: a custom
+    # VendorModel variant (same name, different costs/traits) must never
+    # receive another model's constants — frozen dataclasses hash by
+    # content, so the key stays correct for replace()-built variants
+    kernel = cache.get_kernel(
+        (fingerprint, vendor, opt_level, fast, slow),
+        lambda: bind_costs(structural, vendor, opt_level,
+                           fast_armed=fast, slow_armed=slow))
     return Binary(
         program=program,
         vendor=vendor,

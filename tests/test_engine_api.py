@@ -401,3 +401,128 @@ class TestIterTestsRaceFilter:
         executed = {v.program_name for v in race_full.verdicts}
         assert iterated == executed
         assert not iterated & set(race_full.race_filtered)
+
+
+class TestChunkedDispatch:
+    """Chunked pooled dispatch: batching must be invisible in results."""
+
+    def test_resolve_chunk_size_auto_and_explicit(self, fast_campaign_cfg):
+        import dataclasses
+
+        from repro.driver.engine import resolve_chunk_size
+
+        cfg = fast_campaign_cfg
+        assert resolve_chunk_size(cfg, 8, jobs=8) == 1  # fits the pool
+        assert resolve_chunk_size(cfg, 200, jobs=4) == 13  # ~4 per worker
+        assert resolve_chunk_size(cfg, 10_000, jobs=2) == 16  # capped
+        explicit = dataclasses.replace(cfg, chunk_size=5)
+        assert resolve_chunk_size(explicit, 10_000, jobs=2) == 5
+
+    def test_chunk_size_validation(self, fast_campaign_cfg):
+        import dataclasses
+
+        with pytest.raises(ConfigError, match="chunk_size"):
+            dataclasses.replace(fast_campaign_cfg, chunk_size=0)
+
+    @pytest.mark.parametrize("engine", ["thread", "process"])
+    def test_chunked_verdicts_identical_to_serial(self, fast_campaign_cfg,
+                                                  small_serial_result,
+                                                  engine):
+        import dataclasses
+
+        cfg = dataclasses.replace(fast_campaign_cfg, chunk_size=3)
+        result = CampaignSession(cfg, engine=engine, jobs=2).run()
+        assert verdict_key(result.verdicts) == \
+            verdict_key(small_serial_result.verdicts)
+
+    def test_mid_chunk_resume_equivalence(self, fast_campaign_cfg,
+                                          small_serial_result, tmp_path):
+        """Interrupting a chunked process run mid-grid and resuming must
+        reproduce the uninterrupted result exactly (the checkpoint
+        persists whole units, never partial chunks)."""
+        import dataclasses
+
+        cfg = dataclasses.replace(fast_campaign_cfg, chunk_size=3)
+        session = CampaignSession(cfg, engine="process", jobs=2)
+        seen = 0
+        for _ in session.stream():
+            seen += 1
+            if seen >= 5:  # abandon mid-grid, mid-chunk
+                break
+        path = tmp_path / "midchunk.jsonl"
+        session.checkpoint(path)
+
+        resumed = CampaignSession.resume(path)
+        assert 0 < resumed.completed_tests <= resumed.total_tests
+        result = resumed.run()
+        assert verdict_key(result.verdicts) == \
+            verdict_key(small_serial_result.verdicts)
+
+    def test_salvaged_chunk_outcomes_checkpointable(self, fast_campaign_cfg,
+                                                    tmp_path):
+        import dataclasses
+
+        cfg = dataclasses.replace(fast_campaign_cfg, chunk_size=4)
+        session = CampaignSession(cfg, engine="thread", jobs=2)
+        stream = session.stream()
+        next(stream)
+        stream.close()  # interrupt: in-flight chunks are salvaged whole
+        path = tmp_path / "salvaged.jsonl"
+        session.checkpoint(path)
+        resumed = CampaignSession.resume(path)
+        assert resumed.completed_tests >= fast_campaign_cfg.inputs_per_program
+
+
+class TestProgressThrottling:
+    def test_progress_none_runs_clean(self, fast_campaign_cfg,
+                                      small_serial_result):
+        result = CampaignSession(fast_campaign_cfg).run(progress=None)
+        assert verdict_key(result.verdicts) == \
+            verdict_key(small_serial_result.verdicts)
+
+    def test_progress_every_throttles_firing_count(self, fast_campaign_cfg):
+        per_test, throttled = [], []
+        CampaignSession(fast_campaign_cfg).run(
+            progress=lambda d, t: per_test.append((d, t)))
+        CampaignSession(fast_campaign_cfg).run(
+            progress=lambda d, t: throttled.append((d, t)),
+            progress_every=6)
+        n = (fast_campaign_cfg.n_programs *
+             fast_campaign_cfg.inputs_per_program)
+        assert len(per_test) == n
+        assert len(throttled) < len(per_test)
+        # monotone, and the final total always reports
+        assert [d for d, _ in throttled] == sorted(d for d, _ in throttled)
+        assert throttled[-1] == (n, n)
+
+    def test_progress_every_on_pooled_engine(self, fast_campaign_cfg):
+        seen = []
+        CampaignSession(fast_campaign_cfg, engine="thread", jobs=2).run(
+            progress=lambda d, t: seen.append((d, t)), progress_every=4)
+        n = (fast_campaign_cfg.n_programs *
+             fast_campaign_cfg.inputs_per_program)
+        assert seen and seen[-1] == (n, n)
+        assert len(seen) <= -(-n // 4) + 1
+
+    def test_mid_chunk_interrupt_salvages_rest_of_chunk(
+            self, fast_campaign_cfg):
+        """Closing the stream between two yields of one chunk must hand
+        the chunk's remaining completed outcomes to the salvage hook —
+        they are finished work."""
+        import dataclasses
+
+        from repro.driver.engine import ExecutionPlan, ThreadPoolEngine, \
+            plan_units
+
+        cfg = dataclasses.replace(fast_campaign_cfg, chunk_size=4)
+        plan = ExecutionPlan(config=cfg)
+        units = plan_units(cfg)
+        salvaged = []
+        engine = ThreadPoolEngine(1)  # one worker: chunks complete whole
+        stream = engine.run(plan, units, salvage=salvaged.append)
+        first = next(stream)
+        stream.close()
+        salvaged_idx = {o.program_index for o in salvaged}
+        assert first.program_index not in salvaged_idx
+        # the first chunk had 4 units; the 3 unyielded ones must survive
+        assert {1, 2, 3} <= salvaged_idx

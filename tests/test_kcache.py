@@ -1,0 +1,152 @@
+"""Tests for the two-phase lowering pipeline and its KernelCache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.core.generator import ProgramGenerator
+from repro.core.inputs import InputGenerator
+from repro.sim.kcache import KernelCache, get_kernel_cache, set_kernel_cache
+from repro.sim.lower import Lowerer, StructuralLowerer, bind_costs
+from repro.driver.execution import run_binary
+from repro.vendors.clang import CLANG
+from repro.vendors.gcc import GCC
+from repro.vendors.toolchain import compile_binary
+
+
+@pytest.fixture()
+def program(program_stream):
+    return program_stream[0]
+
+
+class TestKernelCache:
+    def test_recompile_hits_both_phases(self, program):
+        cache = KernelCache()
+        a = compile_binary(program, "gcc", cache=cache)
+        b = compile_binary(program, "gcc", cache=cache)
+        stats = cache.stats()
+        assert stats.structural_hits >= 1
+        assert stats.kernel_hits >= 1
+        # the bound kernel object itself is shared, not rebuilt
+        assert a.kernel is b.kernel
+
+    def test_three_vendor_compile_counts(self, program):
+        cache = KernelCache()
+        for vendor in ("gcc", "clang", "intel"):
+            compile_binary(program, vendor, cache=cache)
+        stats = cache.stats()
+        # at -O3 the three vendors have three distinct shapes (gcc
+        # contracts aggressively, clang basic, intel basic+FTZ), so no
+        # sharing yet — but nothing is compiled twice either
+        assert stats.kernel_misses == 3
+        assert stats.kernel_hits == 0
+
+    def test_structural_shared_when_shapes_coincide(self, program):
+        # at -O1 FMA contraction is off for everyone: gcc and clang emit
+        # the identical template and must share one structural pass
+        cache = KernelCache()
+        a = compile_binary(program, "gcc", "-O1", cache=cache)
+        b = compile_binary(program, "clang", "-O1", cache=cache)
+        stats = cache.stats()
+        assert stats.structural_misses == 1
+        assert stats.structural_hits == 1
+        assert a.kernel.code is b.kernel.code  # same compiled template
+        assert a.kernel.constants != b.kernel.constants  # vendor costs
+
+    def test_lru_eviction_bounds_entries(self, program_stream):
+        cache = KernelCache(structural_capacity=2, kernel_capacity=2)
+        for p in program_stream[:4]:
+            compile_binary(p, "gcc", cache=cache)
+        assert len(cache) <= 4  # 2 structural + 2 kernel entries
+        assert cache.stats().evictions >= 4
+
+    def test_cached_and_fresh_kernels_execute_identically(
+            self, program, input_gen, machine):
+        cache = KernelCache()
+        warm1 = compile_binary(program, "intel", cache=cache)
+        warm2 = compile_binary(program, "intel", cache=cache)  # cache hit
+        fresh = compile_binary(program, "intel", cache=KernelCache())
+        t = input_gen.generate(program, 0)
+        rows = [run_binary(b, t, machine).to_row()
+                for b in (warm1, warm2, fresh)]
+        assert rows[0] == rows[1] == rows[2]
+
+    def test_default_cache_swap(self):
+        original = get_kernel_cache()
+        try:
+            mine = KernelCache()
+            assert set_kernel_cache(mine) is mine
+            assert get_kernel_cache() is mine
+            with pytest.raises(TypeError):
+                set_kernel_cache(object())  # type: ignore[arg-type]
+        finally:
+            set_kernel_cache(original)
+
+
+class TestTwoPhaseLowering:
+    def test_facade_matches_cached_pipeline(self, program):
+        # the facade (like the seed Lowerer) lowers the tree it is given;
+        # compile_binary applies the vendor FMA transform first
+        from repro.vendors.optimizer import effective_fma_mode, lower_block
+        from repro.vendors.toolchain import replace_body
+
+        fma = effective_fma_mode(GCC.traits.fma_mode, "-O3")
+        transformed = replace_body(program, lower_block(program.body, fma))
+        via_facade = Lowerer(transformed, GCC, "-O3").lower()
+        via_cache = compile_binary(program, "gcc",
+                                   cache=KernelCache()).kernel
+        assert via_facade.constants == via_cache.constants
+        assert via_facade.source == via_cache.source
+
+    def test_bind_is_memoized(self, program):
+        kernel = Lowerer(program, CLANG, "-O3").lower()
+        assert kernel.bind() is kernel.bind()
+
+    def test_cost_pass_needs_no_ast(self, program):
+        structural = StructuralLowerer(program, ftz=False).lower()
+        gcc_kernel = bind_costs(structural, GCC, "-O3")
+        clang_kernel = bind_costs(structural, CLANG, "-O3")
+        assert gcc_kernel.code is clang_kernel.code
+        assert len(gcc_kernel.constants) == structural.n_constants
+        assert gcc_kernel.constants != clang_kernel.constants
+
+    def test_fault_scaling_changes_only_constants(self, program):
+        structural = StructuralLowerer(program, ftz=False).lower()
+        plain = bind_costs(structural, GCC, "-O3")
+        slow = bind_costs(structural, GCC, "-O3", slow_armed=True)
+        assert plain.code is slow.code
+        assert plain.constants != slow.constants
+
+    def test_opt_level_changes_only_constants(self, program):
+        # -O2 and -O3 share the gcc shape (same fma mode) but cost
+        # differently; the compiled template is reused across levels
+        cache = KernelCache()
+        o2 = compile_binary(program, "gcc", "-O2", cache=cache)
+        o3 = compile_binary(program, "gcc", "-O3", cache=cache)
+        assert o2.kernel.code is o3.kernel.code
+        assert o2.kernel.constants != o3.kernel.constants
+
+    def test_regions_metadata_preserved(self, program):
+        kernel = Lowerer(program, GCC, "-O3").lower()
+        legacy_meta = [m.n_threads for m in kernel.regions]
+        assert legacy_meta  # generated programs always have a region
+
+
+class TestVendorVariantKeys:
+    def test_custom_vendor_variant_never_hits_stock_entry(self, program):
+        """A replace()-built vendor sharing the registry name must get
+        its own kernel entry — constants differ with the cost model."""
+        import dataclasses
+
+        from repro.vendors.base import OpCosts
+
+        cache = KernelCache()
+        stock = compile_binary(program, GCC, cache=cache)
+        variant_model = dataclasses.replace(
+            GCC, ops=OpCosts(arith=(99.0, 9.0)))
+        variant = compile_binary(program, variant_model, cache=cache)
+        assert variant_model.name == GCC.name
+        assert stock.kernel.constants != variant.kernel.constants
+        # the structural template is shape-keyed and still shared
+        assert stock.kernel.code is variant.kernel.code

@@ -159,3 +159,175 @@ class TestFTZ:
         assert ftz_d(0.0) == 0.0
         assert ftz_d(math.inf) == math.inf
         assert math.isnan(ftz_d(math.nan))
+
+
+class TestNativeEquivalence:
+    """The compiled helper module must be bitwise-identical to the
+    pure-Python reference (campaign verdicts depend on it)."""
+
+    @staticmethod
+    def _same(a: float, b: float) -> bool:
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
+        return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+
+    EDGE = [0.0, -0.0, 1.5, -2.75, 0.1, 1 / 3, 5e-324, -5e-324, 1e-310,
+            -1e-310, 2.2250738585072014e-308, 1.1754943508222875e-38,
+            1e-39, -1e-39, 3.4028234663852886e+38, 3.4028235677973366e+38,
+            1e39, -1e39, 1e308, -1e308, math.inf, -math.inf, math.nan]
+
+    @pytest.fixture(autouse=True)
+    def _require_native(self):
+        from repro.sim import values
+        if not values.native_values_active():
+            pytest.skip("compiled value helpers unavailable on this host")
+
+    def test_unary_helpers_bitwise_equal(self):
+        from repro.sim import values as v
+        for x in self.EDGE:
+            assert self._same(v.f32(x), v._py_f32(x)), ("f32", x)
+            assert self._same(v.ftz_d(x), v._py_ftz_d(x)), ("ftz_d", x)
+            assert self._same(v.ftz_f(x), v._py_ftz_f(x)), ("ftz_f", x)
+            assert self._same(v.f32z(x), v._py_f32z(x)), ("f32z", x)
+
+    def test_fdiv_bitwise_equal(self):
+        from repro.sim import values as v
+        for a in self.EDGE:
+            for b in self.EDGE:
+                assert self._same(v.fdiv(a, b), v._py_fdiv(a, b)), (a, b)
+
+    @given(st.floats(allow_nan=True, allow_infinity=True),
+           st.floats(allow_nan=True, allow_infinity=True),
+           st.floats(allow_nan=True, allow_infinity=True))
+    @settings(max_examples=300, deadline=None)
+    def test_fma_bitwise_equal_property(self, a, b, c):
+        from repro.sim import values as v
+        assert self._same(v.fma_d(a, b, c), v._py_fma_d(a, b, c))
+        assert self._same(v.fma_f(a, b, c), v._py_fma_f(a, b, c))
+
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    @settings(max_examples=300, deadline=None)
+    def test_unary_bitwise_equal_property(self, x):
+        from repro.sim import values as v
+        assert self._same(v.f32(x), v._py_f32(x))
+        assert self._same(v.ftz_d(x), v._py_ftz_d(x))
+        assert self._same(v.f32z(x), v._py_f32z(x))
+
+    def test_math_impls_bitwise_equal(self):
+        from repro.sim import values as v
+        args = [0.0, -0.0, 0.5, -0.5, 1.0, -1.0, 2.75, 100.0, 710.0,
+                -710.0, 1e-300, 1e308, -1e308, math.inf, -math.inf,
+                math.nan, -3.0]
+        for name, ref in v._PY_MATH_IMPLS.items():
+            for x in args:
+                assert self._same(v.MATH_IMPLS[name](x), ref(x)), (name, x)
+
+    def test_fallback_campaign_verdicts_identical(self):
+        """A tiny campaign in a REPRO_NATIVE_VALUES=0 subprocess must
+        produce the byte-identical verdict set."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import json\n"
+            "from repro.config import CampaignConfig, GeneratorConfig\n"
+            "from repro.harness.session import CampaignSession\n"
+            "from repro.sim.values import native_values_active\n"
+            "cfg = CampaignConfig(n_programs=3, inputs_per_program=2,"
+            " seed=1234, generator=GeneratorConfig("
+            "max_total_iterations=4000, loop_trip_max=60, num_threads=8))\n"
+            "r = CampaignSession(cfg).run()\n"
+            "ids = sorted(repr(v.identity()) for v in r.verdicts)\n"
+            "print(json.dumps({'native': native_values_active(),"
+            " 'ids': ids}))\n"
+        )
+        env = dict(os.environ, REPRO_NATIVE_VALUES="0")
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        doc = json.loads(out.stdout)
+        assert doc["native"] is False
+
+        from repro.config import CampaignConfig, GeneratorConfig
+        from repro.harness.session import CampaignSession
+        cfg = CampaignConfig(n_programs=3, inputs_per_program=2, seed=1234,
+                             generator=GeneratorConfig(
+                                 max_total_iterations=4000,
+                                 loop_trip_max=60, num_threads=8))
+        r = CampaignSession(cfg).run()
+        assert sorted(repr(v.identity()) for v in r.verdicts) == doc["ids"]
+
+
+class TestNativeLoader:
+    """The accelerator loader must degrade, never raise."""
+
+    def test_disabled_via_env(self, monkeypatch):
+        from repro.sim import _native
+        monkeypatch.setenv("REPRO_NATIVE_VALUES", "0")
+        assert _native.load() is None
+
+    def test_load_is_exception_free_on_broken_cache(self, monkeypatch,
+                                                    tmp_path):
+        from repro.sim import _native
+        monkeypatch.delenv("REPRO_NATIVE_VALUES", raising=False)
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        bad = tmp_path / "unwritable"
+        bad.write_text("not a directory")
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(bad / "x"))
+        # builds into an impossible cache dir: must fall back, not raise
+        assert _native.load() is None
+
+    def test_verify_rejects_wrong_math(self):
+        from repro.sim import _native, values
+
+        class Wrong:
+            def __getattr__(self, name):
+                if name.startswith("m_"):
+                    return lambda x: 0.0
+                return getattr(values, f"_py_{name}")
+
+        assert _native._verify(Wrong()) is False
+
+    def test_verify_rejects_wrong_f32(self):
+        from repro.sim import _native, values
+
+        class Wrong:
+            f32 = staticmethod(lambda x: x)  # skips the rounding
+            ftz_d = staticmethod(values._py_ftz_d)
+            ftz_f = staticmethod(values._py_ftz_f)
+            f32z = staticmethod(values._py_f32z)
+            fdiv = staticmethod(values._py_fdiv)
+            fma_d = staticmethod(values._py_fma_d)
+            fma_f = staticmethod(values._py_fma_f)
+
+        assert _native._verify(Wrong()) is False
+
+    def test_verify_accepts_the_reference_itself(self):
+        from repro.sim import _native, values
+
+        class Ref:
+            f32 = staticmethod(values._py_f32)
+            ftz_d = staticmethod(values._py_ftz_d)
+            ftz_f = staticmethod(values._py_ftz_f)
+            f32z = staticmethod(values._py_f32z)
+            fdiv = staticmethod(values._py_fdiv)
+            fma_d = staticmethod(values._py_fma_d)
+            fma_f = staticmethod(values._py_fma_f)
+
+            def __getattr__(self, name):
+                if name.startswith("m_"):
+                    return values._PY_MATH_IMPLS[name[2:]]
+                raise AttributeError(name)
+
+        assert _native._verify(Ref()) is True
+
+    def test_find_cc_returns_path_or_none(self):
+        from repro.sim import _native
+        cc = _native._find_cc()
+        assert cc is None or isinstance(cc, str)
+
+    def test_cache_dir_override(self, monkeypatch, tmp_path):
+        from repro.sim import _native
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "c"))
+        assert _native._cache_dir() == tmp_path / "c"
