@@ -12,7 +12,9 @@ which families a campaign exercises:
 * ``worksharing``  — parallel-for / schedules / collapse
 * ``sync``         — atomic / single / barrier on top of criticals
 * ``reductions``   — all four reduction operators
-* ``full``         — everything at once (the default generator flags)
+* ``tasks``        — sections arms + explicit tasks (worksharing graph)
+* ``full``         — every loop-shaped family at once (graph families
+  stay opt-in via ``tasks`` so the pinned full stream is unchanged)
 
 This example streams a small campaign per mix through
 :meth:`repro.CampaignSession.stream` and prints what the grid actually
@@ -25,7 +27,7 @@ import sys
 
 from repro import CampaignConfig, CampaignSession, GeneratorConfig
 
-MIXES = ("paper", "worksharing", "sync", "reductions", "full")
+MIXES = ("paper", "worksharing", "sync", "reductions", "tasks", "full")
 
 #: small programs so the whole sweep runs in seconds
 _FAST = GeneratorConfig(max_total_iterations=4_000, loop_trip_max=60,
@@ -34,7 +36,8 @@ _FAST = GeneratorConfig(max_total_iterations=4_000, loop_trip_max=60,
 #: the feature columns each mix is expected to move
 _DIVERSITY_FEATURES = ("n_parallel_for", "n_scheduled", "n_collapse",
                        "n_atomic", "n_single", "n_barrier",
-                       "n_minmax_reductions")
+                       "n_minmax_reductions", "n_sections", "n_tasks",
+                       "n_taskwait")
 
 
 def run_mix(mix: str, seed: int) -> None:

@@ -12,6 +12,7 @@ Subcommands mirror the pipeline stages of Fig. 1:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -35,35 +36,63 @@ from .codegen.emit_main import emit_translation_unit
 #: with --checkpoint, also snapshot every N completed differential tests
 _CHECKPOINT_EVERY = 30
 
+#: the campaign seed, applied when neither --seed nor --config gives one
+_DEFAULT_SEED = 20240915
+
 
 def _add_seed(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--seed", type=int, default=20240915,
-                   help="base RNG seed (default: the campaign seed)")
+    # default None, not the seed value: _load_config must distinguish "an
+    # explicit --seed overriding a --config file" from "no seed given"
+    p.add_argument("--seed", type=int, default=None,
+                   help=f"base RNG seed (default: the campaign seed, "
+                        f"{_DEFAULT_SEED})")
+
+
+def _seed(args) -> int:
+    return _DEFAULT_SEED if args.seed is None else args.seed
 
 
 def _load_config(args) -> CampaignConfig:
+    """The effective campaign config: ``--config`` file first, explicit
+    CLI flags applied as overrides on top of it.
+
+    Flags the user did not pass stay at whatever the file (or the
+    defaults) say — overrides go through :func:`dataclasses.replace` on
+    the loaded config rather than rebuilding it, so every field the
+    override does not name survives (including nested generator kwargs a
+    config file may carry alongside ``rng_mode``).
+    """
     if getattr(args, "config", None):
-        return load_campaign(args.config)
-    kwargs = {}
+        base = load_campaign(args.config)
+    else:
+        base = CampaignConfig(seed=_seed(args))
+    overrides: dict = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
     if getattr(args, "programs", None) is not None:
-        kwargs["n_programs"] = args.programs
+        overrides["n_programs"] = args.programs
     if getattr(args, "inputs", None) is not None:
-        kwargs["inputs_per_program"] = args.inputs
+        overrides["inputs_per_program"] = args.inputs
     if getattr(args, "mix", None) is not None:
-        kwargs["directive_mix"] = args.mix
+        overrides["directive_mix"] = args.mix
     if getattr(args, "chunk_size", None) is not None:
-        kwargs["chunk_size"] = args.chunk_size
+        overrides["chunk_size"] = args.chunk_size
     if getattr(args, "rng_mode", None) is not None:
-        kwargs["generator"] = GeneratorConfig(rng_mode=args.rng_mode)
-    return CampaignConfig(seed=args.seed, **kwargs)
+        overrides["generator"] = dataclasses.replace(
+            base.generator, rng_mode=args.rng_mode)
+    return dataclasses.replace(base, **overrides) if overrides else base
 
 
 def cmd_generate(args) -> int:
     cfg = GeneratorConfig()
+    if getattr(args, "rng_mode", None) is not None:
+        # the generate stream must be the stream a --rng-mode campaign
+        # actually tests, so the flag threads into the same config field
+        cfg = dataclasses.replace(cfg, rng_mode=args.rng_mode)
     if getattr(args, "mix", None) is not None:
         cfg = apply_directive_mix(cfg, args.mix)
-    gen = ProgramGenerator(cfg, seed=args.seed)
-    inputs = InputGenerator(cfg, seed=args.seed + 1)
+    gen = ProgramGenerator(cfg, seed=_seed(args))
+    inputs = InputGenerator(cfg, seed=_seed(args) + 1)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     for i in range(args.count):
@@ -81,7 +110,7 @@ def cmd_generate(args) -> int:
 def cmd_run(args) -> int:
     from .harness.campaign import differential_test_single
 
-    result = differential_test_single(seed=args.seed,
+    result = differential_test_single(seed=_seed(args),
                                       program_index=args.index)
     print(result.table())
     if args.source:
@@ -170,7 +199,7 @@ def cmd_casestudy(args) -> int:
     from .analysis.threadstate import render_backtrace, render_thread_groups
     from .vendors import VENDORS
 
-    cfg = CampaignConfig(seed=args.seed)
+    cfg = CampaignConfig(seed=_seed(args))
     if args.number == 1:
         cs = casestudies.case_study_1(cfg)
         print(f"# {cs.name}: {cs.note}\n")
@@ -220,6 +249,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="generated-tests")
     p.add_argument("--mix", choices=sorted(DIRECTIVE_MIXES),
                    help="directive mix preset (default: all families on)")
+    p.add_argument("--rng-mode", choices=RNG_MODES, dest="rng_mode",
+                   help="RNG stream derivation — pass the same mode as "
+                        "the campaign whose programs you want on disk")
     p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("run", help="one differential test")
@@ -249,7 +281,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "the checkpoint; other sizing flags are ignored)")
     p.add_argument("--mix", choices=sorted(DIRECTIVE_MIXES),
                    help="directive mix preset applied to the generator "
-                        "(paper, worksharing, sync, reductions, full)")
+                        "(paper, worksharing, sync, reductions, tasks, "
+                        "full)")
     p.add_argument("--chunk-size", type=int, dest="chunk_size",
                    help="work units per pooled-engine dispatch (default: "
                         "auto — about four chunks per worker)")

@@ -42,7 +42,10 @@ from ..core.nodes import (
     OmpBarrier,
     OmpCritical,
     OmpParallel,
+    OmpSections,
     OmpSingle,
+    OmpTask,
+    OmpTaskwait,
     Paren,
     Program,
     ThreadIdx,
@@ -218,6 +221,28 @@ class CppEmitter:
             return
         if isinstance(s, OmpBarrier):
             w.pragma("omp barrier")
+            return
+        if isinstance(s, OmpSections):
+            w.pragma("omp sections")
+            w.open("")
+            for sec in s.sections:
+                w.pragma("omp section")
+                w.open("")
+                self.block(sec.body, w)
+                w.close()
+            w.close()
+            return
+        if isinstance(s, OmpTask):
+            # owned scalars are shared in the enclosing region and the
+            # task reads nothing thread-dependent, so the implicit
+            # data-sharing rules need no explicit clauses
+            w.pragma("omp task")
+            w.open("")
+            self.block(s.body, w)
+            w.close()
+            return
+        if isinstance(s, OmpTaskwait):
+            w.pragma("omp taskwait")
             return
         if isinstance(s, OmpParallel):
             if s.combined_for:

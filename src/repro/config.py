@@ -103,6 +103,12 @@ class GeneratorConfig:
     enable_single: bool = True            # `omp single` blocks
     enable_barrier: bool = True           # explicit `omp barrier`
     enable_minmax_reduction: bool = True  # reduction(min|max : comp)
+    # The worksharing-graph families (see repro.core.taskgraph).  Off by
+    # default: their scheduling is graph-shaped rather than loop-shaped,
+    # so they are opened by the dedicated ``tasks`` mix (every pinned
+    # stream of the loop-shaped mixes stays byte-identical).
+    enable_sections: bool = False         # `omp sections`/`section` arms
+    enable_tasks: bool = False            # `omp task` + `taskwait`
 
     parallel_for_probability: float = 0.30
     schedule_probability: float = 0.50
@@ -110,6 +116,8 @@ class GeneratorConfig:
     atomic_probability: float = 0.30
     single_probability: float = 0.25
     barrier_probability: float = 0.15
+    sections_probability: float = 0.45
+    task_probability: float = 0.55
 
     # --- correctness (Section III-G / III-E limitation) ---
     allow_data_races: bool = False
@@ -146,7 +154,8 @@ class GeneratorConfig:
                      "firstprivate_probability", "fp_double_probability",
                      "parallel_for_probability", "schedule_probability",
                      "collapse_probability", "atomic_probability",
-                     "single_probability", "barrier_probability"):
+                     "single_probability", "barrier_probability",
+                     "sections_probability", "task_probability"):
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
                 raise ConfigError(f"{name} must be in [0, 1], got {v}")
@@ -172,30 +181,47 @@ DIRECTIVE_MIXES: dict[str, dict[str, bool]] = {
     "paper": dict(enable_parallel_for=False, enable_schedules=False,
                   enable_collapse=False, enable_atomic=False,
                   enable_single=False, enable_barrier=False,
-                  enable_minmax_reduction=False),
+                  enable_minmax_reduction=False,
+                  enable_sections=False, enable_tasks=False),
     # worksharing stressor: combined parallel-for, explicit schedules,
     # collapsed nests — where compiler/runtime chunking logic diverges
     "worksharing": dict(enable_parallel_for=True, enable_schedules=True,
                         enable_collapse=True, enable_atomic=False,
                         enable_single=False, enable_barrier=False,
-                        enable_minmax_reduction=False),
+                        enable_minmax_reduction=False,
+                        enable_sections=False, enable_tasks=False),
     # synchronization stressor: atomics, singles, barriers on top of the
     # paper's criticals
     "sync": dict(enable_parallel_for=False, enable_schedules=False,
                  enable_collapse=False, enable_atomic=True,
                  enable_single=True, enable_barrier=True,
-                 enable_minmax_reduction=False),
+                 enable_minmax_reduction=False,
+                 enable_sections=False, enable_tasks=False),
     # reduction stressor: all four reduction operators over both plain
     # and combined regions
     "reductions": dict(enable_parallel_for=True, enable_schedules=False,
                        enable_collapse=False, enable_atomic=False,
                        enable_single=False, enable_barrier=False,
-                       enable_minmax_reduction=True),
-    # everything at once (the GeneratorConfig defaults)
+                       enable_minmax_reduction=True,
+                       enable_sections=False, enable_tasks=False),
+    # irregular-parallelism stressor: sections arms and explicit tasks —
+    # the worksharing-graph families (repro.core.taskgraph), where real
+    # runtimes' scheduling diverges most; barriers ride along to exercise
+    # the graph's barrier edges
+    "tasks": dict(enable_parallel_for=False, enable_schedules=False,
+                  enable_collapse=False, enable_atomic=False,
+                  enable_single=False, enable_barrier=True,
+                  enable_minmax_reduction=False,
+                  enable_sections=True, enable_tasks=True),
+    # every loop-shaped family at once (the GeneratorConfig defaults).
+    # The graph families stay off here so the pinned full-mix stream —
+    # and with it every full-mix verdict — remains byte-identical to the
+    # pre-graph reproduction; select them explicitly with ``tasks``.
     "full": dict(enable_parallel_for=True, enable_schedules=True,
                  enable_collapse=True, enable_atomic=True,
                  enable_single=True, enable_barrier=True,
-                 enable_minmax_reduction=True),
+                 enable_minmax_reduction=True,
+                 enable_sections=False, enable_tasks=False),
 }
 
 
@@ -279,7 +305,8 @@ class CampaignConfig:
     # Where to save generated tests (None = keep in memory only).
     output_dir: str | None = None
     # Named directive mix applied to the generator's feature flags
-    # ("paper", "worksharing", "sync", "reductions", "full"); None keeps
+    # ("paper", "worksharing", "sync", "reductions", "tasks", "full");
+    # None keeps
     # the generator config exactly as given.  Applied at construction, so
     # every consumer of ``config.generator`` sees the mixed flags.
     directive_mix: str | None = None

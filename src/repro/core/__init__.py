@@ -10,6 +10,9 @@ Public surface:
   against the paper's grammar (Listing 2),
 * :func:`~repro.core.races.find_races` — the static stand-in for the
   paper's manual data-race filtering,
+* :func:`~repro.core.taskgraph.build_region_graph` — the worksharing
+  graph (DAG of work nodes) underlying race verdicts for the
+  ``sections``/``task`` families,
 * :func:`~repro.core.features.extract_features` — structural features
   consumed by vendor models and campaign reports.
 """
@@ -28,6 +31,7 @@ from .inputs import (
 )
 from .nodes import Program, walk
 from .races import RaceReport, find_races, is_race_free
+from .taskgraph import RegionGraph, WorkNode, build_region_graph
 from .types import FPType, ReductionOp, ScheduleKind, Sharing, Variable
 
 __all__ = [
@@ -43,9 +47,12 @@ __all__ = [
     "ProgramGenerator",
     "RaceReport",
     "ReductionOp",
+    "RegionGraph",
     "Sharing",
     "TestInput",
     "Variable",
+    "WorkNode",
+    "build_region_graph",
     "check_conformance",
     "classify",
     "conforms",

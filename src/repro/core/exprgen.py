@@ -96,6 +96,12 @@ class ExprGen:
         arrays = ctx.array_params
         if not arrays:
             return None
+        if ctx.owner is not None:
+            # execute-once work nodes (section arms, task bodies) touch
+            # scalars only: a[tid] is thread-dependent there — the real
+            # runtime picks the executing thread — and serial code
+            # outside the region may have written arbitrary slots
+            return None
         arr = self.rng.choice(arrays)
         in_region = ctx.region is not None
         if in_region and id(arr) in ctx.region.write_arrays:
@@ -116,9 +122,11 @@ class ExprGen:
         loop_vars = ctx.scope.visible_loop_vars()
         if loop_vars:
             choices.append("loop")
-        if ctx.region is not None and not ctx.in_single:
-            # inside a single the executing thread is unspecified, so the
-            # thread id is not a meaningful (deterministic) index
+        if ctx.region is not None and not ctx.in_single \
+                and ctx.owner is None:
+            # inside a single or an execute-once work node the executing
+            # thread is unspecified, so the thread id is not a
+            # meaningful (deterministic) index
             choices.append("tid")
         kind = self.rng.choice(choices)
         if kind == "loop":

@@ -31,7 +31,10 @@ from .nodes import (
     OmpBarrier,
     OmpCritical,
     OmpParallel,
+    OmpSections,
     OmpSingle,
+    OmpTask,
+    OmpTaskwait,
     Program,
     Stmt,
     walk,
@@ -55,6 +58,11 @@ class ProgramFeatures:
     n_collapse: int = 0           # collapse(2) worksharing loops
     n_scheduled: int = 0          # explicit schedule(...) clauses
     n_minmax_reductions: int = 0  # reduction(min|max : comp) clauses
+    # --- worksharing-graph counts (sections / tasks) ---
+    n_sections: int = 0           # `omp sections` constructs
+    n_section_arms: int = 0       # `omp section` arms across constructs
+    n_tasks: int = 0              # explicit `omp task` directives
+    n_taskwait: int = 0           # `omp taskwait` join points
     #: dynamic/guided schedules: a real runtime assigns their iterations
     #: nondeterministically, so tid-indexed stores and FP accumulation
     #: orders vary run-to-run even in race-free programs
@@ -165,6 +173,24 @@ def extract_features(program: Program, *, param_bound_guess: int = 400,
         if isinstance(s, OmpBarrier):
             feats.n_barrier += 1
             return
+        if isinstance(s, OmpSections):
+            feats.n_sections += 1
+            for sec in s.sections:
+                feats.n_section_arms += 1
+                # an arm runs once, not once per thread or per iteration
+                visit_block(sec.body, iters=1, depth=depth,
+                            in_region=in_region, in_omp_for=False,
+                            serial_loop_above=False)
+            return
+        if isinstance(s, OmpTask):
+            feats.n_tasks += 1
+            visit_block(s.body, iters=iters, depth=depth,
+                        in_region=in_region, in_omp_for=False,
+                        serial_loop_above=False)
+            return
+        if isinstance(s, OmpTaskwait):
+            feats.n_taskwait += 1
+            return
         if isinstance(s, OmpParallel):
             feats.n_parallel_regions += 1
             if s.combined_for:
@@ -205,8 +231,10 @@ def _est_iters(block: Block, guess: int) -> int:
     for s in block.stmts:
         if isinstance(s, ForLoop):
             total += max(1, _bound_of(s, guess)) * max(1, _est_iters(s.body, guess))
-        elif isinstance(s, (IfBlock, OmpCritical, OmpSingle)):
+        elif isinstance(s, (IfBlock, OmpCritical, OmpSingle, OmpTask)):
             total += _est_iters(s.body, guess)
+        elif isinstance(s, OmpSections):
+            total += sum(_est_iters(sec.body, guess) for sec in s.sections)
         elif isinstance(s, OmpParallel):
             total += _est_iters(s.body, guess)
         else:

@@ -47,6 +47,17 @@ class RegionState:
     #: one region are serialized by their implicit barriers, so
     #: confining every access to singles is race-free
     single_scalars: set[int] = field(default_factory=set)
+    #: shared scalars owned by exactly one execute-once work node of the
+    #: worksharing graph (a section arm, or an explicit task spawned by
+    #: one): variable identity -> owner token (``"s<construct>.<arm>"``,
+    #: tasks append ``"/t<k>"``).  The owner accesses its scalar freely —
+    #: the node runs on one thread, sequentially — and *nothing else in
+    #: the region* may touch it; the region-exit barrier publishes the
+    #: final value to post-region code
+    owned_scalars: dict[int, str] = field(default_factory=dict)
+    #: sections constructs planned so far — the ``s<construct>`` part of
+    #: owner tokens, so two constructs' arms can never share a token
+    n_graph_constructs: int = 0
     #: reduction operator over comp, if any (Section III-F)
     reduction: ReductionOp | None = None
     #: temporaries declared inside the region body (thread-local)
@@ -106,6 +117,13 @@ class GenContext:
         self.uniform = False
         #: induction variable of the innermost enclosing ``omp for``
         self.omp_for_var: Variable | None = None
+        #: owner token of the enclosing execute-once work node (section
+        #: arm or task body) while generating inside one, else None
+        self.owner: str | None = None
+        #: temporaries declared inside the current execute-once node —
+        #: the only temps its body may touch (outer temps are per-thread
+        #: copies whose values would depend on the executing thread)
+        self.owner_temps: set[int] = set()
 
         #: product of trip counts of all enclosing loops
         self.iter_product = 1
@@ -129,6 +147,8 @@ class GenContext:
         self.scope.temps.append(v)
         if self.region is not None:
             self.region.region_temps.add(id(v))
+        if self.owner is not None:
+            self.owner_temps.add(id(v))
         return v
 
     def fresh_loop_var(self) -> Variable:
@@ -176,10 +196,40 @@ class GenContext:
     # ------------------------------------------------------------------
     # race-avoidance access rules (Section III-G)
     # ------------------------------------------------------------------
+    def _owner_can_read(self, v: Variable) -> bool:
+        """Read legality inside an execute-once work node (section arm or
+        task body): the node's own scalars, the parent arm's scalars from
+        inside its task (ordered by the spawn edge — the arm never writes
+        them between spawn and taskwait), node-local temporaries, and
+        shared scalars the region treats as read-only (their value is the
+        uniform kernel input, identical whichever thread runs the node)."""
+        region = self.region
+        assert region is not None and self.owner is not None
+        ow = region.owned_scalars.get(id(v))
+        if ow is not None:
+            return self.owner == ow or self.owner.startswith(ow + "/")
+        if v.kind is VarKind.TEMP:
+            return id(v) in self.owner_temps
+        if v.kind is VarKind.COMP:
+            return False  # reduction partials / protected comp: not uniform
+        if region.sharing_of(v) is not Sharing.SHARED:
+            return False  # per-thread copies: executing thread unspecified
+        return not (id(v) in region.critical_scalars
+                    or id(v) in region.atomic_scalars
+                    or id(v) in region.single_scalars)
+
     def can_read_scalar(self, v: Variable) -> bool:
         """May the current context *read* scalar ``v``?"""
         if self.region is None:
             return True
+        if self.owner is not None:
+            return self._owner_can_read(v)
+        if id(v) in self.region.owned_scalars:
+            # owned by a section arm/task: team-uniform code before the
+            # construct is concurrent with the arm, and the simulator's
+            # sequential-serialization argument does not cover reads
+            # between the construct's end barrier and region exit
+            return False
         sh = self.region.sharing_of(v)
         if self.in_single:
             # which thread executes a single is unspecified: only values
@@ -215,6 +265,13 @@ class GenContext:
             return False  # never reassign induction variables
         if self.region is None:
             return v.kind is not VarKind.LOOP
+        if self.owner is not None:
+            ow = self.region.owned_scalars.get(id(v))
+            if ow is not None:
+                return self.owner == ow
+            return v.kind is VarKind.TEMP and id(v) in self.owner_temps
+        if id(v) in self.region.owned_scalars:
+            return False  # exclusive to its section arm / task
         if self.in_single:
             # one thread runs the block, serialized against other singles
             # by the implicit barrier: only single-only scalars are safe
@@ -247,6 +304,11 @@ class GenContext:
         """
         if self.region is None:
             return True
+        if self.owner is not None:
+            # arm/task bodies touch scalars only: a[tid] is thread-
+            # dependent and written arrays are concurrently written by
+            # the team around the construct
+            return False
         if self.in_single:
             # a[tid] is thread-dependent, and written arrays may be
             # concurrently touched by threads still before the single
@@ -261,6 +323,8 @@ class GenContext:
         """May the current context write one element of ``arr``?"""
         if self.region is None:
             return True
+        if self.owner is not None:
+            return False  # arm/task bodies update owned scalars only
         if self.in_single:
             return False  # single bodies update scalars only
         return thread_idx and id(arr) in self.region.write_arrays

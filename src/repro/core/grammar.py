@@ -44,7 +44,11 @@ from .nodes import (
     OmpBarrier,
     OmpCritical,
     OmpParallel,
+    OmpSection,
+    OmpSections,
     OmpSingle,
+    OmpTask,
+    OmpTaskwait,
     Paren,
     Program,
     ThreadIdx,
@@ -95,7 +99,7 @@ GRAMMAR: dict[str, Production] = {
                     '")" {" reduction(" <reduction-op> ": comp)"}?',)),
         Production("openmp-block",
                    ('<openmp-head> "\\n{" {<assignment>|<omp-single>|'
-                    '<omp-barrier>}+ <for-loop-block> "}"',
+                    '<omp-barrier>|<omp-sections>}+ <for-loop-block> "}"',
                     "<openmp-parallel-for>")),
         Production("openmp-parallel-for",
                    ('"#pragma omp parallel for default(shared)" '
@@ -111,6 +115,14 @@ GRAMMAR: dict[str, Production] = {
         Production("omp-single",
                    ('"#pragma omp single\\n{" {<assignment>}+ "}"',)),
         Production("omp-barrier", ('"#pragma omp barrier"',)),
+        Production("omp-sections",
+                   ('"#pragma omp sections\\n{" {<omp-section>}+ "}"',)),
+        Production("omp-section",
+                   ('"#pragma omp section\\n{" {<assignment>|<omp-task>|'
+                    '<omp-taskwait>}+ "}"',)),
+        Production("omp-task",
+                   ('"#pragma omp task\\n{" {<assignment>}+ "}"',)),
+        Production("omp-taskwait", ('"#pragma omp taskwait"',)),
         Production("if-block",
                    ('"if" "(" <bool-expression> ")" "{" <block> "}"',)),
         Production("for-loop-head",
@@ -147,19 +159,27 @@ class _Ctx:
     ``uniform`` is True while control flow is guaranteed identical across
     the team (not inside an if-block, worksharing loop, critical, or
     single) — the positions where ``barrier``/``single`` may appear.
+    ``in_section``/``in_task`` track the execute-once contexts of the
+    worksharing-graph constructs; ``in_loop`` is True inside any for loop
+    (``sections`` is kept out of loops so one directive is one static
+    graph node per region entry).
     """
 
     __slots__ = ("in_parallel", "in_omp_for", "in_critical", "in_single",
-                 "uniform")
+                 "uniform", "in_section", "in_task", "in_loop")
 
     def __init__(self, in_parallel: bool = False, in_omp_for: bool = False,
                  in_critical: bool = False, in_single: bool = False,
-                 uniform: bool = False):
+                 uniform: bool = False, *, in_section: bool = False,
+                 in_task: bool = False, in_loop: bool = False):
         self.in_parallel = in_parallel
         self.in_omp_for = in_omp_for
         self.in_critical = in_critical
         self.in_single = in_single
         self.uniform = uniform
+        self.in_section = in_section
+        self.in_task = in_task
+        self.in_loop = in_loop
 
 
 class _Checker:
@@ -291,7 +311,9 @@ class _Checker:
             with self.at("cond"):
                 self.check_bool(s.cond)
             inner = _Ctx(ctx.in_parallel, ctx.in_omp_for, ctx.in_critical,
-                         ctx.in_single, uniform=False)
+                         ctx.in_single, uniform=False,
+                         in_section=ctx.in_section, in_task=ctx.in_task,
+                         in_loop=ctx.in_loop)
             with self.at("body"):
                 self.check_block(s.body, inner)
             return
@@ -306,7 +328,7 @@ class _Checker:
             if ctx.in_single:
                 self.fail("critical inside single is not generated")
             inner = _Ctx(ctx.in_parallel, ctx.in_omp_for, True,
-                         ctx.in_single, uniform=False)
+                         ctx.in_single, uniform=False, in_loop=ctx.in_loop)
             with self.at("body"):
                 self.check_block(s.body, inner)
             return
@@ -322,6 +344,19 @@ class _Checker:
             if not ctx.uniform:
                 self.fail("barrier in non-uniform context (worksharing loop, "
                           "critical, single, or conditional) may deadlock")
+            return
+        if isinstance(s, OmpSections):
+            self._check_sections(s, ctx)
+            return
+        if isinstance(s, OmpTask):
+            self._check_task(s, ctx)
+            return
+        if isinstance(s, OmpTaskwait):
+            if not ctx.in_section:
+                self.fail("#pragma omp taskwait outside a section arm "
+                          "(tasks only spawn from execute-once contexts)")
+            if ctx.in_task:
+                self.fail("taskwait inside a task body is not generated")
             return
         if isinstance(s, OmpParallel):
             if ctx.in_parallel:
@@ -369,7 +404,9 @@ class _Checker:
                      ctx.in_critical, ctx.in_single,
                      # a serial loop executed by the whole team preserves
                      # uniformity; a worksharing loop splits the team
-                     uniform=ctx.uniform and not s.omp_for)
+                     uniform=ctx.uniform and not s.omp_for,
+                     in_section=ctx.in_section, in_task=ctx.in_task,
+                     in_loop=True)
         with self.at("body"):
             self.check_block(s.body, inner)
 
@@ -406,7 +443,57 @@ class _Checker:
                 with self.at(f"body.stmts[{i}]"):
                     self.fail("single bodies contain only assignments")
         inner = _Ctx(ctx.in_parallel, ctx.in_omp_for, ctx.in_critical,
-                     in_single=True, uniform=False)
+                     in_single=True, uniform=False, in_loop=ctx.in_loop)
+        with self.at("body"):
+            self.check_block(s.body, inner)
+
+    def _check_sections(self, s: OmpSections, ctx: _Ctx) -> None:
+        if not ctx.in_parallel:
+            self.fail("#pragma omp sections outside a parallel region")
+        if ctx.in_omp_for or ctx.in_critical or ctx.in_single \
+                or ctx.in_section or ctx.in_task:
+            self.fail("sections may not be closely nested in another "
+                      "worksharing or execute-once construct")
+        if not ctx.uniform:
+            self.fail("sections in non-uniform context (conditional) may "
+                      "deadlock at its implicit barrier")
+        if ctx.in_loop:
+            self.fail("sections inside a loop is not generated (one "
+                      "directive must be one static work node per entry)")
+        if not s.sections:
+            self.fail("<omp-sections> needs at least one section arm")
+        for i, sec in enumerate(s.sections):
+            if not isinstance(sec, OmpSection):
+                with self.at(f"sections[{i}]"):
+                    self.fail("sections children must be section arms")
+            inner = _Ctx(in_parallel=True, uniform=False, in_section=True)
+            with self.at(f"sections[{i}]"):
+                if not sec.body.stmts:
+                    self.fail("a section arm must not be empty")
+                for j, st in enumerate(sec.body.stmts):
+                    if not isinstance(st, (Assignment, DeclAssign, OmpTask,
+                                           OmpTaskwait)):
+                        with self.at(f"body.stmts[{j}]"):
+                            self.fail("section arms contain only "
+                                      "assignments, tasks, and taskwaits")
+                with self.at("body"):
+                    self.check_block(sec.body, inner)
+
+    def _check_task(self, s: OmpTask, ctx: _Ctx) -> None:
+        if not ctx.in_section:
+            self.fail("#pragma omp task outside a section arm (tasks only "
+                      "spawn from execute-once contexts, so one directive "
+                      "is one task instance)")
+        if ctx.in_task:
+            self.fail("nested task bodies are not generated")
+        if not s.body.stmts:
+            self.fail("a task body must not be empty")
+        for j, st in enumerate(s.body.stmts):
+            if not isinstance(st, (Assignment, DeclAssign)):
+                with self.at(f"body.stmts[{j}]"):
+                    self.fail("task bodies contain only assignments")
+        inner = _Ctx(in_parallel=True, uniform=False, in_section=True,
+                     in_task=True)
         with self.at("body"):
             self.check_block(s.body, inner)
 
@@ -432,10 +519,11 @@ class _Checker:
         region_ctx = _Ctx(in_parallel=True, uniform=True)
         for i, s in enumerate(lead):
             if not isinstance(s, (Assignment, DeclAssign, OmpSingle,
-                                  OmpBarrier)):
+                                  OmpBarrier, OmpSections)):
                 with self.at(f"body.stmts[{i}]"):
-                    self.fail("only assignments, singles, and barriers may "
-                              "precede the loop in an OpenMP block")
+                    self.fail("only assignments, singles, barriers, and "
+                              "sections may precede the loop in an OpenMP "
+                              "block")
             with self.at(f"body.stmts[{i}]"):
                 self.check_stmt(s, region_ctx)
         # Private copies must be initialized by the leading assignments

@@ -303,6 +303,64 @@ class OmpBarrier:
 
 
 @dataclass(slots=True)
+class OmpSection:
+    """One ``#pragma omp section`` arm of a ``sections`` construct.
+
+    Not a free-standing statement: sections only exist as children of an
+    :class:`OmpSections` node.  Each arm's body is executed exactly once,
+    by exactly one (unspecified) thread of the team — the first construct
+    family whose scheduling is *graph-shaped*: the arms of one construct
+    are mutually concurrent work nodes, not team-uniform code.
+    """
+
+    body: Block
+
+    def children(self) -> Iterator["Node"]:
+        yield self.body
+
+
+@dataclass(slots=True)
+class OmpSections:
+    """``#pragma omp sections { #pragma omp section {...} ... }``.
+
+    A worksharing construct distributing its section arms across the
+    team; the construct ends with an implicit barrier (no ``nowait`` is
+    ever generated), which also completes any explicit tasks the arms
+    spawned (see :mod:`repro.core.taskgraph` for the DAG model).
+    """
+
+    sections: list[OmpSection] = field(default_factory=list)
+
+    def children(self) -> Iterator["Node"]:
+        yield from self.sections  # type: ignore[misc]
+
+
+@dataclass(slots=True)
+class OmpTask:
+    """``#pragma omp task { <block> }`` — one explicit deferred task.
+
+    Only generated inside execute-once contexts (a ``section`` arm), so
+    each task directive creates exactly one task instance.  The task is
+    concurrent with the code following its spawn point until a
+    ``taskwait`` (or the enclosing construct's implicit barrier) joins it.
+    """
+
+    body: Block
+
+    def children(self) -> Iterator["Node"]:
+        yield self.body
+
+
+@dataclass(slots=True)
+class OmpTaskwait:
+    """``#pragma omp taskwait`` — joins the child tasks spawned so far by
+    the encountering task region."""
+
+    def children(self) -> Iterator["Node"]:
+        return iter(())
+
+
+@dataclass(slots=True)
 class OmpParallel:
     """``<openmp-block>``: directive head plus the structured block.
 
@@ -326,9 +384,12 @@ class OmpParallel:
 
 
 Stmt = Union[Assignment, DeclAssign, IfBlock, ForLoop, OmpParallel, OmpCritical,
-             OmpAtomic, OmpSingle, OmpBarrier]
+             OmpAtomic, OmpSingle, OmpBarrier, OmpSections, OmpTask,
+             OmpTaskwait]
 
-Node = Union[Expr, BoolExpr, Stmt, Block]
+#: ``OmpSection`` is not a statement (it exists only under ``OmpSections``)
+#: but generic walkers do visit it.
+Node = Union[Expr, BoolExpr, Stmt, Block, OmpSection]
 
 
 # ======================================================================
@@ -395,7 +456,7 @@ def iter_statements(node: Node | Program) -> Iterator[Stmt]:
     for n in walk(node):
         if isinstance(n, (Assignment, DeclAssign, IfBlock, ForLoop,
                           OmpParallel, OmpCritical, OmpAtomic, OmpSingle,
-                          OmpBarrier)):
+                          OmpBarrier, OmpSections, OmpTask, OmpTaskwait)):
             yield n
 
 

@@ -35,11 +35,21 @@ from .nodes import (
     OmpAtomic,
     OmpCritical,
     OmpParallel,
+    OmpSection,
+    OmpSections,
+    OmpTask,
+    OmpTaskwait,
     Stmt,
     VarRef,
     walk,
 )
 from .types import AssignOpKind, OmpClauses, ReductionOp, Sharing, Variable
+
+#: one section arm/task kicks off its owned scalar with any assignment
+#: operator (compound ops read the scalar's uniform pre-region input
+#: value); harvest statements fold task results with arithmetic updates
+_HARVEST_OPS = (AssignOpKind.ADD_ASSIGN, AssignOpKind.SUB_ASSIGN,
+                AssignOpKind.MUL_ASSIGN)
 
 
 class OmpGen:
@@ -146,7 +156,8 @@ class OmpGen:
                  if region.sharing_of(v) is Sharing.SHARED
                  and id(v) not in region.critical_scalars
                  and id(v) not in region.atomic_scalars
-                 and id(v) not in region.single_scalars]
+                 and id(v) not in region.single_scalars
+                 and id(v) not in region.owned_scalars]
         pool += inited
         if pool and rng.coin(0.5):
             return VarRef(rng.choice(pool))
@@ -180,6 +191,14 @@ class OmpGen:
         self._plan_protection(region, plan_critical=plan_critical,
                               plan_atomic=plan_atomic,
                               plan_single=plan_single)
+        # worksharing-graph construct: reserve exclusively-owned scalars
+        # now, so nothing generated later in the region can touch them
+        # (RNG discipline: with enable_sections off — every loop-shaped
+        # mix — no draw happens and pinned streams stay byte-identical)
+        plan_sections = (not combined and cfg.enable_sections
+                         and rng.coin(cfg.sections_probability))
+        graph_layout = (self._plan_graph_layout(region) if plan_sections
+                        else None)
 
         # choose which shared arrays the region writes (at [thread_id] only)
         if ctx.array_params:
@@ -205,7 +224,8 @@ class OmpGen:
                 return self._combined_parallel_for(clauses, plan_critical,
                                                    plan_atomic)
             return self._classic_region(clauses, region, plan_critical,
-                                        plan_atomic)
+                                        plan_atomic,
+                                        graph_layout=graph_layout)
         finally:
             ctx.pop_scope()
             ctx.depth -= 1
@@ -214,11 +234,14 @@ class OmpGen:
             ctx.in_critical = False
             ctx.in_single = False
             ctx.uniform = False
+            ctx.owner = None
+            ctx.owner_temps = set()
 
     # ------------------------------------------------------------------
     def _classic_region(self, clauses: OmpClauses, region: RegionState,
-                        plan_critical: bool,
-                        plan_atomic: bool) -> OmpParallel | None:
+                        plan_critical: bool, plan_atomic: bool, *,
+                        graph_layout: list | None = None
+                        ) -> OmpParallel | None:
         ctx, cfg, rng = self.ctx, self.cfg, self.rng
         lead: list[Stmt] = []
         inited: list[Variable] = []
@@ -242,7 +265,8 @@ class OmpGen:
             # generated before the temp enters scope)
             init = self.exprs.expression()
             lead.append(DeclAssign(ctx.fresh_tmp(), init))
-        # singles and barriers are legal at these team-uniform positions
+        # singles, barriers, and sections are legal at these team-uniform
+        # positions
         if region.single_scalars and rng.coin(0.6):
             single = self.blocks.single()
             if single is not None:
@@ -251,6 +275,8 @@ class OmpGen:
             barrier = self.blocks.barrier()
             if barrier is not None:
                 lead.append(barrier)
+        if graph_layout is not None:
+            lead.append(self._sections_construct(graph_layout))
 
         omp_for = rng.coin(cfg.omp_for_probability)
         loop = self.blocks.for_loop(omp_for=omp_for,
@@ -259,6 +285,117 @@ class OmpGen:
             return None
         self._ensure_protected_updates(loop, plan_critical, plan_atomic)
         return OmpParallel(clauses, Block([*lead, loop]))
+
+    # ------------------------------------------------------------------
+    # worksharing-graph constructs (sections / tasks)
+    # ------------------------------------------------------------------
+    def _plan_graph_layout(self, region: RegionState) -> list | None:
+        """Reserve exclusively-owned scalars for one ``sections`` construct.
+
+        Each section arm owns one shared scalar, and each explicit task it
+        spawns owns another; ownership makes the arm/task the *only* code
+        in the region touching that scalar, which is exactly what makes
+        the worksharing graph's concurrency race-free (two arms never
+        share state, a task's result is read only after its ``taskwait``).
+        Returns ``[(arm_index, arm_scalar, [(task_index, task_scalar),
+        ...]), ...]`` or None when too few unclaimed shared scalars exist.
+        """
+        ctx, cfg, rng = self.ctx, self.cfg, self.rng
+        pool = [v for v in ctx.fp_scalar_params
+                if region.sharing_of(v) is Sharing.SHARED
+                and id(v) not in region.critical_scalars
+                and id(v) not in region.atomic_scalars
+                and id(v) not in region.single_scalars
+                and id(v) not in region.owned_scalars]
+        if len(pool) < 2:
+            return None
+        ci = region.n_graph_constructs
+        region.n_graph_constructs += 1
+        n_arms = min(rng.randint(2, 3), len(pool))
+        layout: list = []
+        for i in range(n_arms):
+            if not pool:  # task reservations may have drained the pool
+                break
+            owner = f"s{ci}.{i}"
+            svar = pool.pop(rng.randint(0, len(pool) - 1))
+            region.owned_scalars[id(svar)] = owner
+            tasks: list[tuple[str, Variable]] = []
+            if cfg.enable_tasks and pool and rng.coin(cfg.task_probability):
+                n_tasks = 2 if len(pool) > 1 and rng.coin(0.3) else 1
+                for k in range(n_tasks):
+                    tvar = pool.pop(rng.randint(0, len(pool) - 1))
+                    towner = f"{owner}/t{k}"
+                    region.owned_scalars[id(tvar)] = towner
+                    tasks.append((towner, tvar))
+            layout.append((owner, svar, tasks))
+        return layout
+
+    def _sections_construct(self, layout: list) -> OmpSections:
+        return OmpSections([OmpSection(self._section_body(owner, svar, tasks))
+                            for owner, svar, tasks in layout])
+
+    def _enter_owner(self, owner: str) -> tuple[str | None, set[int]]:
+        ctx = self.ctx
+        saved = (ctx.owner, ctx.owner_temps)
+        ctx.owner, ctx.owner_temps = owner, set()
+        ctx.push_scope()
+        return saved
+
+    def _exit_owner(self, saved: tuple[str | None, set[int]]) -> None:
+        ctx = self.ctx
+        ctx.pop_scope()
+        ctx.owner, ctx.owner_temps = saved
+
+    def _section_body(self, owner: str, svar: Variable,
+                      tasks: list[tuple[str, "Variable"]]) -> Block:
+        """One section arm: seed the owned scalar, optionally compute via
+        a node-local temporary, spawn the arm's tasks, join them with
+        ``taskwait``, and harvest their results into the arm's scalar."""
+        ctx, rng = self.ctx, self.rng
+        saved = self._enter_owner(owner)
+        try:
+            stmts: list[Stmt] = [Assignment(
+                VarRef(svar), rng.choice(list(AssignOpKind)),
+                self.exprs.expression())]
+            if rng.coin(0.35):
+                # initializer first: the temp must not see itself in scope
+                init = self.exprs.expression()
+                stmts.append(DeclAssign(ctx.fresh_tmp(), init))
+            if rng.coin(0.5):
+                stmts.append(Assignment(VarRef(svar),
+                                        rng.choice(list(AssignOpKind)),
+                                        self.exprs.expression()))
+            for towner, tvar in tasks:
+                stmts.append(self._task(towner, tvar))
+            if tasks:
+                # join, then fold the task results into the arm's scalar:
+                # the taskwait edge is what makes these reads race-free
+                stmts.append(OmpTaskwait())
+                for _towner, tvar in tasks:
+                    stmts.append(Assignment(VarRef(svar),
+                                            rng.choice(_HARVEST_OPS),
+                                            VarRef(tvar)))
+            return Block(stmts)
+        finally:
+            self._exit_owner(saved)
+
+    def _task(self, owner: str, tvar: Variable) -> OmpTask:
+        """One explicit task: computes into its owned scalar; it may read
+        the spawning arm's scalar (ordered by the spawn edge — the arm
+        does not write it again before the taskwait)."""
+        rng = self.rng
+        saved = self._enter_owner(owner)
+        try:
+            stmts: list[Stmt] = [Assignment(VarRef(tvar),
+                                            AssignOpKind.ASSIGN,
+                                            self.exprs.expression())]
+            if rng.coin(0.4):
+                stmts.append(Assignment(VarRef(tvar),
+                                        rng.choice(_HARVEST_OPS),
+                                        self.exprs.expression()))
+            return OmpTask(Block(stmts))
+        finally:
+            self._exit_owner(saved)
 
     def _combined_parallel_for(self, clauses: OmpClauses, plan_critical: bool,
                                plan_atomic: bool) -> OmpParallel | None:

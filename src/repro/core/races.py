@@ -32,6 +32,24 @@ The rules, per parallel region (plain or combined ``parallel for``):
 * explicit ``barrier``\\ s are *not* credited with ordering accesses:
   the oracle stays conservative and classifies against the
   whole-region access set.
+
+Worksharing-graph regions
+-------------------------
+
+Regions containing ``sections``/``task`` cannot be classified against one
+uniform context: a section arm or an explicit task executes *once*, on
+one thread, concurrently with its siblings — protection classes alone
+cannot express "these two accesses are ordered by a ``taskwait``".  For
+exactly (and only) those regions the oracle switches to the graph rule
+over :mod:`repro.core.taskgraph`: every access is attributed to a work
+node, and two conflicting accesses race **iff neither node reaches the
+other in the region's worksharing graph and no mutual-exclusion class
+(critical / atomic / single) protects both**.  Graph edges — barriers,
+the implicit barrier ending a ``sections`` construct, task spawn, and
+``taskwait`` — are real OpenMP happens-before guarantees, so this path
+is *more precise* than the uniform-context one; regions without graph
+constructs keep the seed-exact conservative classification above, so
+every pinned loop-shaped verdict is byte-identical.
 """
 
 from __future__ import annotations
@@ -47,6 +65,7 @@ from .nodes import (
     Expr,
     ForLoop,
     IfBlock,
+    IntNumeral,
     OmpAtomic,
     OmpBarrier,
     OmpCritical,
@@ -56,6 +75,12 @@ from .nodes import (
     ThreadIdx,
     VarRef,
     walk,
+)
+from .taskgraph import (
+    GraphBuilder,
+    RegionGraph,
+    drive_region_events,
+    has_graph_constructs,
 )
 from .types import Sharing, Variable, VarKind
 
@@ -71,6 +96,10 @@ class Access:
     is_array: bool
     atomic: bool = False      # part of a `#pragma omp atomic` update
     in_single: bool = False   # inside a `single` block
+    #: worksharing-graph node the access belongs to (graph regions only)
+    node: int = 0
+    #: for arrays: the literal index when it is a compile-time constant
+    const_index: int | None = None
 
 
 @dataclass(frozen=True)
@@ -94,87 +123,90 @@ def _region_sharing(region: OmpParallel) -> dict[int, Sharing]:
     return sharing
 
 
-def _collect_accesses(region: OmpParallel) -> tuple[list[Access], set[int]]:
-    """Walk the region body recording accesses and region-local temps."""
-    accesses: list[Access] = []
-    local_vars: set[int] = set()
+class _AccessRecorder:
+    """The one definition of which reads/writes a leaf statement performs.
 
-    def expr_reads(e: Expr | BoolExpr, in_critical: bool,
-                   in_single: bool) -> None:
+    Both collectors — the uniform-context walk below and the graph walk
+    of :func:`_collect_graph_accesses` — record through this class, so
+    the access set of a given statement shape can never depend on which
+    classification path a region takes.  ``nid`` is the worksharing-graph
+    node an access belongs to (the uniform path passes a constant).
+    """
+
+    def __init__(self) -> None:
+        self.accesses: list[Access] = []
+        self.local_vars: set[int] = set()
+
+    @staticmethod
+    def _const(idx) -> int | None:
+        return idx.value if isinstance(idx, IntNumeral) else None
+
+    def add(self, var: Variable, is_write: bool, crit: bool, single: bool,
+            nid: int, *, tid: bool = False, is_array: bool = False,
+            atomic: bool = False, const_index: int | None = None) -> None:
+        self.accesses.append(Access(var, is_write, crit, tid, is_array,
+                                    atomic=atomic, in_single=single,
+                                    node=nid, const_index=const_index))
+
+    def expr_reads(self, e: Expr | BoolExpr, crit: bool, single: bool,
+                   nid: int) -> None:
         for n in walk(e):  # walk yields the node itself plus descendants
             if isinstance(n, VarRef):
-                accesses.append(Access(n.var, False, in_critical, False,
-                                       False, in_single=in_single))
+                self.add(n.var, False, crit, single, nid)
             elif isinstance(n, ArrayRef):
-                tid = isinstance(n.index, ThreadIdx)
-                accesses.append(Access(n.var, False, in_critical, tid, True,
-                                       in_single=in_single))
+                self.add(n.var, False, crit, single, nid,
+                         tid=isinstance(n.index, ThreadIdx), is_array=True,
+                         const_index=self._const(n.index))
                 if isinstance(n.index, VarRef):
-                    accesses.append(Access(n.index.var, False, in_critical,
-                                           False, False, in_single=in_single))
+                    self.add(n.index.var, False, crit, single, nid)
 
-    def record_assignment(s: Assignment, in_critical: bool, in_single: bool,
-                          atomic: bool = False) -> None:
-        expr_reads(s.expr, in_critical, in_single)
+    def record_assignment(self, s: Assignment, crit: bool, single: bool,
+                          nid: int, atomic: bool = False) -> None:
+        self.expr_reads(s.expr, crit, single, nid)
         if isinstance(s.target, VarRef):
-            accesses.append(Access(s.target.var, True, in_critical, False,
-                                   False, atomic=atomic, in_single=in_single))
+            self.add(s.target.var, True, crit, single, nid, atomic=atomic)
             if s.op.binop is not None:  # compound ops also read
-                accesses.append(Access(s.target.var, False, in_critical,
-                                       False, False, atomic=atomic,
-                                       in_single=in_single))
+                self.add(s.target.var, False, crit, single, nid,
+                         atomic=atomic)
         else:
             tid = isinstance(s.target.index, ThreadIdx)
-            accesses.append(Access(s.target.var, True, in_critical, tid,
-                                   True, atomic=atomic, in_single=in_single))
+            ci = self._const(s.target.index)
+            self.add(s.target.var, True, crit, single, nid, tid=tid,
+                     is_array=True, atomic=atomic, const_index=ci)
             if s.op.binop is not None:
-                accesses.append(Access(s.target.var, False, in_critical, tid,
-                                       True, atomic=atomic,
-                                       in_single=in_single))
+                self.add(s.target.var, False, crit, single, nid, tid=tid,
+                         is_array=True, atomic=atomic, const_index=ci)
 
-    def visit(b: Block, in_critical: bool, in_single: bool) -> None:
-        for s in b.stmts:
-            if isinstance(s, Assignment):
-                record_assignment(s, in_critical, in_single)
-            elif isinstance(s, DeclAssign):
-                local_vars.add(id(s.var))
-                expr_reads(s.expr, in_critical, in_single)
-            elif isinstance(s, OmpAtomic):
-                record_assignment(s.update, in_critical, in_single,
-                                  atomic=True)
-            elif isinstance(s, IfBlock):
-                expr_reads(s.cond, in_critical, in_single)
-                visit(s.body, in_critical, in_single)
-            elif isinstance(s, ForLoop):
-                local_vars.add(id(s.loop_var))
-                if isinstance(s.bound, VarRef):
-                    accesses.append(Access(s.bound.var, False, in_critical,
-                                           False, False, in_single=in_single))
-                visit(s.body, in_critical, in_single)
-            elif isinstance(s, OmpCritical):
-                visit(s.body, True, in_single)
-            elif isinstance(s, OmpSingle):
-                visit(s.body, in_critical, True)
-            elif isinstance(s, OmpBarrier):
-                pass  # no data access; ordering is not credited
-            else:  # pragma: no cover - grammar forbids nested parallel
-                raise TypeError(f"unexpected node {type(s).__name__}")
-
-    visit(region.body, False, False)
-    return accesses, local_vars
+    def leaf(self, s, nid: int, crit: bool, single: bool) -> None:
+        """Record one access-bearing statement (bodies walked elsewhere)."""
+        if isinstance(s, Assignment):
+            self.record_assignment(s, crit, single, nid)
+        elif isinstance(s, DeclAssign):
+            self.local_vars.add(id(s.var))
+            self.expr_reads(s.expr, crit, single, nid)
+        elif isinstance(s, OmpAtomic):
+            self.record_assignment(s.update, crit, single, nid, atomic=True)
+        elif isinstance(s, IfBlock):
+            self.expr_reads(s.cond, crit, single, nid)
+        elif isinstance(s, ForLoop):
+            self.local_vars.add(id(s.loop_var))
+            if isinstance(s.bound, VarRef):
+                self.add(s.bound.var, False, crit, single, nid)
 
 
-def check_region(region: OmpParallel, region_index: int) -> list[RaceReport]:
-    """Race reports for a single parallel region."""
-    reports: list[RaceReport] = []
-    sharing = _region_sharing(region)
-    has_reduction = region.clauses.reduction is not None
-    accesses, local_vars = _collect_accesses(region)
+def _conflict_candidates(accesses: list[Access], local_vars: set[int],
+                         sharing: dict[int, Sharing], has_reduction: bool):
+    """Yield ``(var, accesses, writes)`` for every variable that needs
+    race classification.
 
+    The exemption rules — region-local temporaries, private/firstprivate
+    scalars, ``comp`` under a reduction clause, and variables never
+    written — are shared by the uniform-context and worksharing-graph
+    paths, so a future change to them cannot diverge the two verdicts.
+    """
     by_var: dict[int, list[Access]] = {}
     for a in accesses:
         by_var.setdefault(id(a.var), []).append(a)
-
     for vid, accs in by_var.items():
         var = accs[0].var
         if vid in local_vars:
@@ -186,6 +218,129 @@ def check_region(region: OmpParallel, region_index: int) -> list[RaceReport]:
         writes = [a for a in accs if a.is_write]
         if not writes:
             continue  # read-only shared data is race-free
+        yield var, accs, writes
+
+
+def _collect_accesses(region: OmpParallel) -> tuple[list[Access], set[int]]:
+    """Walk the region body recording accesses and region-local temps."""
+    rec = _AccessRecorder()
+
+    def visit(b: Block, in_critical: bool, in_single: bool) -> None:
+        for s in b.stmts:
+            if isinstance(s, (Assignment, DeclAssign, OmpAtomic)):
+                rec.leaf(s, 0, in_critical, in_single)
+            elif isinstance(s, (IfBlock, ForLoop)):
+                rec.leaf(s, 0, in_critical, in_single)
+                visit(s.body, in_critical, in_single)
+            elif isinstance(s, OmpCritical):
+                visit(s.body, True, in_single)
+            elif isinstance(s, OmpSingle):
+                visit(s.body, in_critical, True)
+            elif isinstance(s, OmpBarrier):
+                pass  # no data access; ordering is not credited
+            else:  # pragma: no cover - grammar forbids nested parallel
+                raise TypeError(f"unexpected node {type(s).__name__}")
+
+    visit(region.body, False, False)
+    return rec.accesses, rec.local_vars
+
+
+# ----------------------------------------------------------------------
+# worksharing-graph classification (regions containing sections/tasks)
+# ----------------------------------------------------------------------
+
+
+def _collect_graph_accesses(
+        region: OmpParallel) -> tuple[list[Access], set[int], RegionGraph]:
+    """Like :func:`_collect_accesses`, but attributes every access to a
+    node of the region's worksharing graph.
+
+    The traversal itself is :func:`~repro.core.taskgraph.
+    drive_region_events` — the same walk :func:`build_region_graph`
+    runs — and the recording goes through the same
+    :class:`_AccessRecorder` as the uniform-context collector, so
+    neither the synchronization semantics nor the per-statement access
+    sets can diverge between the two classification paths.
+    """
+    rec = _AccessRecorder()
+    b = GraphBuilder()
+    drive_region_events(region.body, b, rec.leaf)
+    return rec.accesses, rec.local_vars, b.finish()
+
+
+def _locations_disjoint(a: Access, b: Access) -> bool:
+    """Can the two (array) accesses never touch the same element?"""
+    if not a.is_array:
+        return False
+    if a.tid_index and b.tid_index:
+        # different threads use different slots; one thread's own two
+        # accesses are ordered by program order
+        return True
+    if (a.const_index is not None and b.const_index is not None
+            and a.const_index != b.const_index):
+        return True
+    return False
+
+
+def _pair_races(a: Access, b: Access, graph: RegionGraph) -> bool:
+    """The graph rule: a conflicting pair races iff the nodes are
+    concurrent and no mutual-exclusion class protects both accesses."""
+    if a.is_array and _locations_disjoint(a, b):
+        return False
+    if a.in_critical and b.in_critical:
+        return False
+    if a.atomic and b.atomic:
+        return False
+    if a.in_single and b.in_single:
+        return False
+    if a.node == b.node:
+        # an execute-once node is internally sequential on one thread;
+        # a team node is executed by every thread concurrently
+        return not graph.node(a.node).once
+    return not graph.ordered(a.node, b.node)
+
+
+def _classify_graph_region(region: OmpParallel,
+                           region_index: int) -> list[RaceReport]:
+    """Graph-based classification for regions with sections/tasks."""
+    reports: list[RaceReport] = []
+    sharing = _region_sharing(region)
+    has_reduction = region.clauses.reduction is not None
+    accesses, local_vars, graph = _collect_graph_accesses(region)
+
+    for var, accs, writes in _conflict_candidates(accesses, local_vars,
+                                                  sharing, has_reduction):
+        racy = next(((w, a) for w in writes for a in accs
+                     if _pair_races(w, a, graph)), None)
+        if racy is not None:
+            w, a = racy
+            la = graph.node(w.node).label or f"node {w.node}"
+            lb = graph.node(a.node).label or f"node {a.node}"
+            where = (f"work node '{la}' (team-concurrent)" if w.node == a.node
+                     else f"concurrent work nodes '{la}' and '{lb}'")
+            reports.append(RaceReport(
+                region_index, var.name,
+                f"conflicting accesses in {where} with no happens-before "
+                f"path and no common exclusion class"))
+    return reports
+
+
+def check_region(region: OmpParallel, region_index: int) -> list[RaceReport]:
+    """Race reports for a single parallel region.
+
+    Regions containing worksharing-graph constructs (``sections``/
+    ``task``) are classified with the graph rule; every other region
+    keeps the seed-exact uniform-context classification below.
+    """
+    if has_graph_constructs(region):
+        return _classify_graph_region(region, region_index)
+    reports: list[RaceReport] = []
+    sharing = _region_sharing(region)
+    has_reduction = region.clauses.reduction is not None
+    accesses, local_vars = _collect_accesses(region)
+
+    for var, accs, _writes in _conflict_candidates(accesses, local_vars,
+                                                   sharing, has_reduction):
         if var.is_array:
             bad = [a for a in accs if not a.tid_index]
             if bad:

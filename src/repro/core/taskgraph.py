@@ -1,0 +1,387 @@
+"""The worksharing graph: a DAG of work nodes per parallel region.
+
+The paper's Listing-2 language is *loop-shaped*: every statement of a
+parallel region is executed by every team member, so the race oracle
+(:mod:`repro.core.races`) can classify accesses against one uniform
+context.  ``#pragma omp sections`` and ``#pragma omp task`` break that
+assumption — a section arm or an explicit task executes exactly **once**,
+on one unspecified thread, concurrently with its sibling arms and with
+the spawning code — so race verdicts need an explicit happens-before
+structure (the approach LLOV takes for these constructs) rather than
+per-construct protection classes.
+
+This module models one parallel region as a DAG of :class:`WorkNode`\\ s:
+
+* **implicit** nodes — team-uniform code segments (executed by every
+  thread; ``once=False``),
+* **section** nodes — one per section arm, plus one per arm *segment*
+  when task spawns / ``taskwait`` split the arm (``once=True``),
+* **task** nodes — one per explicit task directive (``once=True``; legal
+  only in execute-once contexts, so one directive is one instance),
+* **barrier** nodes — synchronization points carrying no accesses.
+
+Edges are exactly the orderings OpenMP guarantees for *every* pair of
+executions of the connected nodes:
+
+* program order within one execute-once node chain (section segments),
+* **barrier** edges: an explicit ``barrier`` or the implicit barrier at
+  the end of a ``sections`` construct orders everything before it (on
+  all threads, including unjoined tasks, which barriers complete)
+  before everything after it,
+* **task spawn** edges: code preceding a spawn happens before the task,
+* **taskwait** edges: spawned tasks happen before the code following the
+  encountering task region's ``taskwait``,
+* **region exit**: every node reaches the exit barrier.
+
+No edge is drawn from an implicit segment *into* a section arm other
+than through the last team-wide synchronization point: there is no
+barrier on entry to a ``sections`` construct, so a lagging thread's
+pre-construct code is genuinely concurrent with another thread's arm.
+
+The race oracle then applies the graph rule: two conflicting accesses
+race iff neither node reaches the other **and** no mutual-exclusion
+class (critical / atomic / single) protects both.  Regions without
+sections or tasks produce the degenerate one-implicit-node graph, and
+:mod:`repro.core.races` keeps its seed-exact uniform-context
+classification for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .nodes import (
+    Assignment,
+    Block,
+    DeclAssign,
+    ForLoop,
+    IfBlock,
+    OmpAtomic,
+    OmpBarrier,
+    OmpCritical,
+    OmpParallel,
+    OmpSection,
+    OmpSections,
+    OmpSingle,
+    OmpTask,
+    OmpTaskwait,
+)
+
+#: node kinds (``WorkNode.kind``)
+ENTRY = "entry"
+EXIT = "exit"
+IMPLICIT = "implicit"
+SECTION = "section"
+TASK = "task"
+BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class WorkNode:
+    """One work node of a region's worksharing graph.
+
+    ``once`` distinguishes execute-once nodes (section segments, tasks —
+    internally sequential on one thread) from team nodes (executed by
+    every thread concurrently).
+    """
+
+    nid: int
+    kind: str
+    once: bool
+    label: str = ""
+
+
+@dataclass
+class RegionGraph:
+    """The worksharing DAG of one parallel region."""
+
+    nodes: list[WorkNode] = field(default_factory=list)
+    #: adjacency: node id -> successor node ids
+    succ: dict[int, set[int]] = field(default_factory=dict)
+    entry: int = 0
+    exit: int = 0
+    _reach: dict[int, frozenset[int]] = field(default_factory=dict,
+                                              repr=False)
+
+    def node(self, nid: int) -> WorkNode:
+        return self.nodes[nid]
+
+    def edges(self) -> list[tuple[int, int]]:
+        return sorted((u, v) for u, vs in self.succ.items() for v in vs)
+
+    def reaches(self, a: int, b: int) -> bool:
+        """True when every execution of node ``a`` happens before every
+        execution of node ``b`` (a path of guaranteed orderings)."""
+        if a == b:
+            return False
+        return b in self._reachable_from(a)
+
+    def ordered(self, a: int, b: int) -> bool:
+        """True when the two nodes are ordered either way."""
+        return self.reaches(a, b) or self.reaches(b, a)
+
+    def concurrent(self, a: int, b: int) -> bool:
+        """True when some executions of the two distinct nodes may overlap."""
+        return a != b and not self.ordered(a, b)
+
+    def _reachable_from(self, a: int) -> frozenset[int]:
+        hit = self._reach.get(a)
+        if hit is not None:
+            return hit
+        seen: set[int] = set()
+        stack = list(self.succ.get(a, ()))
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            stack.extend(self.succ.get(n, ()))
+        out = frozenset(seen)
+        self._reach[a] = out
+        return out
+
+
+class GraphBuilder:
+    """Incremental builder driven by a linear walk of a region body.
+
+    Callers (the race oracle's access collector, or
+    :func:`build_region_graph`) announce synchronization-relevant events
+    in source order; ``current`` is the node id that accesses between
+    events belong to.  The builder enforces the structural invariants the
+    grammar guarantees (sections are not nested, tasks appear only inside
+    section arms).
+    """
+
+    def __init__(self) -> None:
+        self.g = RegionGraph()
+        self._entry = self._new(ENTRY, once=False, label="entry")
+        self.g.entry = self._entry
+        #: last team-wide synchronization point (entry or a barrier)
+        self._last_sync = self._entry
+        self._cur = self._new(IMPLICIT, once=False, label="seg0")
+        self._edge(self._entry, self._cur)
+        self._nseg = 1
+        # sections-construct state
+        self._end_barrier: int | None = None
+        self._sec_cur: int | None = None
+        self._sec_index = -1
+        self._task_ordinal = 0
+        self._pending_tasks: list[int] = []
+
+    # -- graph primitives ----------------------------------------------
+    def _new(self, kind: str, *, once: bool, label: str = "") -> int:
+        nid = len(self.g.nodes)
+        self.g.nodes.append(WorkNode(nid, kind, once, label))
+        self.g.succ[nid] = set()
+        return nid
+
+    def _edge(self, u: int, v: int) -> None:
+        self.g.succ[u].add(v)
+
+    # -- the node accesses attach to -----------------------------------
+    @property
+    def current(self) -> int:
+        """Node id for accesses at the walk's current position."""
+        return self._sec_cur if self._sec_cur is not None else self._cur
+
+    @property
+    def in_section(self) -> bool:
+        return self._sec_cur is not None
+
+    # -- synchronization events ----------------------------------------
+    def barrier(self) -> int:
+        """An explicit team barrier at a team-uniform position."""
+        assert self._sec_cur is None, "barrier inside a section arm"
+        b = self._new(BARRIER, once=False, label="barrier")
+        self._edge(self._cur, b)
+        self._cur = self._new(IMPLICIT, once=False,
+                              label=f"seg{self._nseg}")
+        self._nseg += 1
+        self._edge(b, self._cur)
+        self._last_sync = b
+        return b
+
+    def begin_sections(self) -> int:
+        """Open a ``sections`` construct; returns its end-barrier node."""
+        assert self._end_barrier is None, "sections constructs do not nest"
+        self._end_barrier = self._new(BARRIER, once=False,
+                                      label="sections-end")
+        # the encountering team flows through the construct's end barrier
+        self._edge(self._cur, self._end_barrier)
+        return self._end_barrier
+
+    def begin_section(self, index: int) -> int:
+        assert self._end_barrier is not None, "section outside sections"
+        assert self._sec_cur is None, "section arms do not nest"
+        s = self._new(SECTION, once=True, label=f"section{index}")
+        # there is no barrier on entry to a sections construct: the only
+        # guaranteed predecessor of an arm is the last team-wide sync
+        self._edge(self._last_sync, s)
+        self._sec_cur = s
+        self._sec_index = index
+        self._task_ordinal = 0
+        self._pending_tasks = []
+        return s
+
+    def task(self) -> int:
+        """An explicit task spawned at the walk's current position;
+        labelled ``task<arm>.<ordinal>`` so race reports map back to the
+        source's task directives."""
+        assert self._sec_cur is not None, \
+            "tasks are only spawned from section arms"
+        t = self._new(TASK, once=True,
+                      label=f"task{self._sec_index}.{self._task_ordinal}")
+        self._task_ordinal += 1
+        self._edge(self._sec_cur, t)
+        self._pending_tasks.append(t)
+        # post-spawn arm code is a fresh segment, concurrent with the task
+        nxt = self._new(SECTION, once=True,
+                        label=self.g.node(self._sec_cur).label + "'")
+        self._edge(self._sec_cur, nxt)
+        self._sec_cur = nxt
+        return t
+
+    def taskwait(self) -> int:
+        """``taskwait``: joins the arm's spawned-and-unjoined tasks."""
+        assert self._sec_cur is not None, "taskwait outside a section arm"
+        nxt = self._new(SECTION, once=True,
+                        label=self.g.node(self._sec_cur).label + "|wait")
+        self._edge(self._sec_cur, nxt)
+        for t in self._pending_tasks:
+            self._edge(t, nxt)
+        self._pending_tasks = []
+        self._sec_cur = nxt
+        return nxt
+
+    def end_section(self) -> None:
+        assert self._sec_cur is not None and self._end_barrier is not None
+        self._edge(self._sec_cur, self._end_barrier)
+        # the construct's implicit barrier completes unjoined tasks
+        for t in self._pending_tasks:
+            self._edge(t, self._end_barrier)
+        self._pending_tasks = []
+        self._sec_cur = None
+
+    def end_sections(self) -> None:
+        assert self._end_barrier is not None and self._sec_cur is None
+        self._cur = self._new(IMPLICIT, once=False,
+                              label=f"seg{self._nseg}")
+        self._nseg += 1
+        self._edge(self._end_barrier, self._cur)
+        self._last_sync = self._end_barrier
+        self._end_barrier = None
+
+    def finish(self) -> RegionGraph:
+        """Close the region: everything reaches the exit barrier."""
+        assert self._end_barrier is None and self._sec_cur is None
+        ex = self._new(EXIT, once=False, label="exit")
+        self.g.exit = ex
+        for n in self.g.nodes:
+            if n.nid != ex and not self.g.succ[n.nid]:
+                self._edge(n.nid, ex)
+        self._edge(self._cur, ex)
+        return self.g
+
+
+def has_graph_constructs(region: OmpParallel) -> bool:
+    """Does the region contain any construct whose scheduling is
+    graph-shaped (``sections`` / ``task``)?"""
+    from .nodes import walk
+
+    return any(isinstance(n, (OmpSections, OmpTask)) for n in walk(region))
+
+
+def build_region_graph(region: OmpParallel) -> RegionGraph:
+    """Build the worksharing graph of one parallel region.
+
+    ``barrier`` splits the implicit timeline; ``sections`` opens arm and
+    task nodes.  Serial loops and conditionals do not split segments: a
+    barrier *inside* a loop re-executes per iteration, so iteration
+    k+1's pre-barrier code runs after iteration k's post-barrier code —
+    no global pre/post ordering exists and crediting one would claim a
+    happens-before OpenMP does not guarantee; a barrier inside a
+    conditional may not execute at all (and is not even team-uniform),
+    so it guarantees nothing either.  Worksharing loops /
+    criticals / singles stay inside the current segment — their
+    uniform-context protection classes are handled by the race oracle,
+    not by graph edges.
+    """
+    b = GraphBuilder()
+    drive_region_events(region.body, b)
+    return b.finish()
+
+
+def drive_region_events(block: Block, b: GraphBuilder, on_leaf=None, *,
+                        _crit: bool = False, _single: bool = False,
+                        _node: int | None = None,
+                        _loop_depth: int = 0,
+                        _cond_depth: int = 0) -> None:
+    """The one walk that turns a region body into builder events.
+
+    Both :func:`build_region_graph` and the race oracle's access
+    collector drive the same traversal, so the public graph and the
+    oracle's graph can never disagree on synchronization semantics.
+
+    ``on_leaf(stmt, node_id, in_critical, in_single)`` is invoked for
+    every access-bearing statement (assignments, declarations, atomics,
+    plus if-conditions and loop bounds via their owning statement);
+    ``node_id`` is the work node the statement's accesses belong to —
+    the builder's moving current node, or the task node for task bodies.
+    """
+    for s in block.stmts:
+        nid = _node if _node is not None else b.current
+        if isinstance(s, (Assignment, DeclAssign, OmpAtomic)):
+            if on_leaf is not None:
+                on_leaf(s, nid, _crit, _single)
+        elif isinstance(s, IfBlock):
+            if on_leaf is not None:
+                on_leaf(s, nid, _crit, _single)  # condition reads
+            drive_region_events(s.body, b, on_leaf, _crit=_crit,
+                                _single=_single, _node=_node,
+                                _loop_depth=_loop_depth,
+                                _cond_depth=_cond_depth + 1)
+        elif isinstance(s, ForLoop):
+            if on_leaf is not None:
+                on_leaf(s, nid, _crit, _single)  # bound read, loop var
+            drive_region_events(s.body, b, on_leaf, _crit=_crit,
+                                _single=_single, _node=_node,
+                                _loop_depth=_loop_depth + 1,
+                                _cond_depth=_cond_depth)
+        elif isinstance(s, OmpCritical):
+            drive_region_events(s.body, b, on_leaf, _crit=True,
+                                _single=_single, _node=_node,
+                                _loop_depth=_loop_depth,
+                                _cond_depth=_cond_depth)
+        elif isinstance(s, OmpSingle):
+            drive_region_events(s.body, b, on_leaf, _crit=_crit,
+                                _single=True, _node=_node,
+                                _loop_depth=_loop_depth,
+                                _cond_depth=_cond_depth)
+        elif isinstance(s, OmpBarrier):
+            # only loop-free, unconditional, team-level barriers split
+            # the timeline: a barrier in a loop re-executes per
+            # iteration, and a conditionally-executed barrier is not a
+            # team-wide guarantee (see build_region_graph's docstring)
+            if _node is None and _loop_depth == 0 and _cond_depth == 0 \
+                    and not b.in_section:
+                b.barrier()
+        elif isinstance(s, OmpSections):
+            b.begin_sections()
+            for i, sec in enumerate(s.sections):
+                assert isinstance(sec, OmpSection)
+                b.begin_section(i)
+                # arm accesses follow b.current through spawns/taskwaits
+                drive_region_events(sec.body, b, on_leaf, _crit=_crit,
+                                    _single=_single, _node=None,
+                                    _loop_depth=0)
+                b.end_section()
+            b.end_sections()
+        elif isinstance(s, OmpTask):
+            tnode = b.task()
+            drive_region_events(s.body, b, on_leaf, _crit=_crit,
+                                _single=_single, _node=tnode,
+                                _loop_depth=0)
+        elif isinstance(s, OmpTaskwait):
+            b.taskwait()
+        else:  # pragma: no cover - grammar forbids nested parallel
+            raise TypeError(f"unexpected node {type(s).__name__}")

@@ -39,7 +39,11 @@ from ..core.nodes import (
     OmpBarrier,
     OmpCritical,
     OmpParallel,
+    OmpSection,
+    OmpSections,
     OmpSingle,
+    OmpTask,
+    OmpTaskwait,
     Paren,
     ThreadIdx,
     UnaryOp,
@@ -154,6 +158,13 @@ def lower_stmt(s, fma_mode: str):
         return OmpSingle(lower_block(s.body, fma_mode))
     if isinstance(s, OmpBarrier):
         return OmpBarrier()
+    if isinstance(s, OmpSections):
+        return OmpSections([OmpSection(lower_block(sec.body, fma_mode))
+                            for sec in s.sections])
+    if isinstance(s, OmpTask):
+        return OmpTask(lower_block(s.body, fma_mode))
+    if isinstance(s, OmpTaskwait):
+        return OmpTaskwait()
     if isinstance(s, OmpParallel):
         return OmpParallel(s.clauses, lower_block(s.body, fma_mode),
                            combined_for=s.combined_for)

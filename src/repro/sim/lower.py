@@ -71,7 +71,10 @@ from ..core.nodes import (
     OmpBarrier,
     OmpCritical,
     OmpParallel,
+    OmpSections,
     OmpSingle,
+    OmpTask,
+    OmpTaskwait,
     Paren,
     Program,
     ThreadIdx,
@@ -119,6 +122,12 @@ class RegionMeta:
     has_single: bool = False
     has_barrier: bool = False
     has_collapse: bool = False
+    #: worksharing-graph constructs (round-robin arm assignment / the
+    #: deterministic cost-accounted task queue)
+    has_sections: bool = False
+    has_tasks: bool = False
+    n_section_arms: int = 0
+    n_tasks: int = 0
     #: explicit schedule kinds appearing on the region's worksharing loops
     schedules: tuple[str, ...] = ()
 
@@ -364,6 +373,11 @@ class StructuralLowerer:
         #: name substitution (comp -> reduction private copy inside regions)
         self._subst: dict[str, str] = {}
         self._in_crit = False
+        #: team size of the region being emitted (section-arm assignment)
+        self._region_threads = 1
+        #: per-arm task-queue emission state (no nesting: one at a time)
+        self._arm: dict | None = None
+        self._uniq = 0
 
     # ==================================================================
     # expression emission
@@ -643,6 +657,17 @@ class StructuralLowerer:
             assert tid_var is not None, "barrier outside a parallel region"
             self.w.line(f"_rt.barrier({tid_var})")
             return
+        if isinstance(s, OmpSections):
+            assert tid_var is not None, "sections outside a parallel region"
+            self._emit_sections(s, tid_var)
+            return
+        if isinstance(s, OmpTask):
+            self._emit_task_spawn(s)
+            return
+        if isinstance(s, OmpTaskwait):
+            assert tid_var is not None, "taskwait outside a parallel region"
+            self._emit_taskwait(tid_var)
+            return
         if isinstance(s, OmpParallel):
             self._emit_region(s)
             return
@@ -705,6 +730,86 @@ class StructuralLowerer:
         self.w.line(f"_rt.omp_for_done({tid_var})")
 
     # ==================================================================
+    # worksharing-graph constructs: sections arms + task queue
+    # ==================================================================
+    def _emit_sections(self, s: OmpSections, tid_var: str) -> None:
+        """``omp sections``: deterministic round-robin arm assignment.
+
+        Arm ``i`` executes on thread ``i % team``.  The serialized-team
+        argument still holds because nothing outside an arm may read what
+        it writes until the region-exit barrier (the generator's
+        exclusive-ownership rule), so executing each arm at its thread's
+        turn is a legal schedule.  Every thread charges the construct's
+        dispatch cost and one guard branch per arm; the implicit barrier
+        at the construct's end is a sync round counted by the runtime.
+        """
+        t = self._region_threads
+        self._runtime_const("sections_dispatch_cycles")
+        for i, sec in enumerate(s.sections):
+            self._charge((), ("branch",), 1.0)
+            self.w.open(f"if {tid_var} == {i % t}:")
+            self._emit_arm_body(sec.body, tid_var)
+            self.w.close()
+        self.w.line(f"_rt.sections_done({tid_var})")
+
+    def _emit_arm_body(self, body: Block, tid_var: str) -> None:
+        """One section arm; hosts the arm's deterministic task queue."""
+        uid = self._uniq
+        self._uniq += 1
+        qn = f"_tq{uid}"
+        has_tasks = any(isinstance(st, OmpTask) for st in body.stmts)
+        if has_tasks:
+            self.w.line(f"{qn} = []")
+        prev = self._arm
+        self._arm = {"qn": qn, "uid": uid, "tasks": [], "pending": False,
+                     "tid_var": tid_var}
+        try:
+            self.block(body, tid_var=tid_var)
+            if self._arm["pending"]:
+                # unjoined tasks complete at the construct's implicit
+                # barrier: drain them at arm end, in spawn order
+                self._emit_task_drain()
+        finally:
+            self._arm = prev
+
+    def _emit_task_spawn(self, s: OmpTask) -> None:
+        arm = self._arm
+        assert arm is not None, "task outside a section arm"
+        k = len(arm["tasks"])
+        arm["tasks"].append(s)
+        arm["pending"] = True
+        # deferral is bookkeeping, not execution: charge the runtime's
+        # spawn cost now, run the body when the queue drains
+        self._runtime_const("task_spawn_cycles")
+        self.w.line(f"{arm['qn']}.append({k})")
+        self.w.line(f"_rt.task_spawn({arm['tid_var']})")
+
+    def _emit_taskwait(self, tid_var: str) -> None:
+        arm = self._arm
+        assert arm is not None, "taskwait outside a section arm"
+        self._runtime_const("taskwait_cycles")
+        self.w.line(f"_rt.taskwait({tid_var})")
+        if arm["tasks"]:
+            self._emit_task_drain()
+
+    def _emit_task_drain(self) -> None:
+        """Execute the queue's deferred tasks in spawn order (the
+        deterministic model of a runtime's task pool: the encountering
+        thread drains its own queue at the join point)."""
+        arm = self._arm
+        assert arm is not None and arm["tasks"]
+        qn, uid = arm["qn"], arm["uid"]
+        self.w.open(f"for _tk{uid} in {qn}:")
+        for k, task in enumerate(arm["tasks"]):
+            self._charge((), ("branch",), 1.0)
+            self.w.open(f"if _tk{uid} == {k}:")
+            self.block(task.body, tid_var=arm["tid_var"])
+            self.w.close()
+        self.w.close()
+        self.w.line(f"del {qn}[:]")
+        arm["pending"] = False
+
+    # ==================================================================
     # parallel regions
     # ==================================================================
     def _region_meta(self, s: OmpParallel) -> RegionMeta:
@@ -728,6 +833,12 @@ class StructuralLowerer:
                 meta.has_single = True
             elif isinstance(n, OmpBarrier):
                 meta.has_barrier = True
+            elif isinstance(n, OmpSections):
+                meta.has_sections = True
+                meta.n_section_arms += len(n.sections)
+            elif isinstance(n, OmpTask):
+                meta.has_tasks = True
+                meta.n_tasks += 1
         meta.schedules = tuple(schedules)
         if s.clauses.reduction is not None:
             meta.reduction_op = s.clauses.reduction.value
@@ -737,6 +848,7 @@ class StructuralLowerer:
         rid = len(self.regions)
         meta = self._region_meta(s)
         self.regions.append(meta)
+        self._region_threads = meta.n_threads
         w = self.w
         privs = list(s.clauses.private)
         fprivs = list(s.clauses.firstprivate)

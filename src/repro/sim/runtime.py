@@ -24,9 +24,10 @@ lanes in fast locals and synchronizes them only where required):
   (it can abort with a partial cost): lowered code flushes its local
   accumulators before the call and reloads after the ones that mutate;
 * **cost-transparent** — ``chunk``, ``assign``, ``omp_for_done``,
-  ``barrier``, ``crit_exit``, ``atomic_update``, ``single_done``: these
-  must never read or write ``CostState`` (their per-event cycle charges
-  are baked into the kernel's ``_K`` constants by the cost pass).
+  ``barrier``, ``crit_exit``, ``atomic_update``, ``single_done``,
+  ``sections_done``, ``task_spawn``, ``taskwait``: these must never read
+  or write ``CostState`` (their per-event cycle charges are baked into
+  the kernel's ``_K`` constants by the cost pass).
 """
 
 from __future__ import annotations
@@ -110,6 +111,9 @@ class _RegionAccounting:
     omp_for_rounds: int = 0
     single_rounds: int = 0
     barrier_rounds: int = 0
+    sections_rounds: int = 0
+    tasks_spawned: int = 0
+    taskwaits: int = 0
     atomics: int = 0
     acquires: int = 0
     compute: list[float] = field(default_factory=list)
@@ -297,6 +301,26 @@ class RegionExecutor:
         acc = self._require_region()
         acc.single_rounds += 1
 
+    def sections_done(self, tid: int) -> None:
+        """Implicit barrier bookkeeping at the end of a ``sections``
+        construct; every thread calls this once per encounter
+        (cost-transparent — the dispatch cycles are charged inline)."""
+        acc = self._require_region()
+        acc.sections_rounds += 1
+
+    def task_spawn(self, tid: int) -> None:
+        """One explicit task deferred onto the encountering thread's
+        queue (cost-transparent — spawn cycles are charged inline)."""
+        acc = self._require_region()
+        acc.tasks_spawned += 1
+
+    def taskwait(self, tid: int) -> None:
+        """``taskwait`` join point; called by the encountering thread
+        only, right before its queue drains (cost-transparent — the
+        join cycles are charged inline)."""
+        acc = self._require_region()
+        acc.taskwaits += 1
+
     def barrier(self, tid: int) -> None:
         """Explicit ``#pragma omp barrier``; called once per thread."""
         acc = self._cur  # hot hook: _require_region() inlined
@@ -367,10 +391,10 @@ class RegionExecutor:
         # cache-line ping-pong of contended atomic RMWs, serialized like
         # lock traffic (each update invalidates every other core's copy)
         atomic_cost = acc.atomics * (t - 1) * rt.atomic_contention_cycles
-        # implicit barriers: region end, each omp-for end, each single end,
-        # plus the explicit `#pragma omp barrier` rounds
+        # implicit barriers: region end, each omp-for end, each single
+        # end, each sections end, plus the explicit barrier rounds
         sync_rounds = (acc.omp_for_rounds + acc.single_rounds
-                       + acc.barrier_rounds)
+                       + acc.barrier_rounds + acc.sections_rounds)
         barrier_events = 1 + sync_rounds // max(1, t)
         barrier_cost = barrier_events * rt.barrier_cycles_per_thread * t
 

@@ -92,6 +92,17 @@ class RuntimeParams:
     #: cycles to win/lose the single's "first arrival" election
     single_arrival_cycles: float = 120.0
 
+    # --- sections / explicit tasks (worksharing-graph constructs) ---
+    #: cycles per thread to claim/skip the arms of one ``sections``
+    #: construct (the shared arm counter is a contended atomic)
+    sections_dispatch_cycles: float = 260.0
+    #: cycles to allocate, argument-capture, and enqueue one explicit
+    #: task (libgomp copies the data environment eagerly; KMP-based
+    #: runtimes allocate a task descriptor from a thread-local pool)
+    task_spawn_cycles: float = 480.0
+    #: cycles for a ``taskwait`` join once the children have finished
+    taskwait_cycles: float = 210.0
+
     # --- critical sections ---
     #: uncontended lock acquire+release
     lock_base_cycles: float = 180.0

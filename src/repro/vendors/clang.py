@@ -57,6 +57,12 @@ CLANG = VendorModel(
         spawn_ctx_switches=26,           # ~40,483 ctx over ~1,500 entries
         barrier_cycles_per_thread=1_000.0,
         omp_for_sched_cycles=420.0,
+        # KMP task pool: descriptor allocation from a thread-local free
+        # list is cheap, but the sections/arm counter and the taskwait
+        # steal-check both ride the contended dispatch machinery
+        sections_dispatch_cycles=300.0,
+        task_spawn_cycles=440.0,
+        taskwait_cycles=260.0,
         lock_base_cycles=310.0,
         lock_contention_cycles=92.0,     # KMP queuing lock
         wait_spin_instr_per_kcycle=450.0,  # aggressive spinning burns instrs

@@ -54,6 +54,11 @@ GCC = VendorModel(
         spawn_ctx_switches=2,
         barrier_cycles_per_thread=800.0,
         omp_for_sched_cycles=350.0,
+        # libgomp: cheap sections arm counter; eager task-data copy on
+        # spawn makes GOMP_task comparatively expensive, joins are cheap
+        sections_dispatch_cycles=230.0,
+        task_spawn_cycles=520.0,
+        taskwait_cycles=170.0,
         lock_base_cycles=120.0,
         lock_contention_cycles=35.0,     # futex park: cheap under contention
         wait_spin_instr_per_kcycle=30.0,  # brief do_spin, then sleep

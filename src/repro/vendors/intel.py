@@ -57,6 +57,11 @@ INTEL = VendorModel(
         spawn_ctx_switches=2,
         barrier_cycles_per_thread=950.0,
         omp_for_sched_cycles=380.0,
+        # libiomp5 shares the KMP tasking layer; slightly leaner spawn,
+        # pricier joins (the taskwait path spins before sleeping)
+        sections_dispatch_cycles=280.0,
+        task_spawn_cycles=430.0,
+        taskwait_cycles=290.0,
         lock_base_cycles=340.0,
         lock_contention_cycles=100.0,    # queuing lock: costly under contention
         wait_spin_instr_per_kcycle=500.0,  # __kmp_wait_template spins hard

@@ -66,6 +66,106 @@ class TestCampaign:
         assert rc == 0
 
 
+class TestConfigOverrides:
+    """Regressions for the silently-dropped-flag bugs: explicit CLI flags
+    must apply as overrides on top of a ``--config`` file."""
+
+    def _cfg_file(self, tmp_path, **kw):
+        from repro.config import CampaignConfig, save_campaign
+
+        path = tmp_path / "cfg.json"
+        save_campaign(CampaignConfig(**kw), path)
+        return path
+
+    def _load(self, argv):
+        from repro.cli import _load_config, build_parser
+
+        return _load_config(build_parser().parse_args(argv))
+
+    def test_explicit_flags_override_config_file(self, tmp_path):
+        path = self._cfg_file(tmp_path, n_programs=50, inputs_per_program=2,
+                              seed=3, chunk_size=4)
+        cfg = self._load(["campaign", "--config", str(path), "--seed", "99",
+                          "--programs", "7", "--inputs", "1",
+                          "--mix", "tasks", "--chunk-size", "2",
+                          "--rng-mode", "fast"])
+        assert cfg.seed == 99
+        assert cfg.n_programs == 7
+        assert cfg.inputs_per_program == 1
+        assert cfg.directive_mix == "tasks"
+        assert cfg.chunk_size == 2
+        assert cfg.generator.rng_mode == "fast"
+        assert cfg.generator.enable_sections and cfg.generator.enable_tasks
+
+    def test_unpassed_flags_keep_config_file_values(self, tmp_path):
+        path = self._cfg_file(tmp_path, n_programs=50, inputs_per_program=2,
+                              seed=3)
+        cfg = self._load(["campaign", "--config", str(path),
+                          "--programs", "7"])
+        assert cfg.n_programs == 7
+        assert cfg.inputs_per_program == 2  # from the file
+        assert cfg.seed == 3               # from the file
+
+    def test_rng_mode_override_preserves_generator_kwargs(self, tmp_path):
+        """--rng-mode must dataclasses.replace the effective generator,
+        not clobber it with a fresh GeneratorConfig."""
+        from repro.config import CampaignConfig, GeneratorConfig, save_campaign
+
+        path = tmp_path / "cfg.json"
+        save_campaign(CampaignConfig(
+            generator=GeneratorConfig(max_total_iterations=1234,
+                                      num_threads=8)), path)
+        cfg = self._load(["campaign", "--config", str(path),
+                          "--rng-mode", "fast"])
+        assert cfg.generator.rng_mode == "fast"
+        assert cfg.generator.max_total_iterations == 1234
+        assert cfg.generator.num_threads == 8
+
+    def test_config_campaign_honors_all_three_flags(self, tmp_path, capsys):
+        """The acceptance scenario end-to-end: ``campaign --config f.json
+        --rng-mode fast --mix tasks`` runs and honors every flag."""
+        path = self._cfg_file(tmp_path, n_programs=12, inputs_per_program=3,
+                              seed=5)
+        rc = main(["campaign", "--config", str(path), "--rng-mode", "fast",
+                   "--mix", "tasks", "--programs", "3", "--inputs", "1",
+                   "--quiet"])
+        assert rc == 0
+        assert "Table I shape" in capsys.readouterr().out
+
+
+class TestGenerateRngMode:
+    def test_generate_emits_the_fast_campaign_stream(self, tmp_path):
+        """`repro generate --rng-mode fast` must write the byte-identical
+        sources a --rng-mode fast campaign generates and tests."""
+        import dataclasses
+
+        from repro.codegen.emit_main import emit_translation_unit
+        from repro.config import GeneratorConfig
+        from repro.core.generator import ProgramGenerator
+
+        out = tmp_path / "g"
+        rc = main(["generate", "--count", "3", "--inputs", "1",
+                   "--seed", "11", "--rng-mode", "fast", "--out", str(out)])
+        assert rc == 0
+        campaign_cfg = dataclasses.replace(GeneratorConfig(),
+                                           rng_mode="fast")
+        gen = ProgramGenerator(campaign_cfg, seed=11)
+        for i in range(3):
+            p = gen.generate(i)
+            on_disk = (out / f"{p.name}.cpp").read_text()
+            assert on_disk == emit_translation_unit(p), i
+
+    def test_fast_and_compat_streams_differ(self, tmp_path):
+        for mode in ("fast", "compat"):
+            rc = main(["generate", "--count", "1", "--inputs", "1",
+                       "--seed", "11", "--rng-mode", mode,
+                       "--out", str(tmp_path / mode)])
+            assert rc == 0
+        fast = sorted((tmp_path / "fast").glob("*.cpp"))[0].read_text()
+        compat = sorted((tmp_path / "compat").glob("*.cpp"))[0].read_text()
+        assert fast != compat
+
+
 class TestGrammarCmd:
     def test_prints_listing2(self, capsys):
         rc = main(["grammar"])

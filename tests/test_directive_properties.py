@@ -56,9 +56,16 @@ FAMILIES: dict[str, tuple[dict, str]] = {
     "atomic": (dict(atomic_probability=0.9), "n_atomic"),
     "single": (dict(single_probability=0.95), "n_single"),
     "barrier": (dict(barrier_probability=0.9), "n_barrier"),
+    # the worksharing-graph families (repro.core.taskgraph): off by
+    # default, so the boost must also flip their enable flags
+    "sections": (dict(enable_sections=True, sections_probability=0.9,
+                      parallel_for_probability=0.0), "n_sections"),
+    "tasks": (dict(enable_sections=True, enable_tasks=True,
+                   sections_probability=0.9, task_probability=0.9,
+                   parallel_for_probability=0.0), "n_tasks"),
 }
 
-_PER_FAMILY = 80  # 7 families x 80 = 560 programs >= the 500 bar
+_PER_FAMILY = 80  # 9 families x 80 = 720 programs >= the 500 bar
 _SEED = 20260730
 
 
@@ -224,6 +231,82 @@ def _schedule_independent(f: ProgramFeatures) -> bool:
     return (f.n_reductions == 0 and f.n_critical == 0 and f.n_atomic == 0
             and f.n_nondet_schedules == 0 and f.n_math_calls == 0
             and f.uses_double)
+
+
+class TestWorkshareGraphCampaign:
+    """The `tasks` mix end-to-end through the campaign surface: every
+    engine, checkpoint/resume, and the kernel cache."""
+
+    def _cfg(self, **kw):
+        from repro.config import CampaignConfig
+
+        boosted = dataclasses.replace(_BASE, sections_probability=0.9,
+                                      task_probability=0.9)
+        return CampaignConfig(n_programs=6, inputs_per_program=2, seed=4242,
+                              directive_mix="tasks", generator=boosted, **kw)
+
+    def _sweep_program(self):
+        gen = ProgramGenerator(self._cfg().generator, seed=4242)
+        for i in range(30):
+            p = gen.generate(i)
+            f = extract_features(p)
+            if f.n_sections > 0 and f.n_tasks > 0:
+                return p
+        raise AssertionError("no sections+tasks program in 30 draws")
+
+    def test_mix_opens_the_graph_families(self):
+        cfg = self._cfg()
+        assert cfg.generator.enable_sections and cfg.generator.enable_tasks
+        gen = ProgramGenerator(cfg.generator, seed=cfg.seed)
+        feats = [extract_features(gen.generate(i)) for i in range(12)]
+        assert any(f.n_sections for f in feats)
+        assert any(f.n_tasks for f in feats)
+
+    def test_serial_and_pooled_engines_agree(self):
+        from repro.harness.session import CampaignSession
+
+        serial = CampaignSession(self._cfg(), engine="serial").run()
+        pooled = CampaignSession(self._cfg(), engine="thread", jobs=2).run()
+        assert sorted(v.identity() for v in serial.verdicts) == \
+            sorted(v.identity() for v in pooled.verdicts)
+        # the grid really ran on all three simulated vendors
+        vendors = {r.vendor for v in serial.verdicts for r in v.records}
+        assert vendors == {"gcc", "clang", "intel"}
+
+    def test_tasks_mix_checkpoint_resume_round_trip(self, tmp_path):
+        from repro.harness.session import CampaignSession
+
+        baseline = CampaignSession(self._cfg(), engine="serial").run()
+        session = CampaignSession(self._cfg(), engine="serial")
+        it = session.stream()
+        for _ in range(session.total_tests // 2):
+            next(it)
+        it.close()
+        path = tmp_path / "tasks.jsonl"
+        session.checkpoint(path)
+
+        resumed = CampaignSession.resume(path, engine="process", jobs=2)
+        assert 0 < resumed.completed_tests < resumed.total_tests
+        assert resumed.config.directive_mix == "tasks"
+        assert resumed.config.generator.enable_sections
+        result = resumed.run()
+        assert sorted(v.identity() for v in result.verdicts) == \
+            sorted(v.identity() for v in baseline.verdicts)
+
+    def test_kernel_cache_hit_on_repeated_lowering(self):
+        from repro.sim.kcache import get_kernel_cache
+
+        p = self._sweep_program()
+        cache = get_kernel_cache()
+        b1 = compile_binary(p, "gcc", "-O1")
+        before = cache.stats()
+        b2 = compile_binary(p, "gcc", "-O1")
+        after = cache.stats()
+        assert b2.kernel is b1.kernel  # the bound kernel itself is reused
+        assert after.kernel_hits == before.kernel_hits + 1
+        # same-shape vendors share one structural template
+        b3 = compile_binary(p, "clang", "-O1")
+        assert b3.kernel.code is b1.kernel.code
 
 
 class TestAcceptanceSweep:

@@ -1,0 +1,370 @@
+"""Tests for the worksharing graph (sections/tasks) and its race oracle.
+
+Structural tests exercise :mod:`repro.core.taskgraph` directly; the
+classification table mirrors ``test_races.py``'s style with one row per
+graph access pattern, asserting the graph rule — two conflicting accesses
+race iff neither work node reaches the other and no exclusion class
+protects both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nodes import (
+    Assignment,
+    Block,
+    FPNumeral,
+    IntNumeral,
+    ForLoop,
+    OmpBarrier,
+    OmpCritical,
+    OmpParallel,
+    OmpSection,
+    OmpSections,
+    OmpTask,
+    OmpTaskwait,
+    Program,
+    VarRef,
+)
+from repro.core.races import find_races, is_race_free
+from repro.core.taskgraph import (
+    BARRIER,
+    SECTION,
+    TASK,
+    build_region_graph,
+    has_graph_constructs,
+)
+from repro.core.types import (
+    AssignOpKind,
+    FPType,
+    OmpClauses,
+    Variable,
+    VarKind,
+)
+
+
+def _var(name, kind=VarKind.PARAM):
+    return Variable(name, FPType.DOUBLE, kind)
+
+
+def _write(v, op=AssignOpKind.ASSIGN):
+    return Assignment(VarRef(v), op, FPNumeral(1.0))
+
+
+def _read_into(dst, src):
+    return Assignment(VarRef(dst), AssignOpKind.ASSIGN, VarRef(src))
+
+
+def _region(stmts, *, private=None):
+    clauses = OmpClauses(num_threads=4)
+    x = private if private is not None else _var("var_x")
+    clauses.private.append(x)
+    lead = Assignment(VarRef(x), AssignOpKind.ASSIGN, FPNumeral(0.0))
+    lv = Variable("i_1", None, VarKind.LOOP)
+    loop = ForLoop(lv, IntNumeral(4), Block([
+        Assignment(VarRef(x), AssignOpKind.ADD_ASSIGN, FPNumeral(1.0))]),
+        omp_for=True)
+    return OmpParallel(clauses, Block([lead, *stmts, loop]))
+
+
+def _program(region, extra_params=()):
+    comp = _var("comp", VarKind.COMP)
+    return Program(name="t", seed=0, fp_type=FPType.DOUBLE, comp=comp,
+                   params=[comp, *extra_params], body=Block([region]))
+
+
+def _sections(*arm_stmt_lists):
+    return OmpSections([OmpSection(Block(list(stmts)))
+                        for stmts in arm_stmt_lists])
+
+
+# ----------------------------------------------------------------------
+# graph structure
+# ----------------------------------------------------------------------
+
+
+class TestGraphStructure:
+    def _graph(self, region):
+        return build_region_graph(region)
+
+    def test_region_without_graph_constructs_is_degenerate(self):
+        region = _region([])
+        assert not has_graph_constructs(region)
+        g = self._graph(region)
+        kinds = {n.kind for n in g.nodes}
+        assert SECTION not in kinds and TASK not in kinds
+
+    def test_sections_arms_are_mutually_concurrent(self):
+        a, b = _var("var_a"), _var("var_b")
+        region = _region([_sections([_write(a)], [_write(b)])])
+        g = self._graph(region)
+        arms = [n.nid for n in g.nodes if n.kind == SECTION]
+        assert len(arms) >= 2
+        s0, s1 = arms[0], arms[1]
+        assert g.concurrent(s0, s1)
+        assert all(g.node(n).once for n in arms)
+
+    def test_arm_is_concurrent_with_preceding_segment(self):
+        a = _var("var_a")
+        region = _region([_sections([_write(a)])])
+        g = self._graph(region)
+        seg0 = next(n.nid for n in g.nodes if n.label == "seg0")
+        arm = next(n.nid for n in g.nodes if n.kind == SECTION)
+        assert g.concurrent(seg0, arm)
+
+    def test_sections_end_barrier_orders_arms_before_next_segment(self):
+        a = _var("var_a")
+        region = _region([_sections([_write(a)])])
+        g = self._graph(region)
+        arm = next(n.nid for n in g.nodes if n.kind == SECTION)
+        seg1 = next(n.nid for n in g.nodes if n.label == "seg1")
+        assert g.reaches(arm, seg1)
+        assert any(n.kind == BARRIER and n.label == "sections-end"
+                   for n in g.nodes)
+
+    def test_explicit_barrier_orders_segments(self):
+        region = _region([OmpBarrier()])
+        g = self._graph(region)
+        seg0 = next(n.nid for n in g.nodes if n.label == "seg0")
+        seg1 = next(n.nid for n in g.nodes if n.label == "seg1")
+        assert g.reaches(seg0, seg1)
+
+    def test_task_concurrent_with_spawn_continuation_until_taskwait(self):
+        a, t = _var("var_a"), _var("var_t")
+        arm = [_write(a), OmpTask(Block([_write(t)])), _write(a),
+               OmpTaskwait(), _read_into(a, t)]
+        region = _region([_sections(arm)])
+        g = self._graph(region)
+        task = next(n.nid for n in g.nodes if n.kind == TASK)
+        # some arm segment is concurrent with the task (post-spawn code),
+        # and some arm segment is strictly after it (post-taskwait code)
+        arm_segs = [n.nid for n in g.nodes if n.kind == SECTION]
+        assert any(g.concurrent(task, s) for s in arm_segs)
+        assert any(g.reaches(task, s) for s in arm_segs)
+
+    def test_loop_nested_barrier_does_not_split_segments(self):
+        """A barrier inside a serial loop re-executes per iteration —
+        iteration k+1's pre-barrier code runs after iteration k's
+        post-barrier code — so it must not claim a global pre/post
+        happens-before (regression: the public graph once split here)."""
+        lv = Variable("i_9", None, VarKind.LOOP)
+        loop = ForLoop(lv, IntNumeral(3), Block([OmpBarrier()]))
+        g = build_region_graph(_region([loop]))
+        implicit = [n for n in g.nodes if n.kind == "implicit"]
+        assert len(implicit) == 1
+        assert not any(n.kind == BARRIER for n in g.nodes)
+
+    def test_conditional_barrier_does_not_split_segments(self):
+        """A barrier under a conditional may not execute (and is not
+        team-uniform), so it must not claim a happens-before either."""
+        from repro.core.nodes import BoolExpr, IfBlock
+        from repro.core.types import BoolOpKind
+
+        u = _var("var_u")
+        cond = BoolExpr(VarRef(u), BoolOpKind.LT, FPNumeral(1.0))
+        g = build_region_graph(
+            _region([IfBlock(cond, Block([OmpBarrier()]))], private=u))
+        implicit = [n for n in g.nodes if n.kind == "implicit"]
+        assert len(implicit) == 1
+        assert not any(n.kind == BARRIER for n in g.nodes)
+
+    def test_public_graph_matches_oracle_graph(self):
+        """build_region_graph and the race oracle drive the same event
+        walk: identical nodes and edges for the same region."""
+        from repro.core.races import _collect_graph_accesses
+
+        region = _task_result_read_after_taskwait().body.stmts[0]
+        g_pub = build_region_graph(region)
+        *_, g_oracle = _collect_graph_accesses(region)
+        assert [(n.kind, n.once, n.label) for n in g_pub.nodes] == \
+            [(n.kind, n.once, n.label) for n in g_oracle.nodes]
+        assert g_pub.edges() == g_oracle.edges()
+
+    def test_every_node_reaches_exit(self):
+        a, t = _var("var_a"), _var("var_t")
+        region = _region([_sections(
+            [OmpTask(Block([_write(t)])), OmpTaskwait(), _write(a)])])
+        g = self._graph(region)
+        for n in g.nodes:
+            if n.nid != g.exit:
+                assert g.reaches(n.nid, g.exit), n
+
+
+# ----------------------------------------------------------------------
+# race classification over the graph
+# ----------------------------------------------------------------------
+
+
+def _case(name, builder, expect_free):
+    return pytest.param(builder, expect_free, id=name)
+
+
+_S = lambda: _var("var_s")  # noqa: E731
+_T = lambda: _var("var_t")  # noqa: E731
+
+
+def _two_arms_distinct():
+    s, t = _S(), _T()
+    return _program(_region([_sections([_write(s)], [_write(t)])]),
+                    extra_params=[s, t])
+
+
+def _two_arms_same_scalar():
+    s = _S()
+    return _program(_region([_sections([_write(s)], [_write(s)])]),
+                    extra_params=[s])
+
+
+def _two_arms_same_scalar_critical():
+    s = _S()
+    crit = lambda: OmpCritical(Block([_write(s, AssignOpKind.ADD_ASSIGN)]))  # noqa: E731
+    return _program(_region([_sections([crit()], [crit()])]),
+                    extra_params=[s])
+
+
+def _arm_write_uniform_read():
+    s, u = _S(), _var("var_u")
+    # seg0 reads s into a private (concurrent with the arm writing s)
+    pre = Assignment(VarRef(u), AssignOpKind.ASSIGN, VarRef(s))
+    return _program(_region([pre, _sections([_write(s)])], private=u),
+                    extra_params=[s, u])
+
+
+def _arm_write_after_barrier_uniform_read_before():
+    s, u = _S(), _var("var_u")
+    # the barrier orders seg0 (the read) before the arm's write: race-free
+    # under the graph rule (barrier edges are real happens-before)
+    pre = Assignment(VarRef(u), AssignOpKind.ASSIGN, VarRef(s))
+    return _program(_region([pre, OmpBarrier(), _sections([_write(s)])],
+                            private=u),
+                    extra_params=[s, u])
+
+
+def _task_result_read_after_taskwait():
+    s, t = _S(), _T()
+    arm = [_write(s), OmpTask(Block([_write(t)])), OmpTaskwait(),
+           Assignment(VarRef(s), AssignOpKind.ADD_ASSIGN, VarRef(t))]
+    return _program(_region([_sections(arm)]), extra_params=[s, t])
+
+
+def _task_result_read_without_taskwait():
+    s, t = _S(), _T()
+    arm = [_write(s), OmpTask(Block([_write(t)])),
+           Assignment(VarRef(s), AssignOpKind.ADD_ASSIGN, VarRef(t))]
+    return _program(_region([_sections(arm)]), extra_params=[s, t])
+
+
+def _two_tasks_same_scalar():
+    t = _T()
+    arm = [OmpTask(Block([_write(t)])), OmpTask(Block([_write(t)])),
+           OmpTaskwait()]
+    return _program(_region([_sections(arm)]), extra_params=[t])
+
+
+def _two_tasks_distinct_scalars():
+    t1, t2, s = _T(), _var("var_t2"), _S()
+    arm = [OmpTask(Block([_write(t1)])), OmpTask(Block([_write(t2)])),
+           OmpTaskwait(),
+           Assignment(VarRef(s), AssignOpKind.ASSIGN, VarRef(t1)),
+           Assignment(VarRef(s), AssignOpKind.ADD_ASSIGN, VarRef(t2))]
+    return _program(_region([_sections(arm)]), extra_params=[t1, t2, s])
+
+
+def _task_reads_arm_scalar_spawn_ordered():
+    s, t = _S(), _T()
+    arm = [_write(s),
+           OmpTask(Block([Assignment(VarRef(t), AssignOpKind.ASSIGN,
+                                     VarRef(s))])),
+           OmpTaskwait()]
+    return _program(_region([_sections(arm)]), extra_params=[s, t])
+
+
+def _arm_writes_scalar_task_reads_post_spawn_write():
+    # the arm writes s AFTER spawning a task that reads s: concurrent
+    s, t = _S(), _T()
+    arm = [OmpTask(Block([Assignment(VarRef(t), AssignOpKind.ASSIGN,
+                                     VarRef(s))])),
+           _write(s), OmpTaskwait()]
+    return _program(_region([_sections(arm)]), extra_params=[s, t])
+
+
+_GRAPH_RACE_TABLE = [
+    _case("two_arms_distinct_scalars_free", _two_arms_distinct, True),
+    _case("two_arms_same_scalar_racy", _two_arms_same_scalar, False),
+    _case("two_arms_same_scalar_critical_free",
+          _two_arms_same_scalar_critical, True),
+    _case("arm_write_vs_uniform_read_racy", _arm_write_uniform_read, False),
+    _case("barrier_orders_uniform_read_before_arm_write_free",
+          _arm_write_after_barrier_uniform_read_before, True),
+    _case("task_result_after_taskwait_free",
+          _task_result_read_after_taskwait, True),
+    _case("task_result_without_taskwait_racy",
+          _task_result_read_without_taskwait, False),
+    _case("two_tasks_same_scalar_racy", _two_tasks_same_scalar, False),
+    _case("two_tasks_distinct_scalars_free",
+          _two_tasks_distinct_scalars, True),
+    _case("task_reads_arm_scalar_spawn_ordered_free",
+          _task_reads_arm_scalar_spawn_ordered, True),
+    _case("arm_post_spawn_write_vs_task_read_racy",
+          _arm_writes_scalar_task_reads_post_spawn_write, False),
+]
+
+
+class TestGraphRaceTable:
+    @pytest.mark.parametrize("builder,expect_free", _GRAPH_RACE_TABLE)
+    def test_pattern_classification(self, builder, expect_free):
+        program = builder()
+        reports = find_races(program)
+        if expect_free:
+            assert not reports, [str(r) for r in reports]
+        else:
+            assert reports
+
+    def test_reports_carry_node_labels(self):
+        reports = find_races(_two_arms_same_scalar())
+        assert reports
+        assert "work node" in reports[0].reason
+
+    def test_generated_tasks_mix_is_race_free(self):
+        import dataclasses
+
+        from repro.config import GeneratorConfig, apply_directive_mix
+        from repro.core.generator import ProgramGenerator
+
+        cfg = apply_directive_mix(
+            GeneratorConfig(max_total_iterations=3_000, loop_trip_max=50,
+                            num_threads=4), "tasks")
+        cfg = dataclasses.replace(cfg, sections_probability=0.9,
+                                  task_probability=0.9)
+        gen = ProgramGenerator(cfg, seed=20260731)
+        for i in range(25):
+            assert is_race_free(gen.generate(i)), i
+
+    def test_generated_arms_never_read_thread_dependent_values(self):
+        """Section arms / task bodies must not reference the thread id
+        (directly or via arrays): the real runtime picks the executing
+        thread, so any tid-dependent read would make a 'deterministic'
+        program's output schedule-dependent on native runtimes."""
+        import dataclasses
+
+        from repro.config import GeneratorConfig, apply_directive_mix
+        from repro.core.generator import ProgramGenerator
+        from repro.core.nodes import ArrayRef, OmpSections, ThreadIdx, walk
+
+        cfg = apply_directive_mix(
+            GeneratorConfig(max_total_iterations=3_000, loop_trip_max=50,
+                            num_threads=4), "tasks")
+        cfg = dataclasses.replace(cfg, sections_probability=0.95,
+                                  task_probability=0.9)
+        gen = ProgramGenerator(cfg, seed=4242)
+        arms_seen = 0
+        for i in range(40):
+            for n in walk(gen.generate(i)):
+                if not isinstance(n, OmpSections):
+                    continue
+                arms_seen += len(n.sections)
+                for sub in walk(n):  # yields the construct's whole subtree
+                    assert not isinstance(sub, ThreadIdx), (i, sub)
+                    assert not isinstance(sub, ArrayRef), (i, sub)
+        assert arms_seen > 10
