@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI triage smoke: injected vendor fault -> campaign -> triage -> assert.
+
+Registers a deterministic structural fault (crash on ``omp atomic``) on
+a wrapped simulated vendor, runs a small ``sync``-mix campaign against
+it, triages the outliers, and asserts the contract the triage subsystem
+exists to honor: at least one bug bucket whose exemplar is a genuinely
+*reduced* reproducer that still carries the faulting construct.  The
+reproducer bundles land in ``--out`` for artifact upload.
+
+Exit status 0 on success; 1 with a diagnostic on any violated assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.backends import InjectedFault, register_fault_backend  # noqa: E402
+from repro.config import CampaignConfig, GeneratorConfig  # noqa: E402
+from repro.harness.session import CampaignSession  # noqa: E402
+from repro.reduce.bundle import write_triage_artifacts  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="triage-smoke",
+                        help="bundle output directory (CI artifact)")
+    parser.add_argument("--programs", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=4242)
+    args = parser.parse_args(argv)
+
+    register_fault_backend(
+        "intel", InjectedFault(kind="crash", trigger="n_atomic"),
+        name="smoke-buggy", replace=True)
+    gen = GeneratorConfig(max_total_iterations=1500, loop_trip_max=30,
+                          num_threads=8)
+    cfg = CampaignConfig(n_programs=args.programs, inputs_per_program=1,
+                         seed=args.seed, generator=gen, directive_mix="sync",
+                         compilers=("gcc", "clang", "smoke-buggy"))
+
+    session = CampaignSession(cfg)
+    session.run()
+    injected = [c for c in session.outlier_coordinates()
+                if c[2] == "smoke-buggy" and c[3] == "crash"]
+    if not injected:
+        print("FAIL: the injected fault produced no outliers "
+              f"(grid seed {args.seed}, {args.programs} programs)")
+        return 1
+    print(f"campaign flagged {len(injected)} injected-fault outlier(s)")
+
+    report = session.triage()
+    print(report.render())
+    buckets = [b for b in report.buckets
+               if b.vendor == "smoke-buggy" and b.kind == "crash"]
+    if len(buckets) != 1:
+        print(f"FAIL: expected exactly one injected-fault bucket, "
+              f"got {len(buckets)}")
+        return 1
+    exemplar = buckets[0].exemplar
+    if not exemplar.result.confirmed:
+        print("FAIL: exemplar reduction was not confirmed")
+        return 1
+    if exemplar.result.reduced_statements >= \
+            exemplar.result.original_statements:
+        print(f"FAIL: exemplar was not reduced "
+              f"({exemplar.result.original_statements} -> "
+              f"{exemplar.result.reduced_statements} statements)")
+        return 1
+    if "atomic" not in exemplar.signature:
+        print(f"FAIL: reduced exemplar lost the faulting construct "
+              f"(signature {exemplar.signature})")
+        return 1
+
+    out = write_triage_artifacts(report, cfg, args.out)
+    print(f"OK: bucket {buckets[0].signature}, exemplar "
+          f"{exemplar.result.original_statements} -> "
+          f"{exemplar.result.reduced_statements} statements "
+          f"(x{exemplar.result.reduction_factor:.1f}); bundles in {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,7 @@ from .config import (
     GeneratorConfig,
     MachineConfig,
     OutlierConfig,
+    TriageConfig,
     apply_directive_mix,
     load_campaign,
     save_campaign,
@@ -98,7 +99,9 @@ __all__ = [
     "ProgramGenerator",
     "ReproError",
     "TestInput",
+    "TriageConfig",
     "UnknownBackendError",
+    "reduce_case",
     "available_backends",
     "check_conformance",
     "create_engine",
@@ -133,6 +136,10 @@ def __getattr__(name: str):
         from .driver.engine import create_engine
 
         return create_engine
+    if name == "reduce_case":
+        from .reduce import reduce_case
+
+        return reduce_case
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

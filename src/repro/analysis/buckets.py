@@ -1,0 +1,132 @@
+"""Bug bucketing: collapse many outliers into few distinct-bug buckets.
+
+Large campaigns flag the same latent fault over and over — every program
+that contains the triggering construct produces its own outlier row.
+The bucketing layer assigns each *reduced* outlier a **bug signature**:
+
+    ``<outlier kind> | <faulting backend> | <directive-feature vector>``
+
+The directive-feature vector is the *presence set* of the reduced
+program's directive features (which constructs survive reduction), not
+raw counts: reduction strips everything the fault does not need, so two
+outliers from the same fault converge to the same minimal construct set
+even when the original random programs looked nothing alike.  Signatures
+are computed on reduced programs by design — bucketing raw outliers by
+their original feature vectors would scatter one bug across dozens of
+buckets.
+
+:func:`build_buckets` groups signature-tagged items and elects the
+smallest member of each bucket as its exemplar reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..core.features import ProgramFeatures
+from .outliers import OutlierKind
+
+#: ProgramFeatures count fields that describe *directive* structure —
+#: the axes along which one vendor bug differs from another.  General
+#: shape counts (loops, assignments, expression sizes) are deliberately
+#: excluded: they vary with how far reduction got, not with the bug.
+DIRECTIVE_FEATURE_FIELDS: tuple[str, ...] = (
+    "n_parallel_regions",
+    "n_omp_for",
+    "n_critical",
+    "n_reductions",
+    "n_parallel_for",
+    "n_atomic",
+    "n_single",
+    "n_barrier",
+    "n_collapse",
+    "n_scheduled",
+    "n_minmax_reductions",
+    "n_sections",
+    "n_tasks",
+    "n_taskwait",
+)
+
+#: short labels used in rendered signatures, keyed by feature field
+_FEATURE_LABELS: dict[str, str] = {
+    "n_parallel_regions": "parallel",
+    "n_omp_for": "for",
+    "n_critical": "critical",
+    "n_reductions": "reduction",
+    "n_parallel_for": "parallel-for",
+    "n_atomic": "atomic",
+    "n_single": "single",
+    "n_barrier": "barrier",
+    "n_collapse": "collapse",
+    "n_scheduled": "schedule",
+    "n_minmax_reductions": "minmax",
+    "n_sections": "sections",
+    "n_tasks": "task",
+    "n_taskwait": "taskwait",
+}
+
+
+def directive_vector(features: ProgramFeatures) -> tuple[str, ...]:
+    """The presence set of directive features, in canonical field order."""
+    return tuple(_FEATURE_LABELS[f] for f in DIRECTIVE_FEATURE_FIELDS
+                 if getattr(features, f) > 0)
+
+
+def bug_signature(kind: OutlierKind, vendor: str,
+                  features: ProgramFeatures) -> str:
+    """The bucket key of one (reduced) outlier."""
+    vector = "+".join(directive_vector(features)) or "serial"
+    return f"{kind.value}|{vendor}|{vector}"
+
+
+@dataclass
+class BugBucket:
+    """All outliers sharing one bug signature."""
+
+    signature: str
+    members: list[Any] = field(default_factory=list)
+    #: index into ``members`` of the exemplar reproducer (the smallest
+    #: reduced test — the one a bug report should lead with)
+    exemplar_index: int = 0
+
+    @property
+    def kind(self) -> str:
+        return self.signature.split("|", 2)[0]
+
+    @property
+    def vendor(self) -> str:
+        return self.signature.split("|", 2)[1]
+
+    @property
+    def vector(self) -> str:
+        return self.signature.split("|", 2)[2]
+
+    @property
+    def exemplar(self) -> Any:
+        return self.members[self.exemplar_index]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def build_buckets(entries: Sequence[tuple[str, Any]], *,
+                  size_of: Callable[[Any], int] | None = None
+                  ) -> list[BugBucket]:
+    """Group ``(signature, item)`` pairs into buckets.
+
+    Buckets are ordered largest first (then by signature, so the
+    ordering is total and deterministic); within a bucket, members keep
+    their given order and the exemplar is the ``size_of``-smallest
+    member (first-seen wins ties).
+    """
+    by_sig: dict[str, BugBucket] = {}
+    for signature, item in entries:
+        by_sig.setdefault(signature, BugBucket(signature)).members.append(item)
+    buckets = sorted(by_sig.values(),
+                     key=lambda b: (-len(b.members), b.signature))
+    if size_of is not None:
+        for bucket in buckets:
+            sizes = [size_of(m) for m in bucket.members]
+            bucket.exemplar_index = sizes.index(min(sizes))
+    return buckets

@@ -7,6 +7,12 @@ process-wide registry keyed by name; campaigns reference backends by
 name in ``CampaignConfig.compilers``.
 """
 
+from .fault import (
+    FAULT_KINDS,
+    FaultInjectedBackend,
+    InjectedFault,
+    register_fault_backend,
+)
 from .gcc_native import (
     NativeBinary,
     available,
@@ -28,7 +34,11 @@ from .registry import (
 
 __all__ = [
     "Backend",
+    "FAULT_KINDS",
+    "FaultInjectedBackend",
+    "InjectedFault",
     "NativeBinary",
+    "register_fault_backend",
     "NativeGccBackend",
     "SimulatedBackend",
     "available",

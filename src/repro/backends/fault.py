@@ -1,0 +1,140 @@
+"""Fault-injected backends: deterministic, *structural* vendor bugs.
+
+The simulated vendors' latent-fault models hash the source fingerprint,
+which is the right model for campaign statistics (a given binary either
+has the miscompile or it doesn't) but the wrong substrate for exercising
+triage: a reduced candidate has a new fingerprint, so the fault re-rolls
+and the bug "moves" under the reducer's feet.  Real vendor bugs don't do
+that — they are tied to a construct (an ``atomic`` miscompile, a
+``sections`` scheduler hang), and any program containing the construct
+reproduces them.
+
+:class:`FaultInjectedBackend` wraps any registered backend and injects
+exactly that kind of bug: a deterministic fault triggered whenever the
+compiled program's :class:`~repro.core.features.ProgramFeatures` count
+named by ``trigger`` reaches ``min_count``.  The wrapper is what the
+triage property suite, the CI smoke job, and backend-bug drills use —
+seed a campaign with one injected fault and the triage stage must funnel
+every resulting outlier into a single bucket whose exemplar still
+contains the triggering construct.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+
+from ..config import MachineConfig
+from ..core.features import ProgramFeatures, extract_features
+from ..core.inputs import TestInput
+from ..core.nodes import Program
+from ..driver.records import RunRecord, RunStatus
+from ..errors import ConfigError
+from .registry import Backend, get_backend, register_backend
+
+#: injectable fault kinds, mirroring the outlier classes of Section IV
+FAULT_KINDS = ("crash", "hang", "slow", "fast")
+
+_FEATURE_FIELDS = frozenset(f.name for f in fields(ProgramFeatures)
+                            if f.name.startswith(("n_", "est_"))
+                            or f.name in ("parallel_in_serial_loop",
+                                          "critical_in_omp_for"))
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One structural vendor bug: what trips it and how it manifests."""
+
+    #: fault kind — one of :data:`FAULT_KINDS`
+    kind: str
+    #: :class:`ProgramFeatures` count field that arms the fault
+    trigger: str
+    #: minimum trigger count for the fault to engage
+    min_count: int = 1
+    #: time multiplier for ``slow`` / ``fast`` faults
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; "
+                              f"choose from {FAULT_KINDS}")
+        if self.trigger not in _FEATURE_FIELDS:
+            raise ConfigError(
+                f"unknown trigger feature {self.trigger!r}; "
+                f"must be a ProgramFeatures count field")
+        if self.min_count < 1:
+            raise ConfigError("min_count must be >= 1")
+        if self.factor <= 0:
+            raise ConfigError("factor must be positive")
+
+    def triggered_by(self, features: ProgramFeatures) -> bool:
+        return getattr(features, self.trigger) >= self.min_count
+
+
+@dataclass(frozen=True)
+class _ArmedExecutable:
+    """Inner executable plus the compile-time fault decision."""
+
+    inner: object
+    triggered: bool
+
+
+@dataclass(frozen=True)
+class FaultInjectedBackend:
+    """A registered backend plus one injected structural fault."""
+
+    name: str
+    inner_name: str
+    fault: InjectedFault
+
+    @property
+    def _inner(self) -> Backend:
+        return get_backend(self.inner_name)
+
+    def is_available(self) -> bool:
+        return self._inner.is_available()
+
+    def compile(self, program: Program, opt_level: str = "-O3"):
+        return _ArmedExecutable(
+            inner=self._inner.compile(program, opt_level),
+            triggered=self.fault.triggered_by(extract_features(program)))
+
+    def execute(self, executable: _ArmedExecutable, test_input: TestInput,
+                machine: MachineConfig | None = None, *,
+                collect_profile: bool = False) -> RunRecord:
+        record = self._inner.execute(executable.inner, test_input, machine,
+                                     collect_profile=collect_profile)
+        record = dataclasses.replace(record, vendor=self.name)
+        if not executable.triggered or not record.ok:
+            return record
+        fault = self.fault
+        detail = f"injected fault: {fault.kind} on {fault.trigger}"
+        if fault.kind == "crash":
+            return dataclasses.replace(
+                record, status=RunStatus.CRASH, comp=None, detail=detail)
+        if fault.kind == "hang":
+            m = machine if machine is not None else MachineConfig()
+            return dataclasses.replace(
+                record, status=RunStatus.HANG, comp=None,
+                time_us=m.timeout_us, detail=detail)
+        if fault.kind == "slow":
+            return dataclasses.replace(
+                record, time_us=record.time_us * fault.factor, detail=detail)
+        return dataclasses.replace(
+            record, time_us=record.time_us / fault.factor, detail=detail)
+
+
+def register_fault_backend(inner_name: str, fault: InjectedFault, *,
+                           name: str | None = None,
+                           replace: bool = False) -> FaultInjectedBackend:
+    """Register a fault-injected wrapper around an existing backend.
+
+    The default name is ``"<inner>-<kind>-<trigger>"``.  Returns the
+    backend for use in ``CampaignConfig.compilers``.
+    """
+    backend = FaultInjectedBackend(
+        name=name if name is not None
+        else f"{inner_name}-{fault.kind}-{fault.trigger}",
+        inner_name=inner_name, fault=fault)
+    register_backend(backend, replace=replace)
+    return backend

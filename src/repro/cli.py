@@ -1,10 +1,12 @@
 """Command-line interface: ``repro-omp``.
 
-Subcommands mirror the pipeline stages of Fig. 1:
+Subcommands mirror the pipeline stages of Fig. 1, plus the triage stage:
 
 * ``generate``  — emit N random OpenMP C++ test programs (+ inputs),
 * ``run``       — one differential test (generate, compile x3, run, compare),
 * ``campaign``  — the full grid with the Table-I report,
+* ``reduce``    — shrink flagged outliers to minimal reproducers and
+  bucket them by bug signature (from a checkpoint, or one test inline),
 * ``casestudy`` — reproduce case study 1, 2, or 3,
 * ``grammar``   — print the paper's grammar (Listing 2).
 """
@@ -190,6 +192,102 @@ def cmd_campaign(args) -> int:
     if args.out:
         path = dump_campaign_artifacts(result, args.out)
         print(f"artifacts written to {path}/")
+    if args.save_outliers:
+        from .harness.results import dump_outlier_artifacts
+
+        n_flagged = sum(1 for v in result.verdicts if v.outliers)
+        path = dump_outlier_artifacts(result, args.save_outliers)
+        print(f"{n_flagged} outlier test(s) saved to {path}/")
+    if args.triage:
+        from .reduce.bundle import write_triage_artifacts
+
+        report = session.triage(
+            progress=None if args.quiet else _triage_progress)
+        if not args.quiet and report.n_outliers:
+            print(file=sys.stderr)
+        print()
+        print(report.render())
+        path = write_triage_artifacts(report, cfg, args.triage)
+        print(f"triage artifacts written to {path}/")
+    return 0
+
+
+def _triage_progress(done: int, total: int) -> None:
+    print(f"\r  reductions {done}/{total}", end="", flush=True,
+          file=sys.stderr)
+
+
+def cmd_reduce(args) -> int:
+    from .driver.engine import create_engine
+    from .harness.session import CampaignSession
+    from .reduce.bundle import write_triage_artifacts
+    from .reduce.jobs import TriageJob, run_triage_job
+    from .reduce.triage import assemble_report
+
+    if args.checkpoint:
+        # triage a (possibly partial) campaign from its checkpoint
+        session = CampaignSession.resume(args.checkpoint, engine=args.engine,
+                                         jobs=args.jobs)
+        cfg = session.config
+        engine = session.engine
+        coords = session.outlier_coordinates()
+    else:
+        # inline mode: run one differential test and reduce its outliers
+        if args.index is None:
+            print("error: reduce needs --checkpoint PATH or --index N",
+                  file=sys.stderr)
+            return 2
+        cfg = _load_config(args)
+        # CampaignSession's engine conventions, mirrored: CLI flags win,
+        # then the config file's engine/jobs, and --jobs alone upgrades a
+        # config-default serial engine to the process pool
+        engine_name = args.engine
+        jobs = args.jobs
+        if engine_name is None:
+            engine_name = cfg.engine
+            if jobs is not None and engine_name == "serial":
+                engine_name = "process"
+        if jobs is None and engine_name != "serial":
+            jobs = cfg.jobs
+        engine = create_engine(engine_name,
+                               jobs if engine_name != "serial" else None)
+        from .core.races import find_races
+        from .reduce.reducer import run_differential_test
+
+        program = ProgramGenerator(cfg.generator,
+                                   seed=cfg.seed).generate(args.index)
+        if cfg.generator.allow_data_races and find_races(program):
+            print(f"program {args.index} is race-filtered; its verdicts "
+                  f"are not analyzable", file=sys.stderr)
+            return 1
+        test_input = InputGenerator(cfg.generator, seed=cfg.seed + 1) \
+            .generate(program, args.input)
+        verdict = run_differential_test(program, test_input, cfg.compilers,
+                                        cfg.opt_level, cfg.machine,
+                                        cfg.outliers)
+        coords = [(args.index, args.input, o.vendor, o.kind.value)
+                  for o in verdict.outliers]
+
+    if args.vendor:
+        coords = [c for c in coords if c[2] == args.vendor]
+    if args.kind:
+        coords = [c for c in coords if c[3] == args.kind]
+    if not coords:
+        print("no matching outliers to reduce")
+        return 1
+
+    triage_jobs = [TriageJob(cfg, pi, ii, vendor, kind)
+                   for pi, ii, vendor, kind in coords]
+    triaged = list(engine.map_unordered(
+        run_triage_job, triage_jobs,
+        progress=None if args.quiet else _triage_progress))
+    if not args.quiet:
+        print(file=sys.stderr)
+    report = assemble_report(triaged)
+    print(report.render())
+    if args.out:
+        path = write_triage_artifacts(report, cfg, args.out)
+        print(f"triage artifacts written to {path}/")
     return 0
 
 
@@ -291,8 +389,45 @@ def build_parser() -> argparse.ArgumentParser:
                         "to the paper reproduction, default) or fast "
                         "(SplitMix64 mixer, a new program space)")
     p.add_argument("--out", help="directory for dataset-style artifacts")
+    p.add_argument("--save-outliers", metavar="DIR", dest="save_outliers",
+                   help="dump each outlier test's C++ source, failing "
+                        "input, and verdict JSON to DIR (no reduction)")
+    p.add_argument("--triage", metavar="DIR",
+                   help="after the campaign, reduce and bucket every "
+                        "outlier; write reproducer bundles to DIR")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser(
+        "reduce",
+        help="shrink outliers to minimal reproducers and bucket them")
+    _add_seed(p)
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="triage every outlier of a checkpointed campaign "
+                        "(written by campaign --checkpoint)")
+    p.add_argument("--config", help="campaign config JSON file "
+                                    "(inline mode)")
+    p.add_argument("--index", type=int,
+                   help="program index in the generator stream "
+                        "(inline mode: run + reduce one test)")
+    p.add_argument("--input", type=int, default=0,
+                   help="input index of the failing test (default 0)")
+    p.add_argument("--vendor", help="only reduce outliers flagged on this "
+                                    "backend")
+    p.add_argument("--kind", choices=("slow", "fast", "crash", "hang"),
+                   help="only reduce outliers of this kind")
+    p.add_argument("--mix", choices=sorted(DIRECTIVE_MIXES),
+                   help="directive mix preset (inline mode)")
+    p.add_argument("--programs", type=int, help=argparse.SUPPRESS)
+    p.add_argument("--inputs", type=int, help=argparse.SUPPRESS)
+    p.add_argument("--engine", choices=ENGINE_NAMES,
+                   help="execution engine for parallel reductions")
+    p.add_argument("--jobs", type=int,
+                   help="worker count for pooled engines")
+    p.add_argument("--out", metavar="DIR",
+                   help="write reproducer bundles + summary.json to DIR")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(fn=cmd_reduce)
 
     p = sub.add_parser("casestudy", help="reproduce a paper case study")
     _add_seed(p)

@@ -278,6 +278,40 @@ class OutlierConfig:
 
 
 @dataclass(frozen=True)
+class TriageConfig:
+    """Knobs of the outlier triage stage (:mod:`repro.reduce`).
+
+    Reduction is deterministic for a fixed configuration: the passes
+    enumerate candidates in a fixed order and the first accepted
+    candidate wins, so the only tunables are which pass families run
+    and how much work one case may consume.
+    """
+
+    #: full pipeline sweeps before reduction settles (each round runs
+    #: every enabled pass to its greedy fixpoint)
+    max_rounds: int = 8
+    #: hard ceiling on oracle evaluations per case — each evaluation is
+    #: one conformance + race check plus, if those pass, one full
+    #: differential re-run across the campaign's backends
+    max_candidates: int = 4000
+    #: also shrink the failing input vector toward canonical values
+    shrink_inputs: bool = True
+    #: run the clause-stripping pass (schedule/collapse/reduction/
+    #: private/firstprivate removal)
+    strip_clauses: bool = True
+    #: run the loop-bound shrinking pass
+    shrink_loop_bounds: bool = True
+    #: run the expression-simplification pass
+    simplify_expressions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ConfigError("max_rounds must be >= 1")
+        if self.max_candidates < 1:
+            raise ConfigError("max_candidates must be >= 1")
+
+
+@dataclass(frozen=True)
 class CampaignConfig:
     """Full Figure-1 pipeline configuration."""
 
@@ -289,6 +323,7 @@ class CampaignConfig:
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
     machine: MachineConfig = field(default_factory=MachineConfig)
     outliers: OutlierConfig = field(default_factory=OutlierConfig)
+    triage: TriageConfig = field(default_factory=TriageConfig)
     # Execution engine for the campaign grid: "serial", "thread", or
     # "process" (see repro.driver.engine); jobs = worker count for the
     # pooled engines (None = one per CPU).
@@ -366,11 +401,13 @@ def campaign_from_dict(data: dict[str, Any]) -> CampaignConfig:
         gen = GeneratorConfig(**data.get("generator", {}))
         mach = MachineConfig(**data.get("machine", {}))
         out = OutlierConfig(**data.get("outliers", {}))
+        tri = TriageConfig(**data.get("triage", {}))
         top = {k: v for k, v in data.items()
-               if k not in ("generator", "machine", "outliers")}
+               if k not in ("generator", "machine", "outliers", "triage")}
         if "compilers" in top:
             top["compilers"] = tuple(top["compilers"])
-        return CampaignConfig(generator=gen, machine=mach, outliers=out, **top)
+        return CampaignConfig(generator=gen, machine=mach, outliers=out,
+                              triage=tri, **top)
     except TypeError as exc:  # unknown key
         raise ConfigError(f"bad campaign config: {exc}") from exc
 

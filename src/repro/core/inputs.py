@@ -136,6 +136,22 @@ class TestInput:
             out.append(str(int(v)) if p.is_int else f"{float(v):.17g}")
         return out
 
+    def to_payload(self, program: Program) -> dict:
+        """JSON-ready form for artifact dumps and reproducer bundles.
+
+        Floats serialize as their ``repr`` (round-trips exactly), ints
+        stay ints, and ``argv`` is the vector the emitted ``main()``
+        takes — one schema shared by every ``input.json`` on disk.
+        """
+        return {
+            "program": self.program_name,
+            "input_index": self.index,
+            "values": {k: (v if isinstance(v, int) else repr(float(v)))
+                       for k, v in self.values.items()},
+            "categories": {k: c.value for k, c in self.categories.items()},
+            "argv": self.argv(program),
+        }
+
     def has_extreme(self) -> bool:
         """True when any fp parameter is subnormal / almost-inf / zero —
         the inputs most likely to trip numerical-exception paths."""

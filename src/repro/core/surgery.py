@@ -1,0 +1,247 @@
+"""AST surgery: clone and site-addressed mutation of generated programs.
+
+The test-case reducer (:mod:`repro.reduce`) never edits raw C++ text —
+every candidate is a *typed* AST produced by cloning the current best
+program and applying one structural edit, then revalidated through the
+same gates the generator output passes (grammar conformance, the race
+oracle, the differential harness).  This module provides the low-level
+machinery that makes those edits safe and deterministic:
+
+* :func:`clone_program` / :func:`clone_node` — structural deep copies
+  that *share* :class:`~repro.core.types.Variable` objects.  Variables
+  compare by identity (the generator scopes same-named temporaries), so
+  a naive ``copy.deepcopy`` would silently sever the clause lists from
+  the references they describe; sharing keeps ``private(x)`` pointing at
+  the same ``x`` the cloned body reads.
+* :func:`index_blocks` — every :class:`~repro.core.nodes.Block` of a
+  program in deterministic walk order.  Because clones preserve walk
+  order, an index computed on the original addresses the corresponding
+  block of any clone — which is how reduction passes name edit sites
+  without holding object references across candidates.
+* :func:`count_statements` — the size metric reduction minimizes.
+"""
+
+from __future__ import annotations
+
+from .nodes import (
+    ArrayRef,
+    Assignment,
+    BinOp,
+    Block,
+    BoolExpr,
+    DeclAssign,
+    Expr,
+    ForLoop,
+    FPNumeral,
+    IfBlock,
+    IntNumeral,
+    MathCall,
+    ModIdx,
+    Node,
+    OmpAtomic,
+    OmpBarrier,
+    OmpCritical,
+    OmpParallel,
+    OmpSection,
+    OmpSections,
+    OmpSingle,
+    OmpTask,
+    OmpTaskwait,
+    Paren,
+    Program,
+    ThreadIdx,
+    UnaryOp,
+    VarRef,
+    iter_statements,
+    walk,
+)
+from .types import OmpClauses
+
+
+# ----------------------------------------------------------------------
+# cloning
+# ----------------------------------------------------------------------
+
+def clone_node(node: Node) -> Node:
+    """Structurally clone one AST node (and its subtree).
+
+    Variables are shared, not copied — identity is their equality.
+    """
+    if isinstance(node, FPNumeral):
+        return FPNumeral(node.value)
+    if isinstance(node, IntNumeral):
+        return IntNumeral(node.value)
+    if isinstance(node, VarRef):
+        return VarRef(node.var)
+    if isinstance(node, ThreadIdx):
+        return ThreadIdx()
+    if isinstance(node, ModIdx):
+        return ModIdx(clone_node(node.base), node.modulus)  # type: ignore[arg-type]
+    if isinstance(node, ArrayRef):
+        return ArrayRef(node.var, clone_node(node.index))  # type: ignore[arg-type]
+    if isinstance(node, UnaryOp):
+        return UnaryOp(node.op, clone_node(node.operand))  # type: ignore[arg-type]
+    if isinstance(node, BinOp):
+        return BinOp(node.op, clone_node(node.lhs),  # type: ignore[arg-type]
+                     clone_node(node.rhs))  # type: ignore[arg-type]
+    if isinstance(node, Paren):
+        return Paren(clone_node(node.inner))  # type: ignore[arg-type]
+    if isinstance(node, MathCall):
+        return MathCall(node.func, clone_node(node.arg))  # type: ignore[arg-type]
+    if isinstance(node, BoolExpr):
+        return BoolExpr(clone_node(node.lhs), node.op,  # type: ignore[arg-type]
+                        clone_node(node.rhs))  # type: ignore[arg-type]
+    if isinstance(node, Assignment):
+        return Assignment(clone_node(node.target), node.op,  # type: ignore[arg-type]
+                          clone_node(node.expr))  # type: ignore[arg-type]
+    if isinstance(node, DeclAssign):
+        return DeclAssign(node.var, clone_node(node.expr))  # type: ignore[arg-type]
+    if isinstance(node, Block):
+        return Block([clone_node(s) for s in node.stmts])  # type: ignore[misc]
+    if isinstance(node, IfBlock):
+        return IfBlock(clone_node(node.cond),  # type: ignore[arg-type]
+                       clone_node(node.body))  # type: ignore[arg-type]
+    if isinstance(node, ForLoop):
+        return ForLoop(node.loop_var, clone_node(node.bound),  # type: ignore[arg-type]
+                       clone_node(node.body),  # type: ignore[arg-type]
+                       omp_for=node.omp_for, schedule=node.schedule,
+                       schedule_chunk=node.schedule_chunk,
+                       collapse=node.collapse)
+    if isinstance(node, OmpCritical):
+        return OmpCritical(clone_node(node.body))  # type: ignore[arg-type]
+    if isinstance(node, OmpAtomic):
+        return OmpAtomic(clone_node(node.update))  # type: ignore[arg-type]
+    if isinstance(node, OmpSingle):
+        return OmpSingle(clone_node(node.body))  # type: ignore[arg-type]
+    if isinstance(node, OmpBarrier):
+        return OmpBarrier()
+    if isinstance(node, OmpSection):
+        return OmpSection(clone_node(node.body))  # type: ignore[arg-type]
+    if isinstance(node, OmpSections):
+        return OmpSections([clone_node(s) for s in node.sections])  # type: ignore[misc]
+    if isinstance(node, OmpTask):
+        return OmpTask(clone_node(node.body))  # type: ignore[arg-type]
+    if isinstance(node, OmpTaskwait):
+        return OmpTaskwait()
+    if isinstance(node, OmpParallel):
+        clauses = OmpClauses(private=list(node.clauses.private),
+                             firstprivate=list(node.clauses.firstprivate),
+                             shared=list(node.clauses.shared),
+                             reduction=node.clauses.reduction,
+                             num_threads=node.clauses.num_threads)
+        return OmpParallel(clauses, clone_node(node.body),  # type: ignore[arg-type]
+                           combined_for=node.combined_for)
+    raise TypeError(f"cannot clone {type(node).__name__}")
+
+
+def clone_program(program: Program) -> Program:
+    """Clone a whole program; parameters and metadata are shared."""
+    return Program(
+        name=program.name,
+        seed=program.seed,
+        fp_type=program.fp_type,
+        comp=program.comp,
+        params=list(program.params),
+        body=clone_program_body(program),
+        num_threads=program.num_threads,
+    )
+
+
+def clone_program_body(program: Program) -> Block:
+    return clone_node(program.body)  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# site addressing
+# ----------------------------------------------------------------------
+
+def index_blocks(program: Program) -> list[Block]:
+    """Every Block of ``program`` in deterministic walk order.
+
+    ``index_blocks(clone_program(p))[k]`` is the clone of
+    ``index_blocks(p)[k]`` — clones preserve structure, so block indices
+    are stable addresses across candidate programs.
+    """
+    return [n for n in walk(program) if isinstance(n, Block)]
+
+
+def index_statements(program: Program):
+    """Every statement, deterministic walk order (see ``iter_statements``)."""
+    return list(iter_statements(program))
+
+
+def count_statements(program: Program) -> int:
+    """The reducer's size metric: number of statement nodes."""
+    return sum(1 for _ in iter_statements(program))
+
+
+# ----------------------------------------------------------------------
+# scope validity
+# ----------------------------------------------------------------------
+
+def reads_undeclared_locals(program: Program) -> bool:
+    """True when the program uses a temporary or loop variable that no
+    in-scope declaration precedes.
+
+    The generator cannot produce such a program, so grammar conformance
+    does not check for it — but statement *removal* can orphan a use by
+    dropping the ``DeclAssign`` (or the loop) that introduced the
+    variable, leaving a tree that no longer compiles as C++.  The
+    reduction oracle rejects candidates that fail this check before
+    spending a differential run on them.
+    """
+    from .types import VarKind
+
+    locals_kinds = (VarKind.TEMP, VarKind.LOOP)
+
+    def uses_ok(node: Node, scope: set[int]) -> bool:
+        return all(id(n.var) in scope for n in walk(node)
+                   if isinstance(n, VarRef) and n.var.kind in locals_kinds)
+
+    def stmt_ok(stmt, scope: set[int]) -> bool:
+        if isinstance(stmt, Assignment):
+            return uses_ok(stmt, scope)
+        if isinstance(stmt, DeclAssign):
+            if not uses_ok(stmt.expr, scope):
+                return False
+            scope.add(id(stmt.var))
+            return True
+        if isinstance(stmt, IfBlock):
+            return uses_ok(stmt.cond, scope) and block_ok(stmt.body, scope)
+        if isinstance(stmt, ForLoop):
+            if not uses_ok(stmt.bound, scope):
+                return False
+            return block_ok(stmt.body, scope | {id(stmt.loop_var)})
+        if isinstance(stmt, OmpAtomic):
+            return uses_ok(stmt.update, scope)
+        if isinstance(stmt, (OmpCritical, OmpSingle, OmpTask)):
+            return block_ok(stmt.body, scope)
+        if isinstance(stmt, OmpSections):
+            return all(block_ok(sec.body, scope) for sec in stmt.sections)
+        if isinstance(stmt, OmpParallel):
+            # data-sharing clauses name variables in the enclosing scope
+            if any(v.kind in locals_kinds and id(v) not in scope
+                   for v in stmt.clauses.all_listed()):
+                return False
+            return block_ok(stmt.body, scope)
+        return True  # barrier / taskwait reference nothing
+
+    def block_ok(block: Block, scope: set[int]) -> bool:
+        inner = set(scope)  # declarations do not escape the block
+        return all(stmt_ok(s, inner) for s in block.stmts)
+
+    return not block_ok(program.body, set())
+
+
+# ----------------------------------------------------------------------
+# expression helpers
+# ----------------------------------------------------------------------
+
+def is_leaf_expr(e: Expr) -> bool:
+    """Already as simple as the grammar allows — nothing to shrink."""
+    return isinstance(e, (FPNumeral, IntNumeral, VarRef, ThreadIdx))
+
+
+def simplest_expr() -> Expr:
+    """The canonical minimal expression candidates shrink toward."""
+    return FPNumeral(1.0)

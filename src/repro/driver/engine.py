@@ -187,6 +187,29 @@ class ExecutionEngine(ABC):
         discarded.
         """
 
+    def map_unordered(self, fn: Callable, items: Sequence, *,
+                      chunk_size: int = 1,
+                      progress: ProgressFn | None = None) -> Iterator:
+        """Apply ``fn`` to independent ``items``, yielding as completed.
+
+        The generic sibling of :meth:`run` for work that is not a
+        campaign unit — e.g. outlier reductions, which are mutually
+        independent and therefore parallelize exactly like work units.
+        ``fn`` and each item must be picklable for the process engine
+        (module-level function + dataclass items, same contract as
+        :func:`execute_unit`).  Serial engines apply in order; pooled
+        engines yield in completion order.  ``progress`` fires once per
+        completed item with ``(done, total)``.
+        """
+        if chunk_size < 1:
+            raise ConfigError("chunk_size must be >= 1")
+        total = len(items)
+        for done, item in enumerate(items, 1):
+            result = fn(item)
+            if progress is not None:
+                progress(done, total)
+            yield result
+
     # ------------------------------------------------------------------
     @staticmethod
     def _progress_stepper(units: Sequence[WorkUnit],
@@ -243,6 +266,11 @@ class SerialEngine(ExecutionEngine):
             yield outcome
 
 
+def _call_chunk(fn: Callable, items: tuple) -> list:
+    """Apply ``fn`` to a batch of items (one pooled-map submission)."""
+    return [fn(item) for item in items]
+
+
 class _PoolEngine(ExecutionEngine):
     """Shared machinery for the two concurrent.futures engines."""
 
@@ -257,9 +285,36 @@ class _PoolEngine(ExecutionEngine):
     def _make_executor(self, plan: ExecutionPlan):
         raise NotImplementedError
 
+    def _make_map_executor(self):
+        """Executor for :meth:`map_unordered` (no campaign plan to ship)."""
+        raise NotImplementedError
+
     def _submit(self, executor, plan: ExecutionPlan,
                 chunk: tuple[WorkUnit, ...]) -> Future:
         raise NotImplementedError
+
+    def map_unordered(self, fn: Callable, items: Sequence, *,
+                      chunk_size: int = 1,
+                      progress: ProgressFn | None = None) -> Iterator:
+        if chunk_size < 1:
+            raise ConfigError("chunk_size must be >= 1")
+        total = len(items)
+        if not total:
+            return
+        chunks = [tuple(items[i:i + chunk_size])
+                  for i in range(0, total, chunk_size)]
+        executor = self._make_map_executor()
+        try:
+            futures = [executor.submit(_call_chunk, fn, c) for c in chunks]
+            done = 0
+            for fut in as_completed(futures):
+                for result in fut.result():
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+                    yield result
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
 
     def run(self, plan: ExecutionPlan, units: Sequence[WorkUnit], *,
             progress: ProgressFn | None = None,
@@ -314,6 +369,15 @@ class ThreadPoolEngine(_PoolEngine):
                                   thread_name_prefix="repro-engine",
                                   initializer=silence_fp_warnings)
 
+    def _make_map_executor(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from ..sim.values import silence_fp_warnings
+
+        return ThreadPoolExecutor(max_workers=self.jobs,
+                                  thread_name_prefix="repro-map",
+                                  initializer=silence_fp_warnings)
+
     def _submit(self, executor, plan: ExecutionPlan,
                 chunk: tuple[WorkUnit, ...]) -> Future:
         return executor.submit(execute_chunk, plan, chunk)
@@ -360,6 +424,13 @@ class ProcessPoolEngine(_PoolEngine):
         return ProcessPoolExecutor(max_workers=self.jobs,
                                    initializer=_process_worker_init,
                                    initargs=(plan,))
+
+    def _make_map_executor(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        # no plan initializer: map tasks carry their own context (the
+        # same coordinates-not-objects contract as campaign work units)
+        return ProcessPoolExecutor(max_workers=self.jobs)
 
     def _submit(self, executor, plan: ExecutionPlan,
                 chunk: tuple[WorkUnit, ...]) -> Future:

@@ -68,6 +68,55 @@ def read_verdict_rows(path: str | Path) -> Iterator[dict[str, Any]]:
                 yield json.loads(line)
 
 
+def dump_outlier_artifacts(result, out_dir: str | Path) -> Path:
+    """Persist every flagged outlier test as a standalone directory.
+
+    Without this, outliers are only reachable by re-reading checkpoint
+    JSONL; with it, each outlier test gets
+    ``<out>/<program>__in<j>/{source.cpp,input.json,verdict.json}`` —
+    the C++ source (regenerated deterministically from the campaign
+    seed), the failing input (named values plus the ``argv`` the
+    emitted ``main()`` takes), and the differential verdict.  This is
+    the raw, un-reduced sibling of the triage bundles in
+    :mod:`repro.reduce.bundle`.
+    """
+    from ..codegen.emit_main import emit_translation_unit
+    from ..core.generator import ProgramGenerator
+    from ..core.inputs import InputGenerator
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    flagged = [v for v in result.verdicts if v.outliers]
+    wanted = {v.program_name for v in flagged}
+    cfg = result.config
+    gen = ProgramGenerator(cfg.generator, seed=cfg.seed)
+    inputs = InputGenerator(cfg.generator, seed=cfg.seed + 1)
+    programs = {}
+    for i in range(cfg.n_programs):
+        if len(programs) == len(wanted):
+            break  # all flagged programs recovered; skip the tail
+        program = gen.generate(i)
+        if program.name in wanted:
+            programs[program.name] = program
+    for v in flagged:
+        program = programs[v.program_name]
+        test_input = inputs.generate(program, v.input_index)
+        d = out / f"{v.program_name}__in{v.input_index}"
+        d.mkdir(parents=True, exist_ok=True)
+        (d / "source.cpp").write_text(emit_translation_unit(program))
+        (d / "input.json").write_text(json.dumps(
+            test_input.to_payload(program), indent=2, sort_keys=True))
+        (d / "verdict.json").write_text(json.dumps({
+            "program": v.program_name,
+            "input": v.input_index,
+            "analyzed": v.analyzed,
+            "output_divergent": v.output_divergent,
+            "outliers": [str(o) for o in v.outliers],
+            "runs": [r.to_dict() for r in v.records],
+        }, indent=2, sort_keys=True))
+    return out
+
+
 def dump_campaign_artifacts(result, out_dir: str | Path) -> Path:
     """Persist a campaign like the paper's released dataset:
 

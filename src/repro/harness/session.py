@@ -181,6 +181,42 @@ class CampaignSession:
             pass
         return self.result()
 
+    # ------------------------------------------------------------------
+    # triage
+    # ------------------------------------------------------------------
+    def outlier_coordinates(self) -> list[tuple[int, int, str, str]]:
+        """Grid coordinates of every outlier among the completed units:
+        ``(program_index, input_index, vendor, kind value)``, in
+        deterministic grid order."""
+        coords: list[tuple[int, int, str, str]] = []
+        for index in sorted(self._outcomes):
+            for verdict in self._outcomes[index].verdicts:
+                for o in verdict.outliers:
+                    coords.append((index, verdict.input_index, o.vendor,
+                                   o.kind.value))
+        return coords
+
+    def triage(self, *, progress: ProgressFn | None = None):
+        """Reduce and bucket every outlier of the completed units.
+
+        Each outlier becomes one :class:`~repro.reduce.jobs.TriageJob` —
+        reductions are mutually independent, so they are scheduled
+        through this session's engine exactly like campaign work units
+        (a process pool reduces outliers in parallel).  Returns a
+        :class:`~repro.reduce.triage.TriageReport`; pair it with
+        :func:`~repro.reduce.bundle.write_triage_artifacts` to lay
+        reproducer bundles out on disk.  ``progress`` fires once per
+        completed reduction with ``(done, total)``.
+        """
+        from ..reduce.jobs import TriageJob, run_triage_job
+        from ..reduce.triage import assemble_report
+
+        jobs = [TriageJob(self.config, pi, ii, vendor, kind)
+                for pi, ii, vendor, kind in self.outlier_coordinates()]
+        triaged = list(self.engine.map_unordered(run_triage_job, jobs,
+                                                 progress=progress))
+        return assemble_report(triaged)
+
     def result(self) -> CampaignResult:
         """Assemble a :class:`CampaignResult` from the completed units."""
         result = CampaignResult(config=self.config)

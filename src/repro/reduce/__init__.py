@@ -1,0 +1,40 @@
+"""Outlier triage: test-case reduction, bug bucketing, reproducer bundles.
+
+The campaign pipeline ends where a differential test flags an outlier; at
+production scale that is where the real work *starts* — a 60-statement
+random program tells a vendor nothing about which 3 statements trip the
+bug, and a thousand outliers from one latent fault are one bug report,
+not a thousand.  This package adds the triage stage:
+
+* :mod:`repro.reduce.reducer` — a delta-debugging reducer over the typed
+  AST: candidate passes drop statements, strip directive clauses,
+  simplify expressions, and shrink loop bounds and inputs; every
+  candidate is revalidated through grammar conformance, the race oracle,
+  and a fresh differential run, and kept only if it still reproduces the
+  *same* outlier kind on the *same* backend.
+* :mod:`repro.reduce.triage` — fingerprints reduced outliers into bug
+  buckets (outlier kind x directive-feature vector x faulting backend)
+  with one exemplar reproducer per bucket.
+* :mod:`repro.reduce.bundle` — self-contained reproducer directories
+  (emitted C++, failing input, expected-vs-actual verdict JSON, re-run
+  command).
+* :mod:`repro.reduce.jobs` — picklable per-outlier work items so
+  sessions can parallelize reductions across the execution engines
+  exactly like campaign work units.
+
+Entry points: :meth:`repro.harness.session.CampaignSession.triage`, the
+``repro-omp reduce`` CLI subcommand, and ``repro-omp campaign --triage``.
+"""
+
+from .reducer import OutlierCase, ReductionOracle, ReductionResult, reduce_case
+from .triage import TriagedOutlier, TriageReport, assemble_report
+
+__all__ = [
+    "OutlierCase",
+    "ReductionOracle",
+    "ReductionResult",
+    "TriagedOutlier",
+    "TriageReport",
+    "assemble_report",
+    "reduce_case",
+]

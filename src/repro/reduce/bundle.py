@@ -1,0 +1,167 @@
+"""Reproducer bundles: self-contained directories for one reduced outlier.
+
+A bundle is what gets attached to a bug report — everything needed to
+see the failure without the fuzzer in the loop:
+
+* ``reduced.cpp`` / ``original.cpp`` — the minimal and the as-generated
+  C++ translation units (both emit through the canonical code
+  generator, so they compile with any ``-fopenmp`` toolchain),
+* ``input.json`` — the failing input vector, both as named values and
+  as the ``argv`` the emitted ``main()`` expects,
+* ``verdict.json`` — the expected-vs-actual differential verdict: which
+  backend was flagged, with which outlier kind, and every backend's
+  status/output/time on the reduced test,
+* ``config.json`` + ``repro.sh`` — the exact campaign configuration and
+  the commands that re-derive, re-reduce, and natively replay the test.
+
+:func:`write_triage_artifacts` lays a whole report out as one directory:
+``summary.json`` plus one bundle per bug bucket exemplar.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..codegen.emit_main import emit_translation_unit
+from ..config import CampaignConfig, campaign_to_json
+from .triage import TriagedOutlier, TriageReport
+
+
+def _input_payload(triaged: TriagedOutlier) -> dict:
+    return triaged.result.reduced_input.to_payload(
+        triaged.result.reduced_program)
+
+
+def _verdict_payload(triaged: TriagedOutlier) -> dict:
+    result = triaged.result
+    payload: dict = {
+        "expected": {
+            "vendor": triaged.vendor,
+            "kind": triaged.kind.value,
+        },
+        "signature": triaged.signature,
+        "confirmed": result.confirmed,
+        "original_statements": result.original_statements,
+        "reduced_statements": result.reduced_statements,
+        "reduction_factor": round(result.reduction_factor, 3),
+        "candidates_tried": result.candidates_tried,
+        "candidates_kept": result.candidates_kept,
+        "history": list(result.history),
+    }
+    if result.verdict is not None:
+        payload["actual"] = {
+            "outliers": [str(o) for o in result.verdict.outliers],
+            "output_divergent": result.verdict.output_divergent,
+            "records": [r.to_dict() for r in result.verdict.records],
+        }
+    return payload
+
+
+#: backends always present in a fresh process (registered at import
+#: time by repro.backends.registry); anything else in a bundle's
+#: compiler list was registered at runtime by the campaign driver
+_BUILTIN_BACKENDS = frozenset({"gcc", "clang", "intel", "gcc-native"})
+
+
+def _repro_script(triaged: TriagedOutlier, config: CampaignConfig) -> str:
+    result = triaged.result
+    argv = " ".join(f"'{a}'" for a in
+                    result.reduced_input.argv(result.reduced_program))
+    custom = [c for c in config.compilers if c not in _BUILTIN_BACKENDS]
+    caveat = ""
+    if custom:
+        caveat = (
+            "# NOTE: this campaign used runtime-registered backend(s) "
+            f"{', '.join(custom)};\n"
+            "# re-deriving requires your driver to register_backend() "
+            "them first\n"
+            "# (the native replay below needs no such setup).\n"
+        )
+    return (
+        "#!/bin/sh\n"
+        f"# {triaged.kind.value} outlier on {triaged.vendor}: "
+        f"{triaged.program_name}#in{triaged.input_index}\n"
+        f"# bug signature: {triaged.signature}\n"
+        "#\n"
+        "# Re-derive and re-reduce from the campaign configuration\n"
+        "# (requires the repro package on PYTHONPATH):\n"
+        f"#   repro-omp reduce --config config.json "
+        f"--index {triaged.program_index} --input {triaged.input_index} "
+        f"--vendor {triaged.vendor} --out .\n"
+        f"{caveat}"
+        "#\n"
+        "# Replay the reduced test with a real OpenMP toolchain:\n"
+        "set -e\n"
+        "g++ -O3 -fopenmp reduced.cpp -o reduced\n"
+        f"./reduced {argv}\n"
+    )
+
+
+def write_bundle(out_dir: str | Path, triaged: TriagedOutlier,
+                 config: CampaignConfig) -> Path:
+    """Write one reproducer bundle; returns the bundle directory."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    result = triaged.result
+    (out / "reduced.cpp").write_text(
+        emit_translation_unit(result.reduced_program))
+    (out / "original.cpp").write_text(
+        emit_translation_unit(result.case.program))
+    (out / "input.json").write_text(
+        json.dumps(_input_payload(triaged), indent=2, sort_keys=True))
+    (out / "verdict.json").write_text(
+        json.dumps(_verdict_payload(triaged), indent=2, sort_keys=True))
+    (out / "config.json").write_text(campaign_to_json(config))
+    script = out / "repro.sh"
+    script.write_text(_repro_script(triaged, config))
+    script.chmod(0o755)
+    return out
+
+
+def _bucket_dirname(index: int, signature: str) -> str:
+    safe = signature.replace("|", "_").replace("+", "-")
+    return f"bucket-{index:02d}-{safe}"
+
+
+def write_triage_artifacts(report: TriageReport, config: CampaignConfig,
+                           out_dir: str | Path) -> Path:
+    """Lay a triage report out on disk: summary + per-bucket bundles."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    summary = {
+        "n_outliers": report.n_outliers,
+        "n_confirmed": report.n_confirmed,
+        "mean_reduction_factor": round(report.mean_reduction_factor(), 3),
+        "buckets": [
+            {
+                "signature": b.signature,
+                "kind": b.kind,
+                "vendor": b.vendor,
+                "n_tests": len(b),
+                "exemplar": {
+                    "program": b.exemplar.program_name,
+                    "program_index": b.exemplar.program_index,
+                    "input_index": b.exemplar.input_index,
+                    "reduced_statements":
+                        b.exemplar.result.reduced_statements,
+                    "original_statements":
+                        b.exemplar.result.original_statements,
+                },
+                "members": [
+                    {"program": t.program_name,
+                     "program_index": t.program_index,
+                     "input_index": t.input_index}
+                    for t in b.members
+                ],
+                "directory": _bucket_dirname(i, b.signature),
+            }
+            for i, b in enumerate(report.buckets)
+        ],
+    }
+    (out / "summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True))
+    for i, bucket in enumerate(report.buckets):
+        write_bundle(out / _bucket_dirname(i, bucket.signature),
+                     bucket.exemplar, config)
+    return out

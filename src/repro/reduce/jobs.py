@@ -1,0 +1,52 @@
+"""Picklable triage work items for the execution engines.
+
+Reductions are mutually independent, so a session parallelizes them the
+same way it parallelizes campaign work units: a :class:`TriageJob` is
+**coordinates, not objects** — the campaign config plus the grid indices
+and the flagged (vendor, kind).  Program and input are re-derived inside
+whichever worker runs the job (generation is a pure function of
+``(config, index)``), which keeps the job pickle small and lets a forked
+:class:`~repro.driver.engine.ProcessPoolEngine` worker rebuild the whole
+case from a handful of scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.outliers import OutlierKind
+from ..config import CampaignConfig
+from ..core.generator import ProgramGenerator
+from ..core.inputs import InputGenerator
+from .reducer import OutlierCase, reduce_case
+from .triage import TriagedOutlier, triaged_from_result
+
+
+@dataclass(frozen=True)
+class TriageJob:
+    """One outlier reduction, described by campaign coordinates."""
+
+    config: CampaignConfig
+    program_index: int
+    input_index: int
+    vendor: str
+    kind: str  # OutlierKind value — kept primitive for clean pickles
+
+
+def build_case(job: TriageJob) -> OutlierCase:
+    """Re-derive the outlier's program and failing input from the config."""
+    cfg = job.config
+    program = ProgramGenerator(cfg.generator,
+                               seed=cfg.seed).generate(job.program_index)
+    test_input = InputGenerator(cfg.generator, seed=cfg.seed + 1).generate(
+        program, job.input_index)
+    return OutlierCase.from_campaign(cfg, program, test_input, job.vendor,
+                                     OutlierKind(job.kind))
+
+
+def run_triage_job(job: TriageJob) -> TriagedOutlier:
+    """Execute one reduction start to finish (pure function of the job)."""
+    case = build_case(job)
+    result = reduce_case(case, job.config.triage)
+    return triaged_from_result(job.program_index, job.input_index,
+                               job.vendor, OutlierKind(job.kind), result)

@@ -1,0 +1,372 @@
+"""Candidate-producing reduction passes over the typed AST.
+
+Each pass enumerates *candidate* programs — clones of the current best
+with one structural edit applied — in a deterministic order.  Passes
+only propose; the :class:`~repro.reduce.reducer.ReductionOracle`
+disposes: a candidate survives only if it is grammar-conformant, still
+race-free, and still reproduces the original outlier.  That split keeps
+the passes simple (they may propose semantically invalid edits; the
+gates reject them) and makes reduction deterministic (no randomness
+anywhere — a fixed case reduces to a fixed program).
+
+Every candidate strictly shrinks the program under a well-founded
+measure (statement count, expression node count, clause count, or loop
+bound magnitude), so greedy first-accept iteration terminates without a
+fuel counter; the reducer still carries one as a safety valve.
+
+Passes, in the order the reducer runs them:
+
+1. :class:`DropStatements` — ddmin-style contiguous-span removal per
+   block, large spans first (one accepted candidate can delete half a
+   block), then single statements.
+2. :class:`UnwrapConstructs` — splice a construct's body into its
+   parent: ``critical``/``single``/``if``/``task`` bodies hoisted,
+   ``atomic`` updates bared, ``sections`` arms dropped.
+3. :class:`StripClauses` — remove ``schedule(...)``, lower
+   ``collapse(2)``, demote ``omp for`` to a serial loop, drop
+   ``reduction``/``private``/``firstprivate`` entries.
+4. :class:`NeutralizeAccumulator` — rewrite ``comp`` updates as
+   tid-indexed stores so stuck ``reduction`` clauses unblock.
+5. :class:`ShrinkLoopBounds` — constant bounds shrink toward 2;
+   parameter bounds become small constants.
+6. :class:`SimplifyExpressions` — non-leaf expressions collapse to a
+   referenced variable or a numeral.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.nodes import (
+    ArrayRef,
+    Assignment,
+    Block,
+    DeclAssign,
+    ForLoop,
+    IfBlock,
+    IntNumeral,
+    OmpAtomic,
+    OmpCritical,
+    OmpParallel,
+    OmpSections,
+    OmpSingle,
+    OmpTask,
+    Program,
+    ThreadIdx,
+    VarRef,
+    walk,
+)
+from ..core.types import AssignOpKind, VarKind
+from ..core.surgery import (
+    clone_program,
+    index_blocks,
+    index_statements,
+    is_leaf_expr,
+    simplest_expr,
+)
+
+#: a (description, candidate program) proposal
+Candidate = tuple[str, Program]
+
+#: the loop-bound floor candidates shrink toward — 2 keeps the loop a
+#: loop (bound 1 or 0 often optimizes the construct away entirely and
+#: loses scheduling-dependent faults)
+_MIN_BOUND = 2
+
+
+class ReductionPass:
+    """One family of candidate edits."""
+
+    name: str = "abstract"
+
+    def candidates(self, program: Program) -> Iterator[Candidate]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# 1. statement removal (ddmin-style spans)
+# ----------------------------------------------------------------------
+
+class DropStatements(ReductionPass):
+    """Remove contiguous statement spans, largest first, per block."""
+
+    name = "drop-statements"
+
+    def candidates(self, program: Program) -> Iterator[Candidate]:
+        for bi, block in enumerate(index_blocks(program)):
+            n = len(block.stmts)
+            span = n  # a whole-block drop is rejected by conformance,
+            # but dropping all-but-nothing of an *optional* block (e.g. a
+            # parallel region that is itself one statement of its parent)
+            # is proposed at the parent level, so start at full size
+            while span >= 1:
+                for start in range(0, n - span + 1):
+                    yield (f"drop stmts[{start}:{start + span}] of block {bi}",
+                           _drop_span(program, bi, start, span))
+                span //= 2
+
+
+def _drop_span(program: Program, block_index: int, start: int,
+               count: int) -> Program:
+    cand = clone_program(program)
+    block = index_blocks(cand)[block_index]
+    del block.stmts[start:start + count]
+    return cand
+
+
+# ----------------------------------------------------------------------
+# 2. construct unwrapping
+# ----------------------------------------------------------------------
+
+class UnwrapConstructs(ReductionPass):
+    """Hoist construct bodies into their parents; drop section arms."""
+
+    name = "unwrap-constructs"
+
+    def candidates(self, program: Program) -> Iterator[Candidate]:
+        for bi, block in enumerate(index_blocks(program)):
+            for si, stmt in enumerate(block.stmts):
+                if isinstance(stmt, (OmpCritical, OmpSingle, IfBlock,
+                                     OmpTask)):
+                    kind = type(stmt).__name__
+                    yield (f"unwrap {kind} at block {bi} stmt {si}",
+                           _splice_body(program, bi, si))
+                elif isinstance(stmt, OmpAtomic):
+                    yield (f"bare atomic at block {bi} stmt {si}",
+                           _bare_atomic(program, bi, si))
+                elif isinstance(stmt, OmpSections) and len(stmt.sections) > 1:
+                    for ai in range(len(stmt.sections)):
+                        yield (f"drop section arm {ai} at block {bi} "
+                               f"stmt {si}",
+                               _drop_arm(program, bi, si, ai))
+
+
+def _splice_body(program: Program, block_index: int,
+                 stmt_index: int) -> Program:
+    cand = clone_program(program)
+    block = index_blocks(cand)[block_index]
+    stmt = block.stmts[stmt_index]
+    body: Block = stmt.body  # type: ignore[union-attr]
+    block.stmts[stmt_index:stmt_index + 1] = list(body.stmts)
+    return cand
+
+
+def _bare_atomic(program: Program, block_index: int,
+                 stmt_index: int) -> Program:
+    cand = clone_program(program)
+    block = index_blocks(cand)[block_index]
+    atomic = block.stmts[stmt_index]
+    assert isinstance(atomic, OmpAtomic)
+    block.stmts[stmt_index] = atomic.update
+    return cand
+
+
+def _drop_arm(program: Program, block_index: int, stmt_index: int,
+              arm_index: int) -> Program:
+    cand = clone_program(program)
+    sections = index_blocks(cand)[block_index].stmts[stmt_index]
+    assert isinstance(sections, OmpSections)
+    del sections.sections[arm_index]
+    return cand
+
+
+# ----------------------------------------------------------------------
+# 3. clause stripping
+# ----------------------------------------------------------------------
+
+class StripClauses(ReductionPass):
+    """Remove directive clauses one at a time."""
+
+    name = "strip-clauses"
+
+    def candidates(self, program: Program) -> Iterator[Candidate]:
+        for idx, stmt in enumerate(index_statements(program)):
+            if isinstance(stmt, ForLoop):
+                if stmt.schedule is not None:
+                    yield (f"strip schedule clause at stmt {idx}",
+                           _edit_stmt(program, idx, _strip_schedule))
+                if stmt.collapse > 1:
+                    yield (f"lower collapse at stmt {idx}",
+                           _edit_stmt(program, idx, _lower_collapse))
+                if stmt.omp_for:
+                    # demote the worksharing loop to a serial loop —
+                    # canonicalizes outliers whose fault does not need
+                    # worksharing, so same-fault reductions converge on
+                    # one directive vector (rejected where the region is
+                    # combined or the fault lives in the worksharing)
+                    yield (f"strip omp for at stmt {idx}",
+                           _edit_stmt(program, idx, _strip_omp_for))
+            elif isinstance(stmt, OmpParallel):
+                if stmt.clauses.reduction is not None:
+                    yield (f"drop reduction clause at stmt {idx}",
+                           _edit_stmt(program, idx, _drop_reduction))
+                for vi in range(len(stmt.clauses.private)):
+                    yield (f"drop private #{vi} at stmt {idx}",
+                           _edit_stmt(program, idx,
+                                      _drop_listed("private", vi)))
+                for vi in range(len(stmt.clauses.firstprivate)):
+                    yield (f"drop firstprivate #{vi} at stmt {idx}",
+                           _edit_stmt(program, idx,
+                                      _drop_listed("firstprivate", vi)))
+
+
+def _edit_stmt(program: Program, stmt_index: int, edit) -> Program:
+    cand = clone_program(program)
+    edit(index_statements(cand)[stmt_index])
+    return cand
+
+
+def _strip_schedule(stmt: ForLoop) -> None:
+    stmt.schedule = None
+    stmt.schedule_chunk = 0
+
+
+def _strip_omp_for(stmt: ForLoop) -> None:
+    stmt.omp_for = False
+    stmt.schedule = None
+    stmt.schedule_chunk = 0
+    stmt.collapse = 1
+
+
+def _lower_collapse(stmt: ForLoop) -> None:
+    stmt.collapse = 1
+
+
+def _drop_reduction(stmt: OmpParallel) -> None:
+    stmt.clauses.reduction = None
+
+
+def _drop_listed(clause: str, index: int):
+    def edit(stmt: OmpParallel) -> None:
+        del getattr(stmt.clauses, clause)[index]
+    return edit
+
+
+# ----------------------------------------------------------------------
+# 4. accumulator neutralization
+# ----------------------------------------------------------------------
+
+class NeutralizeAccumulator(ReductionPass):
+    """Rewrite writes to ``comp`` as tid-indexed array stores.
+
+    A ``reduction(... : comp)`` clause cannot be stripped while the loop
+    body still updates ``comp`` — the drop candidate introduces a race
+    and the oracle rejects it.  When the fault under reduction does not
+    *need* the accumulator, replacing ``comp op= expr`` with
+    ``arr[omp_get_thread_num()] = 1.0`` (race-free by index disjointness,
+    Section III-G) unblocks the clause strip on the next round, so
+    same-fault outliers converge on one canonical directive vector
+    whether or not their original programs carried a reduction.
+    """
+
+    name = "neutralize-accumulator"
+
+    def candidates(self, program: Program) -> Iterator[Candidate]:
+        arrays = program.array_params
+        if not arrays:
+            return
+        target = arrays[0]
+        for idx, stmt in enumerate(index_statements(program)):
+            if not isinstance(stmt, Assignment):
+                continue
+            if not isinstance(stmt.target, VarRef):
+                continue
+            if stmt.target.var.kind is not VarKind.COMP:
+                continue
+            yield (f"neutralize comp write at stmt {idx}",
+                   _edit_stmt(program, idx, _to_tid_store(target)))
+
+
+def _to_tid_store(array):
+    def edit(stmt: Assignment) -> None:
+        stmt.target = ArrayRef(array, ThreadIdx())
+        stmt.op = AssignOpKind.ASSIGN
+        stmt.expr = simplest_expr()
+    return edit
+
+
+# ----------------------------------------------------------------------
+# 5. loop-bound shrinking
+# ----------------------------------------------------------------------
+
+class ShrinkLoopBounds(ReductionPass):
+    """Shrink trip counts: halve-ish steps, then the floor of 2.
+
+    A parameter-supplied bound is replaced by a small constant — that
+    also decouples the loop from the input vector, which lets the input
+    shrinker simplify the now-unused integer afterwards.
+    """
+
+    name = "shrink-loop-bounds"
+
+    def candidates(self, program: Program) -> Iterator[Candidate]:
+        for idx, stmt in enumerate(index_statements(program)):
+            if not isinstance(stmt, ForLoop):
+                continue
+            if isinstance(stmt.bound, IntNumeral):
+                value = stmt.bound.value
+                if value > _MIN_BOUND:
+                    mid = max(_MIN_BOUND, value // 8)
+                    if mid < value and mid != _MIN_BOUND:
+                        yield (f"shrink bound {value} -> {mid} at stmt {idx}",
+                               _edit_stmt(program, idx, _set_bound(mid)))
+                    yield (f"shrink bound {value} -> {_MIN_BOUND} "
+                           f"at stmt {idx}",
+                           _edit_stmt(program, idx, _set_bound(_MIN_BOUND)))
+            else:  # VarRef — an int kernel parameter
+                yield (f"constant bound at stmt {idx}",
+                       _edit_stmt(program, idx, _set_bound(_MIN_BOUND)))
+
+
+def _set_bound(value: int):
+    def edit(stmt: ForLoop) -> None:
+        stmt.bound = IntNumeral(value)
+    return edit
+
+
+# ----------------------------------------------------------------------
+# 5. expression simplification
+# ----------------------------------------------------------------------
+
+class SimplifyExpressions(ReductionPass):
+    """Collapse non-leaf expressions to a leaf.
+
+    Two variants per site, tried in order: the first variable the
+    expression already reads (preserves data flow — more likely to keep
+    value-dependent faults alive) and the canonical numeral ``1.0``.
+    """
+
+    name = "simplify-expressions"
+
+    def candidates(self, program: Program) -> Iterator[Candidate]:
+        for idx, stmt in enumerate(index_statements(program)):
+            if isinstance(stmt, (Assignment, DeclAssign)):
+                expr = stmt.expr
+            else:
+                continue
+            if is_leaf_expr(expr):
+                continue
+            ref = next((n for n in walk(expr) if isinstance(n, VarRef)
+                        and n.var.is_fp), None)
+            if ref is not None:
+                yield (f"collapse expr to {ref.var.name} at stmt {idx}",
+                       _edit_stmt(program, idx, _set_expr(VarRef(ref.var))))
+            yield (f"collapse expr to numeral at stmt {idx}",
+                   _edit_stmt(program, idx, _set_expr(simplest_expr())))
+
+
+def _set_expr(expr):
+    def edit(stmt) -> None:
+        stmt.expr = expr
+    return edit
+
+
+#: the reducer's fixed pass pipeline, in execution order
+DEFAULT_PASSES: tuple[ReductionPass, ...] = (
+    DropStatements(),
+    UnwrapConstructs(),
+    StripClauses(),
+    NeutralizeAccumulator(),
+    ShrinkLoopBounds(),
+    SimplifyExpressions(),
+)

@@ -1,0 +1,116 @@
+"""Triage orchestration: reduced outliers -> bug buckets -> report.
+
+One :class:`TriagedOutlier` is the unit a reduction job returns: the
+outlier's grid coordinates, its :class:`~repro.reduce.reducer.
+ReductionResult`, and the bug signature computed from the *reduced*
+program's directive features (see :mod:`repro.analysis.buckets` for why
+reduced, not original).  :func:`assemble_report` sorts job results into
+a deterministic order — whatever engine ran them, in whatever completion
+order — and groups them into buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.buckets import BugBucket, bug_signature, build_buckets
+from ..analysis.outliers import OutlierKind
+from ..core.features import extract_features
+from .reducer import ReductionResult
+
+
+@dataclass
+class TriagedOutlier:
+    """One outlier after reduction, ready for bucketing."""
+
+    program_index: int
+    input_index: int
+    vendor: str
+    kind: OutlierKind
+    signature: str
+    result: ReductionResult
+
+    @property
+    def program_name(self) -> str:
+        return self.result.case.program.name
+
+    def sort_key(self) -> tuple:
+        return (self.program_index, self.input_index, self.vendor,
+                self.kind.value)
+
+
+def triaged_from_result(program_index: int, input_index: int, vendor: str,
+                        kind: OutlierKind,
+                        result: ReductionResult) -> TriagedOutlier:
+    """Tag a reduction result with its bug signature."""
+    features = extract_features(result.reduced_program)
+    return TriagedOutlier(
+        program_index=program_index, input_index=input_index, vendor=vendor,
+        kind=kind, signature=bug_signature(kind, vendor, features),
+        result=result)
+
+
+@dataclass
+class TriageReport:
+    """Everything one triage run produced.
+
+    Only *confirmed* reductions are bucketed — an outlier whose original
+    test did not reproduce under re-execution (flaky timing on a native
+    backend, state-keyed latent triggers) has no reduced program to
+    fingerprint, and a bucket exemplar must be a working reproducer.
+    The unconfirmed cases stay listed in :attr:`triaged` (and in
+    :meth:`unconfirmed`) so they are reported, not silently dropped.
+    """
+
+    triaged: list[TriagedOutlier] = field(default_factory=list)
+    buckets: list[BugBucket] = field(default_factory=list)
+
+    @property
+    def n_outliers(self) -> int:
+        return len(self.triaged)
+
+    @property
+    def n_confirmed(self) -> int:
+        return sum(t.result.confirmed for t in self.triaged)
+
+    def unconfirmed(self) -> list[TriagedOutlier]:
+        return [t for t in self.triaged if not t.result.confirmed]
+
+    def mean_reduction_factor(self) -> float:
+        confirmed = [t.result.reduction_factor for t in self.triaged
+                     if t.result.confirmed]
+        if not confirmed:
+            return 1.0
+        return sum(confirmed) / len(confirmed)
+
+    def render(self) -> str:
+        """Human-readable bucket table."""
+        lines = [f"triage: {self.n_outliers} outliers "
+                 f"({self.n_confirmed} confirmed) -> "
+                 f"{len(self.buckets)} bug bucket(s), "
+                 f"mean reduction x{self.mean_reduction_factor():.1f}"]
+        for t in self.unconfirmed():
+            lines.append(f"  unconfirmed (not bucketed): "
+                         f"{t.program_name}#in{t.input_index} "
+                         f"{t.kind.value} on {t.vendor}")
+        if not self.buckets:
+            return "\n".join(lines)
+        lines.append(f"{'bucket':<42} {'kind':<6} {'backend':<12} "
+                     f"{'tests':>5} {'stmts':>11}")
+        for b in self.buckets:
+            ex: TriagedOutlier = b.exemplar
+            stmts = (f"{ex.result.original_statements}->"
+                     f"{ex.result.reduced_statements}")
+            lines.append(f"{b.vector:<42} {b.kind:<6} {b.vendor:<12} "
+                         f"{len(b):>5} {stmts:>11}")
+            lines.append(f"  exemplar: {ex.program_name}#in{ex.input_index}")
+        return "\n".join(lines)
+
+
+def assemble_report(triaged: list[TriagedOutlier]) -> TriageReport:
+    """Deterministic report from job results in any completion order."""
+    ordered = sorted(triaged, key=TriagedOutlier.sort_key)
+    entries = [(t.signature, t) for t in ordered if t.result.confirmed]
+    buckets = build_buckets(
+        entries, size_of=lambda t: t.result.reduced_statements)
+    return TriageReport(triaged=ordered, buckets=buckets)
