@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""CI fleet smoke: coordinator + workers must reproduce serial exactly.
+
+Runs a small paper-mix grid twice — once through ``SerialEngine`` and
+once through a ``FleetCoordinator`` serving a socket queue to two
+spawned worker processes recording into a SQLite result store — and
+asserts the fleet subsystem's contract: every unit lands in the store,
+the verdicts (including order within the campaign grid) are
+byte-identical to the serial run, and the indexed store agrees with the
+in-memory result on outlier counts.
+
+Exit status 0 on success; 1 with a diagnostic on any violated assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import CampaignConfig, GeneratorConfig  # noqa: E402
+from repro.fleet import FleetCoordinator, ResultStore  # noqa: E402
+from repro.harness.session import CampaignSession  # noqa: E402
+
+
+def identity_stream(result):
+    return [v.identity() for v in result.verdicts]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--programs", type=int, default=6)
+    parser.add_argument("--inputs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args(argv)
+
+    gen = GeneratorConfig(max_total_iterations=4000, loop_trip_max=60,
+                          num_threads=8)
+    cfg = CampaignConfig(n_programs=args.programs,
+                         inputs_per_program=args.inputs, seed=args.seed,
+                         generator=gen, directive_mix="paper")
+
+    serial = CampaignSession(cfg, engine="serial").run()
+    print(f"serial: {len(serial.verdicts)} verdicts, "
+          f"{sum(len(v.outliers) for v in serial.verdicts)} outlier(s)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "fleet-smoke.db")
+        try:
+            with FleetCoordinator(cfg, store=store) as coord:
+                address = coord.serve()
+                print(f"coordinator on {address[0]}:{address[1]}, "
+                      f"spawning {args.workers} worker(s)")
+                coord.spawn_workers(args.workers)
+                fleet = coord.wait(timeout=args.timeout)
+            cid = coord.campaign_id
+            stored_units = len(store.completed_indices(cid))
+            stored_verdicts = store.verdict_count(cid)
+            stored_outliers = len(store.query(campaign=cid))
+        finally:
+            store.close()
+
+    failures = []
+    if stored_units != cfg.n_programs:
+        failures.append(f"store holds {stored_units}/{cfg.n_programs} units")
+    if stored_verdicts != len(serial.verdicts):
+        failures.append(f"store holds {stored_verdicts} verdicts, "
+                        f"serial produced {len(serial.verdicts)}")
+    if identity_stream(fleet) != identity_stream(serial):
+        failures.append("fleet verdict stream differs from serial")
+    if fleet.race_filtered != serial.race_filtered:
+        failures.append("race-filtered sets differ")
+    # the store's outlier rows are the verdict outliers plus synthetic
+    # `comp` rows for divergent-output minorities — never fewer
+    direct = sum(len(v.outliers) for v in serial.verdicts)
+    if stored_outliers < direct:
+        failures.append(f"store indexed {stored_outliers} outlier rows, "
+                        f"verdicts carry {direct}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"fleet == serial: {len(fleet.verdicts)} verdicts identical, "
+          f"{stored_outliers} outlier row(s) indexed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,10 @@ Subcommands mirror the pipeline stages of Fig. 1, plus the triage stage:
 * ``campaign``  — the full grid with the Table-I report,
 * ``reduce``    — shrink flagged outliers to minimal reproducers and
   bucket them by bug signature (from a checkpoint, or one test inline),
+* ``fleet``     — run the grid through the lease-queue fleet: a
+  coordinator serving work over a socket, worker processes (local or
+  external), and an indexed SQLite result store,
+* ``query``     — indexed outlier lookup over a result store,
 * ``casestudy`` — reproduce case study 1, 2, or 3,
 * ``grammar``   — print the paper's grammar (Listing 2).
 """
@@ -16,6 +20,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -291,6 +296,107 @@ def cmd_reduce(args) -> int:
     return 0
 
 
+def _fleet_authkey(args) -> bytes:
+    from .fleet.queue import DEFAULT_AUTHKEY
+
+    return args.authkey.encode() if args.authkey else DEFAULT_AUTHKEY
+
+
+def cmd_fleet_coordinator(args) -> int:
+    from .fleet import FleetCoordinator, ResultStore
+    from .harness.report import render_campaign_summary, render_table1
+
+    cfg = _load_config(args)
+    store = ResultStore(args.store) if args.store else None
+    try:
+        with FleetCoordinator(cfg, store=store,
+                              lease_seconds=args.lease_seconds) as coord:
+            addr = coord.serve(host=args.host, port=args.port,
+                               authkey=_fleet_authkey(args))
+            campaign_id = coord.campaign_id
+            if not args.quiet:
+                tag = f" (campaign {campaign_id})" if campaign_id else ""
+                print(f"queue listening on {addr[0]}:{addr[1]}{tag}",
+                      file=sys.stderr)
+                print(f"start workers with: repro-omp fleet worker "
+                      f"--host {addr[0]} --port {addr[1]}", file=sys.stderr)
+            if args.workers:
+                coord.spawn_workers(args.workers)
+
+            def progress(done: int, total: int) -> None:
+                print(f"\r  tests {done}/{total}", end="", flush=True,
+                      file=sys.stderr)
+
+            result = coord.wait(
+                timeout=args.timeout,
+                progress=None if args.quiet else progress)
+        if not args.quiet:
+            print(file=sys.stderr)
+        print(render_table1(result.table, cfg.compilers))
+        print()
+        print(render_campaign_summary(result.table))
+        if store is not None:
+            print(f"verdicts stored in {args.store} "
+                  f"(campaign {campaign_id})")
+        return 0
+    finally:
+        if store is not None:
+            store.close()
+
+
+def cmd_fleet_worker(args) -> int:
+    from .fleet import run_worker
+
+    n = run_worker((args.host, args.port), authkey=_fleet_authkey(args),
+                   batch=args.batch, poll_s=args.poll,
+                   max_idle_s=args.max_idle)
+    print(f"worker done: {n} unit(s) completed")
+    return 0
+
+
+def cmd_fleet_import(args) -> int:
+    from .fleet import ResultStore
+
+    with ResultStore(args.store) as store:
+        cid, n = store.import_checkpoint(args.checkpoint)
+        total = len(store.completed_indices(cid))
+    print(f"imported {n} new unit(s) into campaign {cid} "
+          f"({total} stored)")
+    return 0
+
+
+def cmd_query(args) -> int:
+    from .fleet import ResultStore
+
+    with ResultStore(args.store) as store:
+        if args.list:
+            for c in store.campaigns():
+                print(f"{c['campaign_id']}  units={c['units']} "
+                      f"verdicts={c['verdicts']} outliers={c['outliers']}")
+            return 0
+        if args.buckets:
+            buckets = store.merge_buckets(
+                campaigns=[args.campaign] if args.campaign else None,
+                kinds=[args.kind] if args.kind else None)
+            for b in buckets:
+                print(f"{len(b):4d}x  {b.signature}")
+            print(f"{len(buckets)} bucket(s)")
+            return 0
+        rows = store.query(campaign=args.campaign, kind=args.kind,
+                           backend=args.backend, feature=args.feature,
+                           limit=args.limit)
+        if args.json:
+            print(json.dumps(rows, indent=2))
+            return 0
+        for r in rows:
+            ratio = f" x{r['ratio']:.2f}" if r["ratio"] else ""
+            print(f"{r['campaign_id']}  {r['program_name']}"
+                  f"#in{r['input_index']}: {r['vendor']} "
+                  f"{r['kind']}{ratio}  [{r['vector']}]")
+        print(f"{len(rows)} outlier row(s)")
+    return 0
+
+
 def cmd_casestudy(args) -> int:
     from .harness import casestudies
     from .analysis.profiles import render_children, render_flat
@@ -428,6 +534,94 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write reproducer bundles + summary.json to DIR")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(fn=cmd_reduce)
+
+    p = sub.add_parser(
+        "fleet",
+        help="coordinator + socket workers + indexed result store")
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    def _add_campaign_sizing(fp: argparse.ArgumentParser) -> None:
+        _add_seed(fp)
+        fp.add_argument("--config", help="campaign config JSON file")
+        fp.add_argument("--programs", type=int,
+                        help="number of programs (default 200)")
+        fp.add_argument("--inputs", type=int, help="inputs per program")
+        fp.add_argument("--mix", choices=sorted(DIRECTIVE_MIXES),
+                        help="directive mix preset")
+
+    def _add_transport(fp: argparse.ArgumentParser, *,
+                       default_port: int) -> None:
+        fp.add_argument("--host", default="127.0.0.1")
+        fp.add_argument("--port", type=int, default=default_port)
+        fp.add_argument("--authkey",
+                        help="shared transport secret (default: built-in "
+                             "loopback key)")
+
+    for name, default_workers, blurb in (
+            ("coordinator", 0,
+             "serve the work queue and wait for workers to drain it"),
+            ("run", os.cpu_count() or 1,
+             "coordinator plus local workers in one shot "
+             "(workers default: one per CPU)")):
+        fp = fleet_sub.add_parser(name, help=blurb)
+        _add_campaign_sizing(fp)
+        _add_transport(fp, default_port=0)
+        fp.add_argument("--workers", type=int, default=default_workers,
+                        help="local worker processes to spawn")
+        fp.add_argument("--store", metavar="PATH",
+                        help="SQLite result store — every completed unit "
+                             "persists immediately, and a restarted "
+                             "coordinator resumes from it")
+        fp.add_argument("--lease-seconds", type=float, default=60.0,
+                        dest="lease_seconds",
+                        help="work-unit lease deadline (default 60)")
+        fp.add_argument("--timeout", type=float,
+                        help="give up if the grid is unfinished after this "
+                             "many seconds")
+        fp.add_argument("--quiet", action="store_true")
+        fp.set_defaults(fn=cmd_fleet_coordinator)
+
+    fp = fleet_sub.add_parser("worker",
+                              help="connect to a coordinator and execute "
+                                   "leased units")
+    _add_transport(fp, default_port=0)
+    fp.add_argument("--batch", type=int, default=1,
+                    help="units leased per round trip (default 1)")
+    fp.add_argument("--poll", type=float, default=0.05,
+                    help="idle poll interval in seconds")
+    fp.add_argument("--max-idle", type=float, dest="max_idle",
+                    help="exit after this many idle seconds "
+                         "(default: wait for the campaign to finish)")
+    fp.set_defaults(fn=cmd_fleet_worker)
+
+    fp = fleet_sub.add_parser("import",
+                              help="import a JSONL checkpoint into a store")
+    fp.add_argument("checkpoint", help="checkpoint written by "
+                                       "campaign --checkpoint")
+    fp.add_argument("--store", required=True, metavar="PATH")
+    fp.set_defaults(fn=cmd_fleet_import)
+
+    p = sub.add_parser("query",
+                       help="indexed outlier lookup over a result store")
+    p.add_argument("--store", required=True, metavar="PATH",
+                   help="SQLite store written by fleet --store / import")
+    p.add_argument("--campaign", help="restrict to one campaign id")
+    p.add_argument("--kind", choices=("slow", "fast", "crash", "hang",
+                                      "comp"),
+                   help="outlier kind (comp = numerical divergence)")
+    p.add_argument("--backend", help="flagged vendor, e.g. intel-sim")
+    p.add_argument("--feature", help="require a directive label in the "
+                                     "program's feature vector, e.g. "
+                                     "critical")
+    p.add_argument("--limit", type=int, help="print at most N rows")
+    p.add_argument("--buckets", action="store_true",
+                   help="merge rows into cross-campaign bug buckets by "
+                        "signature instead of listing them")
+    p.add_argument("--list", action="store_true",
+                   help="list stored campaigns with row counts")
+    p.add_argument("--json", action="store_true",
+                   help="emit rows as JSON")
+    p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser("casestudy", help="reproduce a paper case study")
     _add_seed(p)

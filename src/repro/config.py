@@ -37,9 +37,10 @@ from typing import Any
 
 from .errors import ConfigError
 
-#: the execution engines of :mod:`repro.driver.engine` — the single
-#: source of truth for config validation, the engine factory, and the CLI
-ENGINE_NAMES = ("serial", "thread", "process")
+#: the execution engines of :mod:`repro.driver.engine` (plus the fleet
+#: adapter of :mod:`repro.fleet`) — the single source of truth for
+#: config validation, the engine factory, and the CLI
+ENGINE_NAMES = ("serial", "thread", "process", "fleet")
 
 
 @dataclass(frozen=True)
@@ -324,9 +325,10 @@ class CampaignConfig:
     machine: MachineConfig = field(default_factory=MachineConfig)
     outliers: OutlierConfig = field(default_factory=OutlierConfig)
     triage: TriageConfig = field(default_factory=TriageConfig)
-    # Execution engine for the campaign grid: "serial", "thread", or
-    # "process" (see repro.driver.engine); jobs = worker count for the
-    # pooled engines (None = one per CPU).
+    # Execution engine for the campaign grid: "serial", "thread",
+    # "process" (see repro.driver.engine), or "fleet" (lease-queue
+    # worker processes, see repro.fleet); jobs = worker count for the
+    # pooled/fleet engines (None = one per CPU).
     engine: str = "serial"
     jobs: int | None = None
     #: Work units dispatched per pooled-engine submission.  Each unit is

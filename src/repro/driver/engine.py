@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from concurrent.futures import Future, as_completed
+from concurrent.futures import BrokenExecutor, Future, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
 
@@ -301,20 +301,37 @@ class _PoolEngine(ExecutionEngine):
         total = len(items)
         if not total:
             return
-        chunks = [tuple(items[i:i + chunk_size])
-                  for i in range(0, total, chunk_size)]
-        executor = self._make_map_executor()
-        try:
-            futures = [executor.submit(_call_chunk, fn, c) for c in chunks]
-            done = 0
-            for fut in as_completed(futures):
-                for result in fut.result():
-                    done += 1
-                    if progress is not None:
-                        progress(done, total)
-                    yield result
-        finally:
-            executor.shutdown(wait=True, cancel_futures=True)
+        # (chunk, attempt) pairs still owed results.  A worker death
+        # (os._exit, OOM kill) breaks the whole executor and poisons
+        # every outstanding future with BrokenExecutor; each poisoned
+        # chunk gets ONE retry on a fresh pool — re-executed from its
+        # start, which is safe because fn must already be pure for the
+        # process transport — before the failure surfaces.
+        pending = [(tuple(items[i:i + chunk_size]), 0)
+                   for i in range(0, total, chunk_size)]
+        done = 0
+        while pending:
+            executor = self._make_map_executor()
+            futures = {executor.submit(_call_chunk, fn, c): (c, a)
+                       for c, a in pending}
+            pending = []
+            try:
+                for fut in as_completed(list(futures)):
+                    chunk, attempt = futures.pop(fut)
+                    try:
+                        results = fut.result()
+                    except BrokenExecutor:
+                        if attempt >= 1:
+                            raise
+                        pending.append((chunk, attempt + 1))
+                        continue  # siblings that finished still yield
+                    for result in results:
+                        done += 1
+                        if progress is not None:
+                            progress(done, total)
+                        yield result
+            finally:
+                executor.shutdown(wait=True, cancel_futures=True)
 
     def run(self, plan: ExecutionPlan, units: Sequence[WorkUnit], *,
             progress: ProgressFn | None = None,
@@ -438,7 +455,8 @@ class ProcessPoolEngine(_PoolEngine):
 
 
 def create_engine(name: str, jobs: int | None = None) -> ExecutionEngine:
-    """Engine factory: ``"serial"``, ``"thread"``, or ``"process"``."""
+    """Engine factory: ``"serial"``, ``"thread"``, ``"process"``, or
+    ``"fleet"`` (lease-queue worker processes, :mod:`repro.fleet`)."""
     if name == "serial":
         if jobs is not None:
             # an explicit worker count is a parallelism request; dropping
@@ -451,5 +469,10 @@ def create_engine(name: str, jobs: int | None = None) -> ExecutionEngine:
         return ThreadPoolEngine(jobs)
     if name == "process":
         return ProcessPoolEngine(jobs)
+    if name == "fleet":
+        # imported lazily: the fleet package builds on this module
+        from ..fleet.coordinator import FleetEngine
+
+        return FleetEngine(jobs)
     raise ConfigError(
         f"unknown execution engine {name!r}; choose from {ENGINE_NAMES}")

@@ -78,6 +78,11 @@ class AnalysisError(ReproError):
     """Outlier/perf analysis was asked something ill-posed (e.g. no runs)."""
 
 
+class FleetError(ReproError):
+    """A fleet campaign could not finish: transport failure, exhausted
+    worker-restart budget, or units whose retry budget is spent."""
+
+
 class BackendUnavailable(ReproError):
     """The requested execution backend (e.g. native g++) is not present."""
 

@@ -1,0 +1,41 @@
+"""Campaign fleet: coordinator, work-queue transport, and result store.
+
+The fleet layer promotes :class:`~repro.harness.session.CampaignSession`
+from a library into a service.  It is built on three pieces:
+
+* **Work queue** (:mod:`repro.fleet.queue`) — a transport-agnostic
+  ``lease / complete / fail`` protocol over picklable unit coordinates.
+  Campaign work units are pure functions of ``(config, index)``, so the
+  queue ships integers, not objects; :class:`WorkQueue` is the
+  in-process implementation and :class:`QueueServer` /
+  :class:`QueueClient` put the same interface on a socket.
+* **Coordinator + workers** (:mod:`repro.fleet.coordinator`,
+  :mod:`repro.fleet.worker`) — lease-based dispatch with deadlines,
+  heartbeats, bounded retry with backoff, and straggler re-dispatch
+  (duplicate completions resolve first-write-wins, so verdicts stay
+  deterministic).  :class:`FleetEngine` adapts the whole arrangement to
+  the :class:`~repro.driver.engine.ExecutionEngine` interface, keeping
+  serial / thread / process / fleet interchangeable behind one API.
+* **Result store** (:mod:`repro.fleet.store`) — an append-only indexed
+  SQLite store replacing flat JSONL as the durable campaign backend:
+  verdict and outlier rows queryable by campaign / backend / kind /
+  directive-feature vector, JSONL-checkpoint import, and cross-campaign
+  bucket merging on the triage bug signatures.
+"""
+
+from .coordinator import FleetCoordinator, FleetEngine
+from .queue import Lease, QueueClient, QueueServer, WorkQueue
+from .store import ResultStore
+from .worker import run_worker, worker_loop
+
+__all__ = [
+    "FleetCoordinator",
+    "FleetEngine",
+    "Lease",
+    "QueueClient",
+    "QueueServer",
+    "ResultStore",
+    "WorkQueue",
+    "run_worker",
+    "worker_loop",
+]

@@ -1,0 +1,292 @@
+"""Fleet coordinator: shard a campaign grid across worker processes.
+
+Two entry points share the queue machinery:
+
+* :class:`FleetEngine` — the :class:`~repro.driver.engine.ExecutionEngine`
+  adapter.  ``CampaignSession(cfg, engine="fleet", jobs=4)`` runs the
+  grid through a coordinator-owned :class:`~repro.fleet.queue.WorkQueue`
+  served over a loopback socket to ``jobs`` locally spawned worker
+  processes — same streaming/salvage contract as the in-process engines,
+  so sessions, checkpoints, and the CLI work unchanged.
+* :class:`FleetCoordinator` — the service form for long campaigns:
+  explicit ``serve()`` address for externally launched workers
+  (``repro-omp fleet worker``), optional
+  :class:`~repro.fleet.store.ResultStore` persistence after every
+  completed unit, and restart-from-store (a new coordinator over the
+  same config re-queues only what the store has not yet seen).
+
+Scheduling policy — deadlines, heartbeats, bounded retry with backoff,
+straggler re-dispatch, first-write-wins completion — lives entirely in
+the queue; the coordinator just pumps completions out of it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import secrets
+import time
+from typing import Iterator, Sequence
+
+from ..config import CampaignConfig
+from ..driver.engine import (
+    ExecutionEngine,
+    ExecutionPlan,
+    ProgressFn,
+    SalvageFn,
+    UnitOutcome,
+    WorkUnit,
+)
+from ..errors import ConfigError, FleetError
+from ..harness.campaign import CampaignResult
+from ..harness.session import CampaignSession
+from .queue import DEFAULT_AUTHKEY, QueueServer, WorkQueue
+from .worker import _worker_process_entry
+
+
+def _spawn_worker(address: tuple[str, int], authkey: bytes, *,
+                  batch: int = 1, poll_s: float = 0.05) -> mp.Process:
+    proc = mp.Process(target=_worker_process_entry,
+                      args=(address, authkey, batch, poll_s),
+                      name="repro-fleet-worker", daemon=True)
+    proc.start()
+    return proc
+
+
+def _dead_unit_error(dead: list[tuple[int, str]]) -> FleetError:
+    detail = "; ".join(f"unit {uid}: {reason}" for uid, reason in dead[:3])
+    more = f" (+{len(dead) - 3} more)" if len(dead) > 3 else ""
+    return FleetError(
+        f"{len(dead)} unit(s) exhausted their retry budget — {detail}{more}")
+
+
+class FleetEngine(ExecutionEngine):
+    """Run units through a local fleet of worker processes.
+
+    The engine owns the whole arrangement per :meth:`run` call: an
+    in-process :class:`WorkQueue` over the given units, a
+    :class:`QueueServer` on loopback with a fresh random authkey, and
+    ``jobs`` worker processes draining it.  Workers that die (crash,
+    OOM-kill) are respawned while the campaign is unfinished, within a
+    restart budget; units whose own retry budget is spent surface as a
+    :class:`~repro.errors.FleetError` after the survivors complete.
+
+    ``map_unordered`` is inherited serial: triage reductions are
+    in-process work and gain nothing from the socket hop.
+    """
+
+    name = "fleet"
+
+    def __init__(self, jobs: int | None = None, *,
+                 lease_seconds: float = 60.0,
+                 max_attempts: int = 3,
+                 backoff_s: float = 0.25,
+                 straggler_after: float | None = None,
+                 batch: int = 1,
+                 poll_s: float = 0.02,
+                 authkey: bytes | None = None):
+        if jobs is not None and jobs < 1:
+            raise ConfigError("jobs must be >= 1 (or None for auto)")
+        #: what was asked for (None = auto); checkpoints persist this so
+        #: resuming on a different host re-resolves to *its* CPU count
+        self.requested_jobs = jobs
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.straggler_after = straggler_after
+        self.batch = batch
+        self.poll_s = poll_s
+        self.authkey = authkey
+
+    def run(self, plan: ExecutionPlan, units: Sequence[WorkUnit], *,
+            progress: ProgressFn | None = None,
+            progress_every: int | None = None,
+            salvage: SalvageFn | None = None) -> Iterator[UnitOutcome]:
+        if not units:
+            return
+        step = self._progress_stepper(units, progress, progress_every)
+        by_id = {u.program_index: u for u in units}
+        queue = WorkQueue(plan, units,
+                          lease_seconds=self.lease_seconds,
+                          max_attempts=self.max_attempts,
+                          backoff_s=self.backoff_s,
+                          straggler_after=self.straggler_after)
+        authkey = self.authkey or secrets.token_bytes(16)
+        server = QueueServer(queue, authkey=authkey)
+        procs = [_spawn_worker(server.address, authkey, batch=self.batch)
+                 for _ in range(self.jobs)]
+        restarts = 2 * self.jobs
+        #: completions pulled off the queue but not yet yielded — an
+        #: interrupt between yields must hand these to the salvage hook
+        unyielded: list[UnitOutcome] = []
+        try:
+            while True:
+                finished = queue.finished()
+                unyielded.extend(o for _, o in queue.collect())
+                while unyielded:
+                    step(by_id[unyielded[0].program_index])
+                    yield unyielded.pop(0)
+                if finished:
+                    break
+                procs = [p for p in procs if p.is_alive()]
+                while len(procs) < self.jobs and restarts > 0:
+                    restarts -= 1
+                    procs.append(_spawn_worker(server.address, authkey,
+                                               batch=self.batch))
+                if not procs:
+                    raise FleetError(
+                        "every fleet worker died and the restart budget "
+                        "is spent")
+                time.sleep(self.poll_s)
+            dead = queue.dead_units()
+            if dead:
+                raise _dead_unit_error(dead)
+        finally:
+            server.close()
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=5)
+            if salvage is not None:
+                unyielded.extend(o for _, o in queue.collect())
+                for outcome in unyielded:
+                    salvage(outcome)
+
+
+class FleetCoordinator:
+    """The service form: serve a campaign's queue to external workers.
+
+    Holds a serial :class:`CampaignSession` as the authoritative state;
+    every completion pulled from the queue is ingested there (and, when
+    a :class:`~repro.fleet.store.ResultStore` is attached, persisted
+    immediately — crash the coordinator at any point and a successor
+    over the same config resumes from the store, re-queueing only the
+    units it has not seen).
+
+    Typical use::
+
+        store = ResultStore("campaign.db")
+        with FleetCoordinator(cfg, store=store) as coord:
+            addr = coord.serve(port=7171)      # workers connect here
+            coord.spawn_workers(2)             # or launch them remotely
+            result = coord.wait(progress=bar)
+    """
+
+    def __init__(self, config: CampaignConfig, *,
+                 store=None,
+                 campaign_id: str | None = None,
+                 collect_profiles: bool = False,
+                 lease_seconds: float = 60.0,
+                 max_attempts: int = 3,
+                 backoff_s: float = 0.25,
+                 straggler_after: float | None = None):
+        self.config = config
+        self.store = store
+        self.session = CampaignSession(config, engine="serial",
+                                       collect_profiles=collect_profiles)
+        self.campaign_id: str | None = None
+        if store is not None:
+            self.campaign_id = store.ensure_campaign(config, campaign_id)
+            for outcome in store.outcomes(self.campaign_id):
+                self.session.ingest(outcome)
+        plan = ExecutionPlan(config=config, collect_profiles=collect_profiles)
+        self.queue = WorkQueue(plan, self.session.pending_units(),
+                               lease_seconds=lease_seconds,
+                               max_attempts=max_attempts,
+                               backoff_s=backoff_s,
+                               straggler_after=straggler_after)
+        self._server: QueueServer | None = None
+        self._authkey: bytes = DEFAULT_AUTHKEY
+        self._procs: list[mp.Process] = []
+
+    # ------------------------------------------------------------------
+    def serve(self, *, host: str = "127.0.0.1", port: int = 0,
+              authkey: bytes = DEFAULT_AUTHKEY) -> tuple[str, int]:
+        """Expose the queue on a socket; returns the bound address."""
+        if self._server is not None:
+            raise FleetError("coordinator is already serving")
+        self._authkey = authkey
+        self._server = QueueServer(self.queue, host=host, port=port,
+                                   authkey=authkey)
+        return self._server.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise FleetError("coordinator is not serving; call serve() first")
+        return self._server.address
+
+    def spawn_workers(self, n: int, *, batch: int = 1,
+                      poll_s: float = 0.05) -> list[mp.Process]:
+        """Launch ``n`` local worker processes against this queue."""
+        if self._server is None:
+            self.serve()
+        procs = [_spawn_worker(self.address, self._authkey,
+                               batch=batch, poll_s=poll_s)
+                 for _ in range(n)]
+        self._procs.extend(procs)
+        return procs
+
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        """Drain queue completions into the session (and store).
+
+        Returns how many *new* units were ingested; duplicates (a
+        straggler race already resolved first-write-wins by the queue,
+        or a unit the store already held) count zero.
+        """
+        n = 0
+        for _uid, outcome in self.queue.collect():
+            if self.session.ingest(outcome):
+                n += 1
+                if self.store is not None:
+                    self.store.record_unit(self.campaign_id, outcome)
+        return n
+
+    def wait(self, *, poll_s: float = 0.05, timeout: float | None = None,
+             progress: ProgressFn | None = None) -> CampaignResult:
+        """Pump completions until the grid is finished; return the result.
+
+        Raises :class:`~repro.errors.FleetError` if units died (retry
+        budget spent) or ``timeout`` elapsed first.  Progress fires with
+        ``(completed tests, total tests)`` against the whole grid,
+        counting units restored from the store.
+        """
+        t0 = time.monotonic()
+        while True:
+            self.poll()
+            if progress is not None:
+                progress(self.session.completed_tests,
+                         self.session.total_tests)
+            if self.queue.finished():
+                self.poll()  # completions that landed since the drain
+                break
+            if timeout is not None and time.monotonic() - t0 > timeout:
+                raise FleetError(
+                    f"fleet campaign unfinished after {timeout:.1f}s "
+                    f"({self.queue.stats()})")
+            time.sleep(poll_s)
+        self.session._elapsed += time.monotonic() - t0
+        dead = self.queue.dead_units()
+        if dead:
+            raise _dead_unit_error(dead)
+        return self.session.result()
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+        for p in self._procs:
+            p.join(timeout=5)
+        self._procs.clear()
+
+    def __enter__(self) -> "FleetCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,425 @@
+"""The fleet work-queue protocol: ``lease / complete / fail`` over units.
+
+A campaign grid decomposes into :class:`~repro.driver.engine.WorkUnit`\\ s
+that are pure functions of ``(config, index)``, so the queue ships
+**coordinates, not objects**: one :class:`~repro.driver.engine.
+ExecutionPlan` per campaign (fetched once per worker via :meth:`WorkQueue.
+plan`) and ``(program_index, input_indices)`` tuples per unit.  Payloads
+travel the other way as full :class:`~repro.driver.engine.UnitOutcome`\\ s.
+
+The protocol is three calls plus two auxiliaries:
+
+* ``lease(n, worker_id)``   — check out up to ``n`` units.  Every lease
+  carries a deadline; a worker that dies silently simply lets its lease
+  expire and the unit is re-dispatched (bounded retry with exponential
+  backoff).  When nothing is pending but leases are still outstanding,
+  ``lease`` hands out *duplicate* leases on the oldest stragglers so a
+  hung worker cannot stall the tail of a campaign.
+* ``complete(unit_id, payload, worker_id)`` — first write wins; a
+  duplicate completion (two workers racing on a straggler re-dispatch)
+  is an idempotent no-op, so verdicts stay deterministic.
+* ``fail(unit_id, reason, worker_id)`` — give the unit back for retry;
+  after ``max_attempts`` dispatches the unit is declared dead and
+  surfaces through :meth:`WorkQueue.dead_units`.
+* ``heartbeat(unit_ids, worker_id)`` — extend the deadlines of held
+  leases (workers beat between units of a multi-unit lease batch).
+* ``collect()`` — the coordinator's pull side: newly completed
+  ``(unit_id, payload)`` pairs since the last call.
+
+:class:`WorkQueue` is the in-process implementation (thread-safe, all
+deadline arithmetic on a single injectable clock).  :class:`QueueServer`
+and :class:`QueueClient` put the identical method surface on a socket
+(:mod:`multiprocessing.connection`, authenticated, pickle transport), so
+workers in other processes — or on other hosts — drive the same queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import Client, Listener
+from typing import Callable, Sequence
+
+from ..driver.engine import ExecutionPlan, WorkUnit
+from ..errors import ConfigError, FleetError
+
+#: the method surface a transport must carry — anything else is refused
+#: server-side, so a confused client cannot call into queue internals
+QUEUE_METHODS = frozenset({
+    "plan", "lease", "complete", "fail", "heartbeat", "collect",
+    "finished", "stats", "dead_units",
+})
+
+#: default shared secret for the socket transport; campaigns that leave
+#: the loopback interface should pass their own key
+DEFAULT_AUTHKEY = b"repro-fleet"
+
+
+@dataclass(frozen=True, slots=True)
+class Lease:
+    """One checked-out work unit.
+
+    ``deadline`` is in the *queue's* clock (server-side monotonic
+    seconds) — workers never do deadline arithmetic, they just execute
+    and complete (or heartbeat if they expect to hold a batch long).
+    """
+
+    unit_id: int
+    unit: WorkUnit
+    attempt: int
+    deadline: float
+
+
+@dataclass(slots=True)
+class _Slot:
+    """Queue-internal state of one unit."""
+
+    unit: WorkUnit
+    attempts: int = 0
+    not_before: float = 0.0            # backoff gate (queue clock)
+    leases: dict = field(default_factory=dict)  # worker_id -> (issued, deadline)
+    payload: object = None
+    completed_by: str | None = None
+    done: bool = False
+    dead_reason: str | None = None
+    last_failure: str = ""
+
+    @property
+    def open(self) -> bool:
+        return not self.done and self.dead_reason is None
+
+
+class WorkQueue:
+    """In-process lease queue over the units of one campaign."""
+
+    def __init__(self, plan: ExecutionPlan, units: Sequence[WorkUnit], *,
+                 lease_seconds: float = 60.0,
+                 max_attempts: int = 3,
+                 backoff_s: float = 0.25,
+                 straggler_after: float | None = None,
+                 max_leases_per_unit: int = 2,
+                 clock: Callable[[], float] = time.monotonic):
+        if lease_seconds <= 0:
+            raise ConfigError("lease_seconds must be positive")
+        if max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if backoff_s < 0:
+            raise ConfigError("backoff_s must be >= 0")
+        if max_leases_per_unit < 1:
+            raise ConfigError("max_leases_per_unit must be >= 1")
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        #: how long a lease must have been out before an idle worker may
+        #: shadow it with a duplicate (straggler re-dispatch)
+        self.straggler_after = (lease_seconds / 2 if straggler_after is None
+                                else straggler_after)
+        self.max_leases_per_unit = max_leases_per_unit
+        self._plan = plan
+        self._slots: dict[int, _Slot] = {}
+        self._order: list[int] = []
+        for unit in units:
+            if unit.program_index in self._slots:
+                raise ConfigError(
+                    f"duplicate unit id {unit.program_index} in queue")
+            self._slots[unit.program_index] = _Slot(unit=unit)
+            self._order.append(unit.program_index)
+        self._fresh: list[int] = []
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def plan(self) -> ExecutionPlan:
+        """The campaign plan — fetched once per worker, not per unit."""
+        return self._plan
+
+    def lease(self, n: int, worker_id: str) -> list[Lease]:
+        """Check out up to ``n`` units for ``worker_id``.
+
+        Expired leases are reclaimed first (their units requeue with
+        backoff, or die after ``max_attempts``).  If nothing is pending
+        the queue falls back to straggler re-dispatch: duplicate leases
+        on the longest-outstanding in-flight units, capped at
+        ``max_leases_per_unit`` holders and never twice to one worker.
+        """
+        if n < 1:
+            raise ConfigError("lease(n) needs n >= 1")
+        with self._lock:
+            now = self._clock()
+            self._expire(now)
+            out: list[Lease] = []
+            for uid in self._order:
+                if len(out) >= n:
+                    break
+                slot = self._slots[uid]
+                if (slot.open and not slot.leases
+                        and slot.not_before <= now):
+                    out.append(self._issue(uid, slot, now, primary=True))
+            if not out:
+                stragglers = sorted(
+                    (uid for uid in self._order
+                     if self._is_straggler(self._slots[uid], worker_id, now)),
+                    key=lambda uid: min(
+                        issued for issued, _
+                        in self._slots[uid].leases.values()))
+                for uid in stragglers[:n]:
+                    out.append(self._issue(uid, self._slots[uid], now,
+                                           primary=False))
+            for lease in out:
+                self._slots[lease.unit_id].leases[worker_id] = \
+                    (now, lease.deadline)
+            return out
+
+    def complete(self, unit_id: int, payload, worker_id: str = "?") -> bool:
+        """Record a finished unit.  First write wins: a duplicate
+        completion is dropped and reported ``False``."""
+        with self._lock:
+            slot = self._slot(unit_id)
+            if slot.done:
+                return False
+            slot.done = True
+            slot.payload = payload
+            slot.completed_by = worker_id
+            slot.dead_reason = None  # a late straggler rescues a dead unit
+            slot.leases.clear()
+            self._fresh.append(unit_id)
+            return True
+
+    def fail(self, unit_id: int, reason: str, worker_id: str = "?") -> bool:
+        """Hand a unit back after a worker-side failure.
+
+        The unit requeues with backoff until its dispatch budget
+        (``max_attempts``) is spent, then it is declared dead."""
+        with self._lock:
+            slot = self._slot(unit_id)
+            slot.leases.pop(worker_id, None)
+            if slot.done:
+                return False
+            slot.last_failure = reason
+            if not slot.leases:
+                if slot.attempts >= self.max_attempts:
+                    slot.dead_reason = reason
+                else:
+                    slot.not_before = self._clock() + self._backoff(slot)
+            return True
+
+    def heartbeat(self, unit_ids: Sequence[int], worker_id: str) -> int:
+        """Extend this worker's leases; returns how many were extended."""
+        with self._lock:
+            now = self._clock()
+            extended = 0
+            for uid in unit_ids:
+                slot = self._slots.get(uid)
+                if slot is None or not slot.open:
+                    continue
+                held = slot.leases.get(worker_id)
+                if held is not None:
+                    slot.leases[worker_id] = (held[0],
+                                              now + self.lease_seconds)
+                    extended += 1
+            return extended
+
+    def collect(self) -> list[tuple[int, object]]:
+        """Completions since the last call, in completion order."""
+        with self._lock:
+            fresh, self._fresh = self._fresh, []
+            return [(uid, self._slots[uid].payload) for uid in fresh]
+
+    def finished(self) -> bool:
+        """True when every unit is either completed or dead."""
+        with self._lock:
+            return all(not s.open for s in self._slots.values())
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            leased = sum(1 for s in self._slots.values()
+                         if s.open and s.leases)
+            done = sum(1 for s in self._slots.values() if s.done)
+            dead = sum(1 for s in self._slots.values()
+                       if s.dead_reason is not None)
+            return {
+                "total": len(self._slots),
+                "completed": done,
+                "dead": dead,
+                "leased": leased,
+                "pending": len(self._slots) - done - dead - leased,
+            }
+
+    def dead_units(self) -> list[tuple[int, str]]:
+        """Units whose retry budget is exhausted, with the last reason."""
+        with self._lock:
+            return [(uid, self._slots[uid].dead_reason)
+                    for uid in self._order
+                    if self._slots[uid].dead_reason is not None]
+
+    # ------------------------------------------------------------------
+    # internals (lock held by caller)
+    # ------------------------------------------------------------------
+    def _slot(self, unit_id: int) -> _Slot:
+        slot = self._slots.get(unit_id)
+        if slot is None:
+            raise FleetError(f"unknown work unit id {unit_id}")
+        return slot
+
+    def _backoff(self, slot: _Slot) -> float:
+        return self.backoff_s * (2 ** max(0, slot.attempts - 1))
+
+    def _expire(self, now: float) -> None:
+        for slot in self._slots.values():
+            if not slot.open or not slot.leases:
+                continue
+            expired = [w for w, (_, deadline) in slot.leases.items()
+                       if deadline <= now]
+            for w in expired:
+                del slot.leases[w]
+            if expired and not slot.leases:
+                if slot.attempts >= self.max_attempts:
+                    slot.dead_reason = (
+                        f"lease expired after {slot.attempts} dispatch "
+                        f"attempt(s)"
+                        + (f"; last failure: {slot.last_failure}"
+                           if slot.last_failure else ""))
+                else:
+                    slot.not_before = now + self._backoff(slot)
+
+    def _is_straggler(self, slot: _Slot, worker_id: str, now: float) -> bool:
+        if not slot.open or not slot.leases:
+            return False
+        if worker_id in slot.leases:
+            return False
+        if len(slot.leases) >= self.max_leases_per_unit:
+            return False
+        oldest = min(issued for issued, _ in slot.leases.values())
+        return now - oldest >= self.straggler_after
+
+    def _issue(self, uid: int, slot: _Slot, now: float, *,
+               primary: bool) -> Lease:
+        if primary:
+            # duplicate (straggler) leases are speculation, not failure:
+            # they do not charge the unit's retry budget
+            slot.attempts += 1
+        return Lease(unit_id=uid, unit=slot.unit, attempt=slot.attempts,
+                     deadline=now + self.lease_seconds)
+
+
+# ----------------------------------------------------------------------
+# socket transport: the same protocol across process/host boundaries
+# ----------------------------------------------------------------------
+
+class QueueServer:
+    """Serve a :class:`WorkQueue` over an authenticated socket.
+
+    One daemon thread accepts connections; each client connection gets
+    its own handler thread doing synchronous request/response (a worker
+    is a synchronous loop, so one in-flight request per connection is
+    exactly the traffic pattern).  State stays in *this* process — the
+    coordinator keeps calling the queue object directly.
+    """
+
+    def __init__(self, queue: WorkQueue, *, host: str = "127.0.0.1",
+                 port: int = 0, authkey: bytes = DEFAULT_AUTHKEY):
+        self.queue = queue
+        self._listener = Listener((host, port), authkey=authkey)
+        self._closed = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fleet-queue-accept", daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._listener.address
+
+    def _accept_loop(self) -> None:
+        import multiprocessing.context
+
+        while not self._closed:
+            try:
+                conn = self._listener.accept()
+            except multiprocessing.context.AuthenticationError:
+                continue
+            except (OSError, EOFError):
+                break  # listener closed
+            threading.Thread(target=self._serve_conn, args=(conn,),
+                             name="fleet-queue-conn", daemon=True).start()
+
+    def _serve_conn(self, conn) -> None:
+        try:
+            while not self._closed:
+                try:
+                    method, args, kwargs = conn.recv()
+                except (EOFError, OSError):
+                    break
+                if method not in QUEUE_METHODS:
+                    conn.send(("err", FleetError(
+                        f"method {method!r} is not part of the queue "
+                        f"protocol")))
+                    continue
+                try:
+                    conn.send(("ok", getattr(self.queue, method)(
+                        *args, **kwargs)))
+                except Exception as exc:  # ships to the caller, not us
+                    try:
+                        conn.send(("err", exc))
+                    except Exception:
+                        conn.send(("err", FleetError(repr(exc))))
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        self._closed = True
+        self._listener.close()
+
+
+class QueueClient:
+    """Client-side proxy: the :class:`WorkQueue` interface over a socket."""
+
+    def __init__(self, address: tuple[str, int], *,
+                 authkey: bytes = DEFAULT_AUTHKEY):
+        self._conn = Client(tuple(address), authkey=authkey)
+        self._lock = threading.Lock()
+
+    def _call(self, method: str, *args, **kwargs):
+        with self._lock:
+            try:
+                self._conn.send((method, args, kwargs))
+                status, value = self._conn.recv()
+            except (EOFError, OSError) as exc:
+                raise FleetError(
+                    f"queue connection lost during {method!r}: {exc}"
+                ) from exc
+        if status == "err":
+            raise value
+        return value
+
+    def plan(self) -> ExecutionPlan:
+        return self._call("plan")
+
+    def lease(self, n: int, worker_id: str) -> list[Lease]:
+        return self._call("lease", n, worker_id)
+
+    def complete(self, unit_id: int, payload, worker_id: str = "?") -> bool:
+        return self._call("complete", unit_id, payload, worker_id)
+
+    def fail(self, unit_id: int, reason: str, worker_id: str = "?") -> bool:
+        return self._call("fail", unit_id, reason, worker_id)
+
+    def heartbeat(self, unit_ids: Sequence[int], worker_id: str) -> int:
+        return self._call("heartbeat", list(unit_ids), worker_id)
+
+    def collect(self) -> list[tuple[int, object]]:
+        return self._call("collect")
+
+    def finished(self) -> bool:
+        return self._call("finished")
+
+    def stats(self) -> dict[str, int]:
+        return self._call("stats")
+
+    def dead_units(self) -> list[tuple[int, str]]:
+        return self._call("dead_units")
+
+    def close(self) -> None:
+        self._conn.close()

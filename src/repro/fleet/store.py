@@ -1,0 +1,347 @@
+"""Indexed, append-only result store for campaign fleets.
+
+Flat JSONL checkpoints answer one question — "which units are done?" —
+and answer everything else by replaying the whole file.  The
+:class:`ResultStore` keeps the same full-fidelity unit rows (the exact
+:func:`~repro.harness.session.outcome_to_row` payload, so nothing is
+lost relative to a checkpoint) but *indexes* what triage asks about:
+
+* **verdict rows** — one per (program, input) test: analyzed flag,
+  output divergence, outlier count;
+* **outlier rows** — one per flagged implementation, keyed by kind /
+  vendor / directive-feature vector, plus synthetic ``comp`` rows for
+  numerically divergent tests (minority vendors against the modal
+  output), so ``repro-omp query --kind comp --backend intel-sim`` is an
+  index hit, not a replay;
+* **bug signatures** — the PR-5 ``kind|vendor|vector`` keys
+  (:func:`~repro.analysis.buckets.bug_signature`), computed here from
+  the *original* program's features (triage recomputes them on reduced
+  programs; the store's coarser signatures are for cross-campaign
+  merging before reduction has run).
+
+Writes are append-only with first-write-wins semantics
+(``INSERT OR IGNORE`` on the unit primary key), mirroring the fleet
+queue's completion rule — a straggler race or a coordinator restart can
+replay a completion and the store stays consistent.  Campaign identity
+is content-addressed: the id is a hash of the config's *grid* fields
+(engine/jobs/chunking excluded), so a restarted coordinator maps to the
+same campaign without coordination.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..analysis.buckets import BugBucket, build_buckets, directive_vector
+from ..analysis.outliers import TestVerdict
+from ..config import CampaignConfig, _to_dict, campaign_from_dict
+from ..driver.engine import UnitOutcome
+from ..errors import ConfigError
+from ..harness.session import (
+    CampaignSession,
+    outcome_from_row,
+    outcome_to_row,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id TEXT PRIMARY KEY,
+    config_json TEXT NOT NULL,
+    created_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS units (
+    campaign_id   TEXT    NOT NULL,
+    program_index INTEGER NOT NULL,
+    program_name  TEXT    NOT NULL,
+    race_filtered INTEGER NOT NULL,
+    row_json      TEXT    NOT NULL,
+    PRIMARY KEY (campaign_id, program_index)
+);
+CREATE TABLE IF NOT EXISTS verdicts (
+    campaign_id      TEXT    NOT NULL,
+    program_index    INTEGER NOT NULL,
+    input_index      INTEGER NOT NULL,
+    program_name     TEXT    NOT NULL,
+    analyzed         INTEGER NOT NULL,
+    output_divergent INTEGER NOT NULL,
+    n_outliers       INTEGER NOT NULL,
+    PRIMARY KEY (campaign_id, program_index, input_index)
+);
+CREATE TABLE IF NOT EXISTS outliers (
+    campaign_id   TEXT    NOT NULL,
+    program_index INTEGER NOT NULL,
+    input_index   INTEGER NOT NULL,
+    program_name  TEXT    NOT NULL,
+    vendor        TEXT    NOT NULL,
+    kind          TEXT    NOT NULL,
+    ratio         REAL    NOT NULL,
+    vector        TEXT    NOT NULL,
+    signature     TEXT    NOT NULL,
+    PRIMARY KEY (campaign_id, program_index, input_index, vendor, kind)
+);
+CREATE INDEX IF NOT EXISTS idx_outliers_kind_vendor
+    ON outliers (kind, vendor);
+CREATE INDEX IF NOT EXISTS idx_outliers_signature
+    ON outliers (signature);
+"""
+
+
+def campaign_key(config: CampaignConfig) -> str:
+    """Content-addressed campaign id over the config's *grid* fields.
+
+    Execution knobs (engine, jobs, chunk_size, output_dir) do not change
+    a single verdict, so they are excluded — a fleet run and the serial
+    run it is checked against share one campaign, and a restarted
+    coordinator rejoins its predecessor's rows without coordination.
+    """
+    grid = dataclasses.replace(config, engine="serial", jobs=None,
+                               chunk_size=None, output_dir=None)
+    blob = json.dumps(_to_dict(grid), sort_keys=True)
+    return "c" + hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+def _comp_outlier_rows(verdict: TestVerdict) -> list[tuple[str, str, float]]:
+    """Synthetic ``(vendor, "comp", 0.0)`` rows for a divergent test.
+
+    The modal output (largest group of equal printed values; first-seen
+    wins ties) is taken as the reference; every minority vendor gets a
+    row.  Purely an index-side classification — verdict objects are
+    untouched.
+    """
+    if not verdict.output_divergent:
+        return []
+    groups: dict[str, list[str]] = {}
+    for r in verdict.ok_records:
+        groups.setdefault(repr(r.comp), []).append(r.vendor)
+    modal = max(groups.values(), key=len)
+    return [(vendor, "comp", 0.0)
+            for vendors in groups.values() if vendors is not modal
+            for vendor in vendors]
+
+
+class ResultStore:
+    """Append-only SQLite store of campaign verdicts and outliers."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._db = sqlite3.connect(self.path)
+        self._db.row_factory = sqlite3.Row
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.executescript(_SCHEMA)
+        self._db.commit()
+
+    # ------------------------------------------------------------------
+    # campaigns
+    # ------------------------------------------------------------------
+    def ensure_campaign(self, config: CampaignConfig,
+                        campaign_id: str | None = None) -> str:
+        """Register (or rejoin) a campaign; returns its id.
+
+        With no explicit id the campaign is content-addressed from the
+        config's grid fields.  Rejoining an existing id with a config
+        whose *grid* differs is refused — its stored rows would be
+        analyzed under the wrong thresholds.
+        """
+        cid = campaign_id or campaign_key(config)
+        row = self._db.execute(
+            "SELECT config_json FROM campaigns WHERE campaign_id = ?",
+            (cid,)).fetchone()
+        if row is not None:
+            stored = campaign_from_dict(json.loads(row["config_json"]))
+            if campaign_key(stored) != campaign_key(config):
+                raise ConfigError(
+                    f"campaign {cid!r} already exists with a different "
+                    f"grid config")
+            return cid
+        self._db.execute(
+            "INSERT INTO campaigns (campaign_id, config_json, created_at) "
+            "VALUES (?, ?, ?)",
+            (cid, json.dumps(_to_dict(config), sort_keys=True), time.time()))
+        self._db.commit()
+        return cid
+
+    def campaigns(self) -> list[dict]:
+        """Registered campaigns with unit/verdict counts, oldest first."""
+        rows = self._db.execute(
+            "SELECT c.campaign_id, c.created_at, "
+            "  (SELECT COUNT(*) FROM units u "
+            "   WHERE u.campaign_id = c.campaign_id) AS units, "
+            "  (SELECT COUNT(*) FROM verdicts v "
+            "   WHERE v.campaign_id = c.campaign_id) AS verdicts, "
+            "  (SELECT COUNT(*) FROM outliers o "
+            "   WHERE o.campaign_id = c.campaign_id) AS outliers "
+            "FROM campaigns c ORDER BY c.created_at, c.campaign_id"
+        ).fetchall()
+        return [dict(r) for r in rows]
+
+    def config_for(self, campaign_id: str) -> CampaignConfig:
+        row = self._db.execute(
+            "SELECT config_json FROM campaigns WHERE campaign_id = ?",
+            (campaign_id,)).fetchone()
+        if row is None:
+            raise ConfigError(f"unknown campaign {campaign_id!r}")
+        return campaign_from_dict(json.loads(row["config_json"]))
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def completed_indices(self, campaign_id: str) -> set[int]:
+        return {r["program_index"] for r in self._db.execute(
+            "SELECT program_index FROM units WHERE campaign_id = ?",
+            (campaign_id,))}
+
+    def record_unit(self, campaign_id: str, outcome: UnitOutcome) -> bool:
+        """Persist one completed unit; first write wins.
+
+        Returns ``False`` (changing nothing) if the unit is already
+        stored — replaying a straggler's duplicate completion or a whole
+        checkpoint is idempotent.
+        """
+        cur = self._db.execute(
+            "INSERT OR IGNORE INTO units (campaign_id, program_index, "
+            "program_name, race_filtered, row_json) VALUES (?, ?, ?, ?, ?)",
+            (campaign_id, outcome.program_index, outcome.program_name,
+             int(outcome.race_filtered),
+             json.dumps(outcome_to_row(outcome), sort_keys=True)))
+        if cur.rowcount == 0:
+            self._db.rollback()
+            return False
+        vector = ("+".join(directive_vector(outcome.features))
+                  if outcome.features is not None else "") or "serial"
+        for v in outcome.verdicts:
+            self._db.execute(
+                "INSERT OR IGNORE INTO verdicts VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (campaign_id, outcome.program_index, v.input_index,
+                 v.program_name, int(v.analyzed), int(v.output_divergent),
+                 len(v.outliers)))
+            flagged = [(o.vendor, o.kind.value, o.ratio) for o in v.outliers]
+            flagged += _comp_outlier_rows(v)
+            for vendor, kind, ratio in flagged:
+                self._db.execute(
+                    "INSERT OR IGNORE INTO outliers VALUES "
+                    "(?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (campaign_id, outcome.program_index, v.input_index,
+                     v.program_name, vendor, kind, ratio, vector,
+                     f"{kind}|{vendor}|{vector}"))
+        self._db.commit()
+        return True
+
+    def record_session(self, session: CampaignSession,
+                       campaign_id: str | None = None) -> tuple[str, int]:
+        """Persist every completed unit of a session; returns (id, new)."""
+        cid = self.ensure_campaign(session.config, campaign_id)
+        n = sum(self.record_unit(cid, session._outcomes[i])
+                for i in sorted(session._outcomes))
+        return cid, n
+
+    def import_checkpoint(self, path: str | Path,
+                          campaign_id: str | None = None) -> tuple[str, int]:
+        """Import a JSONL checkpoint written by :meth:`CampaignSession.
+        checkpoint`; returns ``(campaign_id, units imported)``.
+
+        Goes through :meth:`CampaignSession.resume`, so a torn trailing
+        line is tolerated exactly as on resume.
+        """
+        session = CampaignSession.resume(path, engine="serial")
+        return self.record_session(session, campaign_id)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def outcomes(self, campaign_id: str) -> list[UnitOutcome]:
+        """Full-fidelity outcomes of a campaign, in grid order."""
+        config = self.config_for(campaign_id)
+        return [outcome_from_row(json.loads(r["row_json"]), config)
+                for r in self._db.execute(
+                    "SELECT row_json FROM units WHERE campaign_id = ? "
+                    "ORDER BY program_index", (campaign_id,))]
+
+    def session(self, campaign_id: str, *,
+                engine: str | None = None,
+                jobs: int | None = None) -> CampaignSession:
+        """Rebuild a live session from stored units (the store-side
+        :meth:`CampaignSession.resume`); run it to finish the grid."""
+        session = CampaignSession(self.config_for(campaign_id),
+                                  engine=engine, jobs=jobs)
+        for outcome in self.outcomes(campaign_id):
+            session.ingest(outcome)
+        return session
+
+    def verdict_count(self, campaign_id: str | None = None) -> int:
+        if campaign_id is None:
+            return self._db.execute(
+                "SELECT COUNT(*) FROM verdicts").fetchone()[0]
+        return self._db.execute(
+            "SELECT COUNT(*) FROM verdicts WHERE campaign_id = ?",
+            (campaign_id,)).fetchone()[0]
+
+    def query(self, *, campaign: str | None = None,
+              kind: str | None = None,
+              backend: str | None = None,
+              feature: str | None = None,
+              limit: int | None = None) -> list[dict]:
+        """Indexed outlier lookup.
+
+        ``kind`` is an outlier kind (``slow``/``fast``/``crash``/
+        ``hang``) or ``comp`` (numerical divergence); ``backend``
+        matches the flagged vendor; ``feature`` requires a directive
+        label (e.g. ``critical``) in the program's feature vector.
+        Rows come back in deterministic grid order.
+        """
+        sql = "SELECT * FROM outliers"
+        where, params = [], []
+        if campaign is not None:
+            where.append("campaign_id = ?")
+            params.append(campaign)
+        if kind is not None:
+            where.append("kind = ?")
+            params.append(kind)
+        if backend is not None:
+            where.append("vendor = ?")
+            params.append(backend)
+        if where:
+            sql += " WHERE " + " AND ".join(where)
+        sql += (" ORDER BY campaign_id, program_index, input_index, "
+                "vendor, kind")
+        rows = [dict(r) for r in self._db.execute(sql, params)]
+        if feature is not None:
+            rows = [r for r in rows if feature in r["vector"].split("+")]
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+    def merge_buckets(self, *, campaigns: Sequence[str] | None = None,
+                      kinds: Iterable[str] | None = None) -> list[BugBucket]:
+        """Cross-campaign bug bucketing on the stored signatures.
+
+        Groups every stored outlier row (optionally restricted to some
+        campaigns / kinds) by its ``kind|vendor|vector`` signature —
+        the same key triage buckets reduced outliers under — so
+        recurring faults show up once with their full membership across
+        campaigns.
+        """
+        rows = self.query()
+        if campaigns is not None:
+            allowed = set(campaigns)
+            rows = [r for r in rows if r["campaign_id"] in allowed]
+        if kinds is not None:
+            wanted = set(kinds)
+            rows = [r for r in rows if r["kind"] in wanted]
+        return build_buckets([(r["signature"], r) for r in rows])
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

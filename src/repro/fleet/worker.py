@@ -1,0 +1,111 @@
+"""Fleet worker: lease units, execute them, complete or fail them.
+
+The worker loop is deliberately dumb — all scheduling intelligence
+(deadlines, retries, stragglers) lives in the queue.  A worker:
+
+1. fetches the campaign :class:`~repro.driver.engine.ExecutionPlan` once,
+2. leases up to ``batch`` units,
+3. executes each through :func:`~repro.driver.engine.execute_unit` — the
+   same pure function every in-process engine uses, so a fleet verdict
+   is bit-identical to a serial one,
+4. completes each unit as it finishes (heartbeating the rest of the
+   batch so a long unit cannot expire its siblings' leases), and
+5. on any interrupt, hands unexecuted leases back immediately — the
+   engines' salvage contract: finished work is never lost, unfinished
+   work is never silently held.
+
+A worker that dies without the courtesy ``fail`` (SIGKILL, OOM) is
+covered by lease expiry on the queue side.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+
+from ..driver.engine import execute_unit
+from ..errors import FleetError
+from .queue import DEFAULT_AUTHKEY, QueueClient
+
+
+def default_worker_id() -> str:
+    return f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def worker_loop(queue, *, worker_id: str | None = None, batch: int = 1,
+                poll_s: float = 0.05, max_idle_s: float | None = None) -> int:
+    """Drain ``queue`` until the campaign finishes; returns units completed.
+
+    ``queue`` is anything speaking the queue protocol — a
+    :class:`~repro.fleet.queue.WorkQueue` in-process or a
+    :class:`~repro.fleet.queue.QueueClient` across a socket.
+    ``max_idle_s`` bounds how long the worker polls an empty queue
+    before giving up (``None`` = wait for the campaign to finish).
+    """
+    if batch < 1:
+        raise FleetError("worker batch must be >= 1")
+    wid = worker_id or default_worker_id()
+    plan = queue.plan()
+    completed = 0
+    idle_since: float | None = None
+    while not queue.finished():
+        leases = queue.lease(batch, wid)
+        if not leases:
+            now = time.monotonic()
+            idle_since = idle_since if idle_since is not None else now
+            if max_idle_s is not None and now - idle_since >= max_idle_s:
+                break
+            time.sleep(poll_s)
+            continue
+        idle_since = None
+        remaining = list(leases)
+        try:
+            while remaining:
+                lease = remaining.pop(0)
+                try:
+                    outcome = execute_unit(plan, lease.unit)
+                except Exception as exc:
+                    queue.fail(lease.unit_id,
+                               f"{type(exc).__name__}: {exc}", wid)
+                else:
+                    if queue.complete(lease.unit_id, outcome, wid):
+                        completed += 1
+                if remaining:
+                    queue.heartbeat([l.unit_id for l in remaining], wid)
+        except BaseException:
+            # interrupt mid-batch: give unexecuted leases back now rather
+            # than making the queue wait out their deadlines
+            for lease in remaining:
+                try:
+                    queue.fail(lease.unit_id, "worker interrupted", wid)
+                except Exception:
+                    pass
+            raise
+    return completed
+
+
+def run_worker(address: tuple[str, int], *,
+               authkey: bytes = DEFAULT_AUTHKEY,
+               worker_id: str | None = None, batch: int = 1,
+               poll_s: float = 0.05,
+               max_idle_s: float | None = None) -> int:
+    """Connect to a coordinator's queue and run the worker loop."""
+    client = QueueClient(address, authkey=authkey)
+    try:
+        return worker_loop(client, worker_id=worker_id, batch=batch,
+                           poll_s=poll_s, max_idle_s=max_idle_s)
+    finally:
+        client.close()
+
+
+def _worker_process_entry(address, authkey: bytes, batch: int,
+                          poll_s: float) -> None:
+    """Module-level target for locally spawned worker processes."""
+    try:
+        run_worker(tuple(address), authkey=authkey, batch=batch,
+                   poll_s=poll_s)
+    except FleetError:
+        # coordinator tore the transport down mid-poll (campaign over or
+        # engine interrupted): a clean exit, not a worker failure
+        pass

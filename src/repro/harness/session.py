@@ -32,6 +32,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import time
+import warnings
 from pathlib import Path
 from typing import Iterator
 
@@ -181,6 +182,21 @@ class CampaignSession:
             pass
         return self.result()
 
+    def ingest(self, outcome: UnitOutcome) -> bool:
+        """Record a unit executed elsewhere (fleet coordinator, result
+        store) as completed session state.  First write wins — a
+        duplicate of an already-completed unit is dropped and reported
+        ``False``, mirroring the fleet queue's completion semantics."""
+        if not 0 <= outcome.program_index < self.config.n_programs:
+            raise ConfigError(
+                f"outcome for program index {outcome.program_index} is "
+                f"outside this campaign's grid of "
+                f"{self.config.n_programs} programs")
+        if outcome.program_index in self._outcomes:
+            return False
+        self._outcomes[outcome.program_index] = outcome
+        return True
+
     # ------------------------------------------------------------------
     # triage
     # ------------------------------------------------------------------
@@ -272,7 +288,7 @@ class CampaignSession:
             }
             fh.write(json.dumps(header, sort_keys=True) + "\n")
             for index in sorted(self._outcomes):
-                fh.write(json.dumps(_outcome_to_row(self._outcomes[index]),
+                fh.write(json.dumps(outcome_to_row(self._outcomes[index]),
                                     sort_keys=True) + "\n")
                 n += 1
         tmp.replace(p)  # atomic: a torn write never corrupts a checkpoint
@@ -301,43 +317,36 @@ class CampaignSession:
         and returns a result identical to an uninterrupted run.  Pass
         ``engine``/``jobs`` to finish with a different engine than the
         one interrupted.
+
+        A hard kill mid-append can leave the final line torn; the tail
+        is dropped with a :class:`RuntimeWarning` (its unit simply
+        re-runs) and calling :meth:`checkpoint` afterwards rewrites the
+        file cleanly.  Corruption anywhere before the tail still raises.
         """
-        p = Path(path)
-        if not p.exists():
-            raise ConfigError(f"checkpoint file not found: {p}")
-        with p.open() as fh:
-            lines = [line for line in (l.strip() for l in fh) if line]
-        if not lines:
-            raise ConfigError(f"checkpoint {p} is empty")
-        rows = []
-        for i, line in enumerate(lines):
-            try:
-                rows.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                if i == len(lines) - 1:
-                    break  # torn trailing append from a hard kill: drop it
-                raise ConfigError(
-                    f"checkpoint {p} is corrupt (bad JSON line "
-                    f"{i + 1}): {exc}") from exc
-        if not rows:
-            raise ConfigError(f"checkpoint {p} has no readable lines")
-        header = rows[0]
-        if header.get("kind") != "header":
-            raise ConfigError(f"checkpoint {p} lacks a header line")
-        if header.get("version") != _CHECKPOINT_VERSION:
-            raise ConfigError(
-                f"checkpoint {p} has version {header.get('version')!r}; "
-                f"this build reads version {_CHECKPOINT_VERSION}")
+        header, rows = read_checkpoint(path)
         config = campaign_from_dict(header["config"])
         session = cls(config, engine=engine, jobs=jobs,
                       collect_profiles=header.get("collect_profiles", False))
         session._elapsed = float(header.get("elapsed_seconds", 0.0))
-        for row in rows[1:]:
+        for i, row in enumerate(rows):
             if row.get("kind") == "elapsed":
                 # appended by CheckpointWriter.update(); the last one wins
                 session._elapsed = float(row.get("elapsed_seconds", 0.0))
                 continue
-            outcome = _outcome_from_row(row, config)
+            try:
+                outcome = outcome_from_row(row, config)
+            except (ConfigError, KeyError, TypeError, ValueError) as exc:
+                if i == len(rows) - 1:
+                    # parseable JSON but a malformed unit row: the other
+                    # face of a torn trailing append
+                    warnings.warn(
+                        f"checkpoint {path}: dropping malformed final row "
+                        f"({exc}); its unit will re-run",
+                        RuntimeWarning, stacklevel=2)
+                    continue
+                raise ConfigError(
+                    f"checkpoint {path} is corrupt (bad unit row "
+                    f"{i + 2}): {exc}") from exc
             session._outcomes[outcome.program_index] = outcome
         return session
 
@@ -367,7 +376,7 @@ class CheckpointWriter:
             return 0
         with self.path.open("a") as fh:
             for index in new:
-                fh.write(json.dumps(_outcome_to_row(session._outcomes[index]),
+                fh.write(json.dumps(outcome_to_row(session._outcomes[index]),
                                     sort_keys=True) + "\n")
             fh.write(json.dumps({"kind": "elapsed",
                                  "elapsed_seconds": session._elapsed_now()})
@@ -377,10 +386,53 @@ class CheckpointWriter:
 
 
 # ----------------------------------------------------------------------
-# checkpoint row codecs
+# checkpoint parsing / row codecs (shared with the fleet result store)
 # ----------------------------------------------------------------------
 
-def _outcome_to_row(outcome: UnitOutcome) -> dict:
+def read_checkpoint(path: str | Path) -> tuple[dict, list[dict]]:
+    """Parse a checkpoint file into ``(header, rows)``.
+
+    Validates the header line and format version.  A torn trailing line
+    (truncated JSON from a hard kill mid-append) is dropped with a
+    :class:`RuntimeWarning` rather than raised — the unit it held simply
+    re-runs; bad JSON anywhere *before* the final line still raises
+    :class:`~repro.errors.ConfigError`.
+    """
+    p = Path(path)
+    if not p.exists():
+        raise ConfigError(f"checkpoint file not found: {p}")
+    with p.open() as fh:
+        lines = [line for line in (l.strip() for l in fh) if line]
+    if not lines:
+        raise ConfigError(f"checkpoint {p} is empty")
+    rows: list[dict] = []
+    for i, line in enumerate(lines):
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if i == len(lines) - 1:
+                # torn trailing append from a hard kill: drop it
+                warnings.warn(
+                    f"checkpoint {p}: dropping torn trailing line "
+                    f"({exc}); its unit will re-run",
+                    RuntimeWarning, stacklevel=2)
+                break
+            raise ConfigError(
+                f"checkpoint {p} is corrupt (bad JSON line "
+                f"{i + 1}): {exc}") from exc
+    if not rows:
+        raise ConfigError(f"checkpoint {p} has no readable lines")
+    header = rows[0]
+    if not isinstance(header, dict) or header.get("kind") != "header":
+        raise ConfigError(f"checkpoint {p} lacks a header line")
+    if header.get("version") != _CHECKPOINT_VERSION:
+        raise ConfigError(
+            f"checkpoint {p} has version {header.get('version')!r}; "
+            f"this build reads version {_CHECKPOINT_VERSION}")
+    return header, rows[1:]
+
+
+def outcome_to_row(outcome: UnitOutcome) -> dict:
     return {
         "kind": "unit",
         "program_index": outcome.program_index,
@@ -396,7 +448,7 @@ def _outcome_to_row(outcome: UnitOutcome) -> dict:
     }
 
 
-def _outcome_from_row(row: dict, config: CampaignConfig) -> UnitOutcome:
+def outcome_from_row(row: dict, config: CampaignConfig) -> UnitOutcome:
     if row.get("kind") != "unit":
         raise ConfigError(f"unexpected checkpoint row kind {row.get('kind')!r}")
     features = row.get("features")

@@ -4,6 +4,9 @@ streaming, and checkpoint/resume."""
 from __future__ import annotations
 
 import json
+import os
+import warnings
+from concurrent.futures import BrokenExecutor
 
 import pytest
 
@@ -118,9 +121,12 @@ class _Renamed:
 
 class TestEngines:
     def test_factory_names(self):
+        from repro.fleet.coordinator import FleetEngine
+
         assert isinstance(create_engine("serial"), SerialEngine)
         assert isinstance(create_engine("thread", 2), ThreadPoolEngine)
         assert isinstance(create_engine("process", 2), ProcessPoolEngine)
+        assert isinstance(create_engine("fleet", 2), FleetEngine)
         with pytest.raises(ConfigError):
             create_engine("quantum")
 
@@ -336,9 +342,59 @@ class TestSession:
         session.checkpoint(path)
         with path.open("a") as fh:
             fh.write('{"kind": "unit", "program_index": 99, "trunca')
-        resumed = CampaignSession.resume(path)  # hard-kill mid-append
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            resumed = CampaignSession.resume(path)  # hard-kill mid-append
         assert verdict_key(resumed.run().verdicts) == \
             verdict_key(small_serial_result.verdicts)
+
+    def test_resume_survives_byte_truncation(self, fast_campaign_cfg,
+                                             small_serial_result, tmp_path):
+        """A power-cut mid-append leaves a half-written final row; resume
+        drops it with a warning and re-runs that unit."""
+        session = CampaignSession(fast_campaign_cfg)
+        session.run()
+        path = tmp_path / "cut.jsonl"
+        session.checkpoint(path)
+        path.write_bytes(path.read_bytes()[:-20])
+
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            resumed = CampaignSession.resume(path)
+        assert resumed.completed_tests < resumed.total_tests
+
+        # re-checkpointing produces a clean file that resumes silently
+        clean_path = tmp_path / "clean.jsonl"
+        resumed.checkpoint(clean_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            clean = CampaignSession.resume(clean_path)
+        assert verdict_key(clean.run().verdicts) == \
+            verdict_key(small_serial_result.verdicts)
+
+    def test_resume_drops_malformed_final_row(self, fast_campaign_cfg,
+                                              small_serial_result, tmp_path):
+        session = CampaignSession(fast_campaign_cfg)
+        session.run()
+        path = tmp_path / "badrow.jsonl"
+        session.checkpoint(path)
+        with path.open("a") as fh:  # parses as JSON but fails to decode
+            fh.write('{"kind": "unit", "program_index": 99}\n')
+        with pytest.warns(RuntimeWarning, match="malformed final row"):
+            resumed = CampaignSession.resume(path)
+        assert verdict_key(resumed.run().verdicts) == \
+            verdict_key(small_serial_result.verdicts)
+
+    def test_resume_rejects_malformed_middle_row(self, fast_campaign_cfg,
+                                                 tmp_path):
+        """Corruption anywhere but the tail is not crash debris — refuse."""
+        session = CampaignSession(fast_campaign_cfg)
+        session.run()
+        path = tmp_path / "mid.jsonl"
+        session.checkpoint(path)
+        lines = path.read_text().splitlines()
+        lines.insert(2, '{"kind": "unit", "program_index": 99}')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigError, match="bad unit row"):
+            CampaignSession.resume(path)
 
     def test_resume_rejects_bad_files(self, tmp_path):
         with pytest.raises(ConfigError):
@@ -471,6 +527,46 @@ class TestChunkedDispatch:
         session.checkpoint(path)
         resumed = CampaignSession.resume(path)
         assert resumed.completed_tests >= fast_campaign_cfg.inputs_per_program
+
+
+def _double_or_die_once(item):
+    """First call anywhere in the pool hard-kills its worker; later calls
+    (sentinel present) succeed.  Module-level so process pools can pickle."""
+    value, sentinel = item
+    if not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(1)
+    return value * 2
+
+
+def _always_die(_value):
+    os._exit(1)
+
+
+class TestMapUnorderedWorkerDeath:
+    def test_chunk_retried_once_after_worker_death(self, tmp_path):
+        engine = ProcessPoolEngine(2)
+        sentinel = str(tmp_path / "died-once")
+        items = [(i, sentinel) for i in range(8)]
+        got = sorted(engine.map_unordered(_double_or_die_once, items,
+                                          chunk_size=2))
+        assert got == [i * 2 for i in range(8)]
+
+    def test_persistent_worker_death_raises(self):
+        engine = ProcessPoolEngine(2)
+        with pytest.raises(BrokenExecutor):
+            list(engine.map_unordered(_always_die, list(range(4)),
+                                      chunk_size=2))
+
+    def test_progress_counts_retried_items_once(self, tmp_path):
+        engine = ProcessPoolEngine(2)
+        sentinel = str(tmp_path / "died-counting")
+        items = [(i, sentinel) for i in range(6)]
+        seen = []
+        list(engine.map_unordered(_double_or_die_once, items, chunk_size=3,
+                                  progress=lambda d, t: seen.append((d, t))))
+        assert seen[-1] == (6, 6)
+        assert [d for d, _ in seen] == list(range(1, 7))
 
 
 class TestProgressThrottling:

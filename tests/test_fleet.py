@@ -1,0 +1,404 @@
+"""Fleet tests: lease-queue semantics, socket transport, worker fault
+paths, FleetEngine/serial equivalence, and coordinator restart."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.config import CampaignConfig, ConfigError
+from repro.driver.engine import (
+    ExecutionPlan,
+    WorkUnit,
+    create_engine,
+    plan_units,
+)
+from repro.errors import FleetError
+from repro.fleet import (
+    FleetCoordinator,
+    QueueClient,
+    QueueServer,
+    ResultStore,
+    WorkQueue,
+    worker_loop,
+)
+from repro.fleet.coordinator import FleetEngine
+from repro.harness.session import CampaignSession
+
+
+def ordered_key(result):
+    """Order-*sensitive* full-fidelity identity of a campaign result."""
+    return [v.identity() for v in result.verdicts]
+
+
+@pytest.fixture(scope="module")
+def fleet_cfg(fast_gen_cfg):
+    """The pinned paper-mix grid the fleet is checked against serial on."""
+    return CampaignConfig(n_programs=6, inputs_per_program=2, seed=1234,
+                          generator=fast_gen_cfg, directive_mix="paper")
+
+
+@pytest.fixture(scope="module")
+def fleet_serial_result(fleet_cfg):
+    return CampaignSession(fleet_cfg, engine="serial").run()
+
+
+@pytest.fixture
+def small_queue(fleet_cfg):
+    """A queue over a 3-unit slice with an injectable clock."""
+    clk = [0.0]
+    plan = ExecutionPlan(config=fleet_cfg)
+    units = [WorkUnit(i, (0, 1)) for i in range(3)]
+    queue = WorkQueue(plan, units, lease_seconds=10.0, max_attempts=3,
+                      backoff_s=1.0, clock=lambda: clk[0])
+    return queue, clk
+
+
+# ----------------------------------------------------------------------
+# queue protocol (fake clock: every deadline path is deterministic)
+# ----------------------------------------------------------------------
+
+class TestWorkQueue:
+    def test_lease_complete_collect(self, small_queue):
+        queue, _clk = small_queue
+        leases = queue.lease(2, "w1")
+        assert [l.unit_id for l in leases] == [0, 1]
+        assert all(l.attempt == 1 for l in leases)
+        assert queue.complete(0, "payload-0", "w1")
+        assert queue.collect() == [(0, "payload-0")]
+        assert queue.collect() == []  # drained
+        assert not queue.finished()
+
+    def test_duplicate_completion_is_idempotent(self, small_queue):
+        queue, _clk = small_queue
+        queue.lease(3, "w1")
+        assert queue.complete(0, "first", "w1")
+        assert not queue.complete(0, "second", "w2")  # first write wins
+        assert queue.collect() == [(0, "first")]
+
+    def test_expired_lease_is_redispatched(self, small_queue):
+        queue, clk = small_queue
+        (lease,) = queue.lease(1, "w1")
+        assert lease.unit_id == 0
+        # while the lease is live, unit 0 is checked out
+        assert 0 not in {l.unit_id for l in queue.lease(3, "w2")}
+        clk[0] = 10.1  # past the 10s deadline: the lease is reclaimed...
+        assert queue.lease(3, "w3") == []  # ...behind a backoff gate
+        clk[0] = 11.2  # past the 1s backoff
+        (again,) = [l for l in queue.lease(3, "w3") if l.unit_id == 0]
+        assert again.attempt == 2  # the retry charged the unit's budget
+
+    def test_fail_requeues_with_backoff(self, small_queue):
+        queue, clk = small_queue
+        queue.lease(1, "w1")
+        queue.fail(0, "boom", "w1")
+        # inside the backoff window unit 0 is gated; units 1, 2 still go
+        assert [l.unit_id for l in queue.lease(3, "w1")] == [1, 2]
+        clk[0] = 1.1  # backoff_s * 2**0 elapsed
+        assert [l.unit_id for l in queue.lease(3, "w2")] == [0]
+
+    def test_retry_budget_exhaustion_kills_unit(self, small_queue):
+        queue, clk = small_queue
+        for attempt in range(3):
+            (lease,) = [l for l in queue.lease(1, f"w{attempt}")
+                        if l.unit_id == 0]
+            assert lease.attempt == attempt + 1
+            queue.fail(0, f"boom #{attempt}", f"w{attempt}")
+            clk[0] += 10.0  # clear every backoff gate
+        assert queue.dead_units() == [(0, "boom #2")]
+        # the dead unit never leases again
+        assert 0 not in {l.unit_id for l in queue.lease(3, "w9")}
+
+    def test_straggler_redispatch(self, small_queue):
+        queue, clk = small_queue
+        queue.lease(3, "w1")  # w1 holds the whole grid
+        queue.complete(1, "p1", "w1")
+        queue.complete(2, "p2", "w1")
+        # before straggler_after (lease_seconds/2 = 5s): nothing to shadow
+        clk[0] = 3.0
+        assert queue.lease(1, "w2") == []
+        clk[0] = 5.0
+        (dup,) = queue.lease(1, "w2")
+        assert dup.unit_id == 0
+        assert dup.attempt == 1  # speculation does not charge the budget
+        # never a third holder, never twice to one worker
+        assert queue.lease(1, "w2") == []
+        assert queue.lease(1, "w3") == []
+
+    def test_late_straggler_completion_rescues_dead_unit(self, small_queue):
+        queue, clk = small_queue
+        queue.lease(3, "w1")
+        for i in range(1, 3):
+            queue.complete(i, f"p{i}", "w1")
+        clk[0] = 5.0
+        queue.lease(1, "w2")  # straggler duplicate on unit 0
+        # every holder goes silent; expiry sweeps charge the budget
+        # (backoff gates between re-dispatches) until the unit dies
+        for _ in range(6):
+            clk[0] += 100.0
+            queue.lease(1, "w3")
+        assert [uid for uid, _ in queue.dead_units()] == [0]
+        assert queue.finished()  # dead counts as closed
+        # w2's stale completion still lands: done work rescues the unit
+        assert queue.complete(0, "rescued", "w2")
+        assert queue.finished()
+        assert queue.dead_units() == []
+
+    def test_heartbeat_extends_deadline(self, small_queue):
+        queue, clk = small_queue
+        (lease,) = queue.lease(1, "w1")
+        clk[0] = 9.0
+        assert queue.heartbeat([lease.unit_id], "w1") == 1
+        clk[0] = 15.0  # past the original deadline, inside the extension
+        assert 0 not in {l.unit_id for l in queue.lease(3, "w2")}
+        assert queue.complete(0, "p", "w1")
+
+    def test_stats_and_finished(self, small_queue):
+        queue, _clk = small_queue
+        queue.lease(1, "w1")
+        s = queue.stats()
+        assert (s["total"], s["leased"], s["pending"]) == (3, 1, 2)
+        for i in range(3):
+            queue.complete(i, f"p{i}")
+        assert queue.finished()
+        assert queue.stats()["completed"] == 3
+
+    def test_validation(self, fleet_cfg):
+        plan = ExecutionPlan(config=fleet_cfg)
+        with pytest.raises(ConfigError, match="lease_seconds"):
+            WorkQueue(plan, [], lease_seconds=0)
+        with pytest.raises(ConfigError, match="duplicate"):
+            WorkQueue(plan, [WorkUnit(0, (0,)), WorkUnit(0, (1,))])
+        queue = WorkQueue(plan, [WorkUnit(0, (0,))])
+        with pytest.raises(FleetError, match="unknown work unit"):
+            queue.complete(99, None)
+
+
+# ----------------------------------------------------------------------
+# socket transport
+# ----------------------------------------------------------------------
+
+class TestTransport:
+    def test_round_trip_over_socket(self, fleet_cfg):
+        plan = ExecutionPlan(config=fleet_cfg)
+        queue = WorkQueue(plan, [WorkUnit(0, (0,)), WorkUnit(1, (0,))])
+        server = QueueServer(queue, authkey=b"test-key")
+        client = QueueClient(server.address, authkey=b"test-key")
+        try:
+            assert client.plan().config == fleet_cfg
+            (lease,) = client.lease(1, "w1")
+            assert lease.unit_id == 0 and lease.unit == WorkUnit(0, (0,))
+            assert client.complete(0, "payload", "w1")
+            assert not client.complete(0, "dup", "w2")
+            assert client.stats()["completed"] == 1
+            assert not client.finished()
+        finally:
+            client.close()
+            server.close()
+
+    def test_server_side_errors_propagate(self, fleet_cfg):
+        plan = ExecutionPlan(config=fleet_cfg)
+        queue = WorkQueue(plan, [WorkUnit(0, (0,))])
+        server = QueueServer(queue, authkey=b"test-key")
+        client = QueueClient(server.address, authkey=b"test-key")
+        try:
+            with pytest.raises(FleetError, match="unknown work unit"):
+                client.complete(42, None)
+            with pytest.raises(ConfigError, match="n >= 1"):
+                client.lease(0, "w1")
+        finally:
+            client.close()
+            server.close()
+
+    def test_non_protocol_methods_refused(self, fleet_cfg):
+        plan = ExecutionPlan(config=fleet_cfg)
+        queue = WorkQueue(plan, [WorkUnit(0, (0,))])
+        server = QueueServer(queue, authkey=b"test-key")
+        client = QueueClient(server.address, authkey=b"test-key")
+        try:
+            with pytest.raises(FleetError, match="not part of the queue"):
+                client._call("_expire", 0.0)
+        finally:
+            client.close()
+            server.close()
+
+
+# ----------------------------------------------------------------------
+# workers: the happy path and the fault paths
+# ----------------------------------------------------------------------
+
+def _lease_and_die(address, authkey):
+    """A worker that checks out a unit and dies without the courtesy
+    fail() — SIGKILL/OOM shape; only lease expiry can recover the unit."""
+    client = QueueClient(tuple(address), authkey=authkey)
+    client.lease(1, "doomed")
+    os._exit(1)
+
+
+class TestWorkerLoop:
+    def test_in_process_worker_drains_queue(self, fleet_cfg,
+                                            fleet_serial_result):
+        plan = ExecutionPlan(config=fleet_cfg)
+        queue = WorkQueue(plan, plan_units(fleet_cfg))
+        completed = worker_loop(queue, batch=2)
+        assert completed == fleet_cfg.n_programs
+        assert queue.finished()
+        outcomes = dict(queue.collect())
+        result_verdicts = [v for i in sorted(outcomes)
+                           for v in outcomes[i].verdicts]
+        assert [v.identity() for v in result_verdicts] == \
+            ordered_key(fleet_serial_result)
+
+    def test_killed_worker_lease_is_redispatched(self, fleet_cfg,
+                                                 fleet_serial_result):
+        plan = ExecutionPlan(config=fleet_cfg)
+        queue = WorkQueue(plan, plan_units(fleet_cfg), lease_seconds=0.4)
+        server = QueueServer(queue, authkey=b"test-key")
+        try:
+            proc = mp.Process(target=_lease_and_die,
+                              args=(server.address, b"test-key"))
+            proc.start()
+            proc.join(timeout=30)
+            assert proc.exitcode == 1
+            assert queue.stats()["leased"] == 1  # the orphaned lease
+            # a live worker finishes the grid: the orphaned unit comes
+            # back via lease expiry (or straggler re-dispatch) and its
+            # verdicts are identical to serial — re-execution is pure
+            worker_loop(queue, poll_s=0.05)
+            assert queue.finished()
+            assert queue.dead_units() == []
+            outcomes = dict(queue.collect())
+            verdicts = [v for i in sorted(outcomes)
+                        for v in outcomes[i].verdicts]
+            assert [v.identity() for v in verdicts] == \
+                ordered_key(fleet_serial_result)
+        finally:
+            server.close()
+
+    def test_reported_failures_spend_the_retry_budget(self, fleet_cfg):
+        plan = ExecutionPlan(config=fleet_cfg)
+        queue = WorkQueue(plan, [WorkUnit(7, (0,))],
+                          max_attempts=2, backoff_s=0.0)
+        # a fail() without a lease charges nothing — only dispatches do
+        queue.fail(7, "spurious")
+        queue.fail(7, "spurious")
+        assert not queue.finished()
+        (lease,) = queue.lease(1, "w1")
+        queue.fail(lease.unit_id, "boom", "w1")
+        (lease,) = queue.lease(1, "w1")
+        queue.fail(lease.unit_id, "boom", "w1")
+        assert queue.finished()
+        assert queue.dead_units() == [(7, "boom")]
+
+
+# ----------------------------------------------------------------------
+# FleetEngine: the ExecutionEngine adapter
+# ----------------------------------------------------------------------
+
+class TestFleetEngine:
+    def test_factory_and_config(self):
+        engine = create_engine("fleet", 2)
+        assert isinstance(engine, FleetEngine)
+        assert engine.jobs == 2 and engine.requested_jobs == 2
+        assert CampaignConfig(engine="fleet", jobs=2).engine == "fleet"
+
+    def test_fleet_result_identical_to_serial(self, fleet_cfg,
+                                              fleet_serial_result):
+        """The acceptance bar: the pinned paper-mix grid through the
+        fleet yields verdicts byte-identical to SerialEngine — same
+        values, same order, same outliers."""
+        result = CampaignSession(fleet_cfg, engine="fleet", jobs=2).run()
+        assert ordered_key(result) == ordered_key(fleet_serial_result)
+        assert result.race_filtered == fleet_serial_result.race_filtered
+        assert set(result.features) == set(fleet_serial_result.features)
+
+    def test_fleet_session_checkpoints_like_any_engine(self, fleet_cfg,
+                                                       tmp_path):
+        session = CampaignSession(fleet_cfg, engine="fleet", jobs=2)
+        session.run()
+        path = tmp_path / "fleet.jsonl"
+        session.checkpoint(path)
+        resumed = CampaignSession.resume(path)
+        assert resumed.done
+        assert isinstance(resumed.engine, FleetEngine)
+        assert resumed.engine.requested_jobs == 2
+
+
+# ----------------------------------------------------------------------
+# coordinator: store persistence and restart
+# ----------------------------------------------------------------------
+
+class TestFleetCoordinator:
+    def test_coordinator_with_spawned_workers(self, fleet_cfg, tmp_path,
+                                              fleet_serial_result):
+        store = ResultStore(tmp_path / "fleet.db")
+        with store, FleetCoordinator(fleet_cfg, store=store) as coord:
+            coord.spawn_workers(2)
+            result = coord.wait(timeout=120)
+            assert ordered_key(result) == ordered_key(fleet_serial_result)
+            assert store.completed_indices(coord.campaign_id) == \
+                set(range(fleet_cfg.n_programs))
+
+    def test_duplicate_completion_idempotent_end_to_end(self, fleet_cfg):
+        from repro.driver.engine import execute_unit
+
+        coord = FleetCoordinator(fleet_cfg)
+        try:
+            plan = coord.queue.plan()
+            (lease,) = coord.queue.lease(1, "w1")
+            outcome = execute_unit(plan, lease.unit)
+            assert coord.queue.complete(lease.unit_id, outcome, "w1")
+            # a racing straggler replays the completion with a different
+            # (here: corrupted) payload — the first write must win
+            assert not coord.queue.complete(lease.unit_id, "garbage", "w2")
+            assert coord.poll() == 1
+            assert coord.session._outcomes[lease.unit_id] is outcome
+        finally:
+            coord.close()
+
+    def test_restart_resumes_from_store(self, fleet_cfg, tmp_path,
+                                        fleet_serial_result):
+        from repro.driver.engine import execute_unit
+
+        db = tmp_path / "restart.db"
+        # phase 1: a coordinator completes 2 units, then "crashes"
+        store = ResultStore(db)
+        coord = FleetCoordinator(fleet_cfg, store=store)
+        plan = coord.queue.plan()
+        for lease in coord.queue.lease(2, "w1"):
+            coord.queue.complete(lease.unit_id,
+                                 execute_unit(plan, lease.unit), "w1")
+        assert coord.poll() == 2
+        coord.close()
+        store.close()
+
+        # phase 2: a successor over the same config re-queues only the
+        # remaining units and finishes the grid
+        store = ResultStore(db)
+        with store, FleetCoordinator(fleet_cfg, store=store) as coord2:
+            assert coord2.queue.stats()["total"] == \
+                fleet_cfg.n_programs - 2
+            coord2.spawn_workers(2)
+            result = coord2.wait(timeout=120)
+        assert ordered_key(result) == ordered_key(fleet_serial_result)
+
+    def test_wait_timeout_raises(self, fleet_cfg):
+        coord = FleetCoordinator(fleet_cfg)
+        try:
+            with pytest.raises(FleetError, match="unfinished"):
+                coord.wait(poll_s=0.01, timeout=0.05)  # no workers
+        finally:
+            coord.close()
+
+    def test_ingest_validates_grid(self, fleet_cfg):
+        from repro.driver.engine import UnitOutcome
+
+        session = CampaignSession(fleet_cfg)
+        bogus = UnitOutcome(program_index=99, program_name="x")
+        with pytest.raises(ConfigError, match="outside"):
+            session.ingest(bogus)
+        ok = UnitOutcome(program_index=0, program_name="x")
+        assert session.ingest(ok)
+        assert not session.ingest(ok)  # first write wins
