@@ -40,6 +40,8 @@ from repro.core.generator import ProgramGenerator
 from repro.core.inputs import InputGenerator
 from repro.driver.execution import run_binary
 from repro.harness.session import CampaignSession
+from repro.sim import backend_info
+from repro.sim.backend import _c_available, use_kernel_backend
 from repro.sim.kcache import KernelCache
 from repro.sim.values import native_values_active
 from repro.vendors.toolchain import compile_binary
@@ -79,6 +81,7 @@ def profile_stages(cfg: CampaignConfig) -> dict:
     t_generate = time.perf_counter() - t0
 
     cold_cache = KernelCache()
+    mark = cold_cache.snapshot()
     t0 = time.perf_counter()
     binaries = {}
     for p in programs:
@@ -86,12 +89,15 @@ def profile_stages(cfg: CampaignConfig) -> dict:
                                            cache=cold_cache)
                             for name in cfg.compilers]
     t_lower_cold = time.perf_counter() - t0
+    cache_cold = cold_cache.snapshot().since(mark).as_dict()
 
+    mark = cold_cache.snapshot()
     t0 = time.perf_counter()
     for p in programs:
         for name in cfg.compilers:
             compile_binary(p, name, cfg.opt_level, cache=cold_cache)
     t_lower_warm = time.perf_counter() - t0
+    cache_warm = cold_cache.snapshot().since(mark).as_dict()
 
     t0 = time.perf_counter()
     all_records = []
@@ -115,7 +121,52 @@ def profile_stages(cfg: CampaignConfig) -> dict:
         "execute_s": round(t_execute, 3),
         "verdict_s": round(t_verdict, 3),
         "cache": cold_cache.stats().as_dict(),
+        # per-stage deltas (snapshot/since), not totals: the cold pass
+        # must read all-miss, the warm pass all-hit — a regression in
+        # either shows up here without cross-stage smearing
+        "cache_lower_cold": cache_cold,
+        "cache_lower_warm": cache_warm,
     }
+
+
+def backend_sweep(cfg: CampaignConfig) -> dict:
+    """Warm execute-only throughput (runs/s) of each kernel backend on
+    the same grid, plus the compiled backend's speedup over interp.
+
+    Entry binding (including any C shared-object builds) happens before
+    the clock starts: the sweep measures steady-state execution, which
+    is what a long campaign amortizes to.
+    """
+    gen = ProgramGenerator(cfg.generator, seed=cfg.seed)
+    inputs = InputGenerator(cfg.generator, seed=cfg.seed + 1)
+    programs = [gen.generate(i) for i in range(cfg.n_programs)]
+    grid = []
+    for p in programs:
+        bins = [compile_binary(p, name, cfg.opt_level)
+                for name in cfg.compilers]
+        for j in range(cfg.inputs_per_program):
+            t_input = inputs.generate(p, j)
+            grid.extend((b, t_input) for b in bins)
+
+    backends = ["interp", "vm"] + (["c"] if _c_available()[0] else [])
+    runs_per_s = {}
+    for backend in backends:
+        with use_kernel_backend(backend):
+            for b, _ in grid:
+                b.__dict__.pop("entry", None)
+                _ = b.entry  # bind (and build) outside the clock
+            t0 = time.perf_counter()
+            for b, t_input in grid:
+                run_binary(b, t_input, cfg.machine)
+            wall = time.perf_counter() - t0
+        runs_per_s[backend] = round(len(grid) / wall, 2)
+        for b, _ in grid:
+            b.__dict__.pop("entry", None)
+    out = {"runs_per_s": runs_per_s}
+    if "c" in runs_per_s:
+        out["c_speedup_vs_interp"] = round(
+            runs_per_s["c"] / runs_per_s["interp"], 2)
+    return out
 
 
 def run_profile(n_programs: int) -> dict:
@@ -123,6 +174,7 @@ def run_profile(n_programs: int) -> dict:
                          seed=SEED)
     calibration_s = calibrate()
     stages = profile_stages(cfg)
+    backends = backend_sweep(cfg)
     t0 = time.perf_counter()
     result = CampaignSession(cfg).run()
     wall = time.perf_counter() - t0
@@ -137,12 +189,14 @@ def run_profile(n_programs: int) -> dict:
         },
         "calibration_s": round(calibration_s, 4),
         "stages": stages,
+        "kernel_backends": backends,
         "end_to_end": {
             "wall_s": round(wall, 3),
             "tests_per_s": round(tests_per_s, 2),
             "normalized": round(tests_per_s * calibration_s, 4),
         },
         "native_values": native_values_active(),
+        "backend_info": backend_info(),
     }
 
 
@@ -196,8 +250,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  end-to-end: {e2e['wall_s']}s, {e2e['tests_per_s']} tests/s "
           f"(normalized {e2e['normalized']})", file=sys.stderr)
     for k, v in current["stages"].items():
-        if k != "cache":
+        if not k.startswith("cache"):
             print(f"  {k:>14}: {v}s", file=sys.stderr)
+    sweep = current["kernel_backends"]
+    print(f"  kernel backends (runs/s): {sweep['runs_per_s']}"
+          + (f", c speedup {sweep['c_speedup_vs_interp']}x"
+             if "c_speedup_vs_interp" in sweep else ""), file=sys.stderr)
 
     ok = True
     if args.check:

@@ -37,6 +37,7 @@ from .core.generator import ProgramGenerator
 from .core.grammar import GRAMMAR
 from .core.inputs import InputGenerator
 from .rng import RNG_MODES
+from .sim.backend import BACKENDS as KERNEL_BACKENDS
 from .codegen.emit_main import emit_translation_unit
 
 
@@ -84,6 +85,8 @@ def _load_config(args) -> CampaignConfig:
         overrides["directive_mix"] = args.mix
     if getattr(args, "chunk_size", None) is not None:
         overrides["chunk_size"] = args.chunk_size
+    if getattr(args, "kernel_backend", None) is not None:
+        overrides["kernel_backend"] = args.kernel_backend
     if getattr(args, "rng_mode", None) is not None:
         overrides["generator"] = dataclasses.replace(
             base.generator, rng_mode=args.rng_mode)
@@ -490,6 +493,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-size", type=int, dest="chunk_size",
                    help="work units per pooled-engine dispatch (default: "
                         "auto — about four chunks per worker)")
+    p.add_argument("--kernel-backend", dest="kernel_backend",
+                   choices=KERNEL_BACKENDS,
+                   help="simulator kernel backend: auto (compiled C when "
+                        "a toolchain is available, the default), c, vm, "
+                        "or interp — verdicts are byte-identical, only "
+                        "throughput changes")
     p.add_argument("--rng-mode", choices=RNG_MODES, dest="rng_mode",
                    help="RNG stream derivation: compat (byte-identical "
                         "to the paper reproduction, default) or fast "

@@ -339,6 +339,13 @@ class CampaignConfig:
     #: the serial engine ignores chunking.  Verdicts are byte-identical
     #: for every chunk size — units are pure functions of their indices.
     chunk_size: int | None = None
+    #: Kernel execution backend for the simulator hot loop: "auto",
+    #: "c", "vm", or "interp" (see repro.sim.backend).  ``None`` leaves
+    #: the process default (``REPRO_KERNEL_BACKEND`` or "auto") in
+    #: charge.  Verdicts are byte-identical across backends — this is a
+    #: speed knob, not a semantics knob — so it is excluded from the
+    #: fleet store's campaign identity like the other execution knobs.
+    kernel_backend: str | None = None
     # Where to save generated tests (None = keep in memory only).
     output_dir: str | None = None
     # Named directive mix applied to the generator's feature flags
@@ -373,6 +380,12 @@ class CampaignConfig:
             raise ConfigError("jobs must be >= 1 (or None for auto)")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ConfigError("chunk_size must be >= 1 (or None for auto)")
+        if self.kernel_backend is not None:
+            from .sim.backend import BACKENDS
+            if self.kernel_backend not in BACKENDS:
+                raise ConfigError(
+                    f"unknown kernel backend {self.kernel_backend!r}; "
+                    f"choose from {', '.join(BACKENDS)}")
 
     @property
     def total_runs(self) -> int:

@@ -125,8 +125,18 @@ def execute_unit(plan: ExecutionPlan, unit: WorkUnit) -> UnitOutcome:
     process — produces bit-identical outcomes for the same unit.
     """
     from ..backends.registry import get_backend
+    from ..sim.backend import use_kernel_backend
 
     cfg = plan.config
+    if cfg.kernel_backend is None:
+        # leave the process default (env or set_kernel_backend) in charge
+        return _execute_unit_body(plan, unit, cfg, get_backend)
+    with use_kernel_backend(cfg.kernel_backend):
+        return _execute_unit_body(plan, unit, cfg, get_backend)
+
+
+def _execute_unit_body(plan: ExecutionPlan, unit: WorkUnit,
+                       cfg: CampaignConfig, get_backend) -> UnitOutcome:
     programs = ProgramGenerator(cfg.generator, seed=cfg.seed)
     inputs = InputGenerator(cfg.generator, seed=cfg.seed + 1)
 

@@ -95,13 +95,14 @@ CREATE INDEX IF NOT EXISTS idx_outliers_signature
 def campaign_key(config: CampaignConfig) -> str:
     """Content-addressed campaign id over the config's *grid* fields.
 
-    Execution knobs (engine, jobs, chunk_size, output_dir) do not change
-    a single verdict, so they are excluded — a fleet run and the serial
+    Execution knobs (engine, jobs, chunk_size, kernel_backend,
+    output_dir) do not change a single verdict, so they are excluded — a fleet run and the serial
     run it is checked against share one campaign, and a restarted
     coordinator rejoins its predecessor's rows without coordination.
     """
     grid = dataclasses.replace(config, engine="serial", jobs=None,
-                               chunk_size=None, output_dir=None)
+                               chunk_size=None, kernel_backend=None,
+                               output_dir=None)
     blob = json.dumps(_to_dict(grid), sort_keys=True)
     return "c" + hashlib.sha256(blob.encode()).hexdigest()[:12]
 

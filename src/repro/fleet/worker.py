@@ -20,6 +20,7 @@ covered by lease expiry on the queue side.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 import uuid
@@ -27,6 +28,8 @@ import uuid
 from ..driver.engine import execute_unit
 from ..errors import FleetError
 from .queue import DEFAULT_AUTHKEY, QueueClient
+
+log = logging.getLogger(__name__)
 
 
 def default_worker_id() -> str:
@@ -66,8 +69,19 @@ def worker_loop(queue, *, worker_id: str | None = None, batch: int = 1,
                 try:
                     outcome = execute_unit(plan, lease.unit)
                 except Exception as exc:
-                    queue.fail(lease.unit_id,
-                               f"{type(exc).__name__}: {exc}", wid)
+                    try:
+                        queue.fail(lease.unit_id,
+                                   f"{type(exc).__name__}: {exc}", wid)
+                    except Exception as transport_exc:
+                        # the unit error must not vanish behind the
+                        # transport error: log it, then chain so both
+                        # tracebacks survive
+                        log.error(
+                            "unit %s failed (%s: %s) and reporting the "
+                            "failure also failed (%s: %s)",
+                            lease.unit_id, type(exc).__name__, exc,
+                            type(transport_exc).__name__, transport_exc)
+                        raise transport_exc from exc
                 else:
                     if queue.complete(lease.unit_id, outcome, wid):
                         completed += 1
@@ -79,8 +93,15 @@ def worker_loop(queue, *, worker_id: str | None = None, batch: int = 1,
             for lease in remaining:
                 try:
                     queue.fail(lease.unit_id, "worker interrupted", wid)
-                except Exception:
-                    pass
+                except Exception as transport_exc:
+                    # best-effort hand-back: lease expiry covers the unit
+                    # either way, but the operator should see why the
+                    # courtesy fail did not land
+                    log.warning(
+                        "could not hand lease %s back during interrupt "
+                        "(%s: %s); queue-side lease expiry will recover it",
+                        lease.unit_id, type(transport_exc).__name__,
+                        transport_exc)
             raise
     return completed
 

@@ -4,14 +4,35 @@ The simulated backend executes generated programs with exact IEEE
 semantics on a virtual clock.  A vendor's "compiler" lowers the AST to
 Python (:mod:`repro.sim.lower`); its "runtime" is a
 :class:`~repro.sim.runtime.RegionExecutor` cost model driven by hooks in
-the lowered code.
+the lowered code.  The lowered template is also lowered to a typed
+register IR (:mod:`repro.sim.ir`), from which a compiled C kernel
+(:mod:`repro.sim.ckernel`) or a bytecode VM (:mod:`repro.sim.vm`) can
+execute the same program byte-identically — see :mod:`repro.sim.backend`
+for selection and :func:`backend_info` for what is active and why.
 """
 
+from .backend import (active_kernel_backend, kernel_backend_info,
+                      set_kernel_backend, use_kernel_backend)
 from .counters import PerfCounters
 from .events import ProfileRecorder
 from .lower import CostState, Lowerer, LoweredKernel, RegionMeta
 from .runtime import RegionExecutor
-from .values import MATH_IMPLS, f32, fdiv, fma_d, fma_f, ftz_d, ftz_f
+from .values import (MATH_IMPLS, f32, fdiv, fma_d, fma_f, ftz_d, ftz_f,
+                     native_values_active, native_values_info)
+
+
+def backend_info() -> dict:
+    """One dict answering "what is actually executing kernels, and why":
+    the native value helpers' load record, the kernel-backend selection
+    record, and the compiled-kernel build counters."""
+    from . import ckernel
+
+    return {
+        "native_values": native_values_info(),
+        "kernel_backend": kernel_backend_info(),
+        "ckernel": ckernel.build_info(),
+    }
+
 
 __all__ = [
     "CostState",
@@ -22,10 +43,17 @@ __all__ = [
     "ProfileRecorder",
     "RegionExecutor",
     "RegionMeta",
+    "active_kernel_backend",
+    "backend_info",
     "f32",
     "fdiv",
     "fma_d",
     "fma_f",
     "ftz_d",
     "ftz_f",
+    "kernel_backend_info",
+    "native_values_active",
+    "native_values_info",
+    "set_kernel_backend",
+    "use_kernel_backend",
 ]

@@ -35,6 +35,7 @@ import subprocess
 import sys
 import sysconfig
 import tempfile
+import warnings
 from hashlib import sha256
 from pathlib import Path
 
@@ -174,6 +175,22 @@ PyMODINIT_FUNC PyInit__repro_native_values(void) {
 """
 
 
+#: why the last :func:`load` attempt succeeded or fell back — the
+#: anti-silent-fallback record (see :func:`load_info`)
+_LOAD_INFO: dict = {
+    "active": False,
+    "requested": False,
+    "reason": "load() not called yet",
+}
+
+
+def load_info() -> dict:
+    """How the native-values load went: ``active`` (compiled helpers in
+    use), ``requested`` (``REPRO_NATIVE_VALUES`` explicitly enabled it),
+    and the human-readable ``reason`` for the current state."""
+    return dict(_LOAD_INFO)
+
+
 def _cache_dir() -> Path:
     override = os.environ.get("REPRO_NATIVE_CACHE")
     if override:
@@ -215,34 +232,60 @@ def _find_cc() -> str | None:
     return None
 
 
-def _build(cc: str, out: Path) -> bool:
+def build_shared_object(cc: str, c_source: str, out: Path,
+                        extra_flags: tuple[str, ...] = ()) -> tuple[bool, str]:
+    """Compile ``c_source`` into the shared object ``out``.
+
+    Shared by the value-helper module and the kernel backend
+    (:mod:`repro.sim.ckernel`).  Returns ``(ok, reason)`` — the reason
+    is a short diagnostic (including a stderr snippet on compiler
+    errors) instead of the old silent ``False``.  The final rename is
+    atomic, so concurrent builders race harmlessly.
+    """
     include = sysconfig.get_paths()["include"]
-    out.parent.mkdir(parents=True, exist_ok=True)
-    src = out.with_suffix(".c")
-    src.write_text(_C_SOURCE)
+    try:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        src = out.with_suffix(".c")
+        src.write_text(c_source)
+    except OSError as exc:
+        return False, f"cannot write build inputs: {exc}"
     tmp = out.with_name(out.name + f".tmp{os.getpid()}")
-    cmd = [cc, "-O2", "-fPIC", "-shared", f"-I{include}",
+    cmd = [cc, "-O2", "-fPIC", "-shared", *extra_flags, f"-I{include}",
            str(src), "-o", str(tmp)]
     if sys.platform == "darwin":
         cmd[4:4] = ["-undefined", "dynamic_lookup"]
     try:
         proc = subprocess.run(cmd, capture_output=True, timeout=120)
-    except (OSError, subprocess.TimeoutExpired):
-        return False
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        return False, f"compiler did not run: {type(exc).__name__}: {exc}"
     if proc.returncode != 0:
-        return False
-    os.replace(tmp, out)  # atomic: concurrent builders race harmlessly
-    return True
+        tail = proc.stderr.decode(errors="replace").strip().splitlines()
+        snippet = "; ".join(tail[-3:]) if tail else "no compiler output"
+        return False, f"compiler exited {proc.returncode}: {snippet}"
+    try:
+        os.replace(tmp, out)
+    except OSError as exc:
+        return False, f"cannot install built object: {exc}"
+    return True, ""
 
 
-def _import_from(path: Path):
-    spec = importlib.util.spec_from_file_location("_repro_native_values",
-                                                  path)
+def _build(cc: str, out: Path) -> bool:
+    return build_shared_object(cc, _C_SOURCE, out)[0]
+
+
+def import_shared_object(path: Path, name: str = "_repro_native_values"):
+    """Import an extension module from an explicit path (the module's
+    ``PyInit_<name>`` must match ``name``)."""
+    spec = importlib.util.spec_from_file_location(name, path)
     if spec is None or spec.loader is None:
         return None
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _import_from(path: Path):
+    return import_shared_object(path)
 
 
 def _verify(native) -> bool:
@@ -296,32 +339,63 @@ def _verify(native) -> bool:
     return True
 
 
+def _fall_back(reason: str):
+    _LOAD_INFO["active"] = False
+    _LOAD_INFO["reason"] = reason
+    if _LOAD_INFO["requested"]:
+        # Explicitly asked for and not delivered: one warning (warnings
+        # dedupes by message+location), not a silent mode switch that
+        # makes benchmarks compare different implementations.
+        warnings.warn(
+            f"REPRO_NATIVE_VALUES requested but native helpers are "
+            f"unavailable, using pure-Python fallback: {reason}",
+            RuntimeWarning, stacklevel=3)
+    return None
+
+
 def load():
     """Return the verified native module, or ``None`` (pure-Python mode).
 
     Never raises: any failure — disabled via ``REPRO_NATIVE_VALUES=0``,
     no compiler, sandboxed build, verification mismatch — degrades to the
-    Python helpers.
+    Python helpers.  Unlike the original silent fallback, every outcome
+    is recorded in :func:`load_info`, and an explicit
+    ``REPRO_NATIVE_VALUES=1`` request that cannot be honoured emits a
+    one-time :class:`RuntimeWarning`.
     """
-    if os.environ.get("REPRO_NATIVE_VALUES", "1").lower() in ("0", "no",
-                                                              "off"):
+    env = os.environ.get("REPRO_NATIVE_VALUES")
+    _LOAD_INFO["requested"] = (env is not None
+                               and env.lower() not in ("0", "no", "off"))
+    if env is not None and env.lower() in ("0", "no", "off"):
+        _LOAD_INFO["active"] = False
+        _LOAD_INFO["reason"] = "disabled via REPRO_NATIVE_VALUES"
         return None
     if sys.implementation.name != "cpython":
-        return None
+        return _fall_back(
+            f"non-CPython interpreter ({sys.implementation.name})")
     try:
         suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
         key = sha256((_C_SOURCE + suffix).encode()).hexdigest()[:16]
         cache_dir = _cache_dir()
         if not _cache_dir_trusted(cache_dir):
-            return None
+            return _fall_back(f"untrusted cache dir {cache_dir} (not "
+                              f"uid-owned 0700)")
         out = cache_dir / f"_repro_native_values-{key}{suffix}"
         if not out.exists():
             cc = _find_cc()
-            if cc is None or not _build(cc, out):
-                return None
+            if cc is None:
+                return _fall_back("no C compiler found (CC/cc/gcc/clang)")
+            ok, why = build_shared_object(cc, _C_SOURCE, out)
+            if not ok:
+                return _fall_back(f"build failed: {why}")
         native = _import_from(out)
-        if native is None or not _verify(native):
-            return None
+        if native is None:
+            return _fall_back(f"cannot import built module {out}")
+        if not _verify(native):
+            return _fall_back("verification mismatch: compiled helpers "
+                              "disagree with Python reference bits")
+        _LOAD_INFO["active"] = True
+        _LOAD_INFO["reason"] = "compiled helpers verified and active"
         return native
-    except Exception:
-        return None
+    except Exception as exc:
+        return _fall_back(f"loader exception: {type(exc).__name__}: {exc}")

@@ -1,0 +1,502 @@
+"""Typed register IR for lowered kernels — the backend-neutral middle layer.
+
+The structural pass (:class:`repro.sim.lower.StructuralLowerer`) emits two
+artifacts from one AST walk: the Python template that the interpreted
+backend ``exec``'s, and a :class:`KernelIR` — a small typed IR whose ops
+mirror the template line for line.  Building both from the same walk is
+what makes the compiled backends (:mod:`repro.sim.vm`,
+:mod:`repro.sim.ckernel`) byte-identical to the interpreter by
+construction: every operation the template performs — each FP op with its
+f32/FTZ/FMA/libm wrap, each fused cost charge against the ``_K``
+constants tuple, each runtime hook in order — has exactly one IR op, and
+the backends only differ in how they *execute* that op.
+
+Value semantics carried by the IR:
+
+* **FP expressions** evaluate in binary64; each op result carries a wrap
+  code (:data:`W_NONE`/:data:`W_F32`/:data:`W_F32Z`/:data:`W_FTZ`)
+  selecting the same rounding/flush helpers of :mod:`repro.sim.values`
+  the template calls.  :class:`FFma` keeps the long-double contraction
+  model; :class:`FCall` names a :data:`repro.sim.values.MATH_IMPLS`
+  entry.  Division is IEEE-total (``x/0 -> ±inf``, ``0/0 -> nan``).
+* **Index expressions** are exact Python ``int`` arithmetic, including
+  Python's floored ``%``/``//`` and negative-index wrap-around on array
+  access (out-of-range raises ``IndexError``, as the template would).
+* **Cost charges** add ``_K``-slot constants (and branch literals) to
+  the four local accumulator lanes; :class:`Flush`/:class:`Reload`
+  exchange the lanes with the shared
+  :class:`~repro.sim.lower.CostState` exactly where the template does.
+* **Hooks** call the :class:`~repro.sim.runtime.RegionExecutor` by
+  method name, with or without the ``_tid`` argument.
+
+The IR is deliberately structured (loops and ifs nest, like the
+template) rather than a flat CFG: the backends are a tree-walking
+bytecode compiler and a C emitter, and neither needs more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# wrap codes: what happens to one FP op's binary64 result
+# ----------------------------------------------------------------------
+
+W_NONE = 0  #: double program, no FTZ: the raw binary64 result
+W_F32 = 1   #: float program: round to binary32 (values.f32)
+W_F32Z = 2  #: float program under FTZ: round + flush (values.f32z)
+W_FTZ = 3   #: double program under FTZ: flush subnormals (values.ftz_d)
+
+
+def wrap_code(fp32: bool, ftz: bool) -> int:
+    """The wrap every arithmetic result gets for one kernel shape."""
+    if fp32:
+        return W_F32Z if ftz else W_F32
+    return W_FTZ if ftz else W_NONE
+
+
+# ----------------------------------------------------------------------
+# FP expressions (evaluate to a Python float / C double)
+# ----------------------------------------------------------------------
+
+@dataclass(slots=True)
+class FLit:
+    """A folded constant — bit-exact: the lowerer already applied the
+    helper functions, so backends just load the value."""
+
+    v: float
+
+
+@dataclass(slots=True)
+class FVar:
+    name: str
+
+
+@dataclass(slots=True)
+class ALoad:
+    """``arr[idx]`` with Python list semantics (negative wrap,
+    ``IndexError`` out of range)."""
+
+    arr: str
+    idx: "IExpr"
+
+
+@dataclass(slots=True)
+class IToF:
+    """``float(<int expr>)`` — int params and ``_tid`` used as values."""
+
+    ix: "IExpr"
+
+
+@dataclass(slots=True)
+class FNeg:
+    """Sign flip, no wrap (negation is exact)."""
+
+    x: "FExpr"
+
+
+@dataclass(slots=True)
+class FBin:
+    """One arithmetic op; ``op`` in ``'+-*/'``; result gets ``wrap``.
+
+    Division is IEEE-total (:func:`repro.sim.values.fdiv` semantics);
+    the template's plain-``/`` fast path only triggers for nonzero
+    constant divisors, where the two are bit-identical.
+    """
+
+    op: str
+    a: "FExpr"
+    b: "FExpr"
+    wrap: int
+
+
+@dataclass(slots=True)
+class FFma:
+    """Contracted multiply-add ``round(a*b + c)``.
+
+    ``fp32`` selects :func:`~repro.sim.values.fma_f` (exact inside
+    binary64, final round to binary32) versus
+    :func:`~repro.sim.values.fma_d` (x87 long-double recovery, NaN
+    operands propagate); ``ftz`` applies the matching flush *after* the
+    contraction, exactly as the template chains ``_ftzf(_fmaf(...))``.
+    """
+
+    a: "FExpr"
+    b: "FExpr"
+    c: "FExpr"
+    fp32: bool
+    ftz: bool
+
+
+@dataclass(slots=True)
+class FCall:
+    """IEEE-total libm call (a :data:`repro.sim.values.MATH_IMPLS` name);
+    the result gets ``wrap`` like any other op."""
+
+    func: str
+    arg: "FExpr"
+    wrap: int
+
+
+FExpr = FLit | FVar | ALoad | IToF | FNeg | FBin | FFma | FCall
+
+
+@dataclass(slots=True)
+class Cmp:
+    """``(lhs) op (rhs)`` over floats; ``op`` is the C/Python symbol."""
+
+    lhs: FExpr
+    op: str
+    rhs: FExpr
+
+
+# ----------------------------------------------------------------------
+# index (int) expressions — exact Python int arithmetic
+# ----------------------------------------------------------------------
+
+@dataclass(slots=True)
+class ILit:
+    v: int
+
+
+@dataclass(slots=True)
+class IVar:
+    name: str
+
+
+@dataclass(slots=True)
+class IMax0:
+    """``max(0, var)`` — the loop-bound clamp on int parameters."""
+
+    name: str
+
+
+@dataclass(slots=True)
+class IMod:
+    """``(base) % modulus`` with a positive constant modulus (Python's
+    floored ``%``, so the result is always in range)."""
+
+    base: "IExpr"
+    modulus: int
+
+
+@dataclass(slots=True)
+class IMul:
+    a: "IExpr"
+    b: "IExpr"
+
+
+@dataclass(slots=True)
+class IFloorDiv:
+    """Python ``//`` (operands are non-negative in generated code, but
+    backends implement the floored semantics anyway)."""
+
+    a: "IExpr"
+    b: "IExpr"
+
+
+@dataclass(slots=True)
+class IModV:
+    """Python ``%`` with a variable modulus (collapse(2) remainder)."""
+
+    a: "IExpr"
+    b: "IExpr"
+
+
+IExpr = ILit | IVar | IMax0 | IMod | IMul | IFloorDiv | IModV
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+@dataclass(slots=True)
+class SetVar:
+    """FP scalar assignment (also covers declare-and-init and the
+    private save/restore copies)."""
+
+    name: str
+    e: FExpr
+
+
+@dataclass(slots=True)
+class SetIVar:
+    """Int scalar assignment (collapse bookkeeping: ``_n2``/``_n``,
+    derived induction variables)."""
+
+    name: str
+    e: IExpr
+
+
+@dataclass(slots=True)
+class AStore:
+    arr: str
+    idx: IExpr
+    e: FExpr
+
+
+@dataclass(slots=True)
+class Charge:
+    """One fused accumulator update.
+
+    ``lane`` is 0 for ``_cy``, 1 for ``_ccy`` (inside critical
+    sections); ``k_cy``/``k_ins`` index the ``_K`` constants tuple
+    (``None`` when that component is structurally zero); ``br`` is the
+    vendor-independent branch literal.  Runtime-parameter constants
+    (atomic RMW, single arrival, ...) are a ``Charge`` with only
+    ``k_cy`` set — always on lane 0, like the template.
+    """
+
+    lane: int
+    k_cy: int | None
+    k_ins: int | None
+    br: float
+
+
+@dataclass(slots=True)
+class Flush:
+    """Write the four local lanes to the shared ``CostState``."""
+
+
+@dataclass(slots=True)
+class Reload:
+    """Read the four local lanes back from the shared ``CostState``."""
+
+
+@dataclass(slots=True)
+class Hook:
+    """``_rt.<name>()`` — a cost-transparent or flushed-around runtime
+    hook; ``tid`` appends the current ``_tid`` argument."""
+
+    name: str
+    tid: bool
+
+
+@dataclass(slots=True)
+class RegionEnter:
+    rid: int
+
+
+@dataclass(slots=True)
+class RegionExit:
+    """``comp = _rt.region_exit(rid, comp, partials|None, op)``."""
+
+    rid: int
+    comp: str
+    has_partials: bool
+    op: str | None
+
+
+@dataclass(slots=True)
+class InitPartials:
+    """``_partials = []`` at region start (reduction regions only)."""
+
+
+@dataclass(slots=True)
+class AppendPartial:
+    """``_partials.append(<var>)`` at each thread's end."""
+
+    name: str
+
+
+@dataclass(slots=True)
+class Chunk:
+    """``_lo_<label>, _hi_<label> = _rt.chunk(_tid, n)`` — the default
+    static schedule's two-endpoint form."""
+
+    label: str
+    n: IExpr
+
+
+@dataclass(slots=True)
+class ForRange:
+    """``for var in range(lo, hi)`` (bounds evaluated once, at entry)."""
+
+    var: str
+    lo: IExpr
+    hi: IExpr
+    body: list
+
+
+@dataclass(slots=True)
+class ForAssign:
+    """``for var in _rt.assign(_tid, n, kind, chunk)`` — explicitly
+    scheduled worksharing iterations."""
+
+    var: str
+    n: IExpr
+    kind: str
+    chunk: int
+    body: list
+
+
+@dataclass(slots=True)
+class ForList:
+    """``for var in <queue>`` over a live task queue: appends made by
+    the body are picked up by the iteration, exactly like Python list
+    iteration (task bodies may spawn further tasks)."""
+
+    queue: str
+    var: str
+    body: list
+
+
+@dataclass(slots=True)
+class QNew:
+    """``<queue> = []`` — a section arm's deterministic task queue."""
+
+    queue: str
+
+
+@dataclass(slots=True)
+class QPush:
+    """``<queue>.append(k)`` — defer task ``k`` in spawn order."""
+
+    queue: str
+    k: int
+
+
+@dataclass(slots=True)
+class QClear:
+    """``del <queue>[:]`` after the drain."""
+
+    queue: str
+
+
+@dataclass(slots=True)
+class If:
+    cond: Cmp
+    body: list
+
+
+@dataclass(slots=True)
+class IfIntEq:
+    """``if <var> == k:`` — single's thread-0 guard, sections' round-
+    robin arm guards, the task drain's dispatch compare chain."""
+
+    var: str
+    k: int
+    body: list
+
+
+@dataclass(slots=True)
+class LoadInt:
+    """``name = _args[name]`` for an int parameter."""
+
+    name: str
+
+
+@dataclass(slots=True)
+class LoadScalar:
+    """FP scalar parameter load; ``wrap`` applies the program's
+    binary32/FTZ conversion on entry."""
+
+    name: str
+    wrap: int
+
+
+#: LoadArray modes: plain copy, or DAZ flush per element on load
+A_COPY = 0
+A_FTZ_D = 1
+A_FTZ_F = 2
+
+
+@dataclass(slots=True)
+class LoadArray:
+    name: str
+    mode: int
+
+
+@dataclass(slots=True)
+class Return:
+    name: str
+
+
+Stmt = (SetVar | SetIVar | AStore | Charge | Flush | Reload | Hook
+        | RegionEnter | RegionExit | InitPartials | AppendPartial | Chunk
+        | ForRange | ForAssign | ForList | QNew | QPush | QClear | If
+        | IfIntEq | LoadInt | LoadScalar | LoadArray | Return)
+
+
+# ----------------------------------------------------------------------
+# the kernel container + the builder the structural pass drives
+# ----------------------------------------------------------------------
+
+@dataclass(slots=True)
+class KernelIR:
+    """One kernel shape's complete IR plus its symbol registries.
+
+    ``n_constants`` sizes the ``_K`` tuple; the registries list every
+    local the backends must declare, partitioned by type (names are
+    globally unique within a kernel, so one namespace suffices for
+    slots while C gets typed declarations).
+    """
+
+    ops: list = field(default_factory=list)
+    n_constants: int = 0
+    comp: str = ""
+    fp_vars: tuple[str, ...] = ()
+    int_vars: tuple[str, ...] = ()
+    arrays: tuple[str, ...] = ()
+    queues: tuple[str, ...] = ()
+    math_funcs: tuple[str, ...] = ()
+    fp32: bool = False
+    ftz: bool = False
+
+
+class IrBuilder:
+    """Block-structured emission helper for :class:`StructuralLowerer`.
+
+    ``emit`` appends to the innermost open block; ``push``/``pop``
+    bracket loop and branch bodies around the existing ``block()``
+    recursion, so the op order inside each block is exactly the
+    template's line order.
+    """
+
+    def __init__(self) -> None:
+        self.ops: list = []
+        self._stack: list[list] = [self.ops]
+        # ordered sets (dict keys) so declarations are deterministic
+        self._fp: dict[str, None] = {}
+        self._int: dict[str, None] = {}
+        self._arr: dict[str, None] = {}
+        self._q: dict[str, None] = {}
+
+    def emit(self, op: Stmt) -> None:
+        self._stack[-1].append(op)
+
+    def push(self) -> None:
+        self._stack.append([])
+
+    def pop(self) -> list:
+        if len(self._stack) <= 1:
+            raise ValueError("unbalanced IR pop")
+        return self._stack.pop()
+
+    # -- symbol registries ---------------------------------------------
+    def fvar(self, name: str) -> str:
+        self._fp[name] = None
+        return name
+
+    def ivar(self, name: str) -> str:
+        self._int[name] = None
+        return name
+
+    def array(self, name: str) -> str:
+        self._arr[name] = None
+        return name
+
+    def queue(self, name: str) -> str:
+        self._q[name] = None
+        return name
+
+    def finish(self, *, n_constants: int, comp: str,
+               math_funcs: tuple[str, ...], fp32: bool,
+               ftz: bool) -> KernelIR:
+        if len(self._stack) != 1:
+            raise ValueError("unbalanced IR builder at finish")
+        return KernelIR(ops=self.ops, n_constants=n_constants, comp=comp,
+                        fp_vars=tuple(self._fp), int_vars=tuple(self._int),
+                        arrays=tuple(self._arr), queues=tuple(self._q),
+                        math_funcs=math_funcs, fp32=fp32, ftz=ftz)

@@ -70,6 +70,19 @@ class CacheStats:
             "hit_rate": round(self.hit_rate, 4),
         }
 
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """The delta between this snapshot and an ``earlier`` one —
+        per-phase/per-campaign counters instead of totals-since-creation
+        (meaningless in a long-lived fleet worker)."""
+        return CacheStats(
+            structural_hits=self.structural_hits - earlier.structural_hits,
+            structural_misses=(self.structural_misses
+                               - earlier.structural_misses),
+            kernel_hits=self.kernel_hits - earlier.kernel_hits,
+            kernel_misses=self.kernel_misses - earlier.kernel_misses,
+            evictions=self.evictions - earlier.evictions,
+        )
+
 
 class _LruMap:
     """A tiny bounded LRU over OrderedDict (thread-safety lives above)."""
@@ -150,6 +163,26 @@ class KernelCache:
                 evictions=(self._structural.evictions
                            + self._kernels.evictions),
             )
+
+    def snapshot(self) -> CacheStats:
+        """An immutable snapshot of the counters, for later delta-ing
+        with :meth:`CacheStats.since` (per-campaign accounting)."""
+        return self.stats()
+
+    def reset(self) -> None:
+        """Zero every counter (entries stay cached).
+
+        A long-lived worker serves many campaigns from one cache; after
+        ``reset()`` the next :meth:`stats` reads as if the cache were
+        freshly created, without losing its warm entries.
+        """
+        with self._lock:
+            self._shits = 0
+            self._smisses = 0
+            self._khits = 0
+            self._kmisses = 0
+            self._structural.evictions = 0
+            self._kernels.evictions = 0
 
     def clear(self) -> None:
         """Drop every entry (counters keep accumulating)."""

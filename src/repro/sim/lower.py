@@ -84,6 +84,7 @@ from ..core.nodes import (
 from typing import TYPE_CHECKING
 
 from ..core.types import AssignOpKind, BinOpKind, FPType
+from . import ir as _ir
 from .fptransforms import FusedMulAdd, opt_cycle_scale
 from .values import MATH_IMPLS, f32, f32z, fdiv, fma_d, fma_f, ftz_d, ftz_f
 from .writer_util import PyWriter
@@ -322,6 +323,13 @@ class StructuralKernel:
     n_constants: int
     regions: list[RegionMeta]
     uses_math: tuple[str, ...]
+    #: the backend-neutral typed IR built during the same walk that
+    #: emitted the template (see :mod:`repro.sim.ir`)
+    ir: object = field(default=None, repr=False, compare=False)
+    #: per-shape compiled artifacts (VM bytecode, C extension module),
+    #: lazily populated by the backends and shared across vendors
+    backend_cache: dict = field(default_factory=dict, repr=False,
+                                compare=False)
 
 
 @dataclass
@@ -333,18 +341,46 @@ class LoweredKernel:
     constants: tuple[float, ...] = ()
     regions: list[RegionMeta] = field(default_factory=list)
     uses_math: tuple[str, ...] = ()
-    _entry: object = field(default=None, repr=False, compare=False)
+    #: the shape this kernel was bound from (the compiled backends need
+    #: its IR; ``None`` only for hand-built kernels in tests)
+    structural: object = field(default=None, repr=False, compare=False)
+    _entries: dict = field(default_factory=dict, repr=False, compare=False)
 
-    def bind(self) -> object:
-        """The ``_kernel`` callable; the exec'd module is memoized so
-        repeated binds (every execution site, every input) reuse one
-        function object instead of re-exec'ing the module code."""
-        if self._entry is None:
-            ns = dict(_HELPERS)
-            ns["_K"] = self.constants
-            exec(self.code, ns)  # noqa: S102 - our own generated code
-            self._entry = ns["_kernel"]
-        return self._entry
+    def bind(self, backend: str | None = None) -> object:
+        """The ``_kernel`` callable for ``backend`` (default: the
+        process-active :func:`repro.sim.backend.active_kernel_backend`).
+
+        Entries are memoized per backend, so repeated binds (every
+        execution site, every input) reuse one callable instead of
+        re-exec'ing / re-compiling.  The compiled backends fall back to
+        the interpreted entry — recording why — when unavailable.
+        """
+        if backend is None:
+            from .backend import active_kernel_backend
+            backend = active_kernel_backend()
+        entry = self._entries.get(backend)
+        if entry is None:
+            entry = self._make_entry(backend)
+            self._entries[backend] = entry
+        return entry
+
+    def _make_entry(self, backend: str) -> object:
+        if backend != "interp" and self.structural is not None \
+                and getattr(self.structural, "ir", None) is not None:
+            if backend == "vm":
+                from .vm import bind_vm
+                return bind_vm(self.structural, self.constants)
+            if backend == "c":
+                from .ckernel import bind_c
+                entry = bind_c(self.structural, self.constants)
+                if entry is not None:
+                    return entry
+                # unavailable (no toolchain / untrusted cache / build
+                # failure): sim.backend recorded the reason and warned
+        ns = dict(_HELPERS)
+        ns["_K"] = self.constants
+        exec(self.code, ns)  # noqa: S102 - our own generated code
+        return ns["_kernel"]
 
 
 # ======================================================================
@@ -366,6 +402,9 @@ class StructuralLowerer:
         self.fp32 = program.fp_type is FPType.FLOAT
         self.ftz = ftz
         self.w = PyWriter()
+        #: IR built in lockstep with the template (same walk, same order)
+        self.b = _ir.IrBuilder()
+        self._wrapc = _ir.wrap_code(self.fp32, ftz)
         self.regions: list[RegionMeta] = []
         self.math_used: set[str] = set()
         self.sites: list[object] = []
@@ -405,8 +444,8 @@ class StructuralLowerer:
     def expr(self, e: Expr) -> str:
         return self._expr(e)[0]
 
-    def _expr(self, e: Expr) -> tuple[str, float | None]:
-        """(source text, folded constant value or None).
+    def _expr(self, e: Expr) -> tuple[str, float | None, object]:
+        """(source text, folded constant value or None, IR expression).
 
         Subtrees whose leaves are all numerals are evaluated once at
         lowering time — with the very helper functions the emitted code
@@ -414,95 +453,123 @@ class StructuralLowerer:
         round-trips floats exactly).  Folding changes only the executed
         bytecode: the static cost model still charges the full tree, so
         costs, counters, and results match unfolded execution exactly.
+        The IR mirrors the emitted text op for op (folded subtrees
+        become :class:`~repro.sim.ir.FLit` of the same float), so every
+        backend evaluates exactly what the template evaluates.
         """
         if isinstance(e, FPNumeral):
             v = f32(e.value) if self.fp32 else e.value
-            return repr(v), v
+            return repr(v), v, _ir.FLit(v)
         if isinstance(e, IntNumeral):
             v = float(e.value)
-            return repr(v), v
+            return repr(v), v, _ir.FLit(v)
         if isinstance(e, VarRef):
             name = self._subst.get(e.var.name, e.var.name)
-            return (name, None) if e.var.is_fp else (f"float({name})", None)
+            if e.var.is_fp:
+                return name, None, _ir.FVar(self.b.fvar(name))
+            return (f"float({name})", None,
+                    _ir.IToF(_ir.IVar(self.b.ivar(name))))
         if isinstance(e, ArrayRef):
-            return f"{e.var.name}[{self.index(e.index)}]", None
+            idx, idx_ir = self._index(e.index)
+            return (f"{e.var.name}[{idx}]", None,
+                    _ir.ALoad(self.b.array(e.var.name), idx_ir))
         if isinstance(e, ThreadIdx):
-            return "float(_tid)", None
+            return "float(_tid)", None, _ir.IToF(_ir.IVar("_tid"))
         if isinstance(e, Paren):
             return self._expr(e.inner)  # grouping is explicit in our output
         if isinstance(e, UnaryOp):
-            inner, v = self._expr(e.operand)
+            inner, v, iv = self._expr(e.operand)
             if e.op == "+":
-                return inner, v
+                return inner, v, iv
             if v is not None:
                 folded = -v
-                return repr(folded), folded
-            return f"(-({inner}))", None
+                return repr(folded), folded, _ir.FLit(folded)
+            return f"(-({inner}))", None, _ir.FNeg(iv)
         if isinstance(e, BinOp):
-            (lhs, lv), (rhs, rv) = self._expr(e.lhs), self._expr(e.rhs)
+            (lhs, lv, li), (rhs, rv, ri) = self._expr(e.lhs), self._expr(e.rhs)
             if e.op is BinOpKind.DIV:
                 if lv is not None and rv is not None:
                     folded = self._wrap_value(fdiv(lv, rv))
                     if isfinite(folded):  # inf/nan have no source literal
-                        return repr(folded), folded
+                        return repr(folded), folded, _ir.FLit(folded)
+                div_ir = _ir.FBin("/", li, ri, self._wrapc)
                 if rv is not None and rv != 0.0:
                     # nonzero (or nan) constant divisor: Python's own `/`
                     # is IEEE-identical and never raises — skip the
                     # ZeroDivisionError-translating helper call
-                    return self._wrap(f"({lhs} / {rhs})"), None
-                return self._wrap(f"_div({lhs}, {rhs})"), None
+                    return self._wrap(f"({lhs} / {rhs})"), None, div_ir
+                return self._wrap(f"_div({lhs}, {rhs})"), None, div_ir
             if lv is not None and rv is not None:
                 op = e.op
                 raw = (lv + rv if op is BinOpKind.ADD else
                        lv - rv if op is BinOpKind.SUB else lv * rv)
                 folded = self._wrap_value(raw)
                 if isfinite(folded):
-                    return repr(folded), folded
-            return self._wrap(f"({lhs} {_OPSYM[e.op]} {rhs})"), None
+                    return repr(folded), folded, _ir.FLit(folded)
+            sym = _OPSYM[e.op]
+            return (self._wrap(f"({lhs} {sym} {rhs})"), None,
+                    _ir.FBin(sym, li, ri, self._wrapc))
         if isinstance(e, FusedMulAdd):
-            a, av = self._expr(e.a)
-            b, bv = self._expr(e.b)
-            c, cv = self._expr(e.c)
+            a, av, ai = self._expr(e.a)
+            b, bv, bi = self._expr(e.b)
+            c, cv, ci = self._expr(e.c)
             if av is not None and e.negate_product:
                 av, a = -av, repr(-av)
+                ai = _ir.FLit(av)
             elif e.negate_product:
-                a = f"(-({a}))"
+                a, ai = f"(-({a}))", _ir.FNeg(ai)
             if av is not None and bv is not None and cv is not None:
                 folded = fma_f(av, bv, cv) if self.fp32 else fma_d(av, bv, cv)
                 if self.ftz:
                     folded = ftz_f(folded) if self.fp32 else ftz_d(folded)
                 if isfinite(folded):
-                    return repr(folded), folded
+                    return repr(folded), folded, _ir.FLit(folded)
             fn = "_fmaf" if self.fp32 else "_fma"
             text = f"{fn}({a}, {b}, {c})"
             if self.ftz:
                 text = f"_ftzf({text})" if self.fp32 else f"_ftz({text})"
-            return text, None
+            return text, None, _ir.FFma(ai, bi, ci, self.fp32, self.ftz)
         if isinstance(e, MathCall):
             self.math_used.add(e.func)
-            arg, av = self._expr(e.arg)
+            arg, av, argi = self._expr(e.arg)
             if av is not None:
                 folded = self._wrap_value(MATH_IMPLS[e.func](av))
                 if isfinite(folded):
-                    return repr(folded), folded
-            return self._wrap(f"_m_{e.func}({arg})"), None
+                    return repr(folded), folded, _ir.FLit(folded)
+            return (self._wrap(f"_m_{e.func}({arg})"), None,
+                    _ir.FCall(e.func, argi, self._wrapc))
         raise TypeError(f"cannot lower expression {type(e).__name__}")
 
     def index(self, idx) -> str:
+        return self._index(idx)[0]
+
+    def _index(self, idx) -> tuple[str, object]:
         if isinstance(idx, IntNumeral):
-            return str(idx.value)
+            return str(idx.value), _ir.ILit(idx.value)
         if isinstance(idx, VarRef):
-            return self._subst.get(idx.var.name, idx.var.name)
+            name = self._subst.get(idx.var.name, idx.var.name)
+            return name, _ir.IVar(self.b.ivar(name))
         if isinstance(idx, ThreadIdx):
-            return "_tid"
+            return "_tid", _ir.IVar("_tid")
         if isinstance(idx, ModIdx):
-            return f"({self.index(idx.base)}) % {idx.modulus}"
+            base, base_ir = self._index(idx.base)
+            return (f"({base}) % {idx.modulus}",
+                    _ir.IMod(base_ir, idx.modulus))
         raise TypeError(f"cannot lower index {type(idx).__name__}")
 
     def bool_expr(self, b: BoolExpr) -> str:
-        lhs = (self.expr(b.lhs) if isinstance(b.lhs, VarRef)
-               else f"{b.lhs.var.name}[{self.index(b.lhs.index)}]")
-        return f"({lhs}) {b.op.value} ({self.expr(b.rhs)})"
+        return self._bool(b)[0]
+
+    def _bool(self, b: BoolExpr) -> tuple[str, object]:
+        if isinstance(b.lhs, VarRef):
+            lhs, _, lhs_ir = self._expr(b.lhs)
+        else:
+            idx, idx_ir = self._index(b.lhs.index)
+            lhs = f"{b.lhs.var.name}[{idx}]"
+            lhs_ir = _ir.ALoad(self.b.array(b.lhs.var.name), idx_ir)
+        rhs, _, rhs_ir = self._expr(b.rhs)
+        return (f"({lhs}) {b.op.value} ({rhs})",
+                _ir.Cmp(lhs_ir, b.op.value, rhs_ir))
 
     # ==================================================================
     # charge-site emission
@@ -537,6 +604,8 @@ class StructuralLowerer:
             self.sites.append(site)
         if parts:
             self.w.line("; ".join(parts))
+            self.b.emit(_ir.Charge(1 if self._in_crit else 0, site.k_cy,
+                                   site.k_ins, float(br)))
 
     def _runtime_const(self, param: str) -> None:
         """Charge one unscaled runtime-parameter constant on the cycle
@@ -545,18 +614,31 @@ class StructuralLowerer:
         k = self._alloc()
         self.sites.append(RuntimeConstSite(param, k))
         self.w.line(f"_cy += _K{k}")
+        self.b.emit(_ir.Charge(0, k, None, 0.0))
 
     # ==================================================================
     # statement emission
     # ==================================================================
     def _emit_assignment(self, s: Assignment) -> None:
-        rhs, rv = self._expr(s.expr)
+        rhs, rv, rhs_ir = self._expr(s.expr)
         if isinstance(s.target, VarRef):
             name = self._subst.get(s.target.var.name, s.target.var.name)
+            idx_ir = None
+            load_ir: object = _ir.FVar(self.b.fvar(name))
         else:
-            name = f"{s.target.var.name}[{self.index(s.target.index)}]"
+            idx, idx_ir = self._index(s.target.index)
+            name = f"{s.target.var.name}[{idx}]"
+            load_ir = _ir.ALoad(self.b.array(s.target.var.name), idx_ir)
+
+        def store(e_ir: object) -> None:
+            if idx_ir is None:
+                self.b.emit(_ir.SetVar(name, e_ir))
+            else:
+                self.b.emit(_ir.AStore(s.target.var.name, idx_ir, e_ir))
+
         if s.op is AssignOpKind.ASSIGN:
             self.w.line(f"{name} = {rhs}")
+            store(rhs_ir)
             return
         binop = s.op.binop
         assert binop is not None
@@ -565,15 +647,19 @@ class StructuralLowerer:
                 self.w.line(f"{name} = {self._wrap(f'({name} / {rhs})')}")
             else:
                 self.w.line(f"{name} = {self._wrap(f'_div({name}, {rhs})')}")
+            store(_ir.FBin("/", load_ir, rhs_ir, self._wrapc))
         else:
             self.w.line(
                 f"{name} = {self._wrap(f'({name} {_OPSYM[binop]} {rhs})')}")
+            store(_ir.FBin(_OPSYM[binop], load_ir, rhs_ir, self._wrapc))
 
     def _emit_simple(self, s) -> None:
         if isinstance(s, Assignment):
             self._emit_assignment(s)
         elif isinstance(s, DeclAssign):
-            self.w.line(f"{s.var.name} = {self.expr(s.expr)}")
+            text, _, e_ir = self._expr(s.expr)
+            self.w.line(f"{s.var.name} = {text}")
+            self.b.emit(_ir.SetVar(self.b.fvar(s.var.name), e_ir))
         else:  # pragma: no cover
             raise TypeError(type(s).__name__)
 
@@ -612,9 +698,12 @@ class StructuralLowerer:
     def stmt(self, s, *, tid_var: str | None = None) -> None:
         if isinstance(s, IfBlock):
             self._charge((), ("if", s.cond.rhs), 1.0)
-            self.w.open(f"if {self.bool_expr(s.cond)}:")
+            cond, cond_ir = self._bool(s.cond)
+            self.w.open(f"if {cond}:")
+            self.b.push()
             self.block(s.body, tid_var=tid_var)
             self.w.close()
+            self.b.emit(_ir.If(cond_ir, self.b.pop()))
             return
         if isinstance(s, ForLoop):
             self._emit_for(s, tid_var=tid_var)
@@ -623,12 +712,15 @@ class StructuralLowerer:
             # crit_enter may abort with the livelock fault: the shared
             # cost state must be current when the driver reads it
             self.w.line(_FLUSH)
+            self.b.emit(_ir.Flush())
             self.w.line("_rt.crit_enter()")
+            self.b.emit(_ir.Hook("crit_enter", False))
             was = self._in_crit
             self._in_crit = True
             self.block(s.body, tid_var=tid_var)
             self._in_crit = was
             self.w.line("_rt.crit_exit()")
+            self.b.emit(_ir.Hook("crit_exit", False))
             return
         if isinstance(s, OmpAtomic):
             assert tid_var is not None, "atomic outside a parallel region"
@@ -638,6 +730,7 @@ class StructuralLowerer:
             self._charge((s.update,))
             self._runtime_const("atomic_rmw_cycles")
             self.w.line("_rt.atomic_update()")
+            self.b.emit(_ir.Hook("atomic_update", False))
             self._emit_assignment(s.update)
             return
         if isinstance(s, OmpSingle):
@@ -648,14 +741,18 @@ class StructuralLowerer:
             # executor equivalent (and the native run deterministic)
             self._charge((), ("branch",), 1.0)
             self.w.open(f"if {tid_var} == 0:")
+            self.b.push()
             self.block(s.body, tid_var=tid_var)
             self.w.close()
+            self.b.emit(_ir.IfIntEq(tid_var, 0, self.b.pop()))
             self._runtime_const("single_arrival_cycles")
             self.w.line(f"_rt.single_done({tid_var})")
+            self.b.emit(_ir.Hook("single_done", True))
             return
         if isinstance(s, OmpBarrier):
             assert tid_var is not None, "barrier outside a parallel region"
             self.w.line(f"_rt.barrier({tid_var})")
+            self.b.emit(_ir.Hook("barrier", True))
             return
         if isinstance(s, OmpSections):
             assert tid_var is not None, "sections outside a parallel region"
@@ -674,22 +771,33 @@ class StructuralLowerer:
         raise TypeError(f"cannot lower statement {type(s).__name__}")
 
     def _bound_text(self, bound) -> str:
+        return self._bound(bound)[0]
+
+    def _bound(self, bound) -> tuple[str, object]:
         if isinstance(bound, IntNumeral):
-            return str(bound.value)
-        return f"max(0, {bound.var.name})"
+            return str(bound.value), _ir.ILit(bound.value)
+        return (f"max(0, {bound.var.name})",
+                _ir.IMax0(self.b.ivar(bound.var.name)))
 
     def _iter_source(self, s: ForLoop, tid_var: str, n_text: str,
-                     lv: str) -> str:
+                     n_ir: object, lv: str) -> tuple[str, tuple]:
         """Python iterable expression assigning ``n_text`` iterations of a
-        worksharing loop to ``tid_var`` under the loop's schedule clause."""
+        worksharing loop to ``tid_var`` under the loop's schedule clause,
+        plus the IR iteration plan (``('range', lo, hi)`` after emitting
+        the :class:`~repro.sim.ir.Chunk` op, or ``('assign', ...)``)."""
         if s.schedule is None or (s.schedule.value == "static"
                                   and not s.schedule_chunk):
             # the default schedule: static contiguous blocks — keep the
             # cheap two-endpoint form on this hot path
             self.w.line(f"_lo_{lv}, _hi_{lv} = _rt.chunk({tid_var}, {n_text})")
-            return f"range(_lo_{lv}, _hi_{lv})"
-        return (f"_rt.assign({tid_var}, {n_text}, "
-                f"{s.schedule.value!r}, {s.schedule_chunk})")
+            self.b.emit(_ir.Chunk(lv, n_ir))
+            self.b.ivar(f"_lo_{lv}")
+            self.b.ivar(f"_hi_{lv}")
+            return (f"range(_lo_{lv}, _hi_{lv})",
+                    ("range", _ir.IVar(f"_lo_{lv}"), _ir.IVar(f"_hi_{lv}")))
+        return ((f"_rt.assign({tid_var}, {n_text}, "
+                 f"{s.schedule.value!r}, {s.schedule_chunk})"),
+                ("assign", n_ir, s.schedule.value, s.schedule_chunk))
 
     def _emit_for(self, s: ForLoop, *, tid_var: str | None) -> None:
         lv = s.loop_var.name
@@ -698,15 +806,27 @@ class StructuralLowerer:
             return
         if s.omp_for:
             assert tid_var is not None, "omp for outside region"
-            n = self._bound_text(s.bound)
-            src = self._iter_source(s, tid_var, n, lv)
+            n, n_ir = self._bound(s.bound)
+            src, plan = self._iter_source(s, tid_var, n, n_ir, lv)
             self.w.open(f"for {lv} in {src}:")
         else:
-            self.w.open(f"for {lv} in range({self._bound_text(s.bound)}):")
+            n, n_ir = self._bound(s.bound)
+            plan = ("range", _ir.ILit(0), n_ir)
+            self.w.open(f"for {lv} in range({n}):")
+        self.b.ivar(lv)
+        self.b.push()
         self.block(s.body, extra=("loop", 1, 1.0), tid_var=tid_var)
         self.w.close()
+        self._emit_loop_ir(lv, plan, self.b.pop())
         if s.omp_for:
             self.w.line(f"_rt.omp_for_done({tid_var})")
+            self.b.emit(_ir.Hook("omp_for_done", True))
+
+    def _emit_loop_ir(self, lv: str, plan: tuple, body: list) -> None:
+        if plan[0] == "range":
+            self.b.emit(_ir.ForRange(lv, plan[1], plan[2], body))
+        else:
+            self.b.emit(_ir.ForAssign(lv, plan[1], plan[2], plan[3], body))
 
     def _emit_collapsed_for(self, s: ForLoop, *, tid_var: str | None) -> None:
         """``collapse(2)``: iterate the flattened n1*n2 space and derive
@@ -716,18 +836,33 @@ class StructuralLowerer:
         inner = s.body.stmts[0]
         assert isinstance(inner, ForLoop) and not inner.omp_for
         lv, ilv = s.loop_var.name, inner.loop_var.name
-        n1 = self._bound_text(s.bound)
-        n2 = self._bound_text(inner.bound)
+        n1, n1_ir = self._bound(s.bound)
+        n2, n2_ir = self._bound(inner.bound)
         self.w.line(f"_n2_{lv} = {n2}")
+        self.b.emit(_ir.SetIVar(self.b.ivar(f"_n2_{lv}"), n2_ir))
         self.w.line(f"_n_{lv} = ({n1}) * _n2_{lv}")
-        src = self._iter_source(s, tid_var, f"_n_{lv}", lv)
-        self.w.open(f"for _k_{lv} in {src}:")
-        self.w.line(f"{lv} = _k_{lv} // _n2_{lv}")
-        self.w.line(f"{ilv} = _k_{lv} % _n2_{lv}")
+        self.b.emit(_ir.SetIVar(self.b.ivar(f"_n_{lv}"),
+                                _ir.IMul(n1_ir, _ir.IVar(f"_n2_{lv}"))))
+        src, plan = self._iter_source(s, tid_var, f"_n_{lv}",
+                                      _ir.IVar(f"_n_{lv}"), lv)
+        kv = f"_k_{lv}"
+        self.w.open(f"for {kv} in {src}:")
+        self.b.ivar(kv)
+        self.b.push()
+        self.w.line(f"{lv} = {kv} // _n2_{lv}")
+        self.b.emit(_ir.SetIVar(self.b.ivar(lv),
+                                _ir.IFloorDiv(_ir.IVar(kv),
+                                              _ir.IVar(f"_n2_{lv}"))))
+        self.w.line(f"{ilv} = {kv} % _n2_{lv}")
+        self.b.emit(_ir.SetIVar(self.b.ivar(ilv),
+                                _ir.IModV(_ir.IVar(kv),
+                                          _ir.IVar(f"_n2_{lv}"))))
         # two loop heads' worth of bookkeeping per flattened iteration
         self.block(inner.body, extra=("loop", 2, 2.0), tid_var=tid_var)
         self.w.close()
+        self._emit_loop_ir(kv, plan, self.b.pop())
         self.w.line(f"_rt.omp_for_done({tid_var})")
+        self.b.emit(_ir.Hook("omp_for_done", True))
 
     # ==================================================================
     # worksharing-graph constructs: sections arms + task queue
@@ -748,9 +883,12 @@ class StructuralLowerer:
         for i, sec in enumerate(s.sections):
             self._charge((), ("branch",), 1.0)
             self.w.open(f"if {tid_var} == {i % t}:")
+            self.b.push()
             self._emit_arm_body(sec.body, tid_var)
             self.w.close()
+            self.b.emit(_ir.IfIntEq(tid_var, i % t, self.b.pop()))
         self.w.line(f"_rt.sections_done({tid_var})")
+        self.b.emit(_ir.Hook("sections_done", True))
 
     def _emit_arm_body(self, body: Block, tid_var: str) -> None:
         """One section arm; hosts the arm's deterministic task queue."""
@@ -760,6 +898,7 @@ class StructuralLowerer:
         has_tasks = any(isinstance(st, OmpTask) for st in body.stmts)
         if has_tasks:
             self.w.line(f"{qn} = []")
+            self.b.emit(_ir.QNew(self.b.queue(qn)))
         prev = self._arm
         self._arm = {"qn": qn, "uid": uid, "tasks": [], "pending": False,
                      "tid_var": tid_var}
@@ -782,13 +921,16 @@ class StructuralLowerer:
         # spawn cost now, run the body when the queue drains
         self._runtime_const("task_spawn_cycles")
         self.w.line(f"{arm['qn']}.append({k})")
+        self.b.emit(_ir.QPush(arm["qn"], k))
         self.w.line(f"_rt.task_spawn({arm['tid_var']})")
+        self.b.emit(_ir.Hook("task_spawn", True))
 
     def _emit_taskwait(self, tid_var: str) -> None:
         arm = self._arm
         assert arm is not None, "taskwait outside a section arm"
         self._runtime_const("taskwait_cycles")
         self.w.line(f"_rt.taskwait({tid_var})")
+        self.b.emit(_ir.Hook("taskwait", True))
         if arm["tasks"]:
             self._emit_task_drain()
 
@@ -799,14 +941,21 @@ class StructuralLowerer:
         arm = self._arm
         assert arm is not None and arm["tasks"]
         qn, uid = arm["qn"], arm["uid"]
-        self.w.open(f"for _tk{uid} in {qn}:")
+        tk = f"_tk{uid}"
+        self.w.open(f"for {tk} in {qn}:")
+        self.b.ivar(tk)
+        self.b.push()
         for k, task in enumerate(arm["tasks"]):
             self._charge((), ("branch",), 1.0)
-            self.w.open(f"if _tk{uid} == {k}:")
+            self.w.open(f"if {tk} == {k}:")
+            self.b.push()
             self.block(task.body, tid_var=arm["tid_var"])
             self.w.close()
+            self.b.emit(_ir.IfIntEq(tk, k, self.b.pop()))
         self.w.close()
+        self.b.emit(_ir.ForList(qn, tk, self.b.pop()))
         self.w.line(f"del {qn}[:]")
+        self.b.emit(_ir.QClear(qn))
         arm["pending"] = False
 
     # ==================================================================
@@ -856,24 +1005,37 @@ class StructuralLowerer:
 
         # region_enter charges spawn instructions/branches and may abort
         # with the miscompile fault: synchronize both directions
+        b = self.b
         w.line(_FLUSH)
+        b.emit(_ir.Flush())
         w.line(f"_rt.region_enter({rid})")
+        b.emit(_ir.RegionEnter(rid))
         w.line(_RELOAD)
+        b.emit(_ir.Reload())
         for v in privs + fprivs:
             w.line(f"_save_{v.name} = {v.name}")
+            b.emit(_ir.SetVar(b.fvar(f"_save_{v.name}"),
+                              _ir.FVar(b.fvar(v.name))))
         if reduction is not None:
             w.line("_partials = []")
+            b.emit(_ir.InitPartials())
         w.open(f"for _tid in range({meta.n_threads}):")
+        b.ivar("_tid")
+        b.push()
         # thread_begin snapshots the shared lanes; they are current here
         # because the previous thread's charges were flushed at its
         # thread_end and nothing in between charges
         w.line("_rt.thread_begin(_tid)")
+        b.emit(_ir.Hook("thread_begin", True))
         for v in fprivs:
             w.line(f"{v.name} = _save_{v.name}")
+            b.emit(_ir.SetVar(v.name, _ir.FVar(f"_save_{v.name}")))
         if reduction is not None:
             # the OpenMP-specified initializer: 0 / 1 / largest / smallest
             # representable value of the program's fp type
-            w.line(f"_rcomp = {reduction.identity(self.program.fp_type)!r}")
+            ident = reduction.identity(self.program.fp_type)
+            w.line(f"_rcomp = {ident!r}")
+            b.emit(_ir.SetVar(b.fvar("_rcomp"), _ir.FLit(ident)))
             self._subst[self.program.comp.name] = "_rcomp"
         try:
             self.block(s.body, tid_var="_tid")
@@ -881,38 +1043,52 @@ class StructuralLowerer:
             self._subst.pop(self.program.comp.name, None)
         if reduction is not None:
             w.line("_partials.append(_rcomp)")
+            b.emit(_ir.AppendPartial("_rcomp"))
         w.line(_FLUSH)
+        b.emit(_ir.Flush())
         w.line("_rt.thread_end(_tid)")
+        b.emit(_ir.Hook("thread_end", True))
         w.close()
+        b.emit(_ir.ForRange("_tid", _ir.ILit(0), _ir.ILit(meta.n_threads),
+                            b.pop()))
         comp = self.program.comp.name
         if reduction is not None:
             w.line(f"{comp} = _rt.region_exit({rid}, {comp}, _partials, "
                    f"{reduction.value!r})")
+            b.emit(_ir.RegionExit(rid, b.fvar(comp), True, reduction.value))
         else:
             w.line(f"{comp} = _rt.region_exit({rid}, {comp}, None, None)")
+            b.emit(_ir.RegionExit(rid, b.fvar(comp), False, None))
         w.line(_RELOAD)  # region_exit rewrote the shared lanes
+        b.emit(_ir.Reload())
         for v in privs + fprivs:
             w.line(f"{v.name} = _save_{v.name}")
+            b.emit(_ir.SetVar(v.name, _ir.FVar(f"_save_{v.name}")))
 
     # ==================================================================
     # whole kernel
     # ==================================================================
     def lower(self) -> StructuralKernel:
-        w = self.w
+        w, b = self.w, self.b
         helpers = ", ".join(f"{h}={h}" for h in _HELPER_PARAMS)
         w.open(f"def _kernel(_args, _rt, _c, _K=_K, {helpers}):")
         w.line("_rt.prologue()")
+        b.emit(_ir.Hook("prologue", False))
         for name in sorted(self._collect_math()):
             w.line(f"_m_{name} = _MATH[{name!r}]")
         for p in self.program.params:
             if p.is_int:
                 w.line(f"{p.name} = _args[{p.name!r}]")
+                b.emit(_ir.LoadInt(b.ivar(p.name)))
             elif p.is_array:
                 if self.ftz:  # DAZ: inputs flushed on load; also copy
                     fn = "_ftzf" if self.fp32 else "_ftz"
                     w.line(f"{p.name} = [{fn}(_x) for _x in _args[{p.name!r}]]")
+                    mode = _ir.A_FTZ_F if self.fp32 else _ir.A_FTZ_D
                 else:
                     w.line(f"{p.name} = list(_args[{p.name!r}])")
+                    mode = _ir.A_COPY
+                b.emit(_ir.LoadArray(b.array(p.name), mode))
             else:
                 val = f"_args[{p.name!r}]"
                 if self.fp32:
@@ -920,10 +1096,14 @@ class StructuralLowerer:
                 elif self.ftz:
                     val = f"_ftz({val})"
                 w.line(f"{p.name} = {val}")
+                b.emit(_ir.LoadScalar(b.fvar(p.name), self._wrapc))
         w.line(_RELOAD)  # seed the local accumulator mirror
+        b.emit(_ir.Reload())
         self.block(self.program.body)
         w.line(_FLUSH)  # the driver reads the shared state after return
+        b.emit(_ir.Flush())
         w.line(f"return {self.program.comp.name}")
+        b.emit(_ir.Return(b.fvar(self.program.comp.name)))
         w.close()
         body = w.text()
         # unpack the constants tuple into fast locals once per invocation
@@ -938,11 +1118,16 @@ class StructuralLowerer:
             f"<lowered:{self.program.name}:"
             f"{'f32' if self.fp32 else 'f64'}{'+ftz' if self.ftz else ''}>",
             "exec")
+        kernel_ir = b.finish(n_constants=self._n_constants,
+                             comp=self.program.comp.name,
+                             math_funcs=tuple(sorted(self.math_used)),
+                             fp32=self.fp32, ftz=self.ftz)
         return StructuralKernel(template=source, code=code,
                                 sites=tuple(self.sites),
                                 n_constants=self._n_constants,
                                 regions=self.regions,
-                                uses_math=tuple(sorted(self.math_used)))
+                                uses_math=tuple(sorted(self.math_used)),
+                                ir=kernel_ir)
 
     def _collect_math(self) -> set[str]:
         from ..core.nodes import walk
@@ -987,7 +1172,8 @@ def bind_costs(structural: StructuralKernel, vendor: "VendorModel",
               + structural.template)
     return LoweredKernel(source=source, code=structural.code,
                          constants=ktuple, regions=structural.regions,
-                         uses_math=structural.uses_math)
+                         uses_math=structural.uses_math,
+                         structural=structural)
 
 
 # ======================================================================

@@ -204,3 +204,9 @@ else:
 def native_values_active() -> bool:
     """True when the compiled helper module is in use."""
     return _NATIVE is not None
+
+
+def native_values_info() -> dict:
+    """Active flag + human-readable reason from the loader (see
+    :func:`repro.sim._native.load_info`)."""
+    return _native_loader.load_info()

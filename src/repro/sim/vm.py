@@ -1,0 +1,370 @@
+"""Fused-op bytecode VM over :mod:`repro.sim.ir` — the portable backend.
+
+The IR of one kernel shape is compiled once into *threaded code*: every
+statement becomes a Python closure over a flat register frame (a plain
+list), with FP/int expressions pre-composed into nested single-call
+closures.  Running a kernel is then a loop of closure calls — no
+dispatch table, no AST, no name lookups — against per-invocation slots
+for ``_args``/``_rt``/``_c``/``_K``.
+
+Fidelity, not speed, is the point: the VM calls the very same
+:mod:`repro.sim.values` helpers (native or pure-Python — whichever is
+bound) as the interpreted template, iterates genuine Python lists for
+the live task-queue semantics, and raises the same ``IndexError`` /
+``SimulatedCrash`` / ``SimulatedHang`` out of the same ops.  It needs no
+toolchain, so it serves as an executable cross-check of the IR itself
+(and of the C backend, when both are available) on hosts where
+:mod:`repro.sim.ckernel` cannot build.
+
+Compiled programs are cached per kernel *shape* in
+``StructuralKernel.backend_cache["vm"]``; the vendor's ``_K`` constants
+are bound per call through a frame slot, so the three vendors share one
+compilation.
+"""
+
+from __future__ import annotations
+
+from . import ir as _ir
+from .values import MATH_IMPLS, f32, f32z, fdiv, fma_d, fma_f, ftz_d, ftz_f
+
+#: fixed frame layout: the four accumulator lanes first (Charge indexes
+#: lane 0/1 directly), then the per-invocation objects, then registers
+_CY, _CCY, _INS, _BR = 0, 1, 2, 3
+_ARGS, _RT, _C, _K, _PART, _RET = 4, 5, 6, 7, 8, 9
+_N_FIXED = 10
+
+_WRAPS = {_ir.W_NONE: None, _ir.W_F32: f32, _ir.W_F32Z: f32z,
+          _ir.W_FTZ: ftz_d}
+
+_CMP = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class _Compiler:
+    """One kernel shape's IR -> threaded code."""
+
+    def __init__(self, kir: _ir.KernelIR) -> None:
+        self.kir = kir
+        self.slot: dict[str, int] = {}
+        n = _N_FIXED
+        for name in (*kir.int_vars, *kir.fp_vars, *kir.arrays,
+                     *kir.queues, "_tid"):
+            if name not in self.slot:
+                self.slot[name] = n
+                n += 1
+        self.n_slots = n
+        #: (slot, hook name) pairs prefetched as bound methods per run
+        self._hooks: dict[str, int] = {}
+
+    def hook(self, name: str) -> int:
+        i = self._hooks.get(name)
+        if i is None:
+            i = self.n_slots
+            self.n_slots += 1
+            self._hooks[name] = i
+        return i
+
+    # -- expressions ---------------------------------------------------
+    def fexpr(self, e):
+        """FP expression -> ``f(frame) -> float``."""
+        if type(e) is _ir.FLit:
+            v = e.v
+            return lambda s: v
+        if type(e) is _ir.FVar:
+            i = self.slot[e.name]
+            return lambda s: s[i]
+        if type(e) is _ir.ALoad:
+            a = self.slot[e.arr]
+            ix = self.iexpr(e.idx)
+            return lambda s: s[a][ix(s)]
+        if type(e) is _ir.IToF:
+            ix = self.iexpr(e.ix)
+            return lambda s: float(ix(s))
+        if type(e) is _ir.FNeg:
+            x = self.fexpr(e.x)
+            return lambda s: -x(s)
+        if type(e) is _ir.FBin:
+            a, b = self.fexpr(e.a), self.fexpr(e.b)
+            wrap = _WRAPS[e.wrap]
+            op = e.op
+            if op == "/":
+                if wrap is None:
+                    return lambda s: fdiv(a(s), b(s))
+                return lambda s: wrap(fdiv(a(s), b(s)))
+            if op == "+":
+                raw = lambda s: a(s) + b(s)  # noqa: E731
+            elif op == "-":
+                raw = lambda s: a(s) - b(s)  # noqa: E731
+            else:
+                raw = lambda s: a(s) * b(s)  # noqa: E731
+            if wrap is None:
+                return raw
+            return lambda s: wrap(raw(s))
+        if type(e) is _ir.FFma:
+            a, b, c = self.fexpr(e.a), self.fexpr(e.b), self.fexpr(e.c)
+            fma = fma_f if e.fp32 else fma_d
+            if not e.ftz:
+                return lambda s: fma(a(s), b(s), c(s))
+            flush = ftz_f if e.fp32 else ftz_d
+            return lambda s: flush(fma(a(s), b(s), c(s)))
+        if type(e) is _ir.FCall:
+            fn = MATH_IMPLS[e.func]
+            arg = self.fexpr(e.arg)
+            wrap = _WRAPS[e.wrap]
+            if wrap is None:
+                return lambda s: fn(arg(s))
+            return lambda s: wrap(fn(arg(s)))
+        raise TypeError(f"unknown FP expr {type(e).__name__}")
+
+    def iexpr(self, e):
+        """Int expression -> ``f(frame) -> int``."""
+        if type(e) is _ir.ILit:
+            v = e.v
+            return lambda s: v
+        if type(e) is _ir.IVar:
+            i = self.slot[e.name]
+            return lambda s: s[i]
+        if type(e) is _ir.IMax0:
+            i = self.slot[e.name]
+            return lambda s: max(0, s[i])
+        if type(e) is _ir.IMod:
+            base, m = self.iexpr(e.base), e.modulus
+            return lambda s: base(s) % m
+        if type(e) is _ir.IMul:
+            a, b = self.iexpr(e.a), self.iexpr(e.b)
+            return lambda s: a(s) * b(s)
+        if type(e) is _ir.IFloorDiv:
+            a, b = self.iexpr(e.a), self.iexpr(e.b)
+            return lambda s: a(s) // b(s)
+        if type(e) is _ir.IModV:
+            a, b = self.iexpr(e.a), self.iexpr(e.b)
+            return lambda s: a(s) % b(s)
+        raise TypeError(f"unknown int expr {type(e).__name__}")
+
+    def cmp(self, c: _ir.Cmp):
+        lhs, rhs = self.fexpr(c.lhs), self.fexpr(c.rhs)
+        op = _CMP[c.op]
+        return lambda s: op(lhs(s), rhs(s))
+
+    # -- statements ----------------------------------------------------
+    def block(self, ops: list) -> tuple:
+        return tuple(self.stmt(op) for op in ops)
+
+    def stmt(self, op):  # noqa: C901 - one arm per IR op, flat by design
+        t = type(op)
+        if t is _ir.Charge:
+            lane = _CY if op.lane == 0 else _CCY
+            kc, ki, br = op.k_cy, op.k_ins, op.br
+
+            def st(s, lane=lane, kc=kc, ki=ki, br=br):
+                K = s[_K]
+                if kc is not None:
+                    s[lane] += K[kc]
+                if ki is not None:
+                    s[_INS] += K[ki]
+                if br:
+                    s[_BR] += br
+            return st
+        if t is _ir.SetVar:
+            i = self.slot[op.name]
+            e = self.fexpr(op.e)
+            return lambda s: s.__setitem__(i, e(s))
+        if t is _ir.SetIVar:
+            i = self.slot[op.name]
+            e = self.iexpr(op.e)
+            return lambda s: s.__setitem__(i, e(s))
+        if t is _ir.AStore:
+            a = self.slot[op.arr]
+            ix = self.iexpr(op.idx)
+            e = self.fexpr(op.e)
+
+            def st(s, a=a, ix=ix, e=e):
+                s[a][ix(s)] = e(s)
+            return st
+        if t is _ir.Flush:
+            def st(s):
+                c = s[_C]
+                c.cy = s[_CY]
+                c.ccy = s[_CCY]
+                c.ins = s[_INS]
+                c.br = s[_BR]
+            return st
+        if t is _ir.Reload:
+            def st(s):
+                c = s[_C]
+                s[_CY] = c.cy
+                s[_CCY] = c.ccy
+                s[_INS] = c.ins
+                s[_BR] = c.br
+            return st
+        if t is _ir.Hook:
+            h = self.hook(op.name)
+            if op.tid:
+                tid = self.slot["_tid"]
+                return lambda s: s[h](s[tid])
+            return lambda s: s[h]()
+        if t is _ir.RegionEnter:
+            h = self.hook("region_enter")
+            rid = op.rid
+            return lambda s: s[h](rid)
+        if t is _ir.RegionExit:
+            h = self.hook("region_exit")
+            rid, comp = op.rid, self.slot[op.comp]
+            if op.has_partials:
+                red = op.op
+
+                def st(s, h=h, rid=rid, comp=comp, red=red):
+                    s[comp] = s[h](rid, s[comp], s[_PART], red)
+                return st
+
+            def st(s, h=h, rid=rid, comp=comp):
+                s[comp] = s[h](rid, s[comp], None, None)
+            return st
+        if t is _ir.InitPartials:
+            return lambda s: s.__setitem__(_PART, [])
+        if t is _ir.AppendPartial:
+            i = self.slot[op.name]
+            return lambda s: s[_PART].append(s[i])
+        if t is _ir.Chunk:
+            h = self.hook("chunk")
+            tid = self.slot["_tid"]
+            lo = self.slot[f"_lo_{op.label}"]
+            hi = self.slot[f"_hi_{op.label}"]
+            n = self.iexpr(op.n)
+
+            def st(s, h=h, tid=tid, lo=lo, hi=hi, n=n):
+                s[lo], s[hi] = s[h](s[tid], n(s))
+            return st
+        if t is _ir.ForRange:
+            v = self.slot[op.var]
+            lo, hi = self.iexpr(op.lo), self.iexpr(op.hi)
+            body = self.block(op.body)
+
+            def st(s, v=v, lo=lo, hi=hi, body=body):
+                for k in range(lo(s), hi(s)):
+                    s[v] = k
+                    for b in body:
+                        b(s)
+            return st
+        if t is _ir.ForAssign:
+            h = self.hook("assign")
+            tid = self.slot["_tid"]
+            v = self.slot[op.var]
+            n = self.iexpr(op.n)
+            kind, chunk = op.kind, op.chunk
+            body = self.block(op.body)
+
+            def st(s, h=h, tid=tid, v=v, n=n, kind=kind, chunk=chunk,
+                   body=body):
+                for k in s[h](s[tid], n(s), kind, chunk):
+                    s[v] = k
+                    for b in body:
+                        b(s)
+            return st
+        if t is _ir.ForList:
+            q = self.slot[op.queue]
+            v = self.slot[op.var]
+            body = self.block(op.body)
+
+            def st(s, q=q, v=v, body=body):
+                # a real list, iterated live: appends made by the body
+                # are visited, exactly like the template's for-over-list
+                for k in s[q]:
+                    s[v] = k
+                    for b in body:
+                        b(s)
+            return st
+        if t is _ir.QNew:
+            q = self.slot[op.queue]
+            return lambda s: s.__setitem__(q, [])
+        if t is _ir.QPush:
+            q, k = self.slot[op.queue], op.k
+            return lambda s: s[q].append(k)
+        if t is _ir.QClear:
+            q = self.slot[op.queue]
+            return lambda s: s[q].__delitem__(slice(None))
+        if t is _ir.If:
+            cond = self.cmp(op.cond)
+            body = self.block(op.body)
+
+            def st(s, cond=cond, body=body):
+                if cond(s):
+                    for b in body:
+                        b(s)
+            return st
+        if t is _ir.IfIntEq:
+            v, k = self.slot[op.var], op.k
+            body = self.block(op.body)
+
+            def st(s, v=v, k=k, body=body):
+                if s[v] == k:
+                    for b in body:
+                        b(s)
+            return st
+        if t is _ir.LoadInt:
+            i = self.slot[op.name]
+            name = op.name
+            return lambda s: s.__setitem__(i, s[_ARGS][name])
+        if t is _ir.LoadScalar:
+            i = self.slot[op.name]
+            name = op.name
+            wrap = _WRAPS[op.wrap]
+            if wrap is None:
+                return lambda s: s.__setitem__(i, s[_ARGS][name])
+            return lambda s: s.__setitem__(i, wrap(s[_ARGS][name]))
+        if t is _ir.LoadArray:
+            a = self.slot[op.name]
+            name = op.name
+            if op.mode == _ir.A_COPY:
+                return lambda s: s.__setitem__(a, list(s[_ARGS][name]))
+            flush = ftz_f if op.mode == _ir.A_FTZ_F else ftz_d
+            return lambda s: s.__setitem__(
+                a, [flush(x) for x in s[_ARGS][name]])
+        if t is _ir.Return:
+            i = self.slot[op.name]
+            return lambda s: s.__setitem__(_RET, s[i])
+        raise TypeError(f"unknown IR op {type(op).__name__}")
+
+
+class VmProgram:
+    """Threaded code for one kernel shape (shared across vendors)."""
+
+    __slots__ = ("ops", "n_slots", "hooks")
+
+    def __init__(self, kir: _ir.KernelIR) -> None:
+        comp = _Compiler(kir)
+        self.ops = comp.block(kir.ops)
+        self.hooks = tuple(comp._hooks.items())
+        self.n_slots = comp.n_slots
+
+    def run(self, args, rt, c, constants):
+        s = [None] * self.n_slots
+        s[_CY] = s[_CCY] = s[_INS] = s[_BR] = 0.0
+        s[_ARGS], s[_RT], s[_C], s[_K] = args, rt, c, constants
+        for name, i in self.hooks:
+            s[i] = getattr(rt, name)
+        for op in self.ops:
+            op(s)
+        return s[_RET]
+
+
+def bind_vm(structural, constants: tuple[float, ...]):
+    """The VM entry for one vendor's binding of a kernel shape.
+
+    Compilation is per shape (cached on the structural kernel); only the
+    constants tuple differs between vendors.
+    """
+    prog = structural.backend_cache.get("vm")
+    if prog is None:
+        prog = VmProgram(structural.ir)
+        structural.backend_cache["vm"] = prog
+
+    def _kernel(_args, _rt, _c, prog=prog, constants=constants):
+        return prog.run(_args, _rt, _c, constants)
+    return _kernel

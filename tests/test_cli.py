@@ -97,6 +97,22 @@ class TestConfigOverrides:
         assert cfg.generator.rng_mode == "fast"
         assert cfg.generator.enable_sections and cfg.generator.enable_tasks
 
+    def test_kernel_backend_flag_overrides_config(self, tmp_path):
+        path = self._cfg_file(tmp_path, kernel_backend="c")
+        cfg = self._load(["campaign", "--config", str(path),
+                          "--kernel-backend", "interp"])
+        assert cfg.kernel_backend == "interp"
+        # and the file's value survives when the flag is not passed
+        cfg = self._load(["campaign", "--config", str(path)])
+        assert cfg.kernel_backend == "c"
+
+    def test_kernel_backend_flag_rejects_unknown(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign",
+                                       "--kernel-backend", "turbo"])
+
     def test_unpassed_flags_keep_config_file_values(self, tmp_path):
         path = self._cfg_file(tmp_path, n_programs=50, inputs_per_program=2,
                               seed=3)

@@ -277,6 +277,55 @@ class TestWorkerLoop:
         finally:
             server.close()
 
+    def test_transport_error_chains_original_unit_error(self, fleet_cfg,
+                                                        monkeypatch,
+                                                        caplog):
+        # the unit error must survive as __cause__ when reporting it to
+        # the queue also fails — neither traceback may vanish
+        plan = ExecutionPlan(config=fleet_cfg)
+        queue = WorkQueue(plan, [WorkUnit(0, (0,))])
+
+        def exploding_unit(plan_, unit):
+            raise ValueError("unit went sideways")
+
+        def exploding_fail(unit_id, reason, worker_id=None):
+            raise ConnectionError("socket torn down")
+
+        monkeypatch.setattr("repro.fleet.worker.execute_unit",
+                            exploding_unit)
+        monkeypatch.setattr(queue, "fail", exploding_fail)
+        with caplog.at_level("ERROR", logger="repro.fleet.worker"):
+            with pytest.raises(ConnectionError) as excinfo:
+                worker_loop(queue)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert "unit went sideways" in str(excinfo.value.__cause__)
+        assert any("unit went sideways" in rec.message
+                   and "socket torn down" in rec.message
+                   for rec in caplog.records)
+
+    def test_interrupt_handback_failure_is_logged(self, fleet_cfg,
+                                                  monkeypatch, caplog):
+        # interrupt mid-batch with a dead transport: the interrupt still
+        # propagates, and the failed hand-back is visible in the log
+        # instead of swallowed
+        plan = ExecutionPlan(config=fleet_cfg)
+        queue = WorkQueue(plan, [WorkUnit(0, (0,)), WorkUnit(1, (0,))])
+
+        def interrupted_unit(plan_, unit):
+            raise KeyboardInterrupt
+
+        def exploding_fail(unit_id, reason, worker_id=None):
+            raise ConnectionError("socket torn down")
+
+        monkeypatch.setattr("repro.fleet.worker.execute_unit",
+                            interrupted_unit)
+        monkeypatch.setattr(queue, "fail", exploding_fail)
+        with caplog.at_level("WARNING", logger="repro.fleet.worker"):
+            with pytest.raises(KeyboardInterrupt):
+                worker_loop(queue, batch=2)
+        assert any("lease expiry" in rec.message
+                   for rec in caplog.records)
+
     def test_reported_failures_spend_the_retry_budget(self, fleet_cfg):
         plan = ExecutionPlan(config=fleet_cfg)
         queue = WorkQueue(plan, [WorkUnit(7, (0,))],

@@ -72,6 +72,42 @@ class TestKernelCache:
                 for b in (warm1, warm2, fresh)]
         assert rows[0] == rows[1] == rows[2]
 
+    def test_snapshot_since_gives_per_phase_deltas(self, program,
+                                                   program_stream):
+        cache = KernelCache()
+        compile_binary(program, "gcc", cache=cache)
+        before = cache.snapshot()
+        compile_binary(program, "gcc", cache=cache)          # all hits
+        compile_binary(program_stream[1], "gcc", cache=cache)  # all misses
+        delta = cache.stats().since(before)
+        assert delta.structural_hits == 1
+        assert delta.kernel_hits == 1
+        assert delta.structural_misses == 1
+        assert delta.kernel_misses == 1
+        # totals keep accumulating independently of the snapshot
+        assert cache.stats().structural_misses == 2
+
+    def test_reset_zeroes_counters_but_keeps_entries(self, program):
+        cache = KernelCache()
+        a = compile_binary(program, "gcc", cache=cache)
+        cache.reset()
+        stats = cache.stats()
+        assert stats.as_dict() == KernelCache().stats().as_dict()
+        assert len(cache) > 0
+        # entries survived: the next compile is a pure hit
+        b = compile_binary(program, "gcc", cache=cache)
+        assert a.kernel is b.kernel
+        assert cache.stats().kernel_hits == 1
+        assert cache.stats().kernel_misses == 0
+
+    def test_reset_zeroes_evictions(self, program_stream):
+        cache = KernelCache(structural_capacity=1, kernel_capacity=1)
+        for p in program_stream[:3]:
+            compile_binary(p, "gcc", cache=cache)
+        assert cache.stats().evictions > 0
+        cache.reset()
+        assert cache.stats().evictions == 0
+
     def test_default_cache_swap(self):
         original = get_kernel_cache()
         try:

@@ -322,6 +322,58 @@ class TestNativeLoader:
 
         assert _native._verify(Ref()) is True
 
+    def test_disabled_load_records_reason(self, monkeypatch):
+        from repro.sim import _native
+        monkeypatch.setenv("REPRO_NATIVE_VALUES", "0")
+        assert _native.load() is None
+        info = _native.load_info()
+        assert info["active"] is False
+        assert info["requested"] is False
+        assert "REPRO_NATIVE_VALUES" in info["reason"]
+
+    def test_requested_but_unavailable_warns(self, monkeypatch, tmp_path):
+        import warnings as warnings_mod
+        from repro.sim import _native
+        monkeypatch.setenv("REPRO_NATIVE_VALUES", "1")
+        bad = tmp_path / "not-a-dir"
+        bad.write_text("file, not directory")
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(bad / "x"))
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            assert _native.load() is None
+        relevant = [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+        assert len(relevant) == 1
+        assert "REPRO_NATIVE_VALUES requested" in str(relevant[0].message)
+        info = _native.load_info()
+        assert info["requested"] is True and info["active"] is False
+
+    def test_unrequested_fallback_is_silent(self, monkeypatch, tmp_path):
+        import warnings as warnings_mod
+        from repro.sim import _native
+        monkeypatch.delenv("REPRO_NATIVE_VALUES", raising=False)
+        bad = tmp_path / "not-a-dir"
+        bad.write_text("file, not directory")
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(bad / "x"))
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            assert _native.load() is None
+        assert not [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+        assert _native.load_info()["active"] is False
+
+    def test_successful_load_reports_active(self, monkeypatch):
+        from repro.sim import _native, values
+        if not values.native_values_active():
+            pytest.skip("no toolchain in this environment")
+        # earlier loader tests mutate the load record; a clean re-load
+        # must land back on the verified-and-active state
+        monkeypatch.delenv("REPRO_NATIVE_VALUES", raising=False)
+        assert _native.load() is not None
+        info = values.native_values_info()
+        assert info["active"] is True
+        assert "verified" in info["reason"]
+
     def test_find_cc_returns_path_or_none(self):
         from repro.sim import _native
         cc = _native._find_cc()
