@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""CI chaos soak: the fleet must survive a seeded fault barrage intact.
+
+Runs a small paper-mix grid twice — once serially, once under a
+supervised fleet wrapped in a :class:`repro.fleet.chaos.ChaosPlan` that
+guarantees, by schedule:
+
+* >= 2 worker kills (SIGKILL-style: no cleanup, leases recovered by
+  expiry),
+* >= 1 mid-campaign coordinator crash with restart-from-store,
+* >= 1 store write fault plus >= 1 torn append (healed on replay),
+* seeded transport drops, severed replies, duplicated calls, delays.
+
+It then asserts the robustness contract: the campaign *finishes*, the
+verdicts are byte-identical to the serial run, every unit is persisted
+in the store, and each scheduled fault class actually fired (a chaos
+run whose faults silently didn't fire proves nothing).
+
+Exit status 0 on success; 1 with a diagnostic on any violated assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import CampaignConfig, GeneratorConfig  # noqa: E402
+from repro.fleet import ChaosPlan, ResultStore, run_chaos_campaign  # noqa: E402
+from repro.harness.session import CampaignSession  # noqa: E402
+
+
+def identity_stream(result):
+    return [v.identity() for v in result.verdicts]
+
+
+def build_plan(seed: int, quick: bool) -> ChaosPlan:
+    return ChaosPlan(
+        seed=seed,
+        # transport: seeded background noise on every worker connection
+        drop_rate=0.02,
+        drop_after_rate=0.02,
+        duplicate_rate=0.05,
+        delay_rate=0.05,
+        delay_s=0.002 if quick else 0.01,
+        # workers: both kills scheduled (one completion each, then die)
+        crash_after_units=1,
+        max_worker_crashes=2,
+        # store: one refusal and one torn append at exact call indices
+        store_fail_calls=(1,),
+        store_torn_calls=(3,),
+        # coordinator: incarnation 0 dies once 3 units are ingested
+        coordinator_crash_after=(3,),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI sizing: smallest grid that still exercises "
+                             "every scheduled fault")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="chaos plan seed (campaign seed stays fixed)")
+    parser.add_argument("--programs", type=int, default=None)
+    parser.add_argument("--inputs", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args(argv)
+
+    programs = args.programs or (6 if args.quick else 10)
+    inputs = args.inputs or 2
+    gen = GeneratorConfig(max_total_iterations=4000, loop_trip_max=60,
+                          num_threads=8)
+    cfg = CampaignConfig(n_programs=programs, inputs_per_program=inputs,
+                         seed=1234, generator=gen, directive_mix="paper")
+    plan = build_plan(args.seed, args.quick)
+
+    serial = CampaignSession(cfg, engine="serial").run()
+    print(f"serial: {len(serial.verdicts)} verdicts, "
+          f"{sum(len(v.outliers) for v in serial.verdicts)} outlier(s)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "chaos-soak.db"
+        print(f"chaos plan seed {plan.seed}: {args.workers} worker(s), "
+              f"scheduled kills={plan.max_worker_crashes}, "
+              f"coordinator crash at {plan.coordinator_crash_after}, "
+              f"store faults at fail{plan.store_fail_calls}/"
+              f"torn{plan.store_torn_calls}")
+        result, report = run_chaos_campaign(
+            cfg, plan, store_path, workers=args.workers,
+            timeout=args.timeout,
+            status_path=Path(tmp) / "chaos-status.json")
+        with ResultStore(store_path) as store:
+            from repro.fleet.store import campaign_key
+            cid = campaign_key(cfg)
+            stored_units = len(store.completed_indices(cid))
+            stored_verdicts = store.verdict_count(cid)
+
+    print(f"report: {report}")
+
+    failures = []
+    if identity_stream(result) != identity_stream(serial):
+        failures.append("chaos verdict stream differs from serial")
+    if result.race_filtered != serial.race_filtered:
+        failures.append("race-filtered sets differ")
+    if stored_units != cfg.n_programs:
+        failures.append(f"store holds {stored_units}/{cfg.n_programs} units")
+    if stored_verdicts != len(serial.verdicts):
+        failures.append(f"store holds {stored_verdicts} verdicts, "
+                        f"serial produced {len(serial.verdicts)}")
+    if report["worker_kills"] < 2:
+        failures.append(f"only {report['worker_kills']} worker kill(s) "
+                        f"fired (need >= 2)")
+    if report["coordinator_crashes"] < 1:
+        failures.append("no coordinator crash fired")
+    if report["supervisor_restarts"] < 1:
+        failures.append("supervisor never restarted the coordinator")
+    if report["store_faults"].get("fail", 0) < 1:
+        failures.append("no store write refusal fired")
+    if report["store_faults"].get("torn", 0) < 1:
+        failures.append("no torn store append fired")
+    if report["store_buffered"]:
+        failures.append(f"{report['store_buffered']} outcome(s) still "
+                        f"buffered at soak end")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"chaos == serial: {len(result.verdicts)} verdicts identical "
+          f"through {report['worker_kills']} kill(s), "
+          f"{report['supervisor_restarts']} restart(s), "
+          f"{sum(report['store_faults'].values())} store fault(s), "
+          f"{sum(report['transport_faults'].values())} transport fault(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

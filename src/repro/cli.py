@@ -347,6 +347,99 @@ def cmd_fleet_coordinator(args) -> int:
             store.close()
 
 
+def cmd_fleet_supervise(args) -> int:
+    from .config import SupervisorConfig
+    from .fleet import FleetSupervisor, ResultStore
+    from .harness.report import render_campaign_summary, render_table1
+
+    cfg = _load_config(args)
+    sup_cfg = SupervisorConfig(max_restarts=args.max_restarts,
+                               restart_backoff_s=args.restart_backoff,
+                               degrade=not args.no_degrade)
+    with ResultStore(args.store) as store:
+        sup = FleetSupervisor(cfg, store, workers=args.workers, serve=True,
+                              supervisor=sup_cfg, host=args.host,
+                              port=args.port, authkey=_fleet_authkey(args),
+                              status_path=args.status_file)
+        if not args.quiet:
+            print(f"supervising campaign {sup.campaign_id} "
+                  f"(store {args.store})", file=sys.stderr)
+            if args.status_file:
+                print(f"watch with: repro-omp fleet status --status-file "
+                      f"{args.status_file}", file=sys.stderr)
+        try:
+            result = sup.run(timeout=args.timeout)
+        except KeyboardInterrupt:
+            # SIGINT drain: everything completed is already in the store
+            print(f"\ninterrupted; campaign {sup.campaign_id} drained to "
+                  f"{args.store} — re-run the same command to resume",
+                  file=sys.stderr)
+            return 130
+    print(render_table1(result.table, cfg.compilers))
+    print()
+    print(render_campaign_summary(result.table))
+    if sup.restarts:
+        print(f"coordinator restarts: {sup.restarts} "
+              f"(crashes: {'; '.join(sup.crashes)})")
+    print(f"verdicts stored in {args.store} (campaign {sup.campaign_id})")
+    return 0
+
+
+def cmd_fleet_status(args) -> int:
+    if not args.status_file and not args.store:
+        print("error: fleet status needs --status-file PATH or "
+              "--store PATH", file=sys.stderr)
+        return 2
+    if args.status_file:
+        p = Path(args.status_file)
+        if not p.exists():
+            print(f"error: status file not found: {p}", file=sys.stderr)
+            return 2
+        data = json.loads(p.read_text())
+        if args.json:
+            print(json.dumps(data, indent=2, sort_keys=True))
+            return 0
+        print(f"campaign   {data.get('campaign_id')}")
+        print(f"state      {data.get('state')}")
+        print(f"progress   {data.get('completed_tests')}/"
+              f"{data.get('total_tests')} tests")
+        if data.get("address"):
+            host, port = data["address"]
+            print(f"queue at   {host}:{port}")
+        q = data.get("queue")
+        if q:
+            print(f"units      {q['completed']}/{q['total']} done, "
+                  f"{q['leased']} leased, {q['pending']} pending, "
+                  f"{q['dead']} dead")
+        st = data.get("store", {})
+        print(f"store      {st.get('recorded', 0)} recorded, "
+              f"{st.get('buffered', 0)} buffered, "
+              f"{st.get('write_failures', 0)} write failure(s)")
+        print(f"restarts   {data.get('restarts', 0)}")
+        for crash in data.get("crashes", []):
+            print(f"  crash: {crash}")
+        return 0
+    from .fleet import ResultStore
+
+    with ResultStore(args.store) as store:
+        rows = store.campaigns()
+        if args.campaign:
+            rows = [r for r in rows if r["campaign_id"] == args.campaign]
+        if not rows:
+            print("no matching campaigns in store")
+            return 1
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+            return 0
+        for c in rows:
+            total = store.config_for(c["campaign_id"]).n_programs
+            state = "COMPLETE" if c["units"] >= total else "partial"
+            print(f"{c['campaign_id']}  units {c['units']}/{total} "
+                  f"({state})  verdicts={c['verdicts']} "
+                  f"outliers={c['outliers']}")
+    return 0
+
+
 def cmd_fleet_worker(args) -> int:
     from .fleet import run_worker
 
@@ -589,6 +682,52 @@ def build_parser() -> argparse.ArgumentParser:
                              "many seconds")
         fp.add_argument("--quiet", action="store_true")
         fp.set_defaults(fn=cmd_fleet_coordinator)
+
+    fp = fleet_sub.add_parser(
+        "supervise",
+        help="run the campaign as a supervised service: crash-safe "
+             "store writes, coordinator restart-from-store, clean "
+             "SIGTERM/SIGINT drain, graceful degradation")
+    _add_campaign_sizing(fp)
+    _add_transport(fp, default_port=0)
+    fp.add_argument("--store", required=True, metavar="PATH",
+                    help="SQLite result store (required: it is what a "
+                         "crashed coordinator restarts from)")
+    fp.add_argument("--workers", type=int, default=os.cpu_count() or 1,
+                    help="local worker processes (default: one per CPU; "
+                         "0 = external workers only)")
+    fp.add_argument("--max-restarts", type=int, default=5,
+                    dest="max_restarts",
+                    help="coordinator restarts before degrading (default 5)")
+    fp.add_argument("--restart-backoff", type=float, default=0.5,
+                    dest="restart_backoff",
+                    help="base of the exponential restart backoff "
+                         "(default 0.5s)")
+    fp.add_argument("--no-degrade", action="store_true", dest="no_degrade",
+                    help="fail instead of finishing in-process when the "
+                         "restart budget is spent")
+    fp.add_argument("--status-file", metavar="PATH", dest="status_file",
+                    help="mirror the health snapshot to this JSON file "
+                         "(read by: repro-omp fleet status)")
+    fp.add_argument("--timeout", type=float,
+                    help="give up if the grid is unfinished after this "
+                         "many seconds")
+    fp.add_argument("--quiet", action="store_true")
+    fp.set_defaults(fn=cmd_fleet_supervise)
+
+    fp = fleet_sub.add_parser(
+        "status",
+        help="health/progress snapshot of a supervised campaign")
+    fp.add_argument("--status-file", metavar="PATH", dest="status_file",
+                    help="JSON snapshot written by supervise --status-file")
+    fp.add_argument("--store", metavar="PATH",
+                    help="inspect campaign completeness in a result store "
+                         "instead of a live snapshot")
+    fp.add_argument("--campaign", help="restrict --store mode to one "
+                                       "campaign id")
+    fp.add_argument("--json", action="store_true",
+                    help="emit the raw snapshot/rows as JSON")
+    fp.set_defaults(fn=cmd_fleet_status)
 
     fp = fleet_sub.add_parser("worker",
                               help="connect to a coordinator and execute "

@@ -313,6 +313,53 @@ class TriageConfig:
 
 
 @dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs of the fleet supervisor daemon (:mod:`repro.fleet.supervisor`).
+
+    Deliberately *not* part of :class:`CampaignConfig`: none of these
+    change a verdict, so they stay outside campaign identity — the same
+    campaign can be supervised with different restart budgets on
+    different hosts.
+    """
+
+    #: coordinator restarts before the supervisor gives up (and, if
+    #: ``degrade`` is set, finishes the grid inline instead)
+    max_restarts: int = 5
+    #: base of the exponential restart backoff
+    restart_backoff_s: float = 0.5
+    #: backoff ceiling
+    max_restart_backoff_s: float = 30.0
+    #: completion-pump poll interval
+    poll_s: float = 0.05
+    #: how often the status snapshot is refreshed (seconds)
+    status_every_s: float = 1.0
+    #: base/ceiling of the buffered store-write retry backoff
+    store_retry_backoff_s: float = 0.25
+    store_retry_max_backoff_s: float = 30.0
+    #: when the restart budget is spent, finish the remaining grid
+    #: in-process (with a loud warning) instead of raising
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ConfigError("max_restarts must be >= 0")
+        if self.restart_backoff_s < 0:
+            raise ConfigError("restart_backoff_s must be >= 0")
+        if self.max_restart_backoff_s < self.restart_backoff_s:
+            raise ConfigError(
+                "max_restart_backoff_s must be >= restart_backoff_s")
+        if self.poll_s <= 0:
+            raise ConfigError("poll_s must be positive")
+        if self.status_every_s <= 0:
+            raise ConfigError("status_every_s must be positive")
+        if self.store_retry_backoff_s < 0:
+            raise ConfigError("store_retry_backoff_s must be >= 0")
+        if self.store_retry_max_backoff_s < self.store_retry_backoff_s:
+            raise ConfigError(
+                "store_retry_max_backoff_s must be >= store_retry_backoff_s")
+
+
+@dataclass(frozen=True)
 class CampaignConfig:
     """Full Figure-1 pipeline configuration."""
 

@@ -83,6 +83,25 @@ class FleetError(ReproError):
     worker-restart budget, or units whose retry budget is spent."""
 
 
+class ChaosError(ReproError):
+    """An injected infrastructure fault fired (see :mod:`repro.fleet.chaos`).
+
+    Chaos faults are deterministic test instruments, not production
+    failures; subclasses model the specific site (connection, store,
+    coordinator kill-point) so recovery paths can be asserted precisely.
+    """
+
+
+class FleetDegradedWarning(UserWarning):
+    """A fleet campaign lost its distributed substrate and fell back.
+
+    Emitted (loudly) when workers/transport are persistently unavailable
+    and the restart budget is spent, or when store writes stay buffered
+    at campaign end — the campaign degrades rather than dies, but the
+    operator must know the run did not execute as configured.
+    """
+
+
 class BackendUnavailable(ReproError):
     """The requested execution backend (e.g. native g++) is not present."""
 

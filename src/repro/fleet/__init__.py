@@ -21,21 +21,59 @@ from a library into a service.  It is built on three pieces:
   verdict and outlier rows queryable by campaign / backend / kind /
   directive-feature vector, JSONL-checkpoint import, and cross-campaign
   bucket merging on the triage bug signatures.
+  :class:`StoreWriteBuffer` gives writes a crash-safe discipline —
+  failures park and retry with backoff instead of desynchronizing the
+  coordinator's session from the store.
+* **Supervisor** (:mod:`repro.fleet.supervisor`) — the daemon form:
+  owns a coordinator, restarts it from the store after a crash
+  (bounded, exponential backoff), drains cleanly on SIGTERM/SIGINT,
+  degrades to in-process execution when the fleet is gone, and exposes
+  a health snapshot for ``repro-omp fleet status``.
+* **Chaos** (:mod:`repro.fleet.chaos`) — deterministic infrastructure
+  fault injection (the analogue of :mod:`repro.backends.fault`):
+  seeded transport drops/duplicates/delays, worker kills, store write
+  faults and torn appends, coordinator kill-points — every recovery
+  behavior above is enforced by reproducible tests, not hope.
 """
 
+from .chaos import (
+    ChaosConnectionError,
+    ChaosCoordinatorCrash,
+    ChaosCoordinatorFactory,
+    ChaosPlan,
+    ChaosQueueProxy,
+    ChaosStore,
+    ChaosStoreFault,
+    ChaosWorkerCrash,
+    ChaosWorkerFleet,
+    run_chaos_campaign,
+)
 from .coordinator import FleetCoordinator, FleetEngine
 from .queue import Lease, QueueClient, QueueServer, WorkQueue
-from .store import ResultStore
+from .store import ResultStore, StoreWriteBuffer
+from .supervisor import FleetSupervisor
 from .worker import run_worker, worker_loop
 
 __all__ = [
+    "ChaosConnectionError",
+    "ChaosCoordinatorCrash",
+    "ChaosCoordinatorFactory",
+    "ChaosPlan",
+    "ChaosQueueProxy",
+    "ChaosStore",
+    "ChaosStoreFault",
+    "ChaosWorkerCrash",
+    "ChaosWorkerFleet",
     "FleetCoordinator",
     "FleetEngine",
+    "FleetSupervisor",
     "Lease",
     "QueueClient",
     "QueueServer",
     "ResultStore",
+    "StoreWriteBuffer",
     "WorkQueue",
+    "run_chaos_campaign",
     "run_worker",
     "worker_loop",
 ]

@@ -1,0 +1,522 @@
+"""Deterministic infrastructure chaos for the campaign fleet.
+
+The infrastructure analogue of :mod:`repro.backends.fault`: where that
+module plants seeded *compiler* faults so triage has something real to
+find, this one plants seeded *infrastructure* faults so the fleet's
+recovery machinery has something real to survive — and every scenario
+is a reproducible test, not a flaky one.
+
+A :class:`ChaosPlan` seeds the whole fault surface:
+
+* **transport** — :class:`ChaosQueueProxy` sits between a worker and
+  the queue and drops requests, severs replies after delivery,
+  duplicates mutating calls, and delays messages;
+* **workers** — the proxy kills its worker (an uncatchable
+  :class:`ChaosWorkerCrash`, modelling SIGKILL: no cleanup lands, the
+  connection goes permanently dead) at chosen lease/complete/heartbeat
+  points; :class:`ChaosWorkerFleet` respawns in-process workers the way
+  an operator would;
+* **store** — :class:`ChaosStore` refuses writes and produces *torn
+  appends* (unit row committed, index rows lost) at scheduled or
+  seeded calls;
+* **coordinator** — :class:`ChaosCoordinatorFactory` wraps each
+  incarnation's ``poll`` with a kill-point that fires after a chosen
+  number of ingested units.
+
+Every *decision* is a pure function of ``(plan seed, site, per-proxy
+call counter)`` via :func:`repro.rng.hash_fraction` — no wall clock, no
+global RNG — so a decision stream is byte-reproducible.  Scheduled
+fault fields (``crash_after_units``, ``store_fail_calls``,
+``coordinator_crash_after``) guarantee exact minimum fault counts for
+the soak's acceptance criteria.  Units are pure functions of
+``(config, index)`` and completion is first-write-wins end to end, so
+*verdicts* are byte-identical to a serial run no matter how the faults
+interleave — which is precisely the property
+:func:`run_chaos_campaign` asserts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..config import CampaignConfig, SupervisorConfig
+from ..errors import ChaosError, ConfigError, FleetError
+from ..harness.campaign import CampaignResult
+from ..rng import hash_fraction
+from .coordinator import FleetCoordinator
+from .store import ResultStore, StoreWriteBuffer
+from .supervisor import FleetSupervisor
+from .worker import worker_loop
+
+
+class ChaosConnectionError(ChaosError, FleetError):
+    """An injected transport failure (dropped request or severed reply).
+
+    Also a :class:`~repro.errors.FleetError`: workers treat it exactly
+    like a real lost socket — fail over, reconnect, or die trying.
+    """
+
+
+class ChaosWorkerCrash(BaseException):
+    """An injected worker death at a protocol call site.
+
+    Derives from :class:`BaseException` so no ``except Exception``
+    recovery path in worker code can accidentally absorb it — like
+    SIGKILL, it is not an error the worker gets to handle.  The queue
+    recovers the worker's leases by deadline expiry, never by courtesy.
+    """
+
+
+class ChaosCoordinatorCrash(ChaosError):
+    """An injected coordinator death at a poll kill-point."""
+
+
+class ChaosStoreFault(ChaosError):
+    """An injected store write failure (refusal or torn append)."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seeded, declarative description of one chaos scenario.
+
+    Rate fields are probabilities evaluated per protocol call via
+    :meth:`fires`; scheduled fields fire at exact call/unit counts so a
+    scenario can guarantee minimum fault counts.  A default-constructed
+    plan injects nothing.
+    """
+
+    seed: int = 0
+
+    # --- transport (rates, per worker-side protocol call) ---
+    drop_rate: float = 0.0        # drop the request before delivery
+    drop_after_rate: float = 0.0  # deliver, then sever the reply
+    duplicate_rate: float = 0.0   # deliver mutating calls twice
+    delay_rate: float = 0.0       # stall the call (slow straggler)
+    delay_s: float = 0.005
+
+    # --- workers ---
+    worker_crash_rate: float = 0.0
+    #: crash a worker at its next crash-point once it has delivered this
+    #: many completions (None = rate-based only)
+    crash_after_units: int | None = None
+    #: total worker kills the plan may spend (shared fleet-wide budget)
+    max_worker_crashes: int = 0
+    #: protocol calls at which a worker may be killed
+    crash_points: tuple[str, ...] = ("lease", "complete", "heartbeat")
+
+    # --- store ---
+    store_fail_rate: float = 0.0
+    store_torn_rate: float = 0.0
+    #: exact ``record_unit`` call indices that fail / tear
+    store_fail_calls: tuple[int, ...] = ()
+    store_torn_calls: tuple[int, ...] = ()
+
+    # --- coordinator ---
+    #: per-incarnation kill points: incarnation ``i`` dies once its
+    #: session holds ``coordinator_crash_after[i]`` ingested units
+    #: (incarnations beyond the tuple run clean)
+    coordinator_crash_after: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "drop_after_rate", "duplicate_rate",
+                     "delay_rate", "worker_crash_rate", "store_fail_rate",
+                     "store_torn_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {v}")
+        if self.delay_s < 0:
+            raise ConfigError("delay_s must be >= 0")
+        if self.max_worker_crashes < 0:
+            raise ConfigError("max_worker_crashes must be >= 0")
+        if self.crash_after_units is not None and self.crash_after_units < 0:
+            raise ConfigError("crash_after_units must be >= 0")
+        unknown = set(self.crash_points) - {"lease", "complete", "heartbeat"}
+        if unknown:
+            raise ConfigError(
+                f"unknown crash point(s): {', '.join(sorted(unknown))}")
+
+    def fires(self, rate: float, site: str, *key: object) -> bool:
+        """The seeded fault decision: a pure function of
+        ``(seed, site, key)`` — no clock, no RNG state, so the same
+        call site makes the same decision in every run."""
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return hash_fraction("chaos", self.seed, site, *key,
+                             mode="compat") < rate
+
+
+class _CrashBudget:
+    """Fleet-wide cap on injected worker kills (thread-safe take)."""
+
+    def __init__(self, limit: int):
+        self._limit = limit
+        self._used = 0
+        self._lock = threading.Lock()
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    def take(self) -> bool:
+        with self._lock:
+            if self._used >= self._limit:
+                return False
+            self._used += 1
+            return True
+
+
+class ChaosQueueProxy:
+    """The queue protocol with a fault injector between caller and queue.
+
+    One proxy models one worker's *connection*.  Faults are decided per
+    call from ``(ident, method, per-method call counter)`` — the
+    decision stream of a given connection is deterministic under the
+    plan seed regardless of how threads interleave.  A killed proxy
+    goes permanently dead: every later call (including the interrupt
+    hand-back) raises :class:`ChaosConnectionError`, so recovery must
+    come from queue-side lease expiry, exactly as after a SIGKILL.
+    """
+
+    _MUTATORS = frozenset({"complete", "fail", "heartbeat"})
+
+    def __init__(self, queue, chaos: ChaosPlan, *, ident: str = "conn",
+                 crash_budget: _CrashBudget | None = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        self._queue = queue
+        self.chaos = chaos
+        self.ident = ident
+        self._budget = crash_budget
+        self._sleep = sleep
+        self._calls: dict[str, int] = {}
+        self.faults: Counter = Counter()
+        self.completes = 0
+        self.dead = False
+
+    # ------------------------------------------------------------------
+    def _call(self, method: str, *args):
+        if self.dead:
+            raise ChaosConnectionError(
+                f"chaos: connection {self.ident} is dead")
+        n = self._calls.get(method, 0)
+        self._calls[method] = n + 1
+        key = (self.ident, method, n)
+        chaos = self.chaos
+        if method in chaos.crash_points and self._budget is not None:
+            scheduled = (chaos.crash_after_units is not None
+                         and self.completes >= chaos.crash_after_units)
+            if ((scheduled
+                 or chaos.fires(chaos.worker_crash_rate,
+                                "worker-crash", *key))
+                    and self._budget.take()):
+                self.dead = True
+                self.faults["crash"] += 1
+                raise ChaosWorkerCrash(
+                    f"chaos: worker killed at {method!r} ({self.ident})")
+        if chaos.fires(chaos.delay_rate, "delay", *key):
+            self.faults["delay"] += 1
+            self._sleep(chaos.delay_s)
+        if chaos.fires(chaos.drop_rate, "drop", *key):
+            self.faults["drop"] += 1
+            raise ChaosConnectionError(
+                f"chaos: {method!r} request dropped ({self.ident})")
+        result = getattr(self._queue, method)(*args)
+        if (method in self._MUTATORS
+                and chaos.fires(chaos.duplicate_rate, "duplicate", *key)):
+            # a retransmit the server sees twice; first-write-wins
+            # semantics on the queue must absorb it
+            self.faults["duplicate"] += 1
+            getattr(self._queue, method)(*args)
+        if method == "complete":
+            self.completes += 1
+        if chaos.fires(chaos.drop_after_rate, "drop-after", *key):
+            # the queue processed the call but the reply never arrives —
+            # the nastiest transport fault: state advanced, caller in the
+            # dark, idempotency is the only safety net
+            self.faults["drop_after"] += 1
+            raise ChaosConnectionError(
+                f"chaos: {method!r} reply dropped after delivery "
+                f"({self.ident})")
+        return result
+
+    # ------------------------------------------------------------------
+    # the queue protocol surface
+    # ------------------------------------------------------------------
+    def plan(self):
+        return self._call("plan")
+
+    def lease(self, n: int, worker_id: str):
+        return self._call("lease", n, worker_id)
+
+    def complete(self, unit_id: int, payload, worker_id: str = "?") -> bool:
+        return self._call("complete", unit_id, payload, worker_id)
+
+    def fail(self, unit_id: int, reason: str, worker_id: str = "?") -> bool:
+        return self._call("fail", unit_id, reason, worker_id)
+
+    def heartbeat(self, unit_ids: Sequence[int], worker_id: str) -> int:
+        return self._call("heartbeat", list(unit_ids), worker_id)
+
+    def collect(self):
+        return self._call("collect")
+
+    def finished(self) -> bool:
+        return self._call("finished")
+
+    def stats(self) -> dict[str, int]:
+        return self._call("stats")
+
+    def dead_units(self):
+        return self._call("dead_units")
+
+
+class ChaosStore:
+    """A :class:`ResultStore` whose writes fail on schedule.
+
+    ``record_unit`` refuses (:class:`ChaosStoreFault` before any write)
+    or *tears* (the full-fidelity unit row commits, the verdict/outlier
+    index rows are lost — the mid-transaction crash shape
+    :meth:`ResultStore.record_unit` must heal on replay).  Everything
+    else delegates untouched.
+    """
+
+    def __init__(self, store: ResultStore, chaos: ChaosPlan):
+        self._store = store
+        self.chaos = chaos
+        self.calls = 0
+        self.faults: Counter = Counter()
+
+    def record_unit(self, campaign_id: str, outcome) -> bool:
+        n = self.calls
+        self.calls += 1
+        chaos = self.chaos
+        if (n in chaos.store_torn_calls
+                or chaos.fires(chaos.store_torn_rate, "store-torn", n)):
+            self.faults["torn"] += 1
+            self._store._insert_unit_row(campaign_id, outcome)
+            self._store._db.commit()
+            raise ChaosStoreFault(
+                f"chaos: store append torn at call {n} (unit row "
+                f"committed, index rows lost)")
+        if (n in chaos.store_fail_calls
+                or chaos.fires(chaos.store_fail_rate, "store-fail", n)):
+            self.faults["fail"] += 1
+            raise ChaosStoreFault(f"chaos: store write refused at call {n}")
+        return self._store.record_unit(campaign_id, outcome)
+
+    def __getattr__(self, name: str):
+        return getattr(self._store, name)
+
+
+class ChaosWorkerFleet:
+    """In-process workers that die and respawn under the plan.
+
+    Each slot runs :func:`~repro.fleet.worker.worker_loop` over a fresh
+    :class:`ChaosQueueProxy` per incarnation (``chaos-w<slot>.<n>`` —
+    the worker id every fault decision keys off).  A
+    :class:`ChaosWorkerCrash` kills the incarnation and the slot
+    respawns, exactly as an operator's process supervisor would; an
+    injected transport error counts as a reconnect.  ``queue_source``
+    is polled between incarnations so the fleet follows the supervisor
+    across coordinator restarts.
+    """
+
+    def __init__(self, chaos: ChaosPlan,
+                 queue_source: Callable[[], object], *,
+                 workers: int = 2, batch: int = 1,
+                 poll_s: float = 0.005,
+                 max_respawns: int = 100):
+        if workers < 1:
+            raise ConfigError("chaos fleet needs workers >= 1")
+        self.chaos = chaos
+        self._queue_source = queue_source
+        self.workers = workers
+        self.batch = batch
+        self.poll_s = poll_s
+        self.max_respawns = max_respawns
+        self.budget = _CrashBudget(chaos.max_worker_crashes)
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self.proxies: list[ChaosQueueProxy] = []
+        self.kills = 0
+        self.reconnects = 0
+
+    def start(self) -> None:
+        for slot in range(self.workers):
+            t = threading.Thread(target=self._slot_loop, args=(slot,),
+                                 name=f"chaos-worker-{slot}", daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def _slot_loop(self, slot: int) -> None:
+        incarnation = 0
+        respawns = 0
+        while not self._stop.is_set() and respawns <= self.max_respawns:
+            queue = self._queue_source()
+            if queue is None or getattr(queue, "closed", False):
+                time.sleep(self.poll_s)
+                continue
+            wid = f"chaos-w{slot}.{incarnation}"
+            proxy = ChaosQueueProxy(queue, self.chaos, ident=wid,
+                                    crash_budget=self.budget)
+            with self._lock:
+                self.proxies.append(proxy)
+            try:
+                worker_loop(proxy, worker_id=wid, batch=self.batch,
+                            poll_s=self.poll_s)
+            except ChaosWorkerCrash:
+                with self._lock:
+                    self.kills += 1
+                incarnation += 1
+                respawns += 1
+                continue
+            except FleetError:
+                with self._lock:
+                    self.reconnects += 1
+                incarnation += 1
+                respawns += 1
+                continue
+            # clean return: the campaign finished or the queue was
+            # retired under us — wait for the next incarnation's queue
+            time.sleep(self.poll_s)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout)
+        self._threads = [t for t in self._threads if t.is_alive()]
+
+    def transport_faults(self) -> dict[str, int]:
+        with self._lock:
+            total: Counter = Counter()
+            for proxy in self.proxies:
+                total.update(proxy.faults)
+        total.pop("crash", None)  # reported separately as kills
+        return dict(total)
+
+    def stats(self) -> dict[str, int]:
+        return {"kills": self.kills, "reconnects": self.reconnects,
+                "crash_budget_used": self.budget.used}
+
+
+class ChaosCoordinatorFactory:
+    """Coordinator incarnations with seeded poll kill-points.
+
+    Queue knobs default to chaos-friendly values: short leases so a
+    killed worker's units re-dispatch promptly, a deep retry budget so
+    injected failures don't exhaust units the plan means to recover.
+    """
+
+    def __init__(self, config: CampaignConfig, chaos: ChaosPlan, *,
+                 lease_seconds: float = 1.0,
+                 max_attempts: int = 6,
+                 backoff_s: float = 0.02,
+                 straggler_after: float = 0.2,
+                 collect_profiles: bool = False):
+        self.config = config
+        self.chaos = chaos
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.straggler_after = straggler_after
+        self.collect_profiles = collect_profiles
+        self.incarnations = 0
+        self.crashes_fired = 0
+
+    def __call__(self, buffer: StoreWriteBuffer) -> FleetCoordinator:
+        inc = self.incarnations
+        self.incarnations += 1
+        coord = FleetCoordinator(
+            self.config, store_buffer=buffer,
+            collect_profiles=self.collect_profiles,
+            lease_seconds=self.lease_seconds,
+            max_attempts=self.max_attempts,
+            backoff_s=self.backoff_s,
+            straggler_after=self.straggler_after)
+        crash_after = (self.chaos.coordinator_crash_after[inc]
+                       if inc < len(self.chaos.coordinator_crash_after)
+                       else None)
+        if crash_after is not None:
+            orig_poll = coord.poll
+            factory = self
+
+            def poll() -> int:
+                n = orig_poll()
+                # the kill lands *after* the poll: everything ingested is
+                # already in the store or the supervisor's write buffer,
+                # so the crash costs at most wasted re-execution, never a
+                # lost or double-counted verdict
+                held = len(coord.session._outcomes)
+                if held >= crash_after:
+                    factory.crashes_fired += 1
+                    raise ChaosCoordinatorCrash(
+                        f"chaos: coordinator incarnation {inc} killed "
+                        f"after {held} ingested unit(s)")
+                return n
+
+            coord.poll = poll  # type: ignore[method-assign]
+        return coord
+
+
+def run_chaos_campaign(config: CampaignConfig, chaos: ChaosPlan,
+                       store_path: str | Path, *,
+                       workers: int = 2,
+                       batch: int = 1,
+                       supervisor: SupervisorConfig | None = None,
+                       timeout: float = 300.0,
+                       status_path: str | Path | None = None
+                       ) -> tuple[CampaignResult, dict]:
+    """Run ``config``'s grid under the chaos plan; return (result, report).
+
+    Wires the whole robustness stack together: a
+    :class:`~repro.fleet.supervisor.FleetSupervisor` over a
+    :class:`ChaosStore`, coordinator incarnations from a
+    :class:`ChaosCoordinatorFactory`, and a :class:`ChaosWorkerFleet`
+    following the live queue.  The returned report counts what actually
+    fired (kills, reconnects, transport faults, store faults, restarts)
+    so a soak can assert its scenario really happened — a chaos run
+    whose faults silently didn't fire proves nothing.
+    """
+    sup_cfg = supervisor if supervisor is not None else SupervisorConfig(
+        max_restarts=max(3, len(chaos.coordinator_crash_after) + 1),
+        restart_backoff_s=0.05,
+        max_restart_backoff_s=0.5,
+        poll_s=0.01,
+        status_every_s=0.5,
+        store_retry_backoff_s=0.05,
+        store_retry_max_backoff_s=0.5)
+    store = ResultStore(store_path)
+    chaos_store = ChaosStore(store, chaos)
+    factory = ChaosCoordinatorFactory(config, chaos)
+    sup = FleetSupervisor(config, chaos_store, workers=0,
+                          supervisor=sup_cfg,
+                          status_path=status_path,
+                          coordinator_factory=factory)
+    fleet = ChaosWorkerFleet(chaos, sup.current_queue,
+                             workers=workers, batch=batch)
+    try:
+        fleet.start()
+        result = sup.run(timeout=timeout)
+    finally:
+        fleet.stop()
+        store.close()
+    report = {
+        "worker_kills": fleet.kills,
+        "worker_reconnects": fleet.reconnects,
+        "transport_faults": fleet.transport_faults(),
+        "coordinator_incarnations": factory.incarnations,
+        "coordinator_crashes": factory.crashes_fired,
+        "supervisor_restarts": sup.restarts,
+        "store_calls": chaos_store.calls,
+        "store_faults": dict(chaos_store.faults),
+        "store_recorded": sup.buffer.recorded,
+        "store_buffered": sup.buffer.pending,
+    }
+    return result, report

@@ -22,10 +22,12 @@ the queue; the coordinator just pumps completions out of it.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 import os
 import secrets
 import time
+import warnings
 from typing import Iterator, Sequence
 
 from ..config import CampaignConfig
@@ -37,11 +39,14 @@ from ..driver.engine import (
     UnitOutcome,
     WorkUnit,
 )
-from ..errors import ConfigError, FleetError
+from ..errors import ConfigError, FleetDegradedWarning, FleetError
 from ..harness.campaign import CampaignResult
 from ..harness.session import CampaignSession
 from .queue import DEFAULT_AUTHKEY, QueueServer, WorkQueue
-from .worker import _worker_process_entry
+from .store import StoreWriteBuffer
+from .worker import _worker_process_entry, worker_loop
+
+log = logging.getLogger(__name__)
 
 
 def _spawn_worker(address: tuple[str, int], authkey: bytes, *,
@@ -135,9 +140,21 @@ class FleetEngine(ExecutionEngine):
                     procs.append(_spawn_worker(server.address, authkey,
                                                batch=self.batch))
                 if not procs:
-                    raise FleetError(
+                    # graceful degradation: the distributed substrate is
+                    # gone (every worker died, restart budget spent) but
+                    # units are pure functions of their indices — finish
+                    # the grid in-process rather than abandoning it
+                    warnings.warn(
                         "every fleet worker died and the restart budget "
-                        "is spent")
+                        "is spent; falling back to in-process serial "
+                        "execution for the remaining units",
+                        FleetDegradedWarning, stacklevel=2)
+                    log.error(
+                        "fleet degraded: %s; finishing the remaining "
+                        "units in-process", queue.stats())
+                    worker_loop(queue, worker_id="fleet-inline-degraded",
+                                batch=self.batch)
+                    continue
                 time.sleep(self.poll_s)
             dead = queue.dead_units()
             if dead:
@@ -176,20 +193,44 @@ class FleetCoordinator:
 
     def __init__(self, config: CampaignConfig, *,
                  store=None,
+                 store_buffer: StoreWriteBuffer | None = None,
                  campaign_id: str | None = None,
                  collect_profiles: bool = False,
                  lease_seconds: float = 60.0,
                  max_attempts: int = 3,
                  backoff_s: float = 0.25,
                  straggler_after: float | None = None):
+        if store is not None and store_buffer is not None:
+            raise ConfigError(
+                "pass store or store_buffer, not both (a buffer already "
+                "wraps its store)")
         self.config = config
-        self.store = store
         self.session = CampaignSession(config, engine="serial",
                                        collect_profiles=collect_profiles)
         self.campaign_id: str | None = None
-        if store is not None:
+        self.store_buffer: StoreWriteBuffer | None = None
+        if store_buffer is not None:
+            # supervisor-owned buffer, shared across coordinator
+            # incarnations so parked writes survive a coordinator crash
+            if campaign_id not in (None, store_buffer.campaign_id):
+                raise ConfigError(
+                    f"campaign_id {campaign_id!r} conflicts with the "
+                    f"store buffer's {store_buffer.campaign_id!r}")
+            store = store_buffer.store
+            self.campaign_id = store_buffer.campaign_id
+            self.store_buffer = store_buffer
+        elif store is not None:
             self.campaign_id = store.ensure_campaign(config, campaign_id)
+            self.store_buffer = StoreWriteBuffer(store, self.campaign_id)
+        self.store = store
+        if store is not None:
             for outcome in store.outcomes(self.campaign_id):
+                self.session.ingest(outcome)
+        if self.store_buffer is not None:
+            # outcomes parked by a predecessor's dying store are session
+            # state too — without them a successor would re-run units the
+            # buffer already holds
+            for outcome in self.store_buffer.pending_outcomes():
                 self.session.ingest(outcome)
         plan = ExecutionPlan(config=config, collect_profiles=collect_profiles)
         self.queue = WorkQueue(plan, self.session.pending_units(),
@@ -236,13 +277,22 @@ class FleetCoordinator:
         Returns how many *new* units were ingested; duplicates (a
         straggler race already resolved first-write-wins by the queue,
         or a unit the store already held) count zero.
+
+        Store writes go through a :class:`~repro.fleet.store.
+        StoreWriteBuffer`: a failing store cannot desynchronize session
+        from store (the write parks and retries with backoff) and cannot
+        drop the rest of a collected batch (``collect()`` drains the
+        queue's fresh list — an exception mid-batch would lose every
+        outcome after it).
         """
         n = 0
         for _uid, outcome in self.queue.collect():
             if self.session.ingest(outcome):
                 n += 1
-                if self.store is not None:
-                    self.store.record_unit(self.campaign_id, outcome)
+                if self.store_buffer is not None:
+                    self.store_buffer.record(outcome)
+        if self.store_buffer is not None:
+            self.store_buffer.retry_due()
         return n
 
     def wait(self, *, poll_s: float = 0.05, timeout: float | None = None,
@@ -250,9 +300,11 @@ class FleetCoordinator:
         """Pump completions until the grid is finished; return the result.
 
         Raises :class:`~repro.errors.FleetError` if units died (retry
-        budget spent) or ``timeout`` elapsed first.  Progress fires with
-        ``(completed tests, total tests)`` against the whole grid,
-        counting units restored from the store.
+        budget spent) or ``timeout`` elapsed first.  A timeout shuts the
+        arrangement down (:meth:`close`) before raising — no live worker
+        processes or bound socket outlive the failed wait.  Progress
+        fires with ``(completed tests, total tests)`` against the whole
+        grid, counting units restored from the store.
         """
         t0 = time.monotonic()
         while True:
@@ -264,17 +316,34 @@ class FleetCoordinator:
                 self.poll()  # completions that landed since the drain
                 break
             if timeout is not None and time.monotonic() - t0 > timeout:
+                stats = self.queue.stats()
+                self.session.add_elapsed(time.monotonic() - t0)
+                self.close()
                 raise FleetError(
                     f"fleet campaign unfinished after {timeout:.1f}s "
-                    f"({self.queue.stats()})")
+                    f"({stats}); workers and socket shut down")
             time.sleep(poll_s)
-        self.session._elapsed += time.monotonic() - t0
+        self.session.add_elapsed(time.monotonic() - t0)
+        if self.store_buffer is not None:
+            self.store_buffer.flush()
+            if self.store_buffer.pending:
+                warnings.warn(
+                    f"campaign finished but {self.store_buffer.pending} "
+                    f"completed unit(s) could not be persisted to the "
+                    f"store (last error: {self.store_buffer.last_error}); "
+                    f"verdicts are complete in memory only",
+                    FleetDegradedWarning, stacklevel=2)
+                log.error(
+                    "store still failing at campaign end: %d outcome(s) "
+                    "unpersisted (last error: %s)",
+                    self.store_buffer.pending, self.store_buffer.last_error)
         dead = self.queue.dead_units()
         if dead:
             raise _dead_unit_error(dead)
         return self.session.result()
 
     def close(self) -> None:
+        self.queue.close()
         if self._server is not None:
             self._server.close()
             self._server = None
@@ -284,6 +353,8 @@ class FleetCoordinator:
         for p in self._procs:
             p.join(timeout=5)
         self._procs.clear()
+        if self.store_buffer is not None:
+            self.store_buffer.flush()  # never raises; parks on failure
 
     def __enter__(self) -> "FleetCoordinator":
         return self

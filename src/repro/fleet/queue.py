@@ -128,6 +128,7 @@ class WorkQueue:
         self._fresh: list[int] = []
         self._clock = clock
         self._lock = threading.Lock()
+        self._closed = False
 
     # ------------------------------------------------------------------
     # protocol
@@ -148,6 +149,8 @@ class WorkQueue:
         if n < 1:
             raise ConfigError("lease(n) needs n >= 1")
         with self._lock:
+            if self._closed:
+                return []
             now = self._clock()
             self._expire(now)
             out: list[Lease] = []
@@ -177,6 +180,8 @@ class WorkQueue:
         """Record a finished unit.  First write wins: a duplicate
         completion is dropped and reported ``False``."""
         with self._lock:
+            if self._closed:
+                return False
             slot = self._slot(unit_id)
             if slot.done:
                 return False
@@ -194,6 +199,8 @@ class WorkQueue:
         The unit requeues with backoff until its dispatch budget
         (``max_attempts``) is spent, then it is declared dead."""
         with self._lock:
+            if self._closed:
+                return False
             slot = self._slot(unit_id)
             slot.leases.pop(worker_id, None)
             if slot.done:
@@ -209,6 +216,8 @@ class WorkQueue:
     def heartbeat(self, unit_ids: Sequence[int], worker_id: str) -> int:
         """Extend this worker's leases; returns how many were extended."""
         with self._lock:
+            if self._closed:
+                return 0
             now = self._clock()
             extended = 0
             for uid in unit_ids:
@@ -231,6 +240,8 @@ class WorkQueue:
     def finished(self) -> bool:
         """True when every unit is either completed or dead."""
         with self._lock:
+            if self._closed:
+                return True
             return all(not s.open for s in self._slots.values())
 
     def stats(self) -> dict[str, int]:
@@ -254,6 +265,32 @@ class WorkQueue:
             return [(uid, self._slots[uid].dead_reason)
                     for uid in self._order
                     if self._slots[uid].dead_reason is not None]
+
+    def unit(self, unit_id: int) -> WorkUnit:
+        """The :class:`WorkUnit` behind ``unit_id`` (supervisor-side
+        inline rescue of dead units executes it directly)."""
+        with self._lock:
+            return self._slot(unit_id).unit
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Retire the queue: leases stop, ``finished()`` reports True.
+
+        In-process worker threads holding a reference to a retired
+        coordinator's queue (chaos harnesses, supervisor restarts) exit
+        their loops cleanly instead of completing units into an
+        abandoned queue.  Completions already collected are unaffected;
+        ``collect()`` keeps draining.  Deliberately *not* part of
+        :data:`QUEUE_METHODS` — a remote worker cannot retire the queue.
+        """
+        with self._lock:
+            self._closed = True
 
     # ------------------------------------------------------------------
     # internals (lock held by caller)

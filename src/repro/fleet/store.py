@@ -33,10 +33,11 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import sqlite3
 import time
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..analysis.buckets import BugBucket, build_buckets, directive_vector
 from ..analysis.outliers import TestVerdict
@@ -48,6 +49,8 @@ from ..harness.session import (
     outcome_from_row,
     outcome_to_row,
 )
+
+log = logging.getLogger(__name__)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
@@ -198,12 +201,13 @@ class ResultStore:
             "SELECT program_index FROM units WHERE campaign_id = ?",
             (campaign_id,))}
 
-    def record_unit(self, campaign_id: str, outcome: UnitOutcome) -> bool:
-        """Persist one completed unit; first write wins.
+    def _insert_unit_row(self, campaign_id: str,
+                         outcome: UnitOutcome) -> bool:
+        """The full-fidelity unit row alone (no index rows, no commit).
 
-        Returns ``False`` (changing nothing) if the unit is already
-        stored — replaying a straggler's duplicate completion or a whole
-        checkpoint is idempotent.
+        Factored out so the chaos harness can commit *just* this row and
+        then abort — the realistic torn-append state :meth:`record_unit`
+        must heal.  Returns ``True`` if the row was new.
         """
         cur = self._db.execute(
             "INSERT OR IGNORE INTO units (campaign_id, program_index, "
@@ -211,9 +215,19 @@ class ResultStore:
             (campaign_id, outcome.program_index, outcome.program_name,
              int(outcome.race_filtered),
              json.dumps(outcome_to_row(outcome), sort_keys=True)))
-        if cur.rowcount == 0:
-            self._db.rollback()
-            return False
+        return cur.rowcount > 0
+
+    def record_unit(self, campaign_id: str, outcome: UnitOutcome) -> bool:
+        """Persist one completed unit; first write wins.
+
+        Returns ``False`` if the unit row is already stored — replaying
+        a straggler's duplicate completion or a whole checkpoint is
+        idempotent.  The verdict/outlier index rows are (re-)inserted
+        either way: a torn append (unit row committed, index rows lost
+        to a crash mid-write) heals on the next replay instead of being
+        shadowed forever by the first-write-wins unit row.
+        """
+        fresh = self._insert_unit_row(campaign_id, outcome)
         vector = ("+".join(directive_vector(outcome.features))
                   if outcome.features is not None else "") or "serial"
         for v in outcome.verdicts:
@@ -232,7 +246,7 @@ class ResultStore:
                      v.program_name, vendor, kind, ratio, vector,
                      f"{kind}|{vendor}|{vector}"))
         self._db.commit()
-        return True
+        return fresh
 
     def record_session(self, session: CampaignSession,
                        campaign_id: str | None = None) -> tuple[str, int]:
@@ -346,3 +360,106 @@ class ResultStore:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class StoreWriteBuffer:
+    """Crash-safe write discipline over :meth:`ResultStore.record_unit`.
+
+    A store write that raises mid-poll must not desynchronize the
+    coordinator's session from the store (the unit would be counted in
+    memory but absent on disk, so a successor re-runs it against state
+    that already has it).  The buffer makes ``record`` total: a failed
+    write parks the outcome in an in-memory FIFO and retries with
+    exponential backoff on later polls — outcomes land in the store in
+    their original completion order, or stay inspectable in
+    :meth:`pending_outcomes` if the store never recovers.
+
+    Single-owner by design (the coordinator/supervisor poll loop); not
+    thread-safe.
+    """
+
+    def __init__(self, store: ResultStore, campaign_id: str, *,
+                 backoff_s: float = 0.25,
+                 max_backoff_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if backoff_s < 0:
+            raise ConfigError("backoff_s must be >= 0")
+        if max_backoff_s < backoff_s:
+            raise ConfigError("max_backoff_s must be >= backoff_s")
+        self.store = store
+        self.campaign_id = campaign_id
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self._clock = clock
+        self._queue: list[UnitOutcome] = []
+        self._not_before = 0.0
+        self._streak = 0          # consecutive failures (sizes the backoff)
+        #: totals over the buffer's lifetime
+        self.recorded = 0
+        self.failures = 0
+        self.last_error: Exception | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Outcomes accepted but not yet landed in the store."""
+        return len(self._queue)
+
+    def pending_outcomes(self) -> list[UnitOutcome]:
+        """The parked outcomes, oldest first (restart handoff reads
+        these so nothing ingested is ever lost to a dying store)."""
+        return list(self._queue)
+
+    # ------------------------------------------------------------------
+    def record(self, outcome: UnitOutcome) -> bool:
+        """Accept ``outcome``; never raises.
+
+        Returns ``True`` when the buffer is fully drained into the
+        store afterwards (this outcome included), ``False`` when at
+        least one outcome — possibly this one — is parked for retry.
+        """
+        self._queue.append(outcome)
+        if self._clock() >= self._not_before:
+            self._drain()
+        return not self._queue
+
+    def retry_due(self) -> int:
+        """Retry parked writes if the backoff has elapsed; returns how
+        many landed.  Cheap no-op while empty or still backing off."""
+        if not self._queue or self._clock() < self._not_before:
+            return 0
+        return self._drain()
+
+    def flush(self) -> int:
+        """Force one retry pass now, ignoring the backoff gate; returns
+        how many landed.  Call at campaign end / before teardown."""
+        if not self._queue:
+            return 0
+        return self._drain()
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> int:
+        landed = 0
+        while self._queue:
+            outcome = self._queue[0]
+            try:
+                self.store.record_unit(self.campaign_id, outcome)
+            except Exception as exc:
+                self.failures += 1
+                self._streak += 1
+                self.last_error = exc
+                delay = min(self.max_backoff_s,
+                            self.backoff_s * (2 ** (self._streak - 1)))
+                self._not_before = self._clock() + delay
+                log.warning(
+                    "store write for unit %d failed (%s: %s); %d outcome(s) "
+                    "buffered, retrying in %.2fs",
+                    outcome.program_index, type(exc).__name__, exc,
+                    len(self._queue), delay)
+                return landed
+            self._queue.pop(0)
+            self.recorded += 1
+            self._streak = 0
+            landed += 1
+        self._not_before = 0.0
+        return landed

@@ -1,0 +1,391 @@
+"""Fleet supervisor: run a campaign as a service that survives failure.
+
+A :class:`FleetSupervisor` owns the lifecycle a bare
+:class:`~repro.fleet.coordinator.FleetCoordinator` leaves to the
+operator:
+
+* **Crash-safe persistence** — every completion flows through one
+  :class:`~repro.fleet.store.StoreWriteBuffer` that outlives coordinator
+  incarnations, so a store hiccup parks writes instead of losing them
+  and a coordinator crash cannot orphan an ingested outcome.
+* **Restart from the store** — a coordinator that dies (any exception
+  out of its pump) is torn down and a successor is built over the same
+  store; the successor re-queues only units the store (plus the shared
+  buffer) has not seen.  Restarts are bounded with exponential backoff.
+* **Graceful degradation** — when the restart budget is spent (and
+  ``degrade`` is on), the supervisor finishes the remaining grid
+  in-process with a loud :class:`~repro.errors.FleetDegradedWarning`
+  instead of abandoning the campaign.  Units whose fleet retry budget
+  died are likewise rescued by one inline execution attempt before the
+  supervisor gives up on them.
+* **Signal-driven drain** — SIGTERM/SIGINT flip a flag; the pump then
+  polls one final time, flushes the buffer, tears the fleet down, and
+  exits through the conventional path (130 for SIGINT, 143 for
+  SIGTERM).  Everything completed before the signal is in the store.
+* **Health snapshot** — :meth:`status` (optionally mirrored to an
+  atomically rewritten JSON file for ``repro-omp fleet status``).
+
+The clock and sleep are injectable so chaos tests drive the whole
+lifecycle deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import time
+import warnings
+from pathlib import Path
+from typing import Callable
+
+from ..config import CampaignConfig, SupervisorConfig
+from ..driver.engine import ExecutionPlan, execute_unit
+from ..errors import ConfigError, FleetDegradedWarning, FleetError
+from ..harness.campaign import CampaignResult
+from ..harness.session import CampaignSession
+from .coordinator import FleetCoordinator, _dead_unit_error
+from .queue import DEFAULT_AUTHKEY
+from .store import ResultStore, StoreWriteBuffer
+
+log = logging.getLogger(__name__)
+
+#: exit code a SIGTERM drain leaves the process with (shell convention)
+SIGTERM_EXIT = 143
+
+#: supervisor lifecycle states (:attr:`FleetSupervisor.state`)
+STATES = ("idle", "running", "restarting", "draining", "degraded",
+          "finished", "interrupted", "failed")
+
+
+class FleetSupervisor:
+    """Daemon loop owning a fleet coordinator and its failure handling.
+
+    ``coordinator_factory(store_buffer)`` builds each incarnation; the
+    default wires a plain :class:`FleetCoordinator` over this
+    supervisor's config and buffer.  Chaos tests substitute a factory
+    that wraps the coordinator (and its queue) in fault injectors.
+    """
+
+    def __init__(self, config: CampaignConfig, store: ResultStore, *,
+                 workers: int = 0,
+                 serve: bool | None = None,
+                 supervisor: SupervisorConfig | None = None,
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 authkey: bytes = DEFAULT_AUTHKEY,
+                 status_path: str | Path | None = None,
+                 coordinator_factory: Callable[
+                     [StoreWriteBuffer], FleetCoordinator] | None = None,
+                 collect_profiles: bool = False,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep):
+        if store is None:
+            raise ConfigError(
+                "a supervisor needs a result store — without one there is "
+                "nothing to restart a crashed coordinator from")
+        self.config = config
+        self.store = store
+        self.workers = workers
+        #: whether each incarnation binds a queue socket (external
+        #: workers connect there); defaults to "only if spawning local
+        #: workers" — in-process harnesses attach via :meth:`current_queue`
+        self.serve = serve if serve is not None else workers > 0
+        self.sup = supervisor if supervisor is not None else SupervisorConfig()
+        self.host, self.port, self.authkey = host, port, authkey
+        self.status_path = Path(status_path) if status_path else None
+        self.collect_profiles = collect_profiles
+        self._clock = clock
+        self._sleep = sleep
+        self.campaign_id = store.ensure_campaign(config)
+        #: one buffer across every coordinator incarnation: writes parked
+        #: by a dying store survive the coordinator that accepted them
+        self.buffer = StoreWriteBuffer(
+            store, self.campaign_id,
+            backoff_s=self.sup.store_retry_backoff_s,
+            max_backoff_s=self.sup.store_retry_max_backoff_s,
+            clock=clock)
+        self._factory = coordinator_factory or self._default_factory
+        self._coord: FleetCoordinator | None = None
+        self.state = "idle"
+        self.restarts = 0
+        self.crashes: list[str] = []
+        self._signal: int | None = None
+        self._old_handlers: dict[int, object] = {}
+
+    def _default_factory(self, buffer: StoreWriteBuffer) -> FleetCoordinator:
+        return FleetCoordinator(self.config, store_buffer=buffer,
+                                collect_profiles=self.collect_profiles)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._coord is None:
+            raise FleetError("supervisor has no live coordinator")
+        return self._coord.address
+
+    def current_queue(self):
+        """The live incarnation's queue (chaos worker fleets attach
+        here); ``None`` between incarnations."""
+        return self._coord.queue if self._coord is not None else None
+
+    def status(self) -> dict:
+        """A JSON-able health/progress snapshot."""
+        out = {
+            "campaign_id": self.campaign_id,
+            "state": self.state,
+            "restarts": self.restarts,
+            "crashes": list(self.crashes),
+            "store": {
+                "recorded": self.buffer.recorded,
+                "buffered": self.buffer.pending,
+                "write_failures": self.buffer.failures,
+            },
+            "updated_at": time.time(),
+        }
+        coord = self._coord
+        if coord is not None:
+            out["completed_tests"] = coord.session.completed_tests
+            out["total_tests"] = coord.session.total_tests
+            out["queue"] = coord.queue.stats()
+            if coord._server is not None:
+                out["address"] = list(coord.address)
+        else:
+            out["completed_tests"] = len(
+                self.store.completed_indices(self.campaign_id)) \
+                * self.config.inputs_per_program
+            out["total_tests"] = (self.config.n_programs
+                                  * self.config.inputs_per_program)
+        return out
+
+    def _write_status(self) -> None:
+        if self.status_path is None:
+            return
+        try:
+            tmp = self.status_path.with_suffix(
+                self.status_path.suffix + ".tmp")
+            tmp.write_text(json.dumps(self.status(), indent=2,
+                                      sort_keys=True))
+            tmp.replace(self.status_path)  # atomic: readers never see half
+        except OSError as exc:
+            log.warning("could not write status file %s: %s",
+                        self.status_path, exc)
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+    def _install_signal_handlers(self) -> None:
+        def _flag(signum, frame):
+            self._signal = signum
+            self.state = "draining"
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._old_handlers[signum] = signal.signal(signum, _flag)
+            except ValueError:
+                # not the main thread: the embedding test harness keeps
+                # its own handlers; drain is then driven by exceptions
+                break
+
+    def _restore_signal_handlers(self) -> None:
+        for signum, handler in self._old_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, TypeError):
+                pass
+        self._old_handlers.clear()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def run(self, timeout: float | None = None) -> CampaignResult:
+        """Supervise the campaign to completion; returns its result.
+
+        Raises :class:`FleetError` only for terminal conditions —
+        ``timeout`` elapsed, or units dead beyond rescue, or the restart
+        budget spent with ``degrade`` off.  SIGINT exits by raising
+        :class:`KeyboardInterrupt`, SIGTERM by ``SystemExit(143)``, both
+        after a clean drain.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        self._install_signal_handlers()
+        try:
+            while True:
+                self.state = "running"
+                coord = self._coord = self._factory(self.buffer)
+                try:
+                    if self.serve:
+                        coord.serve(host=self.host, port=self.port,
+                                    authkey=self.authkey)
+                    if self.workers:
+                        coord.spawn_workers(self.workers)
+                    result = self._pump(coord, deadline)
+                    self.state = "finished"
+                    self._write_status()
+                    return result
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except FleetError:
+                    # terminal by construction (timeout, dead beyond
+                    # rescue): _pump already tore the incarnation down
+                    self.state = "failed"
+                    self._write_status()
+                    raise
+                except Exception as exc:
+                    self.crashes.append(f"{type(exc).__name__}: {exc}")
+                    log.error("coordinator crashed (%s: %s); %d restart(s) "
+                              "used of %d", type(exc).__name__, exc,
+                              self.restarts, self.sup.max_restarts)
+                    self._teardown(coord)
+                    if self.restarts >= self.sup.max_restarts:
+                        if self.sup.degrade:
+                            return self._degraded_finish()
+                        self.state = "failed"
+                        self._write_status()
+                        raise FleetError(
+                            f"coordinator crashed {len(self.crashes)} "
+                            f"time(s) and the restart budget "
+                            f"({self.sup.max_restarts}) is spent"
+                        ) from exc
+                    self.restarts += 1
+                    self.state = "restarting"
+                    self._write_status()
+                    delay = min(self.sup.max_restart_backoff_s,
+                                self.sup.restart_backoff_s
+                                * (2 ** (self.restarts - 1)))
+                    self._sleep(delay)
+        finally:
+            self._restore_signal_handlers()
+
+    def _pump(self, coord: FleetCoordinator,
+              deadline: float | None) -> CampaignResult:
+        """Poll one incarnation to completion (or drain, or time out)."""
+        t0 = self._clock()
+        last_status = float("-inf")
+        while True:
+            if self._signal is not None:
+                self._drain(coord)  # raises
+            coord.poll()
+            now = self._clock()
+            if now - last_status >= self.sup.status_every_s:
+                self._write_status()
+                last_status = now
+            if coord.queue.finished():
+                coord.poll()  # completions that landed since the drain
+                break
+            if deadline is not None and now > deadline:
+                stats = coord.queue.stats()
+                self._teardown(coord)
+                self._write_status()
+                raise FleetError(
+                    f"supervised campaign unfinished at timeout ({stats})")
+            self._sleep(self.sup.poll_s)
+        self._rescue_dead(coord)
+        coord.session.add_elapsed(max(0.0, self._clock() - t0))
+        self.buffer.flush()
+        if self.buffer.pending:
+            warnings.warn(
+                f"campaign finished but {self.buffer.pending} completed "
+                f"unit(s) could not be persisted to the store (last "
+                f"error: {self.buffer.last_error})",
+                FleetDegradedWarning, stacklevel=3)
+        result = coord.session.result()
+        self._teardown(coord, keep_reference=True)
+        return result
+
+    def _rescue_dead(self, coord: FleetCoordinator) -> None:
+        """One inline execution attempt per dead unit before giving up.
+
+        A unit is usually dead because of infrastructure (its workers
+        kept dying, its leases kept expiring), not because the unit
+        itself cannot execute — units are pure functions of their
+        indices.  Completing it through the queue exercises the normal
+        late-completion rescue path, so session and store see it like
+        any other completion.
+        """
+        dead = coord.queue.dead_units()
+        if not dead:
+            return
+        warnings.warn(
+            f"{len(dead)} unit(s) exhausted their fleet retry budget; "
+            f"executing them inline in the supervisor",
+            FleetDegradedWarning, stacklevel=3)
+        plan = coord.queue.plan()
+        still_dead: list[tuple[int, str]] = []
+        for uid, reason in dead:
+            try:
+                outcome = execute_unit(plan, coord.queue.unit(uid))
+            except Exception as exc:
+                log.error("inline rescue of unit %d failed (%s: %s); "
+                          "original death: %s", uid, type(exc).__name__,
+                          exc, reason)
+                still_dead.append((uid, reason))
+                continue
+            coord.queue.complete(uid, outcome, "supervisor-inline")
+        coord.poll()
+        if still_dead:
+            self._teardown(coord)
+            raise _dead_unit_error(still_dead)
+
+    def _drain(self, coord: FleetCoordinator) -> None:
+        """Signal received: final poll, flush, teardown, conventional exit."""
+        signum = self._signal
+        log.info("draining on signal %s", signum)
+        self.state = "draining"
+        coord.poll()
+        self.buffer.flush()
+        self._teardown(coord, keep_reference=True)
+        self.state = "interrupted"
+        self._write_status()
+        if signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        raise SystemExit(SIGTERM_EXIT)
+
+    def _teardown(self, coord: FleetCoordinator, *,
+                  keep_reference: bool = False) -> None:
+        try:
+            coord.close()
+        except Exception as exc:  # teardown must never mask the cause
+            log.warning("coordinator teardown raised (%s: %s)",
+                        type(exc).__name__, exc)
+        if not keep_reference and self._coord is coord:
+            self._coord = None
+
+    def _degraded_finish(self) -> CampaignResult:
+        """Restart budget spent: finish the remaining grid in-process."""
+        warnings.warn(
+            f"coordinator crashed {len(self.crashes)} time(s) and the "
+            f"restart budget ({self.sup.max_restarts}) is spent; "
+            f"finishing the remaining units in-process",
+            FleetDegradedWarning, stacklevel=3)
+        log.error("fleet degraded after crashes %s; running the rest of "
+                  "the grid inline", self.crashes)
+        self.state = "degraded"
+        self._write_status()
+        session = CampaignSession(self.config, engine="serial",
+                                  collect_profiles=self.collect_profiles)
+        for outcome in self.store.outcomes(self.campaign_id):
+            session.ingest(outcome)
+        for outcome in self.buffer.pending_outcomes():
+            session.ingest(outcome)
+        plan = ExecutionPlan(config=self.config,
+                             collect_profiles=self.collect_profiles)
+        t0 = self._clock()
+        for unit in session.pending_units():
+            if self._signal is not None:
+                self.buffer.flush()
+                self.state = "interrupted"
+                self._write_status()
+                if self._signal == signal.SIGINT:
+                    raise KeyboardInterrupt
+                raise SystemExit(SIGTERM_EXIT)
+            outcome = execute_unit(plan, unit)
+            session.ingest(outcome)
+            self.buffer.record(outcome)
+        session.add_elapsed(max(0.0, self._clock() - t0))
+        self.buffer.flush()
+        self.state = "finished"
+        self._write_status()
+        return session.result()

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import logging
 import os
+import signal
 import time
 import uuid
 
@@ -30,6 +31,25 @@ from ..errors import FleetError
 from .queue import DEFAULT_AUTHKEY, QueueClient
 
 log = logging.getLogger(__name__)
+
+
+def _install_worker_signal_handlers() -> None:
+    """Make SIGTERM unwind the worker loop instead of killing it cold.
+
+    A terminated worker then takes the loop's ``BaseException`` path —
+    unexecuted leases are handed back immediately rather than waiting
+    out their deadlines on the queue.  Exit code 143 matches the shell
+    convention for a SIGTERM death.  No-op outside the main thread
+    (in-process worker threads are interrupted by queue closure, not
+    signals).
+    """
+    def _terminate(signum, frame):
+        raise SystemExit(143)
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        pass  # not the main thread; signals are not ours to claim
 
 
 def default_worker_id() -> str:
@@ -123,6 +143,7 @@ def run_worker(address: tuple[str, int], *,
 def _worker_process_entry(address, authkey: bytes, batch: int,
                           poll_s: float) -> None:
     """Module-level target for locally spawned worker processes."""
+    _install_worker_signal_handlers()
     try:
         run_worker(tuple(address), authkey=authkey, batch=batch,
                    poll_s=poll_s)

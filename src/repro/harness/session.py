@@ -197,6 +197,17 @@ class CampaignSession:
         self._outcomes[outcome.program_index] = outcome
         return True
 
+    def add_elapsed(self, seconds: float) -> None:
+        """Credit wall-clock time spent driving this session externally.
+
+        The fleet coordinator pumps completions outside :meth:`stream`,
+        so its wait-loop time is accounted here rather than by poking
+        the private elapsed counter from outside.
+        """
+        if seconds < 0:
+            raise ConfigError("add_elapsed needs seconds >= 0")
+        self._elapsed += seconds
+
     # ------------------------------------------------------------------
     # triage
     # ------------------------------------------------------------------

@@ -29,6 +29,21 @@ def fast_campaign_cfg(fast_gen_cfg) -> CampaignConfig:
 
 
 @pytest.fixture(scope="session")
+def fleet_cfg(fast_gen_cfg) -> CampaignConfig:
+    """The pinned paper-mix grid the fleet/supervisor/chaos suites all
+    check against serial (session-scoped: the baseline runs once)."""
+    return CampaignConfig(n_programs=6, inputs_per_program=2, seed=1234,
+                          generator=fast_gen_cfg, directive_mix="paper")
+
+
+@pytest.fixture(scope="session")
+def fleet_serial_result(fleet_cfg):
+    from repro.harness.session import CampaignSession
+
+    return CampaignSession(fleet_cfg, engine="serial").run()
+
+
+@pytest.fixture(scope="session")
 def machine() -> MachineConfig:
     return MachineConfig()
 

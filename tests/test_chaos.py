@@ -1,0 +1,347 @@
+"""Chaos tests: seeded fault decisions, transport/store fault injection,
+the crash-safe write buffer, and the supervised chaos == serial soak."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.config import ConfigError
+from repro.driver.engine import (
+    ExecutionPlan,
+    UnitOutcome,
+    WorkUnit,
+    execute_unit,
+)
+from repro.errors import FleetDegradedWarning
+from repro.fleet import (
+    ChaosConnectionError,
+    ChaosPlan,
+    ChaosQueueProxy,
+    ChaosStore,
+    ChaosStoreFault,
+    ChaosWorkerCrash,
+    FleetCoordinator,
+    ResultStore,
+    StoreWriteBuffer,
+    WorkQueue,
+    run_chaos_campaign,
+)
+from repro.fleet.chaos import _CrashBudget
+from repro.fleet.store import campaign_key
+from repro.harness.session import CampaignSession
+
+
+def ordered_key(result):
+    """Order-*sensitive* full-fidelity identity of a campaign result."""
+    return [v.identity() for v in result.verdicts]
+
+
+@pytest.fixture(scope="module")
+def unit_outcome(fleet_cfg):
+    """One real executed unit (program 0, both inputs) to feed stores."""
+    plan = ExecutionPlan(config=fleet_cfg)
+    return execute_unit(plan, WorkUnit(0, (0, 1)))
+
+
+# ----------------------------------------------------------------------
+# the plan: every fault decision is a pure function of (seed, site, key)
+# ----------------------------------------------------------------------
+
+class TestChaosPlan:
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="drop_rate"):
+            ChaosPlan(drop_rate=1.5)
+        with pytest.raises(ConfigError, match="delay_s"):
+            ChaosPlan(delay_s=-0.1)
+        with pytest.raises(ConfigError, match="max_worker_crashes"):
+            ChaosPlan(max_worker_crashes=-1)
+        with pytest.raises(ConfigError, match="crash point"):
+            ChaosPlan(crash_points=("lease", "bogus"))
+
+    def test_decisions_are_seed_deterministic(self):
+        a = ChaosPlan(seed=11, drop_rate=0.3)
+        b = ChaosPlan(seed=11, drop_rate=0.3)
+        keys = [("w0", "lease", n) for n in range(128)]
+        stream = [a.fires(0.3, "drop", *k) for k in keys]
+        assert stream == [b.fires(0.3, "drop", *k) for k in keys]
+        # a 30% rate over 128 calls fires sometimes, never always
+        assert any(stream) and not all(stream)
+        other = ChaosPlan(seed=12, drop_rate=0.3)
+        assert stream != [other.fires(0.3, "drop", *k) for k in keys]
+
+    def test_rate_extremes_short_circuit(self):
+        plan = ChaosPlan()
+        assert not plan.fires(0.0, "x", 1)
+        assert plan.fires(1.0, "x", 1)
+
+    def test_worker_crash_is_uncatchable_by_except_exception(self):
+        # models SIGKILL: no `except Exception` recovery path absorbs it
+        assert not issubclass(ChaosWorkerCrash, Exception)
+
+
+# ----------------------------------------------------------------------
+# transport faults through the proxy
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def proxy_queue(fleet_cfg):
+    plan = ExecutionPlan(config=fleet_cfg)
+    units = [WorkUnit(i, (0, 1)) for i in range(3)]
+    return WorkQueue(plan, units, lease_seconds=10.0)
+
+
+class TestChaosQueueProxy:
+    def test_drop_before_delivery_leaves_queue_untouched(self, proxy_queue):
+        proxy = ChaosQueueProxy(proxy_queue, ChaosPlan(drop_rate=1.0),
+                                ident="w0")
+        with pytest.raises(ChaosConnectionError, match="dropped"):
+            proxy.lease(1, "w0")
+        assert proxy_queue.stats()["leased"] == 0  # request never arrived
+        assert proxy.faults["drop"] == 1
+
+    def test_drop_after_delivery_advances_queue_state(self, proxy_queue):
+        # the nastiest transport fault: the queue processed the call but
+        # the caller never hears back — idempotency is the safety net
+        proxy = ChaosQueueProxy(proxy_queue, ChaosPlan(drop_after_rate=1.0),
+                                ident="w0")
+        with pytest.raises(ChaosConnectionError, match="reply dropped"):
+            proxy.lease(1, "w0")
+        assert proxy_queue.stats()["leased"] == 1  # state advanced anyway
+        with pytest.raises(ChaosConnectionError, match="reply dropped"):
+            proxy.complete(0, "p0", "w0")
+        assert proxy_queue.stats()["completed"] == 1
+
+    def test_duplicate_mutators_absorbed_first_write_wins(self, proxy_queue):
+        proxy = ChaosQueueProxy(proxy_queue, ChaosPlan(duplicate_rate=1.0),
+                                ident="w0")
+        proxy.lease(1, "w0")  # lease is not a mutator: delivered once
+        assert proxy.complete(0, "first", "w0")  # delivered twice inside
+        assert proxy.faults["duplicate"] >= 1
+        assert proxy_queue.collect() == [(0, "first")]
+
+    def test_scheduled_crash_kills_connection_permanently(self, proxy_queue):
+        plan = ChaosPlan(crash_after_units=0, max_worker_crashes=1)
+        budget = _CrashBudget(1)
+        proxy = ChaosQueueProxy(proxy_queue, plan, ident="w0",
+                                crash_budget=budget)
+        with pytest.raises(ChaosWorkerCrash):
+            proxy.lease(1, "w0")  # first crash-point call dies
+        assert proxy.dead
+        assert proxy_queue.stats()["leased"] == 0  # nothing landed
+        # every later call — including a courtesy hand-back — fails,
+        # so recovery must come from queue-side lease expiry
+        with pytest.raises(ChaosConnectionError, match="dead"):
+            proxy.finished()
+
+    def test_crash_budget_caps_fleet_wide_kills(self, proxy_queue):
+        plan = ChaosPlan(crash_after_units=0, max_worker_crashes=1)
+        budget = _CrashBudget(1)
+        first = ChaosQueueProxy(proxy_queue, plan, ident="w0",
+                                crash_budget=budget)
+        with pytest.raises(ChaosWorkerCrash):
+            first.lease(1, "w0")
+        assert budget.used == 1
+        # the budget is spent: the next connection survives its calls
+        second = ChaosQueueProxy(proxy_queue, plan, ident="w1",
+                                 crash_budget=budget)
+        assert [l.unit_id for l in second.lease(1, "w1")] == [0]
+        assert budget.used == 1
+
+
+# ----------------------------------------------------------------------
+# store faults: refusals and torn appends
+# ----------------------------------------------------------------------
+
+class TestChaosStore:
+    def test_refused_write_leaves_no_trace(self, fleet_cfg, unit_outcome,
+                                           tmp_path):
+        with ResultStore(tmp_path / "refuse.db") as store:
+            cid = store.ensure_campaign(fleet_cfg)
+            chaotic = ChaosStore(store, ChaosPlan(store_fail_calls=(0,)))
+            with pytest.raises(ChaosStoreFault, match="refused"):
+                chaotic.record_unit(cid, unit_outcome)
+            assert store.completed_indices(cid) == set()
+            # the next call (a buffer retry) lands normally
+            assert chaotic.record_unit(cid, unit_outcome)
+            assert store.completed_indices(cid) == {0}
+            assert dict(chaotic.faults) == {"fail": 1}
+
+    def test_torn_append_heals_on_replay(self, fleet_cfg, unit_outcome,
+                                         tmp_path):
+        with ResultStore(tmp_path / "torn.db") as store:
+            cid = store.ensure_campaign(fleet_cfg)
+            chaotic = ChaosStore(store, ChaosPlan(store_torn_calls=(0,)))
+            with pytest.raises(ChaosStoreFault, match="torn"):
+                chaotic.record_unit(cid, unit_outcome)
+            # torn shape: the unit row committed, the index rows lost
+            assert store.completed_indices(cid) == {0}
+            assert store.verdict_count(cid) == 0
+            # a replay (coordinator restart / buffer retry) is not fresh
+            # but must rebuild the missing index rows
+            assert not store.record_unit(cid, unit_outcome)
+            assert store.verdict_count(cid) == len(unit_outcome.verdicts)
+
+
+# ----------------------------------------------------------------------
+# the write buffer: store failures park and retry, never raise
+# ----------------------------------------------------------------------
+
+class _FlakyStore:
+    """record_unit refuses while .broken; lands program indices after."""
+
+    def __init__(self):
+        self.broken = True
+        self.landed: list[int] = []
+
+    def record_unit(self, campaign_id, outcome):
+        if self.broken:
+            raise OSError("store down")
+        self.landed.append(outcome.program_index)
+        return True
+
+
+def _outcome(i: int) -> UnitOutcome:
+    return UnitOutcome(program_index=i, program_name=f"p{i}")
+
+
+class TestStoreWriteBuffer:
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="backoff_s"):
+            StoreWriteBuffer(_FlakyStore(), "c0", backoff_s=-1.0)
+        with pytest.raises(ConfigError, match="max_backoff_s"):
+            StoreWriteBuffer(_FlakyStore(), "c0",
+                             backoff_s=2.0, max_backoff_s=1.0)
+
+    def test_failures_park_and_back_off_exponentially(self):
+        clk = [0.0]
+        store = _FlakyStore()
+        buf = StoreWriteBuffer(store, "c0", backoff_s=1.0, max_backoff_s=4.0,
+                               clock=lambda: clk[0])
+        assert not buf.record(_outcome(0))  # parked, never raises
+        assert buf.pending == 1 and buf.failures == 1
+        assert isinstance(buf.last_error, OSError)
+        # inside the 1s backoff window nothing is attempted
+        assert buf.retry_due() == 0
+        assert not buf.record(_outcome(1))  # queues behind, no store call
+        assert buf.failures == 1
+        assert [o.program_index for o in buf.pending_outcomes()] == [0, 1]
+        # window elapses, store still down: the window doubles to 2s
+        clk[0] = 1.0
+        assert buf.retry_due() == 0 and buf.failures == 2
+        clk[0] = 2.5  # only 1.5s into the doubled window: still gated
+        assert buf.retry_due() == 0 and buf.failures == 2
+        clk[0] = 3.1
+        store.broken = False
+        assert buf.retry_due() == 2
+        assert store.landed == [0, 1]  # original completion order
+        assert buf.pending == 0 and buf.recorded == 2
+
+    def test_flush_ignores_the_backoff_gate(self):
+        clk = [0.0]
+        store = _FlakyStore()
+        buf = StoreWriteBuffer(store, "c0", backoff_s=10.0,
+                               clock=lambda: clk[0])
+        buf.record(_outcome(0))
+        store.broken = False
+        assert buf.retry_due() == 0  # still inside the 10s window...
+        assert buf.flush() == 1      # ...but a flush goes now
+        assert buf.pending == 0 and store.landed == [0]
+
+
+# ----------------------------------------------------------------------
+# regression: poll() must not desync session from store (satellite 1)
+# ----------------------------------------------------------------------
+
+class TestPollStoreDivergence:
+    def test_poll_ingests_full_batch_despite_store_refusal(self, fleet_cfg,
+                                                           tmp_path):
+        """A store write raising mid-poll used to lose every outcome
+        collected after it and desynchronize session from store; now the
+        refused write parks in the buffer and the batch ingests whole."""
+        with ResultStore(tmp_path / "flaky.db") as store:
+            chaotic = ChaosStore(store, ChaosPlan(store_fail_calls=(0,)))
+            coord = FleetCoordinator(fleet_cfg, store=chaotic)
+            try:
+                plan = coord.queue.plan()
+                leases = coord.queue.lease(2, "w1")
+                for lease in leases:
+                    coord.queue.complete(lease.unit_id,
+                                         execute_unit(plan, lease.unit),
+                                         "w1")
+                assert coord.poll() == 2  # both ingested, refusal or not
+                assert len(coord.session._outcomes) == 2
+                assert coord.store_buffer.pending == 2  # parked, not lost
+                # a flush converges the store with the session
+                assert coord.store_buffer.flush() == 2
+                assert store.completed_indices(coord.campaign_id) == \
+                    {l.unit_id for l in leases}
+            finally:
+                coord.close()
+
+
+# ----------------------------------------------------------------------
+# FleetEngine graceful degradation
+# ----------------------------------------------------------------------
+
+def _exit_immediately() -> None:
+    pass
+
+
+class TestFleetEngineDegradation:
+    def test_engine_finishes_inline_when_every_worker_dies(
+            self, fleet_cfg, fleet_serial_result, monkeypatch):
+        def doomed_spawn(address, authkey, *, batch=1, poll_s=0.05):
+            proc = mp.Process(target=_exit_immediately, daemon=True)
+            proc.start()
+            return proc
+
+        monkeypatch.setattr("repro.fleet.coordinator._spawn_worker",
+                            doomed_spawn)
+        with pytest.warns(FleetDegradedWarning, match="in-process"):
+            result = CampaignSession(fleet_cfg, engine="fleet", jobs=2).run()
+        assert ordered_key(result) == ordered_key(fleet_serial_result)
+        assert result.race_filtered == fleet_serial_result.race_filtered
+
+
+# ----------------------------------------------------------------------
+# the capstone: a supervised campaign under chaos == serial, twice
+# ----------------------------------------------------------------------
+
+class TestChaosCampaign:
+    def test_supervised_chaos_run_matches_serial_and_replays(
+            self, fleet_cfg, fleet_serial_result, tmp_path):
+        plan = ChaosPlan(
+            seed=5,
+            drop_rate=0.02, drop_after_rate=0.02, duplicate_rate=0.05,
+            crash_after_units=1, max_worker_crashes=1,
+            store_fail_calls=(1,),
+            coordinator_crash_after=(2,),
+        )
+        result, report = run_chaos_campaign(
+            fleet_cfg, plan, tmp_path / "chaos-a.db", workers=2, timeout=180)
+        # the robustness contract: verdicts byte-identical to serial
+        assert ordered_key(result) == ordered_key(fleet_serial_result)
+        assert result.race_filtered == fleet_serial_result.race_filtered
+        # and every scheduled fault actually fired
+        assert report["worker_kills"] == 1
+        assert report["coordinator_crashes"] == 1
+        assert report["supervisor_restarts"] == 1
+        assert report["store_faults"] == {"fail": 1}
+        assert report["store_buffered"] == 0
+        with ResultStore(tmp_path / "chaos-a.db") as store:
+            cid = campaign_key(fleet_cfg)
+            assert len(store.completed_indices(cid)) == fleet_cfg.n_programs
+            assert store.verdict_count(cid) == \
+                len(fleet_serial_result.verdicts)
+
+        # determinism: the same (seed, plan) over a fresh store replays
+        # the scheduled fault counts and the identical verdict stream
+        result2, report2 = run_chaos_campaign(
+            fleet_cfg, plan, tmp_path / "chaos-b.db", workers=2, timeout=180)
+        assert ordered_key(result2) == ordered_key(result)
+        for key in ("worker_kills", "coordinator_crashes",
+                    "supervisor_restarts"):
+            assert report2[key] == report[key]
+        assert report2["store_faults"] == report["store_faults"]

@@ -33,18 +33,6 @@ def ordered_key(result):
     return [v.identity() for v in result.verdicts]
 
 
-@pytest.fixture(scope="module")
-def fleet_cfg(fast_gen_cfg):
-    """The pinned paper-mix grid the fleet is checked against serial on."""
-    return CampaignConfig(n_programs=6, inputs_per_program=2, seed=1234,
-                          generator=fast_gen_cfg, directive_mix="paper")
-
-
-@pytest.fixture(scope="module")
-def fleet_serial_result(fleet_cfg):
-    return CampaignSession(fleet_cfg, engine="serial").run()
-
-
 @pytest.fixture
 def small_queue(fleet_cfg):
     """A queue over a 3-unit slice with an injectable clock."""
@@ -164,6 +152,20 @@ class TestWorkQueue:
             queue.complete(i, f"p{i}")
         assert queue.finished()
         assert queue.stats()["completed"] == 3
+
+    def test_closed_queue_refuses_dispatch(self, small_queue):
+        queue, _clk = small_queue
+        queue.lease(2, "w1")
+        queue.complete(0, "p0", "w1")
+        queue.close()
+        assert queue.closed
+        assert queue.finished()            # retired reads as done...
+        assert queue.lease(1, "w2") == []  # ...and hands out nothing
+        assert not queue.complete(1, "p1", "w1")
+        assert not queue.fail(1, "boom", "w1")
+        assert queue.heartbeat([1], "w1") == 0
+        # work completed before retirement still drains to the collector
+        assert queue.collect() == [(0, "p0")]
 
     def test_validation(self, fleet_cfg):
         plan = ExecutionPlan(config=fleet_cfg)

@@ -1,0 +1,410 @@
+"""Supervisor tests: lifecycle, restart-from-store, signal drains,
+dead-unit rescue, degraded finish, and the fleet service CLI."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.config import ConfigError, SupervisorConfig
+from repro.driver.engine import ExecutionPlan, plan_units
+from repro.errors import FleetDegradedWarning, FleetError
+from repro.fleet import (
+    ChaosCoordinatorFactory,
+    ChaosPlan,
+    FleetCoordinator,
+    FleetSupervisor,
+    QueueServer,
+    ResultStore,
+    WorkQueue,
+    worker_loop,
+)
+from repro.fleet.coordinator import _spawn_worker
+from repro.fleet.store import campaign_key
+from repro.fleet.supervisor import SIGTERM_EXIT
+from repro.harness.session import CampaignSession
+
+
+def ordered_key(result):
+    """Order-*sensitive* full-fidelity identity of a campaign result."""
+    return [v.identity() for v in result.verdicts]
+
+
+def _fast_sup(**overrides) -> SupervisorConfig:
+    base = dict(poll_s=0.01, status_every_s=0.05,
+                restart_backoff_s=0.02, max_restart_backoff_s=0.1,
+                store_retry_backoff_s=0.02, store_retry_max_backoff_s=0.1)
+    base.update(overrides)
+    return SupervisorConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# config + session plumbing
+# ----------------------------------------------------------------------
+
+class TestSupervisorConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="max_restarts"):
+            SupervisorConfig(max_restarts=-1)
+        with pytest.raises(ConfigError, match="max_restart_backoff_s"):
+            SupervisorConfig(restart_backoff_s=2.0, max_restart_backoff_s=1.0)
+        with pytest.raises(ConfigError, match="poll_s"):
+            SupervisorConfig(poll_s=0)
+        with pytest.raises(ConfigError, match="store_retry_max_backoff_s"):
+            SupervisorConfig(store_retry_backoff_s=2.0,
+                             store_retry_max_backoff_s=1.0)
+
+    def test_supervisor_requires_a_store(self, fleet_cfg):
+        with pytest.raises(ConfigError, match="store"):
+            FleetSupervisor(fleet_cfg, None)
+
+
+class TestSessionElapsed:
+    def test_add_elapsed_accumulates_and_validates(self, fleet_cfg):
+        session = CampaignSession(fleet_cfg)
+        with pytest.raises(ConfigError, match=">= 0"):
+            session.add_elapsed(-0.1)
+        session.add_elapsed(1.25)
+        session.add_elapsed(0.75)
+        assert session._elapsed == pytest.approx(2.0)
+
+
+# ----------------------------------------------------------------------
+# coordinator cleanup regressions (satellite 2)
+# ----------------------------------------------------------------------
+
+class TestCoordinatorCleanup:
+    def test_wait_timeout_tears_down_workers_and_socket(self, fleet_cfg,
+                                                        monkeypatch):
+        """Regression: a timed-out wait() used to raise with the worker
+        processes and the bound socket still alive."""
+        monkeypatch.setattr("repro.fleet.worker.execute_unit",
+                            lambda plan, unit: time.sleep(600))
+        coord = FleetCoordinator(fleet_cfg)
+        procs = coord.spawn_workers(1)
+        with pytest.raises(FleetError, match="shut down"):
+            coord.wait(poll_s=0.01, timeout=0.3)
+        assert coord._server is None
+        assert coord._procs == []
+        assert not any(p.is_alive() for p in procs)
+        assert coord.queue.closed
+        # the wait-loop time is credited through the public API
+        assert coord.session._elapsed > 0
+
+    def test_interrupt_during_wait_leaves_no_workers(self, fleet_cfg,
+                                                     monkeypatch):
+        """Ctrl-C to a coordinator run: the context manager tears down
+        workers and socket on the way out."""
+        monkeypatch.setattr("repro.fleet.worker.execute_unit",
+                            lambda plan, unit: time.sleep(600))
+        coord = FleetCoordinator(fleet_cfg)
+        with pytest.raises(KeyboardInterrupt):
+            with coord:
+                procs = coord.spawn_workers(2)
+
+                def interrupt(done, total):
+                    raise KeyboardInterrupt
+
+                coord.wait(poll_s=0.01, timeout=60, progress=interrupt)
+        assert coord._server is None
+        assert not any(p.is_alive() for p in procs)
+        assert coord.queue.closed
+
+
+# ----------------------------------------------------------------------
+# worker SIGTERM: hand leases back without losing a completed unit
+# ----------------------------------------------------------------------
+
+class TestWorkerSigterm:
+    def test_sigterm_hands_back_unexecuted_leases(self, fleet_cfg,
+                                                  fleet_serial_result,
+                                                  monkeypatch):
+        from repro.fleet import worker as worker_mod
+
+        real = worker_mod.execute_unit
+
+        def first_fast_then_block(plan, unit):
+            if unit.program_index == 0:
+                return real(plan, unit)
+            time.sleep(600)
+
+        monkeypatch.setattr("repro.fleet.worker.execute_unit",
+                            first_fast_then_block)
+        plan = ExecutionPlan(config=fleet_cfg)
+        queue = WorkQueue(plan, plan_units(fleet_cfg),
+                          lease_seconds=0.5, backoff_s=0.0)
+        server = QueueServer(queue, authkey=b"test-key")
+        proc = _spawn_worker(server.address, b"test-key", batch=3)
+        try:
+            # wait until unit 0 completed and the worker blocks on unit 1
+            deadline = time.monotonic() + 60
+            while (queue.stats()["completed"] < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert queue.stats()["completed"] == 1
+            os.kill(proc.pid, signal.SIGTERM)
+            proc.join(timeout=60)
+            assert proc.exitcode == SIGTERM_EXIT  # shell convention: 143
+            stats = queue.stats()
+            # the completed unit is never lost, the unexecuted lease was
+            # handed back promptly, and at most the in-flight unit waits
+            # out its deadline
+            assert stats["completed"] == 1
+            assert stats["leased"] <= 1
+            # a surviving worker finishes the grid; the interrupted
+            # unit's re-execution is pure, so verdicts stay identical
+            monkeypatch.undo()  # the survivor executes for real
+            worker_loop(queue, poll_s=0.02)
+            assert queue.finished() and queue.dead_units() == []
+            outcomes = dict(queue.collect())
+            verdicts = [v for i in sorted(outcomes)
+                        for v in outcomes[i].verdicts]
+            assert [v.identity() for v in verdicts] == \
+                ordered_key(fleet_serial_result)
+        finally:
+            server.close()
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# supervisor lifecycle
+# ----------------------------------------------------------------------
+
+class TestFleetSupervisor:
+    def test_supervised_campaign_matches_serial(self, fleet_cfg,
+                                                fleet_serial_result,
+                                                tmp_path):
+        status = tmp_path / "status.json"
+        with ResultStore(tmp_path / "sup.db") as store:
+            sup = FleetSupervisor(fleet_cfg, store, workers=2,
+                                  supervisor=_fast_sup(),
+                                  status_path=status)
+            result = sup.run(timeout=180)
+            assert sup.state == "finished"
+            assert sup.restarts == 0 and sup.crashes == []
+            assert ordered_key(result) == ordered_key(fleet_serial_result)
+            assert store.completed_indices(sup.campaign_id) == \
+                set(range(fleet_cfg.n_programs))
+            assert result.elapsed_seconds > 0
+        snap = json.loads(status.read_text())
+        assert snap["state"] == "finished"
+        assert snap["completed_tests"] == snap["total_tests"] == \
+            fleet_cfg.n_programs * fleet_cfg.inputs_per_program
+        assert snap["store"]["recorded"] == fleet_cfg.n_programs
+        assert snap["store"]["buffered"] == 0
+
+    def test_crashed_coordinator_restarts_from_store(self, fleet_cfg,
+                                                     fleet_serial_result,
+                                                     tmp_path):
+        factory = ChaosCoordinatorFactory(
+            fleet_cfg, ChaosPlan(coordinator_crash_after=(2,)))
+        with ResultStore(tmp_path / "restart.db") as store:
+            sup = FleetSupervisor(fleet_cfg, store, workers=2,
+                                  supervisor=_fast_sup(),
+                                  coordinator_factory=factory)
+            result = sup.run(timeout=180)
+        assert factory.incarnations == 2 and factory.crashes_fired == 1
+        assert sup.restarts == 1 and len(sup.crashes) == 1
+        assert "ChaosCoordinatorCrash" in sup.crashes[0]
+        assert sup.state == "finished"
+        assert ordered_key(result) == ordered_key(fleet_serial_result)
+
+    def test_sigint_drains_and_a_successor_resumes(self, fleet_cfg,
+                                                   fleet_serial_result,
+                                                   tmp_path):
+        with ResultStore(tmp_path / "drain.db") as store:
+            sup = FleetSupervisor(fleet_cfg, store, workers=2,
+                                  supervisor=_fast_sup())
+            sup._signal = signal.SIGINT  # Ctrl-C landed before this poll
+            with pytest.raises(KeyboardInterrupt):
+                sup.run(timeout=60)
+            assert sup.state == "interrupted"
+            assert sup.buffer.pending == 0  # drain flushed the buffer
+            sup2 = FleetSupervisor(fleet_cfg, store, workers=2,
+                                   supervisor=_fast_sup())
+            result = sup2.run(timeout=180)
+        assert ordered_key(result) == ordered_key(fleet_serial_result)
+
+    def test_dead_units_are_rescued_inline(self, fleet_cfg,
+                                           fleet_serial_result,
+                                           tmp_path, monkeypatch):
+        """Workers that cannot execute one unit kill its fleet retry
+        budget; the supervisor's inline rescue still finishes the grid."""
+        from repro.fleet import worker as worker_mod
+
+        real = worker_mod.execute_unit
+
+        def sabotaged(plan, unit):
+            if unit.program_index == 2:
+                raise RuntimeError("injected unit failure")
+            return real(plan, unit)
+
+        monkeypatch.setattr("repro.fleet.worker.execute_unit", sabotaged)
+
+        def factory(buffer):
+            return FleetCoordinator(fleet_cfg, store_buffer=buffer,
+                                    max_attempts=1, backoff_s=0.0)
+
+        with ResultStore(tmp_path / "rescue.db") as store:
+            sup = FleetSupervisor(fleet_cfg, store, workers=2,
+                                  supervisor=_fast_sup(),
+                                  coordinator_factory=factory)
+            with pytest.warns(FleetDegradedWarning, match="inline"):
+                result = sup.run(timeout=180)
+            assert sup.state == "finished"
+            assert ordered_key(result) == ordered_key(fleet_serial_result)
+            assert store.completed_indices(sup.campaign_id) == \
+                set(range(fleet_cfg.n_programs))
+
+    def test_degrades_to_inline_when_restart_budget_spent(
+            self, fleet_cfg, fleet_serial_result, tmp_path):
+        def crashing_factory(buffer):
+            coord = FleetCoordinator(fleet_cfg, store_buffer=buffer)
+
+            def doomed_poll():
+                raise RuntimeError("incarnation doomed")
+
+            coord.poll = doomed_poll
+            return coord
+
+        with ResultStore(tmp_path / "degraded.db") as store:
+            sup = FleetSupervisor(fleet_cfg, store, workers=0, serve=False,
+                                  supervisor=_fast_sup(max_restarts=1),
+                                  coordinator_factory=crashing_factory)
+            with pytest.warns(FleetDegradedWarning, match="restart budget"):
+                result = sup.run(timeout=180)
+            assert sup.state == "finished"
+            assert sup.restarts == 1 and len(sup.crashes) == 2
+            assert ordered_key(result) == ordered_key(fleet_serial_result)
+            # the degraded inline run still persisted everything
+            assert store.completed_indices(sup.campaign_id) == \
+                set(range(fleet_cfg.n_programs))
+
+    def test_no_degrade_raises_after_budget(self, fleet_cfg, tmp_path):
+        def crashing_factory(buffer):
+            coord = FleetCoordinator(fleet_cfg, store_buffer=buffer)
+
+            def doomed_poll():
+                raise RuntimeError("incarnation doomed")
+
+            coord.poll = doomed_poll
+            return coord
+
+        with ResultStore(tmp_path / "hard.db") as store:
+            sup = FleetSupervisor(fleet_cfg, store, workers=0, serve=False,
+                                  supervisor=_fast_sup(max_restarts=1,
+                                                       degrade=False),
+                                  coordinator_factory=crashing_factory)
+            with pytest.raises(FleetError, match="restart budget"):
+                sup.run(timeout=60)
+            assert sup.state == "failed"
+
+
+# ----------------------------------------------------------------------
+# SIGTERM to a supervisor process: drain, exit 143, resume
+# ----------------------------------------------------------------------
+
+def _supervised_child(cfg, db_path, status_path):
+    """Run a supervisor whose workers are slowed enough for the parent
+    to SIGTERM it mid-campaign (forked workers inherit the patch)."""
+    import repro.fleet.worker as worker_mod
+
+    real = worker_mod.execute_unit
+
+    def slow(plan, unit):
+        outcome = real(plan, unit)
+        time.sleep(0.6)
+        return outcome
+
+    worker_mod.execute_unit = slow
+    store = ResultStore(db_path)
+    try:
+        sup = FleetSupervisor(
+            cfg, store, workers=2,
+            supervisor=SupervisorConfig(poll_s=0.01, status_every_s=0.05),
+            status_path=status_path)
+        sup.run(timeout=300)
+    finally:
+        store.close()
+
+
+class TestSupervisorSigterm:
+    def test_sigterm_drains_and_exits_143(self, fleet_cfg,
+                                          fleet_serial_result, tmp_path):
+        db = tmp_path / "term.db"
+        status = tmp_path / "term-status.json"
+        proc = mp.Process(target=_supervised_child,
+                          args=(fleet_cfg, db, status))
+        proc.start()
+        try:
+            # wait for at least one unit to persist before the signal
+            deadline = time.monotonic() + 60
+            recorded = 0
+            while time.monotonic() < deadline:
+                try:
+                    recorded = json.loads(
+                        status.read_text())["store"]["recorded"]
+                except (OSError, ValueError, KeyError):
+                    recorded = 0
+                if recorded >= 1:
+                    break
+                time.sleep(0.02)
+            assert recorded >= 1, "child made no progress before the signal"
+            os.kill(proc.pid, signal.SIGTERM)
+            proc.join(timeout=60)
+            assert proc.exitcode == SIGTERM_EXIT
+        finally:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        snap = json.loads(status.read_text())
+        assert snap["state"] == "interrupted"
+        with ResultStore(db) as store:
+            cid = campaign_key(fleet_cfg)
+            persisted = store.completed_indices(cid)
+            assert len(persisted) >= 1  # nothing completed was lost
+            # a successor over the same store finishes the remainder
+            sup = FleetSupervisor(fleet_cfg, store, workers=2,
+                                  supervisor=_fast_sup())
+            result = sup.run(timeout=180)
+            assert ordered_key(result) == ordered_key(fleet_serial_result)
+            assert store.completed_indices(cid) == \
+                set(range(fleet_cfg.n_programs))
+
+
+# ----------------------------------------------------------------------
+# the service CLI
+# ----------------------------------------------------------------------
+
+class TestFleetServiceCLI:
+    def test_supervise_then_status_roundtrip(self, tmp_path, capsys):
+        db = tmp_path / "cli.db"
+        status = tmp_path / "cli-status.json"
+        rc = main(["fleet", "supervise", "--programs", "2", "--inputs", "1",
+                   "--seed", "9", "--workers", "2", "--store", str(db),
+                   "--status-file", str(status), "--timeout", "180",
+                   "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdicts stored in" in out
+        # snapshot mode reads the file the supervisor mirrored
+        rc = main(["fleet", "status", "--status-file", str(status)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "finished" in out and "2/2 tests" in out
+        # store mode reports campaign completeness
+        rc = main(["fleet", "status", "--store", str(db)])
+        assert rc == 0
+        assert "COMPLETE" in capsys.readouterr().out
+
+    def test_status_requires_a_source(self, capsys):
+        assert main(["fleet", "status"]) == 2
+        assert "--status-file" in capsys.readouterr().err
