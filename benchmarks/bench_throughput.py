@@ -153,7 +153,7 @@ def backend_sweep(cfg: CampaignConfig) -> dict:
     for backend in backends:
         with use_kernel_backend(backend):
             for b, _ in grid:
-                b.__dict__.pop("entry", None)
+                b.reset_entry()
                 _ = b.entry  # bind (and build) outside the clock
             t0 = time.perf_counter()
             for b, t_input in grid:
@@ -161,7 +161,7 @@ def backend_sweep(cfg: CampaignConfig) -> dict:
             wall = time.perf_counter() - t0
         runs_per_s[backend] = round(len(grid) / wall, 2)
         for b, _ in grid:
-            b.__dict__.pop("entry", None)
+            b.reset_entry()
     out = {"runs_per_s": runs_per_s}
     if "c" in runs_per_s:
         out["c_speedup_vs_interp"] = round(

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""CI adaptive smoke: feedback-directed campaigns must stay deterministic.
+
+Three legs, all on small paper-mix grids:
+
+1. **Rerun determinism** — a seeded ``--source adaptive`` campaign run
+   twice must plan the same specs, emit byte-identical program sources,
+   and produce identical verdict streams.
+2. **Pinned leg** — the default (random) source must remain
+   byte-identical to the historical ``ProgramGenerator`` stream: same
+   emitted sources, same campaign key, no ``program_source`` key in the
+   serialized config.
+3. **Coverage leg** — at equal program count the adaptive campaign must
+   cover strictly more distinct (directive-vector, shape-fingerprint)
+   pairs than the random baseline, measured through the result store
+   exactly as ``repro-omp query --coverage`` reports it.
+
+Exit status 0 on success; 1 with a diagnostic on any violated assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import (  # noqa: E402
+    CampaignConfig,
+    GeneratorConfig,
+    campaign_to_json,
+)
+from repro.codegen.emit_main import emit_translation_unit  # noqa: E402
+from repro.core.generator import ProgramGenerator  # noqa: E402
+from repro.corpus import (  # noqa: E402
+    RandomSource,
+    materialize_spec,
+    plan_specs,
+)
+from repro.fleet import ResultStore  # noqa: E402
+from repro.fleet.store import campaign_key  # noqa: E402
+from repro.harness.session import CampaignSession  # noqa: E402
+
+#: identity of the default CampaignConfig, pinned before program sources
+#: existed — moves only if campaign identity itself changes
+PINNED_DEFAULT_KEY = "c677e61cba706"
+
+
+def identity_stream(result):
+    return [v.identity() for v in result.verdicts]
+
+
+def source_stream(cfg):
+    return [emit_translation_unit(materialize_spec(cfg, s))
+            for s in plan_specs(cfg)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--programs", type=int, default=8)
+    parser.add_argument("--inputs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=777)
+    args = parser.parse_args(argv)
+
+    gen = GeneratorConfig(max_total_iterations=4000, loop_trip_max=60,
+                          num_threads=8)
+    random_cfg = CampaignConfig(n_programs=args.programs,
+                                inputs_per_program=args.inputs,
+                                seed=args.seed, generator=gen,
+                                directive_mix="paper")
+    adaptive_cfg = dataclasses.replace(random_cfg,
+                                       program_source="adaptive")
+    failures = []
+
+    # leg 1: rerun determinism of the adaptive source
+    specs_a, specs_b = plan_specs(adaptive_cfg), plan_specs(adaptive_cfg)
+    if specs_a != specs_b:
+        failures.append("adaptive plan differs across reruns")
+    srcs_a, srcs_b = source_stream(adaptive_cfg), source_stream(adaptive_cfg)
+    if srcs_a != srcs_b:
+        failures.append("adaptive program sources differ across reruns")
+    run_a = CampaignSession(adaptive_cfg, engine="serial").run()
+    run_b = CampaignSession(adaptive_cfg, engine="serial").run()
+    if identity_stream(run_a) != identity_stream(run_b):
+        failures.append("adaptive verdict streams differ across reruns")
+    digest = hashlib.sha256("".join(srcs_a).encode()).hexdigest()[:12]
+    mutants = sum(1 for s in specs_a if s.op is not None)
+    print(f"adaptive: {len(specs_a)} specs ({mutants} mutant(s)), "
+          f"source digest {digest}, rerun identical="
+          f"{'yes' if not failures else 'NO'}")
+
+    # leg 2: the pinned default-source stream
+    legacy = ProgramGenerator(random_cfg.generator, seed=random_cfg.seed)
+    random_source = RandomSource(random_cfg)
+    for i in range(random_cfg.n_programs):
+        via_source = emit_translation_unit(
+            materialize_spec(random_cfg, random_source.spec(i)))
+        via_legacy = emit_translation_unit(legacy.generate(i))
+        if via_source != via_legacy:
+            failures.append(f"random source diverged from the historical "
+                            f"stream at index {i}")
+            break
+    if campaign_key(CampaignConfig()) != PINNED_DEFAULT_KEY:
+        failures.append("default campaign key moved: "
+                        f"{campaign_key(CampaignConfig())}")
+    if "program_source" in campaign_to_json(CampaignConfig()):
+        failures.append("default config JSON grew a program_source key")
+    print(f"pinned leg: default key {campaign_key(CampaignConfig())}, "
+          f"paper-mix stream byte-identical through RandomSource")
+
+    # leg 3: adaptive must out-cover random at equal program count
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(Path(tmp) / "adaptive-smoke.db") as store:
+            cids = {}
+            for name, cfg in (("random", random_cfg),
+                              ("adaptive", adaptive_cfg)):
+                session = CampaignSession(cfg, engine="serial")
+                session.run()
+                cids[name], _ = store.record_session(session)
+            random_cov = store.coverage(cids["random"])
+            adaptive_cov = store.coverage(cids["adaptive"])
+    print(f"coverage: random {random_cov['distinct_pairs']} pair(s), "
+          f"adaptive {adaptive_cov['distinct_pairs']} pair(s) over "
+          f"{adaptive_cov['programs']} program(s) each")
+    if random_cov["programs"] != adaptive_cov["programs"]:
+        failures.append("coverage legs ran unequal program counts")
+    if adaptive_cov["distinct_pairs"] <= random_cov["distinct_pairs"]:
+        failures.append(
+            f"adaptive covered {adaptive_cov['distinct_pairs']} pair(s), "
+            f"random covered {random_cov['distinct_pairs']} — no gain")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("adaptive smoke: deterministic reruns, pinned default stream, "
+          "strict coverage gain")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

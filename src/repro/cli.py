@@ -27,6 +27,7 @@ from pathlib import Path
 from .config import (
     DIRECTIVE_MIXES,
     ENGINE_NAMES,
+    PROGRAM_SOURCES,
     CampaignConfig,
     GeneratorConfig,
     apply_directive_mix,
@@ -60,6 +61,19 @@ def _seed(args) -> int:
     return _DEFAULT_SEED if args.seed is None else args.seed
 
 
+def _add_source_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--source", dest="program_source",
+                   choices=PROGRAM_SOURCES,
+                   help="program source planning the grid: random (the "
+                        "paper's stream, default), mutation (surgery-kit "
+                        "edits of corpus parents), or adaptive "
+                        "(coverage-directed draws and mutations)")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="triage artifacts directory (from repro-omp "
+                        "reduce/campaign --triage) whose bucket members "
+                        "seed the mutation corpus")
+
+
 def _load_config(args) -> CampaignConfig:
     """The effective campaign config: ``--config`` file first, explicit
     CLI flags applied as overrides on top of it.
@@ -87,6 +101,12 @@ def _load_config(args) -> CampaignConfig:
         overrides["chunk_size"] = args.chunk_size
     if getattr(args, "kernel_backend", None) is not None:
         overrides["kernel_backend"] = args.kernel_backend
+    if getattr(args, "program_source", None) is not None:
+        overrides["program_source"] = args.program_source
+    if getattr(args, "corpus", None) is not None:
+        from .corpus import corpus_from_triage
+
+        overrides["mutation_corpus"] = corpus_from_triage(args.corpus)
     if getattr(args, "rng_mode", None) is not None:
         overrides["generator"] = dataclasses.replace(
             base.generator, rng_mode=args.rng_mode)
@@ -470,6 +490,20 @@ def cmd_query(args) -> int:
                 print(f"{c['campaign_id']}  units={c['units']} "
                       f"verdicts={c['verdicts']} outliers={c['outliers']}")
             return 0
+        if args.coverage:
+            ids = ([args.campaign] if args.campaign
+                   else [c["campaign_id"] for c in store.campaigns()])
+            reports = [store.coverage(cid) for cid in ids]
+            if args.json:
+                print(json.dumps(reports, indent=2, sort_keys=True))
+                return 0
+            for cov in reports:
+                print(f"{cov['campaign_id']}  source={cov['program_source']} "
+                      f"programs={cov['programs']} "
+                      f"vectors={cov['distinct_vectors']} "
+                      f"shapes={cov['distinct_shapes']} "
+                      f"pairs={cov['distinct_pairs']}")
+            return 0
         if args.buckets:
             buckets = store.merge_buckets(
                 campaigns=[args.campaign] if args.campaign else None,
@@ -596,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="RNG stream derivation: compat (byte-identical "
                         "to the paper reproduction, default) or fast "
                         "(SplitMix64 mixer, a new program space)")
+    _add_source_flags(p)
     p.add_argument("--out", help="directory for dataset-style artifacts")
     p.add_argument("--save-outliers", metavar="DIR", dest="save_outliers",
                    help="dump each outlier test's C++ source, failing "
@@ -650,6 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
         fp.add_argument("--inputs", type=int, help="inputs per program")
         fp.add_argument("--mix", choices=sorted(DIRECTIVE_MIXES),
                         help="directive mix preset")
+        _add_source_flags(fp)
 
     def _add_transport(fp: argparse.ArgumentParser, *,
                        default_port: int) -> None:
@@ -767,6 +803,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "signature instead of listing them")
     p.add_argument("--list", action="store_true",
                    help="list stored campaigns with row counts")
+    p.add_argument("--coverage", action="store_true",
+                   help="per-campaign generation coverage: distinct "
+                        "directive-feature vectors, kernel-shape "
+                        "fingerprints, and (vector, shape) pairs — the "
+                        "signal the adaptive source steers by")
     p.add_argument("--json", action="store_true",
                    help="emit rows as JSON")
     p.set_defaults(fn=cmd_query)

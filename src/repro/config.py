@@ -33,7 +33,7 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, ClassVar
 
 from .errors import ConfigError
 
@@ -41,6 +41,12 @@ from .errors import ConfigError
 #: adapter of :mod:`repro.fleet`) — the single source of truth for
 #: config validation, the engine factory, and the CLI
 ENGINE_NAMES = ("serial", "thread", "process", "fleet")
+
+#: the program sources of :mod:`repro.corpus` — "random" is the paper's
+#: pure-random stream (and the compatibility default), "mutation" edits
+#: corpus parents with the surgery kit, "adaptive" steers draws and
+#: mutations toward uncovered directive/shape combinations
+PROGRAM_SOURCES = ("random", "mutation", "adaptive")
 
 
 @dataclass(frozen=True)
@@ -401,6 +407,37 @@ class CampaignConfig:
     # the generator config exactly as given.  Applied at construction, so
     # every consumer of ``config.generator`` sees the mixed flags.
     directive_mix: str | None = None
+    #: Program source planning the campaign grid (see
+    #: :mod:`repro.corpus`): "random" (default, the paper's stream),
+    #: "mutation", or "adaptive".  Identity-bearing — two campaigns with
+    #: different sources run different programs, so this participates in
+    #: the fleet store's campaign key (unlike the execution knobs).
+    program_source: str = "random"
+    #: Random-stream indices whose programs seed ``MutationSource``
+    #: parents — typically the ``program_index`` values of a previous
+    #: campaign's reduced reproducers (``repro-omp reduce`` output; see
+    #: :func:`repro.corpus.corpus_from_triage`).  Empty = mutate the
+    #: random stream itself.  Identity-bearing.
+    mutation_corpus: tuple[int, ...] = ()
+
+    #: Fields that name *what grid is run*.  They participate in the
+    #: fleet store's campaign identity: change one and you have a
+    #: different campaign.  Together with :attr:`EXECUTION_FIELDS` this
+    #: must cover every field — ``campaign_key`` refuses unclassified
+    #: fields, so adding a config knob forces an explicit decision here
+    #: (``kernel_backend`` was nearly mis-keyed under the old
+    #: hand-maintained strip list).
+    IDENTITY_FIELDS: ClassVar[frozenset[str]] = frozenset({
+        "n_programs", "inputs_per_program", "seed", "opt_level",
+        "compilers", "generator", "machine", "outliers", "triage",
+        "directive_mix", "program_source", "mutation_corpus",
+    })
+    #: Fields that only say *how or where* the grid runs.  Verdicts are
+    #: byte-identical across their values, so campaign identity replaces
+    #: them with their dataclass defaults before hashing.
+    EXECUTION_FIELDS: ClassVar[frozenset[str]] = frozenset({
+        "engine", "jobs", "chunk_size", "kernel_backend", "output_dir",
+    })
 
     def __post_init__(self) -> None:
         if self.directive_mix is not None:
@@ -433,6 +470,13 @@ class CampaignConfig:
                 raise ConfigError(
                     f"unknown kernel backend {self.kernel_backend!r}; "
                     f"choose from {', '.join(BACKENDS)}")
+        if self.program_source not in PROGRAM_SOURCES:
+            raise ConfigError(
+                f"unknown program_source {self.program_source!r}; "
+                f"choose from {', '.join(PROGRAM_SOURCES)}")
+        if any(not isinstance(i, int) or i < 0 for i in self.mutation_corpus):
+            raise ConfigError(
+                "mutation_corpus must be non-negative program indices")
 
     @property
     def total_runs(self) -> int:
@@ -443,10 +487,26 @@ class CampaignConfig:
 # (de)serialization — the "config file" of Fig. 1 step (a)
 # ----------------------------------------------------------------------
 
+#: CampaignConfig fields added after the serialization format was
+#: pinned.  At their defaults they are omitted from serialized forms so
+#: that pre-existing configs keep byte-identical JSON documents,
+#: checkpoint headers, and store campaign-key hashes; they only appear
+#: (and only perturb hashes) once actually used.
+_OMIT_WHEN_DEFAULT: tuple[tuple[str, Any], ...] = (
+    ("program_source", "random"),
+    ("mutation_corpus", ()),
+)
+
+
 def _to_dict(obj: Any) -> Any:
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {f.name: _to_dict(getattr(obj, f.name))
-                for f in dataclasses.fields(obj)}
+        out = {f.name: _to_dict(getattr(obj, f.name))
+               for f in dataclasses.fields(obj)}
+        if isinstance(obj, CampaignConfig):
+            for name, default in _OMIT_WHEN_DEFAULT:
+                if getattr(obj, name) == default:
+                    del out[name]
+        return out
     if isinstance(obj, tuple):
         return list(obj)
     return obj
@@ -468,6 +528,8 @@ def campaign_from_dict(data: dict[str, Any]) -> CampaignConfig:
                if k not in ("generator", "machine", "outliers", "triage")}
         if "compilers" in top:
             top["compilers"] = tuple(top["compilers"])
+        if "mutation_corpus" in top:
+            top["mutation_corpus"] = tuple(top["mutation_corpus"])
         return CampaignConfig(generator=gen, machine=mach, outliers=out,
                               triage=tri, **top)
     except TypeError as exc:  # unknown key

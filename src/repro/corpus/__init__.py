@@ -1,0 +1,42 @@
+"""Pluggable program sources: the provenance-carrying generation layer.
+
+This package generalizes the campaign's ``(config, index)`` generation
+contract into a :class:`ProgramSource` protocol — ``spec(index)`` plans
+a small picklable :class:`ProgramSpec` provenance record, and
+``materialize(spec)`` rebuilds the program deterministically from the
+campaign config alone.  See :mod:`repro.corpus.sources` for the
+contract and the determinism guarantee.
+"""
+
+from .coverage import CoverageMap, shape_fingerprint
+from .mutators import MUTATORS, apply_mutator, mutator_names
+from .sources import (
+    SOURCE_NAMES,
+    AdaptiveSource,
+    MutationSource,
+    ProgramSource,
+    RandomSource,
+    corpus_from_triage,
+    create_source,
+    materialize_spec,
+    plan_specs,
+)
+from .spec import ProgramSpec
+
+__all__ = [
+    "AdaptiveSource",
+    "CoverageMap",
+    "MUTATORS",
+    "MutationSource",
+    "ProgramSource",
+    "ProgramSpec",
+    "RandomSource",
+    "SOURCE_NAMES",
+    "apply_mutator",
+    "corpus_from_triage",
+    "create_source",
+    "materialize_spec",
+    "mutator_names",
+    "plan_specs",
+    "shape_fingerprint",
+]

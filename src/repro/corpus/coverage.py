@@ -1,0 +1,158 @@
+"""Coverage signal for feedback-directed generation.
+
+Two complementary fingerprints describe what a campaign has already
+exercised:
+
+* the **directive-feature vector** from
+  :func:`repro.analysis.buckets.directive_vector` — which OpenMP
+  constructs a program uses at all, and
+* the **kernel-shape fingerprint** computed here — a canonical digest
+  of the program's statement-level skeleton (statement kinds, block
+  sizes, directive clauses, loop attributes, nesting), deliberately
+  blind to the program name, variable identities, numeric literals,
+  and expression internals.
+
+Raw emitted-source hashes (``Binary.fingerprint``) are useless as a
+coverage signal: the program name is embedded in the source, so every
+program hashes uniquely and any source trivially "covers" N shapes in
+N programs.  The skeleton digest collapses programs that differ only
+in constants, identifiers, or expression arithmetic, so a random
+stream genuinely revisits shapes — which is exactly the redundancy an
+adaptive source spends its budget avoiding.
+
+:class:`CoverageMap` accumulates the distinct ``(vector, shape)``
+pairs seen so far and answers the two questions the adaptive planner
+asks: "is this candidate novel?" and "which directive family is
+rarest so far?".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+
+from ..analysis.buckets import directive_vector
+from ..core.features import extract_features
+from ..core.nodes import (
+    Block,
+    ForLoop,
+    IfBlock,
+    OmpAtomic,
+    OmpCritical,
+    OmpParallel,
+    OmpSection,
+    OmpSections,
+    OmpSingle,
+    OmpTask,
+    Program,
+)
+
+__all__ = ["shape_fingerprint", "CoverageMap"]
+
+
+def _token(node) -> str | None:
+    """Canonical skeleton token: node kind plus the structural flags
+    that change execution shape.  Never names, numeral values,
+    expression operators, or exact clause parameters — coarseness is
+    the point: a useful coverage signal must let structurally-similar
+    programs collide."""
+    kind = type(node).__name__
+    if isinstance(node, OmpParallel):
+        return (f"{kind}:c{int(node.combined_for)}"
+                f":r{int(node.clauses.reduction is not None)}")
+    if isinstance(node, ForLoop):
+        return (f"{kind}:o{int(node.omp_for)}"
+                f":s{int(node.schedule is not None)}"
+                f":co{int((node.collapse or 1) > 1)}")
+    if isinstance(node, (Block, Program)):
+        return None
+    return kind
+
+
+def _structural_children(node) -> list:
+    """One nesting level of statement-bearing children."""
+    if isinstance(node, Program):
+        return [node.body]
+    if isinstance(node, Block):
+        return list(node.stmts)
+    if isinstance(node, (IfBlock, ForLoop, OmpCritical, OmpSingle,
+                         OmpSection, OmpTask, OmpParallel)):
+        return [node.body]
+    if isinstance(node, OmpSections):
+        return list(node.sections)
+    if isinstance(node, OmpAtomic):
+        return [node.update]
+    return []
+
+
+def shape_fingerprint(program: Program) -> str:
+    """Canonical digest of ``program``'s statement-level skeleton.
+
+    The digest hashes the *set* of structural tokens present in the
+    tree (statement kinds plus directive/loop shape flags) together
+    with the maximum statement-nesting depth, bucketed.  Program name,
+    seed, variables, numerals, expression trees, block sizes, and
+    statement order do not participate, so two programs exercising the
+    same construct combination at the same nesting scale collide by
+    design.
+    """
+    tokens: set[str] = set()
+    max_depth = 0
+    stack: list[tuple[object, int]] = [(program, 0)]
+    while stack:
+        node, depth = stack.pop()
+        max_depth = max(max_depth, depth)
+        token = _token(node)
+        if token is not None:
+            tokens.add(token)
+        for child in _structural_children(node):
+            stack.append((child, depth + 1))
+    skeleton = "|".join(sorted(tokens)) + f"#d{min(max_depth, 4)}"
+    return "s" + hashlib.sha256(skeleton.encode()).hexdigest()[:16]
+
+
+class CoverageMap:
+    """Distinct directive-vectors × shape-fingerprints seen so far."""
+
+    def __init__(self) -> None:
+        self.pairs: set[tuple[str, str]] = set()
+        self.vectors: Counter[str] = Counter()
+        self.shapes: Counter[str] = Counter()
+        self.label_counts: Counter[str] = Counter()
+        self.total = 0
+
+    @staticmethod
+    def describe(program: Program) -> tuple[str, str, tuple[str, ...]]:
+        """(vector-string, shape-fingerprint, feature labels) of a program."""
+        features = extract_features(program)
+        vector = directive_vector(features)
+        return "|".join(vector) or "-", shape_fingerprint(program), vector
+
+    def record(self, program: Program) -> tuple[str, str]:
+        """Fold ``program`` into the map; returns its (vector, shape) key."""
+        vec, shape, labels = self.describe(program)
+        self.pairs.add((vec, shape))
+        self.vectors[vec] += 1
+        self.shapes[shape] += 1
+        for label in labels:
+            self.label_counts[label] += 1
+        self.total += 1
+        return vec, shape
+
+    def is_novel(self, program: Program) -> bool:
+        vec, shape, _ = self.describe(program)
+        return (vec, shape) not in self.pairs
+
+    def rarity(self, program: Program) -> tuple[int, int]:
+        """How often this program's (vector, shape) has been seen — lower
+        is rarer, so planners minimize this."""
+        vec, shape, _ = self.describe(program)
+        return self.vectors.get(vec, 0), self.shapes.get(shape, 0)
+
+    def rarest_label(self, candidates: list[str]) -> str | None:
+        """The least-seen feature label among ``candidates`` (ties break
+        by candidate order, deterministically)."""
+        if not candidates:
+            return None
+        return min(candidates, key=lambda lab: (self.label_counts.get(lab, 0),
+                                                candidates.index(lab)))

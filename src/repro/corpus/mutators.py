@@ -1,0 +1,152 @@
+"""Mutation operators: the reducer's inverse.
+
+Where ``reduce/shrink.py`` clones a reproducer and *removes* structure,
+these operators clone a parent program and *add or perturb* structure —
+the same :mod:`repro.core.surgery` machinery driven in the opposite
+direction.  Every operator is a pure function
+``(program, rng, gen_cfg) -> Program | None``: it never touches its
+input (clone-first, like the reducer), draws all decisions from the
+``rng`` it is handed, and returns ``None`` when the program offers no
+applicable edit site — the planner treats that as "try something else".
+
+Operators must keep the result inside the paper grammar; the planner
+re-validates every mutant with ``check_conformance`` /
+``reads_undeclared_locals`` / ``find_races`` before accepting it, so an
+operator may be optimistic, but returning obviously-malformed trees
+just wastes planning attempts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.nodes import (
+    Assignment,
+    Block,
+    FPNumeral,
+    OmpAtomic,
+    OmpBarrier,
+    OmpCritical,
+    OmpParallel,
+    Program,
+    walk,
+)
+from ..core.surgery import clone_node, clone_program, index_blocks
+from ..core.types import AssignOpKind
+from ..rng import Rng
+
+__all__ = ["MUTATORS", "mutator_names", "apply_mutator"]
+
+Mutator = Callable[[Program, Rng, object], Optional[Program]]
+
+
+def _blocks_with_statements(program: Program) -> list[Block]:
+    return [b for b in index_blocks(program) if b.stmts]
+
+
+def duplicate_statement(program: Program, rng: Rng, gen_cfg) -> Program | None:
+    """Clone one statement and insert the copy right after the original."""
+    clone = clone_program(program)
+    blocks = _blocks_with_statements(clone)
+    if not blocks:
+        return None
+    block = rng.choice(blocks)
+    pos = rng.randint(0, len(block.stmts) - 1)
+    block.stmts.insert(pos + 1, clone_node(block.stmts[pos]))
+    return clone
+
+
+def drop_statement(program: Program, rng: Rng, gen_cfg) -> Program | None:
+    """Remove one statement from a block that can spare it."""
+    clone = clone_program(program)
+    blocks = [b for b in index_blocks(clone) if len(b.stmts) > 1]
+    if not blocks:
+        return None
+    block = rng.choice(blocks)
+    del block.stmts[rng.randint(0, len(block.stmts) - 1)]
+    return clone
+
+
+def perturb_constant(program: Program, rng: Rng, gen_cfg) -> Program | None:
+    """Rescale one floating-point numeral (exercises value ranges)."""
+    clone = clone_program(program)
+    numerals = [n for n in walk(clone) if isinstance(n, FPNumeral)]
+    if not numerals:
+        return None
+    target = rng.choice(numerals)
+    target.value = round(target.value * rng.uniform(0.25, 4.0), 6)
+    return clone
+
+
+def swap_binop(program: Program, rng: Rng, gen_cfg) -> Program | None:
+    """Replace one compound-assignment operator with another."""
+    clone = clone_program(program)
+    # only plain-region compound assignments are safe to rewrite: inside
+    # `omp atomic` the update operator is part of the directive contract
+    atomic_updates = {id(n.update) for n in walk(clone)
+                      if isinstance(n, OmpAtomic)}
+    sites = [n for n in walk(clone)
+             if isinstance(n, Assignment) and id(n) not in atomic_updates
+             and n.op is not AssignOpKind.ASSIGN]
+    if not sites:
+        return None
+    target = rng.choice(sites)
+    choices = [op for op in (AssignOpKind.ADD_ASSIGN, AssignOpKind.SUB_ASSIGN,
+                             AssignOpKind.MUL_ASSIGN)
+               if op is not target.op]
+    target.op = rng.choice(choices)
+    return clone
+
+
+def wrap_critical(program: Program, rng: Rng, gen_cfg) -> Program | None:
+    """Wrap one statement inside a parallel region in ``omp critical``."""
+    clone = clone_program(program)
+    sites: list[tuple[Block, int]] = []
+    for par in (n for n in walk(clone) if isinstance(n, OmpParallel)):
+        if par.combined_for:
+            continue
+        for block in index_blocks(par.body):
+            for i, stmt in enumerate(block.stmts):
+                if isinstance(stmt, Assignment):
+                    sites.append((block, i))
+    if not sites:
+        return None
+    block, pos = rng.choice(sites)
+    inner = block.stmts[pos]
+    block.stmts[pos] = OmpCritical(body=Block(stmts=[inner]))
+    return clone
+
+
+def add_barrier(program: Program, rng: Rng, gen_cfg) -> Program | None:
+    """Insert an explicit ``omp barrier`` at a parallel-region top level."""
+    clone = clone_program(program)
+    regions = [n for n in walk(clone)
+               if isinstance(n, OmpParallel) and not n.combined_for]
+    if not regions:
+        return None
+    region = rng.choice(regions)
+    pos = rng.randint(0, len(region.body.stmts))
+    region.body.stmts.insert(pos, OmpBarrier())
+    return clone
+
+
+# registry order is part of the deterministic contract: specs address
+# operators by name, and planners draw from this sequence
+MUTATORS: dict[str, Mutator] = {
+    "dup-stmt": duplicate_statement,
+    "drop-stmt": drop_statement,
+    "perturb-const": perturb_constant,
+    "swap-binop": swap_binop,
+    "wrap-critical": wrap_critical,
+    "add-barrier": add_barrier,
+}
+
+
+def mutator_names() -> list[str]:
+    return list(MUTATORS)
+
+
+def apply_mutator(name: str, program: Program, rng: Rng, gen_cfg) -> Program | None:
+    """Apply the named operator; raises ``KeyError`` for unknown names so
+    a corrupt spec fails loudly rather than silently regenerating."""
+    return MUTATORS[name](program, rng, gen_cfg)

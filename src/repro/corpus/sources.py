@@ -1,0 +1,376 @@
+"""The :class:`ProgramSource` contract and its three implementations.
+
+A program source generalizes the campaign's generation contract.  The
+historical contract was a fixed pure function of ``(config, index)``
+(``ProgramGenerator(cfg.generator, seed=cfg.seed).generate(index)``),
+baked into every layer that rebuilds programs — engine work units,
+checkpoint resume, fleet worker rematerialization, triage re-derivation.
+A source splits that into two halves:
+
+* ``spec(index) -> ProgramSpec`` — *planning*: decide what program
+  occupies grid slot ``index`` and describe it as a small picklable
+  provenance record.  Planning may be stateful and sequential (the
+  adaptive source feeds each accepted program's coverage back into the
+  next decision) but is always a pure function of the campaign config:
+  replanning from scratch yields the same specs in the same order.
+* ``materialize(spec) -> Program`` — *rebuilding*: a pure function of
+  ``(config, spec)``.  Workers, resumed checkpoints, and triage jobs
+  call only this half, so specs fully decouple distribution from
+  planning and no corpus files ever travel over the wire.
+
+Determinism guarantee: both halves draw exclusively from
+:class:`~repro.rng.Rng` children of the campaign seed, so a seeded
+campaign — including an adaptive one — is rerun-deterministic, and a
+fleet run equals a serial run byte-for-byte.
+
+``RandomSource`` reproduces the historical stream byte-identically;
+it is the default, and configs that never mention ``program_source``
+keep their campaign keys, checkpoints, and golden streams unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Protocol
+
+from ..config import CampaignConfig, GeneratorConfig
+from ..core.generator import ProgramGenerator, generate_program
+from ..core.grammar import GrammarError, check_conformance
+from ..core.nodes import Program
+from ..core.races import find_races
+from ..core.surgery import reads_undeclared_locals
+from ..rng import Rng
+from .coverage import CoverageMap, shape_fingerprint
+from .mutators import apply_mutator, mutator_names
+from .spec import ProgramSpec
+
+__all__ = [
+    "ProgramSource",
+    "RandomSource",
+    "MutationSource",
+    "AdaptiveSource",
+    "SOURCE_NAMES",
+    "create_source",
+    "materialize_spec",
+]
+
+#: valid values of ``CampaignConfig.program_source``, in doc order
+SOURCE_NAMES: tuple[str, ...] = ("random", "mutation", "adaptive")
+
+#: planning attempts per grid slot before falling back (mutation
+#: validity search / adaptive novelty search)
+_PLAN_ATTEMPTS = 4
+
+#: feature label (see ``analysis.buckets``) -> the GeneratorConfig
+#: switch that controls whether the construct can be generated at all.
+#: The adaptive source steers by flipping these on reweighted draws.
+_LABEL_FLAGS: dict[str, str] = {
+    "parallel-for": "enable_parallel_for",
+    "schedule": "enable_schedules",
+    "collapse": "enable_collapse",
+    "atomic": "enable_atomic",
+    "single": "enable_single",
+    "barrier": "enable_barrier",
+    "minmax": "enable_minmax_reduction",
+    "sections": "enable_sections",
+    "task": "enable_tasks",
+}
+
+
+class ProgramSource(Protocol):
+    """Pluggable (planning, rebuilding) pair for a campaign's programs."""
+
+    name: str
+
+    def spec(self, index: int) -> ProgramSpec:
+        """Provenance record for grid slot ``index`` (planning half)."""
+        ...
+
+    def materialize(self, spec: ProgramSpec) -> Program:
+        """Deterministically rebuild the program a spec describes."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# materialization: pure function of (config, spec)
+# ----------------------------------------------------------------------
+
+def materialize_spec(config: CampaignConfig, spec: ProgramSpec) -> Program:
+    """Rebuild the program described by ``spec`` under ``config``.
+
+    Dispatch is on the spec's contents, not its source label: a mutant
+    rebuilds its parent recursively and replays exactly one edit; a
+    plain ``random`` spec reproduces the historical
+    ``ProgramGenerator`` stream byte-identically; any other spec is a
+    reweighted fresh draw from a seed-derived child stream.
+    """
+    seed = config.seed
+    gen_cfg = config.generator
+    if spec.op is not None:
+        if spec.parent is None:
+            raise ValueError(f"mutant spec {spec!r} has no parent")
+        parent = materialize_spec(config, spec.parent)
+        rng = Rng(seed, mode=gen_cfg.rng_mode).child(
+            f"mutate:{spec.index}:{spec.salt}")
+        op = rng.choice(mutator_names())
+        if op != spec.op:
+            raise ValueError(
+                f"spec replay drift: spec says {spec.op!r}, seed stream "
+                f"draws {op!r} at index {spec.index} salt {spec.salt}")
+        program = apply_mutator(op, parent, rng, gen_cfg)
+        if program is None:
+            raise ValueError(
+                f"mutator {op!r} found no edit site replaying {spec!r}")
+        program.name = f"test_{seed}_{spec.index}"
+        program.seed = seed
+        return program
+    if spec.source == "random" and not spec.flags and not spec.salt:
+        return ProgramGenerator(gen_cfg, seed=seed).generate(spec.index)
+    drawn_cfg = replace(gen_cfg, **dict(spec.flags)) if spec.flags else gen_cfg
+    rng = Rng(seed, mode=gen_cfg.rng_mode).child(
+        f"{spec.source}:{spec.index}:{spec.salt}")
+    return generate_program(drawn_cfg, rng,
+                            name=f"test_{seed}_{spec.index}", seed=seed)
+
+
+def _is_valid(program: Program, gen_cfg: GeneratorConfig) -> bool:
+    """Planning gate for mutants: stay inside the grammar and the
+    campaign's race policy (generated draws satisfy this by
+    construction; edits must re-earn it)."""
+    try:
+        check_conformance(program)
+    except GrammarError:
+        return False
+    if reads_undeclared_locals(program):
+        return False
+    if not gen_cfg.allow_data_races and find_races(program):
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# sources
+# ----------------------------------------------------------------------
+
+class RandomSource:
+    """The paper's pure-random stream — the default source.
+
+    ``spec`` is the identity embedding of the historical contract and
+    ``materialize`` reproduces every pinned stream byte-identically.
+    """
+
+    name = "random"
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self._config = config
+
+    def spec(self, index: int) -> ProgramSpec:
+        return ProgramSpec(source="random", index=index)
+
+    def materialize(self, spec: ProgramSpec) -> Program:
+        return materialize_spec(self._config, spec)
+
+
+class MutationSource:
+    """Clone+edit mutants of corpus parents — the reducer's inverse.
+
+    Parents come from :attr:`CampaignConfig.mutation_corpus`, a tuple of
+    random-stream indices (typically the ``program_index`` values of a
+    previous campaign's reduced reproducers — see
+    :func:`corpus_from_triage`).  With an empty corpus the source
+    mutates the random stream itself, index ``i`` editing random
+    program ``i``.  Planning searches a few salts for an edit that
+    survives the validity gate; the accepted ``(parent, op, salt)``
+    triple is recorded in the spec so workers replay exactly one edit.
+    """
+
+    name = "mutation"
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self._config = config
+        self._root = Rng(config.seed, mode=config.generator.rng_mode)
+
+    def _parent_spec(self, index: int) -> ProgramSpec:
+        corpus = self._config.mutation_corpus
+        parent_index = corpus[index % len(corpus)] if corpus else index
+        return ProgramSpec(source="random", index=parent_index)
+
+    def spec(self, index: int) -> ProgramSpec:
+        parent_spec = self._parent_spec(index)
+        parent = materialize_spec(self._config, parent_spec)
+        parent_fp = shape_fingerprint(parent)
+        gen_cfg = self._config.generator
+        for salt in range(_PLAN_ATTEMPTS):
+            rng = self._root.child(f"mutate:{index}:{salt}")
+            op = rng.choice(mutator_names())
+            program = apply_mutator(op, parent, rng, gen_cfg)
+            if program is not None and _is_valid(program, gen_cfg):
+                return ProgramSpec(source="mutation", index=index, salt=salt,
+                                   op=op, parent=parent_spec,
+                                   parent_fingerprint=parent_fp)
+        # no valid edit in budget: fall back to a fresh seeded draw so
+        # the grid slot is always filled (salt past the mutate range
+        # keeps the draw stream disjoint from any accepted mutant)
+        return ProgramSpec(source="mutation", index=index,
+                           salt=_PLAN_ATTEMPTS)
+
+    def materialize(self, spec: ProgramSpec) -> Program:
+        return materialize_spec(self._config, spec)
+
+
+class AdaptiveSource:
+    """Coverage-directed planning over draws *and* mutants.
+
+    Planning is sequential: the spec for slot ``i`` depends only on the
+    config and the accepted programs of slots ``0..i-1`` — never on
+    execution results or completion order — so a seeded adaptive
+    campaign replans identically every run, fleet equals serial, and a
+    resumed checkpoint re-derives the very same specs.
+
+    Per slot the planner tries a few candidates (reweighted draws that
+    enable the least-covered directive family, or mutations of the
+    rarest-shaped prior program) and accepts the first whose
+    ``(directive-vector, shape-fingerprint)`` pair is new to the
+    :class:`~repro.corpus.coverage.CoverageMap`; failing that, the
+    rarest candidate seen.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self._config = config
+        self._root = Rng(config.seed, mode=config.generator.rng_mode)
+        self._coverage = CoverageMap()
+        self._specs: list[ProgramSpec] = []
+        self._programs: list[Program] = []
+
+    # -- planning -------------------------------------------------------
+
+    def _draw_flags(self, rng: Rng) -> tuple[tuple[str, bool], ...]:
+        """Directive-family overrides for one reweighted draw: always
+        enable the least-covered family; sometimes also disable the
+        most-covered one so its structure stops dominating."""
+        labels = list(_LABEL_FLAGS)
+        rare = self._coverage.rarest_label(labels)
+        flags: dict[str, bool] = {_LABEL_FLAGS[rare]: True}
+        common = max(labels, key=lambda lab: (
+            self._coverage.label_counts.get(lab, 0), -labels.index(lab)))
+        if common != rare and rng.coin(0.5):
+            flags[_LABEL_FLAGS[common]] = False
+        return tuple(sorted(flags.items()))
+
+    def _rarest_parent(self) -> int:
+        """Position of the rarest-covered prior program (deterministic
+        argmin; ties break toward the earliest slot)."""
+        return min(range(len(self._programs)),
+                   key=lambda j: (self._coverage.rarity(self._programs[j]), j))
+
+    def _mutant_candidate(self, index: int, salt: int,
+                          rng: Rng) -> tuple[ProgramSpec, Program] | None:
+        parent_pos = self._rarest_parent()
+        parent_spec = self._specs[parent_pos]
+        parent = self._programs[parent_pos]
+        gen_cfg = self._config.generator
+        mrng = self._root.child(f"mutate:{index}:{salt}")
+        op = mrng.choice(mutator_names())
+        program = apply_mutator(op, parent, mrng, gen_cfg)
+        if program is None or not _is_valid(program, gen_cfg):
+            return None
+        program.name = f"test_{self._config.seed}_{index}"
+        program.seed = self._config.seed
+        spec = ProgramSpec(source="adaptive", index=index, salt=salt, op=op,
+                           parent=parent_spec,
+                           parent_fingerprint=shape_fingerprint(parent))
+        return spec, program
+
+    def _draw_candidate(self, index: int, salt: int,
+                        rng: Rng) -> tuple[ProgramSpec, Program]:
+        flags = self._draw_flags(rng)
+        spec = ProgramSpec(source="adaptive", index=index, salt=salt,
+                           flags=flags)
+        return spec, materialize_spec(self._config, spec)
+
+    def _plan_next(self) -> None:
+        index = len(self._specs)
+        candidates: list[tuple[ProgramSpec, Program]] = []
+        accepted: tuple[ProgramSpec, Program] | None = None
+        for salt in range(_PLAN_ATTEMPTS):
+            rng = self._root.child(f"plan:{index}:{salt}")
+            candidate = None
+            if self._programs and rng.coin(0.4):
+                candidate = self._mutant_candidate(index, salt, rng)
+            if candidate is None:
+                candidate = self._draw_candidate(index, salt, rng)
+            candidates.append(candidate)
+            if self._coverage.is_novel(candidate[1]):
+                accepted = candidate
+                break
+        if accepted is None:
+            # nothing novel in budget: keep the rarest candidate
+            accepted = min(candidates,
+                           key=lambda c: self._coverage.rarity(c[1]))
+        spec, program = accepted
+        self._coverage.record(program)
+        self._specs.append(spec)
+        self._programs.append(program)
+
+    # -- ProgramSource --------------------------------------------------
+
+    def spec(self, index: int) -> ProgramSpec:
+        while len(self._specs) <= index:
+            self._plan_next()
+        return self._specs[index]
+
+    def materialize(self, spec: ProgramSpec) -> Program:
+        return materialize_spec(self._config, spec)
+
+    @property
+    def coverage(self) -> CoverageMap:
+        return self._coverage
+
+
+_SOURCES = {
+    "random": RandomSource,
+    "mutation": MutationSource,
+    "adaptive": AdaptiveSource,
+}
+
+
+def create_source(config: CampaignConfig) -> ProgramSource:
+    """The configured source for ``config`` (``program_source`` field)."""
+    try:
+        factory = _SOURCES[config.program_source]
+    except KeyError:
+        raise ValueError(
+            f"unknown program_source {config.program_source!r}; "
+            f"expected one of {', '.join(SOURCE_NAMES)}") from None
+    return factory(config)
+
+
+def corpus_from_triage(path) -> tuple[int, ...]:
+    """Mutation-corpus indices from a triage artifacts directory.
+
+    Reads the ``summary.json`` written by
+    :func:`repro.reduce.bundle.write_triage_artifacts` and returns the
+    distinct ``program_index`` values of every bucket member, sorted —
+    the programs that provably tickled a vendor, which is exactly the
+    neighbourhood a mutation campaign should explore.
+    """
+    import json
+    from pathlib import Path
+
+    summary = json.loads((Path(path) / "summary.json").read_text())
+    indices = {member["program_index"]
+               for bucket in summary.get("buckets", [])
+               for member in bucket.get("members", [])}
+    return tuple(sorted(indices))
+
+
+def plan_specs(config: CampaignConfig) -> list[ProgramSpec] | None:
+    """All program specs for ``config``'s grid, or ``None`` under the
+    default random source (whose units carry no spec so that work-unit
+    pickles, checkpoints, and pinned streams stay byte-identical)."""
+    if config.program_source == "random":
+        return None
+    source = create_source(config)
+    return [source.spec(i) for i in range(config.n_programs)]

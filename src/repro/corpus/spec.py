@@ -1,0 +1,74 @@
+"""Provenance records for generated programs.
+
+A :class:`ProgramSpec` is the small, picklable coordinate from which a
+program can be rebuilt deterministically — the generalization of the
+bare ``(config, index)`` integer contract the random stream uses.  A
+spec carries everything a worker needs to rematerialize the program
+from the campaign config alone: the source kind, the grid index, a
+derivation salt for re-draws, any directive-flag overrides an adaptive
+draw chose, and — for mutants — the full spec of the parent program
+plus the operator applied to it.  No corpus files ever travel with a
+spec; the parent chain bottoms out in a pure draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ProgramSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProgramSpec:
+    """Deterministic rebuild coordinates plus provenance for one program.
+
+    ``source`` names the :class:`~repro.corpus.sources.ProgramSource`
+    kind that produced the spec (``"random"``, ``"mutation"``,
+    ``"adaptive"``).  ``index`` is the grid coordinate — the program's
+    position in the campaign stream, which also keys its input streams
+    via the uniform ``test_{seed}_{index}`` naming.  ``salt``
+    distinguishes successive draw/mutate attempts at the same index.
+    ``flags`` holds ``(name, value)`` overrides applied to the
+    generator's directive-family switches for a reweighted draw.  For
+    mutants, ``op`` names the mutation operator and ``parent`` is the
+    complete spec of the program it was applied to;
+    ``parent_fingerprint`` records the parent's shape fingerprint for
+    triage provenance (it is informational — rebuilds use ``parent``).
+    """
+
+    source: str
+    index: int
+    salt: int = 0
+    flags: tuple[tuple[str, bool], ...] = ()
+    op: str | None = None
+    parent: "ProgramSpec | None" = None
+    parent_fingerprint: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form; defaults are omitted to keep records small."""
+        out: dict[str, Any] = {"source": self.source, "index": self.index}
+        if self.salt:
+            out["salt"] = self.salt
+        if self.flags:
+            out["flags"] = [[name, value] for name, value in self.flags]
+        if self.op is not None:
+            out["op"] = self.op
+        if self.parent is not None:
+            out["parent"] = self.parent.to_dict()
+        if self.parent_fingerprint is not None:
+            out["parent_fingerprint"] = self.parent_fingerprint
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ProgramSpec":
+        parent = data.get("parent")
+        return cls(
+            source=data["source"],
+            index=data["index"],
+            salt=data.get("salt", 0),
+            flags=tuple((str(n), bool(v)) for n, v in data.get("flags", [])),
+            op=data.get("op"),
+            parent=cls.from_dict(parent) if parent is not None else None,
+            parent_fingerprint=data.get("parent_fingerprint"),
+        )

@@ -61,10 +61,19 @@ _MAX_AUTO_CHUNK = 16
 
 @dataclass(frozen=True, slots=True)
 class WorkUnit:
-    """One schedulable slice of the grid: a program and its input batch."""
+    """One schedulable slice of the grid: a program and its input batch.
+
+    ``spec`` carries the program's provenance record when the campaign
+    uses a non-default :mod:`repro.corpus` source; it is everything a
+    worker needs to rematerialize the program (no corpus files travel
+    with the unit).  Under the default random source it stays ``None``
+    and execution follows the historical ``(config, index)`` path
+    unchanged.
+    """
 
     program_index: int
     input_indices: tuple[int, ...]
+    spec: "ProgramSpec | None" = None
 
     @property
     def n_tests(self) -> int:
@@ -95,9 +104,21 @@ class UnitOutcome:
 
 
 def plan_units(config: CampaignConfig) -> list[WorkUnit]:
-    """The full campaign grid as an ordered list of work units."""
+    """The full campaign grid as an ordered list of work units.
+
+    Planning is a pure function of ``config``: non-random sources plan
+    their whole spec sequence here (coverage feedback and all), so a
+    resumed checkpoint, a fleet coordinator, and a serial rerun all
+    derive the very same units.
+    """
+    from ..corpus import plan_specs
+
     inputs = tuple(range(config.inputs_per_program))
-    return [WorkUnit(i, inputs) for i in range(config.n_programs)]
+    specs = plan_specs(config)
+    if specs is None:
+        return [WorkUnit(i, inputs) for i in range(config.n_programs)]
+    return [WorkUnit(i, inputs, spec=specs[i])
+            for i in range(config.n_programs)]
 
 
 def resolve_chunk_size(config: CampaignConfig, n_units: int,
@@ -137,10 +158,17 @@ def execute_unit(plan: ExecutionPlan, unit: WorkUnit) -> UnitOutcome:
 
 def _execute_unit_body(plan: ExecutionPlan, unit: WorkUnit,
                        cfg: CampaignConfig, get_backend) -> UnitOutcome:
-    programs = ProgramGenerator(cfg.generator, seed=cfg.seed)
     inputs = InputGenerator(cfg.generator, seed=cfg.seed + 1)
 
-    program = programs.generate(unit.program_index)
+    if unit.spec is not None:
+        # provenance-carrying unit: rebuild from the spec alone (pure
+        # function of (config, spec) — see repro.corpus)
+        from ..corpus import materialize_spec
+
+        program = materialize_spec(cfg, unit.spec)
+    else:
+        program = ProgramGenerator(cfg.generator,
+                                   seed=cfg.seed).generate(unit.program_index)
     outcome = UnitOutcome(program_index=unit.program_index,
                           program_name=program.name)
     if cfg.generator.allow_data_races and find_races(program):

@@ -96,16 +96,40 @@ CREATE INDEX IF NOT EXISTS idx_outliers_signature
 
 
 def campaign_key(config: CampaignConfig) -> str:
-    """Content-addressed campaign id over the config's *grid* fields.
+    """Content-addressed campaign id over the config's *identity* fields.
 
     Execution knobs (engine, jobs, chunk_size, kernel_backend,
-    output_dir) do not change a single verdict, so they are excluded — a fleet run and the serial
-    run it is checked against share one campaign, and a restarted
-    coordinator rejoins its predecessor's rows without coordination.
+    output_dir) do not change a single verdict, so they are replaced
+    by their dataclass defaults before hashing — a fleet run and the
+    serial run it is checked against share one campaign, and a
+    restarted coordinator rejoins its predecessor's rows without
+    coordination.
+
+    The identity/execution split is declared on the config itself
+    (:attr:`CampaignConfig.IDENTITY_FIELDS` /
+    :attr:`CampaignConfig.EXECUTION_FIELDS`) rather than hand-listed
+    here: every field must be classified, and an unclassified one is a
+    hard error so a new config knob cannot silently change (or fail to
+    change) campaign identity.
     """
-    grid = dataclasses.replace(config, engine="serial", jobs=None,
-                               chunk_size=None, kernel_backend=None,
-                               output_dir=None)
+    all_fields = {f.name for f in dataclasses.fields(CampaignConfig)}
+    classified = CampaignConfig.IDENTITY_FIELDS | CampaignConfig.EXECUTION_FIELDS
+    unclassified = all_fields - classified
+    if unclassified or not classified <= all_fields:
+        raise TypeError(
+            "CampaignConfig fields unclassified for campaign identity: "
+            f"{sorted(unclassified) or sorted(classified - all_fields)}; "
+            "add them to IDENTITY_FIELDS or EXECUTION_FIELDS")
+    defaults = {}
+    for f in dataclasses.fields(CampaignConfig):
+        if f.name not in CampaignConfig.EXECUTION_FIELDS:
+            continue
+        if f.default is dataclasses.MISSING:
+            raise TypeError(
+                f"execution field {f.name!r} needs a plain default to be "
+                "neutralized in campaign identity")
+        defaults[f.name] = f.default
+    grid = dataclasses.replace(config, **defaults)
     blob = json.dumps(_to_dict(grid), sort_keys=True)
     return "c" + hashlib.sha256(blob.encode()).hexdigest()[:12]
 
@@ -192,6 +216,34 @@ class ResultStore:
         if row is None:
             raise ConfigError(f"unknown campaign {campaign_id!r}")
         return campaign_from_dict(json.loads(row["config_json"]))
+
+    def coverage(self, campaign_id: str) -> dict:
+        """Generation-coverage report for a campaign's recorded units.
+
+        Rebuilds each completed unit's program from the campaign's
+        program source (specs are a pure function of the stored config,
+        so nothing beyond the unit index is needed) and folds it into a
+        :class:`~repro.corpus.coverage.CoverageMap` — the same signal
+        ``AdaptiveSource`` steers by.  Distinct counts cover directive-
+        feature vectors, kernel-shape fingerprints, and their pairs.
+        """
+        from ..corpus import CoverageMap, create_source
+
+        config = self.config_for(campaign_id)
+        done = sorted(self.completed_indices(campaign_id))
+        source = create_source(config)
+        cov = CoverageMap()
+        for index in done:
+            cov.record(source.materialize(source.spec(index)))
+        return {
+            "campaign_id": campaign_id,
+            "program_source": config.program_source,
+            "programs": len(done),
+            "distinct_vectors": len(cov.vectors),
+            "distinct_shapes": len(cov.shapes),
+            "distinct_pairs": len(cov.pairs),
+            "vectors": sorted(cov.vectors),
+        }
 
     # ------------------------------------------------------------------
     # writes

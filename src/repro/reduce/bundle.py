@@ -12,7 +12,10 @@ see the failure without the fuzzer in the loop:
   backend was flagged, with which outlier kind, and every backend's
   status/output/time on the reduced test,
 * ``config.json`` + ``repro.sh`` — the exact campaign configuration and
-  the commands that re-derive, re-reduce, and natively replay the test.
+  the commands that re-derive, re-reduce, and natively replay the test,
+* ``provenance.json`` — the program's :class:`~repro.corpus.ProgramSpec`
+  provenance record: which source planned it, its seed coordinates, and
+  (for mutants) the parent chain and parent shape fingerprint.
 
 :func:`write_triage_artifacts` lays a whole report out as one directory:
 ``summary.json`` plus one bundle per bug bucket exemplar.
@@ -56,6 +59,17 @@ def _verdict_payload(triaged: TriagedOutlier) -> dict:
             "records": [r.to_dict() for r in result.verdict.records],
         }
     return payload
+
+
+def _provenance_payload(triaged: TriagedOutlier,
+                        config: CampaignConfig) -> dict:
+    from ..corpus import create_source
+
+    source = create_source(config)
+    return {
+        "program_source": config.program_source,
+        "spec": source.spec(triaged.program_index).to_dict(),
+    }
 
 
 #: backends always present in a fresh process (registered at import
@@ -113,6 +127,9 @@ def write_bundle(out_dir: str | Path, triaged: TriagedOutlier,
     (out / "verdict.json").write_text(
         json.dumps(_verdict_payload(triaged), indent=2, sort_keys=True))
     (out / "config.json").write_text(campaign_to_json(config))
+    (out / "provenance.json").write_text(
+        json.dumps(_provenance_payload(triaged, config), indent=2,
+                   sort_keys=True))
     script = out / "repro.sh"
     script.write_text(_repro_script(triaged, config))
     script.chmod(0o755)

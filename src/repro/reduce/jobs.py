@@ -34,10 +34,22 @@ class TriageJob:
 
 
 def build_case(job: TriageJob) -> OutlierCase:
-    """Re-derive the outlier's program and failing input from the config."""
+    """Re-derive the outlier's program and failing input from the config.
+
+    Non-random sources rebuild through their provenance specs (a pure
+    function of ``(config, index)`` just like the random stream, one
+    indirection richer), so reducers shrink the very program the
+    campaign ran regardless of how it was planned.
+    """
     cfg = job.config
-    program = ProgramGenerator(cfg.generator,
-                               seed=cfg.seed).generate(job.program_index)
+    if cfg.program_source == "random":
+        program = ProgramGenerator(cfg.generator,
+                                   seed=cfg.seed).generate(job.program_index)
+    else:
+        from ..corpus import create_source
+
+        source = create_source(cfg)
+        program = source.materialize(source.spec(job.program_index))
     test_input = InputGenerator(cfg.generator, seed=cfg.seed + 1).generate(
         program, job.input_index)
     return OutlierCase.from_campaign(cfg, program, test_input, job.vendor,

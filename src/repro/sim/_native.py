@@ -36,6 +36,7 @@ import sys
 import sysconfig
 import tempfile
 import warnings
+from contextlib import contextmanager
 from hashlib import sha256
 from pathlib import Path
 
@@ -189,6 +190,31 @@ def load_info() -> dict:
     use), ``requested`` (``REPRO_NATIVE_VALUES`` explicitly enabled it),
     and the human-readable ``reason`` for the current state."""
     return dict(_LOAD_INFO)
+
+
+def reset_load_info() -> None:
+    """Restore the load record to its pristine never-called state.
+
+    :func:`load` and its fallback path mutate the module-global record
+    in place; anything that calls them (tests, probes) should reset —
+    or better, use :func:`scoped_load_info` — so later readers of
+    :func:`load_info` see the process's real state, not the probe's.
+    """
+    _LOAD_INFO.clear()
+    _LOAD_INFO.update(active=False, requested=False,
+                      reason="load() not called yet")
+
+
+@contextmanager
+def scoped_load_info():
+    """Context manager: any :func:`load` calls inside leave the
+    module-global load record exactly as it was on entry."""
+    saved = dict(_LOAD_INFO)
+    try:
+        yield
+    finally:
+        _LOAD_INFO.clear()
+        _LOAD_INFO.update(saved)
 
 
 def _cache_dir() -> Path:

@@ -55,6 +55,14 @@ class Binary:
         """The bound Python callable for this binary's kernel."""
         return self.kernel.bind()
 
+    def reset_entry(self) -> None:
+        """Drop the cached :attr:`entry` binding so the next access
+        re-binds under the *current* kernel backend.  Binaries cache
+        their entry point per backend for speed; tests (and any driver
+        that switches backends mid-process) call this instead of poking
+        the ``cached_property`` slot out of ``__dict__`` by hand."""
+        self.__dict__.pop("entry", None)
+
     @cached_property
     def wrap_fn(self) -> Callable[[float], float]:
         """Value post-processing the runtime applies to its own FP ops

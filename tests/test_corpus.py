@@ -1,0 +1,443 @@
+"""Program sources: provenance specs, mutation operators, adaptive
+planning, and the byte-identity hard gate for the default source."""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pickle
+
+import pytest
+
+from repro.analysis.buckets import directive_vector
+from repro.codegen.emit_main import emit_translation_unit
+from repro.config import (
+    PROGRAM_SOURCES,
+    CampaignConfig,
+    ConfigError,
+    GeneratorConfig,
+    campaign_from_dict,
+    campaign_to_json,
+)
+from repro.core.features import extract_features
+from repro.core.generator import ProgramGenerator
+from repro.core.grammar import check_conformance
+from repro.core.races import find_races
+from repro.core.surgery import reads_undeclared_locals
+from repro.corpus import (
+    MUTATORS,
+    AdaptiveSource,
+    CoverageMap,
+    MutationSource,
+    ProgramSpec,
+    RandomSource,
+    corpus_from_triage,
+    create_source,
+    materialize_spec,
+    mutator_names,
+    plan_specs,
+    shape_fingerprint,
+)
+from repro.driver.engine import ExecutionPlan, execute_unit, plan_units
+from repro.fleet.store import campaign_key
+from repro.rng import Rng
+
+
+@pytest.fixture(scope="module")
+def adaptive_cfg(fast_gen_cfg) -> CampaignConfig:
+    """The pinned reference grid for adaptive-vs-random comparisons."""
+    return CampaignConfig(n_programs=12, inputs_per_program=1, seed=777,
+                          generator=fast_gen_cfg, directive_mix="paper",
+                          program_source="adaptive")
+
+
+# ----------------------------------------------------------------------
+# ProgramSpec: the provenance record
+# ----------------------------------------------------------------------
+
+class TestProgramSpec:
+    def test_round_trips_through_dict_including_parent_chain(self):
+        parent = ProgramSpec(source="random", index=3)
+        spec = ProgramSpec(source="adaptive", index=7, salt=2,
+                           flags=(("enable_tasks", True),
+                                  ("enable_atomic", False)),
+                           op="dup-stmt", parent=parent,
+                           parent_fingerprint="sdeadbeef")
+        assert ProgramSpec.from_dict(spec.to_dict()) == spec
+        # dict form is JSON-safe
+        assert ProgramSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_defaults_are_omitted_from_dict_form(self):
+        assert ProgramSpec(source="random", index=5).to_dict() == {
+            "source": "random", "index": 5}
+
+    def test_specs_are_picklable(self):
+        spec = ProgramSpec(source="mutation", index=1, op="drop-stmt",
+                           parent=ProgramSpec(source="random", index=0))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+# ----------------------------------------------------------------------
+# the hard gate: default source == historical contract, byte for byte
+# ----------------------------------------------------------------------
+
+class TestDefaultSourceByteIdentity:
+    #: pinned before this refactor existed — these literals are the
+    #: proof that adding program sources changed nothing for existing
+    #: configs, checkpoints, and stores
+    PRE_REFACTOR_DEFAULT_KEY = "c677e61cba706"
+    PRE_REFACTOR_FLEET_KEY = "c3086e39fdfcb"
+    PRE_REFACTOR_JSON_SHA = (
+        "80e102f98a65f80dbe3491e91d1ac9f0ad8cca292e8153f57852f99c113d3c27")
+
+    def test_default_campaign_key_unchanged(self):
+        assert campaign_key(CampaignConfig()) == self.PRE_REFACTOR_DEFAULT_KEY
+
+    def test_fleet_fixture_campaign_key_unchanged(self, fleet_cfg):
+        assert campaign_key(fleet_cfg) == self.PRE_REFACTOR_FLEET_KEY
+
+    def test_default_config_json_unchanged(self):
+        doc = campaign_to_json(CampaignConfig())
+        assert hashlib.sha256(doc.encode()).hexdigest() == \
+            self.PRE_REFACTOR_JSON_SHA
+        assert "program_source" not in doc
+        assert "mutation_corpus" not in doc
+
+    def test_legacy_config_dict_still_loads(self):
+        data = json.loads(campaign_to_json(CampaignConfig(seed=5)))
+        assert "program_source" not in data
+        cfg = campaign_from_dict(data)
+        assert cfg.program_source == "random"
+        assert cfg.mutation_corpus == ()
+
+    def test_random_source_matches_program_generator_stream(self, fast_gen_cfg):
+        cfg = CampaignConfig(n_programs=4, seed=777, generator=fast_gen_cfg)
+        source = RandomSource(cfg)
+        legacy = ProgramGenerator(cfg.generator, seed=cfg.seed)
+        for i in range(4):
+            spec = source.spec(i)
+            assert spec == ProgramSpec(source="random", index=i)
+            assert emit_translation_unit(source.materialize(spec)) == \
+                emit_translation_unit(legacy.generate(i))
+
+    def test_default_units_carry_no_spec(self, fast_campaign_cfg):
+        assert plan_specs(fast_campaign_cfg) is None
+        assert all(u.spec is None for u in plan_units(fast_campaign_cfg))
+
+
+# ----------------------------------------------------------------------
+# campaign identity classification (declarative campaign_key)
+# ----------------------------------------------------------------------
+
+class TestIdentityClassification:
+    def test_every_field_is_classified(self):
+        names = {f.name for f in dataclasses.fields(CampaignConfig)}
+        classified = (CampaignConfig.IDENTITY_FIELDS
+                      | CampaignConfig.EXECUTION_FIELDS)
+        assert classified == names, (
+            "every CampaignConfig field must be classified identity or "
+            f"execution; unclassified: {sorted(names - classified)}, "
+            f"stale: {sorted(classified - names)}")
+        assert not (CampaignConfig.IDENTITY_FIELDS
+                    & CampaignConfig.EXECUTION_FIELDS)
+
+    def test_unclassified_field_is_a_hard_error(self, monkeypatch):
+        monkeypatch.setattr(
+            CampaignConfig, "IDENTITY_FIELDS",
+            CampaignConfig.IDENTITY_FIELDS - {"seed"})
+        with pytest.raises(TypeError, match="seed"):
+            campaign_key(CampaignConfig())
+
+    def test_program_source_is_identity_bearing(self):
+        assert "program_source" in CampaignConfig.IDENTITY_FIELDS
+        assert "mutation_corpus" in CampaignConfig.IDENTITY_FIELDS
+        base = CampaignConfig()
+        assert campaign_key(dataclasses.replace(
+            base, program_source="adaptive")) != campaign_key(base)
+        assert campaign_key(dataclasses.replace(
+            base, mutation_corpus=(1, 2))) != campaign_key(base)
+
+    def test_execution_fields_stay_neutral(self):
+        base = CampaignConfig()
+        variant = dataclasses.replace(base, engine="process", jobs=7,
+                                      chunk_size=3, kernel_backend="interp",
+                                      output_dir="/tmp/x")
+        assert campaign_key(variant) == campaign_key(base)
+
+    def test_bad_program_source_rejected(self):
+        with pytest.raises(ConfigError, match="program_source"):
+            CampaignConfig(program_source="genetic")
+        with pytest.raises(ConfigError, match="mutation_corpus"):
+            CampaignConfig(mutation_corpus=(-1,))
+
+    def test_source_round_trips_through_json(self):
+        cfg = CampaignConfig(program_source="mutation",
+                             mutation_corpus=(4, 9))
+        rt = campaign_from_dict(json.loads(campaign_to_json(cfg)))
+        assert rt == cfg
+        assert isinstance(rt.mutation_corpus, tuple)
+
+
+# ----------------------------------------------------------------------
+# coverage signal
+# ----------------------------------------------------------------------
+
+class TestCoverage:
+    def test_fingerprint_ignores_names_and_constants(self, program_stream):
+        from repro.core.surgery import clone_program
+
+        program = program_stream[0]
+        clone = clone_program(program)
+        clone.name = "something_else"
+        assert shape_fingerprint(clone) == shape_fingerprint(program)
+
+    def test_fingerprint_sees_structure(self, program_stream):
+        fps = {shape_fingerprint(p) for p in program_stream}
+        assert len(fps) > 1  # not a constant function
+
+    def test_coverage_map_accumulates_pairs(self, program_stream):
+        cov = CoverageMap()
+        for p in program_stream[:4]:
+            cov.record(p)
+        assert cov.total == 4
+        assert 1 <= len(cov.pairs) <= 4
+        novel = program_stream[5]
+        if cov.is_novel(novel):
+            before = len(cov.pairs)
+            cov.record(novel)
+            assert len(cov.pairs) == before + 1
+
+
+# ----------------------------------------------------------------------
+# mutation operators
+# ----------------------------------------------------------------------
+
+class TestMutators:
+    @pytest.mark.parametrize("name", sorted(MUTATORS))
+    def test_operator_is_pure_and_deterministic(self, name, program_stream,
+                                                fast_gen_cfg):
+        program = program_stream[1]
+        before = emit_translation_unit(program)
+        out1 = MUTATORS[name](program, Rng(9).child("m"), fast_gen_cfg)
+        out2 = MUTATORS[name](program, Rng(9).child("m"), fast_gen_cfg)
+        # parent untouched regardless of outcome
+        assert emit_translation_unit(program) == before
+        if out1 is None:
+            assert out2 is None
+        else:
+            assert emit_translation_unit(out1) == emit_translation_unit(out2)
+
+    def test_some_operator_applies_to_every_stream_program(
+            self, program_stream, fast_gen_cfg):
+        for program in program_stream[:6]:
+            applied = [n for n in mutator_names()
+                       if MUTATORS[n](program, Rng(3).child(n),
+                                      fast_gen_cfg) is not None]
+            assert applied, f"no operator applies to {program.name}"
+
+
+# ----------------------------------------------------------------------
+# mutation source
+# ----------------------------------------------------------------------
+
+class TestMutationSource:
+    def test_specs_record_parent_and_replay_exactly(self, fast_gen_cfg):
+        cfg = CampaignConfig(n_programs=4, seed=777, generator=fast_gen_cfg,
+                             program_source="mutation")
+        source = MutationSource(cfg)
+        for i in range(4):
+            spec = source.spec(i)
+            assert spec.source == "mutation"
+            if spec.op is not None:
+                assert spec.parent is not None
+                assert spec.parent_fingerprint is not None
+            a = emit_translation_unit(source.materialize(spec))
+            b = emit_translation_unit(materialize_spec(cfg, spec))
+            assert a == b
+
+    def test_mutants_stay_inside_grammar_and_race_policy(self, fast_gen_cfg):
+        cfg = CampaignConfig(n_programs=6, seed=1234, generator=fast_gen_cfg,
+                             program_source="mutation")
+        source = MutationSource(cfg)
+        for i in range(6):
+            program = source.materialize(source.spec(i))
+            check_conformance(program)  # raises on violation
+            assert not reads_undeclared_locals(program)
+            assert not find_races(program)
+            assert program.name == f"test_{cfg.seed}_{i}"
+
+    def test_corpus_indices_pick_parents(self, fast_gen_cfg):
+        cfg = CampaignConfig(n_programs=4, seed=777, generator=fast_gen_cfg,
+                             program_source="mutation",
+                             mutation_corpus=(2, 5))
+        source = MutationSource(cfg)
+        for i in range(4):
+            spec = source.spec(i)
+            if spec.op is not None:
+                assert spec.parent.index in (2, 5)
+
+    def test_corpus_from_triage_reads_summary(self, tmp_path):
+        (tmp_path / "summary.json").write_text(json.dumps({
+            "buckets": [
+                {"members": [{"program_index": 7}, {"program_index": 2}]},
+                {"members": [{"program_index": 7}]},
+            ]}))
+        assert corpus_from_triage(tmp_path) == (2, 7)
+
+
+# ----------------------------------------------------------------------
+# adaptive source
+# ----------------------------------------------------------------------
+
+class TestAdaptiveSource:
+    def test_replanning_is_deterministic(self, adaptive_cfg):
+        specs1 = plan_specs(adaptive_cfg)
+        specs2 = plan_specs(adaptive_cfg)
+        assert specs1 == specs2
+        srcs1 = [emit_translation_unit(materialize_spec(adaptive_cfg, s))
+                 for s in specs1]
+        srcs2 = [emit_translation_unit(materialize_spec(adaptive_cfg, s))
+                 for s in specs2]
+        assert srcs1 == srcs2
+
+    def test_adaptive_covers_strictly_more_pairs_than_random(
+            self, adaptive_cfg):
+        random_cfg = dataclasses.replace(adaptive_cfg,
+                                         program_source="random")
+        cov_random, cov_adaptive = CoverageMap(), CoverageMap()
+        gen = ProgramGenerator(random_cfg.generator, seed=random_cfg.seed)
+        for i in range(random_cfg.n_programs):
+            cov_random.record(gen.generate(i))
+        for spec in plan_specs(adaptive_cfg):
+            cov_adaptive.record(materialize_spec(adaptive_cfg, spec))
+        assert cov_adaptive.total == cov_random.total
+        assert len(cov_adaptive.pairs) > len(cov_random.pairs)
+
+    def test_adaptive_programs_are_valid_and_uniformly_named(
+            self, adaptive_cfg):
+        for spec in plan_specs(adaptive_cfg)[:6]:
+            program = materialize_spec(adaptive_cfg, spec)
+            check_conformance(program)
+            assert not find_races(program)
+            assert program.name == f"test_{adaptive_cfg.seed}_{spec.index}"
+
+    def test_spec_is_lazy_but_order_independent(self, adaptive_cfg):
+        source = AdaptiveSource(adaptive_cfg)
+        late = source.spec(5)
+        fresh = AdaptiveSource(adaptive_cfg)
+        assert fresh.spec(5) == late
+        assert [fresh.spec(i) for i in range(6)] == \
+            [source.spec(i) for i in range(6)]
+
+    def test_create_source_dispatch(self, fast_gen_cfg):
+        for name, cls in (("random", RandomSource),
+                          ("mutation", MutationSource),
+                          ("adaptive", AdaptiveSource)):
+            cfg = CampaignConfig(generator=fast_gen_cfg,
+                                 program_source=name)
+            assert isinstance(create_source(cfg), cls)
+        assert tuple(PROGRAM_SOURCES) == ("random", "mutation", "adaptive")
+
+
+# ----------------------------------------------------------------------
+# engine integration: units rebuild from spec alone
+# ----------------------------------------------------------------------
+
+class TestEngineIntegration:
+    def test_units_carry_specs_for_adaptive(self, adaptive_cfg):
+        units = plan_units(adaptive_cfg)
+        assert [u.spec.index for u in units] == list(range(12))
+        assert all(u.spec.source == "adaptive" for u in units)
+
+    def test_execute_unit_rebuilds_from_pickled_unit(self, adaptive_cfg):
+        cfg = dataclasses.replace(adaptive_cfg, n_programs=3)
+        unit = plan_units(cfg)[2]
+        wire_unit = pickle.loads(pickle.dumps(unit))  # the fleet transport
+        plan = ExecutionPlan(config=cfg)
+        a = execute_unit(plan, unit)
+        b = execute_unit(plan, wire_unit)
+        assert a.program_name == b.program_name == f"test_{cfg.seed}_2"
+        assert [v.identity() for v in a.verdicts] == \
+            [v.identity() for v in b.verdicts]
+
+    def test_features_follow_the_materialized_program(self, adaptive_cfg):
+        cfg = dataclasses.replace(adaptive_cfg, n_programs=2)
+        unit = plan_units(cfg)[1]
+        outcome = execute_unit(ExecutionPlan(config=cfg), unit)
+        expected = extract_features(materialize_spec(cfg, unit.spec))
+        assert outcome.features == expected
+        assert directive_vector(outcome.features) == \
+            directive_vector(expected)
+
+
+# ----------------------------------------------------------------------
+# fleet ≡ serial on an adaptive campaign — workers rebuild from the
+# leased spec alone, no corpus files cross the wire
+# ----------------------------------------------------------------------
+
+class TestFleetEqualsSerialOnAdaptive:
+    def test_queue_workers_match_serial_session(self, adaptive_cfg):
+        from repro.fleet import WorkQueue, worker_loop
+        from repro.harness.session import CampaignSession
+
+        cfg = dataclasses.replace(adaptive_cfg, n_programs=6)
+        serial = CampaignSession(cfg, engine="serial").run()
+
+        plan = ExecutionPlan(config=cfg)
+        queue = WorkQueue(plan, plan_units(cfg))
+        assert worker_loop(queue, batch=2) == cfg.n_programs
+        outcomes = dict(queue.collect())
+        fleet_verdicts = [v for i in sorted(outcomes)
+                          for v in outcomes[i].verdicts]
+        assert [v.identity() for v in fleet_verdicts] == \
+            [v.identity() for v in serial.verdicts]
+
+
+# ----------------------------------------------------------------------
+# store coverage reports and `repro-omp query --coverage`
+# ----------------------------------------------------------------------
+
+class TestCoverageReports:
+    @pytest.fixture(scope="class")
+    def coverage_store(self, adaptive_cfg, tmp_path_factory):
+        from repro.fleet import ResultStore
+        from repro.harness.session import CampaignSession
+
+        db = tmp_path_factory.mktemp("covdb") / "cov.db"
+        cids = {}
+        with ResultStore(db) as store:
+            for src in ("random", "adaptive"):
+                cfg = dataclasses.replace(adaptive_cfg, n_programs=6,
+                                          program_source=src)
+                session = CampaignSession(cfg, engine="serial")
+                session.run()
+                cids[src], _ = store.record_session(session)
+        return db, cids
+
+    def test_store_coverage_rebuilds_from_identity(self, coverage_store):
+        from repro.fleet import ResultStore
+
+        db, cids = coverage_store
+        with ResultStore(db) as store:
+            random_cov = store.coverage(cids["random"])
+            adaptive_cov = store.coverage(cids["adaptive"])
+        assert random_cov["program_source"] == "random"
+        assert adaptive_cov["program_source"] == "adaptive"
+        assert random_cov["programs"] == adaptive_cov["programs"] == 6
+        # the acceptance bar, measured end-to-end through the store
+        assert adaptive_cov["distinct_pairs"] > random_cov["distinct_pairs"]
+
+    def test_query_coverage_text_and_json(self, coverage_store, capsys):
+        from repro.cli import main
+
+        db, cids = coverage_store
+        assert main(["query", "--store", str(db), "--coverage"]) == 0
+        out = capsys.readouterr().out
+        assert "source=random" in out and "source=adaptive" in out
+        assert main(["query", "--store", str(db), "--coverage",
+                     "--campaign", cids["adaptive"], "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert [r["campaign_id"] for r in reports] == [cids["adaptive"]]
+        assert reports[0]["distinct_pairs"] >= 1

@@ -62,10 +62,36 @@ def run_under(binary, test_input, machine, backend):
     """Execute ``binary`` with the given backend, re-binding its entry
     (``Binary.entry`` memoizes the callable bound at first use)."""
     with use_kernel_backend(backend):
-        binary.__dict__.pop("entry", None)
+        binary.reset_entry()
         record = run_binary(binary, test_input, machine)
-    binary.__dict__.pop("entry", None)
+    binary.reset_entry()
     return record
+
+
+# ----------------------------------------------------------------------
+# entry-point caching
+# ----------------------------------------------------------------------
+
+class TestResetEntry:
+    def test_reset_entry_drops_memoized_binding(self, program_stream):
+        binary = compile_binary(program_stream[0], "gcc", "-O1")
+        assert "entry" not in binary.__dict__
+        first = binary.entry
+        assert binary.__dict__["entry"] is first  # memoized
+        binary.reset_entry()
+        assert "entry" not in binary.__dict__
+        binary.reset_entry()  # idempotent on an unbound binary
+        assert callable(binary.entry)  # re-binds on next access
+
+    def test_reset_entry_rebinds_under_new_backend(self, program_stream):
+        binary = compile_binary(program_stream[0], "gcc", "-O1")
+        with use_kernel_backend("interp"):
+            interp_entry = binary.entry
+        binary.reset_entry()
+        with use_kernel_backend("vm"):
+            vm_entry = binary.entry
+        binary.reset_entry()
+        assert interp_entry is not vm_entry
 
 
 # ----------------------------------------------------------------------

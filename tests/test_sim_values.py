@@ -265,7 +265,8 @@ class TestNativeLoader:
     def test_disabled_via_env(self, monkeypatch):
         from repro.sim import _native
         monkeypatch.setenv("REPRO_NATIVE_VALUES", "0")
-        assert _native.load() is None
+        with _native.scoped_load_info():
+            assert _native.load() is None
 
     def test_load_is_exception_free_on_broken_cache(self, monkeypatch,
                                                     tmp_path):
@@ -276,7 +277,8 @@ class TestNativeLoader:
         bad.write_text("not a directory")
         monkeypatch.setenv("REPRO_NATIVE_CACHE", str(bad / "x"))
         # builds into an impossible cache dir: must fall back, not raise
-        assert _native.load() is None
+        with _native.scoped_load_info():
+            assert _native.load() is None
 
     def test_verify_rejects_wrong_math(self):
         from repro.sim import _native, values
@@ -325,8 +327,9 @@ class TestNativeLoader:
     def test_disabled_load_records_reason(self, monkeypatch):
         from repro.sim import _native
         monkeypatch.setenv("REPRO_NATIVE_VALUES", "0")
-        assert _native.load() is None
-        info = _native.load_info()
+        with _native.scoped_load_info():
+            assert _native.load() is None
+            info = _native.load_info()
         assert info["active"] is False
         assert info["requested"] is False
         assert "REPRO_NATIVE_VALUES" in info["reason"]
@@ -338,14 +341,15 @@ class TestNativeLoader:
         bad = tmp_path / "not-a-dir"
         bad.write_text("file, not directory")
         monkeypatch.setenv("REPRO_NATIVE_CACHE", str(bad / "x"))
-        with warnings_mod.catch_warnings(record=True) as caught:
+        with _native.scoped_load_info(), \
+                warnings_mod.catch_warnings(record=True) as caught:
             warnings_mod.simplefilter("always")
             assert _native.load() is None
+            info = _native.load_info()
         relevant = [w for w in caught
                     if issubclass(w.category, RuntimeWarning)]
         assert len(relevant) == 1
         assert "REPRO_NATIVE_VALUES requested" in str(relevant[0].message)
-        info = _native.load_info()
         assert info["requested"] is True and info["active"] is False
 
     def test_unrequested_fallback_is_silent(self, monkeypatch, tmp_path):
@@ -355,24 +359,56 @@ class TestNativeLoader:
         bad = tmp_path / "not-a-dir"
         bad.write_text("file, not directory")
         monkeypatch.setenv("REPRO_NATIVE_CACHE", str(bad / "x"))
-        with warnings_mod.catch_warnings(record=True) as caught:
+        with _native.scoped_load_info(), \
+                warnings_mod.catch_warnings(record=True) as caught:
             warnings_mod.simplefilter("always")
             assert _native.load() is None
+            info = _native.load_info()
         assert not [w for w in caught
                     if issubclass(w.category, RuntimeWarning)]
-        assert _native.load_info()["active"] is False
+        assert info["active"] is False
 
     def test_successful_load_reports_active(self, monkeypatch):
         from repro.sim import _native, values
         if not values.native_values_active():
             pytest.skip("no toolchain in this environment")
-        # earlier loader tests mutate the load record; a clean re-load
-        # must land back on the verified-and-active state
+        # loader tests scope their load-record mutations, so the record
+        # still reflects the process's import-time load here; a fresh
+        # re-load must land on the verified-and-active state either way
         monkeypatch.delenv("REPRO_NATIVE_VALUES", raising=False)
-        assert _native.load() is not None
-        info = values.native_values_info()
+        with _native.scoped_load_info():
+            assert _native.load() is not None
+            info = values.native_values_info()
         assert info["active"] is True
         assert "verified" in info["reason"]
+
+    def test_scoped_load_info_restores_exact_record(self):
+        from repro.sim import _native
+        before = _native.load_info()
+        with _native.scoped_load_info():
+            _native._LOAD_INFO.update(active=True, reason="scribbled",
+                                      extra="junk")
+            assert _native.load_info()["reason"] == "scribbled"
+        assert _native.load_info() == before
+
+    def test_scoped_load_info_restores_on_exception(self):
+        from repro.sim import _native
+        before = _native.load_info()
+        with pytest.raises(RuntimeError):
+            with _native.scoped_load_info():
+                _native._LOAD_INFO["reason"] = "mid-failure"
+                raise RuntimeError("boom")
+        assert _native.load_info() == before
+
+    def test_reset_load_info_returns_to_pristine(self):
+        from repro.sim import _native
+        with _native.scoped_load_info():
+            _native._LOAD_INFO.update(active=True, requested=True,
+                                      reason="left over", stray=1)
+            _native.reset_load_info()
+            info = _native.load_info()
+        assert info == {"active": False, "requested": False,
+                        "reason": "load() not called yet"}
 
     def test_find_cc_returns_path_or_none(self):
         from repro.sim import _native

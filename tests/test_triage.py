@@ -259,7 +259,11 @@ class TestBundles:
         out = write_bundle(tmp_path / "b", ex, session.config)
         names = {p.name for p in out.iterdir()}
         assert names == {"reduced.cpp", "original.cpp", "input.json",
-                         "verdict.json", "config.json", "repro.sh"}
+                         "verdict.json", "config.json", "repro.sh",
+                         "provenance.json"}
+        provenance = json.loads((out / "provenance.json").read_text())
+        assert provenance["program_source"] == session.config.program_source
+        assert provenance["spec"]["index"] == ex.program_index
         verdict = json.loads((out / "verdict.json").read_text())
         assert verdict["expected"]["vendor"] == ex.vendor
         assert verdict["expected"]["kind"] == ex.kind.value
