@@ -238,7 +238,18 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--out", type=Path, default=None,
                     help="where to write results (default: the baseline "
                          "path itself, i.e. refresh BENCH_throughput.json)")
+    ap.add_argument("--telemetry", action="store_true",
+                    help="run with the metrics registry and pipeline "
+                         "spans enabled — proves enabled-telemetry "
+                         "overhead stays inside the regression gate")
     args = ap.parse_args(argv)
+
+    if args.telemetry:
+        from repro import obs
+
+        obs.enable(True)
+        print("bench_throughput: telemetry ENABLED for this run",
+              file=sys.stderr)
 
     profile_name = "quick" if args.quick else "full"
     n = QUICK_PROGRAMS if args.quick else FULL_PROGRAMS

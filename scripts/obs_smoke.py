@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""CI observability smoke: telemetry must observe everything, change nothing.
+
+Four legs, all on small paper-mix grids:
+
+1. **Byte-identity** — the reference campaign run twice through the CLI,
+   once bare and once with ``--metrics-file`` + ``--trace-file``; every
+   artifact byte (verdicts.jsonl, config.json, generated sources) must
+   be identical, and the campaign key must stay at its pinned value.
+2. **Exposition** — the metrics file written by the telemetry run must
+   parse as Prometheus text and carry the key pipeline series; the trace
+   must be valid JSONL covering the plan/materialize/compile/execute/
+   verdict stages.
+3. **Fleet aggregation** — a supervised two-worker run with a result
+   store: the fleet-wide merged counters must reconcile exactly with
+   the store (units, tests), and the status file must carry the current
+   schema plus a telemetry summary.
+4. **Chaos reconciliation** — the same grid under a seeded chaos plan
+   (every mutator delivered twice, one store refusal): duplicates and
+   retries must be *observed* without ever double-counting the ledger.
+
+The trace and metrics files land in ``--out`` for artifact upload.
+Exit status 0 on success; 1 with a diagnostic on any violated assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import obs  # noqa: E402
+from repro.cli import main as cli_main  # noqa: E402
+from repro.config import (  # noqa: E402
+    CampaignConfig,
+    GeneratorConfig,
+    save_campaign,
+)
+from repro.fleet import ChaosPlan, ResultStore, run_chaos_campaign  # noqa: E402
+from repro.fleet.store import campaign_key  # noqa: E402
+from repro.fleet.supervisor import STATUS_SCHEMA  # noqa: E402
+from repro.obs import metrics as m  # noqa: E402
+
+PINNED_DEFAULT_KEY = "c677e61cba706"
+
+KEY_SERIES = (
+    "repro_units_total",
+    "repro_tests_total",
+    "repro_lower_total",
+    "repro_queue_leases_total",
+    "repro_queue_completions_total",
+)
+
+SPAN_STAGES = ("plan", "materialize", "compile", "execute", "verdict")
+
+
+def fail(msg: str) -> int:
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def _tree_bytes(root: Path) -> dict[str, bytes]:
+    return {str(p.relative_to(root)): p.read_bytes()
+            for p in sorted(root.rglob("*")) if p.is_file()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="obs-smoke",
+                        help="artifact directory (metrics + trace files)")
+    parser.add_argument("--programs", type=int, default=6)
+    parser.add_argument("--inputs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    gen = GeneratorConfig(max_total_iterations=4000, loop_trip_max=60,
+                          num_threads=8)
+    cfg = CampaignConfig(n_programs=args.programs,
+                         inputs_per_program=args.inputs, seed=args.seed,
+                         generator=gen, directive_mix="paper")
+    cfg_path = out / "campaign-config.json"
+    save_campaign(cfg, cfg_path)
+    grid = ["--config", str(cfg_path), "--quiet"]
+
+    # -- leg 1: byte-identity ------------------------------------------
+    if campaign_key(CampaignConfig()) != PINNED_DEFAULT_KEY:
+        return fail("pinned default campaign key moved — telemetry (or "
+                    "something riding with it) leaked into identity")
+    bare_dir, obs_dir = out / "artifacts-bare", out / "artifacts-obs"
+    metrics_file = out / "campaign.prom"
+    trace_file = out / "trace.jsonl"
+    rc = cli_main(["campaign", *grid, "--out", str(bare_dir)])
+    if rc != 0:
+        return fail(f"bare campaign exited {rc}")
+    rc = cli_main(["campaign", *grid, "--out", str(obs_dir),
+                   "--metrics-file", str(metrics_file),
+                   "--trace-file", str(trace_file)])
+    if rc != 0:
+        return fail(f"telemetry campaign exited {rc}")
+    bare, instrumented = _tree_bytes(bare_dir), _tree_bytes(obs_dir)
+    if bare.keys() != instrumented.keys():
+        return fail(f"artifact sets differ: {sorted(bare) } vs "
+                    f"{sorted(instrumented)}")
+    differing = [name for name in bare if bare[name] != instrumented[name]]
+    if differing:
+        return fail(f"telemetry changed artifact bytes: {differing}")
+    print(f"byte-identity: {len(bare)} artifact file(s) identical with "
+          f"telemetry on")
+
+    # -- leg 2: exposition + trace -------------------------------------
+    parsed = m.parse_exposition(metrics_file.read_text())  # raises if bad
+    for series in ("repro_units_total", "repro_tests_total"):
+        hits = {k: v for k, v in parsed.items() if k.startswith(series)}
+        if sum(hits.values()) <= 0:
+            return fail(f"exposition lacks {series}: {sorted(parsed)[:10]}")
+    total_tests = args.programs * args.inputs
+    tests_seen = sum(v for k, v in parsed.items()
+                     if k.startswith("repro_tests_total"))
+    if tests_seen > total_tests:
+        return fail(f"tests counter {tests_seen} exceeds grid "
+                    f"{total_tests}")
+    records = [json.loads(line)
+               for line in trace_file.read_text().splitlines()]
+    stages = {r["span"] for r in records}
+    missing = [s for s in SPAN_STAGES if s not in stages]
+    if missing:
+        return fail(f"trace lacks span(s) {missing}; has {sorted(stages)}")
+    print(f"exposition: {len(parsed)} series parsed; trace: "
+          f"{len(records)} span record(s) across {len(stages)} stage(s)")
+
+    # -- leg 3: fleet aggregation reconciles with the store ------------
+    obs.reset()
+    fleet_db = out / "fleet.db"
+    status_file = out / "fleet-status.json"
+    fleet_prom = out / "fleet.prom"
+    rc = cli_main(["fleet", "supervise", "--config", str(cfg_path),
+                   "--workers", "2", "--quiet",
+                   "--store", str(fleet_db),
+                   "--status-file", str(status_file),
+                   "--metrics-file", str(fleet_prom)])
+    if rc != 0:
+        return fail(f"fleet supervise exited {rc}")
+    status = json.loads(status_file.read_text())
+    if status.get("schema") != STATUS_SCHEMA:
+        return fail(f"status schema {status.get('schema')} != "
+                    f"{STATUS_SCHEMA}")
+    if "telemetry" not in status:
+        return fail("status file lacks the telemetry summary")
+    with ResultStore(fleet_db) as store:
+        cid = campaign_key(cfg)
+        snap = store.telemetry(cid)
+        if snap is None:
+            return fail(f"store holds no telemetry for campaign {cid}")
+        completed = len(store.completed_indices(cid))
+        verdicts = store.verdict_count(cid)
+    pairs = (("repro_units_total", completed),
+             ("repro_tests_total", verdicts),
+             ("repro_queue_completions_total", completed))
+    for series, want in pairs:
+        got = m.total_counter(snap, series)
+        if got != want:
+            return fail(f"fleet {series}={got} but store says {want}")
+    print(f"fleet: merged counters reconcile with store "
+          f"({completed} unit(s), {verdicts} verdict(s))")
+
+    # -- leg 4: chaos reconciliation -----------------------------------
+    obs.reset()
+    obs.enable(True)
+    try:
+        plan = ChaosPlan(seed=7, duplicate_rate=1.0, store_fail_calls=(0,))
+        chaos_db = out / "chaos.db"
+        result, report = run_chaos_campaign(cfg, plan, chaos_db, workers=2,
+                                            timeout=args.timeout)
+    finally:
+        obs.enable(False)
+    if report["store_faults"] != {"fail": 1}:
+        return fail(f"chaos store fault did not fire: {report}")
+    with ResultStore(chaos_db) as store:
+        cid = campaign_key(cfg)
+        snap = store.telemetry(cid)
+        if snap is None:
+            return fail("chaos run persisted no telemetry")
+        completed = len(store.completed_indices(cid))
+        verdicts = store.verdict_count(cid)
+    checks = (("repro_queue_completions_total", completed),
+              ("repro_units_total", completed),
+              ("repro_tests_total", verdicts),
+              ("repro_store_write_failures_total", 1))
+    for series, want in checks:
+        got = m.total_counter(snap, series)
+        if got != want:
+            return fail(f"chaos {series}={got}, expected {want}")
+    if m.total_counter(snap, "repro_queue_duplicate_completions_total") < 1:
+        return fail("duplicated completions were not observed")
+    if len(result.verdicts) != verdicts:
+        return fail(f"chaos result has {len(result.verdicts)} verdicts, "
+                    f"store {verdicts}")
+    print(f"chaos: duplicates and store refusal observed; ledger exact "
+          f"({completed} unit(s), {verdicts} verdict(s))")
+
+    print("obs smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

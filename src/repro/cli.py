@@ -34,6 +34,7 @@ from .config import (
     load_campaign,
 )
 from .errors import ReproError
+from . import obs
 from .core.generator import ProgramGenerator
 from .core.grammar import GRAMMAR
 from .core.inputs import InputGenerator
@@ -59,6 +60,37 @@ def _add_seed(p: argparse.ArgumentParser) -> None:
 
 def _seed(args) -> int:
     return _DEFAULT_SEED if args.seed is None else args.seed
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--metrics-file", metavar="PATH", dest="metrics_file",
+                   help="enable telemetry and write the final metrics "
+                        "exposition (Prometheus text format) to PATH; "
+                        "verdicts are byte-identical either way")
+    p.add_argument("--trace-file", metavar="PATH", dest="trace_file",
+                   help="enable telemetry and append one JSONL record per "
+                        "pipeline span to PATH (offline flamegraph-style "
+                        "analysis)")
+
+
+def _setup_obs(args) -> str | None:
+    """Enable telemetry when either obs flag is present; returns the
+    metrics-file path (exposition is written by the command at exit)."""
+    metrics_file = getattr(args, "metrics_file", None)
+    trace_file = getattr(args, "trace_file", None)
+    if metrics_file or trace_file:
+        obs.enable(True)
+    if trace_file:
+        obs.set_trace_file(trace_file)
+    return metrics_file
+
+
+def _write_metrics_file(path: str | None, snapshot: dict | None = None) -> None:
+    if not path:
+        return
+    snap = snapshot if snapshot is not None else obs.registry_snapshot()
+    Path(path).write_text(obs.render_exposition(snap))
+    print(f"metrics exposition written to {path}", file=sys.stderr)
 
 
 def _add_source_flags(p: argparse.ArgumentParser) -> None:
@@ -154,6 +186,7 @@ def cmd_campaign(args) -> int:
     from .harness.results import dump_campaign_artifacts
     from .harness.session import CampaignSession
 
+    metrics_file = _setup_obs(args)
     # interrupts re-checkpoint to --checkpoint, or back onto the file a
     # resumed campaign came from, so a resume is never less safe than the
     # run that produced its checkpoint.  CampaignSession itself applies
@@ -237,6 +270,7 @@ def cmd_campaign(args) -> int:
         print(report.render())
         path = write_triage_artifacts(report, cfg, args.triage)
         print(f"triage artifacts written to {path}/")
+    _write_metrics_file(metrics_file)
     return 0
 
 
@@ -329,6 +363,7 @@ def cmd_fleet_coordinator(args) -> int:
     from .fleet import FleetCoordinator, ResultStore
     from .harness.report import render_campaign_summary, render_table1
 
+    metrics_file = _setup_obs(args)
     cfg = _load_config(args)
     store = ResultStore(args.store) if args.store else None
     try:
@@ -361,6 +396,7 @@ def cmd_fleet_coordinator(args) -> int:
         if store is not None:
             print(f"verdicts stored in {args.store} "
                   f"(campaign {campaign_id})")
+        _write_metrics_file(metrics_file, coord.telemetry())
         return 0
     finally:
         if store is not None:
@@ -372,6 +408,7 @@ def cmd_fleet_supervise(args) -> int:
     from .fleet import FleetSupervisor, ResultStore
     from .harness.report import render_campaign_summary, render_table1
 
+    metrics_file = _setup_obs(args)
     cfg = _load_config(args)
     sup_cfg = SupervisorConfig(max_restarts=args.max_restarts,
                                restart_backoff_s=args.restart_backoff,
@@ -394,7 +431,9 @@ def cmd_fleet_supervise(args) -> int:
             print(f"\ninterrupted; campaign {sup.campaign_id} drained to "
                   f"{args.store} — re-run the same command to resume",
                   file=sys.stderr)
+            _write_metrics_file(metrics_file, sup.fleet_snapshot())
             return 130
+        _write_metrics_file(metrics_file, sup.fleet_snapshot())
     print(render_table1(result.table, cfg.compilers))
     print()
     print(render_campaign_summary(result.table))
@@ -403,6 +442,34 @@ def cmd_fleet_supervise(args) -> int:
               f"(crashes: {'; '.join(sup.crashes)})")
     print(f"verdicts stored in {args.store} (campaign {sup.campaign_id})")
     return 0
+
+
+def _render_telemetry(tel: dict) -> None:
+    """Render a ``summarize_snapshot`` dict as operator-facing lines."""
+    lower = tel.get("lower") or {}
+    if lower.get("cold") or lower.get("warm"):
+        print(f"lowering   {lower['cold']} cold / {lower['warm']} warm "
+              f"(cache hit rate {lower['hit_rate']:.1%})")
+    q = tel.get("queue") or {}
+    if q:
+        parts = [f"{q.get('leases', 0)} leases",
+                 f"{q.get('completions', 0)} completions"]
+        for key, label in (("duplicate_completions", "duplicate"),
+                           ("failures", "failed"),
+                           ("straggler_leases", "straggler"),
+                           ("lease_expiries", "expired")):
+            if q.get(key):
+                parts.append(f"{q[key]} {label}")
+        print(f"queue ops  {', '.join(parts)}")
+    lat = tel.get("lease_latency") or {}
+    if lat.get("count"):
+        print(f"lease lat  p50 {lat['p50']:.3f}s / p95 {lat['p95']:.3f}s "
+              f"over {lat['count']} completion(s)")
+    for stage, row in sorted((tel.get("stages") or {}).items()):
+        print(f"stage      {stage:<12} n={row['count']:<6} "
+              f"p50 {row['p50'] * 1e3:8.3f}ms  p95 {row['p95'] * 1e3:8.3f}ms")
+    if tel.get("degradation_events"):
+        print(f"degraded   {tel['degradation_events']} degradation event(s)")
 
 
 def cmd_fleet_status(args) -> int:
@@ -419,6 +486,15 @@ def cmd_fleet_status(args) -> int:
         if args.json:
             print(json.dumps(data, indent=2, sort_keys=True))
             return 0
+        from .fleet.supervisor import STATUS_SCHEMA
+
+        schema = data.get("schema", 1)  # v1 never carried the field
+        if schema > STATUS_SCHEMA:
+            # newer writer: render what we recognize, but say so — the
+            # versioned-schema contract is tolerate-and-report
+            print(f"note: status schema v{schema} is newer than this "
+                  f"tool understands (v{STATUS_SCHEMA}); unknown fields "
+                  f"are not rendered", file=sys.stderr)
         print(f"campaign   {data.get('campaign_id')}")
         print(f"state      {data.get('state')}")
         print(f"progress   {data.get('completed_tests')}/"
@@ -438,6 +514,9 @@ def cmd_fleet_status(args) -> int:
         print(f"restarts   {data.get('restarts', 0)}")
         for crash in data.get("crashes", []):
             print(f"  crash: {crash}")
+        tel = data.get("telemetry")
+        if tel:
+            _render_telemetry(tel)
         return 0
     from .fleet import ResultStore
 
@@ -481,10 +560,44 @@ def cmd_fleet_import(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from .fleet import ResultStore
+
+    with ResultStore(args.store) as store:
+        ids = ([args.campaign] if args.campaign
+               else [c["campaign_id"] for c in store.campaigns()])
+        snaps = [s for s in (store.telemetry(cid) for cid in ids) if s]
+    if not snaps:
+        print("no stored telemetry for the requested campaign(s); record "
+              "it by running with --metrics-file or REPRO_OBS=1",
+              file=sys.stderr)
+        return 1
+    merged = obs.merge_snapshots(snaps)
+    if args.summary:
+        print(json.dumps(obs.summarize_snapshot(merged), indent=2,
+                         sort_keys=True))
+    else:
+        print(obs.render_exposition(merged), end="")
+    return 0
+
+
 def cmd_query(args) -> int:
     from .fleet import ResultStore
 
     with ResultStore(args.store) as store:
+        if getattr(args, "health", False):
+            ids = ([args.campaign] if args.campaign
+                   else [c["campaign_id"] for c in store.campaigns()])
+            missing = True
+            for cid in ids:
+                snap = store.telemetry(cid)
+                if snap is None:
+                    print(f"{cid}  (no stored telemetry)")
+                    continue
+                missing = False
+                print(f"campaign   {cid}")
+                _render_telemetry(obs.summarize_snapshot(snap))
+            return 1 if missing else 0
         if args.list:
             for c in store.campaigns():
                 print(f"{c['campaign_id']}  units={c['units']} "
@@ -574,6 +687,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-omp",
         description="Randomized differential testing of OpenMP implementations "
                     "(SC'24 reproduction)")
+    parser.add_argument("--log-level", dest="log_level",
+                        choices=("debug", "info", "warning", "error"),
+                        help="logging threshold for every subcommand "
+                             "(default warning; overrides -v)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="-v = info, -vv = debug")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="emit random OpenMP C++ tests")
@@ -639,6 +758,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="after the campaign, reduce and bucket every "
                         "outlier; write reproducer bundles to DIR")
     p.add_argument("--quiet", action="store_true")
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser(
@@ -717,6 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="give up if the grid is unfinished after this "
                              "many seconds")
         fp.add_argument("--quiet", action="store_true")
+        _add_obs_flags(fp)
         fp.set_defaults(fn=cmd_fleet_coordinator)
 
     fp = fleet_sub.add_parser(
@@ -749,6 +870,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="give up if the grid is unfinished after this "
                          "many seconds")
     fp.add_argument("--quiet", action="store_true")
+    _add_obs_flags(fp)
     fp.set_defaults(fn=cmd_fleet_supervise)
 
     fp = fleet_sub.add_parser(
@@ -808,9 +930,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "directive-feature vectors, kernel-shape "
                         "fingerprints, and (vector, shape) pairs — the "
                         "signal the adaptive source steers by")
+    p.add_argument("--health", action="store_true",
+                   help="render each campaign's stored telemetry summary "
+                        "(pipeline stage latencies, queue ops, cache hit "
+                        "rate) instead of outlier rows")
     p.add_argument("--json", action="store_true",
                    help="emit rows as JSON")
     p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser(
+        "metrics",
+        help="Prometheus-style exposition of stored campaign telemetry")
+    p.add_argument("--store", required=True, metavar="PATH",
+                   help="SQLite result store holding telemetry rows "
+                        "(written by runs with --metrics-file/REPRO_OBS=1)")
+    p.add_argument("--campaign",
+                   help="restrict to one campaign id (default: merge "
+                        "every stored campaign)")
+    p.add_argument("--summary", action="store_true",
+                   help="operator summary JSON (p50/p95 per stage, cache "
+                        "hit rate, queue counters) instead of the text "
+                        "exposition")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("casestudy", help="reproduce a paper case study")
     _add_seed(p)
@@ -824,6 +965,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    obs.logging_setup(args.log_level, verbose=args.verbose)
     try:
         return args.fn(args)
     except ReproError as exc:

@@ -50,6 +50,8 @@ from ..core.features import ProgramFeatures, extract_features
 from ..core.generator import ProgramGenerator
 from ..core.inputs import InputGenerator
 from ..core.races import find_races
+from ..obs import metrics as _obs
+from ..obs.spans import span
 
 #: progress callback: (differential tests completed, tests scheduled)
 ProgressFn = Callable[[int, int], None]
@@ -113,12 +115,13 @@ def plan_units(config: CampaignConfig) -> list[WorkUnit]:
     """
     from ..corpus import plan_specs
 
-    inputs = tuple(range(config.inputs_per_program))
-    specs = plan_specs(config)
-    if specs is None:
-        return [WorkUnit(i, inputs) for i in range(config.n_programs)]
-    return [WorkUnit(i, inputs, spec=specs[i])
-            for i in range(config.n_programs)]
+    with span("plan", source=config.program_source):
+        inputs = tuple(range(config.inputs_per_program))
+        specs = plan_specs(config)
+        if specs is None:
+            return [WorkUnit(i, inputs) for i in range(config.n_programs)]
+        return [WorkUnit(i, inputs, spec=specs[i])
+                for i in range(config.n_programs)]
 
 
 def resolve_chunk_size(config: CampaignConfig, n_units: int,
@@ -160,32 +163,40 @@ def _execute_unit_body(plan: ExecutionPlan, unit: WorkUnit,
                        cfg: CampaignConfig, get_backend) -> UnitOutcome:
     inputs = InputGenerator(cfg.generator, seed=cfg.seed + 1)
 
-    if unit.spec is not None:
-        # provenance-carrying unit: rebuild from the spec alone (pure
-        # function of (config, spec) — see repro.corpus)
-        from ..corpus import materialize_spec
+    with span("materialize"):
+        if unit.spec is not None:
+            # provenance-carrying unit: rebuild from the spec alone (pure
+            # function of (config, spec) — see repro.corpus)
+            from ..corpus import materialize_spec
 
-        program = materialize_spec(cfg, unit.spec)
-    else:
-        program = ProgramGenerator(cfg.generator,
-                                   seed=cfg.seed).generate(unit.program_index)
+            program = materialize_spec(cfg, unit.spec)
+        else:
+            program = ProgramGenerator(
+                cfg.generator, seed=cfg.seed).generate(unit.program_index)
     outcome = UnitOutcome(program_index=unit.program_index,
                           program_name=program.name)
     if cfg.generator.allow_data_races and find_races(program):
         # the paper "mitigated this by manually filtering out data race
         # cases in the evaluation" — we filter statically
         outcome.race_filtered = True
+        _obs.inc("repro_units_total", result="race_filtered")
         return outcome
 
     outcome.features = extract_features(program)
     backends = [get_backend(name) for name in cfg.compilers]
-    executables = [(b, b.compile(program, cfg.opt_level)) for b in backends]
+    with span("compile"):
+        executables = [(b, b.compile(program, cfg.opt_level))
+                       for b in backends]
     for j in unit.input_indices:
         test_input = inputs.generate(program, j)
-        records = [b.execute(exe, test_input, cfg.machine,
-                             collect_profile=plan.collect_profiles)
-                   for b, exe in executables]
-        outcome.verdicts.append(analyze_test(records, cfg.outliers))
+        with span("execute"):
+            records = [b.execute(exe, test_input, cfg.machine,
+                                 collect_profile=plan.collect_profiles)
+                       for b, exe in executables]
+        with span("verdict"):
+            outcome.verdicts.append(analyze_test(records, cfg.outliers))
+        _obs.inc("repro_tests_total")
+    _obs.inc("repro_units_total", result="ok")
     return outcome
 
 

@@ -184,7 +184,8 @@ class ChaosQueueProxy:
     come from queue-side lease expiry, exactly as after a SIGKILL.
     """
 
-    _MUTATORS = frozenset({"complete", "fail", "heartbeat"})
+    _MUTATORS = frozenset({"complete", "fail", "heartbeat",
+                           "report_metrics"})
 
     def __init__(self, queue, chaos: ChaosPlan, *, ident: str = "conn",
                  crash_budget: _CrashBudget | None = None,
@@ -274,6 +275,10 @@ class ChaosQueueProxy:
 
     def dead_units(self):
         return self._call("dead_units")
+
+    def report_metrics(self, worker_id: str, seq: int,
+                       snapshot: dict) -> bool:
+        return self._call("report_metrics", worker_id, seq, snapshot)
 
 
 class ChaosStore:

@@ -42,8 +42,10 @@ from ..driver.engine import (
 from ..errors import ConfigError, FleetDegradedWarning, FleetError
 from ..harness.campaign import CampaignResult
 from ..harness.session import CampaignSession
+from ..obs import log_context
+from ..obs import metrics as _obs
 from .queue import DEFAULT_AUTHKEY, QueueServer, WorkQueue
-from .store import StoreWriteBuffer
+from .store import StoreWriteBuffer, campaign_key
 from .worker import _worker_process_entry, worker_loop
 
 log = logging.getLogger(__name__)
@@ -152,6 +154,7 @@ class FleetEngine(ExecutionEngine):
                     log.error(
                         "fleet degraded: %s; finishing the remaining "
                         "units in-process", queue.stats())
+                    _obs.inc("repro_degradation_events_total")
                     worker_loop(queue, worker_id="fleet-inline-degraded",
                                 batch=self.batch)
                     continue
@@ -160,12 +163,26 @@ class FleetEngine(ExecutionEngine):
             if dead:
                 raise _dead_unit_error(dead)
         finally:
+            if _obs.enabled() and queue.finished():
+                # let workers flush their final metrics report before the
+                # transport goes away (only on the happy path — interrupts
+                # must not linger); a worker that misses the window just
+                # leaves its last-but-one cumulative snapshot in place
+                for p in procs:
+                    p.join(timeout=2)
             server.close()
             for p in procs:
                 if p.is_alive():
                     p.terminate()
             for p in procs:
                 p.join(timeout=5)
+            if _obs.enabled():
+                for snap in queue.worker_metrics().values():
+                    try:
+                        _obs.REGISTRY.absorb(snap)
+                    except Exception:
+                        log.warning("discarding malformed worker metrics "
+                                    "snapshot", exc_info=True)
             if salvage is not None:
                 unyielded.extend(o for _, o in queue.collect())
                 for outcome in unyielded:
@@ -232,6 +249,7 @@ class FleetCoordinator:
             # buffer already holds
             for outcome in self.store_buffer.pending_outcomes():
                 self.session.ingest(outcome)
+        log_context(campaign=self.campaign_id or campaign_key(config))
         plan = ExecutionPlan(config=config, collect_profiles=collect_profiles)
         self.queue = WorkQueue(plan, self.session.pending_units(),
                                lease_seconds=lease_seconds,
@@ -295,6 +313,24 @@ class FleetCoordinator:
             self.store_buffer.retry_due()
         return n
 
+    def telemetry(self) -> dict:
+        """The coordinator's fleet-wide metrics snapshot: this process's
+        registry (queue + store + any in-process execution) merged with
+        the latest cumulative snapshot from every reporting worker."""
+        return _obs.merge_snapshots(
+            [_obs.registry_snapshot(),
+             *self.queue.worker_metrics().values()])
+
+    def _persist_telemetry(self) -> None:
+        if (self.store is None or self.campaign_id is None
+                or not _obs.enabled()):
+            return
+        try:
+            self.store.record_telemetry(self.campaign_id, self.telemetry())
+        except Exception:
+            log.warning("could not persist campaign telemetry",
+                        exc_info=True)
+
     def wait(self, *, poll_s: float = 0.05, timeout: float | None = None,
              progress: ProgressFn | None = None) -> CampaignResult:
         """Pump completions until the grid is finished; return the result.
@@ -340,6 +376,7 @@ class FleetCoordinator:
         dead = self.queue.dead_units()
         if dead:
             raise _dead_unit_error(dead)
+        self._persist_telemetry()
         return self.session.result()
 
     def close(self) -> None:

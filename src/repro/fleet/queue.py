@@ -43,12 +43,14 @@ from typing import Callable, Sequence
 
 from ..driver.engine import ExecutionPlan, WorkUnit
 from ..errors import ConfigError, FleetError
+from ..obs import metrics as _obs
+from ..obs.metrics import LATENCY_BUCKETS
 
 #: the method surface a transport must carry — anything else is refused
 #: server-side, so a confused client cannot call into queue internals
 QUEUE_METHODS = frozenset({
     "plan", "lease", "complete", "fail", "heartbeat", "collect",
-    "finished", "stats", "dead_units",
+    "finished", "stats", "dead_units", "report_metrics",
 })
 
 #: default shared secret for the socket transport; campaigns that leave
@@ -129,6 +131,10 @@ class WorkQueue:
         self._clock = clock
         self._lock = threading.Lock()
         self._closed = False
+        #: worker_id -> (seq, cumulative metrics snapshot); snapshots are
+        #: cumulative and sequence-numbered, so a dropped or duplicated
+        #: report can never lose or double-count a counter
+        self._worker_metrics: dict[str, tuple[int, dict]] = {}
 
     # ------------------------------------------------------------------
     # protocol
@@ -161,6 +167,7 @@ class WorkQueue:
                 if (slot.open and not slot.leases
                         and slot.not_before <= now):
                     out.append(self._issue(uid, slot, now, primary=True))
+            primary_leases = len(out)
             if not out:
                 stragglers = sorted(
                     (uid for uid in self._order
@@ -174,6 +181,11 @@ class WorkQueue:
             for lease in out:
                 self._slots[lease.unit_id].leases[worker_id] = \
                     (now, lease.deadline)
+            if primary_leases:
+                _obs.inc("repro_queue_leases_total", primary_leases)
+            if len(out) > primary_leases:
+                _obs.inc("repro_queue_straggler_leases_total",
+                         len(out) - primary_leases)
             return out
 
     def complete(self, unit_id: int, payload, worker_id: str = "?") -> bool:
@@ -184,13 +196,20 @@ class WorkQueue:
                 return False
             slot = self._slot(unit_id)
             if slot.done:
+                _obs.inc("repro_queue_duplicate_completions_total")
                 return False
+            held = slot.leases.get(worker_id)
+            if held is not None:
+                _obs.observe("repro_queue_lease_latency_seconds",
+                             max(0.0, self._clock() - held[0]),
+                             LATENCY_BUCKETS)
             slot.done = True
             slot.payload = payload
             slot.completed_by = worker_id
             slot.dead_reason = None  # a late straggler rescues a dead unit
             slot.leases.clear()
             self._fresh.append(unit_id)
+            _obs.inc("repro_queue_completions_total")
             return True
 
     def fail(self, unit_id: int, reason: str, worker_id: str = "?") -> bool:
@@ -206,9 +225,11 @@ class WorkQueue:
             if slot.done:
                 return False
             slot.last_failure = reason
+            _obs.inc("repro_queue_failures_total")
             if not slot.leases:
                 if slot.attempts >= self.max_attempts:
                     slot.dead_reason = reason
+                    _obs.inc("repro_queue_dead_units_total")
                 else:
                     slot.not_before = self._clock() + self._backoff(slot)
             return True
@@ -266,6 +287,31 @@ class WorkQueue:
                     for uid in self._order
                     if self._slots[uid].dead_reason is not None]
 
+    def report_metrics(self, worker_id: str, seq: int, snapshot: dict) -> bool:
+        """Accept a worker's cumulative metrics snapshot (telemetry).
+
+        Snapshots are **cumulative** from process start and carry a
+        per-worker sequence number; only a strictly newer sequence
+        replaces the stored snapshot.  Under an unreliable transport
+        this is exactly idempotent: a duplicated report is a no-op, a
+        dropped report is superseded by the next one, and counters can
+        neither double-count nor go backwards.  Deliberately accepted
+        even after :meth:`close` — final flushes during teardown still
+        land, and telemetry never touches work-unit state.
+        """
+        with self._lock:
+            held = self._worker_metrics.get(worker_id)
+            if held is not None and seq <= held[0]:
+                return False
+            self._worker_metrics[worker_id] = (seq, snapshot)
+            return True
+
+    def worker_metrics(self) -> dict[str, dict]:
+        """Latest cumulative snapshot per worker (coordinator-side only —
+        like :meth:`close`, not part of :data:`QUEUE_METHODS`)."""
+        with self._lock:
+            return {w: snap for w, (_, snap) in self._worker_metrics.items()}
+
     def unit(self, unit_id: int) -> WorkUnit:
         """The :class:`WorkUnit` behind ``unit_id`` (supervisor-side
         inline rescue of dead units executes it directly)."""
@@ -312,6 +358,8 @@ class WorkQueue:
                        if deadline <= now]
             for w in expired:
                 del slot.leases[w]
+            if expired:
+                _obs.inc("repro_queue_lease_expiries_total", len(expired))
             if expired and not slot.leases:
                 if slot.attempts >= self.max_attempts:
                     slot.dead_reason = (
@@ -457,6 +505,10 @@ class QueueClient:
 
     def dead_units(self) -> list[tuple[int, str]]:
         return self._call("dead_units")
+
+    def report_metrics(self, worker_id: str, seq: int,
+                       snapshot: dict) -> bool:
+        return self._call("report_metrics", worker_id, seq, snapshot)
 
     def close(self) -> None:
         self._conn.close()

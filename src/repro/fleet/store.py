@@ -49,6 +49,8 @@ from ..harness.session import (
     outcome_from_row,
     outcome_to_row,
 )
+from ..obs import metrics as _obs
+from ..obs.spans import span
 
 log = logging.getLogger(__name__)
 
@@ -92,6 +94,11 @@ CREATE INDEX IF NOT EXISTS idx_outliers_kind_vendor
     ON outliers (kind, vendor);
 CREATE INDEX IF NOT EXISTS idx_outliers_signature
     ON outliers (signature);
+CREATE TABLE IF NOT EXISTS telemetry (
+    campaign_id   TEXT PRIMARY KEY,
+    updated_at    REAL NOT NULL,
+    snapshot_json TEXT NOT NULL
+);
 """
 
 
@@ -279,6 +286,11 @@ class ResultStore:
         to a crash mid-write) heals on the next replay instead of being
         shadowed forever by the first-write-wins unit row.
         """
+        with span("store_write"):
+            return self._record_unit_body(campaign_id, outcome)
+
+    def _record_unit_body(self, campaign_id: str,
+                          outcome: UnitOutcome) -> bool:
         fresh = self._insert_unit_row(campaign_id, outcome)
         vector = ("+".join(directive_vector(outcome.features))
                   if outcome.features is not None else "") or "serial"
@@ -298,7 +310,40 @@ class ResultStore:
                      v.program_name, vendor, kind, ratio, vector,
                      f"{kind}|{vendor}|{vector}"))
         self._db.commit()
+        _obs.inc("repro_store_writes_total",
+                 result="fresh" if fresh else "replay")
         return fresh
+
+    def record_telemetry(self, campaign_id: str, snapshot: dict) -> None:
+        """Persist a campaign's metrics snapshot, merging with what is
+        already stored.
+
+        Merge-on-write (counter sums, histogram bucket sums) makes the
+        row correct across resumed campaigns: each process's registry
+        starts at zero, so every run contributes exactly its own counts.
+        Callers write once per process at campaign end — never
+        periodically, which would self-merge.
+        """
+        row = self._db.execute(
+            "SELECT snapshot_json FROM telemetry WHERE campaign_id = ?",
+            (campaign_id,)).fetchone()
+        if row is not None:
+            snapshot = _obs.merge_snapshots(
+                [json.loads(row["snapshot_json"]), snapshot])
+        self._db.execute(
+            "INSERT OR REPLACE INTO telemetry "
+            "(campaign_id, updated_at, snapshot_json) VALUES (?, ?, ?)",
+            (campaign_id, time.time(),
+             json.dumps(snapshot, sort_keys=True)))
+        self._db.commit()
+
+    def telemetry(self, campaign_id: str) -> dict | None:
+        """The stored metrics snapshot for a campaign (``None`` if the
+        campaign never ran with telemetry enabled)."""
+        row = self._db.execute(
+            "SELECT snapshot_json FROM telemetry WHERE campaign_id = ?",
+            (campaign_id,)).fetchone()
+        return None if row is None else json.loads(row["snapshot_json"])
 
     def record_session(self, session: CampaignSession,
                        campaign_id: str | None = None) -> tuple[str, int]:
@@ -480,7 +525,10 @@ class StoreWriteBuffer:
         many landed.  Cheap no-op while empty or still backing off."""
         if not self._queue or self._clock() < self._not_before:
             return 0
-        return self._drain()
+        landed = self._drain()
+        if landed:
+            _obs.inc("repro_store_buffer_retries_total", landed)
+        return landed
 
     def flush(self) -> int:
         """Force one retry pass now, ignoring the backoff gate; returns
@@ -500,6 +548,7 @@ class StoreWriteBuffer:
                 self.failures += 1
                 self._streak += 1
                 self.last_error = exc
+                _obs.inc("repro_store_write_failures_total")
                 delay = min(self.max_backoff_s,
                             self.backoff_s * (2 ** (self._streak - 1)))
                 self._not_before = self._clock() + delay

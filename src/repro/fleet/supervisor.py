@@ -44,6 +44,8 @@ from ..driver.engine import ExecutionPlan, execute_unit
 from ..errors import ConfigError, FleetDegradedWarning, FleetError
 from ..harness.campaign import CampaignResult
 from ..harness.session import CampaignSession
+from ..obs import log_context
+from ..obs import metrics as _obs
 from .coordinator import FleetCoordinator, _dead_unit_error
 from .queue import DEFAULT_AUTHKEY
 from .store import ResultStore, StoreWriteBuffer
@@ -52,6 +54,13 @@ log = logging.getLogger(__name__)
 
 #: exit code a SIGTERM drain leaves the process with (shell convention)
 SIGTERM_EXIT = 143
+
+#: version of the status JSON written by :meth:`FleetSupervisor.status`.
+#: v1 is the historical unversioned shape (no ``"schema"`` key); v2 adds
+#: ``"schema"`` itself plus the optional ``"telemetry"`` summary.  Readers
+#: (``repro-omp fleet status``) must tolerate-and-report unknown newer
+#: versions rather than fail.
+STATUS_SCHEMA = 2
 
 #: supervisor lifecycle states (:attr:`FleetSupervisor.state`)
 STATES = ("idle", "running", "restarting", "draining", "degraded",
@@ -112,6 +121,10 @@ class FleetSupervisor:
         self.crashes: list[str] = []
         self._signal: int | None = None
         self._old_handlers: dict[int, object] = {}
+        #: queues whose worker metric snapshots were already folded into
+        #: the process-global registry (fold exactly once per incarnation)
+        self._folded_queues: set[int] = set()
+        log_context(campaign=self.campaign_id)
 
     def _default_factory(self, buffer: StoreWriteBuffer) -> FleetCoordinator:
         return FleetCoordinator(self.config, store_buffer=buffer,
@@ -131,9 +144,51 @@ class FleetSupervisor:
         here); ``None`` between incarnations."""
         return self._coord.queue if self._coord is not None else None
 
+    def fleet_snapshot(self) -> dict:
+        """Fleet-wide metrics: this process's registry (cumulative across
+        every coordinator incarnation, plus snapshots already folded in
+        at teardown) merged with the live incarnation's worker reports.
+        """
+        snaps = [_obs.registry_snapshot()]
+        coord = self._coord
+        if (coord is not None
+                and id(coord.queue) not in self._folded_queues):
+            snaps.extend(coord.queue.worker_metrics().values())
+        return _obs.merge_snapshots(snaps)
+
+    def _fold_worker_metrics(self, coord: FleetCoordinator) -> None:
+        """Absorb a retiring incarnation's worker snapshots into the
+        process-global registry — exactly once per queue, so fleet-wide
+        aggregates survive coordinator restarts without double-counting.
+        """
+        if not _obs.enabled() or id(coord.queue) in self._folded_queues:
+            return
+        self._folded_queues.add(id(coord.queue))
+        for snap in coord.queue.worker_metrics().values():
+            try:
+                _obs.REGISTRY.absorb(snap)
+            except Exception:
+                log.warning("discarding malformed worker metrics snapshot",
+                            exc_info=True)
+
+    def _persist_telemetry(self) -> None:
+        """Store the fleet-wide snapshot under this campaign (merge-on-
+        write: a resumed campaign's fresh process adds to, not replaces,
+        what earlier runs recorded)."""
+        if not _obs.enabled():
+            return
+        try:
+            self.store.record_telemetry(self.campaign_id,
+                                        self.fleet_snapshot())
+        except Exception:
+            log.warning("could not persist campaign telemetry",
+                        exc_info=True)
+
     def status(self) -> dict:
-        """A JSON-able health/progress snapshot."""
+        """A JSON-able health/progress snapshot (see :data:`STATUS_SCHEMA`
+        for the versioning contract)."""
         out = {
+            "schema": STATUS_SCHEMA,
             "campaign_id": self.campaign_id,
             "state": self.state,
             "restarts": self.restarts,
@@ -158,6 +213,8 @@ class FleetSupervisor:
                 * self.config.inputs_per_program
             out["total_tests"] = (self.config.n_programs
                                   * self.config.inputs_per_program)
+        if _obs.enabled():
+            out["telemetry"] = _obs.summarize_snapshot(self.fleet_snapshot())
         return out
 
     def _write_status(self) -> None:
@@ -223,6 +280,7 @@ class FleetSupervisor:
                         coord.spawn_workers(self.workers)
                     result = self._pump(coord, deadline)
                     self.state = "finished"
+                    self._persist_telemetry()
                     self._write_status()
                     return result
                 except (KeyboardInterrupt, SystemExit):
@@ -250,6 +308,7 @@ class FleetSupervisor:
                             f"({self.sup.max_restarts}) is spent"
                         ) from exc
                     self.restarts += 1
+                    _obs.inc("repro_supervisor_restarts_total")
                     self.state = "restarting"
                     self._write_status()
                     delay = min(self.sup.max_restart_backoff_s,
@@ -338,6 +397,7 @@ class FleetSupervisor:
         self.buffer.flush()
         self._teardown(coord, keep_reference=True)
         self.state = "interrupted"
+        self._persist_telemetry()
         self._write_status()
         if signum == signal.SIGINT:
             raise KeyboardInterrupt
@@ -345,6 +405,7 @@ class FleetSupervisor:
 
     def _teardown(self, coord: FleetCoordinator, *,
                   keep_reference: bool = False) -> None:
+        self._fold_worker_metrics(coord)
         try:
             coord.close()
         except Exception as exc:  # teardown must never mask the cause
@@ -362,6 +423,7 @@ class FleetSupervisor:
             FleetDegradedWarning, stacklevel=3)
         log.error("fleet degraded after crashes %s; running the rest of "
                   "the grid inline", self.crashes)
+        _obs.inc("repro_degradation_events_total")
         self.state = "degraded"
         self._write_status()
         session = CampaignSession(self.config, engine="serial",
@@ -377,6 +439,7 @@ class FleetSupervisor:
             if self._signal is not None:
                 self.buffer.flush()
                 self.state = "interrupted"
+                self._persist_telemetry()
                 self._write_status()
                 if self._signal == signal.SIGINT:
                     raise KeyboardInterrupt
@@ -387,5 +450,6 @@ class FleetSupervisor:
         session.add_elapsed(max(0.0, self._clock() - t0))
         self.buffer.flush()
         self.state = "finished"
+        self._persist_telemetry()
         self._write_status()
         return session.result()

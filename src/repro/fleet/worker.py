@@ -28,9 +28,39 @@ import uuid
 
 from ..driver.engine import execute_unit
 from ..errors import FleetError
+from ..obs import log_context
+from ..obs import metrics as _obs
 from .queue import DEFAULT_AUTHKEY, QueueClient
 
 log = logging.getLogger(__name__)
+
+
+class _MetricsReporter:
+    """Best-effort shipping of this process's metrics registry upstream.
+
+    Cumulative snapshot + monotonically increasing sequence number; the
+    sequence is advanced *before* the send, so a report whose reply is
+    lost in transit is simply superseded by the next (newer) one instead
+    of wedging the stream.  Transport errors are swallowed — telemetry
+    must never take a worker down or alter its unit handling.
+    """
+
+    __slots__ = ("queue", "worker_id", "seq")
+
+    def __init__(self, queue, worker_id: str):
+        self.queue = queue
+        self.worker_id = worker_id
+        self.seq = 0
+
+    def flush(self) -> None:
+        if not _obs.enabled():
+            return
+        self.seq += 1
+        try:
+            self.queue.report_metrics(self.worker_id, self.seq,
+                                      _obs.registry_snapshot())
+        except Exception:
+            pass  # lease expiry covers dead workers; metrics are best-effort
 
 
 def _install_worker_signal_handlers() -> None:
@@ -57,7 +87,8 @@ def default_worker_id() -> str:
 
 
 def worker_loop(queue, *, worker_id: str | None = None, batch: int = 1,
-                poll_s: float = 0.05, max_idle_s: float | None = None) -> int:
+                poll_s: float = 0.05, max_idle_s: float | None = None,
+                report_metrics: bool = False) -> int:
     """Drain ``queue`` until the campaign finishes; returns units completed.
 
     ``queue`` is anything speaking the queue protocol — a
@@ -65,10 +96,19 @@ def worker_loop(queue, *, worker_id: str | None = None, batch: int = 1,
     :class:`~repro.fleet.queue.QueueClient` across a socket.
     ``max_idle_s`` bounds how long the worker polls an empty queue
     before giving up (``None`` = wait for the campaign to finish).
+
+    ``report_metrics`` ships this process's cumulative metrics snapshot
+    to the queue after every batch.  Off by default: in-process workers
+    (chaos threads, degraded inline execution) share the coordinator's
+    process-global registry, and reporting it back through the queue
+    would count everything twice.  :func:`run_worker` — always a
+    separate process — turns it on.
     """
     if batch < 1:
         raise FleetError("worker batch must be >= 1")
     wid = worker_id or default_worker_id()
+    log_context(worker=wid)
+    reporter = _MetricsReporter(queue, wid) if report_metrics else None
     plan = queue.plan()
     completed = 0
     idle_since: float | None = None
@@ -107,6 +147,8 @@ def worker_loop(queue, *, worker_id: str | None = None, batch: int = 1,
                         completed += 1
                 if remaining:
                     queue.heartbeat([l.unit_id for l in remaining], wid)
+            if reporter is not None:
+                reporter.flush()
         except BaseException:
             # interrupt mid-batch: give unexecuted leases back now rather
             # than making the queue wait out their deadlines
@@ -122,7 +164,11 @@ def worker_loop(queue, *, worker_id: str | None = None, batch: int = 1,
                         "(%s: %s); queue-side lease expiry will recover it",
                         lease.unit_id, type(transport_exc).__name__,
                         transport_exc)
+            if reporter is not None:
+                reporter.flush()
             raise
+    if reporter is not None:
+        reporter.flush()
     return completed
 
 
@@ -135,7 +181,8 @@ def run_worker(address: tuple[str, int], *,
     client = QueueClient(address, authkey=authkey)
     try:
         return worker_loop(client, worker_id=worker_id, batch=batch,
-                           poll_s=poll_s, max_idle_s=max_idle_s)
+                           poll_s=poll_s, max_idle_s=max_idle_s,
+                           report_metrics=True)
     finally:
         client.close()
 

@@ -1,0 +1,71 @@
+"""Campaign observability: metrics, pipeline spans, unified logging.
+
+One telemetry spine for the whole pipeline.  Three pieces:
+
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges, and fixed-bucket histograms.  Near-zero cost while disabled
+  (one module-flag check per call site), snapshot-able as plain JSON
+  when enabled, with an order-independent merge so snapshots from many
+  worker processes fold into one fleet-wide view.
+* :mod:`repro.obs.spans` — ``with span("compile", ...)`` context
+  managers timing every pipeline stage into
+  ``repro_stage_seconds{stage=...}`` histograms, optionally mirrored to
+  a JSONL trace file for offline flamegraph-style analysis.
+* :func:`logging_setup` — the CLI's single logging configuration, with
+  campaign key + worker id context on every line.
+
+Telemetry is strictly **out-of-band**: nothing here feeds program
+generation, verdicts, campaign identity, checkpoints, or any pinned
+stream.  Enabling or disabling it must never change a result byte —
+the test suite and the ``obs-smoke`` CI job assert exactly that.
+
+Enablement is deliberately *not* a :class:`~repro.config.CampaignConfig`
+field (a config field would perturb campaign identity hashing): use the
+``REPRO_OBS=1`` environment variable, :func:`enable`, or the CLI's
+``--metrics-file`` / ``--trace-file`` flags.  The environment variable
+is authoritative across process boundaries — spawned fleet workers
+inherit it.
+"""
+
+from __future__ import annotations
+
+from .logsetup import log_context, logging_setup
+from .metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    enable,
+    enabled,
+    hist_quantile,
+    inc,
+    merge_snapshots,
+    observe,
+    parse_exposition,
+    registry_snapshot,
+    render_exposition,
+    reset,
+    set_gauge,
+    summarize_snapshot,
+)
+from .spans import set_trace_file, span, trace_event
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "enable",
+    "enabled",
+    "hist_quantile",
+    "inc",
+    "log_context",
+    "logging_setup",
+    "merge_snapshots",
+    "observe",
+    "parse_exposition",
+    "registry_snapshot",
+    "render_exposition",
+    "reset",
+    "set_gauge",
+    "set_trace_file",
+    "span",
+    "summarize_snapshot",
+    "trace_event",
+]

@@ -1,0 +1,116 @@
+"""One logging configuration for the whole CLI and fleet.
+
+Before this module, every entry point configured (or forgot to
+configure) :mod:`logging` its own way; operators got coordinator lines
+with no campaign context and worker lines with no worker id.  Now:
+
+* :func:`logging_setup` — called once by ``repro-omp`` with the global
+  ``--log-level`` / ``-v`` flags; installs a single stderr handler on
+  the ``repro`` logger whose format carries campaign + worker context.
+* :func:`log_context` — coordinator/supervisor/worker entry points
+  declare who they are; every subsequent log line on any ``repro.*``
+  logger carries ``[campaign/worker]``.
+
+Context lives in :mod:`contextvars`, so in-process worker threads
+(chaos fleets, degraded inline execution) each keep their own identity.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import logging
+import sys
+
+_campaign: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_log_campaign", default="-")
+_worker: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_log_worker", default="-")
+
+#: marker attribute identifying the handler we installed (idempotence)
+_HANDLER_TAG = "_repro_obs_handler"
+
+LOG_FORMAT = ("%(asctime)s %(levelname)-7s %(name)s "
+              "[%(campaign)s/%(worker)s] %(message)s")
+
+_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
+           "warning": logging.WARNING, "error": logging.ERROR}
+
+
+def log_context(campaign: str | None = None,
+                worker: str | None = None) -> None:
+    """Attach campaign/worker identity to subsequent log lines."""
+    if campaign is not None:
+        _campaign.set(campaign)
+    if worker is not None:
+        _worker.set(worker)
+
+
+class _ContextFilter(logging.Filter):
+    """Injects the contextvars into every record (filters never drop)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.campaign = _campaign.get()
+        record.worker = _worker.get()
+        return True
+
+
+def resolve_level(level: str | int | None, verbose: int = 0) -> int:
+    """``--log-level`` wins; otherwise ``-v`` counts step the default
+    (warning) down to info and debug."""
+    if isinstance(level, int):
+        return level
+    if level:
+        try:
+            return _LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from "
+                f"{sorted(_LEVELS)}") from None
+    if verbose >= 2:
+        return logging.DEBUG
+    if verbose == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+class _CurrentStderr:
+    """A stream proxy resolving ``sys.stderr`` at *write* time.
+
+    The handler outlives any one value of ``sys.stderr`` (pytest and
+    embedders swap it per test/phase); binding it at setup time would
+    leave the handler writing to a closed capture buffer.
+    """
+
+    def write(self, s: str) -> int:
+        return sys.stderr.write(s)
+
+    def flush(self) -> None:
+        try:
+            sys.stderr.flush()
+        except (ValueError, OSError):
+            pass
+
+
+def logging_setup(level: str | int | None = None, *, verbose: int = 0,
+                  stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the root logger.
+
+    Idempotent: calling again replaces the previously installed handler
+    (tests and long-lived embedders can re-point the stream or level)
+    and never stacks duplicates.  Propagation stays on — the ``repro``
+    tree normally has no other handlers, and log-capturing harnesses
+    (pytest ``caplog``) listen at the root.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(resolve_level(level, verbose))
+    for h in list(logger.handlers):
+        if getattr(h, _HANDLER_TAG, False):
+            logger.removeHandler(h)
+            h.close()
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else _CurrentStderr())
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    handler.addFilter(_ContextFilter())
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,440 @@
+"""Process-local metrics registry with mergeable snapshots.
+
+Three metric kinds, all keyed by ``(name, sorted labels)``:
+
+* **counters** — monotonically increasing floats;
+* **gauges**   — last-set values; merged across snapshots by ``max``
+  (the only order-independent reduction that needs no timestamps);
+* **histograms** — fixed, deterministic bucket bounds chosen at the
+  *call site* and identical in every process, so per-bucket counts sum
+  exactly across workers.
+
+The snapshot is a plain JSON-able dict, and :func:`merge_snapshots` is
+associative and commutative: counters and histogram buckets add,
+gauges take the max.  That is what lets worker snapshots travel the
+fleet queue as *cumulative* state — a dropped report is superseded by
+the next one, a duplicated report is idempotent (latest sequence
+number wins, see :meth:`~repro.fleet.queue.WorkQueue.report_metrics`)
+— and still fold into one exact fleet-wide exposition.
+
+The registry is process-global (:data:`REGISTRY`) and disabled by
+default: every module-level helper (:func:`inc`, :func:`observe`,
+:func:`set_gauge`, and :func:`repro.obs.spans.span`) returns after one
+flag check, so instrumented hot paths cost one predictable branch when
+telemetry is off.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+#: histogram bounds for pipeline stage durations (seconds).  Fixed and
+#: deterministic — every process bucketing a stage uses these bounds, so
+#: fleet-wide bucket counts merge by plain addition.
+STAGE_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: histogram bounds for queue lease latency (seconds, lease -> complete)
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 120.0,
+)
+
+#: snapshot format version (bumped only on incompatible shape changes)
+SNAPSHOT_VERSION = 1
+
+_ENV_FLAG = "REPRO_OBS"
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(_ENV_FLAG, "") not in ("", "0")
+
+
+_enabled = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether telemetry collection is on for this process."""
+    return _enabled
+
+
+def enable(on: bool = True) -> None:
+    """Turn telemetry on (or off) for this process *and its children*.
+
+    Mirrors the decision into ``REPRO_OBS`` so fleet worker processes
+    spawned after this call inherit it — enablement must agree across
+    the fleet or worker snapshots arrive empty.
+    """
+    global _enabled
+    _enabled = on
+    os.environ[_ENV_FLAG] = "1" if on else "0"
+
+
+def _label_key(name: str, labels: dict) -> str:
+    """Flat, order-normalized series key: ``name|k=v|k2=v2``.
+
+    Label names/values must not contain ``|`` or ``=`` (ours are stage
+    and backend identifiers); enforced so a key always parses back.
+    """
+    if not labels:
+        return name
+    parts = []
+    for k in sorted(labels):
+        v = str(labels[k])
+        if "|" in v or "=" in v or "|" in k or "=" in k:
+            raise ValueError(f"metric label {k}={v!r} may not contain | or =")
+        parts.append(f"{k}={v}")
+    return name + "|" + "|".join(parts)
+
+
+def _split_key(key: str) -> tuple[str, dict[str, str]]:
+    name, _, rest = key.partition("|")
+    labels: dict[str, str] = {}
+    if rest:
+        for part in rest.split("|"):
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+class MetricsRegistry:
+    """Thread-safe container of counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        #: key -> [bounds tuple, bucket counts (len(bounds)+1), sum, count]
+        self._hists: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        key = _label_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        key = _label_key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float,
+                buckets: tuple[float, ...] = STAGE_SECONDS_BUCKETS,
+                **labels) -> None:
+        key = _label_key(name, labels)
+        with self._lock:
+            hist = self._hists.get(key)
+            if hist is None:
+                hist = [tuple(buckets), [0] * (len(buckets) + 1), 0.0, 0]
+                self._hists[key] = hist
+            bounds, counts, _, _ = hist
+            i = 0
+            for bound in bounds:
+                if value <= bound:
+                    break
+                i += 1
+            counts[i] += 1
+            hist[2] += value
+            hist[3] += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-able, merge-able copy of every series."""
+        with self._lock:
+            return {
+                "v": SNAPSHOT_VERSION,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "hists": {
+                    key: {"bounds": list(h[0]), "counts": list(h[1]),
+                          "sum": h[2], "count": h[3]}
+                    for key, h in self._hists.items()
+                },
+            }
+
+    def absorb(self, snapshot: dict) -> None:
+        """Fold one snapshot's series into this registry *additively*.
+
+        For folding a retired fleet's final worker snapshots into the
+        coordinator-local registry — each snapshot must be absorbed at
+        most once or its counters double.
+        """
+        if not snapshot:
+            return
+        with self._lock:
+            for key, v in snapshot.get("counters", {}).items():
+                self._counters[key] = self._counters.get(key, 0.0) + v
+            for key, v in snapshot.get("gauges", {}).items():
+                self._gauges[key] = max(self._gauges.get(key, v), v)
+            for key, h in snapshot.get("hists", {}).items():
+                mine = self._hists.get(key)
+                bounds = tuple(h["bounds"])
+                if mine is None:
+                    mine = [bounds, [0] * (len(bounds) + 1), 0.0, 0]
+                    self._hists[key] = mine
+                if mine[0] != bounds:  # pragma: no cover - defensive
+                    raise ValueError(
+                        f"histogram {key!r} bucket bounds differ across "
+                        f"snapshots")
+                for i, c in enumerate(h["counts"]):
+                    mine[1][i] += c
+                mine[2] += h["sum"]
+                mine[3] += h["count"]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+
+#: the process-global registry every instrumented call site writes to
+REGISTRY = MetricsRegistry()
+
+
+def inc(name: str, value: float = 1.0, **labels) -> None:
+    if _enabled:
+        REGISTRY.inc(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    if _enabled:
+        REGISTRY.set_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float,
+            buckets: tuple[float, ...] = STAGE_SECONDS_BUCKETS,
+            **labels) -> None:
+    if _enabled:
+        REGISTRY.observe(name, value, buckets, **labels)
+
+
+def registry_snapshot() -> dict:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    REGISTRY.reset()
+
+
+# ----------------------------------------------------------------------
+# snapshot algebra
+# ----------------------------------------------------------------------
+
+def merge_snapshots(snapshots) -> dict:
+    """Fold snapshots into one: counters/histograms sum, gauges max.
+
+    Associative and commutative — merging in any order or grouping
+    yields the identical dict, which is what makes fleet aggregation
+    trustworthy no matter how worker reports interleave.  ``None``
+    entries (a worker that never reported) are skipped.
+    """
+    out = MetricsRegistry()
+    for snap in snapshots:
+        if snap:
+            out.absorb(snap)
+    return out.snapshot()
+
+
+def hist_quantile(hist: dict, q: float) -> float:
+    """Estimate the ``q`` quantile from one histogram series.
+
+    Linear interpolation within the bucket that crosses the target
+    rank (Prometheus ``histogram_quantile`` semantics); observations in
+    the overflow bucket clamp to the largest finite bound.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = hist["count"]
+    if total <= 0:
+        return 0.0
+    bounds = list(hist["bounds"])
+    counts = list(hist["counts"])
+    rank = q * total
+    seen = 0.0
+    lower = 0.0
+    for i, c in enumerate(counts):
+        if seen + c >= rank and c > 0:
+            upper = bounds[i] if i < len(bounds) else bounds[-1]
+            if i >= len(bounds):
+                return bounds[-1]
+            frac = (rank - seen) / c
+            return lower + (upper - lower) * min(1.0, max(0.0, frac))
+        seen += c
+        lower = bounds[i] if i < len(bounds) else bounds[-1]
+    return bounds[-1] if bounds else 0.0
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text exposition
+# ----------------------------------------------------------------------
+
+def _fmt_value(v: float) -> str:
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(v)
+
+
+def _fmt_series(key: str, suffix: str = "",
+                extra_labels: dict | None = None) -> str:
+    name, labels = _split_key(key)
+    if extra_labels:
+        labels = {**labels, **extra_labels}
+    if not labels:
+        return name + suffix
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{suffix}{{{inner}}}"
+
+
+def render_exposition(snapshot: dict) -> str:
+    """The snapshot as Prometheus text exposition format (v0.0.4)."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def _type_line(key: str, kind: str) -> None:
+        name, _ = _split_key(key)
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key in sorted(snapshot.get("counters", {})):
+        _type_line(key, "counter")
+        lines.append(f"{_fmt_series(key)} "
+                     f"{_fmt_value(snapshot['counters'][key])}")
+    for key in sorted(snapshot.get("gauges", {})):
+        _type_line(key, "gauge")
+        lines.append(f"{_fmt_series(key)} "
+                     f"{_fmt_value(snapshot['gauges'][key])}")
+    for key in sorted(snapshot.get("hists", {})):
+        _type_line(key, "histogram")
+        h = snapshot["hists"][key]
+        cum = 0
+        for i, bound in enumerate(h["bounds"]):
+            cum += h["counts"][i]
+            lines.append(f"{_fmt_series(key, '_bucket', {'le': repr(bound)})} "
+                         f"{cum}")
+        lines.append(f"{_fmt_series(key, '_bucket', {'le': '+Inf'})} "
+                     f"{h['count']}")
+        lines.append(f"{_fmt_series(key, '_sum')} {_fmt_value(h['sum'])}")
+        lines.append(f"{_fmt_series(key, '_count')} {h['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Parse exposition text back to ``{series: value}`` (smoke checks).
+
+    Series keys come back in the ``name{a="x"}`` surface form.  Raises
+    :class:`ValueError` on a malformed sample line, so CI can assert
+    the exposition we render actually parses.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, sep, value = line.rpartition(" ")
+        if not sep or not series:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        out[series] = float(value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# compact health summary (status files, `fleet status`, `query --health`)
+# ----------------------------------------------------------------------
+
+def summarize_snapshot(snapshot: dict) -> dict:
+    """Distill a snapshot into the operator-facing health summary.
+
+    Per-stage p50/p95/count from the ``repro_stage_seconds`` series,
+    lowering cache hit rate, queue counters, and degradation events —
+    the fields ``repro-omp fleet status`` renders.
+    """
+    counters = snapshot.get("counters", {})
+    hists = snapshot.get("hists", {})
+    stages: dict[str, dict] = {}
+    for key, h in sorted(hists.items()):
+        name, labels = _split_key(key)
+        if name != "repro_stage_seconds" or "stage" not in labels:
+            continue
+        stages[labels["stage"]] = {
+            "count": h["count"],
+            "p50": round(hist_quantile(h, 0.5), 6),
+            "p95": round(hist_quantile(h, 0.95), 6),
+        }
+    lower = {"cold": 0.0, "warm": 0.0}
+    for key, v in counters.items():
+        name, labels = _split_key(key)
+        if name == "repro_lower_total" and labels.get("result") in lower:
+            lower[labels["result"]] += v
+    lookups = lower["cold"] + lower["warm"]
+    queue = {}
+    for short, series in (("leases", "repro_queue_leases_total"),
+                          ("completions", "repro_queue_completions_total"),
+                          ("duplicates",
+                           "repro_queue_duplicate_completions_total"),
+                          ("failures", "repro_queue_failures_total"),
+                          ("stragglers", "repro_queue_straggler_leases_total"),
+                          ("expiries", "repro_queue_lease_expiries_total")):
+        total = sum(v for key, v in counters.items()
+                    if _split_key(key)[0] == series)
+        if total:
+            queue[short] = int(total)
+    out = {
+        "stages": stages,
+        "lower": {
+            "cold": int(lower["cold"]),
+            "warm": int(lower["warm"]),
+            "hit_rate": round(lower["warm"] / lookups, 4) if lookups else 0.0,
+        },
+        "queue": queue,
+        "degradation_events": int(sum(
+            v for key, v in counters.items()
+            if _split_key(key)[0] == "repro_degradation_events_total")),
+        "units_ok": int(sum(
+            v for key, v in counters.items()
+            if _split_key(key)[0] == "repro_units_total")),
+        "tests": int(sum(
+            v for key, v in counters.items()
+            if _split_key(key)[0] == "repro_tests_total")),
+    }
+    latency = None
+    for key, h in hists.items():
+        if _split_key(key)[0] == "repro_queue_lease_latency_seconds":
+            latency = h if latency is None else merge_snapshots(
+                [{"hists": {"x": latency}}, {"hists": {"x": h}}])["hists"]["x"]
+    if latency is not None and latency["count"]:
+        out["lease_latency"] = {
+            "count": latency["count"],
+            "p50": round(hist_quantile(latency, 0.5), 6),
+            "p95": round(hist_quantile(latency, 0.95), 6),
+        }
+    return out
+
+
+def total_counter(snapshot: dict, name: str) -> float:
+    """Sum of one counter family across all label combinations."""
+    return sum(v for key, v in snapshot.get("counters", {}).items()
+               if _split_key(key)[0] == name)
+
+
+def counter_value(snapshot: dict, name: str, **labels) -> float:
+    """One counter series' value (0.0 when the series never fired)."""
+    return snapshot.get("counters", {}).get(_label_key(name, labels), 0.0)
+
+
+def span_seconds_count(snapshot: dict, stage: str) -> int:
+    """How many spans of ``stage`` the snapshot holds (test helper)."""
+    h = snapshot.get("hists", {}).get(
+        _label_key("repro_stage_seconds", {"stage": stage}))
+    if h is None:
+        total = 0
+        for key, hh in snapshot.get("hists", {}).items():
+            name, labels = _split_key(key)
+            if name == "repro_stage_seconds" and labels.get("stage") == stage:
+                total += hh["count"]
+        return total
+    return h["count"]

@@ -1,0 +1,123 @@
+"""Pipeline spans: timed stages feeding histograms and a trace log.
+
+``with span("compile", backend="gcc"):`` times the enclosed block into
+the ``repro_stage_seconds{stage="compile",backend="gcc"}`` histogram
+(fixed deterministic buckets, so fleet-wide merges are exact) and, when
+a trace file is set, appends one JSONL record per span for offline
+flamegraph-style analysis.
+
+Disabled cost is one flag check and the return of a shared null
+context manager — no allocation, no clock read — which is what lets
+every pipeline stage stay instrumented unconditionally without moving
+the throughput-regression gate.
+
+Wall-clock readings never feed results: spans are strictly out-of-band
+observations of stages whose outputs are pure functions of their
+inputs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from . import metrics
+from .metrics import STAGE_SECONDS_BUCKETS
+
+_trace_lock = threading.Lock()
+_trace_path: str | None = None
+_trace_file = None
+
+_ENV_TRACE = "REPRO_OBS_TRACE"
+
+
+def set_trace_file(path: str | None) -> None:
+    """Start (or stop, with ``None``) appending span records to a JSONL
+    file.  Opening is lazy — the file is created on the first span —
+    and the path is mirrored to ``REPRO_OBS_TRACE`` so spawned fleet
+    workers append to the same log (one JSON object per line; O_APPEND
+    writes from multiple processes interleave by line, not mid-record).
+    """
+    global _trace_path, _trace_file
+    with _trace_lock:
+        if _trace_file is not None:
+            _trace_file.close()
+            _trace_file = None
+        _trace_path = path
+        if path is None:
+            os.environ.pop(_ENV_TRACE, None)
+        else:
+            os.environ[_ENV_TRACE] = str(path)
+
+
+def _trace_sink():
+    global _trace_file, _trace_path
+    if _trace_path is None:
+        # workers inherit the trace path through the environment
+        _trace_path = os.environ.get(_ENV_TRACE) or None
+        if _trace_path is None:
+            return None
+    if _trace_file is None:
+        _trace_file = open(_trace_path, "a", buffering=1)
+    return _trace_file
+
+
+def trace_event(record: dict) -> None:
+    """Append one record to the trace log (no-op without a trace file)."""
+    with _trace_lock:
+        sink = _trace_sink()
+        if sink is None:
+            return
+        try:
+            sink.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:  # a full disk must not take the campaign down
+            pass
+
+
+class _NullSpan:
+    """The shared disabled span: enters and exits for free."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("stage", "labels", "_t0")
+
+    def __init__(self, stage: str, labels: dict):
+        self.stage = stage
+        self.labels = labels
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        dur = time.perf_counter() - self._t0
+        metrics.observe("repro_stage_seconds", dur, STAGE_SECONDS_BUCKETS,
+                        stage=self.stage, **self.labels)
+        if exc_type is not None:
+            metrics.inc("repro_stage_errors_total", 1.0, stage=self.stage)
+        if _trace_path is not None or _ENV_TRACE in os.environ:
+            trace_event({"span": self.stage, "dur_s": round(dur, 9),
+                         "labels": self.labels, "pid": os.getpid(),
+                         "t": time.time(),
+                         "ok": exc_type is None})
+        return None
+
+
+def span(stage: str, **labels):
+    """A context manager timing one pipeline stage (null when disabled)."""
+    if not metrics.enabled():
+        return _NULL
+    return _Span(stage, labels)

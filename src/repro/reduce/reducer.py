@@ -37,6 +37,7 @@ from ..core.races import find_races
 from ..core.surgery import count_statements, reads_undeclared_locals
 from ..driver.records import RunRecord
 from ..errors import GrammarError, ReproError
+from ..obs.spans import span
 from .passes import DEFAULT_PASSES, ReductionPass
 
 
@@ -219,19 +220,20 @@ def reduce_case(case: OutlierCase, triage: TriageConfig | None = None, *,
         for pass_ in enabled:
             # greedy fixpoint per pass: re-enumerate from the new best
             # after every accepted edit
-            accepted = True
-            while accepted and oracle.evaluated < budget:
-                accepted = False
-                for desc, cand in pass_.candidates(best_program):
-                    if oracle.evaluated >= budget:
-                        break
-                    v = oracle.reproduces(cand, best_input)
-                    if v is not None:
-                        best_program = cand
-                        result.verdict = v
-                        result.history.append(f"{pass_.name}: {desc}")
-                        accepted = progressed = True
-                        break
+            with span("reduce_pass", pass_name=pass_.name):
+                accepted = True
+                while accepted and oracle.evaluated < budget:
+                    accepted = False
+                    for desc, cand in pass_.candidates(best_program):
+                        if oracle.evaluated >= budget:
+                            break
+                        v = oracle.reproduces(cand, best_input)
+                        if v is not None:
+                            best_program = cand
+                            result.verdict = v
+                            result.history.append(f"{pass_.name}: {desc}")
+                            accepted = progressed = True
+                            break
         if cfg.shrink_inputs:
             accepted = True
             while accepted and oracle.evaluated < budget:

@@ -3,28 +3,68 @@
 The simulated runtime charges virtual cycles to runtime symbol names
 (``__kmp_wait_template``, ``do_wait``, ...) exactly where the mechanisms
 fire; :mod:`repro.analysis.profiles` renders them like ``perf report``.
+
+Charges accumulate into Shewchuk-style exact partial sums rather than a
+running float: every charge is representable exactly, so merging two
+recorders — or many, in any order or grouping — yields bit-identical
+totals.  That associativity is what lets the fleet aggregate per-unit
+profiles worker-by-worker without the merge order leaking into reports
+(and is the contract the span aggregator in :mod:`repro.obs` relies on).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
 
 
-@dataclass(slots=True)
+def _accumulate(partials: list[float], x: float) -> None:
+    """Fold ``x`` into a list of exact non-overlapping partials in place.
+
+    The classic Shewchuk two-sum cascade (same algorithm as
+    ``math.fsum``): after the call, ``sum(partials)`` in exact
+    arithmetic equals the old exact sum plus ``x``.
+    """
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
 class ProfileRecorder:
     """Flat self-time per (shared object, symbol)."""
 
-    binary_name: str = "_test"
-    samples: dict[tuple[str, str], float] = field(default_factory=dict)
+    __slots__ = ("binary_name", "_partials")
+
+    def __init__(self, binary_name: str = "_test"):
+        self.binary_name = binary_name
+        self._partials: dict[tuple[str, str], list[float]] = {}
+
+    def __repr__(self) -> str:
+        return (f"ProfileRecorder(binary_name={self.binary_name!r}, "
+                f"samples={self.samples!r})")
 
     def charge(self, shared_object: str, symbol: str, cycles: float) -> None:
         if cycles <= 0:
             return
-        key = (shared_object, symbol)
-        self.samples[key] = self.samples.get(key, 0.0) + cycles
+        _accumulate(self._partials.setdefault((shared_object, symbol), []),
+                    cycles)
+
+    @property
+    def samples(self) -> dict[tuple[str, str], float]:
+        """Correctly-rounded per-symbol totals (a fresh plain dict)."""
+        return {key: math.fsum(parts)
+                for key, parts in self._partials.items()}
 
     def total(self) -> float:
-        return sum(self.samples.values())
+        return math.fsum(cy for parts in self._partials.values()
+                         for cy in parts)
 
     def rows(self) -> list[tuple[float, str, str]]:
         """(overhead fraction, shared object, symbol), descending."""
@@ -36,5 +76,17 @@ class ProfileRecorder:
                       reverse=True)
 
     def merge(self, other: "ProfileRecorder") -> None:
-        for (so, sym), cy in other.samples.items():
-            self.charge(so, sym, cy)
+        """Fold ``other`` in exactly: partials concatenate, so any merge
+        tree over the same recorders reads back identical samples."""
+        for key, parts in other._partials.items():
+            mine = self._partials.setdefault(key, [])
+            for cy in parts:
+                _accumulate(mine, cy)
+
+    # __slots__ without __dict__: make pickling explicit so profiles
+    # survive the fleet's process pools.
+    def __getstate__(self):
+        return (self.binary_name, self._partials)
+
+    def __setstate__(self, state) -> None:
+        self.binary_name, self._partials = state

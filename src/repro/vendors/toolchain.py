@@ -28,6 +28,8 @@ from ..codegen.emit_main import emit_translation_unit
 from ..core.features import extract_features
 from ..core.nodes import Program
 from ..errors import CompilationError
+from ..obs import metrics as _obs
+from ..sim.backend import active_kernel_backend
 from ..sim.kcache import KernelCache, get_kernel_cache
 from ..sim.lower import StructuralLowerer, bind_costs
 from .base import VendorModel
@@ -105,10 +107,21 @@ def compile_binary(program: Program, vendor: VendorModel | str,
     fma = effective_fma_mode(vendor.traits.fma_mode, opt_level)
     ftz = vendor.traits.flush_subnormals
 
+    # telemetry: which lowering phases actually ran (cache misses) —
+    # observation only, the cached value is identical either way
+    obs_on = _obs.enabled()
+    misses: set[str] = set()
+
     def build_structural():
+        misses.add("structural")
         lowered_body = lower_block(program.body, fma)
         return StructuralLowerer(replace_body(program, lowered_body),
                                  ftz=ftz).lower()
+
+    def build_kernel():
+        misses.add("kernel")
+        return bind_costs(structural, vendor, opt_level,
+                          fast_armed=fast, slow_armed=slow)
 
     structural = cache.get_structural((fingerprint, ftz, fma),
                                       build_structural)
@@ -117,9 +130,13 @@ def compile_binary(program: Program, vendor: VendorModel | str,
     # receive another model's constants — frozen dataclasses hash by
     # content, so the key stays correct for replace()-built variants
     kernel = cache.get_kernel(
-        (fingerprint, vendor, opt_level, fast, slow),
-        lambda: bind_costs(structural, vendor, opt_level,
-                           fast_armed=fast, slow_armed=slow))
+        (fingerprint, vendor, opt_level, fast, slow), build_kernel)
+    if obs_on:
+        backend = active_kernel_backend()
+        for phase in ("structural", "kernel"):
+            _obs.inc("repro_lower_total", phase=phase,
+                     result="cold" if phase in misses else "warm",
+                     backend=backend)
     return Binary(
         program=program,
         vendor=vendor,

@@ -151,6 +151,69 @@ class TestChaosQueueProxy:
 
 
 # ----------------------------------------------------------------------
+# metric reports under transport faults (telemetry satellite)
+# ----------------------------------------------------------------------
+
+def _metrics_snap(tests: float) -> dict:
+    """A minimal cumulative snapshot carrying one counter."""
+    return {"v": 1, "counters": {"repro_tests_total": tests},
+            "gauges": {}, "hists": {}}
+
+
+def _reported_tests(queue) -> dict[str, float]:
+    return {w: snap["counters"].get("repro_tests_total", 0.0)
+            for w, snap in queue.worker_metrics().items()}
+
+
+class TestChaosMetricReports:
+    """Reports are *cumulative* snapshots ordered by sequence number, so
+    transport faults can only delay fleet aggregation — never corrupt it:
+    a dropped report is superseded by the next, a duplicated report is
+    rejected by its stale sequence number."""
+
+    def test_dropped_report_is_superseded_not_lost(self, proxy_queue):
+        proxy = ChaosQueueProxy(proxy_queue, ChaosPlan(drop_rate=1.0),
+                                ident="w0")
+        with pytest.raises(ChaosConnectionError, match="dropped"):
+            proxy.report_metrics("w0", 1, _metrics_snap(3.0))
+        assert proxy_queue.worker_metrics() == {}  # never arrived
+        # the next report (healed transport, higher seq) carries the
+        # full cumulative state: the merged view is 5, not 3 or 8
+        assert proxy_queue.report_metrics("w0", 2, _metrics_snap(5.0))
+        assert _reported_tests(proxy_queue) == {"w0": 5.0}
+
+    def test_drop_after_reply_cannot_double_count(self, proxy_queue):
+        # the queue stored the snapshot but the worker never heard back;
+        # the worker bumps seq *before* sending, so its retry/next flush
+        # replaces rather than adds
+        proxy = ChaosQueueProxy(proxy_queue, ChaosPlan(drop_after_rate=1.0),
+                                ident="w0")
+        with pytest.raises(ChaosConnectionError, match="reply dropped"):
+            proxy.report_metrics("w0", 1, _metrics_snap(3.0))
+        assert _reported_tests(proxy_queue) == {"w0": 3.0}  # landed anyway
+        assert proxy_queue.report_metrics("w0", 2, _metrics_snap(4.0))
+        assert _reported_tests(proxy_queue) == {"w0": 4.0}
+
+    def test_duplicated_report_rejected_by_stale_seq(self, proxy_queue):
+        # report_metrics is a chaos mutator: delivered twice; the second
+        # delivery's seq is no longer strictly greater and is refused
+        proxy = ChaosQueueProxy(proxy_queue, ChaosPlan(duplicate_rate=1.0),
+                                ident="w0")
+        assert proxy.report_metrics("w0", 1, _metrics_snap(2.0))
+        assert proxy.faults["duplicate"] >= 1
+        assert _reported_tests(proxy_queue) == {"w0": 2.0}
+
+    def test_seq_ordering_is_strict_per_worker(self, proxy_queue):
+        q = proxy_queue
+        assert q.report_metrics("w0", 2, _metrics_snap(10.0))
+        assert not q.report_metrics("w0", 1, _metrics_snap(99.0))  # stale
+        assert not q.report_metrics("w0", 2, _metrics_snap(99.0))  # dup
+        assert q.report_metrics("w1", 1, _metrics_snap(7.0))  # independent
+        assert q.report_metrics("w0", 3, _metrics_snap(11.0))
+        assert _reported_tests(q) == {"w0": 11.0, "w1": 7.0}
+
+
+# ----------------------------------------------------------------------
 # store faults: refusals and torn appends
 # ----------------------------------------------------------------------
 

@@ -1,6 +1,9 @@
 """Tests for ProfileRecorder and PerfCounters primitives."""
 
+import pickle
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.sim.counters import PerfCounters
 from repro.sim.events import ProfileRecorder
@@ -65,3 +68,71 @@ class TestProfileRecorder:
         a.merge(b)
         assert a.samples[("so", "x")] == 3.0
         assert a.samples[("so", "y")] == 5.0
+
+    def test_pickle_roundtrip(self):
+        pr = ProfileRecorder(binary_name="b0")
+        pr.charge("so", "x", 1e16)
+        pr.charge("so", "x", 1.0)
+        clone = pickle.loads(pickle.dumps(pr))
+        assert clone.binary_name == "b0"
+        assert clone.samples == pr.samples
+
+
+# charge streams designed to expose float non-associativity: huge and
+# tiny magnitudes interleaved, so naive running sums would disagree
+# across merge orders
+_charges = st.lists(
+    st.tuples(st.sampled_from(["libgomp.so", "libomp.so", "a.out"]),
+              st.sampled_from(["gomp_barrier", "kmp_lock", "main"]),
+              st.floats(min_value=1e-12, max_value=1e15,
+                        allow_nan=False, allow_infinity=False)),
+    max_size=40)
+
+
+class TestProfileRecorderMergeAlgebra:
+    """merge() concatenates exact partial sums, so fleet-wide profile
+    aggregation is associative and order-independent — the same property
+    the metrics registry guarantees for counters."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(_charges, _charges, _charges, st.randoms())
+    def test_merge_is_associative_and_order_independent(self, ca, cb, cc,
+                                                        rng):
+        def recorder(charges):
+            pr = ProfileRecorder()
+            for so, sym, cycles in charges:
+                pr.charge(so, sym, cycles)
+            return pr
+
+        # ((a + b) + c)
+        left = recorder(ca)
+        ab = recorder(cb)
+        left.merge(ab)
+        left.merge(recorder(cc))
+        # (a + (b + c))
+        right_tail = recorder(cb)
+        right_tail.merge(recorder(cc))
+        right = recorder(ca)
+        right.merge(right_tail)
+        assert left.samples == right.samples
+        assert left.total() == right.total()
+
+        # any permutation of per-worker recorders folds to the same sums
+        parts = [recorder(c) for c in (ca, cb, cc)]
+        rng.shuffle(parts)
+        folded = ProfileRecorder()
+        for p in parts:
+            folded.merge(p)
+        assert folded.samples == left.samples
+
+    @settings(max_examples=30, deadline=None)
+    @given(_charges)
+    def test_merge_matches_single_recorder_exactly(self, charges):
+        whole = ProfileRecorder()
+        for so, sym, cycles in charges:
+            whole.charge(so, sym, cycles)
+        half_a, half_b = ProfileRecorder(), ProfileRecorder()
+        for i, (so, sym, cycles) in enumerate(charges):
+            (half_a if i % 2 else half_b).charge(so, sym, cycles)
+        half_a.merge(half_b)
+        assert half_a.samples == whole.samples
